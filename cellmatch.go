@@ -1,0 +1,89 @@
+// Package cellmatch is a DFA-based multi-pattern string-matching
+// library reproducing "Peak-Performance DFA-based String Matching on
+// the Cell Processor" (Scarpazza, Villa, Petrini — IPPS 2007).
+//
+// The library compiles dictionaries of exact strings (or regular
+// expressions) into alphabet-reduced, pointer-encoded Aho-Corasick
+// state transition tables — the paper's DFA tile — and scans data with
+// content-independent cost. Alongside the production matcher it ships
+// the paper's full performance apparatus: an instruction-level SPU
+// simulator, a Cell memory-system model, and the schedules that
+// regenerate every table and figure of the paper's evaluation (see
+// EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	m, err := cellmatch.CompileStrings([]string{"virus", "worm"},
+//		cellmatch.Options{CaseFold: true})
+//	if err != nil { ... }
+//	matches, err := m.FindAll(packet)
+//
+// Incremental scanning:
+//
+//	s := m.NewStream()
+//	s.Write(chunk1)
+//	s.Write(chunk2)
+//	hits := s.Matches()
+//
+// Performance estimation on simulated Cell hardware:
+//
+//	est, err := m.EstimateCell(cellmatch.DefaultBlade(), 1<<24)
+//	fmt.Printf("%.2f Gbps on %d SPEs\n", est.SimulatedGbps, est.TilesUsed)
+package cellmatch
+
+import (
+	"cellmatch/internal/cell"
+	"cellmatch/internal/core"
+	"cellmatch/internal/tile"
+)
+
+// Matcher is a compiled dictionary; see core.Matcher.
+type Matcher = core.Matcher
+
+// Options configure compilation; see core.Options.
+type Options = core.Options
+
+// Match is one dictionary hit.
+type Match = core.Match
+
+// Stream is an incremental scanner.
+type Stream = core.Stream
+
+// RegexSet matches whole inputs against regular expressions.
+type RegexSet = core.RegexSet
+
+// Blade describes simulated Cell hardware.
+type Blade = cell.Blade
+
+// Estimate is a predicted deployment throughput.
+type Estimate = cell.Estimate
+
+// Table1Row is one measured column of the paper's Table 1.
+type Table1Row = tile.Table1Row
+
+// Compile builds a matcher from byte-string patterns.
+func Compile(patterns [][]byte, opts Options) (*Matcher, error) {
+	return core.Compile(patterns, opts)
+}
+
+// CompileStrings builds a matcher from string patterns.
+func CompileStrings(patterns []string, opts Options) (*Matcher, error) {
+	return core.CompileStrings(patterns, opts)
+}
+
+// CompileRegexes builds a whole-input regular-expression set.
+func CompileRegexes(exprs []string, caseFold bool) (*RegexSet, error) {
+	return core.CompileRegexes(exprs, caseFold)
+}
+
+// DefaultBlade is one Cell processor (8 SPEs).
+func DefaultBlade() Blade { return cell.DefaultBlade() }
+
+// DualBlade is the paper's two-processor blade (16 SPEs).
+func DualBlade() Blade { return cell.DualBlade() }
+
+// MinimumSPEsFor returns the tile count needed to filter a link of
+// linkGbps at perTileGbps each (the paper: 2 SPEs for 10 Gbps).
+func MinimumSPEsFor(linkGbps, perTileGbps float64) (int, error) {
+	return cell.MinimumSPEsFor(linkGbps, perTileGbps)
+}

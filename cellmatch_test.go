@@ -1,0 +1,55 @@
+package cellmatch_test
+
+import (
+	"testing"
+
+	"cellmatch"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	m, err := cellmatch.CompileStrings([]string{"virus", "worm"},
+		cellmatch.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := m.FindAll([]byte("a VIRUS and a worm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %v", ms)
+	}
+}
+
+func TestPublicAPIStream(t *testing.T) {
+	m, err := cellmatch.CompileStrings([]string{"split"}, cellmatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewStream()
+	s.Write([]byte("spl"))
+	s.Write([]byte("it!"))
+	if got := s.Matches(); len(got) != 1 || got[0].End != 5 {
+		t.Fatalf("stream matches = %v", got)
+	}
+}
+
+func TestPublicAPIBlades(t *testing.T) {
+	if cellmatch.DefaultBlade().SPEs() != 8 || cellmatch.DualBlade().SPEs() != 16 {
+		t.Fatal("blade shapes")
+	}
+	n, err := cellmatch.MinimumSPEsFor(10, 5.11)
+	if err != nil || n != 2 {
+		t.Fatalf("min SPEs = %d (%v)", n, err)
+	}
+}
+
+func TestPublicAPIRegex(t *testing.T) {
+	rs, err := cellmatch.CompileRegexes([]string{"a+b"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.MatchWhole([]byte("aaab")); len(got) != 1 {
+		t.Fatalf("regex match = %v", got)
+	}
+}

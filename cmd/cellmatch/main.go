@@ -1,0 +1,127 @@
+// Command cellmatch compiles a dictionary and scans input with the
+// paper's DFA-tile machinery.
+//
+//	cellmatch -dict signatures.txt -in traffic.bin
+//	cellmatch -patterns "virus,worm" -casefold -in - < data
+//	cellmatch -dict signatures.txt -in traffic.bin -count -stats -estimate
+//
+// The dictionary file holds one pattern per line; blank lines and
+// lines starting with '#' are ignored.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cellmatch/internal/cell"
+	"cellmatch/internal/core"
+)
+
+func main() {
+	var (
+		dictPath = flag.String("dict", "", "dictionary file (one pattern per line)")
+		patterns = flag.String("patterns", "", "comma-separated inline patterns")
+		inPath   = flag.String("in", "-", "input file ('-' = stdin)")
+		caseFold = flag.Bool("casefold", false, "case-insensitive matching")
+		groups   = flag.Int("groups", 1, "parallel tile groups")
+		count    = flag.Bool("count", false, "print only the match count")
+		quiet    = flag.Bool("quiet", false, "exit status only (0 = match found)")
+		stats    = flag.Bool("stats", false, "print compiled-dictionary statistics")
+		estimate = flag.Bool("estimate", false, "print simulated Cell deployment estimate")
+	)
+	flag.Parse()
+
+	dict, err := loadDictionary(*dictPath, *patterns)
+	if err != nil {
+		fail(err)
+	}
+	m, err := core.Compile(dict, core.Options{CaseFold: *caseFold, Groups: *groups})
+	if err != nil {
+		fail(err)
+	}
+	if *stats {
+		s := m.Stats()
+		fmt.Printf("patterns=%d states=%d stt_bytes=%d groups=%d series=%d tiles=%d alphabet=%d\n",
+			s.Patterns, s.States, s.STTBytes, s.Groups, s.SeriesDepth, s.TilesRequired, s.AlphabetUsed)
+	}
+	if *estimate {
+		est, err := m.EstimateCell(cell.DefaultBlade(), 16*1024*1024)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("per_tile=%.2fGbps analytic=%.2fGbps simulated=%.2fGbps tiles=%d utilization=%.1f%%\n",
+			est.PerTileGbps, est.AnalyticGbps, est.SimulatedGbps, est.TilesUsed, est.Utilization*100)
+	}
+
+	data, err := readInput(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	matches, err := m.FindAll(data)
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case *quiet:
+		if len(matches) > 0 {
+			os.Exit(0)
+		}
+		os.Exit(1)
+	case *count:
+		fmt.Println(len(matches))
+	default:
+		for _, hit := range matches {
+			p := m.Pattern(hit.Pattern)
+			fmt.Printf("%d\t%d\t%q\n", hit.End-len(p), hit.Pattern, p)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cellmatch:", err)
+	os.Exit(2)
+}
+
+func loadDictionary(path, inline string) ([][]byte, error) {
+	var out [][]byte
+	if inline != "" {
+		for _, p := range strings.Split(inline, ",") {
+			if p != "" {
+				out = append(out, []byte(p))
+			}
+		}
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, []byte(line))
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns: use -dict or -patterns")
+	}
+	return out, nil
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

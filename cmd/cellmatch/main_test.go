@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDictionaryInline(t *testing.T) {
+	d, err := loadDictionary("", "virus,worm,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || string(d[0]) != "virus" || string(d[1]) != "worm" {
+		t.Fatalf("dict = %q", d)
+	}
+}
+
+func TestLoadDictionaryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sigs.txt")
+	content := "# comment\nvirus\n\n  worm  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDictionary(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || string(d[0]) != "virus" || string(d[1]) != "worm" {
+		t.Fatalf("dict = %q", d)
+	}
+}
+
+func TestLoadDictionaryCombined(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sigs.txt")
+	if err := os.WriteFile(path, []byte("filepat\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDictionary(path, "inlinepat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 {
+		t.Fatalf("dict = %q", d)
+	}
+}
+
+func TestLoadDictionaryErrors(t *testing.T) {
+	if _, err := loadDictionary("", ""); err == nil {
+		t.Fatal("empty dictionary accepted")
+	}
+	if _, err := loadDictionary("/nonexistent/file", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadInputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.bin")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readInput(path)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("read %q (%v)", data, err)
+	}
+	if _, err := readInput("/nonexistent/file"); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Command paperbench regenerates every table and figure of the
+// paper's evaluation on the simulated substrate:
+//
+//	paperbench -all        # everything (default)
+//	paperbench -table1     # implementation versions 1-5
+//	paperbench -fig2       # aggregate DMA bandwidth vs block size
+//	paperbench -fig3       # local-store budgets
+//	paperbench -fig4       # kernel instruction mix (SIMD data flow)
+//	paperbench -fig5       # double-buffering schedule
+//	paperbench -fig6       # series/parallel composition arithmetic
+//	paperbench -fig7       # mixed composition
+//	paperbench -fig8       # dynamic STT replacement schedule
+//	paperbench -fig9       # throughput vs aggregate STT size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/compose"
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/eib"
+	"cellmatch/internal/localstore"
+	"cellmatch/internal/pipeline"
+	"cellmatch/internal/report"
+	"cellmatch/internal/sim"
+	"cellmatch/internal/tile"
+	"cellmatch/internal/workload"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run everything")
+		table1 = flag.Bool("table1", false, "Table 1: implementation versions")
+		fig2   = flag.Bool("fig2", false, "Figure 2: DMA bandwidth")
+		fig3   = flag.Bool("fig3", false, "Figure 3: local store budgets")
+		fig4   = flag.Bool("fig4", false, "Figure 4: kernel instruction mix")
+		fig5   = flag.Bool("fig5", false, "Figure 5: double buffering")
+		fig6   = flag.Bool("fig6", false, "Figure 6: series/parallel composition")
+		fig7   = flag.Bool("fig7", false, "Figure 7: mixed composition")
+		fig8   = flag.Bool("fig8", false, "Figure 8: dynamic STT replacement")
+		fig9   = flag.Bool("fig9", false, "Figure 9: throughput vs dictionary size")
+	)
+	flag.Parse()
+	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9
+	if *all || !any {
+		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
+		*fig6, *fig7, *fig8, *fig9 = true, true, true, true
+	}
+	d := paperDFA()
+	var base tile.Table1Row
+	if *table1 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 {
+		rows := runTable1(d, *table1)
+		base = tile.BestVersion(rows)
+	}
+	if *fig2 {
+		runFigure2()
+	}
+	if *fig3 {
+		runFigure3()
+	}
+	if *fig4 {
+		runFigure4(d)
+	}
+	if *fig5 {
+		runFigure5(base)
+	}
+	if *fig6 || *fig7 {
+		runComposition(base, *fig6, *fig7)
+	}
+	if *fig8 {
+		runFigure8(base)
+	}
+	if *fig9 {
+		runFigure9(base)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}
+
+// paperDFA builds the ~1500-state dictionary the paper's tile holds.
+func paperDFA() *dfa.DFA {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 1520, Seed: 1})
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dfa.FromPatterns(pats, alphabet.CaseFold32())
+	if err != nil {
+		fatal(err)
+	}
+	return d
+}
+
+func runTable1(d *dfa.DFA, print bool) []tile.Table1Row {
+	rows, err := tile.MeasureTable1(d, 16*1024, 1)
+	if err != nil {
+		fatal(err)
+	}
+	if !print {
+		return rows
+	}
+	fmt.Printf("== Table 1: DFA tile implementation versions (%d-state STT) ==\n", d.NumStates())
+	tab := report.NewTable("Metric", "v1", "v2", "v3", "v4", "v5")
+	row := func(name string, f func(tile.Table1Row) any) {
+		cells := []any{name}
+		for _, r := range rows {
+			cells = append(cells, f(r))
+		}
+		tab.Row(cells...)
+	}
+	row("SIMD vectorization", func(r tile.Table1Row) any {
+		if r.SIMD {
+			return "yes"
+		}
+		return "no"
+	})
+	row("Loop unroll factor", func(r tile.Table1Row) any { return r.Unroll })
+	row("Total cycles per block", func(r tile.Table1Row) any { return r.TotalCycles })
+	row("State transitions", func(r tile.Table1Row) any { return r.Transitions })
+	row("Cycles per transition", func(r tile.Table1Row) any { return r.CyclesPerTransition })
+	row("Throughput (Mtrans/s)", func(r tile.Table1Row) any { return r.MTransPerSec })
+	row("Throughput (Gbps)", func(r tile.Table1Row) any { return r.ThroughputGbps })
+	row("Average CPI", func(r tile.Table1Row) any { return r.CPI })
+	row("Dual issue %", func(r tile.Table1Row) any { return r.DualIssuePct })
+	row("Stall %", func(r tile.Table1Row) any { return r.StallPct })
+	row("Registers used", func(r tile.Table1Row) any {
+		if r.Spilled {
+			return "spill"
+		}
+		return r.RegistersUsed
+	})
+	row("Speedup", func(r tile.Table1Row) any { return r.Speedup })
+	if err := tab.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	return rows
+}
+
+func runFigure2() {
+	fmt.Println("== Figure 2: aggregate memory bandwidth (GB/s) vs SPE count ==")
+	tab := report.NewTable("SPEs", "64B", "128B", "256B", "512B+")
+	for k := 1; k <= 8; k++ {
+		cells := []any{k}
+		for _, b := range []int64{64, 128, 256, 16384} {
+			agg := eib.AggregateBandwidth(k, b, 100*sim.Microsecond)
+			cells = append(cells, agg/1e9)
+		}
+		tab.Row(cells...)
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func runFigure3() {
+	fmt.Println("== Figure 3: SPE local store usage per tile case ==")
+	tab := report.NewTable("Case", "Input buffers", "STT size", "States", "Code+stack")
+	for i, p := range localstore.Figure3Cases() {
+		tab.Row(i+1,
+			fmt.Sprintf("2 x %d KB", p.BufBytes/1024),
+			fmt.Sprintf("%d KB", p.STTBytes/1024),
+			p.MaxStates,
+			fmt.Sprintf("%d KB", p.CodeStack/1024))
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func runFigure4(d *dfa.DFA) {
+	fmt.Println("== Figure 4: optimal SIMD kernel data flow (static mix) ==")
+	tl, err := tile.New(d, tile.Config{Version: 4})
+	if err != nil {
+		fatal(err)
+	}
+	block := make([]byte, 48*16)
+	if _, _, err := tl.MatchBlockSim(block); err != nil {
+		fatal(err)
+	}
+	mix := tile.MixOf(tl.LastProgram, nil)
+	tab := report.NewTable("Class", "Static instructions", "Figure 4 role")
+	tab.Row("loads", mix.Loads, "input quadwords + 16 gathers per group")
+	tab.Row("shuffles/rotates", mix.Shuffles, "16 offset extractions + entry alignment")
+	tab.Row("SIMD/SISD arithmetic", mix.SIMDArith, "shifts, address adds, flag ANDs, counts")
+	tab.Row("stores", mix.Stores, "epilogue count writeback")
+	tab.Row("branches", mix.Branches, "loop control (hinted)")
+	if err := tab.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func runFigure5(base tile.Table1Row) {
+	cpt := base.CyclesPerTransition
+	if cpt == 0 {
+		cpt = 5.01
+	}
+	fmt.Printf("== Figure 5: double-buffering schedule (16 KB blocks, %.2f cyc/transition, 8 SPEs) ==\n", cpt)
+	res := pipeline.RunDoubleBuffer(pipeline.Figure5Config{
+		Blocks: 4, CyclesPerTransition: cpt,
+	})
+	var entries []report.TimelineEntry
+	for _, p := range res.Transfers {
+		entries = append(entries, report.TimelineEntry{
+			Lane: p.Name, Label: p.Label, Start: p.Start.Micros(), End: p.End.Micros()})
+	}
+	for _, p := range res.Computes {
+		entries = append(entries, report.TimelineEntry{
+			Lane: p.Name, Label: p.Label, Start: p.Start.Micros(), End: p.End.Micros()})
+	}
+	if err := report.WriteTimeline(os.Stdout, entries); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compute utilization after first load: %.1f%%; effective %.2f Gbps\n\n",
+		res.SteadyUtilization*100, res.ThroughputGbps)
+}
+
+func runComposition(base tile.Table1Row, f6, f7 bool) {
+	per := base.ThroughputGbps
+	if per == 0 {
+		per = 5.11
+	}
+	if f6 {
+		fmt.Println("== Figure 6: composing tiles in parallel and in series ==")
+		tab := report.NewTable("Configuration", "Tiles", "Throughput (Gbps)", "Dictionary states")
+		tab.Row("1 tile", 1, per, 1520)
+		tab.Row("2 in parallel (same STT)", 2, compose.Parallel(2).ThroughputGbps(per), 1520)
+		tab.Row("2 in series (distinct STTs)", 2, compose.Series(2).ThroughputGbps(per), 2*1520)
+		tab.Row("8 in parallel (one Cell)", 8, compose.Parallel(8).ThroughputGbps(per), 1520)
+		tab.Row("16 in parallel (dual blade)", 16, compose.Parallel(16).ThroughputGbps(per), 1520)
+		if err := tab.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if f7 {
+		fmt.Println("== Figure 7: mixed series/parallel configuration ==")
+		topo := compose.Mixed(2, 4)
+		fmt.Printf("2 groups x 4 series tiles = %d SPEs: %.2f Gbps, ~%dx dictionary\n\n",
+			topo.TotalTiles(), topo.ThroughputGbps(per), topo.SeriesDepth)
+	}
+}
+
+func runFigure8(base tile.Table1Row) {
+	cpt := base.CyclesPerTransition
+	if cpt == 0 {
+		cpt = 5.01
+	}
+	fmt.Println("== Figure 8: dynamic STT replacement schedule (n=3 STTs) ==")
+	res := pipeline.RunReplacement(pipeline.ReplacementConfig{
+		STTs: 3, Pairs: 2, CyclesPerTransition: cpt,
+	})
+	var entries []report.TimelineEntry
+	for _, p := range res.Timeline {
+		entries = append(entries, report.TimelineEntry{
+			Lane: p.Name, Label: p.Label, Start: p.Start.Micros(), End: p.End.Micros()})
+	}
+	if err := report.WriteTimeline(os.Stdout, entries); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("effective per-SPE bandwidth: %.2f Gbps (paper closed form: %.2f)\n\n",
+		res.EffectiveGbps, pipeline.PaperReplacementGbps(base.ThroughputGbps, 3))
+}
+
+func runFigure9(base tile.Table1Row) {
+	per := base.ThroughputGbps
+	if per == 0 {
+		per = 5.11
+	}
+	fmt.Println("== Figure 9: throughput vs aggregate STT size, dynamic replacement ==")
+	tab := report.NewTable("STTs", "Aggregate KB", "SPEs", "Paper (Gbps)", "Simulated (Gbps)")
+	for _, p := range pipeline.Figure9(per, []int{1, 2, 4, 8}, 6) {
+		tab.Row(p.STTs, p.AggregateKB, p.SPEs, p.PaperGbps, p.SimulatedGbps)
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,67 @@
+// Bigdict: Section 6 of the paper — dictionaries too large for one
+// local store. The dictionary partitions into tile-sized automata
+// (series composition); when even eight tiles cannot hold it, dynamic
+// STT replacement streams table halves through each SPE at a smoothly
+// degrading rate (Figure 9's trade-off).
+//
+// The example compiles a multi-tile dictionary, shows the partition,
+// verifies matching still finds everything across partitions, and
+// prints the throughput/dictionary-size trade-off curve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellmatch"
+	"cellmatch/internal/pipeline"
+	"cellmatch/internal/workload"
+)
+
+func main() {
+	// A dictionary of ~4000 Aho-Corasick states: needs 3 tiles of the
+	// 16 KB-buffer budget (1520 states each).
+	pats, err := workload.Dictionary(workload.DictConfig{
+		TargetStates: 4000, PatternLen: 32, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cellmatch.Compile(pats, cellmatch.Options{CaseFold: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("dictionary: %d patterns, %d states -> %d series tiles (%d KB of STTs)\n",
+		st.Patterns, st.States, st.SeriesDepth, st.STTBytes/1024)
+
+	// Matching is unaffected by partitioning: plant one pattern from
+	// each partition region and find them all.
+	probe := []byte("...")
+	probe = append(probe, pats[0]...)
+	probe = append(probe, []byte("...")...)
+	probe = append(probe, pats[len(pats)/2]...)
+	probe = append(probe, []byte("...")...)
+	probe = append(probe, pats[len(pats)-1]...)
+	n, err := m.Count(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted 3 patterns across partitions, found %d\n", n)
+	if n < 3 {
+		log.Fatal("partitioned dictionary lost matches")
+	}
+
+	// Section 6: if the dictionary outgrows the whole machine, stream
+	// STTs dynamically. Print the paper's trade-off (Figure 9 slice).
+	fmt.Println("\ndynamic STT replacement, 8 SPEs (16 KB blocks, V4 kernel):")
+	fmt.Println("STTs  dict KB  paper Gbps  simulated Gbps")
+	for n := 1; n <= 6; n++ {
+		res := pipeline.RunReplacement(pipeline.ReplacementConfig{
+			STTs: n, SPEs: 8, Pairs: 4,
+		})
+		fmt.Printf("%4d  %7d  %10.2f  %14.2f\n",
+			n, n*95, 8*pipeline.PaperReplacementGbps(5.11, n), res.SystemGbps)
+	}
+	fmt.Println("\nthe dictionary size is now unbounded; throughput degrades as ~1/n")
+}

@@ -1,0 +1,62 @@
+// Overload: why security products use DFAs. The paper (Section 1)
+// notes that heuristic matchers (Boyer-Moore family) are "vulnerable
+// to attacks based on malicious input streams specifically designed
+// to overload them", while DFA cost is one table lookup per byte no
+// matter what the bytes are.
+//
+// This example measures byte-comparison counts for Boyer-Moore-
+// Horspool on benign vs adversarial traffic, and shows the DFA scan
+// touching every byte exactly once in both cases.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"cellmatch"
+	"cellmatch/internal/baseline"
+	"cellmatch/internal/workload"
+)
+
+func main() {
+	// The attack pattern: unique head byte, repeated tail.
+	pattern := append([]byte{'b'}, bytes.Repeat([]byte{'a'}, 15)...)
+	n := 1 << 20
+
+	benign, _, err := workload.Traffic(workload.TrafficConfig{Bytes: n, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adversarial := workload.AdversarialBMH(pattern, n)
+
+	bmh, err := baseline.NewBMH(pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, benignCmp := bmh.Count(benign)
+	_, advCmp := bmh.Count(adversarial)
+	fmt.Printf("Boyer-Moore-Horspool over %d KB:\n", n>>10)
+	fmt.Printf("  benign traffic:      %8d byte comparisons (%.2f/byte)\n",
+		benignCmp, float64(benignCmp)/float64(n))
+	fmt.Printf("  adversarial traffic: %8d byte comparisons (%.2f/byte)  <- %dx blowup\n",
+		advCmp, float64(advCmp)/float64(n), advCmp/benignCmp)
+
+	// The DFA: same work on both inputs, by construction.
+	m, err := cellmatch.Compile([][]byte{pattern}, cellmatch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"benign": benign, "adversarial": adversarial} {
+		start := time.Now()
+		count, err := m.Count(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		fmt.Printf("DFA scan of %-11s traffic: %d matches, 1.00 lookups/byte, %v (%.0f MB/s)\n",
+			name, count, el, float64(n)/el.Seconds()/1e6)
+	}
+	fmt.Println("\nDFA cost is content-independent: overload attacks have no lever.")
+}

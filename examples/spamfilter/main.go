@@ -1,0 +1,61 @@
+// Spamfilter: dictionary-plus-regex filtering, the paper's other
+// application domain ("intrusion detectors, deep-inspection filters,
+// spam filters and on-line virus scanners"). Messages are scored by
+// dictionary hits found with the DFA matcher; structured fields
+// (sender addresses) are validated against a compiled regex set. Both
+// run over the paper's case-folded 32-symbol alphabet.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellmatch"
+)
+
+var spamPhrases = []string{
+	"FREE MONEY", "ACT NOW", "NO OBLIGATION", "WINNER", "CLICK HERE",
+	"LIMITED TIME", "EARN CASH", "GUARANTEED", "RISK FREE", "CHEAP MEDS",
+}
+
+var messages = []struct {
+	from string
+	body string
+}{
+	{"alice@example.com", "Lunch tomorrow? No obligation, just asking."},
+	{"promo@deals.biz", "WINNER! Click here for free money. Act now, limited time, guaranteed!"},
+	{"bob@example.com", "The quarterly report is attached."},
+	{"x@spam.click", "cheap meds, risk free, earn cash from home!!!"},
+}
+
+func main() {
+	m, err := cellmatch.CompileStrings(spamPhrases, cellmatch.Options{CaseFold: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Sender sanity: a tiny address grammar compiled to a DFA.
+	addr, err := cellmatch.CompileRegexes(
+		[]string{`[a-z0-9.]+@[a-z0-9]+(\.[a-z]+)+`}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, msg := range messages {
+		hits, err := m.FindAll([]byte(msg.body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		score := len(hits)
+		if len(addr.MatchWhole([]byte(msg.from))) == 0 {
+			score += 2 // malformed sender
+		}
+		verdict := "ham "
+		if score >= 2 {
+			verdict = "SPAM"
+		}
+		fmt.Printf("message %d from %-20s score=%d verdict=%s\n", i, msg.from, score, verdict)
+		for _, h := range hits {
+			fmt.Printf("    phrase %q ends at %d\n", m.Pattern(h.Pattern), h.End)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package cellmatch_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/core"
+	"cellmatch/internal/dfa"
+)
+
+// Fuzz targets. Under plain `go test` they run their seed corpora as
+// regression tests; with `go test -fuzz=FuzzX` they explore further.
+
+// FuzzRegexParse: the parser must never panic and must either reject
+// or produce a DFA that validates and scans without fault.
+func FuzzRegexParse(f *testing.F) {
+	for _, seed := range []string{
+		"abc", "(a|b)*abb", "a{2,4}", "[a-z]+@[a-z]+", "\\x41|\\n",
+		"((((", "a**", "[z-a]", "{3}", "a|", "(?)", "[^\\x00-\\xff]",
+		"\\", "a{999}", "x(y(z(w)))*",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		if len(expr) > 64 {
+			return // keep subset-construction cost bounded
+		}
+		red, err := alphabet.FromPatterns([][]byte{[]byte("abcxyz")}, false, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dfa.CompileRegex(expr, red)
+		if err != nil {
+			return // rejected: fine
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("compiled regex %q yields invalid DFA: %v", expr, err)
+		}
+		// Must scan arbitrary input without fault.
+		d.Accepts(red.Reduce([]byte("abcabcxyzzz")))
+	})
+}
+
+// FuzzMatcherScan: compile a two-pattern dictionary from fuzz input
+// and verify the matcher's count equals a naive scan.
+func FuzzMatcherScan(f *testing.F) {
+	f.Add([]byte("virus"), []byte("worm"), []byte("a virus in a worm"))
+	f.Add([]byte("aa"), []byte("aaa"), []byte("aaaaaaa"))
+	f.Add([]byte{0xFF, 0x00}, []byte{0x01}, []byte{0xFF, 0x00, 0x01, 0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, p1, p2, data []byte) {
+		if len(p1) == 0 || len(p2) == 0 || len(p1) > 32 || len(p2) > 32 || len(data) > 4096 {
+			return
+		}
+		m, err := core.Compile([][]byte{p1, p2}, core.Options{Groups: 2})
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		got, err := m.Count(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveOccurrences(data, p1) + naiveOccurrences(data, p2)
+		if got != want {
+			t.Fatalf("count %d, naive %d (p1=%q p2=%q)", got, want, p1, p2)
+		}
+	})
+}
+
+func naiveOccurrences(text, pat []byte) int {
+	n := 0
+	for i := 0; i+len(pat) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pat)], pat) {
+			n++
+		}
+	}
+	return n
+}
+
+// FuzzArtifactLoad: arbitrary bytes must never panic the loader, and
+// a valid artifact must round-trip.
+func FuzzArtifactLoad(f *testing.F) {
+	m, err := core.CompileStrings([]string{"seed", "corpus"}, core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CMSAV1\x00garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		back, err := core.Load(bytes.NewReader(blob))
+		if err != nil {
+			return
+		}
+		// Whatever loaded must be usable without fault.
+		if _, err := back.Count([]byte("seed corpus probe")); err != nil {
+			t.Fatalf("loaded matcher cannot scan: %v", err)
+		}
+	})
+}
+
+// FuzzStreamChunking: any chunking of any input yields the same
+// matches as a single-shot scan.
+func FuzzStreamChunking(f *testing.F) {
+	f.Add([]byte("abracadabra abra"), uint8(3))
+	f.Add([]byte(strings.Repeat("ab", 50)), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		if len(data) > 4096 {
+			return
+		}
+		m, err := core.CompileStrings([]string{"abra", "ab"}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := m.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := int(chunk)%16 + 1
+		s := m.NewStream()
+		for i := 0; i < len(data); i += cs {
+			end := i + cs
+			if end > len(data) {
+				end = len(data)
+			}
+			s.Write(data[i:end])
+		}
+		if len(s.Matches()) != len(batch) {
+			t.Fatalf("chunk %d: stream %d vs batch %d matches",
+				cs, len(s.Matches()), len(batch))
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package cellmatch_test
+
+import (
+	"strings"
+	"testing"
+
+	"cellmatch/internal/baseline"
+	"cellmatch/internal/core"
+	"cellmatch/internal/spu"
+	"cellmatch/internal/tile"
+	"cellmatch/internal/workload"
+)
+
+// TestCrossImplementationAgreement runs three independent matcher
+// implementations over the same large traffic and requires identical
+// total occurrence counts:
+//
+//  1. the production path (core: partitioned, alphabet-reduced,
+//     pointer-encoded, parallel-split with overlap dedupe),
+//  2. the map-based Aho-Corasick baseline over raw bytes,
+//  3. per-pattern KMP sums.
+func TestCrossImplementationAgreement(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	traffic, planted, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 20, MatchEvery: 4096, Dictionary: dict, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planted < 200 {
+		t.Fatalf("planted only %d", planted)
+	}
+	// Production path (no case folding so the raw-byte baselines see
+	// the same language). Use several parallel widths.
+	var counts []int
+	for _, groups := range []int{1, 3, 8} {
+		m, err := core.Compile(dict, core.Options{Groups: groups})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := m.Count(traffic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, n)
+	}
+	for _, n := range counts[1:] {
+		if n != counts[0] {
+			t.Fatalf("parallel widths disagree: %v", counts)
+		}
+	}
+	ac, err := baseline.NewACMap(dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.Count(traffic); got != counts[0] {
+		t.Fatalf("ACMap %d vs core %d", got, counts[0])
+	}
+	kmpTotal := 0
+	for _, p := range dict {
+		m, err := baseline.NewKMP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmpTotal += m.Count(traffic)
+	}
+	if kmpTotal != counts[0] {
+		t.Fatalf("KMP sum %d vs core %d", kmpTotal, counts[0])
+	}
+	if counts[0] < planted {
+		t.Fatalf("found %d < planted %d", counts[0], planted)
+	}
+}
+
+// TestSimulatedKernelEndToEnd pushes real traffic through the
+// simulated SPU kernel (deinterleaved into 16 streams) and checks the
+// total against the production matcher: the cycle-accurate path and
+// the native path are the same machine.
+func TestSimulatedKernelEndToEnd(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 900, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Compile(pats, core.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := m.System()
+	if len(sys.Slots) != 1 {
+		t.Fatalf("expected one slot, got %d", len(sys.Slots))
+	}
+	tl, err := tile.New(sys.Slots[0], tile.Config{Version: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 independent streams with planted patterns, reduced and
+	// interleaved like the PPE would. 16 x 1008 = 15.75 KB fits the
+	// tile's 16 KB input buffer at unroll-3 granularity.
+	n := 48 * 21
+	block := make([]byte, 16*n)
+	var wantTotal uint64
+	for i := 0; i < 16; i++ {
+		stream, _, err := workload.Traffic(workload.TrafficConfig{
+			Bytes: n, MatchEvery: 300, Dictionary: pats, Seed: int64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduced := sys.Red.Reduce(stream)
+		for q := 0; q < n; q++ {
+			block[q*16+i] = reduced[q]
+		}
+		wantTotal += uint64(sys.Slots[0].CountFinalEntries(reduced))
+	}
+	counts, prof, err := tl.MatchBlockSim(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for _, c := range counts {
+		got += c
+	}
+	if got != wantTotal {
+		t.Fatalf("simulated kernel total %d, DFA oracle %d", got, wantTotal)
+	}
+	if prof.Cycles <= 0 {
+		t.Fatal("no cycles recorded")
+	}
+	// The kernel listing is inspectable.
+	lst := tl.LastProgram.Listing()
+	if !strings.Contains(lst, "shufb") || !strings.Contains(lst, "lqd") {
+		t.Fatal("listing lacks expected instructions")
+	}
+	st := spu.StaticStatsOf(tl.LastProgram)
+	if st.Loads == 0 || st.Branches == 0 || st.EvenPipe == 0 || st.OddPipe == 0 {
+		t.Fatalf("static stats degenerate: %+v", st)
+	}
+}
+
+// TestSaveLoadThroughPublicAPI round-trips a compiled artifact through
+// the internal persistence layer and re-verifies matching.
+func TestFullPipelinePersistence(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 2500, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Compile(pats, core.Options{CaseFold: true, Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := m.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic, planted, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 18, MatchEvery: 2048, Dictionary: pats, Seed: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Count(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Count(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a < planted {
+		t.Fatalf("persistence changed results: %d vs %d (planted %d)", a, b, planted)
+	}
+}

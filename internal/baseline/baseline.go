@@ -1,0 +1,274 @@
+// Package baseline implements the comparator algorithms the paper
+// names (Section 1): Knuth-Morris-Pratt, Boyer-Moore(-Horspool) and a
+// map-based Aho-Corasick, plus a naive scan and a Bloom-filter
+// pre-filter (the paper's future-work direction).
+//
+// The heuristic matchers exist to demonstrate the paper's motivation:
+// their throughput depends on input content, so "malicious input
+// streams specifically designed to overload them" defeat them, while
+// the DFA's cost is one table lookup per byte regardless of content.
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+)
+
+// NaiveCount counts occurrences of pattern in text by direct
+// comparison at every offset.
+func NaiveCount(text, pattern []byte) int {
+	if len(pattern) == 0 || len(text) < len(pattern) {
+		return 0
+	}
+	count := 0
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pattern)], pattern) {
+			count++
+		}
+	}
+	return count
+}
+
+// KMP is a compiled Knuth-Morris-Pratt matcher.
+type KMP struct {
+	pattern []byte
+	fail    []int
+}
+
+// NewKMP preprocesses the pattern.
+func NewKMP(pattern []byte) (*KMP, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("baseline: empty pattern")
+	}
+	fail := make([]int, len(pattern))
+	k := 0
+	for i := 1; i < len(pattern); i++ {
+		for k > 0 && pattern[k] != pattern[i] {
+			k = fail[k-1]
+		}
+		if pattern[k] == pattern[i] {
+			k++
+		}
+		fail[i] = k
+	}
+	return &KMP{pattern: append([]byte(nil), pattern...), fail: fail}, nil
+}
+
+// Count returns the occurrence count in text.
+func (m *KMP) Count(text []byte) int {
+	count, k := 0, 0
+	for _, c := range text {
+		for k > 0 && m.pattern[k] != c {
+			k = m.fail[k-1]
+		}
+		if m.pattern[k] == c {
+			k++
+		}
+		if k == len(m.pattern) {
+			count++
+			k = m.fail[k-1]
+		}
+	}
+	return count
+}
+
+// BMH is a compiled Boyer-Moore-Horspool matcher.
+type BMH struct {
+	pattern []byte
+	skip    [256]int
+}
+
+// NewBMH preprocesses the pattern.
+func NewBMH(pattern []byte) (*BMH, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("baseline: empty pattern")
+	}
+	m := &BMH{pattern: append([]byte(nil), pattern...)}
+	for i := range m.skip {
+		m.skip[i] = len(pattern)
+	}
+	for i := 0; i < len(pattern)-1; i++ {
+		m.skip[pattern[i]] = len(pattern) - 1 - i
+	}
+	return m, nil
+}
+
+// Count returns the occurrence count in text, and the number of byte
+// comparisons performed — the content-dependent cost the paper warns
+// about.
+func (m *BMH) Count(text []byte) (count, comparisons int) {
+	n, plen := len(text), len(m.pattern)
+	i := 0
+	for i+plen <= n {
+		j := plen - 1
+		for j >= 0 {
+			comparisons++
+			if text[i+j] != m.pattern[j] {
+				break
+			}
+			j--
+		}
+		if j < 0 {
+			count++
+			i++
+			continue
+		}
+		i += m.skip[text[i+plen-1]]
+	}
+	return count, comparisons
+}
+
+// ACMap is a pointer-free, map-based Aho-Corasick used as a memory
+// baseline against the paper's dense STT encoding.
+type ACMap struct {
+	next   []map[byte]int32
+	fail   []int32
+	output [][]int32
+}
+
+// NewACMap builds the automaton over raw bytes.
+func NewACMap(patterns [][]byte) (*ACMap, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("baseline: empty dictionary")
+	}
+	a := &ACMap{next: []map[byte]int32{{}}, fail: []int32{0}, output: [][]int32{nil}}
+	for id, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("baseline: pattern %d empty", id)
+		}
+		cur := int32(0)
+		for _, c := range p {
+			nxt, ok := a.next[cur][c]
+			if !ok {
+				nxt = int32(len(a.next))
+				a.next = append(a.next, map[byte]int32{})
+				a.fail = append(a.fail, 0)
+				a.output = append(a.output, nil)
+				a.next[cur][c] = nxt
+			}
+			cur = nxt
+		}
+		a.output[cur] = append(a.output[cur], int32(id))
+	}
+	// BFS failure links.
+	var queue []int32
+	for _, v := range a.next[0] {
+		queue = append(queue, v)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for c, v := range a.next[u] {
+			f := a.fail[u]
+			for {
+				if nxt, ok := a.next[f][c]; ok && nxt != v {
+					a.fail[v] = nxt
+					break
+				}
+				if f == 0 {
+					a.fail[v] = 0
+					break
+				}
+				f = a.fail[f]
+			}
+			a.output[v] = append(a.output[v], a.output[a.fail[v]]...)
+			queue = append(queue, v)
+		}
+	}
+	return a, nil
+}
+
+// Count returns the total occurrence count in text.
+func (a *ACMap) Count(text []byte) int {
+	count := 0
+	s := int32(0)
+	for _, c := range text {
+		for {
+			if nxt, ok := a.next[s][c]; ok {
+				s = nxt
+				break
+			}
+			if s == 0 {
+				break
+			}
+			s = a.fail[s]
+		}
+		count += len(a.output[s])
+	}
+	return count
+}
+
+// States returns the automaton size.
+func (a *ACMap) States() int { return len(a.next) }
+
+// Bloom is a k-hash Bloom filter over fixed-length substrings, the
+// paper's cited FPGA approach and its stated future work on the Cell.
+type Bloom struct {
+	bits   []uint64
+	mask   uint64
+	hashes int
+	ngram  int
+}
+
+// NewBloom sizes a filter for the given capacity and builds it from
+// the dictionary's prefixes of length ngram.
+func NewBloom(patterns [][]byte, ngram, bitsLog2, hashes int) (*Bloom, error) {
+	if ngram < 1 || bitsLog2 < 6 || bitsLog2 > 32 || hashes < 1 || hashes > 8 {
+		return nil, fmt.Errorf("baseline: bad bloom parameters")
+	}
+	b := &Bloom{
+		bits:   make([]uint64, (1<<bitsLog2)/64),
+		mask:   1<<bitsLog2 - 1,
+		hashes: hashes,
+		ngram:  ngram,
+	}
+	for _, p := range patterns {
+		if len(p) < ngram {
+			return nil, fmt.Errorf("baseline: pattern shorter than ngram %d", ngram)
+		}
+		b.add(p[:ngram])
+	}
+	return b, nil
+}
+
+func (b *Bloom) hash(gram []byte, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(i)})
+	h.Write(gram)
+	return h.Sum64() & b.mask
+}
+
+func (b *Bloom) add(gram []byte) {
+	for i := 0; i < b.hashes; i++ {
+		h := b.hash(gram, i)
+		b.bits[h/64] |= 1 << (h % 64)
+	}
+}
+
+// MayContain reports whether the gram may be a dictionary prefix.
+func (b *Bloom) MayContain(gram []byte) bool {
+	for i := 0; i < b.hashes; i++ {
+		h := b.hash(gram, i)
+		if b.bits[h/64]&(1<<(h%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterPositions scans text and returns candidate positions whose
+// ngram may start a dictionary pattern; a downstream exact matcher
+// (the DFA tile) verifies them. This is the pre-filter topology the
+// paper's future work sketches.
+func (b *Bloom) FilterPositions(text []byte) []int {
+	var out []int
+	for i := 0; i+b.ngram <= len(text); i++ {
+		if b.MayContain(text[i : i+b.ngram]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Ngram returns the filter's gram length.
+func (b *Bloom) Ngram() int { return b.ngram }

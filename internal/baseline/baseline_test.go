@@ -1,0 +1,219 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cellmatch/internal/workload"
+)
+
+func TestNaiveCount(t *testing.T) {
+	if NaiveCount([]byte("abcabcab"), []byte("ab")) != 3 {
+		t.Fatal("naive count")
+	}
+	if NaiveCount([]byte("aaa"), []byte("aa")) != 2 {
+		t.Fatal("overlapping count")
+	}
+	if NaiveCount([]byte("x"), []byte("xyz")) != 0 || NaiveCount(nil, nil) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestKMPMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		plen := 1 + rng.Intn(6)
+		pattern := make([]byte, plen)
+		for i := range pattern {
+			pattern[i] = byte('a' + rng.Intn(2))
+		}
+		text := make([]byte, rng.Intn(100))
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(2))
+		}
+		m, err := NewKMP(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.Count(text), NaiveCount(text, pattern); got != want {
+			t.Fatalf("kmp %d vs naive %d for %q in %q", got, want, pattern, text)
+		}
+	}
+}
+
+func TestBMHMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		plen := 1 + rng.Intn(6)
+		pattern := make([]byte, plen)
+		for i := range pattern {
+			pattern[i] = byte('a' + rng.Intn(2))
+		}
+		text := make([]byte, rng.Intn(100))
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(2))
+		}
+		m, err := NewBMH(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m.Count(text)
+		if want := NaiveCount(text, pattern); got != want {
+			t.Fatalf("bmh %d vs naive %d for %q in %q", got, want, pattern, text)
+		}
+	}
+}
+
+func TestEmptyPatternsRejected(t *testing.T) {
+	if _, err := NewKMP(nil); err == nil {
+		t.Fatal("kmp empty accepted")
+	}
+	if _, err := NewBMH(nil); err == nil {
+		t.Fatal("bmh empty accepted")
+	}
+	if _, err := NewACMap(nil); err == nil {
+		t.Fatal("ac empty dictionary accepted")
+	}
+	if _, err := NewACMap([][]byte{nil}); err == nil {
+		t.Fatal("ac empty pattern accepted")
+	}
+}
+
+// TestBMHContentDependence demonstrates the paper's motivation: the
+// skip heuristic collapses on adversarial input, multiplying the
+// comparison count, while on benign input it is sublinear.
+func TestBMHContentDependence(t *testing.T) {
+	// BMH's worst case: a unique head byte then a repeated tail
+	// ("baaa...a") scanned over all-'a' text: every alignment matches
+	// 15 bytes right-to-left before failing, and the skip is 1.
+	pattern := append([]byte{'b'}, bytes.Repeat([]byte{'a'}, 15)...)
+	m, err := NewBMH(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 16
+	benign, _, err := workload.Traffic(workload.TrafficConfig{Bytes: n, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, benignCmp := m.Count(benign)
+	adversarial := workload.AdversarialBMH(pattern, n)
+	_, advCmp := m.Count(adversarial)
+	if advCmp < 5*benignCmp {
+		t.Fatalf("adversarial input did not degrade BMH: %d vs %d comparisons",
+			advCmp, benignCmp)
+	}
+}
+
+func TestACMapCounts(t *testing.T) {
+	a, err := NewACMap([][]byte{[]byte("he"), []byte("she"), []byte("hers")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "ushers": she@4, he@4, hers@6 -> 3 occurrences.
+	if got := a.Count([]byte("ushers")); got != 3 {
+		t.Fatalf("ac count = %d", got)
+	}
+	// Trie: root, h, he, s, sh, she, her, hers = 8 nodes.
+	if a.States() != 8 {
+		t.Fatalf("states = %d", a.States())
+	}
+}
+
+func TestACMapMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		np := 1 + rng.Intn(4)
+		dict := make([][]byte, np)
+		for i := range dict {
+			l := 1 + rng.Intn(4)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = byte('a' + rng.Intn(2))
+			}
+			dict[i] = p
+		}
+		text := make([]byte, rng.Intn(80))
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(2))
+		}
+		a, err := NewACMap(dict)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, p := range dict {
+			want += NaiveCount(text, p)
+		}
+		return a.Count(text) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	b, err := NewBloom(dict, 4, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dict {
+		if !b.MayContain(p[:4]) {
+			t.Fatalf("false negative for %q", p[:4])
+		}
+	}
+	if b.Ngram() != 4 {
+		t.Fatal("ngram accessor")
+	}
+}
+
+func TestBloomFiltersMostBenign(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	b, err := NewBloom(dict, 4, 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign, _, err := workload.Traffic(workload.TrafficConfig{Bytes: 1 << 15, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := b.FilterPositions(benign)
+	rate := float64(len(candidates)) / float64(len(benign))
+	if rate > 0.05 {
+		t.Fatalf("bloom passes %.1f%% of benign positions", rate*100)
+	}
+}
+
+func TestBloomFindsPlanted(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	b, err := NewBloom(dict, 4, 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, planted, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 14, MatchEvery: 512, Dictionary: dict, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := b.FilterPositions(data)
+	if len(candidates) < planted {
+		t.Fatalf("bloom missed planted prefixes: %d < %d", len(candidates), planted)
+	}
+}
+
+func TestBloomParamValidation(t *testing.T) {
+	dict := [][]byte{[]byte("abcd")}
+	if _, err := NewBloom(dict, 0, 12, 3); err == nil {
+		t.Fatal("ngram 0 accepted")
+	}
+	if _, err := NewBloom(dict, 4, 4, 3); err == nil {
+		t.Fatal("tiny filter accepted")
+	}
+	if _, err := NewBloom(dict, 8, 12, 3); err == nil {
+		t.Fatal("ngram longer than pattern accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package cell models deployment of composed DFA-tile systems onto
+// Cell hardware: one or more chips of 8 SPEs plus a PPE that performs
+// stream interleaving (Section 5's full-machine arithmetic: 8 tiles =
+// 40.88 Gbps per processor, 81.76 Gbps per dual-Cell blade).
+package cell
+
+import (
+	"fmt"
+
+	"cellmatch/internal/compose"
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/pipeline"
+	"cellmatch/internal/sim"
+	"cellmatch/internal/spu"
+	"cellmatch/internal/tile"
+)
+
+// Blade describes the available hardware.
+type Blade struct {
+	// Chips is the processor count (the paper's blade has 2).
+	Chips int
+	// SPEsPerChip is 8 on the Cell BE.
+	SPEsPerChip int
+}
+
+// DefaultBlade is one Cell processor.
+func DefaultBlade() Blade { return Blade{Chips: 1, SPEsPerChip: 8} }
+
+// DualBlade is the paper's two-processor blade.
+func DualBlade() Blade { return Blade{Chips: 2, SPEsPerChip: 8} }
+
+// SPEs is the total processing element count.
+func (b Blade) SPEs() int { return b.Chips * b.SPEsPerChip }
+
+// Deployment binds a composed system to hardware with a measured
+// kernel.
+type Deployment struct {
+	Sys   *compose.System
+	Blade Blade
+	// Kernel is the Table 1 measurement of the chosen implementation
+	// version on the deployment's largest automaton.
+	Kernel tile.Table1Row
+	// Replicas is how many copies of the topology run side by side
+	// (one per chip when the topology fits a single chip).
+	Replicas int
+}
+
+// Plan validates that the system's topology fits the blade and
+// measures the kernel on the largest series slot (the slowest tile
+// bounds the pipeline). version is a Table 1 implementation version
+// (0 = the paper's optimal version 4).
+func Plan(sys *compose.System, blade Blade, version int) (*Deployment, error) {
+	if version == 0 {
+		version = 4
+	}
+	perChip := blade.SPEsPerChip
+	if err := sys.Topology.Validate(blade.SPEs()); err != nil {
+		return nil, err
+	}
+	replicas := 1
+	if sys.Topology.TotalTiles() <= perChip {
+		replicas = blade.Chips
+	}
+	// Measure on the largest slot automaton.
+	var biggest *dfa.DFA
+	for _, d := range sys.Slots {
+		if biggest == nil || d.NumStates() > biggest.NumStates() {
+			biggest = d
+		}
+	}
+	row, err := tile.MeasureVersion(biggest, version, 16*1024, 7)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Sys: sys, Blade: blade, Kernel: row, Replicas: replicas}, nil
+}
+
+// Estimate is the predicted filtering capability.
+type Estimate struct {
+	// PerTileGbps is the kernel rate of one SPE.
+	PerTileGbps float64
+	// AnalyticGbps is topology arithmetic: groups x replicas x per-tile.
+	AnalyticGbps float64
+	// SimulatedGbps runs the double-buffered DES schedule with full
+	// bus contention and scales by parallel width.
+	SimulatedGbps float64
+	// Utilization is the simulated compute utilization (Figure 5:
+	// ~1.0 when transfers hide).
+	Utilization float64
+	// SimTime is the simulated makespan for the requested volume.
+	SimTime sim.Time
+	// TilesUsed is the number of occupied SPEs.
+	TilesUsed int
+}
+
+// Estimate predicts throughput for filtering inputBytes of traffic.
+func (d *Deployment) Estimate(inputBytes int64) Estimate {
+	blockBytes := int64(16 * 1024)
+	groups := d.Sys.Topology.Groups * d.Replicas
+	perGroup := inputBytes / int64(groups)
+	blocks := int(perGroup / blockBytes)
+	if blocks < 2 {
+		blocks = 2
+	}
+	res := pipeline.RunDoubleBuffer(pipeline.Figure5Config{
+		BlockBytes:          blockBytes,
+		Blocks:              blocks,
+		CyclesPerTransition: d.Kernel.CyclesPerTransition,
+		ClockHz:             spu.ClockHz,
+		SPEs:                d.Sys.Topology.TotalTiles() * d.Replicas,
+	})
+	return Estimate{
+		PerTileGbps:   d.Kernel.ThroughputGbps,
+		AnalyticGbps:  float64(groups) * d.Kernel.ThroughputGbps,
+		SimulatedGbps: res.ThroughputGbps * float64(groups),
+		Utilization:   res.SteadyUtilization,
+		SimTime:       res.Total,
+		TilesUsed:     d.Sys.Topology.TotalTiles() * d.Replicas,
+	}
+}
+
+// Scan delegates functional matching to the composed system.
+func (d *Deployment) Scan(input []byte) ([]dfa.Match, error) {
+	return d.Sys.Scan(input)
+}
+
+// CanFilter reports whether the deployment sustains a link of the
+// given bit rate, with the simulated (contended) throughput.
+func (d *Deployment) CanFilter(gbps float64, inputBytes int64) (bool, Estimate) {
+	est := d.Estimate(inputBytes)
+	return est.SimulatedGbps >= gbps, est
+}
+
+// MinimumSPEsFor returns how many parallel tiles are needed for a
+// link rate given a per-tile rate — the paper's headline arithmetic
+// ("two processing elements ... filter a network link ... in excess
+// of 10 Gbps").
+func MinimumSPEsFor(linkGbps, perTileGbps float64) (int, error) {
+	if perTileGbps <= 0 {
+		return 0, fmt.Errorf("cell: non-positive tile throughput")
+	}
+	n := 1
+	for float64(n)*perTileGbps < linkGbps {
+		n++
+		if n > 1024 {
+			return 0, fmt.Errorf("cell: link rate %.2f Gbps unreachable", linkGbps)
+		}
+	}
+	return n, nil
+}

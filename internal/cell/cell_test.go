@@ -1,0 +1,139 @@
+package cell
+
+import (
+	"testing"
+
+	"cellmatch/internal/compose"
+)
+
+func mkSystem(t *testing.T, groups int) *compose.System {
+	t.Helper()
+	dict := [][]byte{[]byte("VIRUS"), []byte("WORM"), []byte("TROJAN")}
+	s, err := compose.NewSystem(dict, compose.Config{Groups: groups, CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBladeArithmetic(t *testing.T) {
+	if DefaultBlade().SPEs() != 8 || DualBlade().SPEs() != 16 {
+		t.Fatal("blade SPE counts")
+	}
+}
+
+func TestPlanAndEstimate(t *testing.T) {
+	sys := mkSystem(t, 2)
+	d, err := Plan(sys, DefaultBlade(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kernel.Version != 4 {
+		t.Fatalf("default version = %d", d.Kernel.Version)
+	}
+	est := d.Estimate(8 * 1024 * 1024)
+	if est.PerTileGbps < 4.4 || est.PerTileGbps > 6.2 {
+		t.Fatalf("per-tile = %.2f Gbps", est.PerTileGbps)
+	}
+	if est.Utilization < 0.98 {
+		t.Fatalf("utilization = %.3f", est.Utilization)
+	}
+	// Analytic = groups x replicas x per-tile; 2 groups fit one chip so
+	// replicas = 1 chip... DefaultBlade has 1 chip -> replicas 1.
+	want := 2 * est.PerTileGbps
+	if est.AnalyticGbps < want*0.99 || est.AnalyticGbps > want*1.01 {
+		t.Fatalf("analytic = %.2f, want %.2f", est.AnalyticGbps, want)
+	}
+	// Simulation with hidden transfers tracks the analytic number.
+	if est.SimulatedGbps < 0.93*est.AnalyticGbps {
+		t.Fatalf("simulated %.2f far below analytic %.2f", est.SimulatedGbps, est.AnalyticGbps)
+	}
+}
+
+// TestHeadline10Gbps is the paper's abstract claim: two SPEs filter a
+// 10 Gbps link.
+func TestHeadline10Gbps(t *testing.T) {
+	sys := mkSystem(t, 2)
+	d, err := Plan(sys, DefaultBlade(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, est := d.CanFilter(10.0, 16*1024*1024)
+	if !ok {
+		t.Fatalf("2 tiles deliver only %.2f Gbps, need 10", est.SimulatedGbps)
+	}
+	if est.TilesUsed != 2 {
+		t.Fatalf("tiles used = %d", est.TilesUsed)
+	}
+}
+
+func TestEightSPEsReach40Gbps(t *testing.T) {
+	sys := mkSystem(t, 8)
+	d, err := Plan(sys, DefaultBlade(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := d.Estimate(64 * 1024 * 1024)
+	// Paper Section 5: 5.11 x 8 = 40.88 Gbps.
+	if est.AnalyticGbps < 36 || est.AnalyticGbps > 50 {
+		t.Fatalf("8-tile analytic = %.2f Gbps, want ~40.9", est.AnalyticGbps)
+	}
+	if est.SimulatedGbps < 0.9*est.AnalyticGbps {
+		t.Fatalf("contention collapse: %.2f vs %.2f", est.SimulatedGbps, est.AnalyticGbps)
+	}
+}
+
+func TestDualBladeReplication(t *testing.T) {
+	sys := mkSystem(t, 8)
+	d, err := Plan(sys, DualBlade(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Replicas != 2 {
+		t.Fatalf("replicas = %d", d.Replicas)
+	}
+	est := d.Estimate(128 * 1024 * 1024)
+	// Paper: 81.76 Gbps on a dual-Cell blade.
+	if est.AnalyticGbps < 72 || est.AnalyticGbps > 100 {
+		t.Fatalf("dual blade analytic = %.2f Gbps, want ~81.8", est.AnalyticGbps)
+	}
+}
+
+func TestTopologyTooLarge(t *testing.T) {
+	sys := mkSystem(t, 9)
+	if _, err := Plan(sys, DefaultBlade(), 0); err == nil {
+		t.Fatal("9 groups on 8 SPEs accepted")
+	}
+}
+
+func TestScanThroughDeployment(t *testing.T) {
+	sys := mkSystem(t, 2)
+	d, err := Plan(sys, DefaultBlade(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := d.Scan([]byte("a virus and a worm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %v", ms)
+	}
+}
+
+func TestMinimumSPEsFor(t *testing.T) {
+	n, err := MinimumSPEsFor(10.0, 5.11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("SPEs for 10 Gbps = %d, paper says 2", n)
+	}
+	if _, err := MinimumSPEsFor(10, 0); err == nil {
+		t.Fatal("zero tile rate accepted")
+	}
+	n, err = MinimumSPEsFor(40, 5.11)
+	if err != nil || n != 8 {
+		t.Fatalf("SPEs for 40 Gbps = %d (%v)", n, err)
+	}
+}

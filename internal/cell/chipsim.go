@@ -1,0 +1,210 @@
+package cell
+
+import (
+	"fmt"
+
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/eib"
+	"cellmatch/internal/interleave"
+	"cellmatch/internal/mfc"
+	"cellmatch/internal/sim"
+	"cellmatch/internal/spu"
+	"cellmatch/internal/tile"
+)
+
+// ChipRun executes a parallel tile configuration end to end on one
+// simulated chip: every SPE runs the *actual generated kernel* over
+// its share of the input (16 interleaved streams per tile), while the
+// discrete-event engine schedules the double-buffered input DMA on
+// the shared bus. It unifies the functional half (real match counts
+// from the instruction-level SPU) with the timing half (cycle counts
+// placed on the DES clock), so throughput and correctness come from
+// one execution.
+type ChipRun struct {
+	// Matches is the total final-entry count across all SPEs.
+	Matches uint64
+	// PerSPE are the per-tile totals.
+	PerSPE []uint64
+	// Elapsed is the simulated makespan.
+	Elapsed sim.Time
+	// Bytes is the total input volume filtered.
+	Bytes int64
+	// ThroughputGbps is Bytes*8/Elapsed.
+	ThroughputGbps float64
+	// KernelCycles is the per-SPE simulated compute cycle total.
+	KernelCycles []int64
+	// Utilization is compute busy time over elapsed (SPE 0).
+	Utilization float64
+}
+
+// ChipConfig parameterizes RunChip.
+type ChipConfig struct {
+	// Version is the kernel implementation (default 4).
+	Version int
+	// SPEs is the parallel tile count (default 8).
+	SPEs int
+	// BlockBytes is the per-DMA input block (default 16 KB; must be a
+	// multiple of 16 x unroll).
+	BlockBytes int
+}
+
+// RunChip scans `streams16` (16 equal-length reduced streams per SPE;
+// len(streams16) must equal 16*SPEs) against the DFA on a simulated
+// chip. Stream lengths must be multiples of the kernel granularity.
+func RunChip(d *dfa.DFA, streams16 [][]byte, cfg ChipConfig) (*ChipRun, error) {
+	if cfg.Version == 0 {
+		cfg.Version = 4
+	}
+	if cfg.SPEs == 0 {
+		cfg.SPEs = 8
+	}
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 16 * 1024
+	}
+	if len(streams16) != 16*cfg.SPEs {
+		return nil, fmt.Errorf("cell: need %d streams, got %d", 16*cfg.SPEs, len(streams16))
+	}
+	// Build one tile per SPE (same dictionary) and interleave each
+	// SPE's 16 streams into its input image.
+	type speRun struct {
+		tl     *tile.Tile
+		input  []byte // interleaved
+		offset int
+		states []uint32 // carried across blocks
+		counts uint64
+		cycles int64
+		busy   sim.Time
+		m      *mfc.MFC
+		loaded [2]bool
+		comput bool
+		done   bool
+		doneAt sim.Time
+	}
+	eng := sim.New()
+	bus := eib.NewBus(eng, eib.Default())
+	spes := make([]*speRun, cfg.SPEs)
+	for s := 0; s < cfg.SPEs; s++ {
+		tl, err := tile.New(d, tile.Config{Version: cfg.Version})
+		if err != nil {
+			return nil, err
+		}
+		block, err := interleave.Interleave(streams16[s*16 : (s+1)*16])
+		if err != nil {
+			return nil, err
+		}
+		if len(block)%tl.BlockGranularity() != 0 {
+			return nil, fmt.Errorf("cell: SPE %d input %d bytes not kernel-aligned (%d)",
+				s, len(block), tl.BlockGranularity())
+		}
+		spes[s] = &speRun{tl: tl, input: block, m: mfc.New(eng, bus, s),
+			states: tl.StartStates()}
+	}
+	gran := spes[0].tl.BlockGranularity()
+	blockBytes := cfg.BlockBytes / gran * gran
+	if blockBytes == 0 {
+		return nil, fmt.Errorf("cell: block size below kernel granularity")
+	}
+
+	var pump func(r *speRun)
+	load := func(r *speRun, buf int, start int) {
+		n := len(r.input) - start
+		if n <= 0 {
+			return
+		}
+		if n > blockBytes {
+			n = blockBytes
+		}
+		// DMA sizes must be 16-byte multiples; kernel granularity
+		// guarantees it for full blocks, and tails are stream-aligned.
+		if err := r.m.Get(buf, uint32(buf*blockBytes), 0, int64(n)); err != nil {
+			panic(err)
+		}
+		r.m.WaitTagMask(mfc.TagMask(buf), func() {
+			r.loaded[buf] = true
+			pump(r)
+		})
+	}
+	pump = func(r *speRun) {
+		if r.comput || r.done {
+			return
+		}
+		buf := (r.offset / blockBytes) % 2
+		if !r.loaded[buf] {
+			return
+		}
+		n := len(r.input) - r.offset
+		if n > blockBytes {
+			n = blockBytes
+		}
+		if n <= 0 {
+			r.done = true
+			r.doneAt = eng.Now()
+			return
+		}
+		chunk := r.input[r.offset : r.offset+n]
+		r.offset += n
+		r.loaded[buf] = false
+		// Prefetch the block after next into this buffer.
+		if next := r.offset + blockBytes; next < len(r.input) {
+			load(r, buf, next)
+		} else if r.offset < len(r.input) && !r.loaded[1-buf] {
+			// Tail already covered by the other buffer's load.
+			_ = next
+		}
+		r.comput = true
+		// Execute the real kernel now (model: results available at
+		// compute completion; the instruction-level cycle count sets
+		// the duration). States carry from the previous block.
+		counts, newStates, prof, err := r.tl.MatchBlockSimCarry(chunk, r.states)
+		if err != nil {
+			panic(err)
+		}
+		r.states = newStates
+		var sum uint64
+		for _, c := range counts {
+			sum += c
+		}
+		dur := sim.CyclesToTime(prof.Cycles, spu.ClockHz)
+		start := eng.Now()
+		eng.After(dur, func() {
+			r.counts += sum
+			r.cycles += prof.Cycles
+			r.busy += eng.Now() - start
+			r.comput = false
+			if r.offset >= len(r.input) {
+				r.done = true
+				r.doneAt = eng.Now()
+				return
+			}
+			pump(r)
+		})
+	}
+	for _, r := range spes {
+		load(r, 0, 0)
+		if len(r.input) > blockBytes {
+			load(r, 1, blockBytes)
+		}
+	}
+	eng.Run()
+
+	out := &ChipRun{PerSPE: make([]uint64, cfg.SPEs), KernelCycles: make([]int64, cfg.SPEs)}
+	var last sim.Time
+	for s, r := range spes {
+		if !r.done {
+			return nil, fmt.Errorf("cell: SPE %d did not finish", s)
+		}
+		out.PerSPE[s] = r.counts
+		out.KernelCycles[s] = r.cycles
+		out.Matches += r.counts
+		out.Bytes += int64(len(r.input))
+		if r.doneAt > last {
+			last = r.doneAt
+		}
+	}
+	out.Elapsed = last
+	if last > 0 {
+		out.ThroughputGbps = float64(out.Bytes) * 8 / last.Seconds() / 1e9
+		out.Utilization = float64(spes[0].busy) / float64(spes[0].doneAt)
+	}
+	return out, nil
+}

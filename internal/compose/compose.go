@@ -1,0 +1,300 @@
+// Package compose implements Section 5 of the paper: combining DFA
+// tiles "in series" and "in parallel" to scale dictionary size and
+// throughput independently.
+//
+//   - Parallel (Figure 6a): identical tiles scan distinct input
+//     portions (with a small overlap so boundary-straddling matches
+//     are not lost); throughput multiplies by the group count.
+//   - Series (Figure 6b): tiles with distinct STTs scan the same
+//     input; dictionary capacity multiplies by the series depth.
+//   - Mixed (Figure 7): groups of series tiles over split input,
+//     multiplying both.
+//
+// The package also contains the dictionary partitioner that splits a
+// pattern set into tile-sized Aho-Corasick automata under the
+// Figure 3 state budgets.
+package compose
+
+import (
+	"fmt"
+	"sort"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/interleave"
+	"cellmatch/internal/localstore"
+)
+
+// Topology describes a series/parallel tile arrangement.
+type Topology struct {
+	// Groups is the parallel width: how many input portions.
+	Groups int
+	// SeriesDepth is how many distinct-STT tiles scan each portion.
+	SeriesDepth int
+}
+
+// Parallel returns a k-wide parallel topology (Figure 6a).
+func Parallel(k int) Topology { return Topology{Groups: k, SeriesDepth: 1} }
+
+// Series returns an m-deep series topology (Figure 6b).
+func Series(m int) Topology { return Topology{Groups: 1, SeriesDepth: m} }
+
+// Mixed returns the Figure 7 arrangement: g groups of m series tiles.
+func Mixed(g, m int) Topology { return Topology{Groups: g, SeriesDepth: m} }
+
+// TotalTiles is the SPE count the topology occupies.
+func (t Topology) TotalTiles() int { return t.Groups * t.SeriesDepth }
+
+// Validate checks the topology is non-degenerate and fits a machine
+// with the given number of processing elements (0 = unconstrained).
+func (t Topology) Validate(spes int) error {
+	if t.Groups < 1 || t.SeriesDepth < 1 {
+		return fmt.Errorf("compose: degenerate topology %+v", t)
+	}
+	if spes > 0 && t.TotalTiles() > spes {
+		return fmt.Errorf("compose: topology needs %d tiles, only %d SPEs", t.TotalTiles(), spes)
+	}
+	return nil
+}
+
+// ThroughputGbps aggregates per-tile throughput over the topology:
+// parallel groups multiply throughput; series tiles scan the same
+// data concurrently at the group's rate (Figure 7: 2 groups x 5.11 =
+// 10.22 Gbps regardless of depth).
+func (t Topology) ThroughputGbps(perTile float64) float64 {
+	return float64(t.Groups) * perTile
+}
+
+// Partition splits a dictionary into groups whose Aho-Corasick
+// automata each fit maxStates, preserving pattern order within
+// groups. It returns the per-group global pattern ids.
+func Partition(patterns [][]byte, red *alphabet.Reduction, maxStates int) ([][]int, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("compose: empty dictionary")
+	}
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	if maxStates < 2 {
+		return nil, fmt.Errorf("compose: maxStates %d too small", maxStates)
+	}
+	var groups [][]int
+	var cur []int
+	trie := newTrieCounter()
+	for id, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("compose: pattern %d empty", id)
+		}
+		if len(p)+1 > maxStates {
+			return nil, fmt.Errorf(
+				"compose: pattern %d needs %d states, budget is %d", id, len(p)+1, maxStates)
+		}
+		added := trie.wouldAdd(red.Reduce(p))
+		if trie.nodes+added > maxStates && len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+			trie = newTrieCounter()
+		}
+		trie.insert(red.Reduce(p))
+		cur = append(cur, id)
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups, nil
+}
+
+// trieCounter incrementally counts Aho-Corasick goto-trie nodes.
+type trieCounter struct {
+	children map[trieKey]int32
+	nodes    int
+	next     int32
+}
+
+type trieKey struct {
+	node int32
+	sym  byte
+}
+
+func newTrieCounter() *trieCounter {
+	return &trieCounter{children: map[trieKey]int32{}, nodes: 1, next: 1}
+}
+
+func (t *trieCounter) wouldAdd(p []byte) int {
+	cur := int32(0)
+	added := 0
+	for _, c := range p {
+		if added > 0 {
+			added++
+			continue
+		}
+		next, ok := t.children[trieKey{cur, c}]
+		if !ok {
+			added++
+			continue
+		}
+		cur = next
+	}
+	return added
+}
+
+func (t *trieCounter) insert(p []byte) {
+	cur := int32(0)
+	for _, c := range p {
+		k := trieKey{cur, c}
+		next, ok := t.children[k]
+		if !ok {
+			next = t.next
+			t.next++
+			t.nodes++
+			t.children[k] = next
+		}
+		cur = next
+	}
+}
+
+// System is a composed matcher: a topology plus the per-series-slot
+// automata, ready to scan raw input.
+type System struct {
+	Topology Topology
+	Red      *alphabet.Reduction
+	// Width is the STT row width in symbols: 32 in the paper's
+	// case-folded regime, wider when the dictionary distinguishes
+	// more byte classes (the tile state budget shrinks accordingly).
+	Width int
+	// Slots[i] is the automaton of series slot i (shared by every
+	// parallel group).
+	Slots []*dfa.DFA
+	// SlotPatterns[i] maps slot-local pattern ids to global ids.
+	SlotPatterns [][]int
+	// MaxPatternLen drives the split overlap.
+	MaxPatternLen int
+}
+
+// Config for building a system.
+type Config struct {
+	// MaxStatesPerTile is the Figure 3 budget (default 1520).
+	MaxStatesPerTile int
+	// Groups is the parallel width (default 1).
+	Groups int
+	// MaxSPEs bounds the total tiles (0 = unconstrained).
+	MaxSPEs int
+	// CaseFold uses the paper's case-insensitive reduction.
+	CaseFold bool
+}
+
+// NewSystem partitions the dictionary and erects the topology.
+func NewSystem(patterns [][]byte, cfg Config) (*System, error) {
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
+	}
+	// Prefer the paper's 32-symbol reduction; dictionaries that
+	// distinguish more byte classes get wider STT rows with a
+	// proportionally smaller per-tile state budget (Figure 3
+	// arithmetic at the wider stride).
+	red, err := alphabet.FromPatterns(patterns, cfg.CaseFold, 32)
+	if err != nil {
+		red, err = alphabet.FromPatterns(patterns, cfg.CaseFold, 256)
+		if err != nil {
+			return nil, err
+		}
+	}
+	width := 32
+	for width < red.Classes {
+		width *= 2
+	}
+	if cfg.MaxStatesPerTile == 0 {
+		plan, err := localstore.PlanTile(16*1024, uint32(width)*4)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MaxStatesPerTile = plan.MaxStates
+	}
+	groups, err := Partition(patterns, red, cfg.MaxStatesPerTile)
+	if err != nil {
+		return nil, err
+	}
+	topo := Mixed(cfg.Groups, len(groups))
+	if err := topo.Validate(cfg.MaxSPEs); err != nil {
+		return nil, err
+	}
+	s := &System{Topology: topo, Red: red, Width: width, SlotPatterns: groups}
+	for _, ids := range groups {
+		sub := make([][]byte, len(ids))
+		for i, id := range ids {
+			sub[i] = patterns[id]
+		}
+		d, err := dfa.FromPatterns(sub, red)
+		if err != nil {
+			return nil, err
+		}
+		if d.NumStates() > cfg.MaxStatesPerTile {
+			return nil, fmt.Errorf("compose: partition produced %d states, budget %d",
+				d.NumStates(), cfg.MaxStatesPerTile)
+		}
+		s.Slots = append(s.Slots, d)
+		if d.MaxPatternLen > s.MaxPatternLen {
+			s.MaxPatternLen = d.MaxPatternLen
+		}
+	}
+	return s, nil
+}
+
+// DictionaryStates is the aggregate state count across series slots.
+func (s *System) DictionaryStates() int {
+	total := 0
+	for _, d := range s.Slots {
+		total += d.NumStates()
+	}
+	return total
+}
+
+// Scan matches raw input against the whole dictionary, splitting it
+// across parallel groups with pattern-length overlap and de-duplicating
+// boundary matches. Matches are reported with global pattern ids and
+// global end offsets, sorted by (End, Pattern).
+func (s *System) Scan(input []byte) ([]dfa.Match, error) {
+	reduced := s.Red.Reduce(input)
+	overlap := 0
+	if s.MaxPatternLen > 0 {
+		overlap = s.MaxPatternLen - 1
+	}
+	chunks, err := interleave.SplitWithOverlap(len(reduced), s.Topology.Groups, overlap)
+	if err != nil {
+		return nil, err
+	}
+	var out []dfa.Match
+	for _, c := range chunks {
+		if c.Len() == 0 {
+			continue
+		}
+		piece := reduced[c.Start:c.End]
+		for slot, d := range s.Slots {
+			for _, m := range d.FindAll(piece) {
+				if m.End <= c.DedupeEnd() {
+					continue // duplicate of the previous chunk
+				}
+				out = append(out, dfa.Match{
+					Pattern: int32(s.SlotPatterns[slot][m.Pattern]),
+					End:     c.GlobalEnd(m.End),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out, nil
+}
+
+// CountMatches scans and returns only the match count.
+func (s *System) CountMatches(input []byte) (int, error) {
+	ms, err := s.Scan(input)
+	if err != nil {
+		return 0, err
+	}
+	return len(ms), nil
+}

@@ -1,0 +1,261 @@
+// Package core is the library facade over the paper's system: compile
+// a dictionary (exact strings or regular expressions) into DFA tiles,
+// scan data or streams, and predict Cell-deployment performance.
+//
+// The zero-configuration path:
+//
+//	m, err := core.Compile([][]byte{[]byte("virus")}, core.Options{CaseFold: true})
+//	matches := m.FindAll(data)
+//
+// matches every dictionary entry with the paper's alphabet-reduced,
+// pointer-encoded Aho-Corasick machinery; EstimateCell and Table1
+// expose the performance-model side.
+package core
+
+import (
+	"fmt"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/cell"
+	"cellmatch/internal/compose"
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/stt"
+	"cellmatch/internal/tile"
+)
+
+// Match is one dictionary hit: Pattern is the index into the compiled
+// dictionary; End is the byte offset just past the last matched byte.
+type Match struct {
+	Pattern int
+	End     int
+}
+
+// Options configure compilation.
+type Options struct {
+	// CaseFold matches case-insensitively (the paper's 32-symbol
+	// folding regime).
+	CaseFold bool
+	// Groups is the parallel width for scanning (tiles scanning
+	// distinct input portions). Default 1.
+	Groups int
+	// MaxStatesPerTile overrides the Figure 3 budget (default 1520,
+	// the 16 KB-buffer case).
+	MaxStatesPerTile int
+	// Version selects the kernel implementation for performance
+	// estimation (Table 1; default 4, the optimum).
+	Version int
+}
+
+// Matcher is a compiled dictionary.
+type Matcher struct {
+	sys      *compose.System
+	opts     Options
+	patterns [][]byte
+}
+
+// Compile builds a matcher from exact byte-string patterns.
+func Compile(patterns [][]byte, opts Options) (*Matcher, error) {
+	sys, err := compose.NewSystem(patterns, compose.Config{
+		MaxStatesPerTile: opts.MaxStatesPerTile,
+		Groups:           opts.Groups,
+		CaseFold:         opts.CaseFold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		cp[i] = append([]byte(nil), p...)
+	}
+	return &Matcher{sys: sys, opts: opts, patterns: cp}, nil
+}
+
+// CompileStrings is Compile for string dictionaries.
+func CompileStrings(patterns []string, opts Options) (*Matcher, error) {
+	bs := make([][]byte, len(patterns))
+	for i, s := range patterns {
+		if s == "" {
+			return nil, fmt.Errorf("core: pattern %d is empty", i)
+		}
+		bs[i] = []byte(s)
+	}
+	return Compile(bs, opts)
+}
+
+// FindAll reports every dictionary occurrence in data.
+func (m *Matcher) FindAll(data []byte) ([]Match, error) {
+	raw, err := m.sys.Scan(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(raw))
+	for i, r := range raw {
+		out[i] = Match{Pattern: int(r.Pattern), End: r.End}
+	}
+	return out, nil
+}
+
+// Count returns the number of occurrences in data.
+func (m *Matcher) Count(data []byte) (int, error) {
+	return m.sys.CountMatches(data)
+}
+
+// Contains reports whether any dictionary entry occurs in data — the
+// packet-discard decision of the paper's NIDS scenario.
+func (m *Matcher) Contains(data []byte) (bool, error) {
+	n, err := m.Count(data)
+	return n > 0, err
+}
+
+// Pattern returns dictionary entry i.
+func (m *Matcher) Pattern(i int) []byte { return m.patterns[i] }
+
+// NumPatterns returns the dictionary size.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// Stats describe the compiled artifact.
+type Stats struct {
+	Patterns      int
+	States        int // aggregate across series slots
+	SeriesDepth   int
+	Groups        int
+	TilesRequired int
+	STTBytes      int // aggregate encoded table size at width 32
+	AlphabetUsed  int
+	MaxPatternLen int
+}
+
+// Stats reports the compiled matcher's shape.
+func (m *Matcher) Stats() Stats {
+	s := Stats{
+		Patterns:      len(m.patterns),
+		States:        m.sys.DictionaryStates(),
+		SeriesDepth:   m.sys.Topology.SeriesDepth,
+		Groups:        m.sys.Topology.Groups,
+		TilesRequired: m.sys.Topology.TotalTiles(),
+		AlphabetUsed:  m.sys.Red.Classes,
+		MaxPatternLen: m.sys.MaxPatternLen,
+	}
+	for _, d := range m.sys.Slots {
+		if t, err := stt.Encode(d, m.sys.Width, 0); err == nil {
+			s.STTBytes += t.SizeBytes()
+		}
+	}
+	return s
+}
+
+// System exposes the underlying composed system for advanced use.
+func (m *Matcher) System() *compose.System { return m.sys }
+
+// EstimateCell plans the matcher onto a blade and predicts filtering
+// throughput for the given traffic volume.
+func (m *Matcher) EstimateCell(blade cell.Blade, inputBytes int64) (cell.Estimate, error) {
+	d, err := cell.Plan(m.sys, blade, m.opts.Version)
+	if err != nil {
+		return cell.Estimate{}, err
+	}
+	return d.Estimate(inputBytes), nil
+}
+
+// Table1 regenerates the paper's Table 1 on this matcher's largest
+// series slot.
+func (m *Matcher) Table1() ([]tile.Table1Row, error) {
+	var biggest *dfa.DFA
+	for _, d := range m.sys.Slots {
+		if biggest == nil || d.NumStates() > biggest.NumStates() {
+			biggest = d
+		}
+	}
+	return tile.MeasureTable1(biggest, 16*1024, 1)
+}
+
+// CompileRegexSet builds a single-automaton matcher from regular
+// expressions (the paper's Section 1 notes dictionaries "expressed as
+// a set of regular expressions" compile into one DFA). Matches are
+// reported per-expression via acceptance of any; position reporting
+// requires exact-string dictionaries.
+type RegexSet struct {
+	dfas []*dfa.DFA
+	red  *alphabet.Reduction
+}
+
+// CompileRegexes compiles each expression over the shared reduction.
+func CompileRegexes(exprs []string, caseFold bool) (*RegexSet, error) {
+	if len(exprs) == 0 {
+		return nil, fmt.Errorf("core: no expressions")
+	}
+	var red *alphabet.Reduction
+	if caseFold {
+		red = alphabet.CaseFold32()
+	} else {
+		red = alphabet.Identity()
+	}
+	rs := &RegexSet{red: red}
+	for i, e := range exprs {
+		d, err := dfa.CompileRegex(e, red)
+		if err != nil {
+			return nil, fmt.Errorf("core: expression %d: %w", i, err)
+		}
+		rs.dfas = append(rs.dfas, d)
+	}
+	return rs, nil
+}
+
+// MatchWhole reports which expressions accept the entire input.
+func (r *RegexSet) MatchWhole(data []byte) []int {
+	reduced := r.red.Reduce(data)
+	var out []int
+	for i, d := range r.dfas {
+		if d.Accept[d.Run(d.Start, reduced)] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Stream is an incremental scanner: feed data in arbitrary chunk
+// sizes; matches carry global offsets. A Stream holds one cursor per
+// series slot, so memory is O(dictionary), not O(input).
+type Stream struct {
+	m      *Matcher
+	states []int // per-slot DFA state
+	offset int
+	found  []Match
+}
+
+// NewStream starts an incremental scan.
+func (m *Matcher) NewStream() *Stream {
+	st := &Stream{m: m, states: make([]int, len(m.sys.Slots))}
+	for i, d := range m.sys.Slots {
+		st.states[i] = d.Start
+	}
+	return st
+}
+
+// Write consumes the next chunk. It never fails; the error is for
+// io.Writer compatibility.
+func (s *Stream) Write(p []byte) (int, error) {
+	reduced := s.m.sys.Red.Reduce(p)
+	for i, d := range s.m.sys.Slots {
+		state := s.states[i]
+		for pos, c := range reduced {
+			state = d.Step(state, c)
+			for _, pid := range d.Out[state] {
+				s.found = append(s.found, Match{
+					Pattern: s.m.sys.SlotPatterns[i][pid],
+					End:     s.offset + pos + 1,
+				})
+			}
+		}
+		s.states[i] = state
+	}
+	s.offset += len(p)
+	return len(p), nil
+}
+
+// Matches returns the hits so far, in feed order per slot. Call after
+// the final Write.
+func (s *Stream) Matches() []Match { return s.found }
+
+// BytesSeen reports the total volume consumed.
+func (s *Stream) BytesSeen() int { return s.offset }

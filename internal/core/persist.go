@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/compose"
+	"cellmatch/internal/dfa"
+)
+
+// Matcher persistence: compile once, ship the artifact. The format
+// stores the alphabet reduction, the partitioned automata with their
+// pattern-id maps, and the original dictionary, so a loaded matcher is
+// bit-for-bit equivalent to the compiled one without re-running
+// Aho-Corasick construction.
+//
+// Layout (little-endian):
+//
+//	magic "CMSAV1\x00"
+//	options: caseFold u8, groups u32, maxStatesPerTile u32, version u32
+//	reduction: map[256]u8, classes u32, width u32
+//	system width u32, maxPatternLen u32
+//	patterns: count u32; each: len u32, bytes
+//	slots: count u32; each: blobLen u32, dfa blob,
+//	       idCount u32, ids u32...
+var savMagic = []byte("CMSAV1\x00")
+
+// Save writes the compiled matcher.
+func (m *Matcher) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(savMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	put32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	cf := byte(0)
+	if m.opts.CaseFold {
+		cf = 1
+	}
+	if err := bw.WriteByte(cf); err != nil {
+		return err
+	}
+	for _, v := range []uint32{
+		uint32(m.opts.Groups), uint32(m.opts.MaxStatesPerTile), uint32(m.opts.Version),
+	} {
+		if err := put32(v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(m.sys.Red.Map[:]); err != nil {
+		return err
+	}
+	for _, v := range []uint32{
+		uint32(m.sys.Red.Classes), uint32(m.sys.Red.Width),
+		uint32(m.sys.Width), uint32(m.sys.MaxPatternLen),
+	} {
+		if err := put32(v); err != nil {
+			return err
+		}
+	}
+	if err := put32(uint32(len(m.patterns))); err != nil {
+		return err
+	}
+	for _, p := range m.patterns {
+		if err := put32(uint32(len(p))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(p); err != nil {
+			return err
+		}
+	}
+	if err := put32(uint32(len(m.sys.Slots))); err != nil {
+		return err
+	}
+	for i, d := range m.sys.Slots {
+		blob, err := d.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := put32(uint32(len(blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+		ids := m.sys.SlotPatterns[i]
+		if err := put32(uint32(len(ids))); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			if err := put32(uint32(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs a matcher written by Save.
+func Load(r io.Reader) (*Matcher, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	magic := make([]byte, len(savMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || !bytes.Equal(magic, savMagic) {
+		return nil, fmt.Errorf("core: not a cellmatch artifact")
+	}
+	get32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	cf, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var opts Options
+	opts.CaseFold = cf == 1
+	var g, mst, ver uint32
+	for _, p := range []*uint32{&g, &mst, &ver} {
+		if *p, err = get32(); err != nil {
+			return nil, err
+		}
+	}
+	opts.Groups, opts.MaxStatesPerTile, opts.Version = int(g), int(mst), int(ver)
+
+	red := &alphabet.Reduction{}
+	if _, err := io.ReadFull(br, red.Map[:]); err != nil {
+		return nil, err
+	}
+	var classes, rwidth, width, maxLen uint32
+	for _, p := range []*uint32{&classes, &rwidth, &width, &maxLen} {
+		if *p, err = get32(); err != nil {
+			return nil, err
+		}
+	}
+	red.Classes, red.Width = int(classes), int(rwidth)
+	if err := red.Validate(); err != nil {
+		return nil, err
+	}
+
+	np, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	const maxPatterns = 1 << 22
+	if np == 0 || np > maxPatterns {
+		return nil, fmt.Errorf("core: implausible pattern count %d", np)
+	}
+	patterns := make([][]byte, np)
+	for i := range patterns {
+		l, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 || l > 1<<20 {
+			return nil, fmt.Errorf("core: implausible pattern length %d", l)
+		}
+		patterns[i] = make([]byte, l)
+		if _, err := io.ReadFull(br, patterns[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	ns, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if ns == 0 || ns > 1<<16 {
+		return nil, fmt.Errorf("core: implausible slot count %d", ns)
+	}
+	sys := &compose.System{
+		Red:           red,
+		Width:         int(width),
+		MaxPatternLen: int(maxLen),
+	}
+	seen := make([]bool, np)
+	for i := 0; i < int(ns); i++ {
+		bl, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if bl == 0 || bl > 1<<30 {
+			return nil, fmt.Errorf("core: implausible slot blob %d", bl)
+		}
+		blob := make([]byte, bl)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, err
+		}
+		var d dfa.DFA
+		if err := d.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		if d.Out == nil {
+			return nil, fmt.Errorf("core: slot %d lacks output sets", i)
+		}
+		sys.Slots = append(sys.Slots, &d)
+		ni, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if ni > np {
+			return nil, fmt.Errorf("core: slot %d claims %d patterns", i, ni)
+		}
+		ids := make([]int, ni)
+		for j := range ids {
+			id, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			if id >= np || seen[id] {
+				return nil, fmt.Errorf("core: bad pattern id %d in slot %d", id, i)
+			}
+			seen[id] = true
+			ids[j] = int(id)
+		}
+		sys.SlotPatterns = append(sys.SlotPatterns, ids)
+	}
+	for id, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("core: pattern %d not assigned to any slot", id)
+		}
+	}
+	groups := opts.Groups
+	if groups == 0 {
+		groups = 1
+	}
+	sys.Topology = compose.Mixed(groups, len(sys.Slots))
+	return &Matcher{sys: sys, opts: opts, patterns: patterns}, nil
+}

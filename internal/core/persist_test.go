@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cellmatch/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	m, err := Compile(dict, Options{CaseFold: true, Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: dict, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("loaded matcher differs: %d vs %d matches", len(got), len(want))
+	}
+	// Stats survive too.
+	if back.Stats() != m.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", back.Stats(), m.Stats())
+	}
+	if back.NumPatterns() != m.NumPatterns() {
+		t.Fatal("pattern count differs")
+	}
+}
+
+func TestSaveLoadMultiSlot(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 3500, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(pats, Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SeriesDepth < 2 {
+		t.Fatalf("expected multiple slots, got %d", m.Stats().SeriesDepth)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe with a pattern from the last slot.
+	probe := append([]byte("zz"), pats[len(pats)-1]...)
+	a, _ := m.Count(probe)
+	b, _ := back.Count(probe)
+	if a != b || a < 1 {
+		t.Fatalf("counts differ after load: %d vs %d", a, b)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("not an artifact at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncations at every prefix length of a valid artifact must fail
+	// cleanly (never panic, never accept).
+	m, err := CompileStrings([]string{"abc", "def"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		cut := rng.Intn(len(blob))
+		if _, err := Load(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadRejectsBitFlips(t *testing.T) {
+	m, err := CompileStrings([]string{"abc"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	rng := rand.New(rand.NewSource(21))
+	rejected := 0
+	for trial := 0; trial < 200; trial++ {
+		corrupt := append([]byte(nil), blob...)
+		corrupt[rng.Intn(len(corrupt))] ^= byte(1 + rng.Intn(255))
+		back, err := Load(bytes.NewReader(corrupt))
+		if err != nil {
+			rejected++
+			continue
+		}
+		// A flip that survives validation must still yield a usable
+		// matcher (no panics on use).
+		if _, err := back.Count([]byte("xxabcxx")); err != nil {
+			continue
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no corruption was ever rejected")
+	}
+}

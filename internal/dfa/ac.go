@@ -1,0 +1,179 @@
+package dfa
+
+import (
+	"fmt"
+	"sort"
+
+	"cellmatch/internal/alphabet"
+)
+
+// acNode is one trie node during Aho-Corasick construction.
+type acNode struct {
+	children map[byte]int32
+	fail     int32
+	out      []int32
+	depth    int
+}
+
+// FromPatterns builds the Aho-Corasick DFA for a dictionary, the
+// paper's Section 3 construction: a goto trie, BFS failure links, and
+// a dense next-move table so every transition is a single indexed load.
+//
+// Patterns are reduced through red before insertion; the DFA therefore
+// runs over reduced input (apply red to the stream before scanning, as
+// the paper's PPE-side data reduction does). Pattern IDs are indices
+// into the patterns slice.
+func FromPatterns(patterns [][]byte, red *alphabet.Reduction) (*DFA, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("dfa: empty dictionary")
+	}
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	if err := red.Validate(); err != nil {
+		return nil, err
+	}
+	maxLen := 0
+	nodes := []*acNode{{children: map[byte]int32{}}}
+	for id, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("dfa: pattern %d is empty", id)
+		}
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+		cur := int32(0)
+		for _, raw := range p {
+			c := red.Map[raw]
+			next, ok := nodes[cur].children[c]
+			if !ok {
+				next = int32(len(nodes))
+				nodes = append(nodes, &acNode{
+					children: map[byte]int32{},
+					depth:    nodes[cur].depth + 1,
+				})
+				nodes[cur].children[c] = next
+			}
+			cur = next
+		}
+		nodes[cur].out = append(nodes[cur].out, int32(id))
+	}
+
+	// BFS failure links; out sets inherit along failure chains.
+	queue := make([]int32, 0, len(nodes))
+	for _, child := range sortedChildren(nodes[0]) {
+		nodes[child].fail = 0
+		queue = append(queue, child)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, c := range sortedSymbols(nodes[u]) {
+			v := nodes[u].children[c]
+			f := nodes[u].fail
+			for {
+				if next, ok := nodes[f].children[c]; ok && next != v {
+					nodes[v].fail = next
+					break
+				}
+				if f == 0 {
+					nodes[v].fail = 0
+					break
+				}
+				f = nodes[f].fail
+			}
+			nodes[v].out = append(nodes[v].out, nodes[nodes[v].fail].out...)
+			queue = append(queue, v)
+		}
+	}
+
+	// Dense delta: delta[s][c] = goto(s,c) if defined else delta[fail(s)][c].
+	syms := red.Classes
+	n := len(nodes)
+	d := &DFA{
+		Syms:          syms,
+		Start:         0,
+		Next:          make([]int32, n*syms),
+		Accept:        make([]bool, n),
+		Out:           make([][]int32, n),
+		MaxPatternLen: maxLen,
+	}
+	// Process in BFS order so parents are resolved first.
+	order := append([]int32{0}, queue...)
+	for _, s := range order {
+		node := nodes[s]
+		for c := 0; c < syms; c++ {
+			if next, ok := node.children[byte(c)]; ok {
+				d.Next[int(s)*syms+c] = next
+			} else if s == 0 {
+				d.Next[c] = 0
+			} else {
+				d.Next[int(s)*syms+c] = d.Next[int(node.fail)*syms+c]
+			}
+		}
+		d.Accept[s] = len(node.out) > 0
+		if len(node.out) > 0 {
+			out := append([]int32(nil), node.out...)
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			d.Out[s] = dedupe(out)
+		}
+	}
+	return d, nil
+}
+
+func dedupe(sorted []int32) []int32 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortedChildren(n *acNode) []int32 {
+	syms := sortedSymbols(n)
+	out := make([]int32, len(syms))
+	for i, c := range syms {
+		out[i] = n.children[c]
+	}
+	return out
+}
+
+func sortedSymbols(n *acNode) []byte {
+	out := make([]byte, 0, len(n.children))
+	for c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TrieStates returns the number of Aho-Corasick states a dictionary
+// needs without building the full DFA table — the quantity the tile
+// partitioner budgets against (Figure 3 limits).
+func TrieStates(patterns [][]byte, red *alphabet.Reduction) int {
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	type key struct {
+		node int32
+		sym  byte
+	}
+	edges := map[key]int32{}
+	n := int32(1)
+	for _, p := range patterns {
+		cur := int32(0)
+		for _, raw := range p {
+			c := red.Map[raw]
+			k := key{cur, c}
+			next, ok := edges[k]
+			if !ok {
+				next = n
+				n++
+				edges[k] = next
+			}
+			cur = next
+		}
+	}
+	return int(n)
+}

@@ -1,0 +1,289 @@
+package dfa
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+)
+
+// naiveFindAll is the oracle: positions where a (reduced) pattern ends
+// in the (reduced) text.
+func naiveFindAll(patterns [][]byte, text []byte, red *alphabet.Reduction) []Match {
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	rt := red.Reduce(text)
+	var out []Match
+	for id, p := range patterns {
+		rp := red.Reduce(p)
+		for end := len(rp); end <= len(rt); end++ {
+			if bytes.Equal(rt[end-len(rp):end], rp) {
+				out = append(out, Match{Pattern: int32(id), End: end})
+			}
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].End != ms[j].End {
+			return ms[i].End < ms[j].End
+		}
+		return ms[i].Pattern < ms[j].Pattern
+	})
+}
+
+// naiveFinalEntries counts positions where at least one pattern ends.
+func naiveFinalEntries(patterns [][]byte, text []byte, red *alphabet.Reduction) int {
+	ms := naiveFindAll(patterns, text, red)
+	seen := map[int]bool{}
+	for _, m := range ms {
+		seen[m.End] = true
+	}
+	return len(seen)
+}
+
+func pats(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestACBasic(t *testing.T) {
+	d, err := FromPatterns(pats("HE", "SHE", "HIS", "HERS"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("USHERS")
+	got := d.FindAll(text)
+	sortMatches(got)
+	want := naiveFindAll(pats("HE", "SHE", "HIS", "HERS"), text, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Classic: USHERS contains SHE (end 4), HE (end 4), HERS (end 6).
+	if len(got) != 3 {
+		t.Fatalf("expected 3 matches, got %v", got)
+	}
+}
+
+func TestACCountFinalEntries(t *testing.T) {
+	p := pats("AB", "BC")
+	d, err := FromPatterns(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("ABCABC")
+	// Ends: AB at 2, BC at 3, AB at 5, BC at 6 -> 4 distinct positions.
+	if got := d.CountFinalEntries(text); got != naiveFinalEntries(p, text, nil) {
+		t.Fatalf("count = %d, oracle = %d", got, naiveFinalEntries(p, text, nil))
+	}
+}
+
+func TestACOverlappingPatterns(t *testing.T) {
+	p := pats("AA", "AAA")
+	d, err := FromPatterns(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("AAAA")
+	got := d.FindAll(text)
+	sortMatches(got)
+	want := naiveFindAll(p, text, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestACSubstringPattern(t *testing.T) {
+	// One pattern inside another: failure-chain output merging.
+	p := pats("ABCDE", "BCD", "C")
+	d, err := FromPatterns(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("XABCDEX")
+	got := d.FindAll(text)
+	sortMatches(got)
+	want := naiveFindAll(p, text, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestACDuplicatePatterns(t *testing.T) {
+	p := pats("DUP", "DUP")
+	d, err := FromPatterns(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.FindAll([]byte("XDUPX"))
+	if len(got) != 2 {
+		t.Fatalf("duplicate patterns should both report: %v", got)
+	}
+}
+
+func TestACWithReduction(t *testing.T) {
+	red := alphabet.CaseFold32()
+	p := pats("VIRUS")
+	d, err := FromPatterns(p, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan must be over reduced text; case differences vanish.
+	text := red.Reduce([]byte("a virus! And A VIRUS too"))
+	if got := d.CountFinalEntries(text); got != 2 {
+		t.Fatalf("case-folded count = %d, want 2", got)
+	}
+}
+
+func TestACEmptyInputs(t *testing.T) {
+	if _, err := FromPatterns(nil, nil); err == nil {
+		t.Fatal("empty dictionary accepted")
+	}
+	if _, err := FromPatterns(pats("A", ""), nil); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}
+
+func TestACMaxPatternLen(t *testing.T) {
+	d, err := FromPatterns(pats("AB", "ABCDEF", "XY"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxPatternLen != 6 {
+		t.Fatalf("MaxPatternLen = %d", d.MaxPatternLen)
+	}
+}
+
+func TestACStateCountIsTrieSize(t *testing.T) {
+	p := pats("HE", "SHE", "HIS", "HERS")
+	d, err := FromPatterns(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trie: root,H,HE,S,SH,SHE,HI,HIS,HER,HERS = 10 nodes.
+	if d.NumStates() != 10 {
+		t.Fatalf("states = %d, want 10", d.NumStates())
+	}
+	if TrieStates(p, nil) != 10 {
+		t.Fatalf("TrieStates = %d", TrieStates(p, nil))
+	}
+}
+
+func TestTrieStatesSharedPrefix(t *testing.T) {
+	if n := TrieStates(pats("ABC", "ABD"), nil); n != 5 {
+		t.Fatalf("shared-prefix trie = %d, want 5", n)
+	}
+}
+
+func TestACStartNotAccepting(t *testing.T) {
+	d, err := FromPatterns(pats("A"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accept[d.Start] {
+		t.Fatal("start state accepting with nonempty patterns")
+	}
+}
+
+// Differential property test: random small dictionaries over a tiny
+// alphabet (to force overlaps and failure transitions) against the
+// naive oracle, both for FindAll and CountFinalEntries.
+func TestACRandomizedVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	letters := []byte("AB")
+	for trial := 0; trial < 300; trial++ {
+		np := 1 + rng.Intn(5)
+		dict := make([][]byte, np)
+		for i := range dict {
+			l := 1 + rng.Intn(5)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = letters[rng.Intn(len(letters))]
+			}
+			dict[i] = p
+		}
+		text := make([]byte, rng.Intn(60))
+		for j := range text {
+			text[j] = letters[rng.Intn(len(letters))]
+		}
+		d, err := FromPatterns(dict, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := d.FindAll(text)
+		sortMatches(got)
+		want := naiveFindAll(dict, text, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: dict %q text %q:\ngot  %v\nwant %v",
+				trial, dict, text, got, want)
+		}
+		if c := d.CountFinalEntries(text); c != naiveFinalEntries(dict, text, nil) {
+			t.Fatalf("trial %d: count %d vs oracle %d", trial, c,
+				naiveFinalEntries(dict, text, nil))
+		}
+	}
+}
+
+// Larger randomized trial over the paper's 32-symbol reduced alphabet.
+func TestACRandomizedReducedAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	red := alphabet.CaseFold32()
+	for trial := 0; trial < 50; trial++ {
+		np := 1 + rng.Intn(8)
+		dict := make([][]byte, np)
+		for i := range dict {
+			l := 2 + rng.Intn(6)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = byte('A' + rng.Intn(26))
+			}
+			dict[i] = p
+		}
+		text := make([]byte, 200)
+		for j := range text {
+			text[j] = byte('A' + rng.Intn(26))
+		}
+		d, err := FromPatterns(dict, red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := red.Reduce(text)
+		got := d.FindAll(rt)
+		sortMatches(got)
+		want := naiveFindAll(dict, text, red)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d mismatch: dict %q", trial, dict)
+		}
+	}
+}
+
+func TestACDenseTableClosure(t *testing.T) {
+	// Every state must have a transition for every symbol (the dense
+	// next-move property the STT encoding depends on).
+	d, err := FromPatterns(pats("ABC", "BCA"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumStates()
+	for s := 0; s < n; s++ {
+		for c := 0; c < d.Syms; c++ {
+			nx := d.Step(s, byte(c))
+			if nx < 0 || nx >= n {
+				t.Fatalf("state %d sym %d -> %d out of range", s, c, nx)
+			}
+		}
+	}
+}

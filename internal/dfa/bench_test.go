@@ -1,0 +1,104 @@
+package dfa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+)
+
+func benchDict(states int) [][]byte {
+	rng := rand.New(rand.NewSource(5))
+	var pats [][]byte
+	for n := 1; n < states; n += 25 {
+		p := make([]byte, 25)
+		seed := len(pats)
+		p[0] = byte('A' + seed%26)
+		p[1] = byte('A' + (seed/26)%26)
+		for j := 2; j < 25; j++ {
+			p[j] = byte('A' + rng.Intn(26))
+		}
+		pats = append(pats, p)
+	}
+	return pats
+}
+
+// BenchmarkACConstruction measures dictionary compile time at the
+// Figure 3 tile sizes.
+func BenchmarkACConstruction(b *testing.B) {
+	red := alphabet.CaseFold32()
+	for _, states := range []int{760, 1520, 6080} {
+		pats := benchDict(states)
+		b.Run(fmt.Sprintf("states%d", states), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FromPatterns(pats, red); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDFAScan is the raw index-table scan rate.
+func BenchmarkDFAScan(b *testing.B) {
+	red := alphabet.CaseFold32()
+	d, err := FromPatterns(benchDict(1520), red)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := make([]byte, 1<<20)
+	rng := rand.New(rand.NewSource(7))
+	for i := range input {
+		input[i] = byte(rng.Intn(d.Syms))
+	}
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.CountFinalEntries(input)
+	}
+}
+
+// BenchmarkRegexCompile measures the regex->minimized-DFA pipeline.
+func BenchmarkRegexCompile(b *testing.B) {
+	red := alphabet.CaseFold32()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileRegex("(virus|worm|trojan)[0-9]{1,3}", red); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinimize measures Hopcroft on a mid-size automaton.
+func BenchmarkMinimize(b *testing.B) {
+	red := alphabet.CaseFold32()
+	d, err := FromPatterns(benchDict(760), red)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(d)
+	}
+}
+
+// BenchmarkSerialize measures artifact marshal/unmarshal.
+func BenchmarkSerialize(b *testing.B) {
+	red := alphabet.CaseFold32()
+	d, err := FromPatterns(benchDict(1520), red)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var back DFA
+		if err := back.UnmarshalBinary(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package dfa implements the automata underlying the paper's string
+// acceptors: deterministic finite automata over a reduced symbol
+// alphabet, built either from dictionaries via Aho-Corasick (the
+// paper's primary use case, Section 3) or from regular expressions via
+// Thompson construction, subset construction and Hopcroft minimization
+// (the paper cites Chang & Paige for the regex-to-DFA path).
+//
+// A DFA here is the quintuple (Sigma, S, s0, delta, F) of Section 3:
+// Sigma is the reduced symbol set 0..Syms-1, delta is a dense table
+// (one row per state, one column per symbol), and F is the accept set.
+// The "enter a final state" event is the paper's match signal; Out
+// optionally carries the dictionary pattern IDs recognized at each
+// final state for reporting modes richer than the paper's 1-bit flag.
+package dfa
+
+import (
+	"fmt"
+)
+
+// DFA is a deterministic finite automaton over symbols 0..Syms-1.
+type DFA struct {
+	// Syms is the alphabet size (the reduced symbol count).
+	Syms int
+	// Start is the initial state s0.
+	Start int
+	// Next holds the dense transition table: Next[s*Syms+c] is the
+	// successor of state s on symbol c.
+	Next []int32
+	// Accept flags the final states F.
+	Accept []bool
+	// Out optionally lists the pattern IDs recognized when entering
+	// each state (used by Aho-Corasick reporting). May be nil.
+	Out [][]int32
+	// MaxPatternLen is the longest dictionary entry, needed by stream
+	// splitting to size boundary overlaps. Zero when unknown.
+	MaxPatternLen int
+}
+
+// NumStates returns |S|.
+func (d *DFA) NumStates() int {
+	if d.Syms == 0 {
+		return 0
+	}
+	return len(d.Next) / d.Syms
+}
+
+// Step performs one transition.
+func (d *DFA) Step(s int, sym byte) int {
+	return int(d.Next[s*d.Syms+int(sym)])
+}
+
+// Validate checks structural invariants: table shape, transition
+// targets in range, start state in range, accept/out lengths.
+func (d *DFA) Validate() error {
+	if d.Syms <= 0 || d.Syms > 256 {
+		return fmt.Errorf("dfa: alphabet size %d out of range", d.Syms)
+	}
+	if len(d.Next)%d.Syms != 0 {
+		return fmt.Errorf("dfa: table length %d not a multiple of %d", len(d.Next), d.Syms)
+	}
+	n := d.NumStates()
+	if n == 0 {
+		return fmt.Errorf("dfa: no states")
+	}
+	if d.Start < 0 || d.Start >= n {
+		return fmt.Errorf("dfa: start state %d out of range", d.Start)
+	}
+	if len(d.Accept) != n {
+		return fmt.Errorf("dfa: accept length %d != states %d", len(d.Accept), n)
+	}
+	if d.Out != nil && len(d.Out) != n {
+		return fmt.Errorf("dfa: out length %d != states %d", len(d.Out), n)
+	}
+	for i, t := range d.Next {
+		if int(t) < 0 || int(t) >= n {
+			return fmt.Errorf("dfa: transition %d -> %d out of range", i, t)
+		}
+	}
+	return nil
+}
+
+// Run consumes reduced input from state s and returns the final state.
+func (d *DFA) Run(s int, input []byte) int {
+	for _, c := range input {
+		s = d.Step(s, c)
+	}
+	return s
+}
+
+// Accepts reports whether the DFA accepts exactly the given input
+// (classic acceptor semantics from the start state).
+func (d *DFA) Accepts(input []byte) bool {
+	return d.Accept[d.Run(d.Start, input)]
+}
+
+// CountFinalEntries scans input from the start state and counts how
+// many transitions enter a final state. This is precisely what the
+// paper's SPE kernels compute ("counts the number of occurrences of
+// dictionary entries in the given block", Section 4).
+func (d *DFA) CountFinalEntries(input []byte) int {
+	count := 0
+	s := d.Start
+	for _, c := range input {
+		s = d.Step(s, c)
+		if d.Accept[s] {
+			count++
+		}
+	}
+	return count
+}
+
+// Match is one reported dictionary hit: pattern Pattern ends at byte
+// offset End-1 of the scanned input.
+type Match struct {
+	Pattern int32
+	End     int
+}
+
+// FindAll scans input and reports every (pattern, end) pair using the
+// Out sets. It requires Out to be populated (Aho-Corasick DFAs).
+func (d *DFA) FindAll(input []byte) []Match {
+	if d.Out == nil {
+		panic("dfa: FindAll on a DFA without output sets")
+	}
+	var out []Match
+	s := d.Start
+	for i, c := range input {
+		s = d.Step(s, c)
+		for _, p := range d.Out[s] {
+			out = append(out, Match{Pattern: p, End: i + 1})
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of states reachable from Start, used by
+// tests and by the partitioner.
+func (d *DFA) Reachable() []bool {
+	n := d.NumStates()
+	seen := make([]bool, n)
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := 0; c < d.Syms; c++ {
+			t := int(d.Next[s*d.Syms+c])
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// Clone returns a deep copy.
+func (d *DFA) Clone() *DFA {
+	c := &DFA{
+		Syms:          d.Syms,
+		Start:         d.Start,
+		Next:          append([]int32(nil), d.Next...),
+		Accept:        append([]bool(nil), d.Accept...),
+		MaxPatternLen: d.MaxPatternLen,
+	}
+	if d.Out != nil {
+		c.Out = make([][]int32, len(d.Out))
+		for i, o := range d.Out {
+			c.Out[i] = append([]int32(nil), o...)
+		}
+	}
+	return c
+}
+
+// Equivalent reports whether two DFAs accept the same language, by a
+// product-construction reachability walk. Used by minimization tests.
+func Equivalent(a, b *DFA) bool {
+	if a.Syms != b.Syms {
+		return false
+	}
+	type pair struct{ x, y int32 }
+	seen := map[pair]bool{}
+	stack := []pair{{int32(a.Start), int32(b.Start)}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.Accept[p.x] != b.Accept[p.y] {
+			return false
+		}
+		for c := 0; c < a.Syms; c++ {
+			q := pair{a.Next[int(p.x)*a.Syms+c], b.Next[int(p.y)*b.Syms+c]}
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package dfa
+
+import (
+	"sort"
+)
+
+// Minimize returns the Hopcroft-minimized equivalent of d. States are
+// first restricted to those reachable from the start state. When d
+// carries Out sets, states with different output sets are kept in
+// different classes so reporting semantics survive minimization.
+func Minimize(d *DFA) *DFA {
+	n := d.NumStates()
+	syms := d.Syms
+
+	// Restrict to reachable states.
+	reach := d.Reachable()
+	remap := make([]int32, n)
+	var states []int32
+	for s := 0; s < n; s++ {
+		if reach[s] {
+			remap[s] = int32(len(states))
+			states = append(states, int32(s))
+		} else {
+			remap[s] = -1
+		}
+	}
+	m := len(states)
+
+	// Initial partition: group by (accept, out-set signature).
+	sig := make(map[string][]int32)
+	for i, orig := range states {
+		key := sigKey(d, int(orig))
+		sig[key] = append(sig[key], int32(i))
+	}
+	// block[i] = partition index of compact state i.
+	block := make([]int32, m)
+	var blocks [][]int32
+	keys := make([]string, 0, len(sig))
+	for k := range sig {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		id := int32(len(blocks))
+		for _, s := range sig[k] {
+			block[s] = id
+		}
+		blocks = append(blocks, sig[k])
+	}
+
+	// Compact transition table and inverse edges.
+	next := make([]int32, m*syms)
+	for i, orig := range states {
+		for c := 0; c < syms; c++ {
+			next[i*syms+c] = remap[d.Next[int(orig)*syms+c]]
+		}
+	}
+	inv := make([][]int32, m*syms) // inv[t*syms+c] = sources
+	for s := 0; s < m; s++ {
+		for c := 0; c < syms; c++ {
+			t := next[s*syms+c]
+			inv[int(t)*syms+c] = append(inv[int(t)*syms+c], int32(s))
+		}
+	}
+
+	// Hopcroft worklist refinement.
+	type work struct {
+		blk int32
+		sym int
+	}
+	var worklist []work
+	inWork := map[work]bool{}
+	for b := range blocks {
+		for c := 0; c < syms; c++ {
+			w := work{int32(b), c}
+			worklist = append(worklist, w)
+			inWork[w] = true
+		}
+	}
+	for len(worklist) > 0 {
+		w := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		delete(inWork, w)
+		// X = states with a c-transition into block w.blk.
+		touched := map[int32][]int32{} // block -> members hit
+		for _, t := range blocks[w.blk] {
+			for _, s := range inv[int(t)*syms+w.sym] {
+				touched[block[s]] = append(touched[block[s]], s)
+			}
+		}
+		var tb []int32
+		for b := range touched {
+			tb = append(tb, b)
+		}
+		sort.Slice(tb, func(i, j int) bool { return tb[i] < tb[j] })
+		for _, b := range tb {
+			hit := touched[b]
+			if len(hit) == len(blocks[b]) {
+				continue // whole block hit: no split
+			}
+			// Split block b into hit / rest.
+			hitSet := make(map[int32]bool, len(hit))
+			for _, s := range hit {
+				hitSet[s] = true
+			}
+			var rest []int32
+			for _, s := range blocks[b] {
+				if !hitSet[s] {
+					rest = append(rest, s)
+				}
+			}
+			newID := int32(len(blocks))
+			// Keep the smaller part as the new block (Hopcroft's trick).
+			small, large := hit, rest
+			if len(rest) < len(hit) {
+				small, large = rest, hit
+			}
+			blocks[b] = large
+			blocks = append(blocks, small)
+			for _, s := range small {
+				block[s] = newID
+			}
+			for c := 0; c < syms; c++ {
+				wOld := work{b, c}
+				wNew := work{newID, c}
+				if inWork[wOld] {
+					worklist = append(worklist, wNew)
+					inWork[wNew] = true
+				} else {
+					// Add the smaller of the two.
+					if !inWork[wNew] {
+						worklist = append(worklist, wNew)
+						inWork[wNew] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Build the quotient automaton. Renumber blocks in BFS order from
+	// the start block for determinism.
+	startBlk := block[remap[d.Start]]
+	order := make([]int32, 0, len(blocks))
+	seen := make(map[int32]bool)
+	queue := []int32{startBlk}
+	seen[startBlk] = true
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		order = append(order, b)
+		rep := blocks[b][0]
+		for c := 0; c < syms; c++ {
+			nb := block[next[int(rep)*syms+c]]
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	newID := make(map[int32]int32, len(order))
+	for i, b := range order {
+		newID[b] = int32(i)
+	}
+	out := &DFA{
+		Syms:          syms,
+		Start:         0,
+		Next:          make([]int32, len(order)*syms),
+		Accept:        make([]bool, len(order)),
+		MaxPatternLen: d.MaxPatternLen,
+	}
+	hasOut := d.Out != nil
+	if hasOut {
+		out.Out = make([][]int32, len(order))
+	}
+	for i, b := range order {
+		rep := blocks[b][0]
+		orig := states[rep]
+		out.Accept[i] = d.Accept[orig]
+		if hasOut && d.Out[orig] != nil {
+			out.Out[i] = append([]int32(nil), d.Out[orig]...)
+		}
+		for c := 0; c < syms; c++ {
+			out.Next[i*syms+c] = newID[block[next[int(rep)*syms+c]]]
+		}
+	}
+	return out
+}
+
+// sigKey builds the initial-partition signature of a state.
+func sigKey(d *DFA, s int) string {
+	key := []byte{0}
+	if d.Accept[s] {
+		key[0] = 1
+	}
+	if d.Out != nil {
+		for _, p := range d.Out[s] {
+			key = append(key, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		}
+	}
+	return string(key)
+}

@@ -1,0 +1,168 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRedundant returns a DFA for "ends with 'ab'" padded with
+// duplicate and unreachable states.
+func buildRedundant() *DFA {
+	// States: 0 (seen nothing useful), 1 (seen a), 2 (seen ab, accept),
+	// 3 duplicate of 0, 4 unreachable.
+	syms := 2 // 0='a', 1='b'
+	next := []int32{
+		1, 0, // 0
+		1, 2, // 1
+		1, 0, // 2
+		1, 3, // 3 behaves like 0
+		4, 4, // 4 unreachable
+	}
+	return &DFA{Syms: syms, Start: 3, Next: next, Accept: []bool{false, false, true, false, false}}
+}
+
+func TestMinimizeReduces(t *testing.T) {
+	d := buildRedundant()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := Minimize(d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 3 {
+		t.Fatalf("minimized states = %d, want 3", m.NumStates())
+	}
+	if !Equivalent(d, m) {
+		t.Fatal("minimization changed the language")
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	m := Minimize(buildRedundant())
+	m2 := Minimize(m)
+	if m2.NumStates() != m.NumStates() {
+		t.Fatalf("second minimization changed size: %d -> %d", m.NumStates(), m2.NumStates())
+	}
+	if !Equivalent(m, m2) {
+		t.Fatal("idempotence violated")
+	}
+}
+
+func TestMinimizePreservesLanguageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(12)
+		syms := 2 + rng.Intn(3)
+		d := &DFA{
+			Syms:   syms,
+			Start:  rng.Intn(n),
+			Next:   make([]int32, n*syms),
+			Accept: make([]bool, n),
+		}
+		for i := range d.Next {
+			d.Next[i] = int32(rng.Intn(n))
+		}
+		for i := range d.Accept {
+			d.Accept[i] = rng.Intn(3) == 0
+		}
+		m := Minimize(d)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !Equivalent(d, m) {
+			t.Fatalf("trial %d: language changed", trial)
+		}
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("trial %d: grew from %d to %d states", trial, d.NumStates(), m.NumStates())
+		}
+		// Inputs agree too (belt and braces beyond Equivalent).
+		for k := 0; k < 20; k++ {
+			in := make([]byte, rng.Intn(12))
+			for j := range in {
+				in[j] = byte(rng.Intn(syms))
+			}
+			if d.Accepts(in) != m.Accepts(in) {
+				t.Fatalf("trial %d: disagree on %v", trial, in)
+			}
+		}
+	}
+}
+
+func TestMinimizePreservesOutputs(t *testing.T) {
+	// Two accept states with different pattern outputs must not merge.
+	d, err := FromPatterns(pats("AA", "BB"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Minimize(d)
+	text := []byte("AABB")
+	got := m.FindAll(text)
+	sortMatches(got)
+	want := naiveFindAll(pats("AA", "BB"), text, nil)
+	if len(got) != len(want) {
+		t.Fatalf("minimized AC lost matches: %v vs %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("minimized AC outputs differ: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestMinimizeDropsUnreachable(t *testing.T) {
+	d := buildRedundant()
+	m := Minimize(d)
+	reach := m.Reachable()
+	for s, r := range reach {
+		if !r {
+			t.Fatalf("state %d unreachable after minimization", s)
+		}
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := mustCompile(t, "ab")
+	b := mustCompile(t, "ab|ac")
+	if Equivalent(a, b) {
+		t.Fatal("different languages reported equivalent")
+	}
+	if !Equivalent(a, a.Clone()) {
+		t.Fatal("clone not equivalent")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d, err := FromPatterns(pats("XY"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	c.Next[0] = 1
+	c.Accept[0] = true
+	if d.Next[0] == 1 && d.Accept[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d, err := FromPatterns(pats("AB"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	c.Next[3] = 9999
+	if c.Validate() == nil {
+		t.Fatal("out-of-range transition not caught")
+	}
+	c2 := d.Clone()
+	c2.Start = -1
+	if c2.Validate() == nil {
+		t.Fatal("bad start not caught")
+	}
+	c3 := d.Clone()
+	c3.Accept = c3.Accept[:1]
+	if c3.Validate() == nil {
+		t.Fatal("accept length not caught")
+	}
+}

@@ -1,0 +1,160 @@
+package dfa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NFA is a nondeterministic finite automaton with epsilon moves over
+// symbols 0..Syms-1, in the Thompson normal form produced by the regex
+// compiler: one start state, one accept state.
+type NFA struct {
+	Syms   int
+	Start  int32
+	Accept int32
+	states []nfaState
+}
+
+type nfaState struct {
+	eps   []int32
+	edges []nfaEdge
+}
+
+type nfaEdge struct {
+	sym byte
+	to  int32
+}
+
+// NewNFA returns an empty NFA over the given alphabet.
+func NewNFA(syms int) *NFA { return &NFA{Syms: syms} }
+
+// AddState appends a state and returns its index.
+func (n *NFA) AddState() int32 {
+	n.states = append(n.states, nfaState{})
+	return int32(len(n.states) - 1)
+}
+
+// NumStates returns the state count.
+func (n *NFA) NumStates() int { return len(n.states) }
+
+// AddEps adds an epsilon transition.
+func (n *NFA) AddEps(from, to int32) {
+	n.states[from].eps = append(n.states[from].eps, to)
+}
+
+// AddEdge adds a symbol transition.
+func (n *NFA) AddEdge(from int32, sym byte, to int32) {
+	if int(sym) >= n.Syms {
+		panic(fmt.Sprintf("nfa: symbol %d out of alphabet %d", sym, n.Syms))
+	}
+	n.states[from].edges = append(n.states[from].edges, nfaEdge{sym, to})
+}
+
+// epsClosure expands set (sorted, deduped) to its epsilon closure,
+// returned sorted.
+func (n *NFA) epsClosure(set []int32) []int32 {
+	seen := make(map[int32]bool, len(set))
+	stack := append([]int32(nil), set...)
+	for _, s := range set {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.states[s].eps {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// move returns the states reachable from set on sym (unsorted, deduped).
+func (n *NFA) move(set []int32, sym byte) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, s := range set {
+		for _, e := range n.states[s].edges {
+			if e.sym == sym && !seen[e.to] {
+				seen[e.to] = true
+				out = append(out, e.to)
+			}
+		}
+	}
+	return out
+}
+
+// MatchNFA reports whether the NFA accepts input, by direct subset
+// simulation. It is the oracle the determinizer is tested against.
+func (n *NFA) MatchNFA(input []byte) bool {
+	cur := n.epsClosure([]int32{n.Start})
+	for _, c := range input {
+		if len(cur) == 0 {
+			return false
+		}
+		cur = n.epsClosure(n.move(cur, c))
+	}
+	for _, s := range cur {
+		if s == n.Accept {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterminizeLimit bounds subset construction; regular expressions with
+// exponential DFAs are rejected rather than exhausting memory.
+const DeterminizeLimit = 1 << 18
+
+// Determinize runs subset construction and returns an equivalent DFA.
+func (n *NFA) Determinize() (*DFA, error) {
+	if n.NumStates() == 0 {
+		return nil, fmt.Errorf("dfa: empty NFA")
+	}
+	type setKey string
+	key := func(set []int32) setKey {
+		b := make([]byte, 0, len(set)*4)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return setKey(b)
+	}
+	start := n.epsClosure([]int32{n.Start})
+	index := map[setKey]int32{key(start): 0}
+	sets := [][]int32{start}
+	var next []int32
+	var accept []bool
+	contains := func(set []int32, s int32) bool {
+		i := sort.Search(len(set), func(i int) bool { return set[i] >= s })
+		return i < len(set) && set[i] == s
+	}
+	accept = append(accept, contains(start, n.Accept))
+	next = append(next, make([]int32, n.Syms)...)
+	for i := 0; i < len(sets); i++ {
+		for c := 0; c < n.Syms; c++ {
+			dst := n.epsClosure(n.move(sets[i], byte(c)))
+			k := key(dst)
+			j, ok := index[k]
+			if !ok {
+				j = int32(len(sets))
+				if int(j) >= DeterminizeLimit {
+					return nil, fmt.Errorf("dfa: subset construction exceeded %d states", DeterminizeLimit)
+				}
+				index[k] = j
+				sets = append(sets, dst)
+				accept = append(accept, contains(dst, n.Accept))
+				next = append(next, make([]int32, n.Syms)...)
+			}
+			next[i*n.Syms+c] = j
+		}
+	}
+	d := &DFA{Syms: n.Syms, Start: 0, Next: next, Accept: accept}
+	return d, nil
+}

@@ -1,0 +1,483 @@
+package dfa
+
+import (
+	"fmt"
+	"strconv"
+
+	"cellmatch/internal/alphabet"
+)
+
+// The regex dialect supported for dictionary entries expressed as
+// regular expressions (the paper, Section 1, notes that dictionaries
+// "expressed as a set of regular expressions" compile to a single DFA):
+//
+//	literal bytes        a b c ...
+//	escapes              \n \t \r \0 \\ \. \* \+ \? \| \( \) \[ \] \xHH
+//	any symbol           .
+//	classes              [abc] [a-z0-9] [^abc]
+//	grouping             ( ... )
+//	alternation          a|b
+//	repetition           a* a+ a? a{m,n}
+//
+// Regexes are compiled over a byte alphabet and mapped through an
+// alphabet.Reduction at NFA-construction time, so the resulting DFA
+// runs on reduced input like every other automaton in this repository.
+
+// regexNode is the AST.
+type regexNode interface{ isRegex() }
+
+type reLit struct{ b byte }
+type reClass struct {
+	neg bool
+	set [256]bool
+}
+type reAny struct{}
+type reCat struct{ subs []regexNode }
+type reAlt struct{ subs []regexNode }
+type reStar struct{ sub regexNode }
+type rePlus struct{ sub regexNode }
+type reOpt struct{ sub regexNode }
+type reRepeat struct {
+	sub regexNode
+	min int
+	max int // -1 = unbounded
+}
+
+func (reLit) isRegex()    {}
+func (reClass) isRegex()  {}
+func (reAny) isRegex()    {}
+func (reCat) isRegex()    {}
+func (reAlt) isRegex()    {}
+func (reStar) isRegex()   {}
+func (rePlus) isRegex()   {}
+func (reOpt) isRegex()    {}
+func (reRepeat) isRegex() {}
+
+// SyntaxError reports a regex parse failure with its position.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("regex %q: position %d: %s", e.Expr, e.Pos, e.Msg)
+}
+
+type regexParser struct {
+	src []byte
+	pos int
+}
+
+func (p *regexParser) err(msg string) error {
+	return &SyntaxError{Expr: string(p.src), Pos: p.pos, Msg: msg}
+}
+
+func (p *regexParser) peek() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+// ParseRegex parses the expression into an AST.
+func ParseRegex(expr string) (regexNode, error) {
+	p := &regexParser{src: []byte(expr)}
+	node, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.err("unexpected trailing input")
+	}
+	return node, nil
+}
+
+func (p *regexParser) alternation() (regexNode, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []regexNode{first}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return reAlt{subs}, nil
+}
+
+func (p *regexParser) concat() (regexNode, error) {
+	var subs []regexNode
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		atom, err := p.repeatable()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, atom)
+	}
+	switch len(subs) {
+	case 0:
+		return reCat{}, nil // empty string
+	case 1:
+		return subs[0], nil
+	}
+	return reCat{subs}, nil
+}
+
+func (p *regexParser) repeatable() (regexNode, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			atom = reStar{atom}
+		case '+':
+			p.pos++
+			atom = rePlus{atom}
+		case '?':
+			p.pos++
+			atom = reOpt{atom}
+		case '{':
+			rep, err := p.braces(atom)
+			if err != nil {
+				return nil, err
+			}
+			atom = rep
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *regexParser) braces(sub regexNode) (regexNode, error) {
+	start := p.pos
+	p.pos++ // consume '{'
+	readInt := func() (int, bool) {
+		begin := p.pos
+		for {
+			c, ok := p.peek()
+			if !ok || c < '0' || c > '9' {
+				break
+			}
+			p.pos++
+		}
+		if p.pos == begin {
+			return 0, false
+		}
+		v, err := strconv.Atoi(string(p.src[begin:p.pos]))
+		if err != nil || v > 1000 {
+			return 0, false
+		}
+		return v, true
+	}
+	min, ok := readInt()
+	if !ok {
+		p.pos = start
+		return nil, p.err("bad repetition count")
+	}
+	max := min
+	if c, ok2 := p.peek(); ok2 && c == ',' {
+		p.pos++
+		if c2, ok3 := p.peek(); ok3 && c2 == '}' {
+			max = -1
+		} else {
+			max, ok = readInt()
+			if !ok {
+				return nil, p.err("bad repetition upper bound")
+			}
+		}
+	}
+	if c, ok2 := p.peek(); !ok2 || c != '}' {
+		return nil, p.err("unterminated repetition")
+	}
+	p.pos++
+	if max != -1 && max < min {
+		return nil, p.err("repetition bounds inverted")
+	}
+	return reRepeat{sub, min, max}, nil
+}
+
+func (p *regexParser) atom() (regexNode, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, p.err("unexpected end of expression")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		inner, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if c2, ok2 := p.peek(); !ok2 || c2 != ')' {
+			return nil, p.err("unbalanced parenthesis")
+		}
+		p.pos++
+		return inner, nil
+	case '.':
+		p.pos++
+		return reAny{}, nil
+	case '[':
+		return p.class()
+	case '*', '+', '?', '{':
+		return nil, p.err("repetition with nothing to repeat")
+	case ')':
+		return nil, p.err("unbalanced parenthesis")
+	case '\\':
+		p.pos++
+		b, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return reLit{b}, nil
+	default:
+		p.pos++
+		return reLit{c}, nil
+	}
+}
+
+func (p *regexParser) escape() (byte, error) {
+	c, ok := p.peek()
+	if !ok {
+		return 0, p.err("dangling backslash")
+	}
+	p.pos++
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return 0, p.err("truncated \\x escape")
+		}
+		v, err := strconv.ParseUint(string(p.src[p.pos:p.pos+2]), 16, 8)
+		if err != nil {
+			return 0, p.err("bad \\x escape")
+		}
+		p.pos += 2
+		return byte(v), nil
+	default:
+		return c, nil // \\, \., \*, etc.: the literal byte
+	}
+}
+
+func (p *regexParser) class() (regexNode, error) {
+	p.pos++ // consume '['
+	var cl reClass
+	if c, ok := p.peek(); ok && c == '^' {
+		cl.neg = true
+		p.pos++
+	}
+	first := true
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.err("unterminated character class")
+		}
+		if c == ']' && !first {
+			p.pos++
+			return cl, nil
+		}
+		first = false
+		var lo byte
+		if c == '\\' {
+			p.pos++
+			b, err := p.escape()
+			if err != nil {
+				return nil, err
+			}
+			lo = b
+		} else {
+			p.pos++
+			lo = c
+		}
+		hi := lo
+		if c2, ok2 := p.peek(); ok2 && c2 == '-' {
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+				p.pos++
+				c3, _ := p.peek()
+				if c3 == '\\' {
+					p.pos++
+					b, err := p.escape()
+					if err != nil {
+						return nil, err
+					}
+					hi = b
+				} else {
+					p.pos++
+					hi = c3
+				}
+				if hi < lo {
+					return nil, p.err("inverted class range")
+				}
+			}
+		}
+		for b := int(lo); b <= int(hi); b++ {
+			cl.set[b] = true
+		}
+	}
+}
+
+// CompileRegex parses expr and builds the minimized DFA over the given
+// reduction. When red is nil the identity (256-symbol) alphabet is
+// used. Note: over a reduction, a class like [a-c] matches any raw
+// byte whose class coincides with a, b or c's — the same aliasing
+// tradeoff the paper accepts for its 32-symbol folding.
+func CompileRegex(expr string, red *alphabet.Reduction) (*DFA, error) {
+	ast, err := ParseRegex(expr)
+	if err != nil {
+		return nil, err
+	}
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	if err := red.Validate(); err != nil {
+		return nil, err
+	}
+	nfa, err := ThompsonNFA(ast, red)
+	if err != nil {
+		return nil, err
+	}
+	d, err := nfa.Determinize()
+	if err != nil {
+		return nil, err
+	}
+	return Minimize(d), nil
+}
+
+// ThompsonNFA compiles an AST into a Thompson-form NFA over the
+// reduced alphabet.
+func ThompsonNFA(ast regexNode, red *alphabet.Reduction) (*NFA, error) {
+	n := NewNFA(red.Classes)
+	start, accept, err := build(n, ast, red)
+	if err != nil {
+		return nil, err
+	}
+	n.Start, n.Accept = start, accept
+	return n, nil
+}
+
+// build returns (start, accept) fragment states for the node.
+func build(n *NFA, node regexNode, red *alphabet.Reduction) (int32, int32, error) {
+	switch t := node.(type) {
+	case reLit:
+		s, a := n.AddState(), n.AddState()
+		n.AddEdge(s, red.Map[t.b], a)
+		return s, a, nil
+	case reAny:
+		s, a := n.AddState(), n.AddState()
+		for c := 0; c < red.Classes; c++ {
+			n.AddEdge(s, byte(c), a)
+		}
+		return s, a, nil
+	case reClass:
+		s, a := n.AddState(), n.AddState()
+		var classes [256]bool
+		for b := 0; b < 256; b++ {
+			if t.set[b] != t.neg { // member XOR negated
+				classes[red.Map[b]] = true
+			}
+		}
+		any := false
+		for c := 0; c < red.Classes; c++ {
+			if classes[c] {
+				n.AddEdge(s, byte(c), a)
+				any = true
+			}
+		}
+		if !any {
+			// Empty class matches nothing; fragment with no path.
+			_ = any
+		}
+		return s, a, nil
+	case reCat:
+		s := n.AddState()
+		cur := s
+		for _, sub := range t.subs {
+			fs, fa, err := build(n, sub, red)
+			if err != nil {
+				return 0, 0, err
+			}
+			n.AddEps(cur, fs)
+			cur = fa
+		}
+		return s, cur, nil
+	case reAlt:
+		s, a := n.AddState(), n.AddState()
+		for _, sub := range t.subs {
+			fs, fa, err := build(n, sub, red)
+			if err != nil {
+				return 0, 0, err
+			}
+			n.AddEps(s, fs)
+			n.AddEps(fa, a)
+		}
+		return s, a, nil
+	case reStar:
+		s, a := n.AddState(), n.AddState()
+		fs, fa, err := build(n, t.sub, red)
+		if err != nil {
+			return 0, 0, err
+		}
+		n.AddEps(s, fs)
+		n.AddEps(s, a)
+		n.AddEps(fa, fs)
+		n.AddEps(fa, a)
+		return s, a, nil
+	case rePlus:
+		return build(n, reCat{[]regexNode{t.sub, reStar{t.sub}}}, red)
+	case reOpt:
+		s, a := n.AddState(), n.AddState()
+		fs, fa, err := build(n, t.sub, red)
+		if err != nil {
+			return 0, 0, err
+		}
+		n.AddEps(s, fs)
+		n.AddEps(fa, a)
+		n.AddEps(s, a)
+		return s, a, nil
+	case reRepeat:
+		var subs []regexNode
+		for i := 0; i < t.min; i++ {
+			subs = append(subs, t.sub)
+		}
+		switch {
+		case t.max == -1:
+			subs = append(subs, reStar{t.sub})
+		default:
+			for i := t.min; i < t.max; i++ {
+				subs = append(subs, reOpt{t.sub})
+			}
+		}
+		return build(n, reCat{subs}, red)
+	default:
+		return 0, 0, fmt.Errorf("dfa: unknown regex node %T", node)
+	}
+}

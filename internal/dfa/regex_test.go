@@ -1,0 +1,194 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+)
+
+// mustCompile compiles over the identity alphabet or fails the test.
+func mustCompile(t *testing.T, expr string) *DFA {
+	t.Helper()
+	d, err := CompileRegex(expr, nil)
+	if err != nil {
+		t.Fatalf("compile %q: %v", expr, err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate %q: %v", expr, err)
+	}
+	return d
+}
+
+func TestRegexAcceptance(t *testing.T) {
+	cases := []struct {
+		expr string
+		yes  []string
+		no   []string
+	}{
+		{"abc", []string{"abc"}, []string{"", "ab", "abcd", "abd"}},
+		{"a|b", []string{"a", "b"}, []string{"", "ab", "c"}},
+		{"a*", []string{"", "a", "aaaa"}, []string{"b", "ab"}},
+		{"a+", []string{"a", "aa"}, []string{"", "b"}},
+		{"a?b", []string{"b", "ab"}, []string{"", "aab", "a"}},
+		{"(ab)*", []string{"", "ab", "abab"}, []string{"a", "aba"}},
+		{"(a|b)*c", []string{"c", "ac", "babac"}, []string{"", "ab", "ca"}},
+		{"[abc]", []string{"a", "b", "c"}, []string{"d", "", "ab"}},
+		{"[a-c]x", []string{"ax", "bx", "cx"}, []string{"dx", "x"}},
+		{"[^a]", []string{"b", "z", "0"}, []string{"a", ""}},
+		{"a{3}", []string{"aaa"}, []string{"aa", "aaaa"}},
+		{"a{2,4}", []string{"aa", "aaa", "aaaa"}, []string{"a", "aaaaa"}},
+		{"a{2,}", []string{"aa", "aaaaaa"}, []string{"a", ""}},
+		{"\\.", []string{"."}, []string{"a"}},
+		{"\\x41", []string{"A"}, []string{"B"}},
+		{"\\n", []string{"\n"}, []string{"n"}},
+		{"a.c", []string{"abc", "azc", "a.c"}, []string{"ac", "abcc"}},
+		{"", []string{""}, []string{"a"}},
+		{"()a", []string{"a"}, []string{""}},
+		{"x(y|z){2}", []string{"xyy", "xyz", "xzz"}, []string{"xy", "xyzy"}},
+	}
+	for _, c := range cases {
+		d := mustCompile(t, c.expr)
+		for _, s := range c.yes {
+			if !d.Accepts([]byte(s)) {
+				t.Errorf("%q should accept %q", c.expr, s)
+			}
+		}
+		for _, s := range c.no {
+			if d.Accepts([]byte(s)) {
+				t.Errorf("%q should reject %q", c.expr, s)
+			}
+		}
+	}
+}
+
+func TestRegexParseErrors(t *testing.T) {
+	bad := []string{
+		"(", ")", "(a", "a)", "*", "+a", "?", "a{", "a{1,", "a{2,1}",
+		"[", "[a", "[z-a]", "\\", "a\\x4", "a\\xZZ", "a{1001}",
+	}
+	for _, expr := range bad {
+		if _, err := CompileRegex(expr, nil); err == nil {
+			t.Errorf("expected parse error for %q", expr)
+		}
+	}
+	// Errors carry position info.
+	_, err := CompileRegex("ab(", nil)
+	if se, ok := err.(*SyntaxError); !ok || se.Expr != "ab(" {
+		t.Fatalf("error type: %T %v", err, err)
+	}
+}
+
+func TestRegexOverReduction(t *testing.T) {
+	red := alphabet.CaseFold32()
+	d, err := CompileRegex("VIRUS[0-9]?", red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the fold, case is gone; scan reduced bytes.
+	if !d.Accepts(red.Reduce([]byte("virus"))) {
+		t.Fatal("case-folded accept failed")
+	}
+	if !d.Accepts(red.Reduce([]byte("VIRUS"))) {
+		t.Fatal("uppercase accept failed")
+	}
+}
+
+func TestRegexDFAIsMinimal(t *testing.T) {
+	// (a|b)*abb is the textbook example: minimal DFA has 4 states.
+	d := mustCompile(t, "(a|b)*abb")
+	// Our alphabet is 256-wide, adding one dead state for other bytes.
+	if d.NumStates() > 5 {
+		t.Fatalf("states = %d, want <= 5 after minimization", d.NumStates())
+	}
+}
+
+// Differential test: DFA acceptance equals direct NFA subset simulation
+// on random inputs for a library of expressions.
+func TestRegexDFAMatchesNFA(t *testing.T) {
+	exprs := []string{
+		"abc", "(a|b)*abb", "a*b*c*", "(ab|ba)+", "a(b|c){1,3}d",
+		"[ab]*c[ab]*", "x|y|z", "(a?b){2,4}",
+	}
+	rng := rand.New(rand.NewSource(5))
+	red := alphabet.Identity()
+	letters := []byte("abcdxyz")
+	for _, expr := range exprs {
+		ast, err := ParseRegex(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nfa, err := ThompsonNFA(ast, red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := CompileRegex(expr, red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			s := make([]byte, rng.Intn(10))
+			for i := range s {
+				s[i] = letters[rng.Intn(len(letters))]
+			}
+			if d.Accepts(s) != nfa.MatchNFA(s) {
+				t.Fatalf("%q on %q: DFA %v, NFA %v", expr, s, d.Accepts(s), nfa.MatchNFA(s))
+			}
+		}
+	}
+}
+
+func TestDeterminizeLimitEnforced(t *testing.T) {
+	// (a|b)*a(a|b){n} has a 2^n-state DFA; n=20 exceeds the limit.
+	// Use a 2-class reduction so the walk to the limit is cheap.
+	red, err := alphabet.FromPatterns([][]byte{[]byte("ab")}, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileRegex("(a|b)*a(a|b){20}", red); err == nil {
+		t.Fatal("subset construction limit not enforced")
+	}
+}
+
+func TestNFADirect(t *testing.T) {
+	// Hand-built NFA: accepts exactly "ab".
+	n := NewNFA(3)
+	s0, s1, s2 := n.AddState(), n.AddState(), n.AddState()
+	n.AddEdge(s0, 0, s1)
+	n.AddEdge(s1, 1, s2)
+	n.Start, n.Accept = s0, s2
+	if !n.MatchNFA([]byte{0, 1}) {
+		t.Fatal("should match")
+	}
+	if n.MatchNFA([]byte{0}) || n.MatchNFA([]byte{1, 0}) || n.MatchNFA(nil) {
+		t.Fatal("overmatch")
+	}
+	d, err := n.Determinize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepts([]byte{0, 1}) || d.Accepts([]byte{0}) {
+		t.Fatal("determinized mismatch")
+	}
+}
+
+func TestNFAEdgeValidation(t *testing.T) {
+	n := NewNFA(2)
+	s := n.AddState()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-alphabet edge accepted")
+		}
+	}()
+	n.AddEdge(s, 5, s)
+}
+
+func TestEmptyClassMatchesNothing(t *testing.T) {
+	d := mustCompile(t, "a[^\\x00-\\xff]b|ok")
+	if !d.Accepts([]byte("ok")) {
+		t.Fatal("alternation arm lost")
+	}
+	if d.Accepts([]byte("aXb")) {
+		t.Fatal("empty class matched")
+	}
+}

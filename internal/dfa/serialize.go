@@ -1,0 +1,139 @@
+package dfa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization of compiled automata, so large dictionaries
+// compile once and load instantly (the PPE-side artifact a deployment
+// ships to its filtering nodes).
+//
+// Format (little-endian):
+//
+//	magic   "CMDFA1\x00"
+//	uint32  syms
+//	uint32  start
+//	uint32  states
+//	uint32  maxPatternLen
+//	uint8   hasOut
+//	int32   next[states*syms]
+//	uint8   accept bitset, (states+7)/8 bytes
+//	if hasOut: per state: uint32 n, then n uint32 pattern ids
+var dfaMagic = []byte("CMDFA1\x00")
+
+// MarshalBinary serializes the DFA.
+func (d *DFA) MarshalBinary() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(dfaMagic)
+	n := d.NumStates()
+	hdr := []uint32{uint32(d.Syms), uint32(d.Start), uint32(n), uint32(d.MaxPatternLen)}
+	for _, h := range hdr {
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			return nil, err
+		}
+	}
+	hasOut := byte(0)
+	if d.Out != nil {
+		hasOut = 1
+	}
+	buf.WriteByte(hasOut)
+	if err := binary.Write(&buf, binary.LittleEndian, d.Next); err != nil {
+		return nil, err
+	}
+	bits := make([]byte, (n+7)/8)
+	for s, a := range d.Accept {
+		if a {
+			bits[s/8] |= 1 << (s % 8)
+		}
+	}
+	buf.Write(bits)
+	if hasOut == 1 {
+		for _, out := range d.Out {
+			if err := binary.Write(&buf, binary.LittleEndian, uint32(len(out))); err != nil {
+				return nil, err
+			}
+			if len(out) > 0 {
+				if err := binary.Write(&buf, binary.LittleEndian, out); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary reconstructs a DFA serialized by MarshalBinary.
+func (d *DFA) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(dfaMagic))
+	if _, err := r.Read(magic); err != nil || !bytes.Equal(magic, dfaMagic) {
+		return fmt.Errorf("dfa: bad magic")
+	}
+	var syms, start, states, maxLen uint32
+	for _, p := range []*uint32{&syms, &start, &states, &maxLen} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("dfa: truncated header: %w", err)
+		}
+	}
+	if syms == 0 || syms > 256 {
+		return fmt.Errorf("dfa: bad alphabet %d", syms)
+	}
+	const maxStates = 1 << 24
+	if states == 0 || states > maxStates {
+		return fmt.Errorf("dfa: bad state count %d", states)
+	}
+	hasOut, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("dfa: truncated flags: %w", err)
+	}
+	next := make([]int32, int(states)*int(syms))
+	if err := binary.Read(r, binary.LittleEndian, next); err != nil {
+		return fmt.Errorf("dfa: truncated table: %w", err)
+	}
+	bits := make([]byte, (states+7)/8)
+	if _, err := r.Read(bits); err != nil {
+		return fmt.Errorf("dfa: truncated accept set: %w", err)
+	}
+	accept := make([]bool, states)
+	for s := range accept {
+		accept[s] = bits[s/8]&(1<<(s%8)) != 0
+	}
+	var out [][]int32
+	if hasOut == 1 {
+		out = make([][]int32, states)
+		for s := range out {
+			var n uint32
+			if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+				return fmt.Errorf("dfa: truncated output set: %w", err)
+			}
+			if n > 1<<20 {
+				return fmt.Errorf("dfa: implausible output set size %d", n)
+			}
+			if n > 0 {
+				ids := make([]int32, n)
+				if err := binary.Read(r, binary.LittleEndian, ids); err != nil {
+					return fmt.Errorf("dfa: truncated output ids: %w", err)
+				}
+				out[s] = ids
+			}
+		}
+	}
+	tmp := DFA{
+		Syms:          int(syms),
+		Start:         int(start),
+		Next:          next,
+		Accept:        accept,
+		Out:           out,
+		MaxPatternLen: int(maxLen),
+	}
+	if err := tmp.Validate(); err != nil {
+		return fmt.Errorf("dfa: deserialized automaton invalid: %w", err)
+	}
+	*d = tmp
+	return nil
+}

@@ -1,0 +1,130 @@
+package dfa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d, err := FromPatterns(pats("HE", "SHE", "HIS", "HERS"), alphabet.CaseFold32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DFA
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Next, back.Next) {
+		t.Fatal("transition table changed")
+	}
+	if !reflect.DeepEqual(d.Accept, back.Accept) {
+		t.Fatal("accept set changed")
+	}
+	if back.MaxPatternLen != d.MaxPatternLen || back.Start != d.Start || back.Syms != d.Syms {
+		t.Fatal("header changed")
+	}
+	// Output sets survive, so FindAll behaves identically.
+	text := alphabet.CaseFold32().Reduce([]byte("USHERS AND HIS HE"))
+	got := back.FindAll(text)
+	want := d.FindAll(text)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("matches differ after round trip: %v vs %v", got, want)
+	}
+}
+
+func TestSerializeWithoutOutputs(t *testing.T) {
+	d := mustCompile(t, "(a|b)*abb")
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DFA
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Out != nil {
+		t.Fatal("phantom output sets")
+	}
+	if !Equivalent(d, &back) {
+		t.Fatal("language changed")
+	}
+}
+
+func TestSerializeRejectsCorruption(t *testing.T) {
+	d, err := FromPatterns(pats("AB"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"bad magic":   func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"truncated":   func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":       func(b []byte) []byte { return nil },
+		"wild target": func(b []byte) []byte { b[30] = 0xFF; b[31] = 0xFF; return b },
+	}
+	for name, corrupt := range cases {
+		blob2 := corrupt(append([]byte(nil), blob...))
+		var back DFA
+		if err := back.UnmarshalBinary(blob2); err == nil {
+			// "wild target" may happen to hit a valid byte; the
+			// validator must have accepted only a *valid* automaton.
+			if back.Validate() != nil {
+				t.Fatalf("%s: accepted invalid automaton", name)
+			}
+		}
+	}
+}
+
+func TestSerializeInvalidDFA(t *testing.T) {
+	bad := &DFA{Syms: 2, Next: []int32{5, 5}, Accept: []bool{false}}
+	if _, err := bad.MarshalBinary(); err == nil {
+		t.Fatal("invalid DFA serialized")
+	}
+}
+
+// Property: random AC automata survive serialization with identical
+// scan behaviour.
+func TestSerializeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		np := 1 + rng.Intn(6)
+		dict := make([][]byte, np)
+		for i := range dict {
+			l := 1 + rng.Intn(6)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = byte('A' + rng.Intn(3))
+			}
+			dict[i] = p
+		}
+		d, err := FromPatterns(dict, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back DFA
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		text := make([]byte, 100)
+		for j := range text {
+			text[j] = byte('A' + rng.Intn(3))
+		}
+		if back.CountFinalEntries(text) != d.CountFinalEntries(text) {
+			t.Fatalf("trial %d: counts differ after round trip", trial)
+		}
+	}
+}

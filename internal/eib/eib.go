@@ -1,0 +1,312 @@
+// Package eib models the Cell's Element Interconnect Bus and memory
+// interface controller as a fluid-flow contention model on top of the
+// discrete-event engine.
+//
+// The model reproduces the behaviour the paper relies on (Section 2,
+// Figure 2):
+//
+//   - the theoretical main-memory bandwidth is 25.6 GB/s, but under
+//     heavy traffic the achievable aggregate saturates at 22.05 GB/s
+//     (arbitration ceiling);
+//   - each DMA command pays a fixed bus-negotiation overhead, so small
+//     blocks waste a large fraction of the wire: the efficiency of a
+//     block of B bytes is B/(B+overhead);
+//   - a single SPE's MFC link cannot exceed ~7 GB/s, so several SPEs
+//     are needed to saturate memory (the knee in Figure 2 at 3-4 SPEs);
+//   - with all 8 SPEs streaming, each one sees 22.05/8 = 2.76 GB/s,
+//     which makes a 16 KB input block take 5.94 us (Figure 5).
+//
+// Transfers in flight share bandwidth max-min fairly: each SPE's
+// transfers split that SPE's link, and when the sum exceeds a global
+// ceiling every flow is scaled back proportionally, which is how the
+// EIB's round-robin data arbiter behaves.
+package eib
+
+import (
+	"fmt"
+	"math"
+
+	"cellmatch/internal/sim"
+)
+
+// Model holds the calibration constants of the bandwidth model.
+type Model struct {
+	// WirePeakBps is the raw memory interface bandwidth (25.6 GB/s).
+	WirePeakBps float64
+	// ArbCeilingBps is the maximum aggregate payload under heavy
+	// traffic (22.05 GB/s in the paper).
+	ArbCeilingBps float64
+	// SPELinkBps is the per-SPE MFC link wire limit.
+	SPELinkBps float64
+	// OverheadBytes is the bus-negotiation cost per DMA command,
+	// expressed in equivalent wire bytes.
+	OverheadBytes float64
+	// MaxDMABytes is the largest single MFC command (16 KB on Cell);
+	// larger requests pay the command overhead once per piece.
+	MaxDMABytes int64
+}
+
+// Default returns the model calibrated against the paper's numbers.
+func Default() Model {
+	return Model{
+		WirePeakBps:   25.6e9,
+		ArbCeilingBps: 22.05e9,
+		SPELinkBps:    7.0e9,
+		OverheadBytes: 82.0,
+		MaxDMABytes:   16 * 1024,
+	}
+}
+
+// Efficiency returns the payload fraction of the wire for commands of
+// blockBytes payload each.
+func (m Model) Efficiency(blockBytes int64) float64 {
+	if blockBytes <= 0 {
+		return 0
+	}
+	b := float64(blockBytes)
+	return b / (b + m.OverheadBytes)
+}
+
+// wireBytes returns the wire cost of moving n payload bytes in commands
+// of at most MaxDMABytes.
+func (m Model) wireBytes(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	pieces := (n + m.MaxDMABytes - 1) / m.MaxDMABytes
+	return float64(n) + float64(pieces)*m.OverheadBytes
+}
+
+// Direction of a transfer relative to the SPE.
+type Direction int
+
+const (
+	// Get moves data main memory -> local store.
+	Get Direction = iota
+	// Put moves data local store -> main memory.
+	Put
+)
+
+func (d Direction) String() string {
+	if d == Get {
+		return "get"
+	}
+	return "put"
+}
+
+// Transfer is one DMA payload in flight on the bus.
+type Transfer struct {
+	SPE       int
+	Dir       Direction
+	Bytes     int64
+	BlockSize int64 // per-command payload, for efficiency accounting
+	Started   sim.Time
+	Finished  sim.Time
+
+	remWire   float64 // wire bytes left
+	wireTotal float64 // wire bytes at start
+	wireRate  float64 // current wire bytes/s
+	done      func(*Transfer)
+	bus       *Bus
+	active    bool
+}
+
+// Bus is the shared interconnect. All SPEs' MFCs submit transfers here.
+type Bus struct {
+	Eng   *sim.Engine
+	Model Model
+
+	active     []*Transfer
+	lastUpdate sim.Time
+	nextDone   sim.EventID
+	hasNext    bool
+
+	// TotalPayload accumulates completed payload bytes, for
+	// conservation checks and bandwidth measurement.
+	TotalPayload int64
+}
+
+// NewBus creates a bus bound to the given engine with the given model.
+func NewBus(eng *sim.Engine, m Model) *Bus {
+	return &Bus{Eng: eng, Model: m, lastUpdate: eng.Now()}
+}
+
+// Start begins a transfer of n payload bytes for the given SPE. The
+// done callback (may be nil) fires at completion time. blockBytes is
+// the per-command payload size used for efficiency accounting; pass n
+// itself for a single command.
+func (b *Bus) Start(spe int, dir Direction, n, blockBytes int64, done func(*Transfer)) *Transfer {
+	if n <= 0 {
+		panic("eib: non-positive transfer size")
+	}
+	if blockBytes <= 0 || blockBytes > n {
+		blockBytes = n
+	}
+	if blockBytes > b.Model.MaxDMABytes {
+		blockBytes = b.Model.MaxDMABytes
+	}
+	wire := b.Model.wireBytes(n)
+	t := &Transfer{
+		SPE:       spe,
+		Dir:       dir,
+		Bytes:     n,
+		BlockSize: blockBytes,
+		Started:   b.Eng.Now(),
+		remWire:   wire,
+		wireTotal: wire,
+		done:      done,
+		bus:       b,
+		active:    true,
+	}
+	b.advance()
+	b.active = append(b.active, t)
+	b.reallocate()
+	return t
+}
+
+// InFlight returns the number of active transfers.
+func (b *Bus) InFlight() int { return len(b.active) }
+
+// PayloadProgress returns total payload bytes delivered so far,
+// including the pro-rata progress of transfers still in flight. Used
+// for bandwidth measurement without end-of-window truncation bias.
+func (b *Bus) PayloadProgress() float64 {
+	b.advance()
+	p := float64(b.TotalPayload)
+	for _, t := range b.active {
+		if t.wireTotal > 0 {
+			p += (1 - t.remWire/t.wireTotal) * float64(t.Bytes)
+		}
+	}
+	return p
+}
+
+// advance progresses all active transfers to the current time at their
+// previously computed rates.
+func (b *Bus) advance() {
+	now := b.Eng.Now()
+	dt := (now - b.lastUpdate).Seconds()
+	b.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, t := range b.active {
+		t.remWire -= t.wireRate * dt
+		if t.remWire < 1e-6 {
+			t.remWire = 0
+		}
+	}
+}
+
+// reallocate computes max-min fair wire rates under the per-SPE link
+// caps and the global wire/arbitration ceilings, then schedules the
+// next completion event.
+func (b *Bus) reallocate() {
+	if b.hasNext {
+		b.Eng.Cancel(b.nextDone)
+		b.hasNext = false
+	}
+	if len(b.active) == 0 {
+		return
+	}
+	perSPE := make(map[int]int)
+	for _, t := range b.active {
+		perSPE[t.SPE]++
+	}
+	// Step 1: each transfer gets an equal share of its SPE's link.
+	var totalWire, totalPayload float64
+	for _, t := range b.active {
+		t.wireRate = b.Model.SPELinkBps / float64(perSPE[t.SPE])
+		totalWire += t.wireRate
+		totalPayload += t.wireRate * b.Model.Efficiency(t.BlockSize)
+	}
+	// Step 2: proportional scale-back if a global ceiling binds.
+	scale := 1.0
+	if totalWire > b.Model.WirePeakBps {
+		scale = b.Model.WirePeakBps / totalWire
+	}
+	if totalPayload*scale > b.Model.ArbCeilingBps {
+		scale = math.Min(scale, b.Model.ArbCeilingBps/totalPayload)
+	}
+	var soonest sim.Time = -1
+	for _, t := range b.active {
+		t.wireRate *= scale
+		left := sim.Time(math.Ceil(t.remWire / t.wireRate * 1e12))
+		if left < sim.Picosecond {
+			left = sim.Picosecond
+		}
+		if soonest < 0 || left < soonest {
+			soonest = left
+		}
+	}
+	b.nextDone = b.Eng.After(soonest, b.completeDue)
+	b.hasNext = true
+}
+
+// completeDue finishes every transfer that has drained.
+func (b *Bus) completeDue() {
+	b.hasNext = false
+	b.advance()
+	var finished []*Transfer
+	remaining := b.active[:0]
+	for _, t := range b.active {
+		if t.remWire <= 0 {
+			t.active = false
+			t.Finished = b.Eng.Now()
+			b.TotalPayload += t.Bytes
+			finished = append(finished, t)
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	b.active = remaining
+	b.reallocate()
+	for _, t := range finished {
+		if t.done != nil {
+			t.done(t)
+		}
+	}
+}
+
+// TransferTime predicts, without running the engine, how long a
+// transfer of n payload bytes takes when the SPE sees the given payload
+// bandwidth. Used by analytic schedule construction.
+func TransferTime(n int64, payloadBps float64) sim.Time {
+	return sim.BytesToTime(n, payloadBps)
+}
+
+// AggregateBandwidth runs a saturation experiment: k SPEs each keep one
+// transfer of blockBytes outstanding back-to-back for the given
+// duration, and the achieved aggregate payload bandwidth is returned in
+// bytes/second. This regenerates one point of Figure 2.
+func AggregateBandwidth(k int, blockBytes int64, duration sim.Time) float64 {
+	eng := sim.New()
+	bus := NewBus(eng, Default())
+	var issue func(spe int)
+	issue = func(spe int) {
+		bus.Start(spe, Get, blockBytes, blockBytes, func(t *Transfer) {
+			if eng.Now() < duration {
+				issue(spe)
+			}
+		})
+	}
+	for s := 0; s < k; s++ {
+		issue(s)
+	}
+	eng.RunUntil(duration)
+	if duration <= 0 {
+		return 0
+	}
+	return bus.PayloadProgress() / duration.Seconds()
+}
+
+// HeavyTrafficPerSPE returns the per-SPE payload bandwidth when all 8
+// SPEs stream blocks of the given size — the paper's 2.76 GB/s figure
+// for 16 KB blocks.
+func HeavyTrafficPerSPE(blockBytes int64) float64 {
+	return AggregateBandwidth(8, blockBytes, 200*sim.Microsecond) / 8
+}
+
+func (t *Transfer) String() string {
+	return fmt.Sprintf("spe%d %s %dB", t.SPE, t.Dir, t.Bytes)
+}

@@ -1,0 +1,205 @@
+package eib
+
+import (
+	"testing"
+
+	"cellmatch/internal/sim"
+)
+
+func TestEfficiencyMonotone(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, b := range []int64{16, 64, 128, 256, 512, 1024, 16384} {
+		e := m.Efficiency(b)
+		if e <= prev {
+			t.Fatalf("efficiency not increasing at %dB: %f <= %f", b, e, prev)
+		}
+		if e <= 0 || e >= 1 {
+			t.Fatalf("efficiency out of range at %dB: %f", b, e)
+		}
+		prev = e
+	}
+	if m.Efficiency(0) != 0 {
+		t.Fatal("zero block should have zero efficiency")
+	}
+}
+
+func TestSingleTransferAlone(t *testing.T) {
+	eng := sim.New()
+	bus := NewBus(eng, Default())
+	var doneAt sim.Time
+	bus.Start(0, Get, 16384, 16384, func(tr *Transfer) { doneAt = eng.Now() })
+	eng.Run()
+	// Alone, the SPE link (7 GB/s wire) is the bottleneck:
+	// (16384+82)/7e9 = 2.352 us.
+	us := doneAt.Micros()
+	if us < 2.2 || us > 2.5 {
+		t.Fatalf("lone 16KB transfer took %.3f us, want ~2.35", us)
+	}
+}
+
+func TestHeavyTraffic16KMatchesPaper(t *testing.T) {
+	// Paper Section 4 / Figure 5: worst case all 8 SPEs streaming gives
+	// 22.05 GB/s aggregate, i.e. 2.76 GB/s per SPE, i.e. 5.94 us per
+	// 16 KB block.
+	per := HeavyTrafficPerSPE(16384)
+	gb := per / 1e9
+	if gb < 2.6 || gb > 2.9 {
+		t.Fatalf("per-SPE heavy-traffic bandwidth = %.3f GB/s, want ~2.76", gb)
+	}
+	blockTime := TransferTime(16384, per)
+	us := blockTime.Micros()
+	if us < 5.6 || us > 6.3 {
+		t.Fatalf("16KB heavy-traffic block time = %.3f us, want ~5.94", us)
+	}
+}
+
+func TestFigure2Saturation(t *testing.T) {
+	// Large blocks with 8 SPEs saturate near the 22.05 GB/s ceiling.
+	agg := AggregateBandwidth(8, 16384, 100*sim.Microsecond)
+	gb := agg / 1e9
+	if gb < 21.0 || gb > 22.3 {
+		t.Fatalf("8-SPE 16KB aggregate = %.2f GB/s, want ~22.05", gb)
+	}
+}
+
+func TestFigure2BlockSizeOrdering(t *testing.T) {
+	// At 8 SPEs the aggregate bandwidth must increase with block size
+	// (the four curves of Figure 2 never cross).
+	prev := 0.0
+	for _, b := range []int64{64, 128, 256, 512} {
+		agg := AggregateBandwidth(8, b, 100*sim.Microsecond)
+		if agg <= prev {
+			t.Fatalf("aggregate not increasing at %dB: %.2f <= %.2f GB/s",
+				b, agg/1e9, prev/1e9)
+		}
+		prev = agg
+	}
+}
+
+func TestFigure2SmallBlocksWaste(t *testing.T) {
+	// 64-byte blocks should achieve well under half of the 512-byte
+	// bandwidth's efficiency premium (paper: "close to the peak ...
+	// only when transferred blocks are at least 256 bytes").
+	small := AggregateBandwidth(8, 64, 100*sim.Microsecond)
+	big := AggregateBandwidth(8, 512, 100*sim.Microsecond)
+	if small >= 0.65*big {
+		t.Fatalf("64B blocks too efficient: %.2f vs %.2f GB/s", small/1e9, big/1e9)
+	}
+}
+
+func TestFigure2SPEScaling(t *testing.T) {
+	// With 512B+ blocks the curve should rise with SPE count and
+	// flatten once the arbitration ceiling binds (3-4 SPEs).
+	var prev float64
+	for k := 1; k <= 8; k++ {
+		agg := AggregateBandwidth(k, 16384, 100*sim.Microsecond)
+		if agg+1e8 < prev {
+			t.Fatalf("aggregate dropped at k=%d: %.2f < %.2f GB/s", k, agg/1e9, prev/1e9)
+		}
+		prev = agg
+	}
+	one := AggregateBandwidth(1, 16384, 100*sim.Microsecond)
+	eight := AggregateBandwidth(8, 16384, 100*sim.Microsecond)
+	if eight < 2.5*one {
+		t.Fatalf("no scaling: 1 SPE %.2f, 8 SPEs %.2f GB/s", one/1e9, eight/1e9)
+	}
+	four := AggregateBandwidth(4, 16384, 100*sim.Microsecond)
+	if eight > 1.15*four {
+		t.Fatalf("ceiling not binding: 4 SPEs %.2f, 8 SPEs %.2f GB/s", four/1e9, eight/1e9)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	eng := sim.New()
+	bus := NewBus(eng, Default())
+	var want int64
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 3; i++ {
+			n := int64(1024 * (s + 1) * (i + 1))
+			want += n
+			bus.Start(s, Get, n, n, nil)
+		}
+	}
+	eng.Run()
+	if bus.TotalPayload != want {
+		t.Fatalf("payload conservation: got %d want %d", bus.TotalPayload, want)
+	}
+	if bus.InFlight() != 0 {
+		t.Fatalf("transfers left in flight: %d", bus.InFlight())
+	}
+}
+
+func TestFairShareWithinSPE(t *testing.T) {
+	// Two equal transfers on one SPE should complete together, in about
+	// twice the time of a lone transfer.
+	eng := sim.New()
+	bus := NewBus(eng, Default())
+	var at [2]sim.Time
+	bus.Start(0, Get, 8192, 8192, func(tr *Transfer) { at[0] = eng.Now() })
+	bus.Start(0, Get, 8192, 8192, func(tr *Transfer) { at[1] = eng.Now() })
+	eng.Run()
+	d := (at[0] - at[1]).Micros()
+	if d < -0.01 || d > 0.01 {
+		t.Fatalf("equal transfers finished %f us apart", d)
+	}
+}
+
+func TestContentionSlowsTransfers(t *testing.T) {
+	lone := func() sim.Time {
+		eng := sim.New()
+		bus := NewBus(eng, Default())
+		var done sim.Time
+		bus.Start(0, Get, 16384, 16384, func(tr *Transfer) { done = eng.Now() })
+		eng.Run()
+		return done
+	}()
+	contended := func() sim.Time {
+		eng := sim.New()
+		bus := NewBus(eng, Default())
+		var done sim.Time
+		bus.Start(0, Get, 16384, 16384, func(tr *Transfer) { done = eng.Now() })
+		for s := 1; s < 8; s++ {
+			bus.Start(s, Get, 1<<20, 16384, nil)
+		}
+		eng.Run()
+		return done
+	}()
+	if contended <= lone {
+		t.Fatalf("contention did not slow transfer: %v vs %v", contended, lone)
+	}
+	// Under full contention the SPE gets ~2.76 GB/s instead of ~7.
+	ratio := float64(contended) / float64(lone)
+	if ratio < 1.5 || ratio > 4.0 {
+		t.Fatalf("contention ratio %.2f outside plausible band", ratio)
+	}
+}
+
+func TestPutAndGetShareBus(t *testing.T) {
+	eng := sim.New()
+	bus := NewBus(eng, Default())
+	done := 0
+	bus.Start(0, Get, 4096, 4096, func(tr *Transfer) { done++ })
+	bus.Start(0, Put, 4096, 4096, func(tr *Transfer) { done++ })
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size transfer did not panic")
+		}
+	}()
+	eng := sim.New()
+	bus := NewBus(eng, Default())
+	bus.Start(0, Get, 0, 0, nil)
+}
+
+func TestDirectionString(t *testing.T) {
+	if Get.String() != "get" || Put.String() != "put" {
+		t.Fatal("direction strings")
+	}
+}

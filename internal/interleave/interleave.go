@@ -1,0 +1,141 @@
+// Package interleave implements the PPE-side stream preparation of
+// Section 4: sixteen independent input streams are woven byte-wise
+// into quadwords ("each quadword of the input contains at position
+// i-th a byte from the i-th stream"), so the SPE kernel advances all
+// sixteen DFAs with one 128-bit load per step.
+//
+// It also implements the converse splitting of a single stream into
+// sixteen chunks with overlapping boundaries, which is how one fast
+// link is fanned onto the sixteen in-tile DFAs without losing matches
+// that straddle chunk borders (Section 5's "minor overlapping"
+// applied at stream granularity).
+package interleave
+
+import (
+	"fmt"
+)
+
+// Streams is the fixed interleave width of a DFA tile.
+const Streams = 16
+
+// Interleave weaves 16 equal-length streams into a single block:
+// output byte q*16+i is stream i's byte q. All streams must have the
+// same length.
+func Interleave(streams [][]byte) ([]byte, error) {
+	if len(streams) != Streams {
+		return nil, fmt.Errorf("interleave: need %d streams, got %d", Streams, len(streams))
+	}
+	n := len(streams[0])
+	for i, s := range streams {
+		if len(s) != n {
+			return nil, fmt.Errorf("interleave: stream %d has %d bytes, want %d", i, len(s), n)
+		}
+	}
+	out := make([]byte, n*Streams)
+	for q := 0; q < n; q++ {
+		base := q * Streams
+		for i := 0; i < Streams; i++ {
+			out[base+i] = streams[i][q]
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave splits a block back into 16 streams.
+func Deinterleave(block []byte) ([][]byte, error) {
+	if len(block)%Streams != 0 {
+		return nil, fmt.Errorf("interleave: block length %d not a multiple of %d", len(block), Streams)
+	}
+	n := len(block) / Streams
+	out := make([][]byte, Streams)
+	for i := range out {
+		out[i] = make([]byte, n)
+	}
+	for q := 0; q < n; q++ {
+		base := q * Streams
+		for i := 0; i < Streams; i++ {
+			out[i][q] = block[base+i]
+		}
+	}
+	return out, nil
+}
+
+// Chunk describes one split piece of a single stream: the half-open
+// byte range [Start, End) of the original data, of which the first
+// Overlap bytes repeat the tail of the previous chunk.
+type Chunk struct {
+	Start   int
+	End     int
+	Overlap int
+}
+
+// Len returns the chunk's byte count.
+func (c Chunk) Len() int { return c.End - c.Start }
+
+// SplitWithOverlap partitions [0, n) into k chunks whose boundaries
+// overlap by `overlap` bytes (the longest pattern length minus one),
+// so any match crossing a boundary appears complete in the following
+// chunk. Matches that end inside a chunk's overlap prefix are
+// duplicates of the previous chunk's matches and must be discarded by
+// the caller (DedupeEnd reports the threshold).
+func SplitWithOverlap(n, k, overlap int) ([]Chunk, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("interleave: split into %d chunks", k)
+	}
+	if overlap < 0 {
+		return nil, fmt.Errorf("interleave: negative overlap")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("interleave: negative length")
+	}
+	chunks := make([]Chunk, 0, k)
+	per := (n + k - 1) / k
+	for i := 0; i < k; i++ {
+		start := i * per
+		end := start + per
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			chunks = append(chunks, Chunk{Start: n, End: n})
+			continue
+		}
+		ov := 0
+		if i > 0 {
+			ov = overlap
+			if ov > start {
+				ov = start
+			}
+		}
+		chunks = append(chunks, Chunk{Start: start - ov, End: end, Overlap: ov})
+	}
+	return chunks, nil
+}
+
+// DedupeEnd returns the smallest in-chunk end offset (exclusive
+// threshold) at which a match is NOT a duplicate of the previous
+// chunk: matches ending at offset <= Overlap lie entirely within the
+// repeated region.
+func (c Chunk) DedupeEnd() int { return c.Overlap }
+
+// GlobalEnd converts an in-chunk match end offset to the original
+// stream coordinate.
+func (c Chunk) GlobalEnd(localEnd int) int { return c.Start + localEnd }
+
+// PadToMultiple extends data with the pad symbol until its length is a
+// multiple of m, returning the padded slice and the number of added
+// bytes. Tiles require block granularity (16 x unroll); the caller is
+// responsible for choosing a pad symbol outside the dictionary's
+// alphabet classes (class 0 when built with alphabet.FromPatterns).
+func PadToMultiple(data []byte, m int, pad byte) ([]byte, int) {
+	if m <= 1 || len(data)%m == 0 {
+		return data, 0
+	}
+	add := m - len(data)%m
+	out := make([]byte, len(data)+add)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = pad
+	}
+	return out, add
+}

@@ -1,0 +1,196 @@
+package interleave
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	streams := make([][]byte, Streams)
+	for i := range streams {
+		streams[i] = make([]byte, 32)
+		for j := range streams[i] {
+			streams[i][j] = byte(i*32 + j)
+		}
+	}
+	block, err := Interleave(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block) != 16*32 {
+		t.Fatalf("block length %d", len(block))
+	}
+	// Quadword q holds byte q of each stream.
+	if block[0] != 0 || block[1] != 32 || block[17] != 33 {
+		t.Fatalf("layout wrong: % x", block[:32])
+	}
+	back, err := Deinterleave(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range streams {
+		if !bytes.Equal(back[i], streams[i]) {
+			t.Fatalf("stream %d mismatch", i)
+		}
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	if _, err := Interleave(make([][]byte, 8)); err == nil {
+		t.Fatal("wrong stream count accepted")
+	}
+	ragged := make([][]byte, Streams)
+	for i := range ragged {
+		ragged[i] = make([]byte, i)
+	}
+	if _, err := Interleave(ragged); err == nil {
+		t.Fatal("ragged streams accepted")
+	}
+	if _, err := Deinterleave(make([]byte, 17)); err == nil {
+		t.Fatal("ragged block accepted")
+	}
+}
+
+func TestInterleaveProperty(t *testing.T) {
+	f := func(seed int64, lenByte uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(lenByte)
+		streams := make([][]byte, Streams)
+		for i := range streams {
+			streams[i] = make([]byte, n)
+			rng.Read(streams[i])
+		}
+		block, err := Interleave(streams)
+		if err != nil {
+			return false
+		}
+		back, err := Deinterleave(block)
+		if err != nil {
+			return false
+		}
+		for i := range streams {
+			if !bytes.Equal(back[i], streams[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitWithOverlapCoverage(t *testing.T) {
+	chunks, err := SplitWithOverlap(100, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	// First chunk starts at 0 with no overlap.
+	if chunks[0].Start != 0 || chunks[0].Overlap != 0 {
+		t.Fatalf("chunk 0 = %+v", chunks[0])
+	}
+	// Every successor begins `overlap` before the previous non-overlap end.
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i].Start != chunks[i-1].End-chunks[i].Overlap {
+			t.Fatalf("chunk %d = %+v after %+v", i, chunks[i], chunks[i-1])
+		}
+		if chunks[i].Overlap != 5 {
+			t.Fatalf("chunk %d overlap = %d", i, chunks[i].Overlap)
+		}
+	}
+	if chunks[len(chunks)-1].End != 100 {
+		t.Fatal("coverage does not reach the end")
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	// More chunks than bytes: trailing chunks are empty.
+	chunks, err := SplitWithOverlap(3, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, c := range chunks {
+		if c.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("all chunks empty")
+	}
+	if _, err := SplitWithOverlap(10, 0, 1); err == nil {
+		t.Fatal("zero chunks accepted")
+	}
+	if _, err := SplitWithOverlap(10, 2, -1); err == nil {
+		t.Fatal("negative overlap accepted")
+	}
+	// Overlap larger than the chunk start clamps.
+	chunks, err = SplitWithOverlap(10, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks[1].Start != 0 {
+		t.Fatalf("clamped overlap: %+v", chunks[1])
+	}
+}
+
+// Property: chunk coverage is exact and overlaps repeat real data: the
+// union of [Start+Overlap, End) intervals partitions [0, n).
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(rawN uint16, rawK, rawOv uint8) bool {
+		n := int(rawN % 2000)
+		k := int(rawK%10) + 1
+		ov := int(rawOv % 32)
+		chunks, err := SplitWithOverlap(n, k, ov)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for _, c := range chunks {
+			fresh := c.Len() - c.Overlap
+			if fresh < 0 {
+				return false
+			}
+			if c.Start+c.Overlap != covered && c.Len() > 0 {
+				return false
+			}
+			if c.Len() > 0 {
+				covered += fresh
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalEnd(t *testing.T) {
+	c := Chunk{Start: 90, End: 120, Overlap: 10}
+	if c.GlobalEnd(15) != 105 {
+		t.Fatalf("global end = %d", c.GlobalEnd(15))
+	}
+	if c.DedupeEnd() != 10 {
+		t.Fatalf("dedupe end = %d", c.DedupeEnd())
+	}
+}
+
+func TestPadToMultiple(t *testing.T) {
+	data := []byte{1, 2, 3}
+	padded, added := PadToMultiple(data, 16, 0)
+	if len(padded) != 16 || added != 13 {
+		t.Fatalf("padded %d added %d", len(padded), added)
+	}
+	if padded[2] != 3 || padded[3] != 0 {
+		t.Fatal("padding content wrong")
+	}
+	same, added := PadToMultiple(padded, 16, 0)
+	if added != 0 || len(same) != 16 {
+		t.Fatal("already-aligned data re-padded")
+	}
+}

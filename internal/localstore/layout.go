@@ -1,0 +1,185 @@
+// Package localstore manages the 256 KB software-controlled scratchpad
+// of a Cell SPE and reproduces the budget arithmetic of the paper's
+// Figure 3: how many DFA states fit in a tile for a given input-buffer
+// size.
+//
+// The three cases of Figure 3 are exact fixed points of this arithmetic:
+//
+//	buffers 2 x 16 KB -> 1520 states (190 KB STT)
+//	buffers 2 x  8 KB -> 1648 states (206 KB STT)
+//	buffers 2 x  4 KB -> 1712 states (214 KB STT)
+//
+// with 34 KB reserved for code and stack and 128 bytes per STT row
+// (32 symbols x 4 bytes).
+package localstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Size is the local store capacity in bytes.
+const Size = 256 * 1024
+
+// CodeAndStack is the paper's reservation for program text and stack.
+const CodeAndStack = 34 * 1024
+
+// Region is a named, aligned slice of the local store.
+type Region struct {
+	Name string
+	Addr uint32
+	Len  uint32
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint32 { return r.Addr + r.Len }
+
+// Layout is an allocation plan for one SPE's local store.
+type Layout struct {
+	regions []Region
+	next    uint32
+}
+
+// New returns an empty layout.
+func New() *Layout { return &Layout{} }
+
+// align rounds addr up to the given power-of-two boundary.
+func align(addr, boundary uint32) uint32 {
+	return (addr + boundary - 1) &^ (boundary - 1)
+}
+
+// Alloc reserves n bytes aligned to the given boundary (power of two,
+// >= 16: the DMA alignment minimum). It returns the region or an error
+// if the local store is exhausted.
+func (l *Layout) Alloc(name string, n, boundary uint32) (Region, error) {
+	if boundary < 16 || boundary&(boundary-1) != 0 {
+		return Region{}, fmt.Errorf("localstore: bad alignment %d for %q", boundary, name)
+	}
+	addr := align(l.next, boundary)
+	if addr+n > Size || addr+n < addr {
+		return Region{}, fmt.Errorf("localstore: %q needs %d bytes at %#x, exceeds %d KB store",
+			name, n, addr, Size/1024)
+	}
+	r := Region{Name: name, Addr: addr, Len: n}
+	l.regions = append(l.regions, r)
+	l.next = addr + n
+	return r, nil
+}
+
+// Used returns the total bytes consumed including alignment padding.
+func (l *Layout) Used() uint32 { return l.next }
+
+// Free returns the remaining bytes.
+func (l *Layout) Free() uint32 { return Size - l.next }
+
+// Regions returns a copy of the allocated regions in address order.
+func (l *Layout) Regions() []Region {
+	out := make([]Region, len(l.regions))
+	copy(out, l.regions)
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Lookup finds a region by name.
+func (l *Layout) Lookup(name string) (Region, bool) {
+	for _, r := range l.regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// TilePlan is the resolved local-store budget for one DFA tile,
+// the quantity Figure 3 tabulates.
+type TilePlan struct {
+	BufBytes     uint32 // one input buffer (two are allocated)
+	RowBytes     uint32 // STT row stride (symbols x 4)
+	MaxStates    int    // states that fit
+	STTBytes     uint32 // MaxStates x RowBytes
+	CodeStack    uint32
+	InputBuffers uint32 // 2 x BufBytes
+}
+
+// PlanTile computes the maximum DFA size for a tile with two input
+// buffers of bufBytes each and rows of rowBytes (which must be a power
+// of two so that state pointers have free low bits).
+func PlanTile(bufBytes, rowBytes uint32) (TilePlan, error) {
+	if rowBytes == 0 || rowBytes&(rowBytes-1) != 0 {
+		return TilePlan{}, fmt.Errorf("localstore: STT row size %d not a power of two", rowBytes)
+	}
+	if bufBytes%16 != 0 || bufBytes == 0 {
+		return TilePlan{}, fmt.Errorf("localstore: buffer size %d not DMA-aligned", bufBytes)
+	}
+	avail := int64(Size) - int64(CodeAndStack) - 2*int64(bufBytes)
+	if avail < int64(rowBytes) {
+		return TilePlan{}, fmt.Errorf("localstore: buffers of %d KB leave no room for an STT", bufBytes/1024)
+	}
+	states := avail / int64(rowBytes)
+	return TilePlan{
+		BufBytes:     bufBytes,
+		RowBytes:     rowBytes,
+		MaxStates:    int(states),
+		STTBytes:     uint32(states) * rowBytes,
+		CodeStack:    CodeAndStack,
+		InputBuffers: 2 * bufBytes,
+	}, nil
+}
+
+// Figure3Cases returns the paper's three tabulated layouts in order.
+func Figure3Cases() []TilePlan {
+	var out []TilePlan
+	for _, kb := range []uint32{16, 8, 4} {
+		p, err := PlanTile(kb*1024, 128)
+		if err != nil {
+			panic(err) // fixed inputs; cannot fail
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// BuildTileLayout allocates the concrete regions of a tile plan in the
+// order the paper draws them: STT first, input buffers, then code+stack.
+// The STT is 128-byte aligned so every row is 128-byte aligned, the
+// condition for the pointer/flag encoding and for peak DMA bandwidth.
+func BuildTileLayout(p TilePlan) (*Layout, error) {
+	l := New()
+	if _, err := l.Alloc("stt", p.STTBytes, 128); err != nil {
+		return nil, err
+	}
+	if _, err := l.Alloc("input0", p.BufBytes, 128); err != nil {
+		return nil, err
+	}
+	if _, err := l.Alloc("input1", p.BufBytes, 128); err != nil {
+		return nil, err
+	}
+	if _, err := l.Alloc("code+stack", p.CodeStack, 16); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ReplacementPlan is the Section 6 layout: two half-size STT slots that
+// are double-buffered while the dictionary streams through.
+type ReplacementPlan struct {
+	SlotBytes  uint32 // one STT slot
+	SlotStates int    // states per slot
+	BufBytes   uint32
+}
+
+// PlanReplacement computes the double-STT layout of Section 6. The
+// paper quotes ~95-100 KB per slot, roughly 800 states, with the same
+// 34 KB code+stack reservation and two input buffers.
+func PlanReplacement(bufBytes, rowBytes uint32) (ReplacementPlan, error) {
+	base, err := PlanTile(bufBytes, rowBytes)
+	if err != nil {
+		return ReplacementPlan{}, err
+	}
+	slotStates := base.MaxStates / 2
+	return ReplacementPlan{
+		SlotBytes:  uint32(slotStates) * rowBytes,
+		SlotStates: slotStates,
+		BufBytes:   bufBytes,
+	}, nil
+}

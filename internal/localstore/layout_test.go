@@ -1,0 +1,180 @@
+package localstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure3Exact verifies the paper's Figure 3 cases are exact
+// consequences of the budget arithmetic: 1520/1648/1712 states and
+// 190/206/214 KB STTs for 16/8/4 KB input buffers.
+func TestFigure3Exact(t *testing.T) {
+	cases := Figure3Cases()
+	want := []struct {
+		bufKB  uint32
+		states int
+		sttKB  uint32
+	}{
+		{16, 1520, 190},
+		{8, 1648, 206},
+		{4, 1712, 214},
+	}
+	if len(cases) != len(want) {
+		t.Fatalf("got %d cases", len(cases))
+	}
+	for i, w := range want {
+		c := cases[i]
+		if c.BufBytes != w.bufKB*1024 {
+			t.Errorf("case %d: buf %d", i, c.BufBytes)
+		}
+		if c.MaxStates != w.states {
+			t.Errorf("case %d: states %d want %d", i, c.MaxStates, w.states)
+		}
+		if c.STTBytes != w.sttKB*1024 {
+			t.Errorf("case %d: STT %d bytes want %d KB", i, c.STTBytes, w.sttKB)
+		}
+	}
+}
+
+func TestBudgetClosure(t *testing.T) {
+	// STT + both buffers + code/stack must exactly fill the 256 KB
+	// store in every Figure 3 case (the paper's diagram sums to 256 KB).
+	for i, c := range Figure3Cases() {
+		total := c.STTBytes + c.InputBuffers + c.CodeStack
+		if total != Size {
+			t.Errorf("case %d: budget sums to %d, want %d", i, total, Size)
+		}
+	}
+}
+
+func TestPlanTileErrors(t *testing.T) {
+	if _, err := PlanTile(16*1024, 96); err == nil {
+		t.Fatal("non-power-of-two row accepted")
+	}
+	if _, err := PlanTile(0, 128); err == nil {
+		t.Fatal("zero buffer accepted")
+	}
+	if _, err := PlanTile(7, 128); err == nil {
+		t.Fatal("unaligned buffer accepted")
+	}
+	if _, err := PlanTile(120*1024, 128); err == nil {
+		t.Fatal("oversized buffers accepted")
+	}
+}
+
+func TestBuildTileLayout(t *testing.T) {
+	p, err := PlanTile(16*1024, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := BuildTileLayout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stt, ok := l.Lookup("stt")
+	if !ok {
+		t.Fatal("no stt region")
+	}
+	if stt.Addr%128 != 0 {
+		t.Fatalf("STT not 128-byte aligned: %#x", stt.Addr)
+	}
+	if stt.Len != p.STTBytes {
+		t.Fatalf("STT length %d", stt.Len)
+	}
+	// Regions must not overlap and must fit.
+	regs := l.Regions()
+	for i := 1; i < len(regs); i++ {
+		if regs[i].Addr < regs[i-1].End() {
+			t.Fatalf("overlap between %q and %q", regs[i-1].Name, regs[i].Name)
+		}
+	}
+	if l.Used() > Size {
+		t.Fatalf("used %d exceeds store", l.Used())
+	}
+	if regs[len(regs)-1].End() != Size {
+		t.Fatalf("layout does not exactly fill the store: ends at %d", regs[len(regs)-1].End())
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	l := New()
+	a, err := l.Alloc("a", 100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr != 0 {
+		t.Fatalf("first alloc at %d", a.Addr)
+	}
+	b, err := l.Alloc("b", 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Addr != 128 {
+		t.Fatalf("aligned alloc at %d, want 128", b.Addr)
+	}
+	if _, err := l.Alloc("bad", 16, 24); err == nil {
+		t.Fatal("non-power-of-two alignment accepted")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	l := New()
+	if _, err := l.Alloc("big", Size, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Alloc("more", 16, 16); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if l.Free() != 0 {
+		t.Fatalf("free = %d", l.Free())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	l := New()
+	if _, ok := l.Lookup("ghost"); ok {
+		t.Fatal("found nonexistent region")
+	}
+}
+
+func TestPlanReplacement(t *testing.T) {
+	// Section 6: slots of roughly 95-100 KB, ~800 states.
+	p, err := PlanReplacement(16*1024, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotStates < 700 || p.SlotStates > 900 {
+		t.Fatalf("slot states = %d, want ~800", p.SlotStates)
+	}
+	kb := p.SlotBytes / 1024
+	if kb < 90 || kb > 100 {
+		t.Fatalf("slot = %d KB, want ~95", kb)
+	}
+	// Two slots plus buffers plus code must fit.
+	total := 2*p.SlotBytes + 2*p.BufBytes + CodeAndStack
+	if total > Size {
+		t.Fatalf("replacement layout overflows: %d", total)
+	}
+}
+
+// Property: for any valid buffer size, the plan never overflows the
+// store and uses every whole row available.
+func TestPlanTileProperty(t *testing.T) {
+	f := func(rawKB uint8) bool {
+		kb := uint32(rawKB%64) + 1 // 1..64 KB buffers
+		p, err := PlanTile(kb*1024, 128)
+		if err != nil {
+			// Acceptable only when buffers leave no STT room.
+			return 2*kb*1024+CodeAndStack+128 > Size
+		}
+		total := p.STTBytes + p.InputBuffers + p.CodeStack
+		if total > Size {
+			return false
+		}
+		// Adding one more row must overflow.
+		return total+p.RowBytes > Size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

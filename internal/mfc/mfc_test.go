@@ -1,0 +1,186 @@
+package mfc
+
+import (
+	"testing"
+
+	"cellmatch/internal/eib"
+	"cellmatch/internal/sim"
+)
+
+func newTestMFC() (*sim.Engine, *MFC) {
+	eng := sim.New()
+	bus := eib.NewBus(eng, eib.Default())
+	return eng, New(eng, bus, 0)
+}
+
+func TestGetCompletes(t *testing.T) {
+	eng, m := newTestMFC()
+	if err := m.Get(0, 0, 0, 16384); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	m.WaitTagMask(TagMask(0), func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("wait never fired")
+	}
+	if m.Issued != 1 || m.Completed != 1 {
+		t.Fatalf("issued=%d completed=%d", m.Issued, m.Completed)
+	}
+	if eng.Now() <= 0 {
+		t.Fatal("transfer took zero time")
+	}
+}
+
+func TestAlignmentErrors(t *testing.T) {
+	_, m := newTestMFC()
+	cases := []struct {
+		local uint32
+		main  uint64
+		n     int64
+	}{
+		{1, 0, 16},
+		{0, 8, 16},
+		{0, 0, 17},
+	}
+	for i, c := range cases {
+		if err := m.Get(0, c.local, c.main, c.n); err == nil {
+			t.Fatalf("case %d: expected alignment error", i)
+		}
+	}
+}
+
+func TestBadTagAndSize(t *testing.T) {
+	_, m := newTestMFC()
+	if err := m.Get(-1, 0, 0, 16); err == nil {
+		t.Fatal("negative tag accepted")
+	}
+	if err := m.Get(32, 0, 0, 16); err == nil {
+		t.Fatal("tag 32 accepted")
+	}
+	if err := m.Get(0, 0, 0, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestTagGroupsIndependent(t *testing.T) {
+	eng, m := newTestMFC()
+	// Tag 1 carries a large transfer, tag 2 a small one; waiting on
+	// tag 2 must fire before tag 1 completes.
+	var order []int
+	if err := m.Get(1, 0, 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Get(2, 4096, 4096, 1024); err != nil {
+		t.Fatal(err)
+	}
+	m.WaitTagMask(TagMask(2), func() { order = append(order, 2) })
+	m.WaitTagMask(TagMask(1), func() { order = append(order, 1) })
+	eng.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("completion order = %v", order)
+	}
+}
+
+func TestWaitMultipleTags(t *testing.T) {
+	eng, m := newTestMFC()
+	m.Get(0, 0, 0, 4096)
+	m.Get(1, 8192, 8192, 65536)
+	fired := sim.Time(-1)
+	m.WaitTagMask(TagMask(0, 1), func() { fired = eng.Now() })
+	eng.Run()
+	if fired < 0 {
+		t.Fatal("combined wait never fired")
+	}
+	if fired != eng.Now() {
+		t.Fatalf("combined wait fired at %v before all complete at %v", fired, eng.Now())
+	}
+}
+
+func TestWaitOnIdleTagFiresImmediately(t *testing.T) {
+	eng, m := newTestMFC()
+	fired := false
+	m.WaitTagMask(TagMask(5), func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("idle-tag wait never fired")
+	}
+	if eng.Now() != 0 {
+		t.Fatalf("idle wait advanced time to %v", eng.Now())
+	}
+}
+
+func TestQueueOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("queue overflow did not panic")
+		}
+	}()
+	_, m := newTestMFC()
+	for i := 0; i <= QueueDepth; i++ {
+		m.Get(0, 0, 0, 16384)
+	}
+}
+
+func TestOutstandingAndQueueLen(t *testing.T) {
+	eng, m := newTestMFC()
+	m.Get(3, 0, 0, 16384)
+	m.Get(3, 16384, 16384, 16384)
+	if m.Outstanding(3) != 2 {
+		t.Fatalf("outstanding = %d", m.Outstanding(3))
+	}
+	if m.QueueLen() != 2 {
+		t.Fatalf("queue len = %d", m.QueueLen())
+	}
+	eng.Run()
+	if m.Outstanding(3) != 0 || m.QueueLen() != 0 {
+		t.Fatal("not drained")
+	}
+}
+
+func TestLargeTransferUsesDMAList(t *testing.T) {
+	// A 95 KB STT chunk (Figure 8) moves as one command stream; its
+	// duration must be close to 95K/bandwidth, not one 16K piece.
+	eng, m := newTestMFC()
+	var done sim.Time
+	if err := m.Get(0, 0, 0, 96*1024); err != nil {
+		t.Fatal(err)
+	}
+	m.WaitTagMask(TagMask(0), func() { done = eng.Now() })
+	eng.Run()
+	// Alone on the bus at ~7 GB/s: 98304/7e9 = 14.0 us.
+	us := done.Micros()
+	if us < 13.0 || us > 15.5 {
+		t.Fatalf("96KB DMA list took %.2f us, want ~14", us)
+	}
+}
+
+func TestTagMaskHelper(t *testing.T) {
+	if TagMask(0) != 1 || TagMask(1, 3) != 0b1010 {
+		t.Fatal("TagMask arithmetic")
+	}
+}
+
+func TestManySequentialTransfers(t *testing.T) {
+	eng, m := newTestMFC()
+	count := 0
+	var next func()
+	next = func() {
+		if count >= 50 {
+			return
+		}
+		count++
+		if err := m.Get(0, 0, 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		m.WaitTagMask(TagMask(0), next)
+	}
+	next()
+	eng.Run()
+	if count != 50 {
+		t.Fatalf("count = %d", count)
+	}
+	if m.Completed != 50 {
+		t.Fatalf("completed = %d", m.Completed)
+	}
+}

@@ -1,0 +1,211 @@
+// Package pipeline implements the paper's two SPE schedules on the
+// discrete-event substrate:
+//
+//   - double buffering (Section 4, Figure 5): input blocks stream into
+//     one buffer while the other is matched, hiding the 5.94 us
+//     transfer under the 25.64 us computation entirely;
+//   - dynamic STT replacement (Section 6, Figure 8): dictionaries
+//     larger than the local store rotate half-size STTs through two
+//     resident slots, loaded in the idle DMA time, degrading
+//     throughput smoothly (Figure 9).
+package pipeline
+
+import (
+	"fmt"
+
+	"cellmatch/internal/eib"
+	"cellmatch/internal/mfc"
+	"cellmatch/internal/sim"
+)
+
+// Phase is one labeled interval of a schedule timeline.
+type Phase struct {
+	Name  string // "compute" or "dma"
+	Label string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the phase length.
+func (p Phase) Duration() sim.Time { return p.End - p.Start }
+
+// Figure5Config parameterizes the double-buffering experiment.
+type Figure5Config struct {
+	// BlockBytes is the input block (and buffer) size.
+	BlockBytes int64
+	// Blocks is how many blocks each SPE processes.
+	Blocks int
+	// CyclesPerTransition is the measured kernel cost (Table 1 V4:
+	// ~5 cycles -> 25.64 us per 16 KB block at 3.2 GHz).
+	CyclesPerTransition float64
+	// ClockHz is the SPU clock.
+	ClockHz float64
+	// SPEs is how many SPEs run the same schedule concurrently (8 =
+	// the paper's worst-case traffic).
+	SPEs int
+}
+
+// Defaults fills zero fields with the paper's parameters.
+func (c *Figure5Config) Defaults() {
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 16 * 1024
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 16
+	}
+	if c.CyclesPerTransition == 0 {
+		c.CyclesPerTransition = 5.01
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 3.2e9
+	}
+	if c.SPEs == 0 {
+		c.SPEs = 8
+	}
+}
+
+// Figure5Result reports the schedule achieved by SPE 0.
+type Figure5Result struct {
+	Computes  []Phase
+	Transfers []Phase
+	// Total is the makespan for SPE 0.
+	Total sim.Time
+	// ComputeBusy is the sum of compute phase durations.
+	ComputeBusy sim.Time
+	// SteadyUtilization is compute busy time divided by elapsed time
+	// after the first block's transfer (the paper: all transfer cost
+	// except the first is hidden).
+	SteadyUtilization float64
+	// ThroughputGbps is the effective filtered bandwidth.
+	ThroughputGbps float64
+	// ComputePeriod and TransferTime are the steady-state durations
+	// (the 25.64 us and 5.94 us of Figure 5).
+	ComputePeriod sim.Time
+	TransferTime  sim.Time
+}
+
+// speState drives one SPE's double-buffer loop.
+type speState struct {
+	eng       *sim.Engine
+	m         *mfc.MFC
+	cfg       Figure5Config
+	compute   sim.Time
+	processed int
+	loaded    [2]bool
+	busy      bool
+	record    bool
+	computes  []Phase
+	transfers []Phase
+	doneAt    sim.Time
+}
+
+func (s *speState) loadBuffer(buf int, onDone func()) {
+	start := s.eng.Now()
+	tag := buf
+	if err := s.m.Get(tag, uint32(buf*int(s.cfg.BlockBytes)), 0, s.cfg.BlockBytes); err != nil {
+		panic(err)
+	}
+	s.m.WaitTagMask(mfc.TagMask(tag), func() {
+		if s.record {
+			s.transfers = append(s.transfers, Phase{
+				Name: "dma", Label: fmt.Sprintf("load input buffer %d", buf),
+				Start: start, End: s.eng.Now(),
+			})
+		}
+		onDone()
+	})
+}
+
+func (s *speState) tryCompute() {
+	if s.busy || s.processed >= s.cfg.Blocks {
+		return
+	}
+	buf := s.processed % 2
+	if !s.loaded[buf] {
+		return
+	}
+	s.busy = true
+	s.loaded[buf] = false
+	start := s.eng.Now()
+	// Prefetch the block after next into this buffer as soon as the
+	// compute starts (the buffer's data is consumed by the kernel; in
+	// the model the content is irrelevant so the reload can overlap).
+	next := s.processed + 2
+	if next < s.cfg.Blocks {
+		s.loadBuffer(buf, func() {
+			s.loaded[buf] = true
+			s.tryCompute()
+		})
+	}
+	s.eng.After(s.compute, func() {
+		if s.record {
+			s.computes = append(s.computes, Phase{
+				Name: "compute", Label: fmt.Sprintf("process buffer %d", buf),
+				Start: start, End: s.eng.Now(),
+			})
+		}
+		s.processed++
+		s.busy = false
+		s.doneAt = s.eng.Now()
+		s.tryCompute()
+	})
+}
+
+// RunDoubleBuffer executes the Figure 5 schedule and returns SPE 0's
+// timeline and utilization.
+func RunDoubleBuffer(cfg Figure5Config) Figure5Result {
+	cfg.Defaults()
+	eng := sim.New()
+	bus := eib.NewBus(eng, eib.Default())
+	compute := sim.CyclesToTime(int64(float64(cfg.BlockBytes)*cfg.CyclesPerTransition), cfg.ClockHz)
+	spes := make([]*speState, cfg.SPEs)
+	for i := range spes {
+		s := &speState{
+			eng:     eng,
+			m:       mfc.New(eng, bus, i),
+			cfg:     cfg,
+			compute: compute,
+			record:  i == 0,
+		}
+		spes[i] = s
+		// Figure 5: buffer 0 loads first; buffer 1's load overlaps the
+		// first computation.
+		s.loadBuffer(0, func() {
+			s.loaded[0] = true
+			if cfg.Blocks > 1 {
+				s.loadBuffer(1, func() {
+					s.loaded[1] = true
+					s.tryCompute()
+				})
+			}
+			s.tryCompute()
+		})
+	}
+	eng.Run()
+	s0 := spes[0]
+	var busy sim.Time
+	for _, p := range s0.computes {
+		busy += p.Duration()
+	}
+	res := Figure5Result{
+		Computes:      s0.computes,
+		Transfers:     s0.transfers,
+		Total:         s0.doneAt,
+		ComputeBusy:   busy,
+		ComputePeriod: compute,
+	}
+	if len(s0.transfers) > 0 {
+		res.TransferTime = s0.transfers[0].Duration()
+	}
+	if len(s0.computes) > 0 {
+		span := s0.doneAt - s0.computes[0].Start
+		if span > 0 {
+			res.SteadyUtilization = float64(busy) / float64(span)
+		}
+	}
+	if s0.doneAt > 0 {
+		bits := float64(cfg.BlockBytes) * float64(cfg.Blocks) * 8
+		res.ThroughputGbps = bits / s0.doneAt.Seconds() / 1e9
+	}
+	return res
+}

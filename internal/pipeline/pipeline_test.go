@@ -1,0 +1,175 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"cellmatch/internal/sim"
+)
+
+func TestFigure5PaperNumbers(t *testing.T) {
+	// Paper: 16 KB block at 5.01 cycles/transition -> 25.64 us compute;
+	// transfer at 2.76 GB/s -> 5.94 us; transfers fully hidden.
+	res := RunDoubleBuffer(Figure5Config{Blocks: 12})
+	cp := res.ComputePeriod.Micros()
+	if cp < 25.5 || cp > 25.8 {
+		t.Fatalf("compute period = %.2f us, want 25.64", cp)
+	}
+	tt := res.TransferTime.Micros()
+	if tt < 2.0 || tt > 7.0 {
+		t.Fatalf("transfer = %.2f us, want <= ~5.94", tt)
+	}
+	if res.SteadyUtilization < 0.99 {
+		t.Fatalf("compute utilization = %.3f, transfers not hidden", res.SteadyUtilization)
+	}
+}
+
+func TestFigure5TransferHidden(t *testing.T) {
+	res := RunDoubleBuffer(Figure5Config{Blocks: 10})
+	// Makespan ~= first transfer + blocks x compute.
+	ideal := res.TransferTime + sumPhases(res.Computes)
+	slack := float64(res.Total-ideal) / float64(res.Total)
+	if slack > 0.02 {
+		t.Fatalf("schedule has %.1f%% unexplained gaps (total %v, ideal %v)",
+			slack*100, res.Total, ideal)
+	}
+	if len(res.Computes) != 10 {
+		t.Fatalf("computed %d blocks", len(res.Computes))
+	}
+}
+
+func TestFigure5ComputesNeverOverlap(t *testing.T) {
+	res := RunDoubleBuffer(Figure5Config{Blocks: 8})
+	for i := 1; i < len(res.Computes); i++ {
+		if res.Computes[i].Start < res.Computes[i-1].End {
+			t.Fatalf("compute %d overlaps previous", i)
+		}
+	}
+}
+
+func TestFigure5ThroughputMatchesKernel(t *testing.T) {
+	// End-to-end throughput must equal the kernel's 5.11 Gbps (within
+	// the first-transfer amortization).
+	res := RunDoubleBuffer(Figure5Config{Blocks: 50})
+	if res.ThroughputGbps < 4.9 || res.ThroughputGbps > 5.2 {
+		t.Fatalf("throughput = %.2f Gbps, want ~5.11", res.ThroughputGbps)
+	}
+}
+
+func TestFigure5SmallBlocksStillHidden(t *testing.T) {
+	// The paper: "the same considerations hold even when smaller block
+	// sizes are chosen, down to 512 bytes".
+	for _, kb := range []int64{512, 4096, 8192} {
+		res := RunDoubleBuffer(Figure5Config{BlockBytes: kb, Blocks: 20})
+		if res.SteadyUtilization < 0.98 {
+			t.Fatalf("%d-byte blocks: utilization %.3f", kb, res.SteadyUtilization)
+		}
+	}
+}
+
+func sumPhases(ps []Phase) (total sim.Time) {
+	for _, p := range ps {
+		total += p.Duration()
+	}
+	return total
+}
+
+func TestPaperReplacementFormula(t *testing.T) {
+	if PaperReplacementGbps(5.11, 1) != 5.11 {
+		t.Fatal("n=1 should be full speed")
+	}
+	if got := PaperReplacementGbps(5.11, 2); math.Abs(got-2.555) > 1e-9 {
+		t.Fatalf("n=2: %.3f", got)
+	}
+	if got := PaperReplacementGbps(5.11, 6); math.Abs(got-0.511) > 1e-9 {
+		t.Fatalf("n=6: %.3f (paper: 5.11/10)", got)
+	}
+}
+
+func TestReplacementN1IsDoubleBuffering(t *testing.T) {
+	res := RunReplacement(ReplacementConfig{STTs: 1, Pairs: 10})
+	if res.EffectiveGbps < 4.8 || res.EffectiveGbps > 5.3 {
+		t.Fatalf("n=1 effective = %.2f Gbps, want ~5.11", res.EffectiveGbps)
+	}
+}
+
+func TestReplacementN2HalvesThroughput(t *testing.T) {
+	res := RunReplacement(ReplacementConfig{STTs: 2, Pairs: 10})
+	want := PaperReplacementGbps(5.11, 2)
+	if math.Abs(res.EffectiveGbps-want)/want > 0.08 {
+		t.Fatalf("n=2 effective = %.2f Gbps, paper %.2f", res.EffectiveGbps, want)
+	}
+}
+
+func TestReplacementDecaysHyperbolically(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 3, 4, 6} {
+		res := RunReplacement(ReplacementConfig{STTs: n, Pairs: 6})
+		if res.EffectiveGbps >= prev {
+			t.Fatalf("throughput not decreasing at n=%d: %.2f >= %.2f",
+				n, res.EffectiveGbps, prev)
+		}
+		prev = res.EffectiveGbps
+		// The schedule can never beat processing each block n times.
+		ceiling := 5.2 / float64(n)
+		if res.EffectiveGbps > ceiling {
+			t.Fatalf("n=%d: %.2f Gbps exceeds the n-pass ceiling %.2f",
+				n, res.EffectiveGbps, ceiling)
+		}
+	}
+}
+
+func TestReplacementTimelineShape(t *testing.T) {
+	// Figure 8: computes alternate buffers; STT loads appear for n>2.
+	res := RunReplacement(ReplacementConfig{STTs: 3, Pairs: 3})
+	var computes, sttLoads int
+	for _, p := range res.Timeline {
+		switch {
+		case p.Name == "compute":
+			computes++
+		case p.Name == "dma" && len(p.Label) > 12 && p.Label[:13] == "load next STT":
+			sttLoads++
+		}
+	}
+	if computes == 0 || sttLoads == 0 {
+		t.Fatalf("timeline lacks phases: computes=%d sttLoads=%d", computes, sttLoads)
+	}
+	// Every pair costs n visits = 2n computes.
+	if computes != 3*2*3 {
+		t.Fatalf("computes = %d, want %d", computes, 18)
+	}
+}
+
+func TestReplacementScalesWithSPEs(t *testing.T) {
+	one := RunReplacement(ReplacementConfig{STTs: 3, SPEs: 1, Pairs: 4})
+	eight := RunReplacement(ReplacementConfig{STTs: 3, SPEs: 8, Pairs: 4})
+	if eight.SystemGbps < 6*one.SystemGbps {
+		t.Fatalf("8 SPEs give %.2f vs 1 SPE %.2f Gbps: poor scaling",
+			eight.SystemGbps, one.SystemGbps)
+	}
+}
+
+func TestFigure9Sweep(t *testing.T) {
+	pts := Figure9(5.11, []int{1, 8}, 4)
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.SimulatedGbps <= 0 || p.PaperGbps <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		// Same decay family: simulated within a factor ~2.2 of the
+		// paper's conservative closed form, never slower than it.
+		if p.SimulatedGbps < 0.85*p.PaperGbps || p.SimulatedGbps > 2.4*p.PaperGbps {
+			t.Fatalf("point %+v: simulated diverges from paper form", p)
+		}
+	}
+	// 8-SPE n=1 start: ~40.88 Gbps (Section 5).
+	start := pts[4]
+	if start.SPEs != 8 || start.STTs != 1 {
+		t.Fatalf("unexpected ordering: %+v", start)
+	}
+	if start.SimulatedGbps < 38 || start.SimulatedGbps > 42 {
+		t.Fatalf("8-SPE static throughput = %.2f, want ~40.9", start.SimulatedGbps)
+	}
+}

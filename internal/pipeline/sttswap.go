@@ -1,0 +1,293 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"cellmatch/internal/eib"
+	"cellmatch/internal/mfc"
+	"cellmatch/internal/sim"
+)
+
+// ReplacementConfig parameterizes the Section 6 dynamic STT
+// replacement experiment.
+type ReplacementConfig struct {
+	// SlotBytes is one resident STT slot (~95 KB: half the Figure 3
+	// budget, about 800 states).
+	SlotBytes int64
+	// STTs is the dictionary's STT count n (>= 1).
+	STTs int
+	// BlockBytes is the input block size.
+	BlockBytes int64
+	// CyclesPerTransition and ClockHz define the compute rate.
+	CyclesPerTransition float64
+	ClockHz             float64
+	// SPEs run the schedule concurrently, sharing the bus.
+	SPEs int
+	// Pairs is how many buffer pairs of unique input each SPE pushes
+	// through the full STT cycle.
+	Pairs int
+}
+
+// Defaults fills zero fields with the paper's parameters.
+func (c *ReplacementConfig) Defaults() {
+	if c.SlotBytes == 0 {
+		c.SlotBytes = 95 * 1024
+	}
+	if c.STTs == 0 {
+		c.STTs = 2
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 16 * 1024
+	}
+	if c.CyclesPerTransition == 0 {
+		c.CyclesPerTransition = 5.01
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 3.2e9
+	}
+	if c.SPEs == 0 {
+		c.SPEs = 1
+	}
+	if c.Pairs == 0 {
+		c.Pairs = 8
+	}
+}
+
+// ReplacementResult reports the achieved schedule.
+type ReplacementResult struct {
+	// Timeline is SPE 0's phase list (Figure 8).
+	Timeline []Phase
+	// Total is SPE 0's makespan.
+	Total sim.Time
+	// UniqueBytes is the unique input volume SPE 0 filtered against
+	// the whole dictionary.
+	UniqueBytes int64
+	// EffectiveGbps is the per-SPE filtered bandwidth.
+	EffectiveGbps float64
+	// SystemGbps = SPEs x EffectiveGbps (distinct input portions).
+	SystemGbps float64
+}
+
+// PaperReplacementGbps is the paper's closed form for the effective
+// per-SPE bandwidth with n STTs: base for n=1, base/(2(n-1)) for n>=2.
+func PaperReplacementGbps(baseGbps float64, n int) float64 {
+	if n <= 1 {
+		return baseGbps
+	}
+	return baseGbps / float64(2*(n-1))
+}
+
+// replacementSPE drives one SPE through the Figure 8 schedule: two
+// input buffers advance together through the STT rotation; while STT k
+// is matched against both buffers, STT k+1 streams into the other slot
+// during the idle DMA time. Input blocks are (re)fetched once per pass
+// — a block's passes against successive STTs each reload it, which is
+// what the per-period "load input to buffer" boxes of Figure 8 are.
+type replacementSPE struct {
+	eng     *sim.Engine
+	m       *mfc.MFC
+	cfg     ReplacementConfig
+	compute sim.Time
+
+	phase      int // visit state machine: see the vs* constants
+	visit      int // STT visits completed in the current cycle
+	pairsDone  int
+	sttReady   bool
+	inReady    [2]bool
+	record     bool
+	timeline   []Phase
+	doneAt     sim.Time
+	uniqueByte int64
+}
+
+// Visit states.
+const (
+	vsIdle     = iota // between visits: wait for STT and buffer 0
+	vsRunning0        // matching buffer 0
+	vsWaiting1        // buffer 0 done; waiting for buffer 1's fetch
+	vsRunning1        // matching buffer 1
+)
+
+const (
+	tagIn0 = 0
+	tagIn1 = 1
+	tagSTT = 2
+)
+
+func (r *replacementSPE) fetchInput(buf int, onDone func()) {
+	start := r.eng.Now()
+	tag := tagIn0 + buf
+	if err := r.m.Get(tag, uint32(buf)*uint32(r.cfg.BlockBytes), 0, r.cfg.BlockBytes); err != nil {
+		panic(err)
+	}
+	r.m.WaitTagMask(mfc.TagMask(tag), func() {
+		if r.record {
+			r.timeline = append(r.timeline, Phase{
+				Name: "dma", Label: fmt.Sprintf("load input to buffer %d", buf),
+				Start: start, End: r.eng.Now(),
+			})
+		}
+		onDone()
+	})
+}
+
+func (r *replacementSPE) loadNextSTT(slot, stt int, onDone func()) {
+	start := r.eng.Now()
+	// The 95 KB slot streams as two ~48 KB chunks (Figure 8), placed
+	// in the idle DMA time; the fluid bus model interleaves them with
+	// the input transfers automatically.
+	half := r.cfg.SlotBytes / 2 / 16 * 16
+	rest := r.cfg.SlotBytes - half
+	if err := r.m.Get(tagSTT, 0x20000, 0, half); err != nil {
+		panic(err)
+	}
+	if err := r.m.Get(tagSTT, 0x20000+uint32(half), 0, rest); err != nil {
+		panic(err)
+	}
+	r.m.WaitTagMask(mfc.TagMask(tagSTT), func() {
+		if r.record {
+			r.timeline = append(r.timeline, Phase{
+				Name: "dma", Label: fmt.Sprintf("load next STT into slot %d (STT %d)", slot, stt),
+				Start: start, End: r.eng.Now(),
+			})
+		}
+		onDone()
+	})
+}
+
+// pump advances the visit state machine. It is invoked from every
+// completion callback (input fetch, STT load, compute) and is safe to
+// call redundantly: each state only fires when its preconditions hold.
+func (r *replacementSPE) pump() {
+	switch r.phase {
+	case vsIdle:
+		if r.pairsDone >= r.cfg.Pairs || !r.sttReady || !r.inReady[0] {
+			return
+		}
+		n := r.cfg.STTs
+		stt := r.visit % n
+		slot := r.visit % 2
+		// Begin streaming the next STT while this one is in use; with
+		// n <= 2 every STT stays resident and no traffic is needed.
+		if n > 2 {
+			r.sttReady = false
+			r.loadNextSTT(1-slot, (r.visit+1)%n, func() {
+				r.sttReady = true
+				r.pump()
+			})
+		}
+		r.phase = vsRunning0
+		r.computeBuf(0, stt, func() {
+			r.phase = vsWaiting1
+			r.pump()
+		})
+	case vsWaiting1:
+		if !r.inReady[1] {
+			return
+		}
+		stt := r.visit % r.cfg.STTs
+		r.phase = vsRunning1
+		r.computeBuf(1, stt, func() {
+			r.finishVisit()
+		})
+	}
+}
+
+// computeBuf matches one buffer against the current STT and refetches
+// it afterwards for its next pass.
+func (r *replacementSPE) computeBuf(buf, stt int, after func()) {
+	start := r.eng.Now()
+	r.inReady[buf] = false
+	r.eng.After(r.compute, func() {
+		if r.record {
+			r.timeline = append(r.timeline, Phase{
+				Name:  "compute",
+				Label: fmt.Sprintf("process buffer %d (match against STT %d)", buf, stt),
+				Start: start, End: r.eng.Now(),
+			})
+		}
+		r.fetchInput(buf, func() {
+			r.inReady[buf] = true
+			r.pump()
+		})
+		after()
+	})
+}
+
+func (r *replacementSPE) finishVisit() {
+	r.visit++
+	r.doneAt = r.eng.Now()
+	if r.visit%r.cfg.STTs == 0 {
+		// Both in-flight blocks have now met every STT.
+		r.uniqueByte += 2 * r.cfg.BlockBytes
+		r.pairsDone++
+	}
+	r.phase = vsIdle
+	r.pump()
+}
+
+// RunReplacement executes the dynamic STT replacement schedule.
+func RunReplacement(cfg ReplacementConfig) ReplacementResult {
+	cfg.Defaults()
+	eng := sim.New()
+	bus := eib.NewBus(eng, eib.Default())
+	compute := sim.CyclesToTime(int64(float64(cfg.BlockBytes)*cfg.CyclesPerTransition), cfg.ClockHz)
+	spes := make([]*replacementSPE, cfg.SPEs)
+	for i := range spes {
+		r := &replacementSPE{
+			eng: eng, m: mfc.New(eng, bus, i), cfg: cfg,
+			compute: compute, record: i == 0, sttReady: true,
+		}
+		spes[i] = r
+		r.fetchInput(0, func() {
+			r.inReady[0] = true
+			r.pump()
+		})
+		r.fetchInput(1, func() {
+			r.inReady[1] = true
+			r.pump()
+		})
+	}
+	eng.Run()
+	r0 := spes[0]
+	res := ReplacementResult{
+		Timeline:    r0.timeline,
+		Total:       r0.doneAt,
+		UniqueBytes: r0.uniqueByte,
+	}
+	if r0.doneAt > 0 {
+		res.EffectiveGbps = float64(r0.uniqueByte) * 8 / r0.doneAt.Seconds() / 1e9
+		res.SystemGbps = res.EffectiveGbps * float64(cfg.SPEs)
+	}
+	return res
+}
+
+// Figure9Point is one sample of the throughput-vs-dictionary curve.
+type Figure9Point struct {
+	STTs          int
+	AggregateKB   int64
+	SPEs          int
+	PaperGbps     float64
+	SimulatedGbps float64
+}
+
+// Figure9 sweeps dictionary sizes for each SPE count, producing both
+// the paper's closed-form curve and the simulated schedule's value.
+func Figure9(baseGbps float64, speCounts []int, maxSTTs int) []Figure9Point {
+	var out []Figure9Point
+	for _, k := range speCounts {
+		for n := 1; n <= maxSTTs; n++ {
+			cfg := ReplacementConfig{STTs: n, SPEs: k, Pairs: 4}
+			cfg.Defaults()
+			r := RunReplacement(cfg)
+			out = append(out, Figure9Point{
+				STTs:          n,
+				AggregateKB:   int64(n) * cfg.SlotBytes / 1024,
+				SPEs:          k,
+				PaperGbps:     PaperReplacementGbps(baseGbps, n) * float64(k),
+				SimulatedGbps: r.SystemGbps,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package ppe
+
+import "testing"
+
+func TestVMXFeedsFullMachine(t *testing.T) {
+	// Section 5's 8-tile configuration demands 40.88 Gbps of
+	// interleaved input; the VMX-model PPE must keep up (this is the
+	// paper's stated assumption).
+	ok, margin := VMXPPE().Feasible(8, 5.11)
+	if !ok {
+		t.Fatalf("VMX PPE cannot feed 8 tiles (margin %.2f)", margin)
+	}
+	if margin < 1.0 || margin > 5.0 {
+		t.Fatalf("margin %.2f implausible", margin)
+	}
+}
+
+func TestScalarPPEIsInsufficient(t *testing.T) {
+	// The assumption genuinely requires vectorized interleaving: a
+	// scalar byte loop cannot feed even a quarter machine at line rate.
+	ok, _ := ScalarPPE().Feasible(8, 5.11)
+	if ok {
+		t.Fatal("scalar PPE should not feed 8 tiles")
+	}
+	ok, _ = ScalarPPE().Feasible(2, 5.11)
+	if !ok {
+		t.Fatal("scalar PPE should feed the 2-tile headline config")
+	}
+}
+
+func TestRequiredBudget(t *testing.T) {
+	// Inverting the model: 8 tiles need ~<= 0.81 cycles/byte.
+	c, err := RequiredCyclesPerByte(8, 5.11, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0.6 || c > 1.1 {
+		t.Fatalf("required cycles/byte = %.2f, want ~0.8", c)
+	}
+	if _, err := RequiredCyclesPerByte(0, 5.11, 1); err == nil {
+		t.Fatal("zero demand accepted")
+	}
+}
+
+func TestModelArithmetic(t *testing.T) {
+	m := Model{CyclesPerByte: 1.0, Threads: 1.0}
+	if got := m.InterleaveGbps(); got < 25.5 || got > 25.7 {
+		t.Fatalf("1 cyc/B at 3.2 GHz = %.2f Gbps, want 25.6", got)
+	}
+	bad := Model{}
+	if bad.InterleaveBps() != 0 {
+		t.Fatal("zero model should yield zero")
+	}
+	if ok, _ := m.Feasible(0, 0); !ok {
+		t.Fatal("zero demand should be feasible")
+	}
+}
+
+func TestMeasureNative(t *testing.T) {
+	bps, err := MeasureNative(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any host manages at least 50 MB/s for a byte transpose; the
+	// point is that interleaving is cheap, not a specific number.
+	if bps < 50e6 {
+		t.Fatalf("native interleave only %.0f MB/s", bps/1e6)
+	}
+	if _, err := MeasureNative(0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Package report formats experiment output in the paper's style:
+// fixed-width tables for Table 1 and labeled data series for the
+// figures, plus ASCII timelines for the Figure 5/8 schedules.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table writer.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a labeled (x, y) sequence for figure regeneration.
+type Series struct {
+	Label  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Write renders the series as gnuplot-style columns.
+func (s *Series) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s vs %s\n", s.Label, s.YLabel, s.XLabel); err != nil {
+		return err
+	}
+	for i := range s.X {
+		if _, err := fmt.Fprintf(w, "%g\t%g\n", s.X[i], s.Y[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TimelineEntry is one bar of an ASCII schedule rendering.
+type TimelineEntry struct {
+	Lane  string // e.g. "compute", "dma"
+	Label string
+	Start float64 // microseconds
+	End   float64
+}
+
+// WriteTimeline renders entries as a two-lane schedule like the
+// paper's Figures 5 and 8.
+func WriteTimeline(w io.Writer, entries []TimelineEntry) error {
+	for _, e := range entries {
+		lane := "CPU"
+		if e.Lane == "dma" {
+			lane = "DMA"
+		}
+		if _, err := fmt.Fprintf(w, "%s  %9.2fus - %9.2fus  %s (%.2fus)\n",
+			lane, e.Start, e.End, e.Label, e.End-e.Start); err != nil {
+			return err
+		}
+	}
+	return nil
+}

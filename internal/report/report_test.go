@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Version", "Cycles", "Gbps")
+	tab.Row(1, 19.0, 1.35)
+	tab.Row(4, 5.01, 5.11)
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Version") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "19.00") || !strings.Contains(lines[3], "5.11") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestSeriesOutput(t *testing.T) {
+	s := Series{Label: "fig9", XLabel: "kbytes", YLabel: "Gbps"}
+	s.Add(95, 5.11)
+	s.Add(190, 2.56)
+	var b strings.Builder
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# fig9") || !strings.Contains(out, "95\t5.11") {
+		t.Fatalf("series output:\n%s", out)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var b strings.Builder
+	err := WriteTimeline(&b, []TimelineEntry{
+		{Lane: "dma", Label: "load buffer 0", Start: 0, End: 5.94},
+		{Lane: "compute", Label: "process buffer 0", Start: 5.94, End: 31.58},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "DMA") || !strings.Contains(out, "CPU") {
+		t.Fatalf("timeline lanes missing:\n%s", out)
+	}
+	if !strings.Contains(out, "5.94") {
+		t.Fatalf("times missing:\n%s", out)
+	}
+}

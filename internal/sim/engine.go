@@ -1,0 +1,189 @@
+// Package sim provides the discrete-event simulation kernel that drives
+// every timing model in this repository: the EIB bandwidth model, the
+// MFC DMA engines, the double-buffering pipeline and the dynamic STT
+// replacement schedule.
+//
+// Time is kept in integer picoseconds so that a 3.2 GHz clock cycle
+// (312.5 ps) is exactly representable and event ordering is
+// deterministic: ties are broken by scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in picoseconds.
+type Time int64
+
+// Common time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros returns the time as a float64 number of microseconds, the unit
+// the paper's schedules (Figures 5 and 8) are labeled in.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns the time as float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// CyclesToTime converts a cycle count at clockHz to simulated time,
+// rounding to the nearest picosecond.
+func CyclesToTime(cycles int64, clockHz float64) Time {
+	return Time(float64(cycles) * 1e12 / clockHz)
+}
+
+// BytesToTime returns the time to move n bytes at rate bytes/second.
+func BytesToTime(n int64, bytesPerSecond float64) Time {
+	if bytesPerSecond <= 0 {
+		panic("sim: non-positive rate")
+	}
+	return Time(float64(n) * 1e12 / bytesPerSecond)
+}
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	pq      eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	steps   uint64
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// that is always a model bug.
+func (e *Engine) Schedule(at Time, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return EventID{ev}
+}
+
+// After runs fn after delay d from the current time.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.dead {
+		return false
+	}
+	ev.dead = true
+	return true
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue is empty or Stop is
+// called. It returns the final simulated time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is
+// left at the deadline if the queue still has later events, otherwise at
+// the last executed event.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		ev := e.pq[0]
+		if ev.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.pq)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pq {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestUnitsExact(t *testing.T) {
+	if Second != 1e12*Picosecond {
+		t.Fatal("second/picosecond ratio wrong")
+	}
+	// One 3.2 GHz cycle is 312.5 ps; 2 cycles must be exactly 625 ps.
+	if got := CyclesToTime(2, 3.2e9); got != 625 {
+		t.Fatalf("2 cycles at 3.2GHz = %d ps, want 625", got)
+	}
+}
+
+func TestBytesToTime(t *testing.T) {
+	// 16 KB at 2.76 GB/s is the paper's 5.94 us input-block transfer.
+	got := BytesToTime(16384, 2.7565e9)
+	us := got.Micros()
+	if us < 5.9 || us > 6.0 {
+		t.Fatalf("16KB at 2.76GB/s = %.3f us, want ~5.94", us)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %v", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New()
+	var trace []Time
+	e.After(5, func() {
+		trace = append(trace, e.Now())
+		e.After(7, func() {
+			trace = append(trace, e.Now())
+		})
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 5 || trace[1] != 12 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.Schedule(10, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("first cancel should succeed")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second cancel should fail")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.RunUntil(20)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("got %v after resume", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1, func() { count++; e.Stop() })
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	// Resuming runs the remaining event.
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count after resume = %d", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestPending(t *testing.T) {
+	e := New()
+	a := e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d", e.Pending())
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// insertion order, including events scheduled from inside other events.
+func TestRandomizedOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		e := New()
+		var fired []Time
+		n := 200
+		times := make([]Time, n)
+		for i := range times {
+			times[i] = Time(rng.Intn(1000))
+		}
+		for _, at := range times {
+			at := at
+			e.Schedule(at, func() {
+				fired = append(fired, e.Now())
+				// Occasionally schedule a follow-up.
+				if rng.Intn(4) == 0 {
+					e.After(Time(rng.Intn(50)), func() {
+						fired = append(fired, e.Now())
+					})
+				}
+			})
+		}
+		e.Run()
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Fatalf("trial %d: events fired out of order", trial)
+		}
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Fatalf("steps = %d", e.Steps())
+	}
+}

@@ -1,0 +1,54 @@
+package spu
+
+import "testing"
+
+// BenchmarkSimulatorRate measures simulated instructions per host
+// second — the simulator's own speed, which bounds how large a Table 1
+// measurement can be.
+func BenchmarkSimulatorRate(b *testing.B) {
+	// A tight dependent loop: 10 instructions per iteration.
+	code := []Instr{
+		{Op: OpIL, Rt: 1, Imm: 1000},
+		{Op: OpIL, Rt: 2, Imm: 0},
+		{Op: OpAI, Rt: 2, Ra: 2, Imm: 1}, // 2: loop
+		{Op: OpAI, Rt: 3, Ra: 2, Imm: 2},
+		{Op: OpA, Rt: 4, Ra: 3, Rb: 2},
+		{Op: OpROTQBYI, Rt: 5, Ra: 4, Imm: 1},
+		{Op: OpANDI, Rt: 6, Ra: 5, Imm: 255},
+		{Op: OpAI, Rt: 1, Ra: 1, Imm: -1},
+		{Op: OpBRNZ, Rt: 1, Target: 2, Hinted: true},
+		{Op: OpSTOP},
+	}
+	p := &Program{Code: code}
+	c := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		if err := c.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Prof.Instructions), "sim_instructions/op")
+}
+
+// BenchmarkLoadStoreRate exercises the local-store path.
+func BenchmarkLoadStoreRate(b *testing.B) {
+	code := []Instr{
+		{Op: OpIL, Rt: 1, Imm: 2000},
+		{Op: OpILA, Rt: 2, Imm: 4096},
+		{Op: OpLQD, Rt: 3, Ra: 2, Imm: 0}, // 2: loop
+		{Op: OpSTQD, Rt: 3, Ra: 2, Imm: 16},
+		{Op: OpAI, Rt: 1, Ra: 1, Imm: -1},
+		{Op: OpBRNZ, Rt: 1, Target: 2, Hinted: true},
+		{Op: OpSTOP},
+	}
+	p := &Program{Code: code}
+	c := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		if err := c.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

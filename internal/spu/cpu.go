@@ -1,0 +1,253 @@
+package spu
+
+import (
+	"fmt"
+
+	"cellmatch/internal/v128"
+)
+
+// LSSize is the local store capacity (256 KB).
+const LSSize = 256 * 1024
+
+// lsMask wraps local-store addresses, as the real SPU does.
+const lsMask = LSSize - 1
+
+// Params are the timing-model constants. They are the published SPU
+// pipeline characteristics; tests pin the derived Table 1 metrics.
+type Params struct {
+	// BranchPenalty is the flush cost of a taken branch that was not
+	// prepared by a branch hint (18-19 cycles on silicon).
+	BranchPenalty int64
+	// MaxInstructions guards against runaway kernels.
+	MaxInstructions int64
+}
+
+// DefaultParams returns the silicon-calibrated constants.
+func DefaultParams() Params {
+	return Params{BranchPenalty: 18, MaxInstructions: 200_000_000}
+}
+
+// CPU is one SPU: registers, local store, and profiling state.
+type CPU struct {
+	R      [128]v128.Vec
+	LS     []byte
+	Params Params
+	Prof   Profile
+}
+
+// New returns a CPU with a zeroed local store.
+func New() *CPU {
+	return &CPU{LS: make([]byte, LSSize), Params: DefaultParams()}
+}
+
+// Reset clears registers and profile but keeps the local store.
+func (c *CPU) Reset() {
+	c.R = [128]v128.Vec{}
+	c.Prof = Profile{}
+}
+
+// loadQ reads the aligned quadword containing addr.
+func (c *CPU) loadQ(addr uint32) v128.Vec {
+	a := addr & lsMask &^ 15
+	return v128.FromBytes(c.LS[a : a+16])
+}
+
+// storeQ writes the aligned quadword containing addr.
+func (c *CPU) storeQ(addr uint32, v v128.Vec) {
+	a := addr & lsMask &^ 15
+	copy(c.LS[a:a+16], v[:])
+}
+
+func signext16(imm int32) uint32 { return uint32(int32(int16(imm))) }
+func signext10(imm int32) uint32 {
+	v := imm & 0x3FF
+	if v&0x200 != 0 {
+		v |= ^int32(0x3FF)
+	}
+	return uint32(v)
+}
+
+// step functionally executes one instruction and reports whether a
+// branch was taken.
+func (c *CPU) step(in Instr) (taken bool, err error) {
+	R := &c.R
+	switch in.Op {
+	case OpIL:
+		R[in.Rt] = v128.SplatWord(signext16(in.Imm))
+	case OpILHU:
+		R[in.Rt] = v128.SplatWord(uint32(uint16(in.Imm)) << 16)
+	case OpIOHL:
+		R[in.Rt] = v128.Or(R[in.Rt], v128.SplatWord(uint32(uint16(in.Imm))))
+	case OpILA:
+		R[in.Rt] = v128.SplatWord(uint32(in.Imm) & 0x3FFFF)
+	case OpA:
+		R[in.Rt] = v128.Add32(R[in.Ra], R[in.Rb])
+	case OpAI:
+		R[in.Rt] = v128.Add32(R[in.Ra], v128.SplatWord(signext10(in.Imm)))
+	case OpSF:
+		R[in.Rt] = v128.Sub32(R[in.Rb], R[in.Ra])
+	case OpAND:
+		R[in.Rt] = v128.And(R[in.Ra], R[in.Rb])
+	case OpANDI:
+		R[in.Rt] = v128.And(R[in.Ra], v128.SplatWord(signext10(in.Imm)))
+	case OpANDBI:
+		R[in.Rt] = v128.And(R[in.Ra], v128.SplatByte(byte(in.Imm)))
+	case OpANDC:
+		R[in.Rt] = v128.AndC(R[in.Ra], R[in.Rb])
+	case OpOR:
+		R[in.Rt] = v128.Or(R[in.Ra], R[in.Rb])
+	case OpORI:
+		R[in.Rt] = v128.Or(R[in.Ra], v128.SplatWord(signext10(in.Imm)))
+	case OpXOR:
+		R[in.Rt] = v128.Xor(R[in.Ra], R[in.Rb])
+	case OpSHLI:
+		R[in.Rt] = v128.Shl32(R[in.Ra], uint(in.Imm)&63)
+	case OpROTMI:
+		R[in.Rt] = v128.Shr32(R[in.Ra], uint(in.Imm)&63)
+	case OpCEQ:
+		R[in.Rt] = v128.CmpEq32(R[in.Ra], R[in.Rb])
+	case OpCEQI:
+		R[in.Rt] = v128.CmpEq32(R[in.Ra], v128.SplatWord(signext10(in.Imm)))
+	case OpNOP, OpLNOP, OpSTOP:
+	case OpLQD:
+		c.Prof.Loads++
+		R[in.Rt] = c.loadQ(R[in.Ra].Preferred() + uint32(in.Imm))
+	case OpLQX:
+		c.Prof.Loads++
+		R[in.Rt] = c.loadQ(R[in.Ra].Preferred() + R[in.Rb].Preferred())
+	case OpSTQD:
+		c.Prof.Stores++
+		c.storeQ(R[in.Ra].Preferred()+uint32(in.Imm), R[in.Rt])
+	case OpSTQX:
+		c.Prof.Stores++
+		c.storeQ(R[in.Ra].Preferred()+R[in.Rb].Preferred(), R[in.Rt])
+	case OpSHUFB:
+		R[in.Rt] = v128.Shuffle(R[in.Ra], R[in.Rb], R[in.Rc])
+	case OpROTQBY:
+		R[in.Rt] = v128.RotByBytes(R[in.Ra], int(R[in.Rb].Preferred()&15))
+	case OpROTQBYI:
+		R[in.Rt] = v128.RotByBytes(R[in.Ra], int(in.Imm)&15)
+	case OpBR:
+		return true, nil
+	case OpBRZ:
+		return R[in.Rt].Preferred() == 0, nil
+	case OpBRNZ:
+		return R[in.Rt].Preferred() != 0, nil
+	default:
+		return false, fmt.Errorf("spu: unimplemented opcode %v", in.Op)
+	}
+	return false, nil
+}
+
+// Run executes the program from instruction 0 until an OpSTOP, with
+// the dual-issue in-order timing model. The profile is accumulated
+// into c.Prof (call Reset between independent measurements).
+func (c *CPU) Run(p *Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	code := p.Code
+	n := len(code)
+	var ready [128]int64
+	cycle := c.Prof.Cycles
+	pc := 0
+	for pc < n {
+		if c.Prof.Instructions >= c.Params.MaxInstructions {
+			return fmt.Errorf("spu: instruction limit exceeded (%d)", c.Params.MaxInstructions)
+		}
+		a := code[pc]
+		if a.Op == OpSTOP {
+			break
+		}
+		// Earliest issue time for a.
+		t := cycle
+		for _, s := range a.Sources() {
+			if ready[s] > t {
+				t = ready[s]
+			}
+		}
+		// Dual-issue window: an even-pipe instruction paired with the
+		// following odd-pipe instruction, no intra-pair hazard. (The
+		// silicon additionally requires address parity; compilers pad
+		// with nops to achieve it, so the model assumes alignment.)
+		if pc+1 < n && PipeOf(a.Op) == Even {
+			b := code[pc+1]
+			if PipeOf(b.Op) == Odd && !IsBranch(b.Op) && b.Op != OpSTOP {
+				tb := t
+				hazard := false
+				aw := a.Writes()
+				for _, s := range b.Sources() {
+					if int(s) == aw {
+						hazard = true
+					}
+					if ready[s] > tb {
+						tb = ready[s]
+					}
+				}
+				if bw := b.Writes(); bw >= 0 && bw == aw {
+					hazard = true
+				}
+				if !hazard && tb <= t {
+					c.Prof.StallCycles += t - cycle
+					if _, err := c.step(a); err != nil {
+						return err
+					}
+					if _, err := c.step(b); err != nil {
+						return err
+					}
+					if aw >= 0 {
+						ready[aw] = t + int64(Latency(a.Op))
+					}
+					if bw := b.Writes(); bw >= 0 {
+						ready[bw] = t + int64(Latency(b.Op))
+					}
+					c.Prof.DualCycles++
+					c.Prof.Instructions += 2
+					cycle = t + 1
+					pc += 2
+					continue
+				}
+			}
+		}
+		// Single issue.
+		c.Prof.StallCycles += t - cycle
+		taken, err := c.step(a)
+		if err != nil {
+			return err
+		}
+		if w := a.Writes(); w >= 0 {
+			ready[w] = t + int64(Latency(a.Op))
+		}
+		c.Prof.SingleCycles++
+		c.Prof.Instructions++
+		cycle = t + 1
+		if IsBranch(a.Op) && taken {
+			pc = int(a.Target)
+			if !a.Hinted {
+				cycle += c.Params.BranchPenalty
+				c.Prof.StallCycles += c.Params.BranchPenalty
+				c.Prof.BranchFlushes++
+			}
+		} else {
+			pc++
+		}
+	}
+	c.Prof.Cycles = cycle
+	return nil
+}
+
+// WriteLS copies data into the local store at addr (wrapping masked).
+func (c *CPU) WriteLS(addr uint32, data []byte) {
+	for i, b := range data {
+		c.LS[(addr+uint32(i))&lsMask] = b
+	}
+}
+
+// ReadLS copies n bytes out of the local store at addr.
+func (c *CPU) ReadLS(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c.LS[(addr+uint32(i))&lsMask]
+	}
+	return out
+}

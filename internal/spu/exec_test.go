@@ -1,0 +1,215 @@
+package spu
+
+import (
+	"math/rand"
+	"testing"
+
+	"cellmatch/internal/v128"
+)
+
+// execOne loads the operand registers, runs a single instruction, and
+// returns the destination value.
+func execOne(t *testing.T, in Instr, ra, rb, rc v128.Vec) v128.Vec {
+	t.Helper()
+	c := New()
+	c.R[in.Ra] = ra
+	c.R[in.Rb] = rb
+	c.R[in.Rc] = rc
+	p := &Program{Code: []Instr{in, {Op: OpSTOP}}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	return c.R[in.Rt]
+}
+
+// TestOpcodeSemanticsVsV128 cross-checks every register-to-register
+// opcode against the v128 primitives on random operands. The two
+// implementations are written independently enough (switch dispatch vs
+// direct calls) that a transcription slip in either surfaces here.
+func TestOpcodeSemanticsVsV128(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	randVec := func() v128.Vec {
+		var v v128.Vec
+		rng.Read(v[:])
+		return v
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b, c := randVec(), randVec(), randVec()
+		imm := int32(rng.Intn(1024) - 512)
+		shift := int32(rng.Intn(32))
+		cases := []struct {
+			name string
+			in   Instr
+			want v128.Vec
+		}{
+			{"a", Instr{Op: OpA, Rt: 3, Ra: 1, Rb: 2}, v128.Add32(a, b)},
+			{"sf", Instr{Op: OpSF, Rt: 3, Ra: 1, Rb: 2}, v128.Sub32(b, a)},
+			{"and", Instr{Op: OpAND, Rt: 3, Ra: 1, Rb: 2}, v128.And(a, b)},
+			{"andc", Instr{Op: OpANDC, Rt: 3, Ra: 1, Rb: 2}, v128.AndC(a, b)},
+			{"or", Instr{Op: OpOR, Rt: 3, Ra: 1, Rb: 2}, v128.Or(a, b)},
+			{"xor", Instr{Op: OpXOR, Rt: 3, Ra: 1, Rb: 2}, v128.Xor(a, b)},
+			{"ceq", Instr{Op: OpCEQ, Rt: 3, Ra: 1, Rb: 2}, v128.CmpEq32(a, b)},
+			{"shli", Instr{Op: OpSHLI, Rt: 3, Ra: 1, Imm: shift}, v128.Shl32(a, uint(shift))},
+			{"rotmi", Instr{Op: OpROTMI, Rt: 3, Ra: 1, Imm: shift}, v128.Shr32(a, uint(shift))},
+			{"rotqbyi", Instr{Op: OpROTQBYI, Rt: 3, Ra: 1, Imm: imm},
+				v128.RotByBytes(a, int(imm)&15)},
+			{"shufb", Instr{Op: OpSHUFB, Rt: 4, Ra: 1, Rb: 2, Rc: 3},
+				v128.Shuffle(a, b, c)},
+			{"ai", Instr{Op: OpAI, Rt: 3, Ra: 1, Imm: imm & 0x1FF},
+				v128.Add32(a, v128.SplatWord(uint32(imm&0x1FF)))},
+		}
+		for _, tc := range cases {
+			got := execOne(t, tc.in, a, b, c)
+			if got != tc.want {
+				t.Fatalf("trial %d op %s: got %v want %v", trial, tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestRotqbyUsesLowBits: rotation amount is ra's preferred slot & 15.
+func TestRotqbyUsesLowBits(t *testing.T) {
+	c := New()
+	var v v128.Vec
+	for i := range v {
+		v[i] = byte(i)
+	}
+	c.R[1] = v
+	c.R[2] = v128.SplatWord(0x12345) // & 15 = 5
+	p := &Program{Code: []Instr{
+		{Op: OpROTQBY, Rt: 3, Ra: 1, Rb: 2},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[3][0] != 5 {
+		t.Fatalf("rotqby amount: got byte %d", c.R[3][0])
+	}
+}
+
+// TestLSWraparound: addresses wrap modulo the 256 KB local store, as
+// on silicon.
+func TestLSWraparound(t *testing.T) {
+	c := New()
+	c.LS[0] = 0x77
+	p := &Program{Code: []Instr{
+		{Op: OpIL, Rt: 1, Imm: -1}, // 0xFFFFFFFF
+		{Op: OpLQD, Rt: 2, Ra: 1, Imm: 1},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[2][0] != 0x77 {
+		t.Fatalf("wrapped load: %v", c.R[2])
+	}
+}
+
+// TestStoreReadsRt: STQD must treat Rt as a source, not clobber it.
+func TestStoreReadsRt(t *testing.T) {
+	c := New()
+	c.R[1] = v128.SplatByte(0xAB)
+	c.R[2] = v128.SplatWord(512)
+	p := &Program{Code: []Instr{
+		{Op: OpSTQD, Rt: 1, Ra: 2, Imm: 0},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[1] != v128.SplatByte(0xAB) {
+		t.Fatal("store modified its source register")
+	}
+	if got := c.ReadLS(512, 1)[0]; got != 0xAB {
+		t.Fatalf("stored byte = %#x", got)
+	}
+}
+
+// TestBranchNotTakenFallsThrough covers BRZ/BRNZ in both directions.
+func TestBranchConditions(t *testing.T) {
+	run := func(op Op, val int32) uint32 {
+		c := New()
+		p := &Program{Code: []Instr{
+			{Op: OpIL, Rt: 1, Imm: val},
+			{Op: OpIL, Rt: 2, Imm: 0},
+			{Op: op, Rt: 1, Target: 5, Hinted: true},
+			{Op: OpIL, Rt: 2, Imm: 111}, // skipped when branch taken
+			{Op: OpSTOP},
+			{Op: OpIL, Rt: 2, Imm: 222}, // branch target
+			{Op: OpSTOP},
+		}}
+		if err := c.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		return c.R[2].Preferred()
+	}
+	if got := run(OpBRNZ, 1); got != 222 {
+		t.Fatalf("brnz taken: %d", got)
+	}
+	if got := run(OpBRNZ, 0); got != 111 {
+		t.Fatalf("brnz not taken: %d", got)
+	}
+	if got := run(OpBRZ, 0); got != 222 {
+		t.Fatalf("brz taken: %d", got)
+	}
+	if got := run(OpBRZ, 7); got != 111 {
+		t.Fatalf("brz not taken: %d", got)
+	}
+}
+
+// TestSourcesAndWritesConsistency: every opcode's Sources/Writes
+// metadata must cover the registers its execution actually touches —
+// the scheduler and allocator depend on this metadata being exact.
+func TestSourcesWritesMetadata(t *testing.T) {
+	cases := []struct {
+		in      Instr
+		sources int
+		writes  bool
+	}{
+		{Instr{Op: OpIL, Rt: 1}, 0, true},
+		{Instr{Op: OpIOHL, Rt: 1}, 1, true}, // reads and writes rt
+		{Instr{Op: OpA, Rt: 1, Ra: 2, Rb: 3}, 2, true},
+		{Instr{Op: OpAI, Rt: 1, Ra: 2}, 1, true},
+		{Instr{Op: OpLQD, Rt: 1, Ra: 2}, 1, true},
+		{Instr{Op: OpLQX, Rt: 1, Ra: 2, Rb: 3}, 2, true},
+		{Instr{Op: OpSTQD, Rt: 1, Ra: 2}, 2, false},
+		{Instr{Op: OpSTQX, Rt: 1, Ra: 2, Rb: 3}, 3, false},
+		{Instr{Op: OpSHUFB, Rt: 1, Ra: 2, Rb: 3, Rc: 4}, 3, true},
+		{Instr{Op: OpBRNZ, Rt: 1}, 1, false},
+		{Instr{Op: OpBR}, 0, false},
+		{Instr{Op: OpNOP}, 0, false},
+		{Instr{Op: OpSTOP}, 0, false},
+	}
+	for _, tc := range cases {
+		if got := len(tc.in.Sources()); got != tc.sources {
+			t.Errorf("%v: sources = %d, want %d", tc.in.Op, got, tc.sources)
+		}
+		if got := tc.in.Writes() >= 0; got != tc.writes {
+			t.Errorf("%v: writes = %v, want %v", tc.in.Op, got, tc.writes)
+		}
+	}
+}
+
+// TestDisassembly smoke-tests the instruction printer used in kernel
+// dumps.
+func TestDisassembly(t *testing.T) {
+	cases := map[string]Instr{
+		"a r1, r2, r3":         {Op: OpA, Rt: 1, Ra: 2, Rb: 3},
+		"lqd r4, 16(r5)":       {Op: OpLQD, Rt: 4, Ra: 5, Imm: 16},
+		"shufb r1, r2, r3, r4": {Op: OpSHUFB, Rt: 1, Ra: 2, Rb: 3, Rc: 4},
+		"brnz r7, 12":          {Op: OpBRNZ, Rt: 7, Target: 12},
+		"stop":                 {Op: OpSTOP},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("disasm: got %q want %q", got, want)
+		}
+	}
+	if PipeOf(OpA) != Even || PipeOf(OpLQD) != Odd {
+		t.Error("pipe assignment")
+	}
+	if Latency(OpLQD) != 6 || Latency(OpA) != 2 || Latency(OpSHUFB) != 4 {
+		t.Error("latency table")
+	}
+}

@@ -1,0 +1,254 @@
+// Package spu is an instruction-level model of the Cell Synergistic
+// Processing Unit: 128 registers of 128 bits, a 256 KB local store,
+// and two in-order issue pipelines (even: fixed point; odd: load/store,
+// shuffle, branch) that can issue one instruction each per cycle.
+//
+// The model has two halves:
+//
+//   - functional: every instruction computes real values over v128
+//     vectors and the local store, so the DFA kernels produce actual
+//     match counts (verified against a native-Go oracle);
+//   - timing: an in-order dual-issue model with an operand scoreboard,
+//     per-class latencies and an unhinted-branch flush penalty, which
+//     reproduces the paper's Table 1 metrics (CPI, dual-issue rate,
+//     dependency stalls) as mechanical consequences of the emitted
+//     instruction stream.
+//
+// The ISA is the subset the paper's kernels need. Immediate fields are
+// plain byte/bit quantities (the assembler does the encoding games real
+// SPU instructions play, like scaling quadword offsets).
+package spu
+
+import "fmt"
+
+// Pipe identifies the execution pipeline of an instruction.
+type Pipe int
+
+const (
+	// Even is the fixed-point/arithmetic pipeline.
+	Even Pipe = iota
+	// Odd is the load/store, shuffle and branch pipeline.
+	Odd
+)
+
+// Op is an SPU opcode.
+type Op int
+
+// The supported instruction subset.
+const (
+	// Even pipe: constant formation and fixed point.
+	OpIL    Op = iota // rt = signext(imm16) in all words
+	OpILHU            // rt = imm16 << 16 in all words
+	OpIOHL            // rt |= imm16 (low halfword of each word)
+	OpILA             // rt = imm18 (unsigned) in all words
+	OpA               // rt = ra + rb (word)
+	OpAI              // rt = ra + signext(imm10) (word)
+	OpSF              // rt = rb - ra (word)
+	OpAND             // rt = ra & rb
+	OpANDI            // rt = ra & signext(imm10) (word)
+	OpANDBI           // rt = ra & imm8 (byte)
+	OpANDC            // rt = ra &^ rb
+	OpOR              // rt = ra | rb
+	OpORI             // rt = ra | signext(imm10) (word)
+	OpXOR             // rt = ra ^ rb
+	OpSHLI            // rt = ra << imm (word)
+	OpROTMI           // rt = ra >> imm logical (word); imm is the right-shift amount
+	OpCEQ             // rt = ra == rb ? ~0 : 0 (word)
+	OpCEQI            // rt = ra == signext(imm10) ? ~0 : 0 (word)
+	OpNOP             // even-pipe no-op
+
+	// Odd pipe: local store, permute, branches.
+	OpLQD     // rt = LS[(ra.pref + imm) & ~15]
+	OpLQX     // rt = LS[(ra.pref + rb.pref) & ~15]
+	OpSTQD    // LS[(ra.pref + imm) & ~15] = rt
+	OpSTQX    // LS[(ra.pref + rb.pref) & ~15] = rt
+	OpSHUFB   // rt = shuffle(ra, rb, pattern rc)
+	OpROTQBY  // rt = ra rotated left by rb.pref & 15 bytes
+	OpROTQBYI // rt = ra rotated left by imm & 15 bytes
+	OpBR      // unconditional branch to Target
+	OpBRZ     // branch if rt.pref == 0
+	OpBRNZ    // branch if rt.pref != 0
+	OpLNOP    // odd-pipe no-op
+	OpSTOP    // halt execution
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpIL: "il", OpILHU: "ilhu", OpIOHL: "iohl", OpILA: "ila",
+	OpA: "a", OpAI: "ai", OpSF: "sf",
+	OpAND: "and", OpANDI: "andi", OpANDBI: "andbi", OpANDC: "andc",
+	OpOR: "or", OpORI: "ori", OpXOR: "xor",
+	OpSHLI: "shli", OpROTMI: "rotmi",
+	OpCEQ: "ceq", OpCEQI: "ceqi", OpNOP: "nop",
+	OpLQD: "lqd", OpLQX: "lqx", OpSTQD: "stqd", OpSTQX: "stqx",
+	OpSHUFB: "shufb", OpROTQBY: "rotqby", OpROTQBYI: "rotqbyi",
+	OpBR: "br", OpBRZ: "brz", OpBRNZ: "brnz", OpLNOP: "lnop",
+	OpSTOP: "stop",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// PipeOf returns the pipeline an opcode issues to.
+func PipeOf(o Op) Pipe {
+	switch o {
+	case OpLQD, OpLQX, OpSTQD, OpSTQX, OpSHUFB, OpROTQBY, OpROTQBYI,
+		OpBR, OpBRZ, OpBRNZ, OpLNOP, OpSTOP:
+		return Odd
+	default:
+		return Even
+	}
+}
+
+// Latency returns result latency in cycles (cycles until a dependent
+// instruction can issue). These are the published SPU numbers: simple
+// fixed point 2, word shifts/rotates 4, loads 6, quadword
+// shuffles/rotates 4.
+func Latency(o Op) int {
+	switch o {
+	case OpLQD, OpLQX:
+		return 6
+	case OpSHLI, OpROTMI:
+		return 4
+	case OpSHUFB, OpROTQBY, OpROTQBYI:
+		return 4
+	case OpSTQD, OpSTQX, OpBR, OpBRZ, OpBRNZ, OpNOP, OpLNOP, OpSTOP:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// IsBranch reports whether the opcode is a control transfer.
+func IsBranch(o Op) bool { return o == OpBR || o == OpBRZ || o == OpBRNZ }
+
+// Instr is one decoded instruction. Rt is the destination except for
+// stores and conditional branches, where it is a source.
+type Instr struct {
+	Op     Op
+	Rt     uint8
+	Ra     uint8
+	Rb     uint8
+	Rc     uint8
+	Imm    int32
+	Target int32 // branch target: instruction index
+	Hinted bool  // branch prepared by an hbr hint (no flush penalty)
+}
+
+// Sources returns the registers read by the instruction.
+func (in Instr) Sources() []uint8 {
+	switch in.Op {
+	case OpIL, OpILHU, OpILA, OpNOP, OpLNOP, OpBR, OpSTOP:
+		return nil
+	case OpIOHL:
+		return []uint8{in.Rt}
+	case OpAI, OpANDI, OpANDBI, OpORI, OpSHLI, OpROTMI, OpCEQI, OpROTQBYI:
+		return []uint8{in.Ra}
+	case OpLQD:
+		return []uint8{in.Ra}
+	case OpLQX:
+		return []uint8{in.Ra, in.Rb}
+	case OpSTQD:
+		return []uint8{in.Rt, in.Ra}
+	case OpSTQX:
+		return []uint8{in.Rt, in.Ra, in.Rb}
+	case OpSHUFB:
+		return []uint8{in.Ra, in.Rb, in.Rc}
+	case OpBRZ, OpBRNZ:
+		return []uint8{in.Rt}
+	default: // two-operand register forms
+		return []uint8{in.Ra, in.Rb}
+	}
+}
+
+// Writes returns the destination register, or -1 if none.
+func (in Instr) Writes() int {
+	switch in.Op {
+	case OpSTQD, OpSTQX, OpBR, OpBRZ, OpBRNZ, OpNOP, OpLNOP, OpSTOP:
+		return -1
+	default:
+		return int(in.Rt)
+	}
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpIL, OpILHU, OpILA:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rt, in.Imm)
+	case OpIOHL:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rt, in.Imm)
+	case OpAI, OpANDI, OpANDBI, OpORI, OpSHLI, OpROTMI, OpCEQI, OpROTQBYI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rt, in.Ra, in.Imm)
+	case OpLQD, OpSTQD:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rt, in.Imm, in.Ra)
+	case OpLQX, OpSTQX:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rt, in.Ra, in.Rb)
+	case OpSHUFB:
+		return fmt.Sprintf("%s r%d, r%d, r%d, r%d", in.Op, in.Rt, in.Ra, in.Rb, in.Rc)
+	case OpBR:
+		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	case OpBRZ, OpBRNZ:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rt, in.Target)
+	case OpNOP, OpLNOP, OpSTOP:
+		return in.Op.String()
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rt, in.Ra, in.Rb)
+	}
+}
+
+// Program is an executable instruction sequence with metadata the
+// profiler reports (Table 1's "registers used" row comes from here).
+type Program struct {
+	Code []Instr
+	// RegsUsed is the number of distinct architectural registers the
+	// program touches.
+	RegsUsed int
+	// Spills counts register-allocator spill slots (V5's "spill" row).
+	Spills int
+	// Name describes the kernel for reports.
+	Name string
+}
+
+// CountRegs recomputes RegsUsed by scanning the code.
+func (p *Program) CountRegs() int {
+	var used [128]bool
+	for _, in := range p.Code {
+		if w := in.Writes(); w >= 0 {
+			used[w] = true
+		}
+		for _, s := range in.Sources() {
+			used[s] = true
+		}
+	}
+	n := 0
+	for _, u := range used {
+		if u {
+			n++
+		}
+	}
+	p.RegsUsed = n
+	return n
+}
+
+// Validate checks branch targets and register indices.
+func (p *Program) Validate() error {
+	for i, in := range p.Code {
+		if in.Op < 0 || in.Op >= opCount {
+			return fmt.Errorf("spu: instruction %d: bad opcode %d", i, in.Op)
+		}
+		if IsBranch(in.Op) {
+			if in.Target < 0 || int(in.Target) >= len(p.Code) {
+				return fmt.Errorf("spu: instruction %d: branch target %d out of range", i, in.Target)
+			}
+		}
+		if in.Rt > 127 || in.Ra > 127 || in.Rb > 127 || in.Rc > 127 {
+			return fmt.Errorf("spu: instruction %d: register out of range", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package spu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Listing renders the program as an annotated assembly listing: index,
+// pipeline, latency and disassembly, with branch targets marked. This
+// is the kernel dump developers inspect when tuning (and what
+// cmd/paperbench's Figure 4 view summarizes).
+func (p *Program) Listing() string {
+	targets := map[int32]bool{}
+	for _, in := range p.Code {
+		if IsBranch(in.Op) {
+			targets[in.Target] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s: %d instructions, %d registers",
+		p.Name, len(p.Code), p.RegsUsed)
+	if p.Spills > 0 {
+		fmt.Fprintf(&b, ", %d spills", p.Spills)
+	}
+	b.WriteByte('\n')
+	for i, in := range p.Code {
+		mark := "  "
+		if targets[int32(i)] {
+			mark = "L:"
+		}
+		pipe := "e"
+		if PipeOf(in.Op) == Odd {
+			pipe = "o"
+		}
+		fmt.Fprintf(&b, "%s%5d  [%s%d] %s\n", mark, i, pipe, Latency(in.Op), in.String())
+	}
+	return b.String()
+}
+
+// Stats summarizes a program's static properties.
+type StaticStats struct {
+	Instructions int
+	EvenPipe     int
+	OddPipe      int
+	Branches     int
+	Loads        int
+	Stores       int
+}
+
+// StaticStatsOf tallies the static instruction classes.
+func StaticStatsOf(p *Program) StaticStats {
+	var s StaticStats
+	for _, in := range p.Code {
+		s.Instructions++
+		if PipeOf(in.Op) == Even {
+			s.EvenPipe++
+		} else {
+			s.OddPipe++
+		}
+		switch {
+		case IsBranch(in.Op):
+			s.Branches++
+		case in.Op == OpLQD || in.Op == OpLQX:
+			s.Loads++
+		case in.Op == OpSTQD || in.Op == OpSTQX:
+			s.Stores++
+		}
+	}
+	return s
+}

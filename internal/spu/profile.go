@@ -1,0 +1,87 @@
+package spu
+
+import "fmt"
+
+// ClockHz is the Cell SPU clock the paper measures against.
+const ClockHz = 3.2e9
+
+// Profile accumulates the execution metrics Table 1 reports.
+type Profile struct {
+	Cycles        int64
+	Instructions  int64
+	DualCycles    int64 // cycles that issued two instructions
+	SingleCycles  int64 // cycles that issued one
+	StallCycles   int64 // cycles that issued none (dependency or flush)
+	BranchFlushes int64
+	Loads         int64
+	Stores        int64
+}
+
+// CPI is clock cycles per instruction (Table 1 "Average CPI").
+func (p Profile) CPI() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.Cycles) / float64(p.Instructions)
+}
+
+// DualIssuePct is the percentage of cycles that dual-issued
+// (Table 1 "Dual issue %").
+func (p Profile) DualIssuePct() float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(p.DualCycles) / float64(p.Cycles)
+}
+
+// StallPct is the percentage of cycles with no issue
+// (Table 1 "Stall %").
+func (p Profile) StallPct() float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(p.StallCycles) / float64(p.Cycles)
+}
+
+// CyclesPer divides total cycles over n actions (Table 1 "Clock cycles
+// per DFA transition" with n = state transitions).
+func (p Profile) CyclesPer(n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(p.Cycles) / float64(n)
+}
+
+// TransitionsPerSecond converts a per-transition cycle cost into
+// throughput at the SPU clock (Table 1 "Throughput (M transitions/s)").
+func TransitionsPerSecond(cyclesPerTransition float64) float64 {
+	if cyclesPerTransition == 0 {
+		return 0
+	}
+	return ClockHz / cyclesPerTransition
+}
+
+// ThroughputGbps converts a per-transition cycle cost into filtered
+// input bandwidth: one transition consumes one input byte = 8 bits
+// (Table 1 "Throughput (Gbps)").
+func ThroughputGbps(cyclesPerTransition float64) float64 {
+	return TransitionsPerSecond(cyclesPerTransition) * 8 / 1e9
+}
+
+// Check verifies the internal accounting identity:
+// cycles = dual + single + stall.
+func (p Profile) Check() error {
+	if got := p.DualCycles + p.SingleCycles + p.StallCycles; got != p.Cycles {
+		return fmt.Errorf("spu: cycle accounting broken: %d+%d+%d != %d",
+			p.DualCycles, p.SingleCycles, p.StallCycles, p.Cycles)
+	}
+	if got := 2*p.DualCycles + p.SingleCycles; got != p.Instructions {
+		return fmt.Errorf("spu: instruction accounting broken: %d != %d", got, p.Instructions)
+	}
+	return nil
+}
+
+func (p Profile) String() string {
+	return fmt.Sprintf("cycles=%d instr=%d CPI=%.2f dual=%.1f%% stall=%.1f%%",
+		p.Cycles, p.Instructions, p.CPI(), p.DualIssuePct(), p.StallPct())
+}

@@ -1,0 +1,398 @@
+package spu
+
+import (
+	"testing"
+
+	"cellmatch/internal/v128"
+)
+
+// run assembles and executes code on a fresh CPU, failing on error.
+func run(t *testing.T, code []Instr) *CPU {
+	t.Helper()
+	c := New()
+	p := &Program{Code: code, Name: "test"}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prof.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConstantFormation(t *testing.T) {
+	c := run(t, []Instr{
+		{Op: OpIL, Rt: 1, Imm: -5},
+		{Op: OpILHU, Rt: 2, Imm: 0x1234},
+		{Op: OpIOHL, Rt: 2, Imm: 0x5678},
+		{Op: OpILA, Rt: 3, Imm: 0x3FFFF},
+		{Op: OpSTOP},
+	})
+	if c.R[1].Word(0) != 0xFFFFFFFB || c.R[1].Word(3) != 0xFFFFFFFB {
+		t.Fatalf("il: %v", c.R[1])
+	}
+	if c.R[2].Word(0) != 0x12345678 {
+		t.Fatalf("ilhu/iohl: %v", c.R[2])
+	}
+	if c.R[3].Word(0) != 0x3FFFF {
+		t.Fatalf("ila: %v", c.R[3])
+	}
+}
+
+func TestArithmeticAndLogic(t *testing.T) {
+	c := run(t, []Instr{
+		{Op: OpIL, Rt: 1, Imm: 100},
+		{Op: OpIL, Rt: 2, Imm: 28},
+		{Op: OpA, Rt: 3, Ra: 1, Rb: 2},       // 128
+		{Op: OpAI, Rt: 4, Ra: 3, Imm: -1},    // 127
+		{Op: OpSF, Rt: 5, Ra: 2, Rb: 1},      // rb - ra = 72
+		{Op: OpAND, Rt: 6, Ra: 3, Rb: 4},     // 128 & 127 = 0
+		{Op: OpANDI, Rt: 7, Ra: 4, Imm: 0xF}, // 127 & 15 = 15
+		{Op: OpOR, Rt: 8, Ra: 3, Rb: 4},      // 255
+		{Op: OpXOR, Rt: 9, Ra: 8, Rb: 4},     // 128
+		{Op: OpANDC, Rt: 10, Ra: 8, Rb: 4},   // 255 &^ 127 = 128
+		{Op: OpSTOP},
+	})
+	want := map[uint8]uint32{3: 128, 4: 127, 5: 72, 6: 0, 7: 15, 8: 255, 9: 128, 10: 128}
+	for r, w := range want {
+		if c.R[r].Word(0) != w {
+			t.Errorf("r%d = %d, want %d", r, c.R[r].Word(0), w)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c := run(t, []Instr{
+		{Op: OpIL, Rt: 1, Imm: 0x0F0F},
+		{Op: OpSHLI, Rt: 2, Ra: 1, Imm: 4},
+		{Op: OpROTMI, Rt: 3, Ra: 2, Imm: 8},
+		{Op: OpSTOP},
+	})
+	if c.R[2].Word(0) != 0xF0F0 {
+		t.Fatalf("shli: %08x", c.R[2].Word(0))
+	}
+	if c.R[3].Word(0) != 0xF0 {
+		t.Fatalf("rotmi: %08x", c.R[3].Word(0))
+	}
+}
+
+func TestANDBIPerByte(t *testing.T) {
+	c := New()
+	c.R[1] = v128.FromWords(0x11223344, 0xFFFFFFFF, 0, 0xABCDEF01)
+	p := &Program{Code: []Instr{
+		{Op: OpANDBI, Rt: 2, Ra: 1, Imm: 0xF0},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[2].Word(0) != 0x10203040 || c.R[2].Word(1) != 0xF0F0F0F0 {
+		t.Fatalf("andbi: %v", c.R[2])
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c := New()
+	for i := 0; i < 32; i++ {
+		c.LS[4096+i] = byte(i + 1)
+	}
+	p := &Program{Code: []Instr{
+		{Op: OpILA, Rt: 1, Imm: 4096},
+		{Op: OpLQD, Rt: 2, Ra: 1, Imm: 0},
+		{Op: OpLQD, Rt: 3, Ra: 1, Imm: 16},
+		{Op: OpSTQD, Rt: 2, Ra: 1, Imm: 32},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[2].Word(0) != 0x01020304 {
+		t.Fatalf("lqd word0: %08x", c.R[2].Word(0))
+	}
+	if c.R[3][0] != 17 {
+		t.Fatalf("second quadword: %v", c.R[3])
+	}
+	got := c.ReadLS(4096+32, 16)
+	if got[0] != 1 || got[15] != 16 {
+		t.Fatalf("stqd: %v", got)
+	}
+}
+
+func TestLoadUnalignedTruncates(t *testing.T) {
+	// lqd masks the low 4 address bits, like silicon.
+	c := New()
+	c.LS[0] = 0xAA
+	p := &Program{Code: []Instr{
+		{Op: OpILA, Rt: 1, Imm: 7},
+		{Op: OpLQD, Rt: 2, Ra: 1, Imm: 0},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[2][0] != 0xAA {
+		t.Fatal("address not truncated to quadword boundary")
+	}
+}
+
+func TestLQXIndexed(t *testing.T) {
+	c := New()
+	c.LS[8192] = 0x42
+	p := &Program{Code: []Instr{
+		{Op: OpILA, Rt: 1, Imm: 8000},
+		{Op: OpILA, Rt: 2, Imm: 192},
+		{Op: OpLQX, Rt: 3, Ra: 1, Rb: 2},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[3][0] != 0x42 {
+		t.Fatalf("lqx: %v", c.R[3])
+	}
+}
+
+func TestRotqbyAndShufb(t *testing.T) {
+	c := New()
+	for i := 0; i < 16; i++ {
+		c.LS[i] = byte(i)
+	}
+	c.R[10] = v128.SplatByte(0x03) // shuffle pattern: select byte 3 of ra
+	p := &Program{Code: []Instr{
+		{Op: OpILA, Rt: 1, Imm: 0},
+		{Op: OpLQD, Rt: 2, Ra: 1, Imm: 0},
+		{Op: OpROTQBYI, Rt: 3, Ra: 2, Imm: 5},
+		{Op: OpILA, Rt: 4, Imm: 2},
+		{Op: OpROTQBY, Rt: 5, Ra: 2, Rb: 4},
+		{Op: OpSHUFB, Rt: 6, Ra: 2, Rb: 2, Rc: 10},
+		{Op: OpSTOP},
+	}}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[3][0] != 5 {
+		t.Fatalf("rotqbyi: %v", c.R[3])
+	}
+	if c.R[5][0] != 2 {
+		t.Fatalf("rotqby: %v", c.R[5])
+	}
+	if c.R[6] != v128.SplatByte(3) {
+		t.Fatalf("shufb: %v", c.R[6])
+	}
+}
+
+func TestCompareAndBranchLoop(t *testing.T) {
+	// Count down from 5: r1 = 5; loop { r2++; r1--; brnz r1 }.
+	code := []Instr{
+		{Op: OpIL, Rt: 1, Imm: 5},
+		{Op: OpIL, Rt: 2, Imm: 0},
+		{Op: OpAI, Rt: 2, Ra: 2, Imm: 1}, // 2: loop body
+		{Op: OpAI, Rt: 1, Ra: 1, Imm: -1},
+		{Op: OpBRNZ, Rt: 1, Target: 2, Hinted: true},
+		{Op: OpSTOP},
+	}
+	c := run(t, code)
+	if c.R[2].Word(0) != 5 {
+		t.Fatalf("loop ran %d times", c.R[2].Word(0))
+	}
+}
+
+func TestCEQProducesMask(t *testing.T) {
+	c := run(t, []Instr{
+		{Op: OpIL, Rt: 1, Imm: 7},
+		{Op: OpIL, Rt: 2, Imm: 7},
+		{Op: OpCEQ, Rt: 3, Ra: 1, Rb: 2},
+		{Op: OpCEQI, Rt: 4, Ra: 1, Imm: 8},
+		{Op: OpSTOP},
+	})
+	if c.R[3].Word(0) != 0xFFFFFFFF {
+		t.Fatalf("ceq: %v", c.R[3])
+	}
+	if c.R[4].Word(0) != 0 {
+		t.Fatalf("ceqi: %v", c.R[4])
+	}
+}
+
+// --- Timing model tests ---
+
+func TestDependentChainStalls(t *testing.T) {
+	// 20 dependent adds: each waits 2 cycles for the previous result,
+	// so CPI approaches 2 and stalls approach 50%.
+	var code []Instr
+	code = append(code, Instr{Op: OpIL, Rt: 1, Imm: 1})
+	for i := 0; i < 20; i++ {
+		code = append(code, Instr{Op: OpA, Rt: 1, Ra: 1, Rb: 1})
+	}
+	code = append(code, Instr{Op: OpSTOP})
+	c := run(t, code)
+	cpi := c.Prof.CPI()
+	if cpi < 1.7 || cpi > 2.2 {
+		t.Fatalf("dependent chain CPI = %.2f, want ~2", cpi)
+	}
+	if c.Prof.StallPct() < 35 {
+		t.Fatalf("stall%% = %.1f, want ~50", c.Prof.StallPct())
+	}
+}
+
+func TestIndependentSingleIssue(t *testing.T) {
+	// Independent even-pipe instructions issue one per cycle (no
+	// pairing possible: both would need the odd pipe for the second).
+	var code []Instr
+	for i := 0; i < 20; i++ {
+		code = append(code, Instr{Op: OpIL, Rt: uint8(1 + i%100), Imm: int32(i)})
+	}
+	code = append(code, Instr{Op: OpSTOP})
+	c := run(t, code)
+	if cpi := c.Prof.CPI(); cpi < 0.95 || cpi > 1.1 {
+		t.Fatalf("independent even CPI = %.2f, want 1", cpi)
+	}
+	if c.Prof.DualCycles != 0 {
+		t.Fatalf("even-only code dual-issued %d times", c.Prof.DualCycles)
+	}
+}
+
+func TestDualIssueAlternating(t *testing.T) {
+	// Independent even/odd alternation dual-issues every cycle:
+	// CPI -> 0.5, dual% -> 100.
+	var code []Instr
+	for i := 0; i < 20; i++ {
+		code = append(code, Instr{Op: OpIL, Rt: uint8(2 * (i + 1)), Imm: 1})
+		code = append(code, Instr{Op: OpROTQBYI, Rt: uint8(2*(i+1) + 1), Ra: 0, Imm: 1})
+	}
+	code = append(code, Instr{Op: OpSTOP})
+	c := run(t, code)
+	if cpi := c.Prof.CPI(); cpi > 0.6 {
+		t.Fatalf("alternating CPI = %.2f, want ~0.5", cpi)
+	}
+	if c.Prof.DualIssuePct() < 90 {
+		t.Fatalf("dual%% = %.1f, want ~100", c.Prof.DualIssuePct())
+	}
+}
+
+func TestPairHazardBlocksDual(t *testing.T) {
+	// The odd instruction reads the even instruction's result: no dual.
+	code := []Instr{
+		{Op: OpILA, Rt: 1, Imm: 64},
+		{Op: OpLNOP},
+		{Op: OpAI, Rt: 2, Ra: 1, Imm: 0},  // even slot (index 2)
+		{Op: OpLQD, Rt: 3, Ra: 2, Imm: 0}, // odd slot reads r2
+		{Op: OpSTOP},
+	}
+	c := run(t, code)
+	if c.Prof.DualCycles != 1 { // only the first pair (ILA+LNOP) pairs
+		t.Fatalf("dual cycles = %d, want 1", c.Prof.DualCycles)
+	}
+}
+
+func TestBranchPenaltyUnhinted(t *testing.T) {
+	mk := func(hinted bool) int64 {
+		code := []Instr{
+			{Op: OpIL, Rt: 1, Imm: 50},
+			{Op: OpAI, Rt: 1, Ra: 1, Imm: -1},
+			{Op: OpBRNZ, Rt: 1, Target: 1, Hinted: hinted},
+			{Op: OpSTOP},
+		}
+		c := New()
+		if err := c.Run(&Program{Code: code}); err != nil {
+			panic(err)
+		}
+		return c.Prof.Cycles
+	}
+	hinted := mk(true)
+	unhinted := mk(false)
+	if unhinted <= hinted {
+		t.Fatalf("unhinted (%d) not slower than hinted (%d)", unhinted, hinted)
+	}
+	// 49 taken branches at 18 cycles each.
+	if diff := unhinted - hinted; diff < 49*15 || diff > 49*20 {
+		t.Fatalf("penalty difference = %d, want ~%d", diff, 49*18)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	c := New()
+	if err := c.Run(&Program{Code: []Instr{{Op: OpBR, Target: 99}}}); err == nil {
+		t.Fatal("wild branch accepted")
+	}
+	if err := c.Run(&Program{Code: []Instr{{Op: OpA, Rt: 200}}}); err == nil {
+		t.Fatal("bad register accepted")
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	c := New()
+	c.Params.MaxInstructions = 100
+	// Infinite loop.
+	err := c.Run(&Program{Code: []Instr{
+		{Op: OpBR, Target: 0, Hinted: true},
+		{Op: OpSTOP},
+	}})
+	if err == nil {
+		t.Fatal("runaway loop not stopped")
+	}
+}
+
+func TestCountRegs(t *testing.T) {
+	p := &Program{Code: []Instr{
+		{Op: OpIL, Rt: 1, Imm: 0},
+		{Op: OpIL, Rt: 2, Imm: 0},
+		{Op: OpA, Rt: 3, Ra: 1, Rb: 2},
+		{Op: OpSTOP},
+	}}
+	if p.CountRegs() != 3 {
+		t.Fatalf("regs = %d", p.RegsUsed)
+	}
+}
+
+func TestProfileMetricsArithmetic(t *testing.T) {
+	p := Profile{Cycles: 100, Instructions: 150, DualCycles: 50, SingleCycles: 50}
+	if p.CPI() < 0.66 || p.CPI() > 0.67 {
+		t.Fatalf("CPI = %f", p.CPI())
+	}
+	if p.DualIssuePct() != 50 {
+		t.Fatalf("dual%% = %f", p.DualIssuePct())
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Profile{Cycles: 10, Instructions: 3, SingleCycles: 2}
+	if bad.Check() == nil {
+		t.Fatal("broken accounting accepted")
+	}
+}
+
+func TestThroughputConversion(t *testing.T) {
+	// The paper's V4: 5.01 cycles/transition -> 639 M transitions/s
+	// -> 5.11 Gbps at 3.2 GHz.
+	mt := TransitionsPerSecond(5.01) / 1e6
+	if mt < 638 || mt > 640 {
+		t.Fatalf("Mtransitions/s = %.2f, want ~639", mt)
+	}
+	gbps := ThroughputGbps(5.01)
+	if gbps < 5.10 || gbps > 5.12 {
+		t.Fatalf("Gbps = %.3f, want 5.11", gbps)
+	}
+}
+
+func TestWriteReadLS(t *testing.T) {
+	c := New()
+	c.WriteLS(100, []byte{1, 2, 3})
+	got := c.ReadLS(100, 3)
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("LS round trip: %v", got)
+	}
+}
+
+func TestResetKeepsLS(t *testing.T) {
+	c := New()
+	c.LS[5] = 9
+	c.R[1] = v128.SplatByte(1)
+	c.Prof.Cycles = 10
+	c.Reset()
+	if c.LS[5] != 9 {
+		t.Fatal("reset cleared LS")
+	}
+	if c.R[1] != v128.Zero || c.Prof.Cycles != 0 {
+		t.Fatal("reset did not clear registers/profile")
+	}
+}

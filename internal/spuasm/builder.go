@@ -1,0 +1,324 @@
+// Package spuasm is the kernel builder that plays the role GCC 4.0.2
+// played for the paper's authors: it turns a symbolic instruction
+// stream over unlimited virtual registers into an executable SPU
+// program, by list-scheduling each basic block and then running a
+// linear-scan register allocator that spills to the local store when
+// the 128 architectural registers run out.
+//
+// Table 1's last rows ("Registers used": 4 / 40 / 81 / 124 / spill) are
+// artifacts of exactly this pipeline, which is why the repository
+// regenerates them mechanically instead of asserting them.
+package spuasm
+
+import (
+	"fmt"
+
+	"cellmatch/internal/spu"
+)
+
+// VReg is a virtual register id.
+type VReg int32
+
+const noReg VReg = -1
+
+// vinst is an instruction over virtual registers.
+type vinst struct {
+	op     spu.Op
+	rt     VReg
+	ra     VReg
+	rb     VReg
+	rc     VReg
+	imm    int32
+	target string
+	hinted bool
+}
+
+func (v vinst) sources() []VReg {
+	var out []VReg
+	add := func(r VReg) {
+		if r != noReg {
+			out = append(out, r)
+		}
+	}
+	switch v.op {
+	case spu.OpIL, spu.OpILHU, spu.OpILA, spu.OpNOP, spu.OpLNOP, spu.OpBR, spu.OpSTOP:
+	case spu.OpIOHL:
+		add(v.rt)
+	case spu.OpAI, spu.OpANDI, spu.OpANDBI, spu.OpORI, spu.OpSHLI, spu.OpROTMI,
+		spu.OpCEQI, spu.OpROTQBYI, spu.OpLQD:
+		add(v.ra)
+	case spu.OpLQX:
+		add(v.ra)
+		add(v.rb)
+	case spu.OpSTQD:
+		add(v.rt)
+		add(v.ra)
+	case spu.OpSTQX:
+		add(v.rt)
+		add(v.ra)
+		add(v.rb)
+	case spu.OpSHUFB:
+		add(v.ra)
+		add(v.rb)
+		add(v.rc)
+	case spu.OpBRZ, spu.OpBRNZ:
+		add(v.rt)
+	default:
+		add(v.ra)
+		add(v.rb)
+	}
+	return out
+}
+
+func (v vinst) dest() VReg {
+	switch v.op {
+	case spu.OpSTQD, spu.OpSTQX, spu.OpBR, spu.OpBRZ, spu.OpBRNZ,
+		spu.OpNOP, spu.OpLNOP, spu.OpSTOP:
+		return noReg
+	default:
+		return v.rt
+	}
+}
+
+func (v vinst) isMem() bool {
+	switch v.op {
+	case spu.OpLQD, spu.OpLQX, spu.OpSTQD, spu.OpSTQX:
+		return true
+	}
+	return false
+}
+
+func (v vinst) isStore() bool { return v.op == spu.OpSTQD || v.op == spu.OpSTQX }
+
+// item is a label marker or an instruction.
+type item struct {
+	label string // nonempty for label markers
+	in    vinst
+}
+
+// Builder accumulates symbolic code.
+type Builder struct {
+	items  []item
+	nv     int32
+	names  map[VReg]string
+	labels map[string]bool
+	err    error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{names: map[VReg]string{}, labels: map[string]bool{}}
+}
+
+// NewReg allocates a fresh virtual register with a debug name.
+func (b *Builder) NewReg(name string) VReg {
+	r := VReg(b.nv)
+	b.nv++
+	b.names[r] = name
+	return r
+}
+
+// NewRegs allocates n fresh registers with indexed names.
+func (b *Builder) NewRegs(prefix string, n int) []VReg {
+	out := make([]VReg, n)
+	for i := range out {
+		out[i] = b.NewReg(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// Label places a branch target at the current position.
+func (b *Builder) Label(name string) {
+	if b.labels[name] {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = true
+	b.items = append(b.items, item{label: name})
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("spuasm: "+format, args...)
+	}
+}
+
+func (b *Builder) emit(v vinst) { b.items = append(b.items, item{in: v}) }
+
+// --- instruction constructors ---
+
+// IL loads a sign-extended 16-bit immediate into all words.
+func (b *Builder) IL(rt VReg, imm int32) {
+	b.emit(vinst{op: spu.OpIL, rt: rt, ra: noReg, rb: noReg, rc: noReg, imm: imm})
+}
+
+// ILA loads an 18-bit unsigned immediate (typically an LS address).
+func (b *Builder) ILA(rt VReg, imm int32) {
+	b.emit(vinst{op: spu.OpILA, rt: rt, ra: noReg, rb: noReg, rc: noReg, imm: imm})
+}
+
+// A adds words: rt = ra + rb.
+func (b *Builder) A(rt, ra, rb VReg) {
+	b.emit(vinst{op: spu.OpA, rt: rt, ra: ra, rb: rb, rc: noReg})
+}
+
+// AI adds an immediate: rt = ra + imm.
+func (b *Builder) AI(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpAI, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// AND performs rt = ra & rb.
+func (b *Builder) AND(rt, ra, rb VReg) {
+	b.emit(vinst{op: spu.OpAND, rt: rt, ra: ra, rb: rb, rc: noReg})
+}
+
+// ANDI performs rt = ra & signext(imm).
+func (b *Builder) ANDI(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpANDI, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// ANDBI performs a per-byte and with imm.
+func (b *Builder) ANDBI(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpANDBI, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// OR performs rt = ra | rb.
+func (b *Builder) OR(rt, ra, rb VReg) {
+	b.emit(vinst{op: spu.OpOR, rt: rt, ra: ra, rb: rb, rc: noReg})
+}
+
+// XOR performs rt = ra ^ rb.
+func (b *Builder) XOR(rt, ra, rb VReg) {
+	b.emit(vinst{op: spu.OpXOR, rt: rt, ra: ra, rb: rb, rc: noReg})
+}
+
+// SHLI shifts words left by an immediate.
+func (b *Builder) SHLI(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpSHLI, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// ROTMI shifts words right (logical) by an immediate.
+func (b *Builder) ROTMI(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpROTMI, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// CEQI compares words to an immediate for equality.
+func (b *Builder) CEQI(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpCEQI, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// LQD loads the quadword at (ra)+imm.
+func (b *Builder) LQD(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpLQD, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// LQX loads the quadword at (ra)+(rb).
+func (b *Builder) LQX(rt, ra, rb VReg) {
+	b.emit(vinst{op: spu.OpLQX, rt: rt, ra: ra, rb: rb, rc: noReg})
+}
+
+// STQD stores rt's quadword to (ra)+imm.
+func (b *Builder) STQD(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpSTQD, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// SHUFB shuffles bytes of ra||rb under pattern rc.
+func (b *Builder) SHUFB(rt, ra, rb, rc VReg) {
+	b.emit(vinst{op: spu.OpSHUFB, rt: rt, ra: ra, rb: rb, rc: rc})
+}
+
+// ROTQBY rotates quadword ra left by (rb)&15 bytes.
+func (b *Builder) ROTQBY(rt, ra, rb VReg) {
+	b.emit(vinst{op: spu.OpROTQBY, rt: rt, ra: ra, rb: rb, rc: noReg})
+}
+
+// ROTQBYI rotates quadword ra left by imm&15 bytes.
+func (b *Builder) ROTQBYI(rt, ra VReg, imm int32) {
+	b.emit(vinst{op: spu.OpROTQBYI, rt: rt, ra: ra, rb: noReg, rc: noReg, imm: imm})
+}
+
+// BR branches unconditionally to a label.
+func (b *Builder) BR(label string, hinted bool) {
+	b.emit(vinst{op: spu.OpBR, rt: noReg, ra: noReg, rb: noReg, rc: noReg, target: label, hinted: hinted})
+}
+
+// BRNZ branches to label when rt's preferred word is nonzero.
+func (b *Builder) BRNZ(rt VReg, label string, hinted bool) {
+	b.emit(vinst{op: spu.OpBRNZ, rt: rt, ra: noReg, rb: noReg, rc: noReg, target: label, hinted: hinted})
+}
+
+// BRZ branches to label when rt's preferred word is zero.
+func (b *Builder) BRZ(rt VReg, label string, hinted bool) {
+	b.emit(vinst{op: spu.OpBRZ, rt: rt, ra: noReg, rb: noReg, rc: noReg, target: label, hinted: hinted})
+}
+
+// STOP halts the program.
+func (b *Builder) STOP() { b.emit(vinst{op: spu.OpSTOP, rt: noReg, ra: noReg, rb: noReg, rc: noReg}) }
+
+// Options configure assembly.
+type Options struct {
+	// Window is the list scheduler's lookahead (in instructions of
+	// original program order) within a basic block. It models how much
+	// independent work the compiler exposes: small windows behave like
+	// unscheduled code, large windows like an aggressively scheduled
+	// unrolled body. Zero means no scheduling (program order).
+	Window int
+	// MaxRegs is the number of allocatable architectural registers.
+	// Default 112: of the 128 registers, the ABI fixes the link
+	// register and stack pointer, the kernel keeps mask constants and
+	// loop invariants resident, the allocator reserves spill
+	// temporaries and the spill base pointer, and GCC-era register
+	// allocation carries a few registers of slack — the same budget
+	// the paper's compiler worked with when its unroll-by-4 version
+	// started spilling. Values up to 125 may be forced explicitly.
+	MaxRegs int
+	// SpillBase is the local-store address of the spill area.
+	SpillBase uint32
+	// Name labels the resulting program.
+	Name string
+}
+
+// reserved physical registers when spilling is needed.
+const (
+	tempReg0     = 125
+	tempReg1     = 126
+	spillBaseReg = 127
+)
+
+// Assemble schedules, allocates and emits the final program.
+func (b *Builder) Assemble(opts Options) (*spu.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if opts.MaxRegs <= 0 {
+		opts.MaxRegs = 112
+	}
+	if opts.MaxRegs > 125 {
+		opts.MaxRegs = 125
+	}
+	// Verify labels referenced exist.
+	for _, it := range b.items {
+		if it.label == "" && it.in.target != "" && !b.labels[it.in.target] {
+			return nil, fmt.Errorf("spuasm: undefined label %q", it.in.target)
+		}
+	}
+	items := scheduleItems(b.items, opts.Window)
+	asgn, spills, err := allocate(items, int(b.nv), opts.MaxRegs)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := emitFinal(items, asgn, spills, opts)
+	if err != nil {
+		return nil, err
+	}
+	prog.Name = opts.Name
+	prog.CountRegs()
+	if spills > 0 {
+		// The spill machinery occupies the reserved registers.
+		prog.Spills = spills
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

@@ -1,0 +1,182 @@
+package spuasm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cellmatch/internal/spu"
+)
+
+// randomProgram builds a random straight-line computation over nv
+// virtual registers feeding a single result, optionally wrapped in a
+// loop. It exercises every register-to-register opcode the kernels
+// use, so scheduling and allocation bugs that alter semantics surface
+// as result mismatches across configurations.
+func randomProgram(rng *rand.Rand, loop bool) (*Builder, int) {
+	b := NewBuilder()
+	n := 8 + rng.Intn(24)
+	regs := make([]VReg, n)
+	for i := range regs {
+		regs[i] = b.NewReg(fmt.Sprintf("r%d", i))
+		b.IL(regs[i], int32(rng.Intn(200)-100))
+	}
+	emit := func(count int) {
+		for k := 0; k < count; k++ {
+			rt := regs[rng.Intn(n)]
+			ra := regs[rng.Intn(n)]
+			rb := regs[rng.Intn(n)]
+			switch rng.Intn(8) {
+			case 0:
+				b.A(rt, ra, rb)
+			case 1:
+				b.AND(rt, ra, rb)
+			case 2:
+				b.OR(rt, ra, rb)
+			case 3:
+				b.XOR(rt, ra, rb)
+			case 4:
+				b.AI(rt, ra, int32(rng.Intn(64)-32))
+			case 5:
+				b.SHLI(rt, ra, int32(rng.Intn(8)))
+			case 6:
+				b.ROTMI(rt, ra, int32(rng.Intn(8)))
+			case 7:
+				b.ANDI(rt, ra, int32(rng.Intn(512)-256))
+			}
+		}
+	}
+	if loop {
+		i := b.NewReg("i")
+		b.IL(i, int32(2+rng.Intn(4)))
+		b.Label("loop")
+		emit(10 + rng.Intn(20))
+		b.AI(i, i, -1)
+		b.BRNZ(i, "loop", true)
+	} else {
+		emit(20 + rng.Intn(40))
+	}
+	// Fold everything into regs[0] so the result depends on all regs.
+	for i := 1; i < n; i++ {
+		b.XOR(regs[0], regs[0], regs[i])
+	}
+	out := b.NewReg("out")
+	b.ILA(out, 2048)
+	b.STQD(regs[0], out, 0)
+	b.STOP()
+	return b, n
+}
+
+// runConfig assembles with the given options and returns the stored
+// result word.
+func runConfig(t *testing.T, build func() *Builder, opts Options) uint32 {
+	t.Helper()
+	p, err := build().Assemble(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spu.New()
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prof.Check(); err != nil {
+		t.Fatal(err)
+	}
+	q := c.ReadLS(2048, 4)
+	return uint32(q[0])<<24 | uint32(q[1])<<16 | uint32(q[2])<<8 | uint32(q[3])
+}
+
+// TestRandomProgramsConfigInvariant: for random programs, every
+// combination of scheduling window and register budget (including
+// budgets small enough to force heavy spilling) computes the same
+// result as the unscheduled, unconstrained baseline.
+func TestRandomProgramsConfigInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		seed := rng.Int63()
+		loop := trial%3 == 0
+		build := func() *Builder {
+			b, _ := randomProgram(rand.New(rand.NewSource(seed)), loop)
+			return b
+		}
+		want := runConfig(t, build, Options{Window: 0, SpillBase: 16384})
+		for _, opts := range []Options{
+			{Window: 4, SpillBase: 16384},
+			{Window: 16, SpillBase: 16384},
+			{Window: 256, SpillBase: 16384},
+			{Window: 0, MaxRegs: 8, SpillBase: 16384},
+			{Window: 64, MaxRegs: 8, SpillBase: 16384},
+			{Window: 64, MaxRegs: 12, SpillBase: 16384},
+		} {
+			got := runConfig(t, build, opts)
+			if got != want {
+				t.Fatalf("trial %d (seed %d, loop %v): window=%d maxregs=%d: got %#x want %#x",
+					trial, seed, loop, opts.Window, opts.MaxRegs, got, want)
+			}
+		}
+	}
+}
+
+// TestSpilledProgramsReportSpills verifies the spill metric fires when
+// the budget is tiny and the program is large.
+func TestSpilledProgramsReportSpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	spilled := 0
+	for trial := 0; trial < 20; trial++ {
+		b, n := randomProgram(rng, false)
+		p, err := b.Assemble(Options{MaxRegs: 6, SpillBase: 16384})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 6 && p.Spills > 0 {
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("no random program spilled under a 6-register budget")
+	}
+}
+
+// TestSchedulerNeverLosesInstructions: scheduled output must contain
+// exactly the input instructions (as a multiset of opcodes).
+func TestSchedulerNeverLosesInstructions(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		b, _ := randomProgram(rng, trial%2 == 0)
+		baseline, err := b.Assemble(Options{Window: 0, SpillBase: 16384})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, _ := randomProgram(rand.New(rand.NewSource(int64(trial))), trial%2 == 0)
+		_ = b2
+		counts := map[spu.Op]int{}
+		for _, in := range baseline.Code {
+			counts[in.Op]++
+		}
+		// Re-assemble the same builder is not possible (consumed), so
+		// rebuild deterministically and compare opcode multisets under
+		// scheduling.
+		b3, _ := randomProgram(rand.New(rand.NewSource(int64(trial+1000))), trial%2 == 0)
+		sched, err := b3.Assemble(Options{Window: 128, SpillBase: 16384})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b4, _ := randomProgram(rand.New(rand.NewSource(int64(trial+1000))), trial%2 == 0)
+		unsched, err := b4.Assemble(Options{Window: 0, SpillBase: 16384})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, cu := map[spu.Op]int{}, map[spu.Op]int{}
+		for _, in := range sched.Code {
+			cs[in.Op]++
+		}
+		for _, in := range unsched.Code {
+			cu[in.Op]++
+		}
+		for op, n := range cu {
+			if cs[op] != n {
+				t.Fatalf("trial %d: opcode %v count %d vs %d", trial, op, cs[op], n)
+			}
+		}
+	}
+}

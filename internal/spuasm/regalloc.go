@@ -1,0 +1,364 @@
+package spuasm
+
+import (
+	"fmt"
+	"sort"
+
+	"cellmatch/internal/spu"
+)
+
+// assignment is the result of register allocation.
+type assignment struct {
+	phys  []int16 // vreg -> physical register, or -1 if spilled
+	slot  []int32 // vreg -> spill slot index (valid when phys < 0)
+	nphys int     // distinct physical registers used
+}
+
+// interval is a live range over instruction positions.
+type interval struct {
+	v          VReg
+	start, end int
+	uses       int
+}
+
+// allocate runs block liveness, builds intervals and performs
+// linear-scan allocation with a use-density spill heuristic. It
+// returns the assignment and the number of spilled virtual registers.
+func allocate(items []item, nvregs, maxRegs int) (*assignment, int, error) {
+	ivs := buildIntervals(items, nvregs)
+	asgn := &assignment{
+		phys: make([]int16, nvregs),
+		slot: make([]int32, nvregs),
+	}
+	for i := range asgn.phys {
+		asgn.phys[i] = -1
+		asgn.slot[i] = -1
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+	free := make([]int16, 0, maxRegs)
+	for r := maxRegs - 1; r >= 0; r-- {
+		free = append(free, int16(r)) // pop order: r0 first
+	}
+	type activeIv struct {
+		iv  interval
+		reg int16
+	}
+	var active []activeIv
+	spills := 0
+	nextSlot := int32(0)
+	usedPhys := map[int16]bool{}
+	density := func(iv interval) float64 {
+		length := iv.end - iv.start + 1
+		return float64(iv.uses) / float64(length)
+	}
+	for _, iv := range ivs {
+		// Expire finished intervals.
+		keep := active[:0]
+		for _, a := range active {
+			if a.iv.end < iv.start {
+				free = append(free, a.reg)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		active = keep
+		if len(free) > 0 {
+			r := free[len(free)-1]
+			free = free[:len(free)-1]
+			asgn.phys[iv.v] = r
+			usedPhys[r] = true
+			active = append(active, activeIv{iv, r})
+			continue
+		}
+		// Spill the lowest use-density interval among active+current:
+		// long-lived rarely-used values go to the local store, which is
+		// what a pressure-aware compiler does.
+		victim := -1 // index into active, or -1 for current
+		worst := density(iv)
+		for i, a := range active {
+			if d := density(a.iv); d < worst {
+				worst = d
+				victim = i
+			}
+		}
+		if victim == -1 {
+			asgn.slot[iv.v] = nextSlot
+			nextSlot++
+			spills++
+			continue
+		}
+		// Evict the victim, give its register to the current interval.
+		ev := active[victim]
+		asgn.phys[ev.iv.v] = -1
+		asgn.slot[ev.iv.v] = nextSlot
+		nextSlot++
+		spills++
+		asgn.phys[iv.v] = ev.reg
+		active[victim] = activeIv{iv, ev.reg}
+	}
+	asgn.nphys = len(usedPhys)
+	return asgn, spills, nil
+}
+
+// block is one liveness unit.
+type block struct {
+	start, end int // instruction position range [start, end)
+	succs      []int
+	use, def   map[VReg]bool
+	liveIn     map[VReg]bool
+	liveOut    map[VReg]bool
+}
+
+// buildIntervals computes conservative live intervals via per-block
+// liveness (handling loops properly through the backward-branch
+// fixpoint) and then takes the min/max live position per vreg.
+func buildIntervals(items []item, nvregs int) []interval {
+	// Flatten instructions and find block boundaries: a block starts at
+	// position 0, at every label, and after every branch or stop.
+	var ins []vinst
+	labelPos := map[string]int{}
+	starts := map[int]bool{0: true}
+	for _, it := range items {
+		if it.label != "" {
+			labelPos[it.label] = len(ins)
+			starts[len(ins)] = true
+			continue
+		}
+		ins = append(ins, it.in)
+		if spu.IsBranch(it.in.op) || it.in.op == spu.OpSTOP {
+			starts[len(ins)] = true
+		}
+	}
+	n := len(ins)
+	var bounds []int
+	for p := range starts {
+		if p < n {
+			bounds = append(bounds, p)
+		}
+	}
+	sort.Ints(bounds)
+	blockOf := make([]int, n)
+	var blocks []*block
+	for i, s := range bounds {
+		e := n
+		if i+1 < len(bounds) {
+			e = bounds[i+1]
+		}
+		b := &block{start: s, end: e, use: map[VReg]bool{}, def: map[VReg]bool{},
+			liveIn: map[VReg]bool{}, liveOut: map[VReg]bool{}}
+		for p := s; p < e; p++ {
+			blockOf[p] = len(blocks)
+			v := ins[p]
+			for _, src := range v.sources() {
+				if !b.def[src] {
+					b.use[src] = true
+				}
+			}
+			if d := v.dest(); d != noReg {
+				b.def[d] = true
+			}
+		}
+		blocks = append(blocks, b)
+	}
+	// Successor edges from each block's terminator.
+	for i, b := range blocks {
+		if b.end == b.start {
+			continue
+		}
+		last := ins[b.end-1]
+		switch {
+		case last.op == spu.OpSTOP:
+		case spu.IsBranch(last.op):
+			if p, ok := labelPos[last.target]; ok && p < n {
+				b.succs = append(b.succs, blockOf[p])
+			}
+			if last.op != spu.OpBR && i+1 < len(blocks) {
+				b.succs = append(b.succs, i+1)
+			}
+		default:
+			if i+1 < len(blocks) {
+				b.succs = append(b.succs, i+1)
+			}
+		}
+	}
+	// Fixpoint liveness.
+	changed := true
+	for changed {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			newOut := map[VReg]bool{}
+			for _, s := range b.succs {
+				for v := range blocks[s].liveIn {
+					newOut[v] = true
+				}
+			}
+			newIn := map[VReg]bool{}
+			for v := range b.use {
+				newIn[v] = true
+			}
+			for v := range newOut {
+				if !b.def[v] {
+					newIn[v] = true
+				}
+			}
+			if len(newOut) != len(b.liveOut) || len(newIn) != len(b.liveIn) {
+				changed = true
+			}
+			b.liveOut = newOut
+			b.liveIn = newIn
+		}
+	}
+	// Intervals: min/max positions where each vreg is defined, used,
+	// or live at a block boundary.
+	lo := make([]int, nvregs)
+	hi := make([]int, nvregs)
+	uses := make([]int, nvregs)
+	seen := make([]bool, nvregs)
+	touch := func(v VReg, p int) {
+		if !seen[v] {
+			seen[v] = true
+			lo[v], hi[v] = p, p
+			return
+		}
+		if p < lo[v] {
+			lo[v] = p
+		}
+		if p > hi[v] {
+			hi[v] = p
+		}
+	}
+	for p, v := range ins {
+		for _, s := range v.sources() {
+			touch(s, p)
+			uses[s]++
+		}
+		if d := v.dest(); d != noReg {
+			touch(d, p)
+			uses[d]++
+		}
+	}
+	for _, b := range blocks {
+		if b.end <= b.start {
+			continue
+		}
+		for v := range b.liveIn {
+			touch(v, b.start)
+		}
+		for v := range b.liveOut {
+			touch(v, b.end-1)
+		}
+	}
+	var out []interval
+	for v := 0; v < nvregs; v++ {
+		if seen[v] {
+			out = append(out, interval{v: VReg(v), start: lo[v], end: hi[v], uses: uses[v]})
+		}
+	}
+	return out
+}
+
+// emitFinal rewrites virtual registers to physical ones, inserting
+// spill loads/stores around instructions that touch spilled vregs, and
+// resolves labels to instruction indices.
+func emitFinal(items []item, asgn *assignment, spills int, opts Options) (*spu.Program, error) {
+	var code []spu.Instr
+	labelAt := map[string]int{}
+	type fixup struct {
+		idx   int
+		label string
+	}
+	var fixups []fixup
+	if spills > 0 {
+		// Prologue: establish the spill base pointer.
+		code = append(code, spu.Instr{Op: spu.OpILA, Rt: spillBaseReg, Imm: int32(opts.SpillBase)})
+	}
+	mapReg := func(v VReg, temps *int, loads *[]spu.Instr) (uint8, error) {
+		if v == noReg {
+			return 0, nil
+		}
+		if p := asgn.phys[v]; p >= 0 {
+			return uint8(p), nil
+		}
+		slot := asgn.slot[v]
+		if slot < 0 {
+			return 0, fmt.Errorf("spuasm: vreg %d neither allocated nor spilled", v)
+		}
+		var t uint8
+		switch *temps {
+		case 0:
+			t = tempReg0
+		case 1:
+			t = tempReg1
+		default:
+			return 0, fmt.Errorf("spuasm: more than two spilled sources in one instruction")
+		}
+		*temps++
+		*loads = append(*loads, spu.Instr{Op: spu.OpLQD, Rt: t, Ra: spillBaseReg, Imm: slot * 16})
+		return t, nil
+	}
+	for _, it := range items {
+		if it.label != "" {
+			labelAt[it.label] = len(code)
+			continue
+		}
+		v := it.in
+		temps := 0
+		var loads []spu.Instr
+		var stores []spu.Instr
+		out := spu.Instr{Op: v.op, Imm: v.imm, Hinted: v.hinted}
+		var err error
+		// Sources first (rt is a source for stores/branches).
+		srcIsRt := false
+		switch v.op {
+		case spu.OpSTQD, spu.OpSTQX, spu.OpBRZ, spu.OpBRNZ, spu.OpIOHL:
+			srcIsRt = true
+		}
+		if srcIsRt && v.rt != noReg {
+			out.Rt, err = mapReg(v.rt, &temps, &loads)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if out.Ra, err = mapReg(v.ra, &temps, &loads); err != nil {
+			return nil, err
+		}
+		if out.Rb, err = mapReg(v.rb, &temps, &loads); err != nil {
+			return nil, err
+		}
+		if out.Rc, err = mapReg(v.rc, &temps, &loads); err != nil {
+			return nil, err
+		}
+		// Destination (possibly also a source for IOHL, handled above).
+		if !srcIsRt && v.rt != noReg {
+			if p := asgn.phys[v.rt]; p >= 0 {
+				out.Rt = uint8(p)
+			} else {
+				out.Rt = tempReg0
+				stores = append(stores, spu.Instr{
+					Op: spu.OpSTQD, Rt: tempReg0, Ra: spillBaseReg, Imm: asgn.slot[v.rt] * 16})
+			}
+		}
+		code = append(code, loads...)
+		if v.target != "" {
+			fixups = append(fixups, fixup{len(code), v.target})
+		}
+		code = append(code, out)
+		code = append(code, stores...)
+	}
+	for _, f := range fixups {
+		t, ok := labelAt[f.label]
+		if !ok {
+			return nil, fmt.Errorf("spuasm: unresolved label %q", f.label)
+		}
+		code[f.idx].Target = int32(t)
+	}
+	return &spu.Program{Code: code}, nil
+}
+
+var _ = sortInts // keep the debug helper referenced

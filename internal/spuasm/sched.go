@@ -1,0 +1,199 @@
+package spuasm
+
+import (
+	"sort"
+
+	"cellmatch/internal/spu"
+)
+
+// scheduleItems list-schedules every basic block. Blocks are maximal
+// instruction runs not crossing labels or branches; the terminating
+// branch (if any) stays last. Window 0 disables scheduling.
+func scheduleItems(items []item, window int) []item {
+	if window <= 0 {
+		return items
+	}
+	var out []item
+	var block []vinst
+	flush := func(term *vinst) {
+		if len(block) > 0 {
+			for _, v := range scheduleBlock(block, window) {
+				out = append(out, item{in: v})
+			}
+			block = nil
+		}
+		if term != nil {
+			out = append(out, item{in: *term})
+		}
+	}
+	for _, it := range items {
+		switch {
+		case it.label != "":
+			flush(nil)
+			out = append(out, it)
+		case spu.IsBranch(it.in.op) || it.in.op == spu.OpSTOP:
+			v := it.in
+			flush(&v)
+		default:
+			block = append(block, it.in)
+		}
+	}
+	flush(nil)
+	return out
+}
+
+// scheduleBlock reorders one basic block with a priority list scheduler
+// bounded by a lookahead window over original program order.
+//
+// Dependencies: RAW, WAR, WAW on virtual registers; stores order with
+// all other memory operations (loads reorder freely among themselves).
+func scheduleBlock(block []vinst, window int) []vinst {
+	n := len(block)
+	if n <= 2 {
+		return block
+	}
+	succs := make([][]int, n)
+	npred := make([]int, n)
+	addDep := func(from, to int) {
+		if from < 0 || from == to {
+			return
+		}
+		succs[from] = append(succs[from], to)
+		npred[to]++
+	}
+	lastDef := map[VReg]int{}
+	lastUses := map[VReg][]int{}
+	lastStore := -1
+	var loadsSince []int
+	for i, v := range block {
+		for _, s := range v.sources() {
+			if d, ok := lastDef[s]; ok {
+				addDep(d, i) // RAW
+			}
+			lastUses[s] = append(lastUses[s], i)
+		}
+		if d := v.dest(); d != noReg {
+			if pd, ok := lastDef[d]; ok {
+				addDep(pd, i) // WAW
+			}
+			for _, u := range lastUses[d] {
+				addDep(u, i) // WAR
+			}
+			lastDef[d] = i
+			lastUses[d] = nil
+		}
+		if v.isMem() {
+			if v.isStore() {
+				addDep(lastStore, i)
+				for _, l := range loadsSince {
+					addDep(l, i)
+				}
+				lastStore = i
+				loadsSince = nil
+			} else {
+				addDep(lastStore, i)
+				loadsSince = append(loadsSince, i)
+			}
+		}
+	}
+	// Priority: critical-path height (latency-weighted), computed
+	// backwards. Loads get an extra boost: compilers hoist long-latency
+	// loads ahead of everything else, which is both why unrolled bodies
+	// lose their stalls and why their register pressure climbs (the
+	// loaded values stay live until their consumers finally issue).
+	const loadBoost = 16
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := 0
+		for _, s := range succs[i] {
+			if height[s] > h {
+				h = height[s]
+			}
+		}
+		height[i] = h + spu.Latency(block[i].op)
+		if block[i].op == spu.OpLQD || block[i].op == spu.OpLQX {
+			height[i] += loadBoost
+		}
+	}
+	// Cycle-driven list scheduling: model the dual-issue machine (one
+	// even-pipe and one odd-pipe slot per cycle) and at each cycle
+	// issue the highest instructions ready under operand latencies.
+	// This is what interleaves the sixteen independent stream chains
+	// and removes the load-latency stalls, the effect the paper
+	// attributes to the compiler on the unrolled body.
+	scheduled := make([]bool, n)
+	readyAt := make([]int, n) // earliest cycle operands allow issue
+	order := make([]vinst, 0, n)
+	done := 0
+	minUnsched := 0
+	vclock := 0
+	for done < n {
+		limit := minUnsched + window
+		pick := func(pipe spu.Pipe) int {
+			best := -1
+			for i := minUnsched; i < n && i < limit; i++ {
+				if scheduled[i] || npred[i] > 0 || readyAt[i] > vclock {
+					continue
+				}
+				if spu.PipeOf(block[i].op) != pipe {
+					continue
+				}
+				if best == -1 || height[i] > height[best] {
+					best = i
+				}
+			}
+			return best
+		}
+		issue := func(i int) {
+			scheduled[i] = true
+			order = append(order, block[i])
+			done++
+			for _, s := range succs[i] {
+				npred[s]--
+				if t := vclock + spu.Latency(block[i].op); t > readyAt[s] {
+					readyAt[s] = t
+				}
+			}
+			for minUnsched < n && scheduled[minUnsched] {
+				minUnsched++
+			}
+		}
+		e := pick(spu.Even)
+		if e >= 0 {
+			issue(e)
+		}
+		o := pick(spu.Odd)
+		if o >= 0 {
+			issue(o)
+		}
+		if e < 0 && o < 0 {
+			// Nothing ready this cycle: jump to the next event, or (if
+			// the window has fully stalled on a long dependence) fall
+			// back to the earliest ready instruction anywhere.
+			next := -1
+			for i := minUnsched; i < n && i < limit; i++ {
+				if scheduled[i] || npred[i] > 0 {
+					continue
+				}
+				if next == -1 || readyAt[i] < next {
+					next = readyAt[i]
+				}
+			}
+			if next > vclock {
+				vclock = next
+				continue
+			}
+			for i := minUnsched; i < n; i++ {
+				if !scheduled[i] && npred[i] == 0 {
+					issue(i)
+					break
+				}
+			}
+		}
+		vclock++
+	}
+	return order
+}
+
+// sortInts is a tiny helper kept for deterministic debug output.
+func sortInts(xs []int) { sort.Ints(xs) }

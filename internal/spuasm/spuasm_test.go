@@ -1,0 +1,319 @@
+package spuasm
+
+import (
+	"fmt"
+	"testing"
+
+	"cellmatch/internal/spu"
+)
+
+// execute assembles and runs, returning the CPU.
+func execute(t *testing.T, b *Builder, opts Options) (*spu.CPU, *spu.Program) {
+	t.Helper()
+	p, err := b.Assemble(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spu.New()
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prof.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+// resultOf stores rt to LS[addr] in the epilogue so tests can read it
+// regardless of physical register assignment.
+func storeResult(b *Builder, rt VReg, addr int32) {
+	base := b.NewReg("resbase")
+	b.ILA(base, addr)
+	b.STQD(rt, base, 0)
+}
+
+func TestSimpleProgram(t *testing.T) {
+	b := NewBuilder()
+	x := b.NewReg("x")
+	y := b.NewReg("y")
+	z := b.NewReg("z")
+	b.IL(x, 20)
+	b.IL(y, 22)
+	b.A(z, x, y)
+	storeResult(b, z, 1024)
+	b.STOP()
+	c, p := execute(t, b, Options{Name: "simple"})
+	if got := c.ReadLS(1024, 4); got[3] != 42 {
+		t.Fatalf("result = %v", got)
+	}
+	if p.RegsUsed > 5 {
+		t.Fatalf("simple program used %d regs", p.RegsUsed)
+	}
+	if p.Spills != 0 {
+		t.Fatalf("unexpected spills: %d", p.Spills)
+	}
+}
+
+func TestLoopProgram(t *testing.T) {
+	// sum = 0; for i = 10; i != 0; i-- { sum += i } -> 55
+	b := NewBuilder()
+	i := b.NewReg("i")
+	sum := b.NewReg("sum")
+	b.IL(i, 10)
+	b.IL(sum, 0)
+	b.Label("loop")
+	b.A(sum, sum, i)
+	b.AI(i, i, -1)
+	b.BRNZ(i, "loop", true)
+	storeResult(b, sum, 2048)
+	b.STOP()
+	c, _ := execute(t, b, Options{Name: "loop", Window: 8})
+	if got := c.ReadLS(2048, 4); got[3] != 55 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestSchedulingPreservesSemantics(t *testing.T) {
+	// A block with reorderable independent work plus strict chains:
+	// results must not change for any window.
+	build := func() *Builder {
+		b := NewBuilder()
+		a1 := b.NewReg("a1")
+		a2 := b.NewReg("a2")
+		a3 := b.NewReg("a3")
+		acc := b.NewReg("acc")
+		b.IL(a1, 3)
+		b.IL(a2, 5)
+		b.A(a3, a1, a2)    // 8
+		b.SHLI(acc, a3, 2) // 32
+		b.AI(acc, acc, 1)  // 33
+		b.A(acc, acc, a1)  // 36
+		storeResult(b, acc, 512)
+		b.STOP()
+		return b
+	}
+	var want byte
+	for _, w := range []int{0, 1, 2, 4, 16, 64} {
+		c, _ := execute(t, build(), Options{Window: w})
+		got := c.ReadLS(512, 4)[3]
+		if w == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("window %d changed result: %d vs %d", w, got, want)
+		}
+	}
+	if want != 36 {
+		t.Fatalf("result = %d, want 36", want)
+	}
+}
+
+func TestSchedulingReducesStalls(t *testing.T) {
+	// Two interleavable dependent chains; without scheduling they run
+	// back-to-back (stalls), with scheduling they interleave.
+	build := func() *Builder {
+		b := NewBuilder()
+		x := b.NewReg("x")
+		y := b.NewReg("y")
+		b.IL(x, 1)
+		b.IL(y, 1)
+		// chain on x
+		for k := 0; k < 10; k++ {
+			b.AI(x, x, 1)
+		}
+		// chain on y
+		for k := 0; k < 10; k++ {
+			b.AI(y, y, 1)
+		}
+		s := b.NewReg("s")
+		b.A(s, x, y)
+		storeResult(b, s, 768)
+		b.STOP()
+		return b
+	}
+	cNo, _ := execute(t, build(), Options{Window: 0})
+	cYes, _ := execute(t, build(), Options{Window: 32})
+	if got := cYes.ReadLS(768, 4)[3]; got != 22 {
+		t.Fatalf("scheduled result = %d", got)
+	}
+	if cYes.Prof.Cycles >= cNo.Prof.Cycles {
+		t.Fatalf("scheduling did not help: %d vs %d cycles", cYes.Prof.Cycles, cNo.Prof.Cycles)
+	}
+}
+
+func TestRegisterReuse(t *testing.T) {
+	// 50 sequential short-lived temps must reuse a handful of physical
+	// registers.
+	b := NewBuilder()
+	acc := b.NewReg("acc")
+	b.IL(acc, 0)
+	for k := 0; k < 50; k++ {
+		tmp := b.NewReg(fmt.Sprintf("t%d", k))
+		b.IL(tmp, 1)
+		b.A(acc, acc, tmp)
+	}
+	storeResult(b, acc, 256)
+	b.STOP()
+	c, p := execute(t, b, Options{Window: 0})
+	if got := c.ReadLS(256, 4)[3]; got != 50 {
+		t.Fatalf("acc = %d", got)
+	}
+	if p.RegsUsed > 10 {
+		t.Fatalf("no register reuse: %d regs", p.RegsUsed)
+	}
+}
+
+func TestSpillingCorrectness(t *testing.T) {
+	// 140 simultaneously-live values exceed the 125 allocatable
+	// registers; the program must spill and still sum correctly.
+	b := NewBuilder()
+	n := 140
+	regs := make([]VReg, n)
+	for k := 0; k < n; k++ {
+		regs[k] = b.NewReg(fmt.Sprintf("v%d", k))
+		b.IL(regs[k], int32(k+1))
+	}
+	acc := b.NewReg("acc")
+	b.IL(acc, 0)
+	for k := 0; k < n; k++ {
+		b.A(acc, acc, regs[k])
+	}
+	storeResult(b, acc, 4096)
+	b.STOP()
+	c, p := execute(t, b, Options{Window: 0, SpillBase: 8192})
+	want := n * (n + 1) / 2 // 9870
+	got := int(c.ReadLS(4096, 4)[2])<<8 | int(c.ReadLS(4096, 4)[3])
+	if got != want {
+		t.Fatalf("spilled sum = %d, want %d", got, want)
+	}
+	if p.Spills == 0 {
+		t.Fatal("expected spills")
+	}
+}
+
+func TestNoSpillUnderLimit(t *testing.T) {
+	b := NewBuilder()
+	n := 100
+	regs := make([]VReg, n)
+	for k := 0; k < n; k++ {
+		regs[k] = b.NewReg(fmt.Sprintf("v%d", k))
+		b.IL(regs[k], 1)
+	}
+	acc := b.NewReg("acc")
+	b.IL(acc, 0)
+	for k := 0; k < n; k++ {
+		b.A(acc, acc, regs[k])
+	}
+	storeResult(b, acc, 4096)
+	b.STOP()
+	_, p := execute(t, b, Options{Window: 0})
+	if p.Spills != 0 {
+		t.Fatalf("spilled with only %d live values: %d spills", n, p.Spills)
+	}
+	if p.RegsUsed < n {
+		t.Fatalf("regs used %d < %d live values", p.RegsUsed, n)
+	}
+}
+
+func TestLoopCarriedLiveness(t *testing.T) {
+	// A register defined before the loop and used only inside it must
+	// stay allocated across the loop (the backedge makes it live).
+	b := NewBuilder()
+	k := b.NewReg("k")
+	i := b.NewReg("i")
+	sum := b.NewReg("sum")
+	b.IL(k, 7)
+	b.IL(i, 5)
+	b.IL(sum, 0)
+	b.Label("top")
+	// Temps inside the loop: they must not steal k's register.
+	for j := 0; j < 30; j++ {
+		tmp := b.NewReg(fmt.Sprintf("lt%d", j))
+		b.IL(tmp, 1)
+		b.A(sum, sum, tmp)
+	}
+	b.A(sum, sum, k)
+	b.AI(i, i, -1)
+	b.BRNZ(i, "top", true)
+	storeResult(b, sum, 512)
+	b.STOP()
+	c, _ := execute(t, b, Options{Window: 16})
+	got := int(c.ReadLS(512, 4)[3]) | int(c.ReadLS(512, 4)[2])<<8
+	if got != 5*(30+7) {
+		t.Fatalf("loop sum = %d, want %d", got, 5*37)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	r := b.NewReg("r")
+	b.IL(r, 1)
+	b.BRNZ(r, "nowhere", false)
+	b.STOP()
+	if _, err := b.Assemble(Options{}); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Label("x")
+	b.STOP()
+	if _, err := b.Assemble(Options{}); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestBranchTargetsSurviveSpilling(t *testing.T) {
+	// Force spills inside a loop and verify the loop still terminates
+	// with the right trip count.
+	b := NewBuilder()
+	n := 130
+	regs := make([]VReg, n)
+	for k := 0; k < n; k++ {
+		regs[k] = b.NewReg(fmt.Sprintf("v%d", k))
+		b.IL(regs[k], 1)
+	}
+	i := b.NewReg("i")
+	cnt := b.NewReg("cnt")
+	b.IL(i, 3)
+	b.IL(cnt, 0)
+	b.Label("loop")
+	b.A(cnt, cnt, regs[0])
+	b.A(cnt, cnt, regs[n-1])
+	b.AI(i, i, -1)
+	b.BRNZ(i, "loop", true)
+	// Keep everything alive past the loop so pressure is real.
+	acc := b.NewReg("acc")
+	b.IL(acc, 0)
+	for k := 0; k < n; k++ {
+		b.A(acc, acc, regs[k])
+	}
+	b.A(acc, acc, cnt)
+	storeResult(b, acc, 1024)
+	b.STOP()
+	c, p := execute(t, b, Options{Window: 0, SpillBase: 16384})
+	if p.Spills == 0 {
+		t.Fatal("expected spills")
+	}
+	got := int(c.ReadLS(1024, 4)[3]) | int(c.ReadLS(1024, 4)[2])<<8
+	if got != n+6 {
+		t.Fatalf("result = %d, want %d", got, n+6)
+	}
+}
+
+func TestWindowZeroKeepsOrder(t *testing.T) {
+	b := NewBuilder()
+	x := b.NewReg("x")
+	y := b.NewReg("y")
+	b.IL(x, 1)
+	b.IL(y, 2)
+	b.STOP()
+	p, err := b.Assemble(Options{Window: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != spu.OpIL || p.Code[0].Imm != 1 {
+		t.Fatal("window 0 reordered code")
+	}
+}

@@ -1,0 +1,202 @@
+// Package stt implements the paper's State Transition Table encoding
+// (Section 4): a complete table with one row per state and one 4-byte
+// word per input symbol, where the *current state is represented as a
+// pointer to its row* rather than an index.
+//
+// Rows are a power-of-two number of bytes (32 symbols x 4 bytes =
+// 128 B) and the table base is row-aligned, so every row pointer has
+// its low log2(stride) bits equal to zero. The paper exploits this to
+// pack the "next state is final" flag into bit 0 of each entry: a
+// state transition is then exactly
+//
+//	entry = load32(cur + 4*sym)
+//	cur   = entry & 0xFFFFFFFE
+//	flag  = entry & 0x00000001
+//
+// with no shift or multiply, which is what makes the 5-cycle inner
+// loop of Table 1 possible.
+package stt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cellmatch/internal/dfa"
+)
+
+// FlagFinal is the final-state flag packed into entry bit 0.
+const FlagFinal uint32 = 1
+
+// PtrMask clears the flag bits from an entry, yielding the row pointer.
+const PtrMask = ^uint32(1)
+
+// Table is an encoded STT bound to a base address (normally a local
+// store address, but any stride-aligned uint32 works, which lets the
+// native matcher use the identical encoding in host memory).
+type Table struct {
+	Syms   int    // meaningful columns (the DFA alphabet)
+	Width  int    // row width in entries (power of two >= Syms)
+	Stride uint32 // row size in bytes = 4*Width
+	Base   uint32 // aligned base address
+	States int
+
+	// Data holds States*Width encoded entries, row-major.
+	Data []uint32
+
+	start  uint32
+	accept []bool
+}
+
+// Encode builds the table for a DFA with rows of the given width at
+// the given base address.
+func Encode(d *dfa.DFA, width int, base uint32) (*Table, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if width < d.Syms {
+		return nil, fmt.Errorf("stt: width %d < alphabet %d", width, d.Syms)
+	}
+	if width&(width-1) != 0 {
+		return nil, fmt.Errorf("stt: width %d not a power of two", width)
+	}
+	stride := uint32(width * 4)
+	if base%stride != 0 {
+		return nil, fmt.Errorf("stt: base %#x not aligned to row stride %d", base, stride)
+	}
+	n := d.NumStates()
+	end := uint64(base) + uint64(n)*uint64(stride)
+	if end > 1<<32 {
+		return nil, fmt.Errorf("stt: %d states at base %#x exceed 32-bit addressing", n, base)
+	}
+	t := &Table{
+		Syms:   d.Syms,
+		Width:  width,
+		Stride: stride,
+		Base:   base,
+		States: n,
+		Data:   make([]uint32, n*width),
+		accept: append([]bool(nil), d.Accept...),
+	}
+	rowPtr := func(s int32) uint32 { return base + uint32(s)*stride }
+	for s := 0; s < n; s++ {
+		for c := 0; c < width; c++ {
+			var next int32
+			if c < d.Syms {
+				next = d.Next[s*d.Syms+c]
+			} else {
+				next = int32(d.Start) // padding columns: restart, no flag
+			}
+			e := rowPtr(next)
+			if c < d.Syms && d.Accept[next] {
+				e |= FlagFinal
+			}
+			t.Data[s*width+c] = e
+		}
+	}
+	t.start = rowPtr(int32(d.Start))
+	if d.Accept[d.Start] {
+		t.start |= FlagFinal
+	}
+	return t, nil
+}
+
+// StartPtr returns the encoded pointer of the initial state.
+func (t *Table) StartPtr() uint32 { return t.start }
+
+// SizeBytes returns the serialized table size.
+func (t *Table) SizeBytes() int { return t.States * int(t.Stride) }
+
+// Lookup performs one transition from the encoded state cur on sym,
+// returning the encoded next state (pointer plus flag bit). This is
+// the native-Go equivalent of the SPU inner loop.
+func (t *Table) Lookup(cur uint32, sym byte) uint32 {
+	idx := (cur&PtrMask-t.Base)>>2 + uint32(sym)
+	return t.Data[idx]
+}
+
+// IsFinal reports whether the encoded state has the final flag set.
+func IsFinal(ptr uint32) bool { return ptr&FlagFinal != 0 }
+
+// StateOf decodes an encoded pointer back to a state index.
+func (t *Table) StateOf(ptr uint32) int {
+	return int((ptr&PtrMask - t.Base) / t.Stride)
+}
+
+// PtrOf returns the encoded pointer for a state index (flag included).
+func (t *Table) PtrOf(s int) uint32 {
+	p := t.Base + uint32(s)*t.Stride
+	if t.accept != nil && t.accept[s] {
+		p |= FlagFinal
+	}
+	return p
+}
+
+// Bytes serializes the table to its big-endian local-store image.
+func (t *Table) Bytes() []byte {
+	out := make([]byte, t.SizeBytes())
+	for i, e := range t.Data {
+		binary.BigEndian.PutUint32(out[i*4:], e)
+	}
+	return out
+}
+
+// FromBytes reconstructs entry data from a big-endian image; metadata
+// (alphabet, base, width, states) must be supplied. Used to verify the
+// local-store image round-trips.
+func FromBytes(img []byte, syms, width int, base uint32) (*Table, error) {
+	stride := uint32(width * 4)
+	if width < syms || width&(width-1) != 0 {
+		return nil, fmt.Errorf("stt: bad width %d", width)
+	}
+	if len(img)%int(stride) != 0 {
+		return nil, fmt.Errorf("stt: image size %d not a row multiple", len(img))
+	}
+	if base%stride != 0 {
+		return nil, fmt.Errorf("stt: base %#x unaligned", base)
+	}
+	t := &Table{
+		Syms:   syms,
+		Width:  width,
+		Stride: stride,
+		Base:   base,
+		States: len(img) / int(stride),
+		Data:   make([]uint32, len(img)/4),
+	}
+	for i := range t.Data {
+		t.Data[i] = binary.BigEndian.Uint32(img[i*4:])
+	}
+	t.start = base
+	return t, nil
+}
+
+// CountFinalEntries scans reduced input with the encoded table,
+// counting transitions that enter a final state — the same semantics
+// as dfa.CountFinalEntries and the SPU kernels, used as the
+// cross-check between representations.
+func (t *Table) CountFinalEntries(input []byte) int {
+	cur := t.start & PtrMask
+	count := 0
+	for _, c := range input {
+		e := t.Lookup(cur, c)
+		count += int(e & FlagFinal)
+		cur = e & PtrMask
+	}
+	return count
+}
+
+// Validate checks every entry points at a row inside the table and
+// padding columns carry no flags.
+func (t *Table) Validate() error {
+	lo := t.Base
+	hi := t.Base + uint32(t.States)*t.Stride
+	for i, e := range t.Data {
+		p := e & PtrMask
+		if p < lo || p >= hi {
+			return fmt.Errorf("stt: entry %d points outside table: %#x", i, p)
+		}
+		if (p-lo)%t.Stride != 0 {
+			return fmt.Errorf("stt: entry %d not row-aligned: %#x", i, p)
+		}
+	}
+	return nil
+}

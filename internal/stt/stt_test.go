@@ -1,0 +1,222 @@
+package stt
+
+import (
+	"math/rand"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/dfa"
+)
+
+func testDFA(t *testing.T) *dfa.DFA {
+	t.Helper()
+	d, err := dfa.FromPatterns([][]byte{[]byte("AB"), []byte("BCA")}, alphabet.CaseFold32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEncodeBasics(t *testing.T) {
+	d := testDFA(t)
+	tab, err := Encode(d, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Stride != 128 {
+		t.Fatalf("stride = %d", tab.Stride)
+	}
+	if tab.SizeBytes() != d.NumStates()*128 {
+		t.Fatalf("size = %d", tab.SizeBytes())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	d := testDFA(t)
+	if _, err := Encode(d, 16, 0); err == nil {
+		t.Fatal("width below alphabet accepted")
+	}
+	if _, err := Encode(d, 48, 0); err == nil {
+		t.Fatal("non-power-of-two width accepted")
+	}
+	if _, err := Encode(d, 32, 64); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	bad := d.Clone()
+	bad.Start = 999
+	if _, err := Encode(bad, 32, 0); err == nil {
+		t.Fatal("invalid DFA accepted")
+	}
+}
+
+func TestLookupMatchesStep(t *testing.T) {
+	d := testDFA(t)
+	tab, err := Encode(d, 32, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		for c := 0; c < d.Syms; c++ {
+			e := tab.Lookup(tab.PtrOf(s), byte(c))
+			next := d.Step(s, byte(c))
+			if tab.StateOf(e) != next {
+				t.Fatalf("state %d sym %d: table %d, dfa %d", s, c, tab.StateOf(e), next)
+			}
+			if IsFinal(e) != d.Accept[next] {
+				t.Fatalf("state %d sym %d: flag %v, accept %v", s, c, IsFinal(e), d.Accept[next])
+			}
+		}
+	}
+}
+
+func TestPaddingColumnsSafe(t *testing.T) {
+	// Width 64 with a 32-symbol DFA: columns 32..63 must point at the
+	// start row with no flag.
+	d := testDFA(t)
+	tab, err := Encode(d, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		for c := d.Syms; c < 64; c++ {
+			e := tab.Data[s*64+c]
+			if tab.StateOf(e) != d.Start || IsFinal(e) {
+				t.Fatalf("padding entry state %d col %d = %#x", s, c, e)
+			}
+		}
+	}
+}
+
+func TestCountMatchesDFA(t *testing.T) {
+	red := alphabet.CaseFold32()
+	d, err := dfa.FromPatterns([][]byte{[]byte("VIRUS"), []byte("WORM")}, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Encode(d, 32, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := red.Reduce([]byte("A VIRUS AND A WORM AND A VIRUS"))
+	if got, want := tab.CountFinalEntries(text), d.CountFinalEntries(text); got != want {
+		t.Fatalf("table count %d, dfa count %d", got, want)
+	}
+	if tab.CountFinalEntries(text) != 3 {
+		t.Fatalf("count = %d, want 3", tab.CountFinalEntries(text))
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	d := testDFA(t)
+	tab, err := Encode(d, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tab.Bytes()
+	back, err := FromBytes(img, tab.Syms, tab.Width, tab.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Data) != len(tab.Data) {
+		t.Fatalf("data length %d vs %d", len(back.Data), len(tab.Data))
+	}
+	for i := range tab.Data {
+		if back.Data[i] != tab.Data[i] {
+			t.Fatalf("entry %d: %#x vs %#x", i, back.Data[i], tab.Data[i])
+		}
+	}
+	// Big-endian check: first entry's MSB is img[0].
+	if img[0] != byte(tab.Data[0]>>24) {
+		t.Fatal("image not big-endian")
+	}
+}
+
+func TestFromBytesErrors(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 100), 32, 32, 0); err == nil {
+		t.Fatal("ragged image accepted")
+	}
+	if _, err := FromBytes(make([]byte, 128), 32, 31, 0); err == nil {
+		t.Fatal("bad width accepted")
+	}
+	if _, err := FromBytes(make([]byte, 128), 32, 32, 4); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+}
+
+func TestStartPtrFlag(t *testing.T) {
+	// A dictionary can never make the start state final (patterns are
+	// non-empty), so the start pointer has no flag.
+	d := testDFA(t)
+	tab, err := Encode(d, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsFinal(tab.StartPtr()) {
+		t.Fatal("start state flagged final")
+	}
+}
+
+func TestFigure3SizeArithmetic(t *testing.T) {
+	// 1520 states at width 32 is exactly the 190 KB STT of Figure 3.
+	red := alphabet.CaseFold32()
+	// Build a dictionary with exactly 1520 trie states: a chain works.
+	var chain []byte
+	for i := 0; i < 1519; i++ {
+		chain = append(chain, byte('A'+i%26))
+	}
+	d, err := dfa.FromPatterns([][]byte{chain}, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStates() != 1520 {
+		t.Fatalf("states = %d", d.NumStates())
+	}
+	tab, err := Encode(d, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.SizeBytes() != 190*1024 {
+		t.Fatalf("STT size = %d, want 190 KB", tab.SizeBytes())
+	}
+}
+
+// Property: on random dictionaries and inputs, the encoded table scan
+// agrees with the DFA scan exactly.
+func TestTableScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	red := alphabet.CaseFold32()
+	for trial := 0; trial < 60; trial++ {
+		np := 1 + rng.Intn(6)
+		dict := make([][]byte, np)
+		for i := range dict {
+			l := 1 + rng.Intn(8)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = byte('A' + rng.Intn(4))
+			}
+			dict[i] = p
+		}
+		d, err := dfa.FromPatterns(dict, red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := Encode(d, 32, uint32(128*rng.Intn(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		text := make([]byte, 300)
+		for j := range text {
+			text[j] = byte('A' + rng.Intn(4))
+		}
+		rt := red.Reduce(text)
+		if got, want := tab.CountFinalEntries(rt), d.CountFinalEntries(rt); got != want {
+			t.Fatalf("trial %d: table %d vs dfa %d", trial, got, want)
+		}
+	}
+}

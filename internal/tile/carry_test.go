@@ -1,0 +1,143 @@
+package tile
+
+import (
+	"testing"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/stt"
+)
+
+// TestCarryAcrossBlocks: a pattern split across two consecutive blocks
+// of the same streams must still be counted when states carry, and
+// must be missed when they do not — both on the simulated kernel and
+// the native matcher.
+func TestCarryAcrossBlocks(t *testing.T) {
+	red := alphabet.CaseFold32()
+	d, err := dfa.FromPatterns([][]byte{[]byte("SPLITPATTERN")}, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := New(d, Config{Version: 2}) // granularity 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 5 carries the pattern straddling the block boundary:
+	// "SPLIT" at the end of block 1, "PATTERN" at the start of block 2.
+	mk := func(fill byte, n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = fill
+		}
+		return out
+	}
+	perStream := 16
+	block1 := make([]byte, 16*perStream)
+	block2 := make([]byte, 16*perStream)
+	head := red.Reduce([]byte("SPLIT"))
+	tail := red.Reduce([]byte("PATTERN"))
+	copy(block1, mk(0, len(block1)))
+	copy(block2, mk(0, len(block2)))
+	for j, c := range head {
+		q := perStream - len(head) + j
+		block1[q*16+5] = c
+	}
+	for j, c := range tail {
+		block2[j*16+5] = c
+	}
+
+	// With carry: one match, at the end of the pattern in block 2.
+	states := tl.StartStates()
+	c1, states, _, err := tl.MatchBlockSimCarry(block1, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, _, err := tl.MatchBlockSimCarry(block2, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := c1[5] + c2[5]
+	if total != 1 {
+		t.Fatalf("carried scan found %d matches, want 1", total)
+	}
+
+	// Without carry (fresh states per block): zero matches.
+	a, _, err := tl.MatchBlockSim(block1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, _, err := tl.MatchBlockSim(block2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[5]+bq[5] != 0 {
+		t.Fatalf("uncarried scan found %d matches, want 0", a[5]+bq[5])
+	}
+
+	// Native carry agrees with the simulated kernel.
+	var cur [16]uint32
+	start := tl.Table.StartPtr() & stt.PtrMask
+	for i := range cur {
+		cur[i] = start
+	}
+	n1, err := InterleavedCount16From(tl.Table, block1, &cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := InterleavedCount16From(tl.Table, block2, &cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1[5]+n2[5] != 1 {
+		t.Fatalf("native carried scan found %d, want 1", n1[5]+n2[5])
+	}
+}
+
+// TestCarryScalarKernel does the same for the V1 scalar kernel.
+func TestCarryScalarKernel(t *testing.T) {
+	red := alphabet.CaseFold32()
+	d, err := dfa.FromPatterns([][]byte{[]byte("ABCD")}, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := New(d, Config{Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block1 := red.Reduce([]byte("XXXXXXAB"))
+	block2 := red.Reduce([]byte("CDXXXXXX"))
+	states := tl.StartStates()
+	c1, states, _, err := tl.MatchBlockSimCarry(block1, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, _, err := tl.MatchBlockSimCarry(block2, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1[0]+c2[0] != 1 {
+		t.Fatalf("scalar carry found %d, want 1", c1[0]+c2[0])
+	}
+	// Native scalar carry agrees.
+	n1, cur := ScalarCountFrom(tl.Table, block1, tl.Table.StartPtr())
+	n2, _ := ScalarCountFrom(tl.Table, block2, cur)
+	if n1+n2 != 1 {
+		t.Fatalf("native scalar carry found %d, want 1", n1+n2)
+	}
+}
+
+// TestCarryStateValidation rejects mismatched state vectors.
+func TestCarryStateValidation(t *testing.T) {
+	red := alphabet.CaseFold32()
+	d, err := dfa.FromPatterns([][]byte{[]byte("AB")}, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := New(d, Config{Version: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := tl.MatchBlockSimCarry(make([]byte, 32), []uint32{1}); err == nil {
+		t.Fatal("wrong state count accepted")
+	}
+}

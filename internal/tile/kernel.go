@@ -1,0 +1,296 @@
+package tile
+
+import (
+	"fmt"
+
+	"cellmatch/internal/spu"
+	"cellmatch/internal/spuasm"
+)
+
+// kernelCfg fixes the parameters a kernel is specialized for. The
+// kernels are generated per tile and per block size, the way the
+// paper's C implementations were compiled per configuration.
+type kernelCfg struct {
+	version     int    // 1..5 (Table 1)
+	transitions int    // per-stream count for v1; total/16 quadwords for v2+
+	inputBase   uint32 // LS address of the input buffer
+	startPtr    uint32 // encoded start state pointer
+	countsOut   uint32 // LS address for the 16 result quadwords
+	spillBase   uint32 // LS address of the spill area
+	patternBase uint32 // LS address of the 16 extraction shuffle patterns
+	stateBase   uint32 // LS address of the 16 state-pointer quadwords
+}
+
+// PatternTable returns the 16 resident shuffle patterns of Figure 4:
+// pattern i moves byte i of the offsets quadword into the low byte of
+// the preferred word and zeroes everything else (selector 0x80).
+func PatternTable() []byte {
+	out := make([]byte, 16*16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			out[i*16+j] = 0x80
+		}
+		out[i*16+3] = byte(i)
+	}
+	return out
+}
+
+// Streams returns how many interleaved streams a version processes.
+func streamsOf(version int) int {
+	if version == 1 {
+		return 1
+	}
+	return 16
+}
+
+// unrollOf returns the loop unroll factor of a version (Table 1 row
+// "Loop Unroll Factor": versions 3, 4, 5 unroll 2, 3, 4 times).
+func unrollOf(version int) int {
+	switch version {
+	case 3:
+		return 2
+	case 4:
+		return 3
+	case 5:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// windowOf models the compiler's scheduling scope — how far ahead of
+// the oldest unretired instruction the pre-RA scheduler pulls
+// independent work. Larger unroll factors expose proportionally more
+// independent gather chains, which the compiler interleaves; the
+// windows below are calibrated so the emergent register pressure
+// reproduces GCC 4.0.2's observed profile in Table 1 (40 / 81 / 124 /
+// spill): pressure grows roughly as window/8 chains x 3 live temps on
+// top of the 34 persistent stream registers.
+func windowOf(version int) int {
+	switch version {
+	case 1:
+		return 0 // hand-pipelined scalar loop; no reordering
+	case 2:
+		return 16
+	case 3:
+		return 160
+	case 4:
+		return 288
+	default:
+		return 640
+	}
+}
+
+// buildKernel emits the version's kernel program.
+func buildKernel(cfg kernelCfg) (*spu.Program, error) {
+	switch {
+	case cfg.version == 1:
+		return buildScalarKernel(cfg)
+	case cfg.version >= 2 && cfg.version <= 5:
+		return buildSIMDKernel(cfg)
+	default:
+		return nil, fmt.Errorf("tile: unknown implementation version %d", cfg.version)
+	}
+}
+
+// buildScalarKernel is "Implementation version 1" of Table 1: a
+// sequential acceptor processing one stream, one byte per transition.
+// The loop is software-pipelined one byte ahead (extract the next
+// input symbol while the current STT load is in flight), which is the
+// schedule a compiler produces for this loop and what yields the
+// paper's ~19 cycles per transition.
+func buildScalarKernel(cfg kernelCfg) (*spu.Program, error) {
+	if cfg.transitions < 1 || cfg.transitions > 32767 {
+		return nil, fmt.Errorf("tile: scalar trip count %d out of range", cfg.transitions)
+	}
+	b := spuasm.NewBuilder()
+	inPtr := b.NewReg("inPtr")
+	state := b.NewReg("state")
+	count := b.NewReg("count")
+	rem := b.NewReg("rem")
+	qin := b.NewReg("qin")
+	byt := b.NewReg("byt")
+	off := b.NewReg("off")
+	addr := b.NewReg("addr")
+	e := b.NewReg("e")
+	e2 := b.NewReg("e2")
+	f := b.NewReg("f")
+
+	b.ILA(inPtr, int32(cfg.inputBase))
+	// The DFA state lives in the local-store state area across buffer
+	// swaps, so matches spanning block boundaries are preserved.
+	sbase := b.NewReg("sbase")
+	b.ILA(sbase, int32(cfg.stateBase))
+	b.LQD(state, sbase, 0)
+	b.IL(count, 0)
+	b.IL(rem, int32(cfg.transitions))
+	// Prologue: extract the row offset of byte 0. The addressed byte
+	// lands in the top byte of the preferred word, so a single
+	// logical shift right by 22 yields sym*4 directly.
+	b.LQD(qin, inPtr, 0)
+	b.ROTQBY(byt, qin, inPtr)
+	b.ROTMI(off, byt, 22)
+
+	b.Label("loop")
+	// Current transition: table walk using the pre-extracted offset.
+	b.A(addr, state, off)
+	b.LQD(e, addr, 0)
+	// While the STT load is in flight: fetch the next input byte.
+	b.AI(inPtr, inPtr, 1)
+	b.LQD(qin, inPtr, 0)
+	b.ROTQBY(byt, qin, inPtr)
+	// Consume the entry as soon as it arrives; finish extracting the
+	// next symbol's offset in the shadow of the dependent ANDs.
+	b.ROTQBY(e2, e, addr)
+	b.ROTMI(off, byt, 22)
+	b.ANDI(state, e2, -2)
+	b.ANDI(f, e2, 1)
+	b.A(count, count, f)
+	b.AI(rem, rem, -1)
+	b.BRNZ(rem, "loop", true)
+
+	b.STQD(count, mkBase(b, cfg.countsOut), 0)
+	b.STQD(state, sbase, 0)
+	b.STOP()
+	return b.Assemble(spuasm.Options{
+		Window:    windowOf(1),
+		SpillBase: cfg.spillBase,
+		Name:      "dfa-v1-scalar",
+	})
+}
+
+// mkBase materializes an LS address in a fresh register.
+func mkBase(b *spuasm.Builder, addr uint32) spuasm.VReg {
+	r := b.NewReg("base")
+	b.ILA(r, int32(addr))
+	return r
+}
+
+// buildSIMDKernel emits versions 2-5 of Table 1: sixteen DFAs over
+// sixteen byte-interleaved streams sharing one STT, with the loop body
+// unrolled 1, 2, 3 or 4 times. The data flow per quadword is exactly
+// Figure 4 of the paper, including the sixteen resident shuffle
+// patterns ("16 loads (and shuffles)") that extract each stream's
+// offset into the preferred slot in one instruction:
+//
+//	lqd    qin            ; 16 input symbols, one per stream
+//	shli   t, qin, 2      ; SIMD shift left: per-byte offsets sym*4
+//	andbi  offs, t, 0xFC  ; confine each offset to its byte
+//	per stream i (SISD, scalar-in-vector):
+//	  shufb  o, offs, offs, pat_i ; offset byte i -> preferred slot
+//	  a      addr, state_i, o
+//	  lqd    e, 0(addr)           ; gather the STT entry
+//	  rotqby e, e, addr
+//	  andi   state_i, e, -2       ; & 0xFFFFFFFE: next row pointer
+//	  andi   f, e, 1              ; & 0x00000001: final-state flag
+//	  a      count_i, count_i, f
+func buildSIMDKernel(cfg kernelCfg) (*spu.Program, error) {
+	unroll := unrollOf(cfg.version)
+	if cfg.transitions < 1 {
+		return nil, fmt.Errorf("tile: no quadwords to process")
+	}
+	if cfg.transitions%unroll != 0 {
+		return nil, fmt.Errorf("tile: %d quadwords not a multiple of unroll %d",
+			cfg.transitions, unroll)
+	}
+	trips := cfg.transitions / unroll
+	if trips > 32767 {
+		return nil, fmt.Errorf("tile: trip count %d out of IL range", trips)
+	}
+	b := spuasm.NewBuilder()
+	inPtr := b.NewReg("inPtr")
+	rem := b.NewReg("rem")
+	states := b.NewRegs("state", 16)
+	counts := b.NewRegs("count", 16)
+	pats := b.NewRegs("pat", 16)
+
+	b.ILA(inPtr, int32(cfg.inputBase))
+	b.IL(rem, int32(trips))
+	pbase := b.NewReg("pbase")
+	b.ILA(pbase, int32(cfg.patternBase))
+	sbase := b.NewReg("sbase")
+	b.ILA(sbase, int32(cfg.stateBase))
+	for i := 0; i < 16; i++ {
+		b.LQD(states[i], sbase, int32(16*i))
+		b.IL(counts[i], 0)
+		b.LQD(pats[i], pbase, int32(16*i))
+	}
+
+	b.Label("loop")
+	for g := 0; g < unroll; g++ {
+		qin := b.NewReg(fmt.Sprintf("qin%d", g))
+		sh := b.NewReg(fmt.Sprintf("sh%d", g))
+		offs := b.NewReg(fmt.Sprintf("offs%d", g))
+		b.LQD(qin, inPtr, int32(16*g))
+		b.SHLI(sh, qin, 2)
+		b.ANDBI(offs, sh, 0xFC)
+		for i := 0; i < 16; i++ {
+			o := b.NewReg(fmt.Sprintf("o%d_%d", g, i))
+			addr := b.NewReg(fmt.Sprintf("ad%d_%d", g, i))
+			e := b.NewReg(fmt.Sprintf("e%d_%d", g, i))
+			e2 := b.NewReg(fmt.Sprintf("e2_%d_%d", g, i))
+			f := b.NewReg(fmt.Sprintf("f%d_%d", g, i))
+			b.SHUFB(o, offs, offs, pats[i])
+			b.A(addr, states[i], o)
+			b.LQD(e, addr, 0)
+			b.ROTQBY(e2, e, addr)
+			b.ANDI(states[i], e2, -2)
+			b.ANDI(f, e2, 1)
+			b.A(counts[i], counts[i], f)
+		}
+	}
+	b.AI(inPtr, inPtr, int32(16*unroll))
+	b.AI(rem, rem, -1)
+	b.BRNZ(rem, "loop", true)
+
+	out := mkBase(b, cfg.countsOut)
+	for i := 0; i < 16; i++ {
+		b.STQD(counts[i], out, int32(16*i))
+		b.STQD(states[i], sbase, int32(16*i))
+	}
+	b.STOP()
+	return b.Assemble(spuasm.Options{
+		Window:    windowOf(cfg.version),
+		SpillBase: cfg.spillBase,
+		Name:      fmt.Sprintf("dfa-v%d-simd-u%d", cfg.version, unroll),
+	})
+}
+
+// InstructionMix tallies the static opcode classes of a program, which
+// regenerates the Figure 4 "which operations are SIMD vs SISD" view.
+type InstructionMix struct {
+	Loads, Stores   int
+	SIMDArith       int // word/byte-parallel even-pipe ops
+	ScalarArith     int // preferred-slot (SISD) arithmetic
+	Shuffles        int // odd-pipe byte permutes
+	Branches, Other int
+}
+
+// MixOf classifies a program's static instructions. The SISD/SIMD
+// split follows the paper's convention: operations whose result is
+// only meaningful in the preferred slot are SISD even though the
+// hardware executes them across all lanes.
+func MixOf(p *spu.Program, scalarRegs map[uint8]bool) InstructionMix {
+	var m InstructionMix
+	for _, in := range p.Code {
+		switch {
+		case in.Op == spu.OpLQD || in.Op == spu.OpLQX:
+			m.Loads++
+		case in.Op == spu.OpSTQD || in.Op == spu.OpSTQX:
+			m.Stores++
+		case spu.IsBranch(in.Op):
+			m.Branches++
+		case in.Op == spu.OpSHUFB || in.Op == spu.OpROTQBY || in.Op == spu.OpROTQBYI:
+			m.Shuffles++
+		case spu.PipeOf(in.Op) == spu.Even:
+			if scalarRegs != nil && scalarRegs[in.Rt] {
+				m.ScalarArith++
+			} else {
+				m.SIMDArith++
+			}
+		default:
+			m.Other++
+		}
+	}
+	return m
+}

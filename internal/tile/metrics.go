@@ -1,0 +1,129 @@
+package tile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/spu"
+)
+
+// Table1Row is one column of the paper's Table 1 ("The highest
+// performance is obtained with SIMDization and accurate loop
+// unrolling").
+type Table1Row struct {
+	Version             int
+	SIMD                bool
+	Unroll              int
+	TotalCycles         int64
+	Transitions         int64
+	CyclesPerTransition float64
+	MTransPerSec        float64
+	ThroughputGbps      float64
+	CPI                 float64
+	DualIssuePct        float64
+	StallPct            float64
+	RegistersUsed       int
+	Spilled             bool
+	Speedup             float64
+}
+
+// table1BlockBytes returns the measurement block for a version: the
+// largest multiple of the version's granularity not exceeding the
+// 16 KB buffer (the paper used 16384 or the nearest unroll multiple).
+func table1BlockBytes(version int, bufBytes int) int {
+	g := 16 * unrollOf(version)
+	if version == 1 {
+		g = 1
+	}
+	return bufBytes / g * g
+}
+
+// MeasureVersion runs one Table 1 measurement: the given version over
+// one input block of (approximately) blockBytes random symbols.
+// Content does not matter: DFA matching is content-independent, which
+// the paper leans on and TestContentIndependence verifies.
+func MeasureVersion(d *dfa.DFA, version int, blockBytes int, seed int64) (Table1Row, error) {
+	t, err := New(d, Config{Version: version, BufBytes: uint32(blockBytes)})
+	if err != nil {
+		return Table1Row{}, err
+	}
+	n := table1BlockBytes(version, blockBytes)
+	block := randomSymbols(n, d.Syms, seed)
+	counts, prof, err := t.MatchBlockSim(block)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	// Cross-check against the native oracle: a kernel that miscounts
+	// must never produce a performance number.
+	native, err := t.MatchBlockNative(block)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	for i := range counts {
+		if counts[i] != native[i] {
+			return Table1Row{}, fmt.Errorf(
+				"tile: v%d kernel stream %d counted %d, oracle %d",
+				version, i, counts[i], native[i])
+		}
+	}
+	transitions := int64(n)
+	cpt := prof.CyclesPer(transitions)
+	row := Table1Row{
+		Version:             version,
+		SIMD:                version >= 2,
+		Unroll:              unrollOf(version),
+		TotalCycles:         prof.Cycles,
+		Transitions:         transitions,
+		CyclesPerTransition: cpt,
+		MTransPerSec:        spu.TransitionsPerSecond(cpt) / 1e6,
+		ThroughputGbps:      spu.ThroughputGbps(cpt),
+		CPI:                 prof.CPI(),
+		DualIssuePct:        prof.DualIssuePct(),
+		StallPct:            prof.StallPct(),
+		RegistersUsed:       t.LastProgram.RegsUsed,
+		Spilled:             t.LastProgram.Spills > 0,
+	}
+	return row, nil
+}
+
+// MeasureTable1 regenerates the full Table 1 for the given DFA: all
+// five implementation versions with speedups relative to version 1.
+func MeasureTable1(d *dfa.DFA, blockBytes int, seed int64) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, 5)
+	for v := 1; v <= 5; v++ {
+		row, err := MeasureVersion(d, v, blockBytes, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	base := rows[0].CyclesPerTransition
+	for i := range rows {
+		rows[i].Speedup = base / rows[i].CyclesPerTransition
+	}
+	return rows, nil
+}
+
+// randomSymbols produces n deterministic reduced symbols in [0, syms).
+func randomSymbols(n, syms int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(syms))
+	}
+	return out
+}
+
+// BestVersion returns the Table 1 row with the lowest cycles per
+// transition — the paper's conclusion is that this is version 4
+// (unroll factor 3).
+func BestVersion(rows []Table1Row) Table1Row {
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.CyclesPerTransition < best.CyclesPerTransition {
+			best = r
+		}
+	}
+	return best
+}

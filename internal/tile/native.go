@@ -1,0 +1,116 @@
+package tile
+
+import (
+	"fmt"
+
+	"cellmatch/internal/stt"
+)
+
+// The native matchers are the production-path equivalents of the SPU
+// kernels: plain Go running over the identical encoded STT bytes. The
+// interleaved matcher is the library's fast path (the paper's insight
+// that sixteen independent cursors hide the lookup latency applies to
+// modern superscalar hosts as well); the scalar matcher is both the
+// baseline and the differential-testing oracle.
+
+// ScalarCount scans one reduced-symbol stream and counts transitions
+// into final states (the paper's kernel semantics).
+func ScalarCount(tab *stt.Table, input []byte) uint64 {
+	n, _ := ScalarCountFrom(tab, input, tab.StartPtr()&stt.PtrMask)
+	return n
+}
+
+// ScalarCountFrom is ScalarCount with state carry: the scan starts at
+// the given encoded state pointer and returns the final pointer.
+func ScalarCountFrom(tab *stt.Table, input []byte, cur uint32) (uint64, uint32) {
+	cur &= stt.PtrMask
+	var count uint64
+	for _, c := range input {
+		e := tab.Lookup(cur, c)
+		count += uint64(e & stt.FlagFinal)
+		cur = e & stt.PtrMask
+	}
+	return count, cur
+}
+
+// InterleavedCount16 scans a byte-interleaved block (stream i owns
+// bytes i, i+16, i+32, ...) with sixteen concurrent cursors sharing the
+// table, and returns the per-stream final-entry counts. The block
+// length must be a multiple of 16.
+func InterleavedCount16(tab *stt.Table, block []byte) ([16]uint64, error) {
+	var cur [16]uint32
+	start := tab.StartPtr() & stt.PtrMask
+	for i := range cur {
+		cur[i] = start
+	}
+	return InterleavedCount16From(tab, block, &cur)
+}
+
+// InterleavedCount16From is InterleavedCount16 with state carry: cur
+// holds the per-stream encoded state pointers and is updated in place.
+func InterleavedCount16From(tab *stt.Table, block []byte, cur *[16]uint32) ([16]uint64, error) {
+	var counts [16]uint64
+	if len(block)%16 != 0 {
+		return counts, fmt.Errorf("tile: interleaved block length %d not a multiple of 16", len(block))
+	}
+	data := tab.Data
+	base := tab.Base
+	for q := 0; q < len(block); q += 16 {
+		qw := block[q : q+16]
+		for i := 0; i < 16; i++ {
+			e := data[(cur[i]&stt.PtrMask-base)>>2+uint32(qw[i])]
+			counts[i] += uint64(e & stt.FlagFinal)
+			cur[i] = e & stt.PtrMask
+		}
+	}
+	return counts, nil
+}
+
+// InterleavedCount16Unrolled is the unroll-by-3 variant mirroring the
+// paper's optimal V4 structure, used by the ablation benchmarks. The
+// block length must be a multiple of 48.
+func InterleavedCount16Unrolled(tab *stt.Table, block []byte) ([16]uint64, error) {
+	var counts [16]uint64
+	if len(block)%48 != 0 {
+		return counts, fmt.Errorf("tile: block length %d not a multiple of 48", len(block))
+	}
+	var cur [16]uint32
+	start := tab.StartPtr() & stt.PtrMask
+	for i := range cur {
+		cur[i] = start
+	}
+	data := tab.Data
+	base := tab.Base
+	for q := 0; q < len(block); q += 48 {
+		a := block[q : q+16]
+		bq := block[q+16 : q+32]
+		cq := block[q+32 : q+48]
+		for i := 0; i < 16; i++ {
+			e := data[(cur[i]-base)>>2+uint32(a[i])]
+			counts[i] += uint64(e & stt.FlagFinal)
+			p := e & stt.PtrMask
+			e = data[(p-base)>>2+uint32(bq[i])]
+			counts[i] += uint64(e & stt.FlagFinal)
+			p = e & stt.PtrMask
+			e = data[(p-base)>>2+uint32(cq[i])]
+			counts[i] += uint64(e & stt.FlagFinal)
+			cur[i] = e & stt.PtrMask
+		}
+	}
+	return counts, nil
+}
+
+// IndexedCount is the ablation baseline for the paper's pointer
+// encoding: states as indices, with the shift/multiply and separate
+// final-flag lookup the pointer trick eliminates.
+func IndexedCount(next []int32, accept []bool, syms int, start int, input []byte) uint64 {
+	var count uint64
+	s := start
+	for _, c := range input {
+		s = int(next[s*syms+int(c)])
+		if accept[s] {
+			count++
+		}
+	}
+	return count
+}

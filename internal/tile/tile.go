@@ -1,0 +1,262 @@
+// Package tile implements the paper's central abstraction (Section 3):
+// the DFA tile, "the implementation of a DFA acceptor realized on a
+// single SPE, with a state transition table which fits the local
+// store".
+//
+// A Tile owns a simulated SPU whose local store is laid out per
+// Figure 3 (STT + two input buffers + code/stack), a generated kernel
+// in one of the paper's five implementation versions (Table 1), and
+// native-Go equivalents of the same scan used as the production fast
+// path and as the differential-testing oracle.
+package tile
+
+import (
+	"fmt"
+
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/localstore"
+	"cellmatch/internal/spu"
+	"cellmatch/internal/stt"
+)
+
+// Config selects a tile implementation.
+type Config struct {
+	// Version is the Table 1 implementation version (1 scalar, 2 SIMD,
+	// 3-5 SIMD unrolled 2/3/4). Default 4, the paper's optimum.
+	Version int
+	// BufBytes is one input buffer's size (Figure 3: 4/8/16 KB).
+	// Default 16 KB.
+	BufBytes uint32
+	// Width is the STT row width in symbols. Default 32.
+	Width int
+}
+
+func (c *Config) setDefaults(syms int) {
+	if c.Version == 0 {
+		c.Version = 4
+	}
+	if c.BufBytes == 0 {
+		c.BufBytes = 16 * 1024
+	}
+	if c.Width == 0 {
+		c.Width = 32
+		for c.Width < syms {
+			c.Width *= 2
+		}
+	}
+}
+
+// Tile is one DFA acceptor mapped onto one (simulated) SPE.
+type Tile struct {
+	DFA    *dfa.DFA
+	Table  *stt.Table
+	Plan   localstore.TilePlan
+	Layout *localstore.Layout
+	CPU    *spu.CPU
+	Cfg    Config
+
+	input0, input1 uint32
+	countsOut      uint32
+	patternBase    uint32
+	stateBase      uint32
+	spillBase      uint32
+
+	progs map[int]*spu.Program // keyed by block length
+	// LastProgram is the kernel most recently executed, exposed for
+	// metric extraction (register counts, spills, instruction mix).
+	LastProgram *spu.Program
+}
+
+// New builds a tile for the DFA, checking it obeys the Figure 3 state
+// budget for the chosen buffer size.
+func New(d *dfa.DFA, cfg Config) (*Tile, error) {
+	cfg.setDefaults(d.Syms)
+	if cfg.Version < 1 || cfg.Version > 5 {
+		return nil, fmt.Errorf("tile: version %d out of range 1-5", cfg.Version)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Version >= 2 && cfg.Width > 64 {
+		// The Figure 4 kernel extracts per-byte offsets sym*4, which
+		// only fit a byte for alphabets up to 64 symbols. The paper's
+		// regime is 32; wider dictionaries must use the scalar kernel
+		// or the native matchers.
+		return nil, fmt.Errorf(
+			"tile: SIMD kernels support at most 64 symbols, alphabet needs width %d", cfg.Width)
+	}
+	plan, err := localstore.PlanTile(cfg.BufBytes, uint32(cfg.Width)*4)
+	if err != nil {
+		return nil, err
+	}
+	if d.NumStates() > plan.MaxStates {
+		return nil, fmt.Errorf(
+			"tile: DFA has %d states; at most %d fit with %d KB buffers (Figure 3)",
+			d.NumStates(), plan.MaxStates, cfg.BufBytes/1024)
+	}
+	layout, err := localstore.BuildTileLayout(plan)
+	if err != nil {
+		return nil, err
+	}
+	sttRegion, _ := layout.Lookup("stt")
+	in0, _ := layout.Lookup("input0")
+	in1, _ := layout.Lookup("input1")
+	code, _ := layout.Lookup("code+stack")
+	tab, err := stt.Encode(d, cfg.Width, sttRegion.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	cpu := spu.New()
+	cpu.WriteLS(sttRegion.Addr, tab.Bytes())
+	t := &Tile{
+		DFA:         d,
+		Table:       tab,
+		Plan:        plan,
+		Layout:      layout,
+		CPU:         cpu,
+		Cfg:         cfg,
+		input0:      in0.Addr,
+		input1:      in1.Addr,
+		countsOut:   code.Addr,
+		patternBase: code.Addr + 256,
+		stateBase:   code.Addr + 512,
+		spillBase:   code.Addr + 1024,
+		progs:       map[int]*spu.Program{},
+	}
+	cpu.WriteLS(t.patternBase, PatternTable())
+	return t, nil
+}
+
+// Streams returns the number of concurrent input streams the tile's
+// kernel processes (1 for the scalar version, 16 for SIMD versions).
+func (t *Tile) Streams() int { return streamsOf(t.Cfg.Version) }
+
+// Unroll returns the kernel's loop unroll factor.
+func (t *Tile) Unroll() int { return unrollOf(t.Cfg.Version) }
+
+// BlockGranularity is the required block-length multiple.
+func (t *Tile) BlockGranularity() int {
+	if t.Cfg.Version == 1 {
+		return 1
+	}
+	return 16 * unrollOf(t.Cfg.Version)
+}
+
+// program returns (building if needed) the kernel for a block length.
+func (t *Tile) program(blockLen int) (*spu.Program, error) {
+	if p, ok := t.progs[blockLen]; ok {
+		return p, nil
+	}
+	cfg := kernelCfg{
+		version:     t.Cfg.Version,
+		inputBase:   t.input0,
+		startPtr:    t.Table.StartPtr(),
+		countsOut:   t.countsOut,
+		spillBase:   t.spillBase,
+		patternBase: t.patternBase,
+		stateBase:   t.stateBase,
+	}
+	if t.Cfg.Version == 1 {
+		cfg.transitions = blockLen
+	} else {
+		cfg.transitions = blockLen / 16 // quadwords
+	}
+	p, err := buildKernel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.progs[blockLen] = p
+	return p, nil
+}
+
+// StartStates returns the per-stream initial state pointers.
+func (t *Tile) StartStates() []uint32 {
+	n := t.Streams()
+	out := make([]uint32, n)
+	start := t.Table.StartPtr() & stt.PtrMask
+	for i := range out {
+		out[i] = start
+	}
+	return out
+}
+
+// MatchBlockSim runs the SPU kernel over one input block already
+// reduced to tile symbols (and byte-interleaved for SIMD versions),
+// starting every stream from the DFA's start state. It returns the
+// per-stream final-entry counts and the cycle-accurate profile.
+func (t *Tile) MatchBlockSim(block []byte) ([]uint64, spu.Profile, error) {
+	counts, _, prof, err := t.MatchBlockSimCarry(block, t.StartStates())
+	return counts, prof, err
+}
+
+// MatchBlockSimCarry is MatchBlockSim with explicit state carry: the
+// scan starts from the given per-stream state pointers and returns the
+// final pointers, so consecutive buffers of the same streams preserve
+// matches spanning block boundaries (the kernel keeps its DFA states
+// live across buffer swaps, exactly as the paper's tile does).
+func (t *Tile) MatchBlockSimCarry(block []byte, states []uint32) ([]uint64, []uint32, spu.Profile, error) {
+	if len(block) == 0 || len(block) > int(t.Plan.BufBytes) {
+		return nil, nil, spu.Profile{}, fmt.Errorf(
+			"tile: block of %d bytes does not fit the %d byte input buffer",
+			len(block), t.Plan.BufBytes)
+	}
+	if g := t.BlockGranularity(); len(block)%g != 0 {
+		return nil, nil, spu.Profile{}, fmt.Errorf(
+			"tile: block length %d not a multiple of %d (16 streams x unroll %d)",
+			len(block), g, t.Unroll())
+	}
+	n := t.Streams()
+	if len(states) != n {
+		return nil, nil, spu.Profile{}, fmt.Errorf(
+			"tile: %d carry states for %d streams", len(states), n)
+	}
+	p, err := t.program(len(block))
+	if err != nil {
+		return nil, nil, spu.Profile{}, err
+	}
+	t.LastProgram = p
+	t.CPU.Reset()
+	t.CPU.WriteLS(t.input0, block)
+	stateImg := make([]byte, 16*n)
+	for i, s := range states {
+		s &= stt.PtrMask
+		stateImg[i*16+0] = byte(s >> 24)
+		stateImg[i*16+1] = byte(s >> 16)
+		stateImg[i*16+2] = byte(s >> 8)
+		stateImg[i*16+3] = byte(s)
+	}
+	t.CPU.WriteLS(t.stateBase, stateImg)
+	if err := t.CPU.Run(p); err != nil {
+		return nil, nil, spu.Profile{}, err
+	}
+	if err := t.CPU.Prof.Check(); err != nil {
+		return nil, nil, spu.Profile{}, err
+	}
+	counts := make([]uint64, n)
+	outStates := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		q := t.CPU.ReadLS(t.countsOut+uint32(16*i), 4)
+		counts[i] = uint64(q[0])<<24 | uint64(q[1])<<16 | uint64(q[2])<<8 | uint64(q[3])
+		sq := t.CPU.ReadLS(t.stateBase+uint32(16*i), 4)
+		outStates[i] = uint32(sq[0])<<24 | uint32(sq[1])<<16 | uint32(sq[2])<<8 | uint32(sq[3])
+	}
+	return counts, outStates, t.CPU.Prof, nil
+}
+
+// MatchBlockNative scans the same block with the native fast path,
+// returning per-stream counts. For the scalar version the single
+// stream is the block itself; for SIMD versions the block is
+// interleaved.
+func (t *Tile) MatchBlockNative(block []byte) ([]uint64, error) {
+	if t.Cfg.Version == 1 {
+		return []uint64{ScalarCount(t.Table, block)}, nil
+	}
+	counts, err := InterleavedCount16(t.Table, block)
+	if err != nil {
+		return nil, err
+	}
+	return counts[:], nil
+}

@@ -1,0 +1,255 @@
+// Package v128 models the 128-bit SIMD registers of the Cell SPU.
+//
+// A Vec is sixteen bytes with the SPU's big-endian layout: byte 0 is the
+// most significant byte of word 0, and word 0 (bytes 0-3) is the
+// "preferred slot" used by scalar-in-vector operations. All word
+// arithmetic operates on four independent 32-bit lanes, exactly like the
+// SPU fixed-point unit, so the simulator in internal/spu can execute
+// kernels with faithful data semantics.
+package v128
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Vec is one 128-bit SPU register value.
+type Vec [16]byte
+
+// Zero is the all-zero vector.
+var Zero Vec
+
+// Word returns 32-bit lane i (0..3) in big-endian order.
+func (v Vec) Word(i int) uint32 {
+	return binary.BigEndian.Uint32(v[i*4 : i*4+4])
+}
+
+// SetWord sets 32-bit lane i (0..3).
+func (v *Vec) SetWord(i int, x uint32) {
+	binary.BigEndian.PutUint32(v[i*4:i*4+4], x)
+}
+
+// Preferred returns the preferred-slot scalar (word 0), which is where
+// the SPU keeps scalar values inside vector registers.
+func (v Vec) Preferred() uint32 { return v.Word(0) }
+
+// SetPreferred stores x into the preferred slot, leaving other lanes
+// untouched.
+func (v *Vec) SetPreferred(x uint32) { v.SetWord(0, x) }
+
+// SplatWord returns a vector with all four lanes equal to x.
+func SplatWord(x uint32) Vec {
+	var v Vec
+	for i := 0; i < 4; i++ {
+		v.SetWord(i, x)
+	}
+	return v
+}
+
+// SplatByte returns a vector with all sixteen bytes equal to b.
+func SplatByte(b byte) Vec {
+	var v Vec
+	for i := range v {
+		v[i] = b
+	}
+	return v
+}
+
+// FromWords builds a vector from four big-endian 32-bit lanes.
+func FromWords(w0, w1, w2, w3 uint32) Vec {
+	var v Vec
+	v.SetWord(0, w0)
+	v.SetWord(1, w1)
+	v.SetWord(2, w2)
+	v.SetWord(3, w3)
+	return v
+}
+
+// FromBytes copies up to 16 bytes of b into a vector; missing bytes are
+// zero.
+func FromBytes(b []byte) Vec {
+	var v Vec
+	copy(v[:], b)
+	return v
+}
+
+// Add32 adds the four 32-bit lanes independently (SPU "a").
+func Add32(a, b Vec) Vec {
+	var r Vec
+	for i := 0; i < 4; i++ {
+		r.SetWord(i, a.Word(i)+b.Word(i))
+	}
+	return r
+}
+
+// Sub32 subtracts lanes: r = a - b (SPU "sf" with operands swapped).
+func Sub32(a, b Vec) Vec {
+	var r Vec
+	for i := 0; i < 4; i++ {
+		r.SetWord(i, a.Word(i)-b.Word(i))
+	}
+	return r
+}
+
+// And is the bitwise AND of the full 128 bits.
+func And(a, b Vec) Vec {
+	var r Vec
+	for i := range r {
+		r[i] = a[i] & b[i]
+	}
+	return r
+}
+
+// AndC is a AND NOT b over the full 128 bits (SPU "andc").
+func AndC(a, b Vec) Vec {
+	var r Vec
+	for i := range r {
+		r[i] = a[i] &^ b[i]
+	}
+	return r
+}
+
+// Or is the bitwise OR of the full 128 bits.
+func Or(a, b Vec) Vec {
+	var r Vec
+	for i := range r {
+		r[i] = a[i] | b[i]
+	}
+	return r
+}
+
+// Xor is the bitwise XOR of the full 128 bits.
+func Xor(a, b Vec) Vec {
+	var r Vec
+	for i := range r {
+		r[i] = a[i] ^ b[i]
+	}
+	return r
+}
+
+// Shl32 shifts each 32-bit lane left by n (0..31). SPU "shli" semantics:
+// shift amounts are taken modulo 64; amounts >= 32 produce zero.
+func Shl32(a Vec, n uint) Vec {
+	n &= 63
+	var r Vec
+	if n >= 32 {
+		return r
+	}
+	for i := 0; i < 4; i++ {
+		r.SetWord(i, a.Word(i)<<n)
+	}
+	return r
+}
+
+// Shr32 logically shifts each 32-bit lane right by n (SPU "rotmi" with a
+// negative immediate).
+func Shr32(a Vec, n uint) Vec {
+	n &= 63
+	var r Vec
+	if n >= 32 {
+		return r
+	}
+	for i := 0; i < 4; i++ {
+		r.SetWord(i, a.Word(i)>>n)
+	}
+	return r
+}
+
+// RotByBytes rotates the whole quadword left by n bytes (SPU "rotqby").
+// Byte i of the result is byte (i+n) mod 16 of the input.
+func RotByBytes(a Vec, n int) Vec {
+	n = ((n % 16) + 16) % 16
+	var r Vec
+	for i := 0; i < 16; i++ {
+		r[i] = a[(i+n)%16]
+	}
+	return r
+}
+
+// Shuffle implements the SPU "shufb" instruction for the common case:
+// each byte of pattern selects a byte from the 32-byte concatenation
+// a||b (0-15 from a, 16-31 from b). The SPU's special constant-generating
+// selector values are honored: 0b10xxxxxx -> 0x00, 0b110xxxxx -> 0xFF,
+// 0b111xxxxx -> 0x80.
+func Shuffle(a, b, pattern Vec) Vec {
+	var r Vec
+	for i := 0; i < 16; i++ {
+		s := pattern[i]
+		switch {
+		case s&0xC0 == 0x80:
+			r[i] = 0x00
+		case s&0xE0 == 0xC0:
+			r[i] = 0xFF
+		case s&0xE0 == 0xE0:
+			r[i] = 0x80
+		default:
+			k := s & 0x1F
+			if k < 16 {
+				r[i] = a[k]
+			} else {
+				r[i] = b[k-16]
+			}
+		}
+	}
+	return r
+}
+
+// CmpEq32 compares 32-bit lanes for equality, producing all-ones or
+// all-zeros per lane (SPU "ceq").
+func CmpEq32(a, b Vec) Vec {
+	var r Vec
+	for i := 0; i < 4; i++ {
+		if a.Word(i) == b.Word(i) {
+			r.SetWord(i, 0xFFFFFFFF)
+		}
+	}
+	return r
+}
+
+// CmpGtU32 compares 32-bit lanes as unsigned a > b (SPU "clgt").
+func CmpGtU32(a, b Vec) Vec {
+	var r Vec
+	for i := 0; i < 4; i++ {
+		if a.Word(i) > b.Word(i) {
+			r.SetWord(i, 0xFFFFFFFF)
+		}
+	}
+	return r
+}
+
+// AddByte adds the sixteen byte lanes independently with wraparound.
+func AddByte(a, b Vec) Vec {
+	var r Vec
+	for i := range r {
+		r[i] = a[i] + b[i]
+	}
+	return r
+}
+
+// SumBytes returns the integer sum of all sixteen bytes, a helper used
+// by tests and by match-count extraction.
+func (v Vec) SumBytes() int {
+	s := 0
+	for _, b := range v {
+		s += int(b)
+	}
+	return s
+}
+
+// SumWords returns the sum of the four 32-bit lanes.
+func (v Vec) SumWords() uint64 {
+	var s uint64
+	for i := 0; i < 4; i++ {
+		s += uint64(v.Word(i))
+	}
+	return s
+}
+
+// IsZero reports whether all 128 bits are zero.
+func (v Vec) IsZero() bool { return v == Zero }
+
+// String renders the vector as four hexadecimal words, the way SPU
+// debuggers print registers.
+func (v Vec) String() string {
+	return fmt.Sprintf("%08x %08x %08x %08x", v.Word(0), v.Word(1), v.Word(2), v.Word(3))
+}

@@ -1,0 +1,251 @@
+package v128
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	var v Vec
+	v.SetWord(0, 0xDEADBEEF)
+	v.SetWord(3, 0x01020304)
+	if v.Word(0) != 0xDEADBEEF {
+		t.Fatalf("word0 = %08x", v.Word(0))
+	}
+	if v.Word(3) != 0x01020304 {
+		t.Fatalf("word3 = %08x", v.Word(3))
+	}
+	// Big-endian layout: byte 0 is the MSB of word 0.
+	if v[0] != 0xDE || v[3] != 0xEF {
+		t.Fatalf("layout not big-endian: % x", v[:4])
+	}
+}
+
+func TestPreferredSlot(t *testing.T) {
+	var v Vec
+	v.SetPreferred(42)
+	if v.Preferred() != 42 {
+		t.Fatalf("preferred = %d", v.Preferred())
+	}
+	if v.Word(1) != 0 || v.Word(2) != 0 || v.Word(3) != 0 {
+		t.Fatal("SetPreferred disturbed other lanes")
+	}
+}
+
+func TestSplat(t *testing.T) {
+	v := SplatWord(0xAABBCCDD)
+	for i := 0; i < 4; i++ {
+		if v.Word(i) != 0xAABBCCDD {
+			t.Fatalf("lane %d = %08x", i, v.Word(i))
+		}
+	}
+	b := SplatByte(0x5A)
+	for i := range b {
+		if b[i] != 0x5A {
+			t.Fatalf("byte %d = %02x", i, b[i])
+		}
+	}
+}
+
+func TestAdd32Lanes(t *testing.T) {
+	a := FromWords(1, 2, 3, 0xFFFFFFFF)
+	b := FromWords(10, 20, 30, 1)
+	r := Add32(a, b)
+	want := FromWords(11, 22, 33, 0) // lane 3 wraps
+	if r != want {
+		t.Fatalf("got %v want %v", r, want)
+	}
+}
+
+func TestSub32(t *testing.T) {
+	a := FromWords(10, 0, 5, 100)
+	b := FromWords(3, 1, 5, 100)
+	r := Sub32(a, b)
+	want := FromWords(7, 0xFFFFFFFF, 0, 0)
+	if r != want {
+		t.Fatalf("got %v want %v", r, want)
+	}
+}
+
+func TestBitwise(t *testing.T) {
+	a := SplatWord(0xF0F0F0F0)
+	b := SplatWord(0x0FF00FF0)
+	if And(a, b) != SplatWord(0x00F000F0) {
+		t.Fatal("And")
+	}
+	if Or(a, b) != SplatWord(0xFFF0FFF0) {
+		t.Fatal("Or")
+	}
+	if Xor(a, b) != SplatWord(0xFF00FF00) {
+		t.Fatal("Xor")
+	}
+	if AndC(a, b) != SplatWord(0xF000F000) {
+		t.Fatal("AndC")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := FromWords(1, 0x80000000, 0xFFFF, 8)
+	if got := Shl32(a, 1); got != FromWords(2, 0, 0x1FFFE, 16) {
+		t.Fatalf("Shl32: %v", got)
+	}
+	if got := Shr32(a, 3); got != FromWords(0, 0x10000000, 0x1FFF, 1) {
+		t.Fatalf("Shr32: %v", got)
+	}
+	// Shift >= 32 (SPU semantics, amount mod 64) zeroes the lane.
+	if got := Shl32(a, 33); got != Zero {
+		t.Fatalf("Shl32 by 33: %v", got)
+	}
+	if got := Shr32(a, 40); got != Zero {
+		t.Fatalf("Shr32 by 40: %v", got)
+	}
+}
+
+func TestShl32NoCrossByteGarbage(t *testing.T) {
+	// The paper's kernel computes per-byte offsets sym<<2 by a word shift
+	// followed by a byte mask; verify the identity for symbols < 32.
+	var syms Vec
+	for i := range syms {
+		syms[i] = byte(i) // 0..15, all < 32
+	}
+	shifted := Shl32(syms, 2)
+	masked := And(shifted, SplatByte(0xFC))
+	for i := range masked {
+		if masked[i] != syms[i]<<2 {
+			t.Fatalf("byte %d: got %02x want %02x", i, masked[i], syms[i]<<2)
+		}
+	}
+}
+
+func TestRotByBytes(t *testing.T) {
+	var v Vec
+	for i := range v {
+		v[i] = byte(i)
+	}
+	r := RotByBytes(v, 3)
+	for i := 0; i < 16; i++ {
+		if r[i] != byte((i+3)%16) {
+			t.Fatalf("rot3 byte %d = %d", i, r[i])
+		}
+	}
+	if RotByBytes(v, 16) != v {
+		t.Fatal("rot16 should be identity")
+	}
+	if RotByBytes(v, -1) != RotByBytes(v, 15) {
+		t.Fatal("negative rotation should wrap")
+	}
+}
+
+func TestShuffleSelect(t *testing.T) {
+	var a, b, p Vec
+	for i := range a {
+		a[i] = byte(i)        // 0..15
+		b[i] = byte(0x40 + i) // 0x40..0x4F
+		p[i] = byte(31 - i)   // picks b[15], b[14], ... a[1], a[0]
+	}
+	r := Shuffle(a, b, p)
+	// p[0]=31 selects b[15]; p[15]=16 selects b[0]; p[8]=23 selects b[7].
+	if r[0] != 0x4F || r[15] != 0x40 || r[8] != 0x47 {
+		t.Fatalf("shuffle result %v", r)
+	}
+}
+
+func TestShuffleSpecialSelectors(t *testing.T) {
+	a := SplatByte(0x11)
+	b := SplatByte(0x22)
+	p := Vec{0x80, 0xC0, 0xE0, 0x00, 0x10, 0xBF, 0xDF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0}
+	r := Shuffle(a, b, p)
+	want := []byte{0x00, 0xFF, 0x80, 0x11, 0x22, 0x00, 0xFF, 0x80}
+	for i, w := range want {
+		if r[i] != w {
+			t.Fatalf("selector %d: got %02x want %02x", i, r[i], w)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := FromWords(5, 6, 7, 8)
+	b := FromWords(5, 0, 7, 9)
+	eq := CmpEq32(a, b)
+	if eq != FromWords(0xFFFFFFFF, 0, 0xFFFFFFFF, 0) {
+		t.Fatalf("CmpEq32: %v", eq)
+	}
+	gt := CmpGtU32(a, b)
+	if gt != FromWords(0, 0xFFFFFFFF, 0, 0) {
+		t.Fatalf("CmpGtU32: %v", gt)
+	}
+}
+
+func TestSums(t *testing.T) {
+	v := FromWords(1, 2, 3, 4)
+	if v.SumWords() != 10 {
+		t.Fatalf("SumWords = %d", v.SumWords())
+	}
+	b := SplatByte(2)
+	if b.SumBytes() != 32 {
+		t.Fatalf("SumBytes = %d", b.SumBytes())
+	}
+}
+
+func TestFromBytesShort(t *testing.T) {
+	v := FromBytes([]byte{1, 2, 3})
+	if v[0] != 1 || v[2] != 3 || v[3] != 0 || v[15] != 0 {
+		t.Fatalf("FromBytes: %v", v)
+	}
+}
+
+// Property: rotating by n then by 16-n is the identity.
+func TestRotInverseProperty(t *testing.T) {
+	f := func(raw [16]byte, n uint8) bool {
+		v := Vec(raw)
+		k := int(n % 16)
+		return RotByBytes(RotByBytes(v, k), 16-k) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And distributes over itself idempotently and AndC(a,a)=0.
+func TestBitwiseProperties(t *testing.T) {
+	f := func(ra, rb [16]byte) bool {
+		a, b := Vec(ra), Vec(rb)
+		if And(a, a) != a || Or(a, a) != a {
+			return false
+		}
+		if Xor(a, a) != Zero || AndC(a, a) != Zero {
+			return false
+		}
+		return Xor(Xor(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add32 then Sub32 round-trips lane-wise.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(ra, rb [16]byte) bool {
+		a, b := Vec(ra), Vec(rb)
+		return Sub32(Add32(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: word access agrees with byte-level big-endian reconstruction.
+func TestWordByteConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var v Vec
+		rng.Read(v[:])
+		for i := 0; i < 4; i++ {
+			want := uint32(v[i*4])<<24 | uint32(v[i*4+1])<<16 | uint32(v[i*4+2])<<8 | uint32(v[i*4+3])
+			if v.Word(i) != want {
+				t.Fatalf("trial %d lane %d: %08x != %08x", trial, i, v.Word(i), want)
+			}
+		}
+	}
+}

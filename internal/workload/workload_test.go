@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/dfa"
+)
+
+func TestDictionaryHitsTarget(t *testing.T) {
+	red := alphabet.CaseFold32()
+	for _, target := range []int{100, 800, 1520, 1712} {
+		pats, err := Dictionary(DictConfig{TargetStates: target, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := dfa.TrieStates(pats, red)
+		if states > target {
+			t.Fatalf("target %d: got %d states (over)", target, states)
+		}
+		if states < target-30 {
+			t.Fatalf("target %d: got only %d states", target, states)
+		}
+	}
+}
+
+func TestDictionaryDeterministic(t *testing.T) {
+	a, _ := Dictionary(DictConfig{TargetStates: 500, Seed: 9})
+	b, _ := Dictionary(DictConfig{TargetStates: 500, Seed: 9})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatal("nondeterministic content")
+		}
+	}
+	c, _ := Dictionary(DictConfig{TargetStates: 500, Seed: 10})
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if !bytes.Equal(a[i], c[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestDictionaryErrors(t *testing.T) {
+	if _, err := Dictionary(DictConfig{TargetStates: 2}); err == nil {
+		t.Fatal("tiny target accepted")
+	}
+	if _, err := Dictionary(DictConfig{TargetStates: 100, PatternLen: 1}); err == nil {
+		t.Fatal("tiny patterns accepted")
+	}
+}
+
+func TestDictionaryBuildsValidDFA(t *testing.T) {
+	pats, err := Dictionary(DictConfig{TargetStates: 1520, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dfa.FromPatterns(pats, alphabet.CaseFold32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStates() > 1520 {
+		t.Fatalf("DFA states %d exceed tile budget", d.NumStates())
+	}
+}
+
+func TestTrafficPlantsMatches(t *testing.T) {
+	dict := SignatureDictionary()
+	data, planted, err := Traffic(TrafficConfig{
+		Bytes: 20000, MatchEvery: 1000, Dictionary: dict, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 20000 {
+		t.Fatalf("traffic size %d", len(data))
+	}
+	if planted < 15 {
+		t.Fatalf("planted only %d", planted)
+	}
+	// The planted signatures are findable (case-folded scan).
+	red := alphabet.CaseFold32()
+	d, err := dfa.FromPatterns(dict, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := d.CountFinalEntries(red.Reduce(data))
+	if found < planted {
+		t.Fatalf("found %d < planted %d", found, planted)
+	}
+}
+
+func TestTrafficNoPlanting(t *testing.T) {
+	data, planted, err := Traffic(TrafficConfig{Bytes: 1000, Seed: 5})
+	if err != nil || planted != 0 || len(data) != 1000 {
+		t.Fatalf("plain traffic: %d bytes, %d planted, %v", len(data), planted, err)
+	}
+	if _, _, err := Traffic(TrafficConfig{Bytes: -1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestAdversarialBMH(t *testing.T) {
+	pattern := []byte("aaaaaaab")
+	adv := AdversarialBMH([]byte("baaaaaaa"), 1000)
+	if len(adv) != 1000 {
+		t.Fatalf("length %d", len(adv))
+	}
+	_ = pattern
+	if AdversarialBMH(nil, 10) != nil {
+		t.Fatal("empty pattern should yield nil")
+	}
+}
+
+func TestInterleavedStreams(t *testing.T) {
+	data := make([]byte, 160)
+	streams, err := InterleavedStreams(data)
+	if err != nil || len(streams) != 16 || len(streams[0]) != 10 {
+		t.Fatalf("streams: %d x %d (%v)", len(streams), len(streams[0]), err)
+	}
+	if _, err := InterleavedStreams(make([]byte, 17)); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
