@@ -15,6 +15,7 @@
 package cellmatch_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -182,6 +183,69 @@ func BenchmarkFigure6Groups1(b *testing.B) { benchComposition(b, 1) }
 func BenchmarkFigure6Groups2(b *testing.B) { benchComposition(b, 2) }
 func BenchmarkFigure7Groups4(b *testing.B) { benchComposition(b, 4) }
 func BenchmarkFigure7Groups8(b *testing.B) { benchComposition(b, 8) }
+
+// --- Parallel speculative scan engine ------------------------------------
+
+// benchParallelSetup compiles the signature dictionary and builds a
+// traffic buffer of the given size once per (size) configuration.
+func benchParallelSetup(b *testing.B, size int) (*core.Matcher, []byte) {
+	b.Helper()
+	dict := workload.SignatureDictionary()
+	m, err := core.Compile(dict, core.Options{CaseFold: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: size, MatchEvery: 64 << 10, Dictionary: dict, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, data
+}
+
+// benchScanWorkers measures FindAllParallel at a worker count
+// (workers == 0 benches the sequential FindAll baseline). The
+// acceptance bar for the engine is >=2x over sequential at 4 workers
+// on >=1 MiB inputs on a multicore host.
+func benchScanWorkers(b *testing.B, workers, size int) {
+	m, data := benchParallelSetup(b, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if workers == 0 {
+			_, err = m.FindAll(data)
+		} else {
+			_, err = m.FindAllParallel(data, core.ParallelOptions{Workers: workers})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanSequential1MiB(b *testing.B)        { benchScanWorkers(b, 0, 1<<20) }
+func BenchmarkScanParallel1Worker1MiB(b *testing.B)   { benchScanWorkers(b, 1, 1<<20) }
+func BenchmarkScanParallel2Workers1MiB(b *testing.B)  { benchScanWorkers(b, 2, 1<<20) }
+func BenchmarkScanParallel4Workers1MiB(b *testing.B)  { benchScanWorkers(b, 4, 1<<20) }
+func BenchmarkScanParallel8Workers1MiB(b *testing.B)  { benchScanWorkers(b, 8, 1<<20) }
+func BenchmarkScanSequential8MiB(b *testing.B)        { benchScanWorkers(b, 0, 8<<20) }
+func BenchmarkScanParallel4Workers8MiB(b *testing.B)  { benchScanWorkers(b, 4, 8<<20) }
+func BenchmarkScanParallel8Workers8MiB(b *testing.B)  { benchScanWorkers(b, 8, 8<<20) }
+func BenchmarkScanSequential64KiB(b *testing.B)       { benchScanWorkers(b, 0, 64<<10) }
+func BenchmarkScanParallel4Workers64KiB(b *testing.B) { benchScanWorkers(b, 4, 64<<10) }
+
+func BenchmarkScanReader4Workers1MiB(b *testing.B) {
+	m, data := benchParallelSetup(b, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ScanReader(bytes.NewReader(data), core.ParallelOptions{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Native production path ---------------------------------------------
 

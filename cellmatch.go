@@ -25,6 +25,19 @@
 //	s.Write(chunk2)
 //	hits := s.Matches()
 //
+// Parallel scanning on the host CPU — the paper's Figure 6a tiling
+// mapped onto goroutines. Input is split into chunks, each scanned
+// from a speculative root state, and chunk boundaries are reconciled
+// by re-scanning an overlap window of MaxPatternLen-1 bytes, so the
+// results are byte-for-byte identical to FindAll:
+//
+//	matches, err := m.FindAllParallel(data, cellmatch.ParallelOptions{Workers: 8})
+//
+// Batched streaming from sockets or files too large to buffer
+// (memory stays O(Workers x ChunkBytes)):
+//
+//	matches, err := m.ScanReader(conn, cellmatch.ParallelOptions{})
+//
 // Performance estimation on simulated Cell hardware:
 //
 //	est, err := m.EstimateCell(cellmatch.DefaultBlade(), 1<<24)
@@ -48,6 +61,11 @@ type Match = core.Match
 
 // Stream is an incremental scanner.
 type Stream = core.Stream
+
+// ParallelOptions tune Matcher.FindAllParallel and Matcher.ScanReader;
+// see core.ParallelOptions. The zero value uses one worker per CPU
+// and 64 KiB chunks.
+type ParallelOptions = core.ParallelOptions
 
 // RegexSet matches whole inputs against regular expressions.
 type RegexSet = core.RegexSet

@@ -1,6 +1,8 @@
 package cellmatch_test
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"cellmatch"
@@ -31,6 +33,38 @@ func TestPublicAPIStream(t *testing.T) {
 	s.Write([]byte("it!"))
 	if got := s.Matches(); len(got) != 1 || got[0].End != 5 {
 		t.Fatalf("stream matches = %v", got)
+	}
+}
+
+func TestPublicAPIParallel(t *testing.T) {
+	m, err := cellmatch.CompileStrings([]string{"virus", "worm", "rm,"},
+		cellmatch.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("a VIRUS and a worm, then calm. ", 2000))
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.FindAllParallel(data, cellmatch.ParallelOptions{Workers: 4, ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallel %d matches, sequential %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: parallel %+v, sequential %+v", i, got[i], want[i])
+		}
+	}
+	streamed, err := m.ScanReader(bytes.NewReader(data), cellmatch.ParallelOptions{ChunkBytes: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(want) {
+		t.Fatalf("ScanReader %d matches, FindAll %d", len(streamed), len(want))
 	}
 }
 

@@ -4,9 +4,15 @@
 //	cellmatch -dict signatures.txt -in traffic.bin
 //	cellmatch -patterns "virus,worm" -casefold -in - < data
 //	cellmatch -dict signatures.txt -in traffic.bin -count -stats -estimate
+//	cellmatch -dict signatures.txt -in traffic.bin -parallel 8
 //
 // The dictionary file holds one pattern per line; blank lines and
 // lines starting with '#' are ignored.
+//
+// With -parallel N the input is scanned by the chunked speculative
+// engine on N workers (N < 0 means one per CPU), streaming the input
+// in batches instead of buffering it, with output identical to the
+// sequential scan.
 package main
 
 import (
@@ -28,6 +34,8 @@ func main() {
 		inPath   = flag.String("in", "-", "input file ('-' = stdin)")
 		caseFold = flag.Bool("casefold", false, "case-insensitive matching")
 		groups   = flag.Int("groups", 1, "parallel tile groups")
+		parallel = flag.Int("parallel", 0, "scan with N parallel workers (0 = sequential, <0 = one per CPU)")
+		chunk    = flag.Int("chunk", 0, "parallel chunk size in bytes (0 = 64 KiB)")
 		count    = flag.Bool("count", false, "print only the match count")
 		quiet    = flag.Bool("quiet", false, "exit status only (0 = match found)")
 		stats    = flag.Bool("stats", false, "print compiled-dictionary statistics")
@@ -57,11 +65,7 @@ func main() {
 			est.PerTileGbps, est.AnalyticGbps, est.SimulatedGbps, est.TilesUsed, est.Utilization*100)
 	}
 
-	data, err := readInput(*inPath)
-	if err != nil {
-		fail(err)
-	}
-	matches, err := m.FindAll(data)
+	matches, err := scanInput(m, *inPath, *parallel, *chunk)
 	if err != nil {
 		fail(err)
 	}
@@ -124,4 +128,30 @@ func readInput(path string) ([]byte, error) {
 		return io.ReadAll(os.Stdin)
 	}
 	return os.ReadFile(path)
+}
+
+// scanInput runs the matcher over the input. workers == 0 buffers the
+// whole input and scans sequentially; otherwise the input is streamed
+// through the parallel engine (workers < 0 = one worker per CPU).
+func scanInput(m *core.Matcher, path string, workers, chunk int) ([]core.Match, error) {
+	if workers == 0 {
+		data, err := readInput(path)
+		if err != nil {
+			return nil, err
+		}
+		return m.FindAll(data)
+	}
+	if workers < 0 {
+		workers = 0 // ParallelOptions default: GOMAXPROCS
+	}
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return m.ScanReader(r, core.ParallelOptions{Workers: workers, ChunkBytes: chunk})
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"cellmatch/internal/core"
 )
 
 func TestLoadDictionaryInline(t *testing.T) {
@@ -53,6 +56,47 @@ func TestLoadDictionaryErrors(t *testing.T) {
 	}
 	if _, err := loadDictionary("/nonexistent/file", ""); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestScanInputSequentialVsParallel(t *testing.T) {
+	m, err := core.CompileStrings([]string{"virus", "worm"}, core.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traffic.bin")
+	data := bytes.Repeat([]byte("a VIRUS and a worm passed by; "), 5000)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := scanInput(m, path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("sequential scan found nothing")
+	}
+	for _, tc := range []struct{ workers, chunk int }{
+		{4, 0}, {2, 1024}, {-1, 0}, {1, 7},
+	} {
+		par, err := scanInput(m, path, tc.workers, tc.chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d chunk=%d: %d matches, want %d",
+				tc.workers, tc.chunk, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d chunk=%d: match %d = %+v, want %+v",
+					tc.workers, tc.chunk, i, par[i], seq[i])
+			}
+		}
+	}
+	if _, err := scanInput(m, "/nonexistent/file", 4, 0); err == nil {
+		t.Fatal("missing parallel input accepted")
 	}
 }
 

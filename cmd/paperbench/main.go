@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cellmatch/internal/alphabet"
@@ -49,62 +50,90 @@ func main() {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
 		*fig6, *fig7, *fig8, *fig9 = true, true, true, true
 	}
-	d := paperDFA()
-	var base tile.Table1Row
-	if *table1 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 {
-		rows := runTable1(d, *table1)
-		base = tile.BestVersion(rows)
-	}
-	if *fig2 {
-		runFigure2()
-	}
-	if *fig3 {
-		runFigure3()
-	}
-	if *fig4 {
-		runFigure4(d)
-	}
-	if *fig5 {
-		runFigure5(base)
-	}
-	if *fig6 || *fig7 {
-		runComposition(base, *fig6, *fig7)
-	}
-	if *fig8 {
-		runFigure8(base)
-	}
-	if *fig9 {
-		runFigure9(base)
+	err := run(os.Stdout, sections{
+		table1: *table1, fig2: *fig2, fig3: *fig3, fig4: *fig4, fig5: *fig5,
+		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paperbench:", err)
-	os.Exit(1)
+// sections selects which tables/figures to regenerate.
+type sections struct {
+	table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9 bool
+}
+
+func run(w io.Writer, s sections) error {
+	d, err := paperDFA()
+	if err != nil {
+		return err
+	}
+	var base tile.Table1Row
+	if s.table1 || s.fig5 || s.fig6 || s.fig7 || s.fig8 || s.fig9 {
+		rows, err := runTable1(w, d, s.table1)
+		if err != nil {
+			return err
+		}
+		base = tile.BestVersion(rows)
+	}
+	if s.fig2 {
+		if err := runFigure2(w); err != nil {
+			return err
+		}
+	}
+	if s.fig3 {
+		if err := runFigure3(w); err != nil {
+			return err
+		}
+	}
+	if s.fig4 {
+		if err := runFigure4(w, d); err != nil {
+			return err
+		}
+	}
+	if s.fig5 {
+		if err := runFigure5(w, base); err != nil {
+			return err
+		}
+	}
+	if s.fig6 || s.fig7 {
+		if err := runComposition(w, base, s.fig6, s.fig7); err != nil {
+			return err
+		}
+	}
+	if s.fig8 {
+		if err := runFigure8(w, base); err != nil {
+			return err
+		}
+	}
+	if s.fig9 {
+		if err := runFigure9(w, base); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // paperDFA builds the ~1500-state dictionary the paper's tile holds.
-func paperDFA() *dfa.DFA {
+func paperDFA() (*dfa.DFA, error) {
 	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 1520, Seed: 1})
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	d, err := dfa.FromPatterns(pats, alphabet.CaseFold32())
-	if err != nil {
-		fatal(err)
-	}
-	return d
+	return dfa.FromPatterns(pats, alphabet.CaseFold32())
 }
 
-func runTable1(d *dfa.DFA, print bool) []tile.Table1Row {
+func runTable1(w io.Writer, d *dfa.DFA, print bool) ([]tile.Table1Row, error) {
 	rows, err := tile.MeasureTable1(d, 16*1024, 1)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	if !print {
-		return rows
+		return rows, nil
 	}
-	fmt.Printf("== Table 1: DFA tile implementation versions (%d-state STT) ==\n", d.NumStates())
+	fmt.Fprintf(w, "== Table 1: DFA tile implementation versions (%d-state STT) ==\n", d.NumStates())
 	tab := report.NewTable("Metric", "v1", "v2", "v3", "v4", "v5")
 	row := func(name string, f func(tile.Table1Row) any) {
 		cells := []any{name}
@@ -135,15 +164,15 @@ func runTable1(d *dfa.DFA, print bool) []tile.Table1Row {
 		return r.RegistersUsed
 	})
 	row("Speedup", func(r tile.Table1Row) any { return r.Speedup })
-	if err := tab.Write(os.Stdout); err != nil {
-		fatal(err)
+	if err := tab.Write(w); err != nil {
+		return nil, err
 	}
-	fmt.Println()
-	return rows
+	fmt.Fprintln(w)
+	return rows, nil
 }
 
-func runFigure2() {
-	fmt.Println("== Figure 2: aggregate memory bandwidth (GB/s) vs SPE count ==")
+func runFigure2(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 2: aggregate memory bandwidth (GB/s) vs SPE count ==")
 	tab := report.NewTable("SPEs", "64B", "128B", "256B", "512B+")
 	for k := 1; k <= 8; k++ {
 		cells := []any{k}
@@ -153,14 +182,15 @@ func runFigure2() {
 		}
 		tab.Row(cells...)
 	}
-	if err := tab.Write(os.Stdout); err != nil {
-		fatal(err)
+	if err := tab.Write(w); err != nil {
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+	return nil
 }
 
-func runFigure3() {
-	fmt.Println("== Figure 3: SPE local store usage per tile case ==")
+func runFigure3(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 3: SPE local store usage per tile case ==")
 	tab := report.NewTable("Case", "Input buffers", "STT size", "States", "Code+stack")
 	for i, p := range localstore.Figure3Cases() {
 		tab.Row(i+1,
@@ -169,21 +199,22 @@ func runFigure3() {
 			p.MaxStates,
 			fmt.Sprintf("%d KB", p.CodeStack/1024))
 	}
-	if err := tab.Write(os.Stdout); err != nil {
-		fatal(err)
+	if err := tab.Write(w); err != nil {
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+	return nil
 }
 
-func runFigure4(d *dfa.DFA) {
-	fmt.Println("== Figure 4: optimal SIMD kernel data flow (static mix) ==")
+func runFigure4(w io.Writer, d *dfa.DFA) error {
+	fmt.Fprintln(w, "== Figure 4: optimal SIMD kernel data flow (static mix) ==")
 	tl, err := tile.New(d, tile.Config{Version: 4})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	block := make([]byte, 48*16)
 	if _, _, err := tl.MatchBlockSim(block); err != nil {
-		fatal(err)
+		return err
 	}
 	mix := tile.MixOf(tl.LastProgram, nil)
 	tab := report.NewTable("Class", "Static instructions", "Figure 4 role")
@@ -192,18 +223,19 @@ func runFigure4(d *dfa.DFA) {
 	tab.Row("SIMD/SISD arithmetic", mix.SIMDArith, "shifts, address adds, flag ANDs, counts")
 	tab.Row("stores", mix.Stores, "epilogue count writeback")
 	tab.Row("branches", mix.Branches, "loop control (hinted)")
-	if err := tab.Write(os.Stdout); err != nil {
-		fatal(err)
+	if err := tab.Write(w); err != nil {
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+	return nil
 }
 
-func runFigure5(base tile.Table1Row) {
+func runFigure5(w io.Writer, base tile.Table1Row) error {
 	cpt := base.CyclesPerTransition
 	if cpt == 0 {
 		cpt = 5.01
 	}
-	fmt.Printf("== Figure 5: double-buffering schedule (16 KB blocks, %.2f cyc/transition, 8 SPEs) ==\n", cpt)
+	fmt.Fprintf(w, "== Figure 5: double-buffering schedule (16 KB blocks, %.2f cyc/transition, 8 SPEs) ==\n", cpt)
 	res := pipeline.RunDoubleBuffer(pipeline.Figure5Config{
 		Blocks: 4, CyclesPerTransition: cpt,
 	})
@@ -216,45 +248,47 @@ func runFigure5(base tile.Table1Row) {
 		entries = append(entries, report.TimelineEntry{
 			Lane: p.Name, Label: p.Label, Start: p.Start.Micros(), End: p.End.Micros()})
 	}
-	if err := report.WriteTimeline(os.Stdout, entries); err != nil {
-		fatal(err)
+	if err := report.WriteTimeline(w, entries); err != nil {
+		return err
 	}
-	fmt.Printf("compute utilization after first load: %.1f%%; effective %.2f Gbps\n\n",
+	fmt.Fprintf(w, "compute utilization after first load: %.1f%%; effective %.2f Gbps\n\n",
 		res.SteadyUtilization*100, res.ThroughputGbps)
+	return nil
 }
 
-func runComposition(base tile.Table1Row, f6, f7 bool) {
+func runComposition(w io.Writer, base tile.Table1Row, f6, f7 bool) error {
 	per := base.ThroughputGbps
 	if per == 0 {
 		per = 5.11
 	}
 	if f6 {
-		fmt.Println("== Figure 6: composing tiles in parallel and in series ==")
+		fmt.Fprintln(w, "== Figure 6: composing tiles in parallel and in series ==")
 		tab := report.NewTable("Configuration", "Tiles", "Throughput (Gbps)", "Dictionary states")
 		tab.Row("1 tile", 1, per, 1520)
 		tab.Row("2 in parallel (same STT)", 2, compose.Parallel(2).ThroughputGbps(per), 1520)
 		tab.Row("2 in series (distinct STTs)", 2, compose.Series(2).ThroughputGbps(per), 2*1520)
 		tab.Row("8 in parallel (one Cell)", 8, compose.Parallel(8).ThroughputGbps(per), 1520)
 		tab.Row("16 in parallel (dual blade)", 16, compose.Parallel(16).ThroughputGbps(per), 1520)
-		if err := tab.Write(os.Stdout); err != nil {
-			fatal(err)
+		if err := tab.Write(w); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if f7 {
-		fmt.Println("== Figure 7: mixed series/parallel configuration ==")
+		fmt.Fprintln(w, "== Figure 7: mixed series/parallel configuration ==")
 		topo := compose.Mixed(2, 4)
-		fmt.Printf("2 groups x 4 series tiles = %d SPEs: %.2f Gbps, ~%dx dictionary\n\n",
+		fmt.Fprintf(w, "2 groups x 4 series tiles = %d SPEs: %.2f Gbps, ~%dx dictionary\n\n",
 			topo.TotalTiles(), topo.ThroughputGbps(per), topo.SeriesDepth)
 	}
+	return nil
 }
 
-func runFigure8(base tile.Table1Row) {
+func runFigure8(w io.Writer, base tile.Table1Row) error {
 	cpt := base.CyclesPerTransition
 	if cpt == 0 {
 		cpt = 5.01
 	}
-	fmt.Println("== Figure 8: dynamic STT replacement schedule (n=3 STTs) ==")
+	fmt.Fprintln(w, "== Figure 8: dynamic STT replacement schedule (n=3 STTs) ==")
 	res := pipeline.RunReplacement(pipeline.ReplacementConfig{
 		STTs: 3, Pairs: 2, CyclesPerTransition: cpt,
 	})
@@ -263,25 +297,27 @@ func runFigure8(base tile.Table1Row) {
 		entries = append(entries, report.TimelineEntry{
 			Lane: p.Name, Label: p.Label, Start: p.Start.Micros(), End: p.End.Micros()})
 	}
-	if err := report.WriteTimeline(os.Stdout, entries); err != nil {
-		fatal(err)
+	if err := report.WriteTimeline(w, entries); err != nil {
+		return err
 	}
-	fmt.Printf("effective per-SPE bandwidth: %.2f Gbps (paper closed form: %.2f)\n\n",
+	fmt.Fprintf(w, "effective per-SPE bandwidth: %.2f Gbps (paper closed form: %.2f)\n\n",
 		res.EffectiveGbps, pipeline.PaperReplacementGbps(base.ThroughputGbps, 3))
+	return nil
 }
 
-func runFigure9(base tile.Table1Row) {
+func runFigure9(w io.Writer, base tile.Table1Row) error {
 	per := base.ThroughputGbps
 	if per == 0 {
 		per = 5.11
 	}
-	fmt.Println("== Figure 9: throughput vs aggregate STT size, dynamic replacement ==")
+	fmt.Fprintln(w, "== Figure 9: throughput vs aggregate STT size, dynamic replacement ==")
 	tab := report.NewTable("STTs", "Aggregate KB", "SPEs", "Paper (Gbps)", "Simulated (Gbps)")
 	for _, p := range pipeline.Figure9(per, []int{1, 2, 4, 8}, 6) {
 		tab.Row(p.STTs, p.AggregateKB, p.SPEs, p.PaperGbps, p.SimulatedGbps)
 	}
-	if err := tab.Write(os.Stdout); err != nil {
-		fatal(err)
+	if err := tab.Write(w); err != nil {
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+	return nil
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCheapFigures(t *testing.T) {
+	// Figures 2, 3, 6, 7 are analytic (no simulator run beyond the
+	// base Table 1 measurement), so -all minus the heavy sections
+	// exercises the full reporting path quickly.
+	var b strings.Builder
+	err := run(&b, sections{fig2: true, fig3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Figure 2: aggregate memory bandwidth",
+		"== Figure 3: SPE local store usage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable1AndComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SPU simulator over five kernel versions")
+	}
+	var b strings.Builder
+	err := run(&b, sections{table1: true, fig6: true, fig7: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Table 1: DFA tile implementation versions",
+		"Cycles per transition",
+		"== Figure 6: composing tiles in parallel and in series",
+		"== Figure 7: mixed series/parallel configuration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigures4589(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SPU simulator")
+	}
+	var b strings.Builder
+	err := run(&b, sections{fig4: true, fig5: true, fig8: true, fig9: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Figure 4: optimal SIMD kernel data flow",
+		"== Figure 5: double-buffering schedule",
+		"== Figure 8: dynamic STT replacement schedule",
+		"== Figure 9: throughput vs aggregate STT size",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperDFAShape(t *testing.T) {
+	d, err := paperDFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.NumStates(); n < 1400 || n > 1520 {
+		t.Fatalf("paper DFA has %d states, want ~1520", n)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"cellmatch"
 	"cellmatch/internal/pipeline"
@@ -19,20 +21,26 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A dictionary of ~4000 Aho-Corasick states: needs 3 tiles of the
 	// 16 KB-buffer budget (1520 states each).
 	pats, err := workload.Dictionary(workload.DictConfig{
 		TargetStates: 4000, PatternLen: 32, Seed: 11,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m, err := cellmatch.Compile(pats, cellmatch.Options{CaseFold: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	st := m.Stats()
-	fmt.Printf("dictionary: %d patterns, %d states -> %d series tiles (%d KB of STTs)\n",
+	fmt.Fprintf(w, "dictionary: %d patterns, %d states -> %d series tiles (%d KB of STTs)\n",
 		st.Patterns, st.States, st.SeriesDepth, st.STTBytes/1024)
 
 	// Matching is unaffected by partitioning: plant one pattern from
@@ -45,23 +53,24 @@ func main() {
 	probe = append(probe, pats[len(pats)-1]...)
 	n, err := m.Count(probe)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("planted 3 patterns across partitions, found %d\n", n)
+	fmt.Fprintf(w, "planted 3 patterns across partitions, found %d\n", n)
 	if n < 3 {
-		log.Fatal("partitioned dictionary lost matches")
+		return fmt.Errorf("partitioned dictionary lost matches")
 	}
 
 	// Section 6: if the dictionary outgrows the whole machine, stream
 	// STTs dynamically. Print the paper's trade-off (Figure 9 slice).
-	fmt.Println("\ndynamic STT replacement, 8 SPEs (16 KB blocks, V4 kernel):")
-	fmt.Println("STTs  dict KB  paper Gbps  simulated Gbps")
+	fmt.Fprintf(w, "\ndynamic STT replacement, 8 SPEs (16 KB blocks, V4 kernel):\n")
+	fmt.Fprintln(w, "STTs  dict KB  paper Gbps  simulated Gbps")
 	for n := 1; n <= 6; n++ {
 		res := pipeline.RunReplacement(pipeline.ReplacementConfig{
 			STTs: n, SPEs: 8, Pairs: 4,
 		})
-		fmt.Printf("%4d  %7d  %10.2f  %14.2f\n",
+		fmt.Fprintf(w, "%4d  %7d  %10.2f  %14.2f\n",
 			n, n*95, 8*pipeline.PaperReplacementGbps(5.11, n), res.SystemGbps)
 	}
-	fmt.Println("\nthe dictionary size is now unbounded; throughput degrades as ~1/n")
+	fmt.Fprintln(w, "\nthe dictionary size is now unbounded; throughput degrades as ~1/n")
+	return nil
 }

@@ -12,7 +12,9 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"cellmatch"
@@ -21,42 +23,55 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// The attack pattern: unique head byte, repeated tail.
 	pattern := append([]byte{'b'}, bytes.Repeat([]byte{'a'}, 15)...)
 	n := 1 << 20
 
 	benign, _, err := workload.Traffic(workload.TrafficConfig{Bytes: n, Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	adversarial := workload.AdversarialBMH(pattern, n)
 
 	bmh, err := baseline.NewBMH(pattern)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	_, benignCmp := bmh.Count(benign)
 	_, advCmp := bmh.Count(adversarial)
-	fmt.Printf("Boyer-Moore-Horspool over %d KB:\n", n>>10)
-	fmt.Printf("  benign traffic:      %8d byte comparisons (%.2f/byte)\n",
+	fmt.Fprintf(w, "Boyer-Moore-Horspool over %d KB:\n", n>>10)
+	fmt.Fprintf(w, "  benign traffic:      %8d byte comparisons (%.2f/byte)\n",
 		benignCmp, float64(benignCmp)/float64(n))
-	fmt.Printf("  adversarial traffic: %8d byte comparisons (%.2f/byte)  <- %dx blowup\n",
+	fmt.Fprintf(w, "  adversarial traffic: %8d byte comparisons (%.2f/byte)  <- %dx blowup\n",
 		advCmp, float64(advCmp)/float64(n), advCmp/benignCmp)
 
 	// The DFA: same work on both inputs, by construction.
 	m, err := cellmatch.Compile([][]byte{pattern}, cellmatch.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	for name, data := range map[string][]byte{"benign": benign, "adversarial": adversarial} {
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"benign", benign},
+		{"adversarial", adversarial},
+	} {
 		start := time.Now()
-		count, err := m.Count(data)
+		count, err := m.Count(tc.data)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		el := time.Since(start)
-		fmt.Printf("DFA scan of %-11s traffic: %d matches, 1.00 lookups/byte, %v (%.0f MB/s)\n",
-			name, count, el, float64(n)/el.Seconds()/1e6)
+		fmt.Fprintf(w, "DFA scan of %-11s traffic: %d matches, 1.00 lookups/byte, %v (%.0f MB/s)\n",
+			tc.name, count, el, float64(n)/el.Seconds()/1e6)
 	}
-	fmt.Println("\nDFA cost is content-independent: overload attacks have no lever.")
+	fmt.Fprintln(w, "\nDFA cost is content-independent: overload attacks have no lever.")
+	return nil
 }

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"cellmatch"
 )
@@ -29,21 +31,27 @@ var messages = []struct {
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	m, err := cellmatch.CompileStrings(spamPhrases, cellmatch.Options{CaseFold: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Sender sanity: a tiny address grammar compiled to a DFA.
 	addr, err := cellmatch.CompileRegexes(
 		[]string{`[a-z0-9.]+@[a-z0-9]+(\.[a-z]+)+`}, true)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for i, msg := range messages {
 		hits, err := m.FindAll([]byte(msg.body))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		score := len(hits)
 		if len(addr.MatchWhole([]byte(msg.from))) == 0 {
@@ -53,9 +61,10 @@ func main() {
 		if score >= 2 {
 			verdict = "SPAM"
 		}
-		fmt.Printf("message %d from %-20s score=%d verdict=%s\n", i, msg.from, score, verdict)
+		fmt.Fprintf(w, "message %d from %-20s score=%d verdict=%s\n", i, msg.from, score, verdict)
 		for _, h := range hits {
-			fmt.Printf("    phrase %q ends at %d\n", m.Pattern(h.Pattern), h.End)
+			fmt.Fprintf(w, "    phrase %q ends at %d\n", m.Pattern(h.Pattern), h.End)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "verdict=SPAM") != 2 {
+		t.Fatalf("want 2 spam verdicts:\n%s", out)
+	}
+	if strings.Count(out, "verdict=ham") != 2 {
+		t.Fatalf("want 2 ham verdicts:\n%s", out)
+	}
+}

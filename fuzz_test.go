@@ -68,6 +68,61 @@ func FuzzMatcherScan(f *testing.F) {
 	})
 }
 
+// FuzzParallelEquivalence: the chunked speculative engine must agree
+// byte-for-byte with the sequential scan for arbitrary dictionaries,
+// worker counts, and chunk sizes — including chunks smaller than the
+// longest pattern — via both FindAllParallel and ScanReader.
+func FuzzParallelEquivalence(f *testing.F) {
+	f.Add([]byte("abra"), []byte("abracadabra"), []byte("abracadabra abracadabra"), uint8(4), uint16(3))
+	f.Add([]byte("aa"), []byte("aaa"), []byte("aaaaaaaaaaaaaaaa"), uint8(2), uint16(1))
+	f.Add([]byte{0xFF, 0x00}, []byte{0x01}, bytes.Repeat([]byte{0xFF, 0x00, 0x01}, 40), uint8(7), uint16(64))
+	f.Add([]byte("virus"), []byte("rus"), []byte("a virus in a worm"), uint8(1), uint16(1024))
+	f.Fuzz(func(t *testing.T, p1, p2, data []byte, workers uint8, chunk uint16) {
+		if len(p1) == 0 || len(p2) == 0 || len(p1) > 32 || len(p2) > 32 || len(data) > 4096 {
+			return
+		}
+		m, err := core.Compile([][]byte{p1, p2}, core.Options{})
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		want, err := m.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.ParallelOptions{
+			Workers:    int(workers)%8 + 1,
+			ChunkBytes: int(chunk)%2048 + 1,
+		}
+		got, err := m.FindAllParallel(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parallel %d matches, sequential %d (workers=%d chunk=%d)",
+				len(got), len(want), opts.Workers, opts.ChunkBytes)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("match %d: parallel %+v, sequential %+v (workers=%d chunk=%d)",
+					i, got[i], want[i], opts.Workers, opts.ChunkBytes)
+			}
+		}
+		streamed, err := m.ScanReader(bytes.NewReader(data), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(want) {
+			t.Fatalf("ScanReader %d matches, sequential %d (workers=%d chunk=%d)",
+				len(streamed), len(want), opts.Workers, opts.ChunkBytes)
+		}
+		for i := range want {
+			if streamed[i] != want[i] {
+				t.Fatalf("ScanReader match %d: %+v, want %+v", i, streamed[i], want[i])
+			}
+		}
+	})
+}
+
 func naiveOccurrences(text, pat []byte) int {
 	n := 0
 	for i := 0; i+len(pat) <= len(text); i++ {

@@ -1,0 +1,3 @@
+module cellmatch
+
+go 1.24

@@ -88,11 +88,15 @@ func (m *Matcher) FindAll(data []byte) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
+	return convertMatches(raw), nil
+}
+
+func convertMatches(raw []dfa.Match) []Match {
 	out := make([]Match, len(raw))
 	for i, r := range raw {
 		out[i] = Match{Pattern: int(r.Pattern), End: r.End}
 	}
-	return out, nil
+	return out
 }
 
 // Count returns the number of occurrences in data.

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"io"
+
+	"cellmatch/internal/parallel"
+)
+
+// ParallelOptions tune the chunked speculative scan engine. The zero
+// value scans with one worker per CPU and 64 KiB chunks.
+type ParallelOptions struct {
+	// Workers is the goroutine pool size. <=0 means GOMAXPROCS.
+	Workers int
+	// ChunkBytes is the per-worker input slice size. <=0 means 64 KiB.
+	// Any positive value is legal, including sizes smaller than the
+	// longest dictionary entry.
+	ChunkBytes int
+}
+
+func (o ParallelOptions) engine() parallel.Options {
+	return parallel.Options{Workers: o.Workers, ChunkBytes: o.ChunkBytes}
+}
+
+// FindAllParallel reports every dictionary occurrence in data, like
+// FindAll, but scans chunks of data concurrently: each worker starts
+// from the speculative root state and chunk boundaries are reconciled
+// by re-scanning an overlap window of MaxPatternLen-1 bytes. The
+// result is byte-for-byte identical to FindAll — same matches, same
+// (End, Pattern) order — for every worker count and chunk size.
+func (m *Matcher) FindAllParallel(data []byte, opts ParallelOptions) ([]Match, error) {
+	raw, err := parallel.Scan(m.sys, data, opts.engine())
+	if err != nil {
+		return nil, err
+	}
+	return convertMatches(raw), nil
+}
+
+// ScanReader scans r to EOF in batches of Workers x ChunkBytes bytes,
+// each batch scanned by the parallel engine, carrying the overlap
+// window between batches. Matches are identical to FindAll over the
+// reader's entire contents, with global End offsets, but memory stays
+// O(Workers x ChunkBytes), making it the batched-streaming entry
+// point for sockets and files too large to buffer.
+func (m *Matcher) ScanReader(r io.Reader, opts ParallelOptions) ([]Match, error) {
+	raw, err := parallel.ScanReader(m.sys, r, opts.engine())
+	if err != nil {
+		return nil, err
+	}
+	return convertMatches(raw), nil
+}

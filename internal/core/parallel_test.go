@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func compileTestMatcher(t *testing.T, patterns []string, opts Options) *Matcher {
+	t.Helper()
+	m, err := CompileStrings(patterns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func assertEqualMatches(t *testing.T, label string, want, got []Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: match %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestFindAllParallelEquivalence(t *testing.T) {
+	m := compileTestMatcher(t,
+		[]string{"virus", "worm", "rus in", "s"},
+		Options{CaseFold: true})
+	data := []byte(strings.Repeat("a VIRUS in a worm, viruses galore; ", 400))
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no matches in test input")
+	}
+	for _, opt := range []ParallelOptions{
+		{},
+		{Workers: 1},
+		{Workers: 4, ChunkBytes: 3}, // smaller than the longest pattern
+		{Workers: 4, ChunkBytes: 777},
+		{Workers: 16, ChunkBytes: 1 << 16},
+	} {
+		got, err := m.FindAllParallel(data, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "FindAllParallel", want, got)
+	}
+}
+
+func TestFindAllParallelWithGroups(t *testing.T) {
+	// The sequential path with Groups>1 already splits input across
+	// tile groups; the parallel engine must still agree with it.
+	m := compileTestMatcher(t, []string{"abra", "cadabra", "ra"},
+		Options{Groups: 4})
+	data := []byte(strings.Repeat("abracadabra! ", 1000))
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.FindAllParallel(data, ParallelOptions{Workers: 3, ChunkBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMatches(t, "Groups=4", want, got)
+}
+
+func TestScanReaderEquivalence(t *testing.T) {
+	m := compileTestMatcher(t, []string{"needle", "edl", "e"}, Options{})
+	data := []byte(strings.Repeat("hay needle hay eedl ", 3000))
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []ParallelOptions{
+		{},
+		{Workers: 2, ChunkBytes: 53},
+		{Workers: 8, ChunkBytes: 4096},
+	} {
+		got, err := m.ScanReader(bytes.NewReader(data), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "ScanReader", want, got)
+	}
+}
+
+func TestScanReaderAgainstStream(t *testing.T) {
+	// Three ways to scan the same bytes must agree on the match set:
+	// batch FindAll, incremental Stream, batched-parallel ScanReader.
+	m := compileTestMatcher(t, []string{"tic", "tac", "ictac"}, Options{})
+	data := []byte(strings.Repeat("tictactictoc", 500))
+	batch, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewStream()
+	for i := 0; i < len(data); i += 7 {
+		s.Write(data[i:min(i+7, len(data))])
+	}
+	if len(s.Matches()) != len(batch) {
+		t.Fatalf("stream %d matches, batch %d", len(s.Matches()), len(batch))
+	}
+	rd, err := m.ScanReader(bytes.NewReader(data), ParallelOptions{Workers: 2, ChunkBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMatches(t, "ScanReader vs FindAll", batch, rd)
+}

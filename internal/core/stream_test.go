@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// sortedCopy canonicalizes match order: Stream reports per-slot feed
+// order while FindAll sorts by (End, Pattern).
+func sortedCopy(ms []Match) []Match {
+	out := append([]Match(nil), ms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+// TestStreamEverySplitPoint splits each input at every possible byte
+// position across two Writes and requires the same matches as the
+// single-shot scan — the boundary cases that historically lose
+// matches are the splits inside a pattern occurrence.
+func TestStreamEverySplitPoint(t *testing.T) {
+	cases := []struct {
+		name     string
+		patterns []string
+		opts     Options
+		input    string
+	}{
+		{
+			name:     "overlapping suffixes",
+			patterns: []string{"abra", "cadabra", "abracadabra", "ra"},
+			input:    "abracadabra abracadabra!",
+		},
+		{
+			name:     "self-overlapping pattern",
+			patterns: []string{"aaa", "aa"},
+			input:    "aaaaaaaaab aaa",
+		},
+		{
+			name:     "casefold across boundary",
+			patterns: []string{"Virus", "RUS"},
+			opts:     Options{CaseFold: true},
+			input:    "a viRUS and a VIRUS",
+		},
+		{
+			name:     "nested patterns",
+			patterns: []string{"e", "ne", "one", "bone", "ebone"},
+			input:    "trombone bones oneebone",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := compileTestMatcher(t, tc.patterns, tc.opts)
+			data := []byte(tc.input)
+			batch, err := m.FindAll(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) == 0 {
+				t.Fatal("case plants no matches")
+			}
+			want := sortedCopy(batch)
+			for split := 0; split <= len(data); split++ {
+				s := m.NewStream()
+				s.Write(data[:split])
+				s.Write(data[split:])
+				got := sortedCopy(s.Matches())
+				if len(got) != len(want) {
+					t.Fatalf("split %d: stream %d matches, batch %d",
+						split, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("split %d: match %d = %+v, want %+v",
+							split, i, got[i], want[i])
+					}
+				}
+				if s.BytesSeen() != len(data) {
+					t.Fatalf("split %d: BytesSeen %d, want %d",
+						split, s.BytesSeen(), len(data))
+				}
+			}
+		})
+	}
+}
+
+// TestStreamThreeWaySplits cuts the input into three Writes at every
+// pair of split points, catching carries that survive one boundary
+// but not two.
+func TestStreamThreeWaySplits(t *testing.T) {
+	m := compileTestMatcher(t, []string{"abcabc", "cab", "bc"}, Options{})
+	data := []byte("xabcabcabycabc")
+	batch, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedCopy(batch)
+	for i := 0; i <= len(data); i++ {
+		for j := i; j <= len(data); j++ {
+			s := m.NewStream()
+			s.Write(data[:i])
+			s.Write(data[i:j])
+			s.Write(data[j:])
+			got := sortedCopy(s.Matches())
+			if len(got) != len(want) {
+				t.Fatalf("splits (%d,%d): %d matches, want %d", i, j, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("splits (%d,%d): match %d = %+v, want %+v",
+						i, j, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamMultiSlot feeds a partitioned (multi-series-slot)
+// dictionary one byte at a time: global pattern ids and offsets must
+// survive slot remapping at every boundary.
+func TestStreamMultiSlot(t *testing.T) {
+	var pats []string
+	for c := 'a'; c <= 'z'; c++ {
+		pats = append(pats, strings.Repeat(string(c), 6))
+	}
+	bs := make([][]byte, len(pats))
+	for i, p := range pats {
+		bs[i] = []byte(p)
+	}
+	m, err := Compile(bs, Options{MaxStatesPerTile: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SeriesDepth < 2 {
+		t.Fatalf("want multi-slot dictionary, depth %d", m.Stats().SeriesDepth)
+	}
+	data := []byte("zzzzzzz mmmmmm aaaaaaa")
+	batch, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedCopy(batch)
+	s := m.NewStream()
+	for i := range data {
+		s.Write(data[i : i+1])
+	}
+	got := sortedCopy(s.Matches())
+	if len(got) != len(want) {
+		t.Fatalf("byte-at-a-time stream %d matches, batch %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package parallel is the host-CPU analogue of the paper's Figure 6a
+// composition: one DFA tiled across many workers scanning disjoint
+// input slices. Where the paper assigns input portions to SPEs, this
+// engine assigns fixed-size chunks to goroutines; where the paper's
+// tiles overlap their portions by the longest pattern length minus
+// one, each chunk here is re-scanned from a speculative root start
+// over the same bounded overlap window, in the style of speculative
+// parallel DFA matching (Ko et al.): every worker guesses the
+// root state at its chunk boundary and the guess is reconciled by the
+// overlap prefix, whose matches are discarded as duplicates of the
+// previous chunk.
+//
+// For Aho-Corasick automata the speculation is exact, not heuristic:
+// a match ending at offset e depends only on the MaxPatternLen bytes
+// before e, so scanning from the root over an overlap of
+// MaxPatternLen-1 bytes recovers every boundary-straddling match.
+// Results are therefore byte-for-byte identical to the sequential
+// scan — same match set, same (End, Pattern) order — for every
+// worker count and chunk size, which the differential fuzz target
+// FuzzParallelEquivalence asserts.
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cellmatch/internal/compose"
+	"cellmatch/internal/dfa"
+)
+
+// DefaultChunkBytes is the per-worker slice size when Options leaves
+// it zero: 64 KiB keeps per-chunk state in L1/L2 while amortizing the
+// overlap re-scan (a few dozen bytes) to noise.
+const DefaultChunkBytes = 64 << 10
+
+// Options tune the engine. The zero value means "one chunk per
+// 64 KiB, one worker per CPU".
+type Options struct {
+	// Workers is the goroutine pool size. <=0 means GOMAXPROCS.
+	Workers int
+	// ChunkBytes is the per-worker slice size. <=0 means
+	// DefaultChunkBytes. Chunks smaller than the longest pattern are
+	// legal (the overlap window is clamped to the available prefix).
+	ChunkBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = DefaultChunkBytes
+	}
+	return o
+}
+
+// overlapOf is the reconciliation window: the longest dictionary
+// entry minus one, the same bound compose.Scan uses for tile groups.
+func overlapOf(sys *compose.System) int {
+	if sys.MaxPatternLen > 0 {
+		return sys.MaxPatternLen - 1
+	}
+	return 0
+}
+
+// Scan matches data against the composed system using a chunked
+// speculative scan, returning global-offset matches sorted by
+// (End, Pattern) — the exact output of compose.System.Scan.
+func Scan(sys *compose.System, data []byte, opts Options) ([]dfa.Match, error) {
+	o := opts.withDefaults()
+	chunks := scanChunks(sys, data, overlapOf(sys), o)
+	out := mergeChunks(chunks, 0, 0)
+	return out, nil
+}
+
+// scanChunks splits raw data into ChunkBytes-sized pieces and scans
+// them on a pool of Workers goroutines. Alphabet reduction happens
+// per chunk inside each worker (it is a byte-wise map, so chunking
+// commutes with it), keeping the whole pipeline parallel and the
+// extra memory O(Workers x ChunkBytes) instead of O(input).
+// results[i] holds chunk i's matches in data's coordinates, already
+// deduplicated against chunk i-1's overlap.
+func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]dfa.Match {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	nchunks := (n + o.ChunkBytes - 1) / o.ChunkBytes
+	results := make([][]dfa.Match, nchunks)
+	scan := func(i int, scratch []byte) {
+		start := i * o.ChunkBytes
+		end := min(start+o.ChunkBytes, n)
+		ov := min(overlap, start)
+		piece := data[start-ov : end]
+		reduced := scratch[:len(piece)]
+		sys.Red.Apply(reduced, piece)
+		results[i] = scanChunk(sys, reduced, start-ov, ov)
+	}
+	workers := min(o.Workers, nchunks)
+	if workers <= 1 {
+		scratch := make([]byte, o.ChunkBytes+overlap)
+		for i := 0; i < nchunks; i++ {
+			scan(i, scratch)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := make([]byte, o.ChunkBytes+overlap)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nchunks {
+					return
+				}
+				scan(i, scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// scanChunk runs every series slot over one reduced piece (overlap
+// prefix included) from the speculative root state, reusing the same
+// dfa.FindAll the sequential path is built on. Matches ending inside
+// the ov-byte overlap prefix are duplicates of the previous chunk and
+// dropped; the rest are shifted by base into data coordinates.
+func scanChunk(sys *compose.System, piece []byte, base, ov int) []dfa.Match {
+	var out []dfa.Match
+	for slot, d := range sys.Slots {
+		ids := sys.SlotPatterns[slot]
+		for _, m := range d.FindAll(piece) {
+			if m.End <= ov {
+				continue // ends inside the reconciliation window
+			}
+			out = append(out, dfa.Match{
+				Pattern: int32(ids[m.Pattern]),
+				End:     base + m.End,
+			})
+		}
+	}
+	return out
+}
+
+// mergeChunks flattens per-chunk results into one sorted slice,
+// dropping matches whose local End is <= dedupe (already reported by
+// a previous reader batch) and shifting the rest by base.
+func mergeChunks(chunks [][]dfa.Match, base, dedupe int) []dfa.Match {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]dfa.Match, 0, total)
+	for _, c := range chunks {
+		for _, m := range c {
+			if m.End <= dedupe {
+				continue
+			}
+			m.End += base
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+// ScanReader scans r in batches of Workers x ChunkBytes, carrying the
+// last MaxPatternLen-1 bytes between batches so matches spanning a
+// batch boundary are recovered exactly once. The returned matches are
+// identical to Scan over the reader's whole contents; memory is
+// O(Workers x ChunkBytes + matches), not O(input).
+func ScanReader(sys *compose.System, r io.Reader, opts Options) ([]dfa.Match, error) {
+	o := opts.withDefaults()
+	overlap := overlapOf(sys)
+	batch := o.Workers * o.ChunkBytes
+	if batch/o.Workers != o.ChunkBytes { // overflow
+		batch = o.ChunkBytes
+	}
+	buf := make([]byte, overlap+batch)
+	carry := 0 // bytes of buf holding the previous batch's tail
+	base := 0  // global offset of buf[0]
+	var out []dfa.Match
+	for {
+		n, err := io.ReadFull(r, buf[carry:])
+		if n == 0 {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("parallel: read: %w", err)
+			}
+		}
+		data := buf[:carry+n]
+		chunks := scanChunks(sys, data, overlap, o)
+		out = append(out, mergeChunks(chunks, base, carry)...)
+		keep := min(overlap, len(data))
+		copy(buf, data[len(data)-keep:])
+		base += len(data) - keep
+		carry = keep
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("parallel: read: %w", err)
+		}
+	}
+	return out, nil
+}

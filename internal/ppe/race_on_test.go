@@ -1,0 +1,5 @@
+//go:build race
+
+package ppe
+
+const raceEnabled = true
