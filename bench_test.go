@@ -247,6 +247,114 @@ func BenchmarkScanReader4Workers1MiB(b *testing.B) {
 	}
 }
 
+// --- Compiled kernel engine ----------------------------------------------
+
+// benchKernelSetup compiles the paper's NIDS-style dictionary (the
+// 1520-state Figure 3 workload) with the given engine options and
+// builds a traffic buffer with sparse planted matches.
+func benchKernelSetup(b *testing.B, size int, engine core.EngineOptions) (*core.Matcher, []byte) {
+	b.Helper()
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 1520, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: size, MatchEvery: 64 << 10, Dictionary: pats, Seed: 21,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, data
+}
+
+func benchKernelFindAll(b *testing.B, size int, engine core.EngineOptions, wantEngine string) {
+	m, data := benchKernelSetup(b, size, engine)
+	if got := m.Stats().Engine; got != wantEngine {
+		b.Fatalf("engine = %q, want %q", got, wantEngine)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernel is the acceptance benchmark: the dense kernel in its
+// default configuration versus BenchmarkSTTLookupSequential below
+// (target: >= 1.5x on the same dictionary and input).
+func BenchmarkKernel(b *testing.B) {
+	benchKernelFindAll(b, 8<<20, core.EngineOptions{}, "kernel")
+}
+
+func BenchmarkKernelSequential(b *testing.B) {
+	benchKernelFindAll(b, 8<<20, core.EngineOptions{InterleaveK: 1}, "kernel")
+}
+
+func BenchmarkKernelInterleavedK2(b *testing.B) {
+	benchKernelFindAll(b, 8<<20, core.EngineOptions{InterleaveK: 2}, "kernel")
+}
+
+func BenchmarkKernelInterleavedK4(b *testing.B) {
+	benchKernelFindAll(b, 8<<20, core.EngineOptions{InterleaveK: 4}, "kernel")
+}
+
+func BenchmarkKernelInterleavedK8(b *testing.B) {
+	benchKernelFindAll(b, 8<<20, core.EngineOptions{InterleaveK: 8}, "kernel")
+}
+
+// BenchmarkSTTPathFindAll is the pre-kernel production path (alphabet
+// reduce + dfa table walk) on the same workload.
+func BenchmarkSTTPathFindAll(b *testing.B) {
+	benchKernelFindAll(b, 8<<20, core.EngineOptions{DisableKernel: true}, "stt")
+}
+
+// BenchmarkSTTLookupSequential is the one-bounds-checked-lookup-per-
+// byte stt.Table.Lookup scan the kernel replaces: alphabet reduction
+// pass plus the pointer-encoded table walk, measured end to end from
+// raw input like the kernel is.
+func BenchmarkSTTLookupSequential(b *testing.B) {
+	_, tab := paperSetup()
+	red := alphabet.CaseFold32()
+	// Identical traffic to benchKernelSetup: same dictionary planting,
+	// same seed, so the two engines scan the same bytes.
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 1520, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 8 << 20, MatchEvery: 64 << 10, Dictionary: pats, Seed: 21,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := make([]byte, len(raw))
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red.Apply(scratch, raw)
+		tile.ScalarCount(tab, scratch)
+	}
+}
+
+// BenchmarkKernelParallel composes both engines: the chunked
+// goroutine scan with the dense kernel underneath.
+func BenchmarkKernelParallel4Workers(b *testing.B) {
+	m, data := benchKernelSetup(b, 8<<20, core.EngineOptions{})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAllParallel(data, core.ParallelOptions{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Native production path ---------------------------------------------
 
 func BenchmarkNativeScalar(b *testing.B) {

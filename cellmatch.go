@@ -5,9 +5,13 @@
 // The library compiles dictionaries of exact strings (or regular
 // expressions) into alphabet-reduced, pointer-encoded Aho-Corasick
 // state transition tables — the paper's DFA tile — and scans data with
-// content-independent cost. Alongside the production matcher it ships
-// the paper's full performance apparatus: an instruction-level SPU
-// simulator, a Cell memory-system model, and the schedules that
+// content-independent cost. By default scanning runs on the dense
+// compiled kernel (see EngineOptions): cache-resident flattened
+// tables with the alphabet reduction baked in, scanned single-stream
+// or by a K-way interleaved loop, the host-CPU analog of the paper's
+// multi-buffered SPE streams. Alongside the production matcher it
+// ships the paper's full performance apparatus: an instruction-level
+// SPU simulator, a Cell memory-system model, and the schedules that
 // regenerate every table and figure of the paper's evaluation (see
 // EXPERIMENTS.md).
 //
@@ -66,6 +70,32 @@ type Stream = core.Stream
 // see core.ParallelOptions. The zero value uses one worker per CPU
 // and 64 KiB chunks.
 type ParallelOptions = core.ParallelOptions
+
+// EngineOptions (the Engine field of Options) select the scan engine
+// behind FindAll, FindAllParallel, Stream, and ScanReader.
+//
+// The default is the dense compiled kernel: each series slot's
+// automaton is flattened into a cache-line-aligned table of 4-byte
+// entries (row width = the reduced alphabet rounded to a power of
+// two) with the byte→class alphabet reduction baked into a 256-entry
+// map, so a scan is a single pass over the raw input — one indexed
+// load, one AND, and one ADD per byte, with match metadata packed
+// into entry flag bits exactly like the paper's pointer-encoded STT
+// tile. Large inputs are scanned by a K-way interleaved loop: the
+// input is split into K chunks with MaxPatternLen-1 overlap (the
+// paper's Figure 6a input portions mapped onto in-loop streams
+// instead of SPEs) and K independent cursors advance per iteration,
+// hiding the dependent-load latency of the cache-resident table.
+//
+// Dense rows cost (row width × 4) bytes per state, so a dictionary's
+// tables can outgrow the budget (EngineOptions.MaxTableBytes, default
+// 8 MiB); the matcher then falls back to the original
+// alphabet-reduce + stt/dfa lookup path. Matcher.Stats().Engine
+// reports which engine is live, with KernelTableBytes and the
+// TableFitsL1/TableFitsL2 residency flags alongside. Both engines are
+// byte-for-byte identical in output (FuzzKernelEquivalence asserts
+// this), so the knob is purely a performance/memory trade.
+type EngineOptions = core.EngineOptions
 
 // RegexSet matches whole inputs against regular expressions.
 type RegexSet = core.RegexSet

@@ -68,6 +68,48 @@ func TestPublicAPIParallel(t *testing.T) {
 	}
 }
 
+func TestPublicAPIEngineOptions(t *testing.T) {
+	dict := []string{"virus", "worm"}
+	data := []byte("a virus in a WORM in a virus")
+	kernelM, err := cellmatch.CompileStrings(dict, cellmatch.Options{
+		CaseFold: true,
+		Engine:   cellmatch.EngineOptions{InterleaveK: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sttM, err := cellmatch.CompileStrings(dict, cellmatch.Options{
+		CaseFold: true,
+		Engine:   cellmatch.EngineOptions{DisableKernel: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, ss := kernelM.Stats(), sttM.Stats()
+	if ks.Engine != "kernel" || ss.Engine != "stt" {
+		t.Fatalf("engines = %q / %q", ks.Engine, ss.Engine)
+	}
+	if ks.KernelTableBytes <= 0 || !ks.TableFitsL2 || ks.AlphabetUsed < 2 {
+		t.Fatalf("kernel stats incomplete: %+v", ks)
+	}
+	want, err := sttM.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kernelM.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != 3 {
+		t.Fatalf("kernel %d matches, stt %d, want 3", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: kernel %+v, stt %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestPublicAPIBlades(t *testing.T) {
 	if cellmatch.DefaultBlade().SPEs() != 8 || cellmatch.DualBlade().SPEs() != 16 {
 		t.Fatal("blade shapes")

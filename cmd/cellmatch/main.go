@@ -55,6 +55,8 @@ func main() {
 		s := m.Stats()
 		fmt.Printf("patterns=%d states=%d stt_bytes=%d groups=%d series=%d tiles=%d alphabet=%d\n",
 			s.Patterns, s.States, s.STTBytes, s.Groups, s.SeriesDepth, s.TilesRequired, s.AlphabetUsed)
+		fmt.Printf("engine=%s kernel_table_bytes=%d budget=%d fits_l1=%v fits_l2=%v\n",
+			s.Engine, s.KernelTableBytes, s.DenseTableBudget, s.TableFitsL1, s.TableFitsL2)
 	}
 	if *estimate {
 		est, err := m.EstimateCell(cell.DefaultBlade(), 16*1024*1024)

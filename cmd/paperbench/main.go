@@ -11,6 +11,11 @@
 //	paperbench -fig7       # mixed composition
 //	paperbench -fig8       # dynamic STT replacement schedule
 //	paperbench -fig9       # throughput vs aggregate STT size
+//	paperbench -kernel     # host scan engines: stt path vs dense kernel
+//
+// With -kernel, -benchjson FILE additionally writes the measured MB/s
+// (sequential, parallel, kernel, interleaved-K) as a JSON artifact —
+// the BENCH_kernel.json regression file CI archives per commit.
 package main
 
 import (
@@ -43,16 +48,20 @@ func main() {
 		fig7   = flag.Bool("fig7", false, "Figure 7: mixed composition")
 		fig8   = flag.Bool("fig8", false, "Figure 8: dynamic STT replacement")
 		fig9   = flag.Bool("fig9", false, "Figure 9: throughput vs dictionary size")
+		kern   = flag.Bool("kernel", false, "host scan engines: stt path vs dense kernel")
+		kernMB = flag.Int("kernelmb", 8, "kernel benchmark input size in MiB")
+		bjson  = flag.String("benchjson", "", "with -kernel: write BENCH JSON to this file")
 	)
 	flag.Parse()
-	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9
+	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern
 	if *all || !any {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
-		*fig6, *fig7, *fig8, *fig9 = true, true, true, true
+		*fig6, *fig7, *fig8, *fig9, *kern = true, true, true, true, true
 	}
 	err := run(os.Stdout, sections{
 		table1: *table1, fig2: *fig2, fig3: *fig3, fig4: *fig4, fig5: *fig5,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9,
+		kernel: *kern, kernelBytes: *kernMB << 20, benchJSON: *bjson,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -63,6 +72,13 @@ func main() {
 // sections selects which tables/figures to regenerate.
 type sections struct {
 	table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9 bool
+
+	// kernel runs the host scan-engine comparison (stt path vs dense
+	// kernel) over kernelBytes of traffic, optionally writing the MB/s
+	// JSON artifact to benchJSON.
+	kernel      bool
+	kernelBytes int
+	benchJSON   string
 }
 
 func run(w io.Writer, s sections) error {
@@ -110,6 +126,15 @@ func run(w io.Writer, s sections) error {
 	}
 	if s.fig9 {
 		if err := runFigure9(w, base); err != nil {
+			return err
+		}
+	}
+	if s.kernel {
+		bytes := s.kernelBytes
+		if bytes <= 0 {
+			bytes = 8 << 20
+		}
+		if err := runKernelBench(w, d, bytes, s.benchJSON); err != nil {
 			return err
 		}
 	}

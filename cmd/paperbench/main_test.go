@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,6 +68,52 @@ func TestRunFigures4589(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunKernelBenchJSON(t *testing.T) {
+	var b strings.Builder
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	// 64 KiB keeps the timing loops fast; the JSON schema and engine
+	// selection are what this test pins.
+	err := run(&b, sections{kernel: true, kernelBytes: 64 << 10, benchJSON: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Kernel engine: old vs new scan throughput",
+		"kernel interleaved K=4",
+		"best kernel vs stt.Lookup sequential",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res KernelBench
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_kernel.json does not parse: %v", err)
+	}
+	if res.InputBytes != 64<<10 || res.DictStates < 1400 {
+		t.Fatalf("bench metadata wrong: %+v", res)
+	}
+	for name, v := range map[string]float64{
+		"stt_lookup":  res.STTLookupSeq,
+		"stt_findall": res.STTFindAllSeq,
+		"kernel_seq":  res.KernelSeq,
+		"kernel_k2":   res.KernelK2,
+		"kernel_k4":   res.KernelK4,
+		"kernel_k8":   res.KernelK8,
+		"parallel_4":  res.Parallel4,
+		"speedup":     res.SpeedupVsLookup,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s not measured: %+v", name, res)
 		}
 	}
 }

@@ -123,6 +123,111 @@ func FuzzParallelEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzKernelEquivalence: the dense compiled kernel must agree with the
+// stt/dfa fallback path AND with a naive baseline matcher for random
+// dictionaries, case folding on and off, and every interleave lane
+// count 1..8 — across FindAll, FindAllParallel, and ScanReader.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte("virus"), []byte("rus w"), []byte("a virus in a worm"), false, uint8(3))
+	f.Add([]byte("AbRa"), []byte("cadabra"), []byte("abracadabra ABRACADABRA"), true, uint8(7))
+	f.Add([]byte("aa"), []byte("aaa"), []byte("aaaaaaaaaaaaaaaa"), false, uint8(0))
+	f.Add([]byte{0xFF, 0x00}, []byte{0x01}, bytes.Repeat([]byte{0xFF, 0x00, 0x01}, 40), false, uint8(5))
+	f.Fuzz(func(t *testing.T, p1, p2, data []byte, fold bool, rawK uint8) {
+		if len(p1) == 0 || len(p2) == 0 || len(p1) > 32 || len(p2) > 32 || len(data) > 4096 {
+			return
+		}
+		k := int(rawK)%8 + 1
+		dict := [][]byte{p1, p2}
+		kernelM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{InterleaveK: k},
+		})
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		if kernelM.Stats().Engine != "kernel" {
+			t.Fatalf("kernel engine not selected for a 2-pattern dictionary")
+		}
+		sttM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{DisableKernel: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sttM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := kernelM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("kernel %d matches, stt %d (fold=%v k=%d)", len(got), len(want), fold, k)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("match %d: kernel %+v, stt %+v (fold=%v k=%d)", i, got[i], want[i], fold, k)
+			}
+		}
+		// Baseline cross-check: total count equals the naive scan.
+		// Patterns sharing a reduced image (e.g. "a" and "A" under
+		// folding) would double-count naive hits, so require the two
+		// patterns to stay distinct under the fold.
+		if !bytes.Equal(foldBytes(p1, fold), foldBytes(p2, fold)) {
+			naive := naiveFoldOccurrences(data, p1, fold) + naiveFoldOccurrences(data, p2, fold)
+			if len(got) != naive {
+				t.Fatalf("kernel %d matches, naive baseline %d (fold=%v)", len(got), naive, fold)
+			}
+		}
+		// Parallel + streaming over the kernel engine.
+		popts := core.ParallelOptions{Workers: k, ChunkBytes: len(data)/3 + 1}
+		par, err := kernelM.FindAllParallel(data, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := kernelM.ScanReader(bytes.NewReader(data), popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if par[i] != want[i] {
+				t.Fatalf("parallel match %d: %+v, want %+v", i, par[i], want[i])
+			}
+			if streamed[i] != want[i] {
+				t.Fatalf("reader match %d: %+v, want %+v", i, streamed[i], want[i])
+			}
+		}
+		if len(par) != len(want) || len(streamed) != len(want) {
+			t.Fatalf("parallel %d / reader %d matches, want %d", len(par), len(streamed), len(want))
+		}
+	})
+}
+
+// foldBytes uppercases ASCII letters when fold is set — the same
+// canonicalization alphabet.FromPatterns applies.
+func foldBytes(b []byte, fold bool) []byte {
+	if !fold {
+		return b
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// naiveFoldOccurrences counts occurrences under optional ASCII case
+// folding, the oracle for the matcher's reduced-alphabet semantics.
+func naiveFoldOccurrences(text, pat []byte, fold bool) int {
+	t, p := foldBytes(text, fold), foldBytes(pat, fold)
+	return naiveOccurrences(t, p)
+}
+
 func naiveOccurrences(text, pat []byte) int {
 	n := 0
 	for i := 0; i+len(pat) <= len(text); i++ {

@@ -17,7 +17,6 @@ package compose
 
 import (
 	"fmt"
-	"sort"
 
 	"cellmatch/internal/alphabet"
 	"cellmatch/internal/dfa"
@@ -281,12 +280,7 @@ func (s *System) Scan(input []byte) ([]dfa.Match, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].End != out[j].End {
-			return out[i].End < out[j].End
-		}
-		return out[i].Pattern < out[j].Pattern
-	})
+	dfa.SortMatches(out)
 	return out, nil
 }
 

@@ -13,12 +13,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"cellmatch/internal/alphabet"
 	"cellmatch/internal/cell"
 	"cellmatch/internal/compose"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/kernel"
 	"cellmatch/internal/stt"
 	"cellmatch/internal/tile"
 )
@@ -44,6 +46,40 @@ type Options struct {
 	// Version selects the kernel implementation for performance
 	// estimation (Table 1; default 4, the optimum).
 	Version int
+	// Engine tunes scan-engine selection (dense compiled kernel vs the
+	// stt/dfa fallback path); the zero value enables the kernel with
+	// default budgets.
+	Engine EngineOptions
+}
+
+// EngineOptions select and tune the scan engine behind FindAll,
+// FindAllParallel, Stream, and ScanReader.
+//
+// By default the matcher compiles its dictionary into the dense kernel
+// of internal/kernel: a cache-line-aligned []uint32 transition table
+// per series slot (row width = the reduced alphabet rounded up to a
+// power of two, 4 bytes per entry) with the byte→class reduction baked
+// into a 256-entry map, scanned either by a single unrolled stream or
+// by a K-way interleaved loop — the host-CPU analog of the paper's SPE
+// local-store tile fed by multiple buffered streams (Figure 6a), where
+// K independent cursors hide the latency of the dependent table loads.
+//
+// Fallback rules: when the aggregate dense-table size (states × row
+// width × 4 bytes, summed over series slots) exceeds MaxTableBytes, or
+// DisableKernel is set, the matcher scans with the original
+// alphabet-reduce + dfa/stt lookup path instead. The choice is
+// reported by Matcher.Stats().Engine ("kernel" or "stt").
+type EngineOptions struct {
+	// DisableKernel forces the stt/dfa scan path.
+	DisableKernel bool
+	// MaxTableBytes is the dense-table budget. <=0 means the kernel
+	// default (8 MiB).
+	MaxTableBytes int
+	// InterleaveK fixes the interleaved scan's lane count: 1 forces the
+	// single-stream loop, 2..8 force K lanes (each lane scans one chunk
+	// of the input, split with MaxPatternLen-1 overlap like the paper's
+	// SPE input portions), 0 picks automatically by input size.
+	InterleaveK int
 }
 
 // Matcher is a compiled dictionary.
@@ -51,6 +87,30 @@ type Matcher struct {
 	sys      *compose.System
 	opts     Options
 	patterns [][]byte
+	eng      *kernel.Engine // nil when the dense kernel is disabled or over budget
+}
+
+// initEngine compiles the dense kernel unless disabled. Over-budget
+// dictionaries fall back to the stt/dfa path (Stats reports which
+// engine is live); any other compile failure is a real defect and
+// propagates.
+func (m *Matcher) initEngine() error {
+	if m.opts.Engine.DisableKernel {
+		return nil
+	}
+	eng, err := kernel.Compile(m.sys, kernel.Options{
+		MaxTableBytes: m.opts.Engine.MaxTableBytes,
+		InterleaveK:   m.opts.Engine.InterleaveK,
+	})
+	switch {
+	case err == nil:
+		m.eng = eng
+	case errors.Is(err, kernel.ErrBudget):
+		// Documented fallback: dense tables too large for the budget.
+	default:
+		return err
+	}
+	return nil
 }
 
 // Compile builds a matcher from exact byte-string patterns.
@@ -67,7 +127,11 @@ func Compile(patterns [][]byte, opts Options) (*Matcher, error) {
 	for i, p := range patterns {
 		cp[i] = append([]byte(nil), p...)
 	}
-	return &Matcher{sys: sys, opts: opts, patterns: cp}, nil
+	m := &Matcher{sys: sys, opts: opts, patterns: cp}
+	if err := m.initEngine(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // CompileStrings is Compile for string dictionaries.
@@ -82,8 +146,14 @@ func CompileStrings(patterns []string, opts Options) (*Matcher, error) {
 	return Compile(bs, opts)
 }
 
-// FindAll reports every dictionary occurrence in data.
+// FindAll reports every dictionary occurrence in data. With the dense
+// kernel live (the default) the scan is a single pass over the raw
+// bytes with the alphabet reduction baked into the table; the stt/dfa
+// fallback path produces byte-identical results.
 func (m *Matcher) FindAll(data []byte) ([]Match, error) {
+	if m.eng != nil {
+		return convertMatches(m.eng.FindAll(data)), nil
+	}
 	raw, err := m.sys.Scan(data)
 	if err != nil {
 		return nil, err
@@ -99,8 +169,12 @@ func convertMatches(raw []dfa.Match) []Match {
 	return out
 }
 
-// Count returns the number of occurrences in data.
+// Count returns the number of occurrences in data. The kernel path
+// counts without materializing (or sorting) the match list.
 func (m *Matcher) Count(data []byte) (int, error) {
+	if m.eng != nil {
+		return m.eng.Count(data), nil
+	}
 	return m.sys.CountMatches(data)
 }
 
@@ -117,7 +191,9 @@ func (m *Matcher) Pattern(i int) []byte { return m.patterns[i] }
 // NumPatterns returns the dictionary size.
 func (m *Matcher) NumPatterns() int { return len(m.patterns) }
 
-// Stats describe the compiled artifact.
+// Stats describe the compiled artifact: dictionary shape, alphabet
+// reduction, and which scan engine is live with its cache residency,
+// so callers never need to reach into internal/stt or internal/kernel.
 type Stats struct {
 	Patterns      int
 	States        int // aggregate across series slots
@@ -125,8 +201,24 @@ type Stats struct {
 	Groups        int
 	TilesRequired int
 	STTBytes      int // aggregate encoded table size at width 32
-	AlphabetUsed  int
+	AlphabetUsed  int // distinct reduced symbol classes the dictionary uses
 	MaxPatternLen int
+
+	// Engine is the live scan engine behind FindAll and friends:
+	// "kernel" (dense compiled tables) or "stt" (the reduce + dfa/stt
+	// lookup fallback).
+	Engine string
+	// KernelTableBytes is the aggregate dense-table footprint (0 when
+	// the kernel is not live).
+	KernelTableBytes int
+	// DenseTableBudget is the byte budget the kernel was compiled
+	// against (the fallback threshold).
+	DenseTableBudget int
+	// TableFitsL1 and TableFitsL2 classify residency of the live
+	// kernel tables against typical per-core cache sizes (32 KiB L1d,
+	// 1 MiB L2) — the host analog of the paper's local-store budget.
+	TableFitsL1 bool
+	TableFitsL2 bool
 }
 
 // Stats reports the compiled matcher's shape.
@@ -144,6 +236,18 @@ func (m *Matcher) Stats() Stats {
 		if t, err := stt.Encode(d, m.sys.Width, 0); err == nil {
 			s.STTBytes += t.SizeBytes()
 		}
+	}
+	s.DenseTableBudget = m.opts.Engine.MaxTableBytes
+	if s.DenseTableBudget <= 0 {
+		s.DenseTableBudget = kernel.DefaultMaxTableBytes
+	}
+	if m.eng != nil {
+		s.Engine = "kernel"
+		s.KernelTableBytes = m.eng.TableBytes()
+		s.TableFitsL1 = s.KernelTableBytes <= kernel.L1DataBudget
+		s.TableFitsL2 = s.KernelTableBytes <= kernel.L2Budget
+	} else {
+		s.Engine = "stt"
 	}
 	return s
 }
@@ -222,14 +326,23 @@ func (r *RegexSet) MatchWhole(data []byte) []int {
 // series slot, so memory is O(dictionary), not O(input).
 type Stream struct {
 	m      *Matcher
-	states []int // per-slot DFA state
+	states []int    // per-slot DFA state (stt/dfa path)
+	rows   []uint32 // per-slot encoded kernel row (kernel path)
 	offset int
 	found  []Match
 }
 
 // NewStream starts an incremental scan.
 func (m *Matcher) NewStream() *Stream {
-	st := &Stream{m: m, states: make([]int, len(m.sys.Slots))}
+	st := &Stream{m: m}
+	if m.eng != nil {
+		st.rows = make([]uint32, len(m.eng.Tables))
+		for i, t := range m.eng.Tables {
+			st.rows[i] = t.StartRow()
+		}
+		return st
+	}
+	st.states = make([]int, len(m.sys.Slots))
 	for i, d := range m.sys.Slots {
 		st.states[i] = d.Start
 	}
@@ -239,6 +352,15 @@ func (m *Matcher) NewStream() *Stream {
 // Write consumes the next chunk. It never fails; the error is for
 // io.Writer compatibility.
 func (s *Stream) Write(p []byte) (int, error) {
+	if s.m.eng != nil {
+		for i, t := range s.m.eng.Tables {
+			s.rows[i] = t.ScanCarry(p, s.rows[i], func(pid int32, end int) {
+				s.found = append(s.found, Match{Pattern: int(pid), End: s.offset + end})
+			})
+		}
+		s.offset += len(p)
+		return len(p), nil
+	}
 	reduced := s.m.sys.Red.Reduce(p)
 	for i, d := range s.m.sys.Slots {
 		state := s.states[i]

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// engineMatchers compiles the same dictionary twice: once with the
+// dense kernel (default) and once forced onto the stt/dfa path.
+func engineMatchers(t *testing.T, patterns []string, caseFold bool) (kernelM, sttM *Matcher) {
+	t.Helper()
+	opts := Options{CaseFold: caseFold}
+	kernelM, err := CompileStrings(patterns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernelM.Stats().Engine != "kernel" {
+		t.Fatal("default compile did not select the kernel engine")
+	}
+	opts.Engine.DisableKernel = true
+	sttM, err = CompileStrings(patterns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sttM.Stats().Engine != "stt" {
+		t.Fatal("DisableKernel did not select the stt engine")
+	}
+	return kernelM, sttM
+}
+
+func assertSameMatches(t *testing.T, ctx string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d is %+v, want %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestKernelSplitPointEquivalence drives the K-way interleaved loop
+// through every chunk split point: for every input prefix length the
+// interleave boundaries land on different bytes, and for every K the
+// kernel must agree with the stt path exactly. Runs clean under -race
+// (the interleaved loop is single-goroutine by construction).
+func TestKernelSplitPointEquivalence(t *testing.T) {
+	dict := []string{"abra", "abracadabra", "cadab", "ra r"}
+	data := []byte(strings.Repeat("abracadabra rabcad ", 10))
+	kernelM, sttM := engineMatchers(t, dict, false)
+	lanes := make([]*Matcher, 9)
+	for k := 1; k <= 8; k++ {
+		m, err := CompileStrings(dict, Options{Engine: EngineOptions{InterleaveK: k}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes[k] = m
+	}
+	for n := 0; n <= len(data); n++ {
+		prefix := data[:n]
+		want, err := sttM.FindAll(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 8; k++ {
+			got, err := lanes[k].FindAll(prefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameMatches(t, "interleaved", got, want)
+		}
+		got, err := kernelM.FindAll(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMatches(t, "auto", got, want)
+	}
+}
+
+// The parallel engine with the kernel underneath must agree at every
+// chunk size, i.e. with the worker split point on every byte.
+func TestKernelParallelSplitPoints(t *testing.T) {
+	dict := []string{"abra", "abracadabra", "dabr"}
+	data := []byte(strings.Repeat("abracadabra ", 12))
+	kernelM, sttM := engineMatchers(t, dict, false)
+	want, err := sttM.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("test data has no matches")
+	}
+	for chunk := 1; chunk <= len(data); chunk++ {
+		got, err := kernelM.FindAllParallel(data, ParallelOptions{Workers: 3, ChunkBytes: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMatches(t, "parallel", got, want)
+		streamed, err := kernelM.ScanReader(bytes.NewReader(data), ParallelOptions{Workers: 2, ChunkBytes: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMatches(t, "reader", streamed, want)
+	}
+}
+
+// Stream over the kernel engine must agree with the stt stream at
+// every two-part split of the input.
+func TestKernelStreamSplitPoints(t *testing.T) {
+	dict := []string{"virus", "us vi", "rus"}
+	data := []byte("virus us virus viruses rus")
+	kernelM, sttM := engineMatchers(t, dict, false)
+	ref := sttM.NewStream()
+	ref.Write(data)
+	want := ref.Matches()
+	if len(want) == 0 {
+		t.Fatal("test data has no matches")
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		s := kernelM.NewStream()
+		s.Write(data[:cut])
+		s.Write(data[cut:])
+		assertSameMatches(t, "stream", s.Matches(), want)
+		if s.BytesSeen() != len(data) {
+			t.Fatalf("cut %d: BytesSeen %d", cut, s.BytesSeen())
+		}
+	}
+}
+
+// Stats must surface the engine choice, alphabet classes, and dense
+// table residency without callers digging into internal packages.
+func TestStatsEngineFields(t *testing.T) {
+	kernelM, sttM := engineMatchers(t, []string{"virus", "worm"}, true)
+	ks := kernelM.Stats()
+	if ks.Engine != "kernel" || ks.KernelTableBytes <= 0 {
+		t.Fatalf("kernel stats = %+v", ks)
+	}
+	if !ks.TableFitsL1 || !ks.TableFitsL2 {
+		t.Fatalf("tiny dictionary should be L1/L2 resident: %+v", ks)
+	}
+	if ks.AlphabetUsed < 2 {
+		t.Fatalf("alphabet classes = %d", ks.AlphabetUsed)
+	}
+	if ks.DenseTableBudget <= 0 {
+		t.Fatalf("budget not reported: %+v", ks)
+	}
+	ss := sttM.Stats()
+	if ss.Engine != "stt" || ss.KernelTableBytes != 0 {
+		t.Fatalf("stt stats = %+v", ss)
+	}
+	// A budget too small for the table forces the stt fallback, and
+	// Stats reports it.
+	tiny, err := CompileStrings([]string{"virus", "worm"}, Options{
+		Engine: EngineOptions{MaxTableBytes: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tiny.Stats(); got.Engine != "stt" || got.DenseTableBudget != 16 {
+		t.Fatalf("over-budget stats = %+v", got)
+	}
+}
+
+// A saved artifact reloads with the kernel engine live and scanning
+// identically.
+func TestPersistRebuildsEngine(t *testing.T) {
+	m, err := CompileStrings([]string{"virus", "worm"}, Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats().Engine != "kernel" {
+		t.Fatalf("loaded engine = %q", back.Stats().Engine)
+	}
+	data := []byte("a VIRUS in a worm in a virus")
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatches(t, "loaded", got, want)
+
+	// EngineOptions survive the artifact: a matcher saved with the
+	// kernel disabled (or a bounded budget) must load the same way.
+	off, err := CompileStrings([]string{"virus"}, Options{
+		Engine: EngineOptions{DisableKernel: true, MaxTableBytes: 1 << 16, InterleaveK: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := off.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	offBack, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := offBack.Stats(); st.Engine != "stt" || st.DenseTableBudget != 1<<16 {
+		t.Fatalf("engine options dropped by Save/Load: %+v", st)
+	}
+}

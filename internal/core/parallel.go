@@ -17,8 +17,10 @@ type ParallelOptions struct {
 	ChunkBytes int
 }
 
-func (o ParallelOptions) engine() parallel.Options {
-	return parallel.Options{Workers: o.Workers, ChunkBytes: o.ChunkBytes}
+// engineOpts binds the matcher's live scan engine (the dense kernel,
+// or nil for the stt/dfa path) into the worker options.
+func (m *Matcher) engineOpts(o ParallelOptions) parallel.Options {
+	return parallel.Options{Workers: o.Workers, ChunkBytes: o.ChunkBytes, Engine: m.eng}
 }
 
 // FindAllParallel reports every dictionary occurrence in data, like
@@ -28,7 +30,7 @@ func (o ParallelOptions) engine() parallel.Options {
 // result is byte-for-byte identical to FindAll — same matches, same
 // (End, Pattern) order — for every worker count and chunk size.
 func (m *Matcher) FindAllParallel(data []byte, opts ParallelOptions) ([]Match, error) {
-	raw, err := parallel.Scan(m.sys, data, opts.engine())
+	raw, err := parallel.Scan(m.sys, data, m.engineOpts(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +44,7 @@ func (m *Matcher) FindAllParallel(data []byte, opts ParallelOptions) ([]Match, e
 // O(Workers x ChunkBytes), making it the batched-streaming entry
 // point for sockets and files too large to buffer.
 func (m *Matcher) ScanReader(r io.Reader, opts ParallelOptions) ([]Match, error) {
-	raw, err := parallel.ScanReader(m.sys, r, opts.engine())
+	raw, err := parallel.ScanReader(m.sys, r, m.engineOpts(opts))
 	if err != nil {
 		return nil, err
 	}

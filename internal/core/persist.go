@@ -20,14 +20,21 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic "CMSAV1\x00"
+//	magic "CMSAV2\x00"
 //	options: caseFold u8, groups u32, maxStatesPerTile u32, version u32
+//	engine:  disableKernel u8, maxTableBytes u64, interleaveK u32
 //	reduction: map[256]u8, classes u32, width u32
 //	system width u32, maxPatternLen u32
 //	patterns: count u32; each: len u32, bytes
 //	slots: count u32; each: blobLen u32, dfa blob,
 //	       idCount u32, ids u32...
-var savMagic = []byte("CMSAV1\x00")
+//
+// V1 artifacts (magic "CMSAV1\x00") lack the engine block and load
+// with zero-value EngineOptions.
+var (
+	savMagic   = []byte("CMSAV2\x00")
+	savMagicV1 = []byte("CMSAV1\x00")
+)
 
 // Save writes the compiled matcher.
 func (m *Matcher) Save(w io.Writer) error {
@@ -50,6 +57,27 @@ func (m *Matcher) Save(w io.Writer) error {
 		if err := put32(v); err != nil {
 			return err
 		}
+	}
+	dk := byte(0)
+	if m.opts.Engine.DisableKernel {
+		dk = 1
+	}
+	if err := bw.WriteByte(dk); err != nil {
+		return err
+	}
+	mtb := m.opts.Engine.MaxTableBytes
+	if mtb < 0 {
+		mtb = 0
+	}
+	if err := binary.Write(bw, le, uint64(mtb)); err != nil {
+		return err
+	}
+	ik := m.opts.Engine.InterleaveK
+	if ik < 0 {
+		ik = 0
+	}
+	if err := put32(uint32(ik)); err != nil {
+		return err
 	}
 	if _, err := bw.Write(m.sys.Red.Map[:]); err != nil {
 		return err
@@ -105,7 +133,11 @@ func Load(r io.Reader) (*Matcher, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
 	magic := make([]byte, len(savMagic))
-	if _, err := io.ReadFull(br, magic); err != nil || !bytes.Equal(magic, savMagic) {
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: not a cellmatch artifact")
+	}
+	v1 := bytes.Equal(magic, savMagicV1)
+	if !v1 && !bytes.Equal(magic, savMagic) {
 		return nil, fmt.Errorf("core: not a cellmatch artifact")
 	}
 	get32 := func() (uint32, error) {
@@ -126,6 +158,22 @@ func Load(r io.Reader) (*Matcher, error) {
 		}
 	}
 	opts.Groups, opts.MaxStatesPerTile, opts.Version = int(g), int(mst), int(ver)
+	if !v1 { // V1 predates the engine block: zero-value EngineOptions
+		dk, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		opts.Engine.DisableKernel = dk == 1
+		var mtb uint64
+		if err := binary.Read(br, le, &mtb); err != nil {
+			return nil, err
+		}
+		ik, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		opts.Engine.MaxTableBytes, opts.Engine.InterleaveK = int(mtb), int(ik)
+	}
 
 	red := &alphabet.Reduction{}
 	if _, err := io.ReadFull(br, red.Map[:]); err != nil {
@@ -229,5 +277,9 @@ func Load(r io.Reader) (*Matcher, error) {
 		groups = 1
 	}
 	sys.Topology = compose.Mixed(groups, len(sys.Slots))
-	return &Matcher{sys: sys, opts: opts, patterns: patterns}, nil
+	m := &Matcher{sys: sys, opts: opts, patterns: patterns}
+	if err := m.initEngine(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }

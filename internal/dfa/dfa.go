@@ -15,6 +15,7 @@ package dfa
 
 import (
 	"fmt"
+	"sort"
 )
 
 // DFA is a deterministic finite automaton over symbols 0..Syms-1.
@@ -114,6 +115,18 @@ func (d *DFA) CountFinalEntries(input []byte) int {
 type Match struct {
 	Pattern int32
 	End     int
+}
+
+// SortMatches orders matches by (End, Pattern) — the canonical report
+// order shared by every scan engine (compose, parallel, kernel), so
+// their outputs stay byte-for-byte comparable.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].End != ms[j].End {
+			return ms[i].End < ms[j].End
+		}
+		return ms[i].Pattern < ms[j].Pattern
+	})
 }
 
 // FindAll scans input and reports every (pattern, end) pair using the

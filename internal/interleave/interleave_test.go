@@ -170,6 +170,107 @@ func TestSplitPartitionProperty(t *testing.T) {
 	}
 }
 
+// splitInvariants checks every structural property a split must hold,
+// for any (n, k, overlap): chunk count, bounds, monotonicity, overlap
+// clamping, and exact partition of [0, n) by the fresh regions.
+func splitInvariants(t *testing.T, n, k, ov int) {
+	t.Helper()
+	chunks, err := SplitWithOverlap(n, k, ov)
+	if err != nil {
+		t.Fatalf("split(%d,%d,%d): %v", n, k, ov, err)
+	}
+	if len(chunks) != k {
+		t.Fatalf("split(%d,%d,%d): %d chunks", n, k, ov, len(chunks))
+	}
+	covered := 0
+	for i, c := range chunks {
+		if c.Start < 0 || c.End > n || c.Start > c.End {
+			t.Fatalf("split(%d,%d,%d) chunk %d out of bounds: %+v", n, k, ov, i, c)
+		}
+		if c.Overlap < 0 || c.Overlap > c.Len() {
+			t.Fatalf("split(%d,%d,%d) chunk %d overlap exceeds length: %+v", n, k, ov, i, c)
+		}
+		if i == 0 && c.Overlap != 0 {
+			t.Fatalf("split(%d,%d,%d): first chunk has overlap %d", n, k, ov, c.Overlap)
+		}
+		if c.Len() == 0 {
+			continue
+		}
+		if c.Start+c.Overlap != covered {
+			t.Fatalf("split(%d,%d,%d) chunk %d: fresh region starts at %d, want %d",
+				n, k, ov, i, c.Start+c.Overlap, covered)
+		}
+		if i > 0 && c.Overlap != min(ov, covered) {
+			t.Fatalf("split(%d,%d,%d) chunk %d: overlap %d, want min(%d,%d)",
+				n, k, ov, i, c.Overlap, ov, covered)
+		}
+		covered += c.Len() - c.Overlap
+	}
+	if covered != n {
+		t.Fatalf("split(%d,%d,%d): fresh regions cover %d of %d bytes", n, k, ov, covered, n)
+	}
+}
+
+// TestSplitEdgeCases pins the regimes the happy-path tests missed:
+// fewer bytes than chunks, overlap at least a whole chunk, a single
+// chunk, and empty input.
+func TestSplitEdgeCases(t *testing.T) {
+	cases := []struct{ n, k, ov int }{
+		{0, 1, 0}, {0, 5, 10}, // empty input
+		{3, 8, 0}, {3, 8, 2}, {1, 2, 1}, // n < k
+		{10, 2, 5}, {10, 2, 50}, // overlap >= chunk size
+		{100, 1, 7}, {1, 1, 0}, // k = 1: no overlap anywhere
+		{7, 7, 3}, {8, 7, 100}, // one byte per chunk, huge overlap
+	}
+	for _, c := range cases {
+		splitInvariants(t, c.n, c.k, c.ov)
+	}
+	// k = 1 must never introduce an overlap regardless of ov.
+	chunks, err := SplitWithOverlap(100, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks[0] != (Chunk{Start: 0, End: 100, Overlap: 0}) {
+		t.Fatalf("k=1 chunk = %+v", chunks[0])
+	}
+}
+
+// TestSplitFullProperty sweeps the invariants over the whole parameter
+// space the engines use, including overlap far beyond the chunk size
+// (the small-chunk parallel regime) and n < k (interleave lanes on
+// tiny inputs).
+func TestSplitFullProperty(t *testing.T) {
+	f := func(rawN uint16, rawK, rawOv uint8) bool {
+		n := int(rawN % 512)
+		k := int(rawK%16) + 1
+		ov := int(rawOv) // up to 255: routinely >= chunk size
+		chunks, err := SplitWithOverlap(n, k, ov)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for i, c := range chunks {
+			if c.Start < 0 || c.End > n || c.Start > c.End || c.Overlap < 0 || c.Overlap > c.Len() {
+				return false
+			}
+			if i == 0 && c.Overlap != 0 {
+				return false
+			}
+			if c.Len() == 0 {
+				continue
+			}
+			if c.Start+c.Overlap != covered {
+				return false
+			}
+			covered += c.Len() - c.Overlap
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGlobalEnd(t *testing.T) {
 	c := Chunk{Start: 90, End: 120, Overlap: 10}
 	if c.GlobalEnd(15) != 105 {

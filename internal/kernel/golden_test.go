@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenTable compiles the fixed fixture dictionary. Everything in the
+// pipeline (alphabet assignment, Aho-Corasick construction, entry
+// encoding) is deterministic, so the serialized image is reproducible
+// bit-for-bit; any encoding drift fails this test.
+func goldenTable(t *testing.T) *Table {
+	t.Helper()
+	sys := testSystem(t, []string{"VIRUS", "WORM", "RUSV"}, true)
+	eng, err := Compile(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Tables) != 1 {
+		t.Fatalf("fixture dictionary split into %d slots", len(eng.Tables))
+	}
+	return eng.Tables[0]
+}
+
+func TestGoldenKernelImage(t *testing.T) {
+	path := filepath.Join("testdata", "kernel_v1.golden")
+	img := goldenTable(t).Bytes()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if !bytes.Equal(img, want) {
+		t.Fatalf("kernel image drifted from golden fixture: %d bytes vs %d", len(img), len(want))
+	}
+}
+
+// The checked-in image must load and produce the exact matches the
+// freshly compiled table does.
+func TestGoldenKernelReload(t *testing.T) {
+	path := filepath.Join("testdata", "kernel_v1.golden")
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	loaded, err := FromBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := goldenTable(t)
+	probe := []byte("a virus, a WORM, and virusvirus rusv")
+	var a, b []int
+	fresh.ScanCarry(probe, fresh.StartRow(), func(pid int32, end int) { a = append(a, int(pid), end) })
+	loaded.ScanCarry(probe, loaded.StartRow(), func(pid int32, end int) { b = append(b, int(pid), end) })
+	if len(a) == 0 {
+		t.Fatal("probe found no matches; fixture too weak")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("loaded table: %d match words, fresh %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("match stream diverges at %d: %d vs %d", i, b[i], a[i])
+		}
+	}
+}

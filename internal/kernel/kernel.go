@@ -1,0 +1,680 @@
+// Package kernel is the compiled host-CPU scan engine: the paper's
+// cache-resident DFA tile translated to commodity hardware. Where
+// internal/stt keeps the paper's literal SPE encoding (32-bit local
+// store pointers, big-endian image) and internal/dfa keeps the
+// textbook indexed automaton, this package flattens a compiled
+// dictionary into the representation a superscalar host scans fastest:
+//
+//   - a 256-entry byte→class map with the alphabet reduction baked in,
+//     so the kernel consumes raw input — no separate reduction pass and
+//     no reduced copy of the data;
+//   - a dense, cache-line-aligned []uint32 transition table whose
+//     entries are pre-shifted row indexes (state × row width) with the
+//     "destination state has output" flag packed into bit 0, the host
+//     analog of the paper's pointer-encoded STT tile: one transition is
+//     one indexed load, one AND, one ADD, with no multiply and no
+//     per-byte output-set probe;
+//   - two scan loops: a single-stream unrolled loop, and a K-way
+//     interleaved loop that advances K independent chunks of the input
+//     per iteration — the host equivalent of the paper's Figure 6a
+//     multi-buffered streams — so K dependent table loads are in
+//     flight at once and the L1/L2 hit latency of the resident table
+//     is hidden behind instruction-level parallelism.
+//
+// Chunk boundaries in the interleaved loop reuse
+// interleave.SplitWithOverlap: each lane re-scans an overlap window of
+// MaxPatternLen-1 bytes from the root and drops matches ending inside
+// it, so the output is byte-for-byte identical to the sequential scan
+// (same guarantee, and the same mechanism, as internal/parallel).
+//
+// Dictionaries whose dense tables exceed the configured budget (dense
+// rows cost width × 4 bytes per state) are rejected by Compile with
+// ErrBudget; callers fall back to the stt/dfa path.
+package kernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"cellmatch/internal/compose"
+	"cellmatch/internal/dfa"
+	"cellmatch/internal/interleave"
+)
+
+// FlagOut is packed into entry bit 0: the transition's destination
+// state has a non-empty output set (a dictionary hit ends here).
+const FlagOut uint32 = 1
+
+// rowMask clears the flag bit, yielding the destination row index.
+const rowMask = ^uint32(1)
+
+const (
+	// DefaultMaxTableBytes is the dense-table budget when Options
+	// leaves it zero: 8 MiB keeps the working set inside a commodity
+	// last-level cache slice with room for the input stream.
+	DefaultMaxTableBytes = 8 << 20
+
+	// L1DataBudget and L2Budget classify table residency for
+	// diagnostics (Matcher.Stats): typical per-core data cache sizes.
+	L1DataBudget = 32 << 10
+	L2Budget     = 1 << 20
+
+	// MaxInterleave caps the K-way loop: past eight lanes the lockstep
+	// loop's register pressure outweighs the latency hiding.
+	MaxInterleave = 8
+
+	// autoInterleaveMin is the input size at which the auto heuristic
+	// switches from the single-stream loop to K-way interleaving.
+	autoInterleaveMin = 256 << 10
+
+	// autoInterleaveK is the lane count the auto heuristic picks.
+	autoInterleaveK = 4
+)
+
+// ErrBudget is returned by Compile when the dictionary's dense tables
+// exceed the configured byte budget.
+var ErrBudget = errors.New("kernel: dense table exceeds budget")
+
+// Options tune compilation and scanning.
+type Options struct {
+	// MaxTableBytes is the aggregate dense-table budget across series
+	// slots. <=0 means DefaultMaxTableBytes.
+	MaxTableBytes int
+	// InterleaveK forces the lane count of the interleaved scan loop:
+	// 1 forces the single-stream loop, 2..MaxInterleave force K lanes,
+	// 0 picks automatically by input size.
+	InterleaveK int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTableBytes <= 0 {
+		o.MaxTableBytes = DefaultMaxTableBytes
+	}
+	if o.InterleaveK > MaxInterleave {
+		o.InterleaveK = MaxInterleave
+	}
+	if o.InterleaveK < 0 {
+		o.InterleaveK = 0
+	}
+	return o
+}
+
+// Table is one series slot's compiled automaton: the paper's STT tile
+// re-encoded for host caches.
+type Table struct {
+	// Classes is the meaningful symbol count (the reduced alphabet).
+	Classes int
+	// Width is the row width in entries: a power of two >= Classes, so
+	// a row index plus a class is a single add with no multiply.
+	Width int
+	// States is the automaton size.
+	States int
+
+	// ByteClass folds the alphabet reduction into the table: raw input
+	// byte -> column index. The kernel scans unreduced data.
+	ByteClass [256]byte
+
+	// Entries holds States*Width encoded words, row-major, sliced from
+	// a cache-line-aligned backing array. Entry = destRow | FlagOut,
+	// where destRow = destState << shift.
+	Entries []uint32
+
+	// Outs lists the pattern ids reported when entering each state.
+	// Ids are global dictionary indices (the slot mapping is baked in).
+	Outs [][]int32
+
+	shift uint32 // log2(Width)
+	start uint32 // start state's row index
+}
+
+// alignedWords allocates n uint32s whose first element lies on a
+// 64-byte cache-line boundary, so every table row (Width*4 >= 8 bytes,
+// power of two) starts at a fixed line offset.
+func alignedWords(n int) []uint32 {
+	const line = 64
+	buf := make([]uint32, n+line/4)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % line; rem != 0 {
+		off = int(line-rem) / 4
+	}
+	return buf[off : off+n : off+n]
+}
+
+// widthFor returns the smallest power of two >= n, minimum 2 (so row
+// indexes always have bit 0 free for FlagOut).
+func widthFor(n int) int {
+	w := 2
+	for w < n {
+		w *= 2
+	}
+	return w
+}
+
+func log2(w int) uint32 {
+	var s uint32
+	for 1<<s < w {
+		s++
+	}
+	return s
+}
+
+// compileTable flattens one slot DFA. byteClass is the reduction map;
+// ids maps slot-local pattern ids to global ones.
+func compileTable(d *dfa.DFA, byteClass [256]byte, ids []int) (*Table, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Out == nil {
+		return nil, fmt.Errorf("kernel: DFA lacks output sets")
+	}
+	width := widthFor(d.Syms)
+	shift := log2(width)
+	n := d.NumStates()
+	if uint64(n)<<shift >= 1<<31 {
+		return nil, fmt.Errorf("kernel: %d states at width %d overflow row indexing", n, width)
+	}
+	// Every byte must map to a real symbol column: classes in
+	// [Syms, width) would silently alias the reset-to-start padding,
+	// dropping matches. True by construction for a healthy system;
+	// guards against corrupted/loaded reductions.
+	for b, c := range byteClass {
+		if int(c) >= d.Syms {
+			return nil, fmt.Errorf("kernel: byte %#x maps to class %d, alphabet %d", b, c, d.Syms)
+		}
+	}
+	t := &Table{
+		Classes:   d.Syms,
+		Width:     width,
+		States:    n,
+		ByteClass: byteClass,
+		Entries:   alignedWords(n * width),
+		Outs:      make([][]int32, n),
+		shift:     shift,
+		start:     uint32(d.Start) << shift,
+	}
+	for s := 0; s < n; s++ {
+		if len(d.Out[s]) > 0 {
+			out := make([]int32, len(d.Out[s]))
+			for i, pid := range d.Out[s] {
+				if pid < 0 || int(pid) >= len(ids) {
+					// Healthy automata never hit this; guards loaded
+					// artifacts whose output sets are corrupt.
+					return nil, fmt.Errorf("kernel: state %d reports pattern %d of %d", s, pid, len(ids))
+				}
+				out[i] = int32(ids[pid])
+			}
+			t.Outs[s] = out
+		}
+	}
+	for s := 0; s < n; s++ {
+		row := s * width
+		for c := 0; c < width; c++ {
+			var next int32
+			if c < d.Syms {
+				next = d.Next[s*d.Syms+c]
+			} else {
+				next = int32(d.Start) // padding columns restart, no flag
+			}
+			e := uint32(next) << shift
+			if c < d.Syms && len(d.Out[next]) > 0 {
+				e |= FlagOut
+			}
+			t.Entries[row+c] = e
+		}
+	}
+	return t, nil
+}
+
+// SizeBytes is the dense table's memory footprint.
+func (t *Table) SizeBytes() int { return t.States * t.Width * 4 }
+
+// StartRow returns the start state's encoded row index, the carry
+// value for ScanCarry.
+func (t *Table) StartRow() uint32 { return t.start }
+
+// emit appends the output set of the state entry e transitioned into,
+// unless the match ends inside the chunk's dedupe window.
+func (t *Table) emit(e uint32, localEnd, base, dedupe int, sink *[]dfa.Match) {
+	if localEnd <= dedupe {
+		return
+	}
+	for _, pid := range t.Outs[e>>t.shift] {
+		*sink = append(*sink, dfa.Match{Pattern: pid, End: base + localEnd})
+	}
+}
+
+// scanSerial runs the single-stream unrolled loop over raw bytes,
+// appending matches with End = base + local offset and dropping those
+// ending at local offsets <= dedupe (the overlap window).
+func (t *Table) scanSerial(piece []byte, base, dedupe int, sink *[]dfa.Match) {
+	entries := t.Entries
+	cls := &t.ByteClass
+	cur := t.start
+	n := len(piece)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		e := entries[cur+uint32(cls[piece[i]])]
+		if e&FlagOut != 0 {
+			t.emit(e, i+1, base, dedupe, sink)
+		}
+		cur = e & rowMask
+		e = entries[cur+uint32(cls[piece[i+1]])]
+		if e&FlagOut != 0 {
+			t.emit(e, i+2, base, dedupe, sink)
+		}
+		cur = e & rowMask
+		e = entries[cur+uint32(cls[piece[i+2]])]
+		if e&FlagOut != 0 {
+			t.emit(e, i+3, base, dedupe, sink)
+		}
+		cur = e & rowMask
+		e = entries[cur+uint32(cls[piece[i+3]])]
+		if e&FlagOut != 0 {
+			t.emit(e, i+4, base, dedupe, sink)
+		}
+		cur = e & rowMask
+	}
+	for ; i < n; i++ {
+		e := entries[cur+uint32(cls[piece[i]])]
+		if e&FlagOut != 0 {
+			t.emit(e, i+1, base, dedupe, sink)
+		}
+		cur = e & rowMask
+	}
+}
+
+// ScanCarry scans piece from the encoded row cur (stream continuation:
+// no speculative restart, no dedupe), calling emit for every hit with
+// a 1-based piece-local end offset, and returns the final row. It is
+// the kernel backend of core.Stream.
+func (t *Table) ScanCarry(piece []byte, cur uint32, emit func(pid int32, end int)) uint32 {
+	entries := t.Entries
+	cls := &t.ByteClass
+	cur &= rowMask
+	for i := 0; i < len(piece); i++ {
+		e := entries[cur+uint32(cls[piece[i]])]
+		if e&FlagOut != 0 {
+			for _, pid := range t.Outs[e>>t.shift] {
+				emit(pid, i+1)
+			}
+		}
+		cur = e & rowMask
+	}
+	return cur
+}
+
+// scanInterleaved advances every chunk's cursor once per lockstep
+// iteration — K independent dependency chains, so K table loads are in
+// flight per iteration — then drains the uneven tails serially. Each
+// lane starts from the root and its overlap prefix is deduped, exactly
+// like a parallel worker, so the union of lane matches equals the
+// sequential scan's.
+func (t *Table) scanInterleaved(data []byte, chunks []interleave.Chunk, sink *[]dfa.Match) {
+	k := len(chunks)
+	if k > MaxInterleave {
+		// Dropping chunks would silently lose matches; callers
+		// (laneChunks) clamp the lane count before splitting.
+		panic("kernel: more chunks than interleave lanes")
+	}
+	var cur [MaxInterleave]uint32
+	minLen := -1
+	for l := 0; l < k; l++ {
+		cur[l] = t.start
+		if n := chunks[l].Len(); minLen < 0 || n < minLen {
+			minLen = n
+		}
+	}
+	entries := t.Entries
+	cls := &t.ByteClass
+	for p := 0; p < minLen; p++ {
+		for l := 0; l < k; l++ {
+			c := chunks[l]
+			e := entries[cur[l]+uint32(cls[data[c.Start+p]])]
+			if e&FlagOut != 0 {
+				t.emit(e, p+1, c.Start, c.Overlap, sink)
+			}
+			cur[l] = e & rowMask
+		}
+	}
+	// Uneven tails (the last chunk is usually shorter).
+	for l := 0; l < k; l++ {
+		c := chunks[l]
+		for p := minLen; p < c.Len(); p++ {
+			e := entries[cur[l]+uint32(cls[data[c.Start+p]])]
+			if e&FlagOut != 0 {
+				t.emit(e, p+1, c.Start, c.Overlap, sink)
+			}
+			cur[l] = e & rowMask
+		}
+	}
+}
+
+// Engine is a compiled matcher: one dense table per series slot plus
+// the scan policy.
+type Engine struct {
+	// Tables holds one compiled table per series slot.
+	Tables []*Table
+	// MaxPatternLen sizes the interleave overlap window.
+	MaxPatternLen int
+
+	opts Options
+}
+
+// Compile flattens a composed system into a dense engine. It returns
+// ErrBudget (wrapped) when the aggregate table size exceeds
+// Options.MaxTableBytes; callers are expected to fall back to the
+// stt/dfa scan path.
+func Compile(sys *compose.System, opts Options) (*Engine, error) {
+	o := opts.withDefaults()
+	if len(sys.Slots) == 0 {
+		return nil, fmt.Errorf("kernel: system has no slots")
+	}
+	e := &Engine{MaxPatternLen: sys.MaxPatternLen, opts: o}
+	total := 0
+	for i, d := range sys.Slots {
+		t, err := compileTable(d, sys.Red.Map, sys.SlotPatterns[i])
+		if err != nil {
+			return nil, err
+		}
+		total += t.SizeBytes()
+		if total > o.MaxTableBytes {
+			return nil, fmt.Errorf("%w: %d slots need > %d bytes", ErrBudget, len(sys.Slots), o.MaxTableBytes)
+		}
+		e.Tables = append(e.Tables, t)
+	}
+	return e, nil
+}
+
+// TableBytes is the aggregate dense-table footprint.
+func (e *Engine) TableBytes() int {
+	total := 0
+	for _, t := range e.Tables {
+		total += t.SizeBytes()
+	}
+	return total
+}
+
+// InterleaveFor reports the lane count FindAll would use on an input
+// of n bytes (diagnostics and benchmarks).
+func (e *Engine) InterleaveFor(n int) int { return e.chooseK(n) }
+
+func (e *Engine) chooseK(n int) int {
+	if k := e.opts.InterleaveK; k >= 1 {
+		return k
+	}
+	if n < autoInterleaveMin {
+		return 1
+	}
+	return autoInterleaveK
+}
+
+func (e *Engine) overlap() int {
+	if e.MaxPatternLen > 0 {
+		return e.MaxPatternLen - 1
+	}
+	return 0
+}
+
+// FindAll scans raw data and returns every dictionary occurrence with
+// global pattern ids, sorted by (End, Pattern) — byte-for-byte the
+// output of compose.System.Scan.
+func (e *Engine) FindAll(data []byte) []dfa.Match {
+	return e.FindAllK(data, e.chooseK(len(data)))
+}
+
+// FindAllK is FindAll with an explicit lane count (1 = single-stream
+// loop). Any k >= 1 yields identical matches.
+func (e *Engine) FindAllK(data []byte, k int) []dfa.Match {
+	var out []dfa.Match
+	chunks := e.laneChunks(data, k)
+	if chunks == nil {
+		for _, t := range e.Tables {
+			t.scanSerial(data, 0, 0, &out)
+		}
+	} else {
+		for _, t := range e.Tables {
+			t.scanInterleaved(data, chunks, &out)
+		}
+	}
+	dfa.SortMatches(out)
+	return out
+}
+
+// laneChunks returns the interleave split for a k-lane scan, or nil
+// when the single-stream loop should run instead.
+func (e *Engine) laneChunks(data []byte, k int) []interleave.Chunk {
+	if k <= 1 || len(data) == 0 {
+		return nil
+	}
+	if k > MaxInterleave {
+		k = MaxInterleave
+	}
+	chunks, err := interleave.SplitWithOverlap(len(data), k, e.overlap())
+	if err != nil { // unreachable for k >= 1, n >= 0
+		return nil
+	}
+	return chunks
+}
+
+// Count returns the total occurrence count without materializing the
+// match list — the packet-discard path: same loops, a counter instead
+// of a sink, no allocation and no sort.
+func (e *Engine) Count(data []byte) int {
+	total := 0
+	chunks := e.laneChunks(data, e.chooseK(len(data)))
+	for _, t := range e.Tables {
+		if chunks == nil {
+			total += t.countSerial(data, 0)
+		} else {
+			total += t.countInterleaved(data, chunks)
+		}
+	}
+	return total
+}
+
+// countSerial counts hits in piece from the root, ignoring matches
+// that end inside the dedupe-byte overlap prefix.
+func (t *Table) countSerial(piece []byte, dedupe int) int {
+	entries := t.Entries
+	cls := &t.ByteClass
+	cur := t.start
+	count := 0
+	for i := 0; i < len(piece); i++ {
+		e := entries[cur+uint32(cls[piece[i]])]
+		if e&FlagOut != 0 && i >= dedupe {
+			count += len(t.Outs[e>>t.shift])
+		}
+		cur = e & rowMask
+	}
+	return count
+}
+
+// countInterleaved is scanInterleaved with a counter instead of a
+// sink: lockstep over the lanes, then serial tails.
+func (t *Table) countInterleaved(data []byte, chunks []interleave.Chunk) int {
+	k := len(chunks)
+	if k > MaxInterleave {
+		panic("kernel: more chunks than interleave lanes")
+	}
+	var cur [MaxInterleave]uint32
+	minLen := -1
+	for l := 0; l < k; l++ {
+		cur[l] = t.start
+		if n := chunks[l].Len(); minLen < 0 || n < minLen {
+			minLen = n
+		}
+	}
+	entries := t.Entries
+	cls := &t.ByteClass
+	count := 0
+	for p := 0; p < minLen; p++ {
+		for l := 0; l < k; l++ {
+			c := chunks[l]
+			e := entries[cur[l]+uint32(cls[data[c.Start+p]])]
+			if e&FlagOut != 0 && p >= c.Overlap {
+				count += len(t.Outs[e>>t.shift])
+			}
+			cur[l] = e & rowMask
+		}
+	}
+	for l := 0; l < k; l++ {
+		c := chunks[l]
+		for p := minLen; p < c.Len(); p++ {
+			e := entries[cur[l]+uint32(cls[data[c.Start+p]])]
+			if e&FlagOut != 0 && p >= c.Overlap {
+				count += len(t.Outs[e>>t.shift])
+			}
+			cur[l] = e & rowMask
+		}
+	}
+	return count
+}
+
+// ScanChunk scans one raw piece from the root for the parallel engine:
+// matches ending at local offsets <= dedupe are dropped (overlap
+// duplicates), the rest are shifted by base. Output order is per-table
+// scan order; the caller merges and sorts.
+func (e *Engine) ScanChunk(piece []byte, base, dedupe int) []dfa.Match {
+	var out []dfa.Match
+	for _, t := range e.Tables {
+		t.scanSerial(piece, base, dedupe, &out)
+	}
+	return out
+}
+
+// Image serialization -------------------------------------------------
+//
+// Layout (little-endian):
+//
+//	magic "CMKRN1\x00"
+//	u32 classes, width, states, startState
+//	byteClass [256]u8
+//	entries states*width x u32
+//	outs: per state: u32 count, count x u32 pattern ids
+
+var imgMagic = []byte("CMKRN1\x00")
+
+// Bytes serializes the table to its kernel image.
+func (t *Table) Bytes() []byte {
+	size := len(imgMagic) + 4*4 + 256 + len(t.Entries)*4
+	for _, o := range t.Outs {
+		size += 4 + len(o)*4
+	}
+	out := make([]byte, 0, size)
+	out = append(out, imgMagic...)
+	le := binary.LittleEndian
+	out = le.AppendUint32(out, uint32(t.Classes))
+	out = le.AppendUint32(out, uint32(t.Width))
+	out = le.AppendUint32(out, uint32(t.States))
+	out = le.AppendUint32(out, t.start>>t.shift)
+	out = append(out, t.ByteClass[:]...)
+	for _, e := range t.Entries {
+		out = le.AppendUint32(out, e)
+	}
+	for _, o := range t.Outs {
+		out = le.AppendUint32(out, uint32(len(o)))
+		for _, pid := range o {
+			out = le.AppendUint32(out, uint32(pid))
+		}
+	}
+	return out
+}
+
+// FromBytes reconstructs and validates a table image, re-aligning the
+// entry array. A loaded table scans identically to the compiled one.
+func FromBytes(img []byte) (*Table, error) {
+	if len(img) < len(imgMagic)+4*4+256 || string(img[:len(imgMagic)]) != string(imgMagic) {
+		return nil, fmt.Errorf("kernel: not a kernel image")
+	}
+	le := binary.LittleEndian
+	p := len(imgMagic)
+	get := func() uint32 {
+		v := le.Uint32(img[p:])
+		p += 4
+		return v
+	}
+	classes, width, states, start := int(get()), int(get()), int(get()), get()
+	if classes < 1 || classes > 256 || width < classes || width&(width-1) != 0 || width < 2 {
+		return nil, fmt.Errorf("kernel: bad geometry classes=%d width=%d", classes, width)
+	}
+	if states < 1 || uint64(states)*uint64(width) > 1<<28 {
+		return nil, fmt.Errorf("kernel: implausible state count %d", states)
+	}
+	if int(start) >= states {
+		return nil, fmt.Errorf("kernel: start state %d out of range", start)
+	}
+	t := &Table{
+		Classes: classes,
+		Width:   width,
+		States:  states,
+		Outs:    make([][]int32, states),
+		shift:   log2(width),
+	}
+	t.start = start << t.shift
+	if len(img) < p+256+states*width*4 {
+		return nil, fmt.Errorf("kernel: truncated image")
+	}
+	copy(t.ByteClass[:], img[p:p+256])
+	p += 256
+	for _, c := range t.ByteClass {
+		if int(c) >= classes {
+			return nil, fmt.Errorf("kernel: byte class %d >= %d", c, classes)
+		}
+	}
+	t.Entries = alignedWords(states * width)
+	for i := range t.Entries {
+		t.Entries[i] = get()
+	}
+	for s := 0; s < states; s++ {
+		if len(img) < p+4 {
+			return nil, fmt.Errorf("kernel: truncated output sets")
+		}
+		n := int(get())
+		if n > 1<<20 || len(img) < p+n*4 {
+			return nil, fmt.Errorf("kernel: implausible output set %d", n)
+		}
+		if n > 0 {
+			o := make([]int32, n)
+			for i := range o {
+				pid := get()
+				if pid > 1<<31-1 {
+					return nil, fmt.Errorf("kernel: state %d output id %d overflows int32", s, pid)
+				}
+				o[i] = int32(pid)
+			}
+			t.Outs[s] = o
+		}
+	}
+	if p != len(img) {
+		return nil, fmt.Errorf("kernel: %d trailing bytes", len(img)-p)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate checks structural invariants: every entry targets a real
+// row with clean padding bits, and its flag agrees with the
+// destination's output set.
+func (t *Table) Validate() error {
+	for i, e := range t.Entries {
+		dest := e >> t.shift
+		if int(dest) >= t.States {
+			return fmt.Errorf("kernel: entry %d targets state %d of %d", i, dest, t.States)
+		}
+		if e&rowMask != dest<<t.shift {
+			return fmt.Errorf("kernel: entry %d has dirty padding bits: %#x", i, e)
+		}
+		if col := i % t.Width; col < t.Classes {
+			if flagged, hasOut := e&FlagOut != 0, len(t.Outs[dest]) > 0; flagged != hasOut {
+				return fmt.Errorf("kernel: entry %d flag %v but |out|=%d", i, flagged, len(t.Outs[dest]))
+			}
+		} else if e&FlagOut != 0 {
+			return fmt.Errorf("kernel: padding entry %d carries a flag", i)
+		}
+	}
+	return nil
+}

@@ -24,12 +24,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"cellmatch/internal/compose"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/kernel"
 )
 
 // DefaultChunkBytes is the per-worker slice size when Options leaves
@@ -46,6 +46,10 @@ type Options struct {
 	// DefaultChunkBytes. Chunks smaller than the longest pattern are
 	// legal (the overlap window is clamped to the available prefix).
 	ChunkBytes int
+	// Engine, when non-nil, scans chunks with the dense compiled
+	// kernel (raw bytes, reduction baked in) instead of the
+	// reduce + dfa.FindAll path. Results are identical.
+	Engine *kernel.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -96,13 +100,19 @@ func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]df
 		end := min(start+o.ChunkBytes, n)
 		ov := min(overlap, start)
 		piece := data[start-ov : end]
+		if o.Engine != nil {
+			// The kernel consumes raw bytes (reduction baked into its
+			// byte→class map): no scratch copy at all.
+			results[i] = o.Engine.ScanChunk(piece, start-ov, ov)
+			return
+		}
 		reduced := scratch[:len(piece)]
 		sys.Red.Apply(reduced, piece)
 		results[i] = scanChunk(sys, reduced, start-ov, ov)
 	}
 	workers := min(o.Workers, nchunks)
 	if workers <= 1 {
-		scratch := make([]byte, o.ChunkBytes+overlap)
+		scratch := scanScratch(o, overlap)
 		for i := 0; i < nchunks; i++ {
 			scan(i, scratch)
 		}
@@ -114,7 +124,7 @@ func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]df
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := make([]byte, o.ChunkBytes+overlap)
+			scratch := scanScratch(o, overlap)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= nchunks {
@@ -126,6 +136,15 @@ func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]df
 	}
 	wg.Wait()
 	return results
+}
+
+// scanScratch sizes the per-worker reduction buffer; the kernel path
+// scans in place and needs none.
+func scanScratch(o Options, overlap int) []byte {
+	if o.Engine != nil {
+		return nil
+	}
+	return make([]byte, o.ChunkBytes+overlap)
 }
 
 // scanChunk runs every series slot over one reduced piece (overlap
@@ -168,12 +187,7 @@ func mergeChunks(chunks [][]dfa.Match, base, dedupe int) []dfa.Match {
 			out = append(out, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].End != out[j].End {
-			return out[i].End < out[j].End
-		}
-		return out[i].Pattern < out[j].Pattern
-	})
+	dfa.SortMatches(out)
 	return out
 }
 

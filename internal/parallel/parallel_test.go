@@ -8,6 +8,7 @@ import (
 
 	"cellmatch/internal/compose"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/kernel"
 )
 
 func mustSystem(t *testing.T, patterns []string) *compose.System {
@@ -56,6 +57,33 @@ func repeatedText(n int) []byte {
 }
 
 var testDict = []string{"abra", "cadabra", "abracadabra", "ra", "junk"}
+
+// TestScanKernelEngine drives the worker pool over the dense kernel:
+// chunks are scanned in place (raw bytes, no reduction scratch), and
+// results must stay byte-identical to the sequential scan for chunk
+// sizes that cut through planted matches. Runs clean under -race.
+func TestScanKernelEngine(t *testing.T) {
+	sys := mustSystem(t, testDict)
+	eng, err := kernel.Compile(sys, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := repeatedText(10000)
+	want := sequential(t, sys, data)
+	for _, chunk := range []int{1, 2, 3, 7, 64, 1000, 20000} {
+		opts := Options{Workers: 4, ChunkBytes: chunk, Engine: eng}
+		got, err := Scan(sys, data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMatches(t, want, got)
+		streamed, err := ScanReader(sys, bytes.NewReader(data), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMatches(t, want, streamed)
+	}
+}
 
 func TestScanMatchesSequential(t *testing.T) {
 	sys := mustSystem(t, testDict)
