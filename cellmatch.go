@@ -51,6 +51,9 @@ package cellmatch
 import (
 	"cellmatch/internal/cell"
 	"cellmatch/internal/core"
+	"cellmatch/internal/parallel"
+	"cellmatch/internal/registry"
+	"cellmatch/internal/server"
 	"cellmatch/internal/tile"
 )
 
@@ -99,6 +102,64 @@ type EngineOptions = core.EngineOptions
 
 // RegexSet matches whole inputs against regular expressions.
 type RegexSet = core.RegexSet
+
+// Pool is a persistent shared worker pool for scan jobs: the
+// long-running-server mode of the parallel engine. Set
+// ParallelOptions.Pool to scan on it instead of spawning goroutines
+// per call; many concurrent scans share its fixed worker set. Create
+// with NewPool, release with Close.
+type Pool = parallel.Pool
+
+// Registry manages the live dictionary of a long-running service: it
+// publishes one *Matcher behind an atomic pointer and hot-swaps it
+// RCU-style, so reloads never stall or tear in-flight scans. See
+// internal/registry.
+type Registry = registry.Registry
+
+// RegistryEntry is one published dictionary: matcher + provenance
+// (source, generation, load time).
+type RegistryEntry = registry.Entry
+
+// Loader produces a fresh matcher from a configured source; see
+// ArtifactLoader and DictLoader.
+type Loader = registry.Loader
+
+// Server is the HTTP matching service behind cmd/cellmatchd: /scan,
+// /scan/stream, /scan/batch (coalesced kernel passes), /reload (hot
+// swap), /stats. See internal/server.
+type Server = server.Server
+
+// ServerConfig tunes the serving layer; the zero value plus a
+// Registry is production-ready.
+type ServerConfig = server.Config
+
+// ScanResponse is the serving layer's reply shape for scan endpoints.
+type ScanResponse = server.ScanResponse
+
+// NewPool starts a shared scan pool of workers goroutines (<=0 means
+// one per CPU).
+func NewPool(workers int) *Pool { return parallel.NewPool(workers) }
+
+// NewRegistry creates a registry bound to a loader; call Reload to
+// publish the first dictionary.
+func NewRegistry(source string, load Loader) *Registry { return registry.New(source, load) }
+
+// NewMatcherRegistry publishes an already-compiled matcher as
+// generation 1.
+func NewMatcherRegistry(m *Matcher, source string) *Registry {
+	return registry.NewWithMatcher(m, source)
+}
+
+// ArtifactLoader loads a compiled Save/Load artifact from path.
+func ArtifactLoader(path string) Loader { return registry.ArtifactLoader(path) }
+
+// DictLoader compiles a plain-text pattern file (one pattern per
+// line, '#' comments) with the given options.
+func DictLoader(path string, opts Options) Loader { return registry.DictLoader(path, opts) }
+
+// NewServer builds the HTTP matching service over a registry; mount
+// its Handler() on any http.Server and Close it on shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Blade describes simulated Cell hardware.
 type Blade = cell.Blade

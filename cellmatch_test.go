@@ -2,6 +2,9 @@ package cellmatch_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -127,5 +130,44 @@ func TestPublicAPIRegex(t *testing.T) {
 	}
 	if got := rs.MatchWhole([]byte("aaab")); len(got) != 1 {
 		t.Fatalf("regex match = %v", got)
+	}
+}
+
+func TestPublicAPIServing(t *testing.T) {
+	m, err := cellmatch.CompileStrings([]string{"virus"}, cellmatch.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cellmatch.NewPool(2)
+	defer pool.Close()
+	got, err := m.FindAllParallel([]byte(strings.Repeat("a VIRUS here ", 500)),
+		cellmatch.ParallelOptions{ChunkBytes: 256, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("pool scan found %d, want 500", len(got))
+	}
+
+	reg := cellmatch.NewMatcherRegistry(m, "inline")
+	srv, err := cellmatch.NewServer(cellmatch.ServerConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/scan", "application/octet-stream",
+		strings.NewReader("one virus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr cellmatch.ScanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Count != 1 || sr.Generation != 1 {
+		t.Fatalf("served scan = %+v", sr)
 	}
 }

@@ -16,7 +16,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +24,7 @@ import (
 
 	"cellmatch/internal/cell"
 	"cellmatch/internal/core"
+	"cellmatch/internal/registry"
 )
 
 func main() {
@@ -107,17 +107,13 @@ func loadDictionary(path, inline string) ([][]byte, error) {
 			return nil, err
 		}
 		defer f.Close()
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			out = append(out, []byte(line))
+		// Same parser the daemon's registry uses, so a dictionary file
+		// that serves also scans (and vice versa).
+		pats, err := registry.ParsePatterns(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
+		out = append(out, pats...)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no patterns: use -dict or -patterns")

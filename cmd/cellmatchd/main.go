@@ -1,0 +1,147 @@
+// Command cellmatchd serves the matching engine over HTTP: a
+// long-running daemon that keeps the compiled kernel tables hot,
+// scans every request on one shared worker pool, coalesces small
+// payloads into batched kernel passes, and hot-swaps dictionaries
+// without dropping traffic.
+//
+//	cellmatchd -dict signatures.txt -casefold
+//	cellmatchd -artifact compiled.cms -listen :8472
+//	cellmatchd -artifact compiled.cms -watch           # reload on file change
+//
+// Endpoints (see internal/server):
+//
+//	POST /scan          scan the request body; ?mode=pool|seq|adhoc,
+//	                    ?workers=N ?chunk=N ?count=1
+//	POST /scan/stream   scan a chunked upload without buffering it
+//	POST /scan/batch    coalesce small payloads into one kernel pass
+//	POST /reload        swap the dictionary (?path=... ?format=artifact|dict)
+//	GET  /stats         dictionary shape + request/byte/match counters
+//	GET  /healthz       liveness
+//
+// A dictionary file holds one pattern per line ('#' comments); an
+// artifact is the output of Matcher.Save (cellmatch's compiled form),
+// which loads without re-running Aho-Corasick construction.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/registry"
+	"cellmatch/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
+		log.Fatal("cellmatchd: ", err)
+	}
+}
+
+// run parses args, loads the initial dictionary, and serves until ctx
+// is cancelled. It prints the bound address once listening (tests bind
+// :0 and read it back).
+func run(ctx context.Context, w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("cellmatchd", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		listen        = fs.String("listen", ":8472", "HTTP listen address")
+		artifact      = fs.String("artifact", "", "compiled artifact (Matcher.Save output)")
+		dict          = fs.String("dict", "", "pattern file (one per line, '#' comments)")
+		caseFold      = fs.Bool("casefold", false, "case-insensitive matching (with -dict)")
+		workers       = fs.Int("workers", 0, "shared scan pool size (0 = one per CPU)")
+		chunk         = fs.Int("chunk", 0, "scan chunk size in bytes (0 = 64 KiB)")
+		maxBody       = fs.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
+		batchMax      = fs.Int("batch-max", 0, "max payloads per coalesced batch (0 = 64)")
+		batchLinger   = fs.Duration("batch-linger", 0, "batch collection window (0 = 2ms)")
+		watch         = fs.Bool("watch", false, "poll the dictionary source and hot-reload on change")
+		watchInterval = fs.Duration("watch-interval", 2*time.Second, "source poll interval with -watch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg, err := buildRegistry(*artifact, *dict, core.Options{CaseFold: *caseFold})
+	if err != nil {
+		return err
+	}
+	entry, err := reg.Reload()
+	if err != nil {
+		return err
+	}
+	st := entry.Matcher.Stats()
+	fmt.Fprintf(w, "cellmatchd: loaded %s: %d patterns, %d states, engine=%s\n",
+		entry.Source, st.Patterns, st.States, st.Engine)
+
+	srv, err := server.New(server.Config{
+		Registry:     reg,
+		Workers:      *workers,
+		ChunkBytes:   *chunk,
+		MaxBodyBytes: *maxBody,
+		BatchMax:     *batchMax,
+		BatchLinger:  *batchLinger,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	if *watch {
+		go reg.Watch(ctx, *watchInterval, func(e *registry.Entry, err error) {
+			if err != nil {
+				fmt.Fprintf(w, "cellmatchd: reload failed (keeping generation %d): %v\n",
+					reg.Current().Generation, err)
+				return
+			}
+			fmt.Fprintf(w, "cellmatchd: hot-swapped to generation %d (%d patterns)\n",
+				e.Generation, e.Matcher.Stats().Patterns)
+		})
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cellmatchd: listening on %s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "cellmatchd: drained, bye")
+	return nil
+}
+
+// buildRegistry wires the dictionary source from the flags: exactly
+// one of -artifact or -dict.
+func buildRegistry(artifact, dict string, opts core.Options) (*registry.Registry, error) {
+	switch {
+	case artifact != "" && dict != "":
+		return nil, fmt.Errorf("use -artifact or -dict, not both")
+	case artifact != "":
+		return registry.New(artifact, registry.ArtifactLoader(artifact)), nil
+	case dict != "":
+		return registry.New(dict, registry.DictLoader(dict, opts)), nil
+	default:
+		return nil, fmt.Errorf("a dictionary is required: -artifact or -dict")
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer for the daemon's log output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startDaemon runs the daemon on a random port and returns its base
+// URL plus a shutdown func that waits for a clean exit.
+func startDaemon(t *testing.T, extraArgs ...string) (string, *syncBuffer, func()) {
+	t.Helper()
+	dir := t.TempDir()
+	dictPath := filepath.Join(dir, "dict.txt")
+	if err := os.WriteFile(dictPath, []byte("virus\nworm\ntrojan\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-listen", "127.0.0.1:0", "-dict", dictPath, "-casefold"}, extraArgs...)
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, &out, args) }()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop := func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon never shut down")
+		}
+	}
+	return "http://" + addr, &out, stop
+}
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	base, out, stop := startDaemon(t)
+	defer stop()
+
+	resp, err := http.Post(base+"/scan", "application/octet-stream",
+		strings.NewReader("a VIRUS and a worm walk into a bar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/scan: %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"count":2`, `"virus"`, `"worm"`, `"generation":1`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/scan response missing %s: %s", want, body)
+		}
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	if !strings.Contains(out.String(), "loaded") {
+		t.Fatalf("startup log missing load line:\n%s", out.String())
+	}
+}
+
+func TestDaemonWatchHotSwap(t *testing.T) {
+	// Recreate the dict file the daemon watches.
+	base, out, stop := startDaemon(t, "-watch", "-watch-interval", "10ms")
+	defer stop()
+
+	// The daemon logged which dict it loaded; rewrite that file.
+	m := regexp.MustCompile(`loaded (\S+):`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no load line:\n%s", out.String())
+	}
+	dictPath := m[1]
+
+	probe := func() string {
+		resp, err := http.Post(base+"/scan", "application/octet-stream",
+			strings.NewReader("ZEBRA crossing"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if got := probe(); !strings.Contains(got, `"count":0`) {
+		t.Fatalf("zebra matched before swap: %s", got)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(probe(), `"count":1`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("hot swap never served: log\n%s", out.String())
+		}
+		if err := os.WriteFile(dictPath, []byte(fmt.Sprintf("zebra\n# rev %d\n", time.Now().UnixNano())), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "hot-swapped") {
+		t.Fatalf("no hot-swap log line:\n%s", out.String())
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var out syncBuffer
+	if err := run(ctx, &out, nil); err == nil {
+		t.Fatal("no dictionary flags accepted")
+	}
+	if err := run(ctx, &out, []string{"-dict", "x", "-artifact", "y"}); err == nil {
+		t.Fatal("conflicting dictionary flags accepted")
+	}
+	if err := run(ctx, &out, []string{"-dict", "/definitely/not/there"}); err == nil {
+		t.Fatal("missing dict file accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Bench-regression gate: compare a freshly measured BENCH_kernel.json
+// against the committed baseline instead of a hard-coded speedup
+// floor. CI runs
+//
+//	paperbench -checkbench -baseline BENCH_kernel.json -candidate new.json
+//
+// and fails the job when any gated kernel metric drops more than
+// maxDrop (default 20%) below the baseline — including the
+// kernel-vs-stt speedup ratio. The before/after table is markdown so
+// the CI job can pipe it straight into the GitHub step summary.
+//
+// Absolute MB/s floors are only meaningful when baseline and candidate
+// ran on comparable hardware: re-record the baseline
+// (paperbench -kernel -benchjson BENCH_kernel.json) whenever the CI
+// runner class changes. The speedup ratio is the machine-portable
+// gate; the absolute rows catch same-hardware regressions the ratio
+// can mask (e.g. both paths slowing down together).
+
+// gatedMetric reports whether a BENCH_kernel.json field is enforced.
+// The stt_* comparator rows are informational (they measure the old
+// path, whose speed we do not defend); the kernel rows, the
+// kernel-backed parallel row, and the speedup ratio are the banked
+// performance.
+func gatedMetric(key string) bool {
+	switch {
+	case strings.HasPrefix(key, "kernel_"):
+		return true
+	case key == "parallel_4workers_kernel_MBps":
+		return true
+	case key == "speedup_kernel_vs_stt_lookup":
+		return true
+	}
+	return false
+}
+
+// metaMetric reports fields that describe the run, not a measurement.
+func metaMetric(key string) bool {
+	return key == "input_bytes" || key == "dict_states"
+}
+
+func loadBenchJSON(path string) (map[string]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no numeric metrics", path)
+	}
+	return out, nil
+}
+
+// runBenchCheck prints the baseline-vs-candidate markdown table and
+// returns an error naming every gated metric that regressed beyond
+// maxDrop (a fraction: 0.2 = 20%).
+func runBenchCheck(w io.Writer, baselinePath, candidatePath string, maxDrop float64) error {
+	if maxDrop <= 0 || maxDrop >= 1 {
+		return fmt.Errorf("benchcheck: maxdrop %v out of (0,1)", maxDrop)
+	}
+	base, err := loadBenchJSON(baselinePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadBenchJSON(candidatePath)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(w, "## Bench regression gate (max drop %.0f%%)\n\n", maxDrop*100)
+	fmt.Fprintf(w, "| metric | baseline | candidate | delta | gate |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---|\n")
+	var regressions []string
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cand[k]
+		if metaMetric(k) {
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | | |\n", k, b, c)
+			continue
+		}
+		if !ok {
+			// Only gated metrics are required; a dropped informational
+			// comparator row is a schema change, not a regression.
+			if gatedMetric(k) {
+				regressions = append(regressions, fmt.Sprintf("%s: missing from candidate", k))
+				fmt.Fprintf(w, "| %s | %.2f | (missing) | | FAIL |\n", k, b)
+			} else {
+				fmt.Fprintf(w, "| %s | %.2f | (missing) | | |\n", k, b)
+			}
+			continue
+		}
+		delta := 0.0
+		if b != 0 {
+			delta = (c - b) / b * 100
+		}
+		gate := ""
+		if gatedMetric(k) {
+			gate = "ok"
+			if c < b*(1-maxDrop) {
+				gate = "FAIL"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2f -> %.2f (%.1f%%, floor %.2f)", k, b, c, delta, b*(1-maxDrop)))
+			}
+		}
+		fmt.Fprintf(w, "| %s | %.2f | %.2f | %+.1f%% | %s |\n", k, b, c, delta, gate)
+	}
+	fmt.Fprintln(w)
+	if len(regressions) > 0 {
+		fmt.Fprintf(w, "**%d gated metric(s) regressed beyond %.0f%%.**\n", len(regressions), maxDrop*100)
+		return fmt.Errorf("benchcheck: %d regression(s): %s", len(regressions), strings.Join(regressions, "; "))
+	}
+	fmt.Fprintf(w, "All gated metrics within %.0f%% of baseline.\n", maxDrop*100)
+	return nil
+}

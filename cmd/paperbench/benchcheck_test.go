@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseBench = `{
+  "input_bytes": 8388608,
+  "dict_states": 1499,
+  "stt_lookup_seq_MBps": 300,
+  "kernel_seq_MBps": 600,
+  "kernel_interleaved_k4_MBps": 1000,
+  "parallel_4workers_kernel_MBps": 550,
+  "speedup_kernel_vs_stt_lookup": 3.3
+}`
+
+func TestBenchCheckPasses(t *testing.T) {
+	base := writeBench(t, "base.json", baseBench)
+	// 15% slower everywhere: inside the 20% gate.
+	cand := writeBench(t, "cand.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 1499,
+	  "stt_lookup_seq_MBps": 100,
+	  "kernel_seq_MBps": 510,
+	  "kernel_interleaved_k4_MBps": 850,
+	  "parallel_4workers_kernel_MBps": 468,
+	  "speedup_kernel_vs_stt_lookup": 2.81
+	}`)
+	var b strings.Builder
+	if err := runBenchCheck(&b, base, cand, 0.20); err != nil {
+		t.Fatalf("within-gate candidate failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"| metric | baseline | candidate |",
+		"kernel_seq_MBps | 600.00 | 510.00 | -15.0% | ok",
+		"All gated metrics within 20% of baseline.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The stt comparator collapsed by 3x and that must NOT gate.
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("ungated metric failed the gate:\n%s", out)
+	}
+}
+
+func TestBenchCheckCatchesKernelRegression(t *testing.T) {
+	base := writeBench(t, "base.json", baseBench)
+	cand := writeBench(t, "cand.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 1499,
+	  "stt_lookup_seq_MBps": 300,
+	  "kernel_seq_MBps": 400,
+	  "kernel_interleaved_k4_MBps": 1000,
+	  "parallel_4workers_kernel_MBps": 550,
+	  "speedup_kernel_vs_stt_lookup": 3.3
+	}`)
+	var b strings.Builder
+	err := runBenchCheck(&b, base, cand, 0.20)
+	if err == nil {
+		t.Fatalf("33%% kernel drop passed the gate:\n%s", b.String())
+	}
+	if !strings.Contains(err.Error(), "kernel_seq_MBps") {
+		t.Fatalf("regression not attributed: %v", err)
+	}
+	if !strings.Contains(b.String(), "FAIL") {
+		t.Fatalf("table does not flag the failure:\n%s", b.String())
+	}
+}
+
+func TestBenchCheckCatchesSpeedupRegression(t *testing.T) {
+	base := writeBench(t, "base.json", baseBench)
+	// Raw kernel numbers fine, but the speedup ratio fell below
+	// baseline - 20% (e.g. the stt path got faster relative to a
+	// stagnant kernel — still a banked-ratio regression).
+	cand := writeBench(t, "cand.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 1499,
+	  "stt_lookup_seq_MBps": 500,
+	  "kernel_seq_MBps": 600,
+	  "kernel_interleaved_k4_MBps": 1000,
+	  "parallel_4workers_kernel_MBps": 550,
+	  "speedup_kernel_vs_stt_lookup": 2.0
+	}`)
+	var b strings.Builder
+	if err := runBenchCheck(&b, base, cand, 0.20); err == nil ||
+		!strings.Contains(err.Error(), "speedup_kernel_vs_stt_lookup") {
+		t.Fatalf("speedup regression not caught: %v\n%s", err, b.String())
+	}
+}
+
+func TestBenchCheckMissingMetricFails(t *testing.T) {
+	base := writeBench(t, "base.json", baseBench)
+	cand := writeBench(t, "cand.json", `{"input_bytes": 8388608, "kernel_seq_MBps": 600}`)
+	var b strings.Builder
+	if err := runBenchCheck(&b, base, cand, 0.20); err == nil {
+		t.Fatalf("candidate missing gated metrics passed:\n%s", b.String())
+	}
+	// A missing informational comparator is a schema change, not a
+	// regression: dropping stt_lookup must still pass.
+	cand2 := writeBench(t, "cand2.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 1499,
+	  "kernel_seq_MBps": 600,
+	  "kernel_interleaved_k4_MBps": 1000,
+	  "parallel_4workers_kernel_MBps": 550,
+	  "speedup_kernel_vs_stt_lookup": 3.3
+	}`)
+	var b2 strings.Builder
+	if err := runBenchCheck(&b2, base, cand2, 0.20); err != nil {
+		t.Fatalf("missing ungated metric failed the gate: %v\n%s", err, b2.String())
+	}
+}
+
+func TestBenchCheckBadInputs(t *testing.T) {
+	base := writeBench(t, "base.json", baseBench)
+	var b strings.Builder
+	if err := runBenchCheck(&b, base, "/no/such/file.json", 0.20); err == nil {
+		t.Fatal("missing candidate accepted")
+	}
+	garbage := writeBench(t, "garbage.json", "not json at all")
+	if err := runBenchCheck(&b, base, garbage, 0.20); err == nil {
+		t.Fatal("garbage candidate accepted")
+	}
+	cand := writeBench(t, "cand.json", baseBench)
+	if err := runBenchCheck(&b, base, cand, 1.5); err == nil {
+		t.Fatal("nonsense maxdrop accepted")
+	}
+}
+
+// The committed repo baseline itself must pass against itself — keeps
+// the gate runnable from a clean checkout.
+func TestBenchCheckRepoBaselineSelfConsistent(t *testing.T) {
+	repoBaseline := filepath.Join("..", "..", "BENCH_kernel.json")
+	if _, err := os.Stat(repoBaseline); err != nil {
+		t.Skipf("no repo baseline: %v", err)
+	}
+	var b strings.Builder
+	if err := runBenchCheck(&b, repoBaseline, repoBaseline, 0.20); err != nil {
+		t.Fatalf("repo baseline fails against itself: %v\n%s", err, b.String())
+	}
+}

@@ -12,10 +12,21 @@
 //	paperbench -fig8       # dynamic STT replacement schedule
 //	paperbench -fig9       # throughput vs aggregate STT size
 //	paperbench -kernel     # host scan engines: stt path vs dense kernel
+//	paperbench -server     # serving layer: cellmatchd end-to-end over HTTP
 //
 // With -kernel, -benchjson FILE additionally writes the measured MB/s
 // (sequential, parallel, kernel, interleaved-K) as a JSON artifact —
-// the BENCH_kernel.json regression file CI archives per commit.
+// the BENCH_kernel.json regression file CI archives per commit; with
+// -server, -serverjson FILE does the same for the serving layer
+// (BENCH_server.json).
+//
+// The CI bench-regression gate runs as a separate mode:
+//
+//	paperbench -checkbench -baseline BENCH_kernel.json -candidate new.json
+//
+// printing a baseline-vs-candidate markdown table and exiting nonzero
+// when a gated kernel metric drops more than -maxdrop (default 20%)
+// below the committed baseline.
 package main
 
 import (
@@ -51,17 +62,37 @@ func main() {
 		kern   = flag.Bool("kernel", false, "host scan engines: stt path vs dense kernel")
 		kernMB = flag.Int("kernelmb", 8, "kernel benchmark input size in MiB")
 		bjson  = flag.String("benchjson", "", "with -kernel: write BENCH JSON to this file")
+		serv   = flag.Bool("server", false, "serving layer: cellmatchd end-to-end throughput")
+		servMB = flag.Int("servermb", 16, "server benchmark input size in MiB")
+		sjson  = flag.String("serverjson", "", "with -server: write BENCH_server JSON to this file")
+
+		check     = flag.Bool("checkbench", false, "bench-regression gate: compare -candidate against -baseline and exit nonzero on regression")
+		baseline  = flag.String("baseline", "BENCH_kernel.json", "with -checkbench: committed baseline JSON")
+		candidate = flag.String("candidate", "", "with -checkbench: freshly measured JSON")
+		maxDrop   = flag.Float64("maxdrop", 0.20, "with -checkbench: allowed fractional drop per gated metric")
 	)
 	flag.Parse()
-	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern
+	if *check {
+		if *candidate == "" {
+			fmt.Fprintln(os.Stderr, "paperbench: -checkbench requires -candidate")
+			os.Exit(2)
+		}
+		if err := runBenchCheck(os.Stdout, *baseline, *candidate, *maxDrop); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern || *serv
 	if *all || !any {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
-		*fig6, *fig7, *fig8, *fig9, *kern = true, true, true, true, true
+		*fig6, *fig7, *fig8, *fig9, *kern, *serv = true, true, true, true, true, true
 	}
 	err := run(os.Stdout, sections{
 		table1: *table1, fig2: *fig2, fig3: *fig3, fig4: *fig4, fig5: *fig5,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9,
 		kernel: *kern, kernelBytes: *kernMB << 20, benchJSON: *bjson,
+		server: *serv, serverBytes: *servMB << 20, serverJSON: *sjson,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -79,6 +110,13 @@ type sections struct {
 	kernel      bool
 	kernelBytes int
 	benchJSON   string
+
+	// server runs the end-to-end serving-layer benchmark (in-process
+	// cellmatchd over HTTP) over serverBytes of traffic, optionally
+	// writing the JSON artifact to serverJSON.
+	server      bool
+	serverBytes int
+	serverJSON  string
 }
 
 func run(w io.Writer, s sections) error {
@@ -135,6 +173,15 @@ func run(w io.Writer, s sections) error {
 			bytes = 8 << 20
 		}
 		if err := runKernelBench(w, d, bytes, s.benchJSON); err != nil {
+			return err
+		}
+	}
+	if s.server {
+		bytes := s.serverBytes
+		if bytes <= 0 {
+			bytes = 16 << 20
+		}
+		if err := runServerBench(w, bytes, s.serverJSON); err != nil {
 			return err
 		}
 	}

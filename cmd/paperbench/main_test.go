@@ -130,3 +130,47 @@ func TestPaperDFAShape(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunServerBenchJSON(t *testing.T) {
+	var b strings.Builder
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	// 1 MiB keeps the HTTP loops fast; the JSON schema and endpoint
+	// coverage are what this test pins.
+	err := run(&b, sections{server: true, serverBytes: 1 << 20, serverJSON: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Server engine: cellmatchd end-to-end throughput",
+		"/scan/batch x32 clients",
+		"batch coalescing:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ServerBench
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_server.json does not parse: %v", err)
+	}
+	if res.InputBytes != 1<<20 || res.DictStates < 1400 {
+		t.Fatalf("bench metadata wrong: %+v", res)
+	}
+	for name, v := range map[string]float64{
+		"scan_MBps":      res.ScanMBps,
+		"scan_reqps":     res.ScanReqPerSec,
+		"batch_MBps":     res.BatchMBps,
+		"batch_reqps":    res.BatchReqPerSec,
+		"stream_MBps":    res.StreamMBps,
+		"batch_coalesce": res.BatchCoalesceAvg,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s not measured: %+v", name, res)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/registry"
+	"cellmatch/internal/report"
+	"cellmatch/internal/server"
+	"cellmatch/internal/workload"
+)
+
+// ServerBench measures the serving layer end to end — HTTP in, JSON
+// out — on the paper's 1520-state dictionary: large-payload /scan
+// throughput, small-payload /scan/batch coalescing, and a chunked
+// /scan/stream upload. Serialized to BENCH_server.json so the service
+// throughput is tracked per commit alongside the kernel numbers.
+type ServerBench struct {
+	InputBytes int `json:"input_bytes"`
+	DictStates int `json:"dict_states"`
+
+	ScanPayloadBytes int     `json:"scan_payload_bytes"`
+	ScanMBps         float64 `json:"scan_MBps"`
+	ScanReqPerSec    float64 `json:"scan_req_per_sec"`
+
+	BatchPayloadBytes int     `json:"batch_payload_bytes"`
+	BatchMBps         float64 `json:"batch_MBps"`
+	BatchReqPerSec    float64 `json:"batch_req_per_sec"`
+	BatchCoalesceAvg  float64 `json:"batch_coalesce_avg"`
+
+	StreamMBps float64 `json:"stream_MBps"`
+}
+
+// driveConcurrent posts every payload once across `clients` concurrent
+// connections and returns (MB/s, req/s).
+func driveConcurrent(url string, payloads [][]byte, clients int) (float64, float64, error) {
+	var next int
+	var mu sync.Mutex
+	take := func() []byte {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(payloads) {
+			return nil
+		}
+		p := payloads[next]
+		next++
+		return p
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	errc := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := take()
+				if p == nil {
+					return
+				}
+				resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(p))
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("%s: %s", url, resp.Status)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	select {
+	case err := <-errc:
+		return 0, 0, err
+	default:
+	}
+	return float64(total) / 1e6 / wall, float64(len(payloads)) / wall, nil
+}
+
+// slicePayloads cuts data into size-byte payloads.
+func slicePayloads(data []byte, size int) [][]byte {
+	var out [][]byte
+	for off := 0; off < len(data); off += size {
+		end := min(off+size, len(data))
+		out = append(out, data[off:end])
+	}
+	return out
+}
+
+// runServerBench stands up the full serving stack in-process and
+// measures it over inputBytes of the usual synthetic traffic.
+func runServerBench(w io.Writer, inputBytes int, jsonPath string) error {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 1520, Seed: 1})
+	if err != nil {
+		return err
+	}
+	m, err := core.Compile(pats, core.Options{CaseFold: true})
+	if err != nil {
+		return err
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: inputBytes, MatchEvery: 64 << 10, Dictionary: pats, Seed: 33,
+	})
+	if err != nil {
+		return err
+	}
+	reg := registry.NewWithMatcher(m, "bench")
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res := ServerBench{
+		InputBytes:        inputBytes,
+		DictStates:        m.Stats().States,
+		ScanPayloadBytes:  256 << 10,
+		BatchPayloadBytes: 4 << 10,
+	}
+
+	// Large-payload /scan: the capture-replay workload.
+	scanURL := ts.URL + "/scan?count=1"
+	payloads := slicePayloads(data, res.ScanPayloadBytes)
+	if _, _, err := driveConcurrent(scanURL, payloads[:min(4, len(payloads))], 2); err != nil {
+		return err // warmup
+	}
+	if res.ScanMBps, res.ScanReqPerSec, err = driveConcurrent(scanURL, payloads, 8); err != nil {
+		return err
+	}
+
+	// Small-payload /scan/batch: the many-tiny-requests workload the
+	// coalescer exists for. A slice of the traffic keeps the request
+	// count (and wall time) sane.
+	batchData := data[:min(len(data), inputBytes/4)]
+	batchPayloads := slicePayloads(batchData, res.BatchPayloadBytes)
+	if res.BatchMBps, res.BatchReqPerSec, err = driveConcurrent(ts.URL+"/scan/batch?count=1", batchPayloads, 32); err != nil {
+		return err
+	}
+	var st server.StatsResponse
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if st.Batches > 0 {
+		res.BatchCoalesceAvg = float64(st.BatchPayloads) / float64(st.Batches)
+	}
+
+	// One chunked upload of the whole capture through /scan/stream.
+	start := time.Now()
+	resp, err = http.Post(ts.URL+"/scan/stream?count=1", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/scan/stream: %s", resp.Status)
+	}
+	res.StreamMBps = float64(len(data)) / 1e6 / time.Since(start).Seconds()
+
+	fmt.Fprintf(w, "== Server engine: cellmatchd end-to-end throughput (%d-state dictionary, %d MiB) ==\n",
+		res.DictStates, inputBytes>>20)
+	t := report.NewTable("Endpoint / workload", "MB/s", "req/s")
+	t.Row(fmt.Sprintf("/scan x8 clients (%d KiB payloads)", res.ScanPayloadBytes>>10),
+		res.ScanMBps, res.ScanReqPerSec)
+	t.Row(fmt.Sprintf("/scan/batch x32 clients (%d KiB payloads)", res.BatchPayloadBytes>>10),
+		res.BatchMBps, res.BatchReqPerSec)
+	t.Row("/scan/stream single upload", res.StreamMBps, "")
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "batch coalescing: %.1f payloads per kernel pass on average\n\n", res.BatchCoalesceAvg)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

@@ -1,23 +1,25 @@
-// NIDS: the paper's motivating scenario. A network intrusion
-// detection system filters a 10 Gbps link with two DFA tiles: traffic
-// is split across two parallel tile groups (with pattern-length
-// overlap at the boundary), every packet's payload is scanned against
-// a signature dictionary, and flagged packets are reported.
-//
-// The example generates synthetic traffic with planted signatures,
-// scans it — first sequentially, then with the host-CPU parallel
-// engine, which is the same Figure 6a tiling mapped onto goroutines —
-// verifies the detection count, and asks the Cell model whether the
-// deployment keeps up with the line rate: the paper's headline result
-// ("two processing elements alone ... filter a network link with bit
-// rates in excess of 10 Gbps").
+// NIDS: the paper's motivating scenario, served. A network intrusion
+// detection system filters a continuous traffic feed against a
+// signature dictionary — the paper's headline workload ("two
+// processing elements alone ... filter a network link with bit rates
+// in excess of 10 Gbps"). Earlier revisions of this example called the
+// library directly; this one runs the full serving stack the way a
+// deployment would: an in-process cellmatchd (internal/server behind
+// an httptest listener) keeps the compiled kernel tables hot, traffic
+// is POSTed to /scan and streamed to /scan/stream, the signature set
+// is hot-swapped through /reload mid-run without dropping a request,
+// and /stats reports the service counters. The Cell deployment
+// estimate at the end is unchanged.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"time"
 
@@ -32,7 +34,7 @@ func main() {
 }
 
 func run(w io.Writer) error {
-	// Snort-flavored signature dictionary.
+	// Snort-flavored signature dictionary, compiled once and kept hot.
 	dict := workload.SignatureDictionary()
 	m, err := cellmatch.Compile(dict, cellmatch.Options{
 		CaseFold: true,
@@ -41,6 +43,17 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// The serving stack: registry (hot-swap) + HTTP matching service
+	// with a shared scan pool, exactly what cellmatchd runs.
+	reg := cellmatch.NewMatcherRegistry(m, "signatures-v1")
+	srv, err := cellmatch.NewServer(cellmatch.ServerConfig{Registry: reg})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
 
 	// 4 MB of synthetic traffic with one planted signature per ~8 KB.
 	traffic, planted, err := workload.Traffic(workload.TrafficConfig{
@@ -53,56 +66,67 @@ func run(w io.Writer) error {
 		return err
 	}
 
-	seqStart := time.Now()
-	matches, err := m.FindAll(traffic)
+	// Feed the capture through POST /scan (the shared-pool path).
+	start := time.Now()
+	scan, err := postScan(ts.URL+"/scan?count=1", bytes.NewReader(traffic))
 	if err != nil {
 		return err
 	}
-	seqTime := time.Since(seqStart)
-	fmt.Fprintf(w, "scanned %d MB, planted %d signatures, detected %d hits\n",
-		len(traffic)>>20, planted, len(matches))
-	if len(matches) < planted {
-		return fmt.Errorf("missed signatures: %d < %d", len(matches), planted)
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "scanned %d MB over /scan, planted %d signatures, detected %d hits (gen %d, engine %s) in %v\n",
+		len(traffic)>>20, planted, scan.Count, scan.Generation, scan.Engine, elapsed.Round(time.Millisecond))
+	if scan.Count < planted {
+		return fmt.Errorf("missed signatures: %d < %d", scan.Count, planted)
 	}
 
-	// The same scan on the host-CPU parallel engine: goroutine workers
-	// over 256 KB chunks, reconciled at boundaries — results must be
-	// identical to the sequential pass.
-	parStart := time.Now()
-	parMatches, err := m.FindAllParallel(traffic, cellmatch.ParallelOptions{
-		ChunkBytes: 256 << 10,
-	})
+	// The same capture as a chunked upload through /scan/stream — the
+	// socket-feed path; the service never buffers the whole body.
+	streamed, err := postScan(ts.URL+"/scan/stream?count=1", bytes.NewReader(traffic))
 	if err != nil {
 		return err
 	}
-	parTime := time.Since(parStart)
-	if len(parMatches) != len(matches) {
-		return fmt.Errorf("parallel scan diverged: %d vs %d hits", len(parMatches), len(matches))
+	if streamed.Count != scan.Count {
+		return fmt.Errorf("streamed scan diverged: %d vs %d hits", streamed.Count, scan.Count)
 	}
-	fmt.Fprintf(w, "parallel engine: %d hits (identical), sequential %v vs parallel %v\n",
-		len(parMatches), seqTime.Round(time.Millisecond), parTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "streamed scan (/scan/stream): %d hits (identical)\n", streamed.Count)
 
-	// Batched streaming, as if the traffic arrived on a socket: same
-	// hits again, without ever buffering the full capture.
-	streamed, err := m.ScanReader(bytes.NewReader(traffic), cellmatch.ParallelOptions{})
+	// Hot-swap: extend the dictionary with a fresh signature, publish
+	// it through /reload, and rescan — no restart, no dropped traffic.
+	extended := append(append([][]byte{}, dict...), []byte("zero-day-beacon"))
+	m2, err := cellmatch.Compile(extended, cellmatch.Options{CaseFold: true, Groups: 2})
 	if err != nil {
 		return err
 	}
-	if len(streamed) != len(matches) {
-		return fmt.Errorf("streamed scan diverged: %d vs %d hits", len(streamed), len(matches))
+	artifact, err := saveArtifact(m2)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(w, "streamed scan (ScanReader): %d hits (identical)\n", len(streamed))
+	defer os.Remove(artifact)
+	reload, err := postJSON(ts.URL + "/reload?path=" + artifact)
+	if err != nil {
+		return err
+	}
+	evil := append(bytes.Repeat([]byte("innocuous payload "), 4096), []byte("...ZERO-DAY-BEACON...")...)
+	after, err := postScan(ts.URL+"/scan?count=1", bytes.NewReader(evil))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hot-swapped to generation %d (%v patterns); zero-day probe now detected: %d hit\n",
+		after.Generation, reload["patterns"], after.Count)
+	if after.Generation <= scan.Generation {
+		return fmt.Errorf("reload did not advance the generation")
+	}
+	if after.Count != 1 {
+		return fmt.Errorf("hot-swapped dictionary missed the zero-day: %d hits", after.Count)
+	}
 
-	// Per-signature detection histogram.
-	hist := make([]int, m.NumPatterns())
-	for _, hit := range matches {
-		hist[hit.Pattern]++
+	// Service counters so far.
+	stats, err := getJSON(ts.URL + "/stats")
+	if err != nil {
+		return err
 	}
-	for i, n := range hist {
-		if n > 0 {
-			fmt.Fprintf(w, "  %-20q %d\n", m.Pattern(i), n)
-		}
-	}
+	fmt.Fprintf(w, "service stats: %v requests, %v bytes scanned, %v matches found\n",
+		stats["requests"], stats["bytes_scanned"], stats["matches_found"])
 
 	// Can this two-tile deployment filter a 10 Gbps link?
 	est, err := m.EstimateCell(cellmatch.DefaultBlade(), int64(len(traffic)))
@@ -123,4 +147,66 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "a 40 Gbps link needs %d parallel tiles (one Cell has 8 SPEs)\n", n)
 	return nil
+}
+
+// postScan POSTs a payload to a scan endpoint and decodes the reply.
+func postScan(url string, body io.Reader) (*cellmatch.ScanResponse, error) {
+	resp, err := http.Post(url, "application/octet-stream", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	var sr cellmatch.ScanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+func postJSON(url string) (map[string]any, error) {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJSON(resp, url)
+}
+
+func getJSON(url string) (map[string]any, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJSON(resp, url)
+}
+
+func decodeJSON(resp *http.Response, url string) (map[string]any, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// saveArtifact writes a compiled matcher to a temp file and returns
+// its path — the shippable form /reload consumes.
+func saveArtifact(m *cellmatch.Matcher) (string, error) {
+	f, err := os.CreateTemp("", "nids-signatures-v2-*.cms")
+	if err != nil {
+		return "", err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), f.Close()
 }

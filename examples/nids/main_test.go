@@ -12,10 +12,12 @@ func TestRunSmoke(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"scanned 4 MB",
-		"parallel engine:",
+		"scanned 4 MB over /scan",
+		"streamed scan (/scan/stream):",
 		"(identical)",
-		"streamed scan (ScanReader):",
+		"hot-swapped to generation 2",
+		"zero-day probe now detected: 1 hit",
+		"service stats:",
 		"10 Gbps link:",
 	} {
 		if !strings.Contains(out, want) {

@@ -252,6 +252,16 @@ func (m *Matcher) Stats() Stats {
 	return s
 }
 
+// EngineName reports the live scan engine ("kernel" or "stt") without
+// computing full Stats (which re-encodes the STT tables) — the cheap
+// per-request form for serving paths.
+func (m *Matcher) EngineName() string {
+	if m.eng != nil {
+		return "kernel"
+	}
+	return "stt"
+}
+
 // System exposes the underlying composed system for advanced use.
 func (m *Matcher) System() *compose.System { return m.sys }
 

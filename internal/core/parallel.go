@@ -15,12 +15,17 @@ type ParallelOptions struct {
 	// Any positive value is legal, including sizes smaller than the
 	// longest dictionary entry.
 	ChunkBytes int
+	// Pool, when non-nil, executes chunk jobs on a persistent shared
+	// worker pool (parallel.NewPool) instead of spawning goroutines per
+	// call — the long-running-server mode. Many concurrent scans share
+	// the pool's fixed worker set.
+	Pool *parallel.Pool
 }
 
 // engineOpts binds the matcher's live scan engine (the dense kernel,
 // or nil for the stt/dfa path) into the worker options.
 func (m *Matcher) engineOpts(o ParallelOptions) parallel.Options {
-	return parallel.Options{Workers: o.Workers, ChunkBytes: o.ChunkBytes, Engine: m.eng}
+	return parallel.Options{Workers: o.Workers, ChunkBytes: o.ChunkBytes, Engine: m.eng, Pool: o.Pool}
 }
 
 // FindAllParallel reports every dictionary occurrence in data, like
@@ -35,6 +40,25 @@ func (m *Matcher) FindAllParallel(data []byte, opts ParallelOptions) ([]Match, e
 		return nil, err
 	}
 	return convertMatches(raw), nil
+}
+
+// FindAllBatch scans every payload independently and returns one match
+// slice per payload, each byte-identical to FindAll over that payload
+// alone. All payloads' chunk jobs are flattened into a single task set
+// executed in one pass over the worker pool (ParallelOptions.Pool, or
+// ad-hoc workers), so a batch of small requests costs one fan-out
+// instead of one per payload — the coalescing primitive behind the
+// serving layer's /scan/batch endpoint.
+func (m *Matcher) FindAllBatch(payloads [][]byte, opts ParallelOptions) ([][]Match, error) {
+	raw, err := parallel.ScanMany(m.sys, payloads, m.engineOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(raw))
+	for i, r := range raw {
+		out[i] = convertMatches(r)
+	}
+	return out, nil
 }
 
 // ScanReader scans r to EOF in batches of Workers x ChunkBytes bytes,

@@ -105,6 +105,102 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// Wrong magic — including the magic of a *future* version — must be
+// rejected with the artifact error, not a decode panic further in.
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	m, err := CompileStrings([]string{"abc"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for _, magic := range []string{"CMSAV3\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav2\x00"} {
+		bad := append([]byte(magic), blob[len(magic):]...)
+		_, err := Load(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("magic %q accepted", magic)
+		}
+		if got := err.Error(); got != "core: not a cellmatch artifact" {
+			t.Fatalf("magic %q: unexpected error %q", magic, got)
+		}
+	}
+}
+
+// Every truncation point of a valid v2 artifact — not a random sample
+// — must fail cleanly.
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	m, err := CompileStrings([]string{"abc", "defgh"}, Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := Load(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(blob))
+		}
+	}
+}
+
+// A v1 artifact (no engine block) must load with zero-value
+// EngineOptions — which means the dense kernel is rebuilt and live —
+// and scan identically to the matcher that wrote it.
+func TestLoadV1ArtifactRebuildsEngine(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	m, err := Compile(dict, Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	// The v2 layout places the 13-byte engine block (disableKernel u8,
+	// maxTableBytes u64, interleaveK u32) right after the 13-byte
+	// options block; a v1 artifact is the same bytes without it.
+	optsEnd := len(savMagic) + 13
+	v1 := append([]byte(nil), savMagicV1...)
+	v1 = append(v1, v2[len(savMagic):optsEnd]...)
+	v1 = append(v1, v2[optsEnd+13:]...)
+
+	back, err := Load(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 artifact rejected: %v", err)
+	}
+	if got := back.Stats().Engine; got != "kernel" {
+		t.Fatalf("v1 load engine = %q, want kernel (zero-value EngineOptions)", got)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: dict, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1-loaded matcher diverged: %d vs %d matches", len(got), len(want))
+	}
+	// And a truncated v1 (cut inside where v2's engine block would
+	// have been) still fails cleanly.
+	if _, err := Load(bytes.NewReader(v1[:len(savMagic)+10])); err == nil {
+		t.Fatal("truncated v1 accepted")
+	}
+}
+
 func TestLoadRejectsBitFlips(t *testing.T) {
 	m, err := CompileStrings([]string{"abc"}, Options{})
 	if err != nil {

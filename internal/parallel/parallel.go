@@ -50,6 +50,13 @@ type Options struct {
 	// kernel (raw bytes, reduction baked in) instead of the
 	// reduce + dfa.FindAll path. Results are identical.
 	Engine *kernel.Engine
+	// Pool, when non-nil, submits chunk jobs to a persistent shared
+	// worker pool instead of spawning goroutines per call — the
+	// long-running-server mode, where many concurrent scans coalesce
+	// onto one fixed set of scanning threads. Workers is ignored for
+	// execution (the pool's size governs) but still bounds ScanReader's
+	// batch sizing.
+	Pool *Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -82,12 +89,12 @@ func Scan(sys *compose.System, data []byte, opts Options) ([]dfa.Match, error) {
 }
 
 // scanChunks splits raw data into ChunkBytes-sized pieces and scans
-// them on a pool of Workers goroutines. Alphabet reduction happens
-// per chunk inside each worker (it is a byte-wise map, so chunking
-// commutes with it), keeping the whole pipeline parallel and the
-// extra memory O(Workers x ChunkBytes) instead of O(input).
-// results[i] holds chunk i's matches in data's coordinates, already
-// deduplicated against chunk i-1's overlap.
+// them on a pool of Workers goroutines (or Options.Pool's shared
+// workers). Alphabet reduction happens per chunk inside each worker
+// (it is a byte-wise map, so chunking commutes with it), keeping the
+// whole pipeline parallel and the extra memory O(Workers x ChunkBytes)
+// instead of O(input). results[i] holds chunk i's matches in data's
+// coordinates, already deduplicated against chunk i-1's overlap.
 func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]dfa.Match {
 	n := len(data)
 	if n == 0 {
@@ -95,28 +102,49 @@ func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]df
 	}
 	nchunks := (n + o.ChunkBytes - 1) / o.ChunkBytes
 	results := make([][]dfa.Match, nchunks)
-	scan := func(i int, scratch []byte) {
-		start := i * o.ChunkBytes
-		end := min(start+o.ChunkBytes, n)
-		ov := min(overlap, start)
-		piece := data[start-ov : end]
-		if o.Engine != nil {
-			// The kernel consumes raw bytes (reduction baked into its
-			// byte→class map): no scratch copy at all.
-			results[i] = o.Engine.ScanChunk(piece, start-ov, ov)
-			return
+	tasks := make([]func(), nchunks)
+	for i := 0; i < nchunks; i++ {
+		i := i
+		tasks[i] = func() {
+			start := i * o.ChunkBytes
+			end := min(start+o.ChunkBytes, n)
+			ov := min(overlap, start)
+			results[i] = scanPiece(sys, data[start-ov:end], start-ov, ov, o)
 		}
-		reduced := scratch[:len(piece)]
-		sys.Red.Apply(reduced, piece)
-		results[i] = scanChunk(sys, reduced, start-ov, ov)
 	}
-	workers := min(o.Workers, nchunks)
+	runTasks(o, tasks)
+	return results
+}
+
+// scanPiece scans one overlap-prefixed piece from the speculative root
+// on whichever engine is configured, returning data-coordinate matches
+// with the ov-byte overlap prefix deduplicated.
+func scanPiece(sys *compose.System, piece []byte, base, ov int, o Options) []dfa.Match {
+	if o.Engine != nil {
+		// The kernel consumes raw bytes (reduction baked into its
+		// byte→class map): no scratch copy at all.
+		return o.Engine.ScanChunk(piece, base, ov)
+	}
+	scratch := getScratch(len(piece))
+	defer putScratch(scratch)
+	sys.Red.Apply(*scratch, piece)
+	return scanChunk(sys, *scratch, base, ov)
+}
+
+// runTasks executes the chunk jobs: on the shared pool when one is
+// configured, otherwise on up to Workers ad-hoc goroutines (the
+// one-shot mode), inline when there is no parallelism to exploit.
+func runTasks(o Options, tasks []func()) {
+	if o.Pool != nil {
+		o.Pool.Run(tasks)
+		return
+	}
+	workers := min(o.Workers, len(tasks))
 	if workers <= 1 {
-		scratch := scanScratch(o, overlap)
-		for i := 0; i < nchunks; i++ {
-			scan(i, scratch)
+		for _, t := range tasks {
+			t()
 		}
-		return results
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -124,27 +152,16 @@ func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]df
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := scanScratch(o, overlap)
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= nchunks {
+				if i >= len(tasks) {
 					return
 				}
-				scan(i, scratch)
+				tasks[i]()
 			}
 		}()
 	}
 	wg.Wait()
-	return results
-}
-
-// scanScratch sizes the per-worker reduction buffer; the kernel path
-// scans in place and needs none.
-func scanScratch(o Options, overlap int) []byte {
-	if o.Engine != nil {
-		return nil
-	}
-	return make([]byte, o.ChunkBytes+overlap)
 }
 
 // scanChunk runs every series slot over one reduced piece (overlap
@@ -189,6 +206,44 @@ func mergeChunks(chunks [][]dfa.Match, base, dedupe int) []dfa.Match {
 	}
 	dfa.SortMatches(out)
 	return out
+}
+
+// ScanMany scans every payload independently — one result slice per
+// payload, each byte-identical to Scan over that payload alone — but
+// flattens all payloads' chunk jobs into a single task set executed in
+// one pass over the worker pool. This is the batch-coalescing
+// primitive behind the server's /scan/batch endpoint: many small
+// requests cost one pool submission instead of one goroutine fan-out
+// each. Payloads larger than ChunkBytes are still chunked with the
+// usual overlap reconciliation.
+func ScanMany(sys *compose.System, payloads [][]byte, opts Options) ([][]dfa.Match, error) {
+	o := opts.withDefaults()
+	overlap := overlapOf(sys)
+	out := make([][]dfa.Match, len(payloads))
+	perPayload := make([][][]dfa.Match, len(payloads))
+	var tasks []func()
+	for pi, data := range payloads {
+		n := len(data)
+		if n == 0 {
+			continue
+		}
+		nchunks := (n + o.ChunkBytes - 1) / o.ChunkBytes
+		perPayload[pi] = make([][]dfa.Match, nchunks)
+		for ci := 0; ci < nchunks; ci++ {
+			pi, ci, data := pi, ci, data
+			tasks = append(tasks, func() {
+				start := ci * o.ChunkBytes
+				end := min(start+o.ChunkBytes, n)
+				ov := min(overlap, start)
+				perPayload[pi][ci] = scanPiece(sys, data[start-ov:end], start-ov, ov, o)
+			})
+		}
+	}
+	runTasks(o, tasks)
+	for pi := range payloads {
+		out[pi] = mergeChunks(perPayload[pi], 0, 0)
+	}
+	return out, nil
 }
 
 // ScanReader scans r in batches of Workers x ChunkBytes, carrying the

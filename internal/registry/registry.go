@@ -1,0 +1,263 @@
+// Package registry manages the live dictionary of a long-running
+// matching service. A Registry owns one published *core.Matcher behind
+// an atomic pointer and hot-swaps it RCU-style: readers grab the
+// current entry once per request and keep scanning it even if a swap
+// lands mid-scan; new requests observe the new entry. No lock sits on
+// the read path, so a reload never stalls traffic — the serving analog
+// of the paper's dynamic STT replacement schedule (Figure 8), where
+// fresh tables are streamed in while the tile keeps scanning the ones
+// it has.
+//
+// Dictionaries come from pluggable Loaders: ArtifactLoader reads a
+// Save/Load v2 (or v1) artifact, DictLoader compiles a plain-text
+// pattern file. Watch polls the backing file and reloads on change —
+// the daemon's -watch mode.
+package registry
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellmatch/internal/core"
+)
+
+// Loader produces a fresh matcher from a configured source. Loaders
+// must be safe to call repeatedly; each call re-reads the source.
+type Loader func() (*core.Matcher, error)
+
+// Entry is one published dictionary: the matcher plus provenance. An
+// Entry is immutable once published; requests capture one and use it
+// for their whole lifetime.
+type Entry struct {
+	Matcher *core.Matcher
+	// Source names where the dictionary came from (a path, or a label
+	// like "inline" for directly-swapped matchers).
+	Source string
+	// Generation increments on every successful swap, starting at 1.
+	Generation uint64
+	// LoadedAt is when this entry was published.
+	LoadedAt time.Time
+}
+
+// Registry holds the active matcher and its reload machinery.
+type Registry struct {
+	cur atomic.Pointer[Entry]
+
+	mu     sync.Mutex // serializes swaps; never held on the read path
+	gen    uint64
+	source string
+	load   Loader
+	// baseMod/baseSize are the source file's stat captured just before
+	// the last successful load — the change-detection baseline Watch
+	// starts from, so a rewrite landing between Reload and Watch's
+	// first poll is still detected.
+	baseMod  time.Time
+	baseSize int64
+
+	reloads atomic.Uint64 // successful reloads (diagnostics)
+	failed  atomic.Uint64 // failed reload attempts
+}
+
+// New creates a registry bound to a loader without loading it yet;
+// call Reload to publish the first entry.
+func New(source string, load Loader) *Registry {
+	return &Registry{source: source, load: load}
+}
+
+// NewWithMatcher creates a registry with an already-compiled matcher
+// published as generation 1. Reload re-publishes the same matcher
+// unless a loader is installed via Retarget.
+func NewWithMatcher(m *core.Matcher, source string) *Registry {
+	r := &Registry{source: source, load: func() (*core.Matcher, error) { return m, nil }}
+	r.Swap(m, source)
+	return r
+}
+
+// Current returns the live entry, or nil before the first successful
+// load. The returned entry stays valid (and scannable) forever; it
+// just stops being current after the next swap.
+func (r *Registry) Current() *Entry { return r.cur.Load() }
+
+// Reload runs the loader and, on success, atomically publishes the new
+// matcher. In-flight scans on the previous matcher are unaffected. On
+// failure the current entry stays live and the error is returned.
+func (r *Registry) Reload() (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reloadLocked()
+}
+
+func (r *Registry) reloadLocked() (*Entry, error) {
+	if r.load == nil {
+		return nil, fmt.Errorf("registry: no loader configured")
+	}
+	// Stat before loading: if the file changes mid-load, the baseline
+	// is the older stat and the next Watch poll re-detects the change.
+	var mod time.Time
+	var size int64
+	if fi, err := os.Stat(r.source); err == nil {
+		mod, size = fi.ModTime(), fi.Size()
+	}
+	m, err := r.load()
+	if err != nil {
+		r.failed.Add(1)
+		return nil, err
+	}
+	r.baseMod, r.baseSize = mod, size
+	e := r.publishLocked(m, r.source)
+	r.reloads.Add(1)
+	return e, nil
+}
+
+// Retarget points the registry at a new source and loads it
+// immediately. On failure the previous source and entry stay live.
+func (r *Registry) Retarget(source string, load Loader) (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prevSource, prevLoad := r.source, r.load
+	r.source, r.load = source, load
+	e, err := r.reloadLocked()
+	if err != nil {
+		r.source, r.load = prevSource, prevLoad
+		return nil, err
+	}
+	return e, nil
+}
+
+// Swap publishes an already-built matcher directly (no loader).
+func (r *Registry) Swap(m *core.Matcher, source string) *Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.publishLocked(m, source)
+}
+
+func (r *Registry) publishLocked(m *core.Matcher, source string) *Entry {
+	r.gen++
+	e := &Entry{Matcher: m, Source: source, Generation: r.gen, LoadedAt: time.Now()}
+	r.cur.Store(e)
+	return e
+}
+
+// Reloads reports (successful, failed) reload counts.
+func (r *Registry) Reloads() (ok, failed uint64) {
+	return r.reloads.Load(), r.failed.Load()
+}
+
+// Watch polls the registry's source file every interval and reloads
+// when its modification time or size changes, until ctx is cancelled.
+// Each attempt's outcome is delivered to onEvent (which may be nil);
+// failed reloads keep the previous entry live and are retried on
+// every subsequent poll until one succeeds (the change-detection
+// baseline only advances on success), so a transient read failure can
+// never permanently wedge the daemon on a stale generation. It
+// blocks; run it in its own goroutine.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration, onEvent func(*Entry, error)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		// The baseline is the stat captured just before the last
+		// successful load (see reloadLocked): a rewrite landing between
+		// that load and this poll is still detected, and a failed
+		// reload leaves the baseline behind so the next poll retries.
+		lastMod, lastSize := r.baseline()
+		fi, err := os.Stat(r.sourcePath())
+		if err != nil {
+			continue // transient: file being replaced, or gone
+		}
+		if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+			continue
+		}
+		e, err := r.Reload()
+		if onEvent != nil {
+			onEvent(e, err)
+		}
+	}
+}
+
+func (r *Registry) sourcePath() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.source
+}
+
+func (r *Registry) baseline() (time.Time, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.baseMod, r.baseSize
+}
+
+// ArtifactLoader loads a compiled Save/Load artifact from path.
+func ArtifactLoader(path string) Loader {
+	return func() (*core.Matcher, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+		defer f.Close()
+		m, err := core.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("registry: artifact %s: %w", path, err)
+		}
+		return m, nil
+	}
+}
+
+// DictLoader compiles a plain-text pattern file (one pattern per line,
+// blank lines and '#' comments ignored) with the given options.
+func DictLoader(path string, opts core.Options) Loader {
+	return func() (*core.Matcher, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+		defer f.Close()
+		pats, err := ParsePatterns(f)
+		if err != nil {
+			return nil, fmt.Errorf("registry: dict %s: %w", path, err)
+		}
+		if len(pats) == 0 {
+			return nil, fmt.Errorf("registry: dict %s: no patterns", path)
+		}
+		m, err := core.Compile(pats, opts)
+		if err != nil {
+			return nil, fmt.Errorf("registry: dict %s: %w", path, err)
+		}
+		return m, nil
+	}
+}
+
+// ParsePatterns reads a pattern-per-line dictionary: blank lines and
+// lines starting with '#' are skipped. An empty dictionary is not an
+// error here — callers decide whether zero patterns is acceptable
+// (the CLI allows it when inline patterns were also given).
+func ParsePatterns(r io.Reader) ([][]byte, error) {
+	var out [][]byte
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, []byte(line))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package registry
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cellmatch/internal/core"
+)
+
+// saveArtifact compiles patterns and writes a Save artifact to dir.
+func saveArtifact(t *testing.T, dir, name string, patterns []string) string {
+	t.Helper()
+	m, err := core.CompileStrings(patterns, core.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The satellite round trip: compile → Save → registry load → scan →
+// swap to a second artifact → scan again. Both generations must report
+// exactly what a freshly compiled matcher reports.
+func TestArtifactHotSwapRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pathA := saveArtifact(t, dir, "a.cms", []string{"alpha", "omega"})
+	pathB := saveArtifact(t, dir, "b.cms", []string{"beta", "omega"})
+
+	r := New(pathA, ArtifactLoader(pathA))
+	if r.Current() != nil {
+		t.Fatal("entry published before first Reload")
+	}
+	ea, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Generation != 1 || ea.Source != pathA {
+		t.Fatalf("bad first entry: %+v", ea)
+	}
+
+	probe := []byte("xx ALPHA yy beta zz omega")
+	wantA, err := mustCompile(t, []string{"alpha", "omega"}).FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := ea.Matcher.FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Fatalf("loaded matcher diverged: %v vs %v", gotA, wantA)
+	}
+
+	eb, err := r.Retarget(pathB, ArtifactLoader(pathB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.Generation != 2 || r.Current() != eb {
+		t.Fatalf("swap not published: %+v", eb)
+	}
+	wantB, err := mustCompile(t, []string{"beta", "omega"}).FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := eb.Matcher.FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatalf("swapped matcher diverged: %v vs %v", gotB, wantB)
+	}
+	// RCU: the old entry keeps scanning correctly after the swap.
+	gotA2, err := ea.Matcher.FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA2, wantA) {
+		t.Fatal("pre-swap entry no longer scans correctly")
+	}
+	if ok, failed := r.Reloads(); ok != 2 || failed != 0 {
+		t.Fatalf("reload counters: ok=%d failed=%d", ok, failed)
+	}
+}
+
+func mustCompile(t *testing.T, patterns []string) *core.Matcher {
+	t.Helper()
+	m, err := core.CompileStrings(patterns, core.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A failed reload (corrupt artifact, missing file) must leave the live
+// entry untouched.
+func TestFailedReloadKeepsCurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := saveArtifact(t, dir, "good.cms", []string{"alpha"})
+	r := New(path, ArtifactLoader(path))
+	e1, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the artifact in place.
+	if err := os.WriteFile(path, []byte("garbage, not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reload(); err == nil {
+		t.Fatal("corrupt reload accepted")
+	}
+	if r.Current() != e1 {
+		t.Fatal("failed reload displaced the live entry")
+	}
+	// Retarget to a missing path: loader and source must roll back.
+	if _, err := r.Retarget(filepath.Join(dir, "missing.cms"), ArtifactLoader(filepath.Join(dir, "missing.cms"))); err == nil {
+		t.Fatal("retarget to missing path accepted")
+	}
+	if r.sourcePath() != path {
+		t.Fatalf("source not rolled back: %s", r.sourcePath())
+	}
+	if ok, failed := r.Reloads(); ok != 1 || failed != 2 {
+		t.Fatalf("reload counters: ok=%d failed=%d", ok, failed)
+	}
+}
+
+func TestDictLoaderAndParse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict.txt")
+	content := "# signatures\nvirus\n\n  worm  \n#skip\ntrojan\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(path, DictLoader(path, core.Options{CaseFold: true}))
+	e, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Matcher.NumPatterns(); n != 3 {
+		t.Fatalf("parsed %d patterns, want 3", n)
+	}
+	hits, err := e.Matcher.FindAll([]byte("a WORM and a trojan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	// Comments-only parses to zero patterns (the caller's call), and
+	// DictLoader refuses to serve an empty dictionary.
+	pats, err := ParsePatterns(strings.NewReader("# only comments\n\n"))
+	if err != nil || len(pats) != 0 {
+		t.Fatalf("comments-only parse: %v, %d patterns", err, len(pats))
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DictLoader(empty, core.Options{})(); err == nil {
+		t.Fatal("empty dictionary served")
+	}
+}
+
+// Watch must pick up a rewritten artifact and publish a new
+// generation; an in-place corruption must not displace the live entry.
+func TestWatchReloadsOnChange(t *testing.T) {
+	dir := t.TempDir()
+	path := saveArtifact(t, dir, "live.cms", []string{"alpha"})
+	r := New(path, ArtifactLoader(path))
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan error, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Watch(ctx, 5*time.Millisecond, func(_ *Entry, err error) { events <- err })
+	}()
+
+	// Replace the artifact with a different dictionary. Watch's
+	// baseline stat races with the first rewrite (it may already see
+	// the new file), so keep rewriting — each write bumps the mtime —
+	// until a reload lands.
+	deadline := time.After(10 * time.Second)
+	for r.Current().Generation < 2 {
+		saveArtifact(t, dir, "live.cms", []string{"beta", "gamma", "delta"})
+		select {
+		case err := <-events:
+			if err != nil {
+				// A poll can catch the file mid-write; the registry keeps
+				// the old entry and retries on the next mtime change —
+				// transient by design, so keep rewriting.
+				t.Logf("transient reload failure (expected under write races): %v", err)
+			}
+		case <-deadline:
+			t.Fatal("watch never reloaded")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	e := r.Current()
+	if e.Generation < 2 || e.Matcher.NumPatterns() != 3 {
+		t.Fatalf("watch published wrong entry: gen=%d patterns=%d", e.Generation, e.Matcher.NumPatterns())
+	}
+	cancel()
+	wg.Wait()
+}

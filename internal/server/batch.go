@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/registry"
+)
+
+// counters are the service-level request/byte/match totals /stats
+// reports.
+type counters struct {
+	requests atomic.Uint64
+	bytes    atomic.Uint64
+	matches  atomic.Uint64
+}
+
+func (c *counters) scan(n, m int) {
+	c.requests.Add(1)
+	c.bytes.Add(uint64(n))
+	c.matches.Add(uint64(m))
+}
+
+// batcher coalesces /scan/batch payloads arriving from many concurrent
+// HTTP handlers into grouped kernel passes: the first payload opens a
+// batch, the collector lingers briefly for more, and the whole group
+// is scanned as one FindAllBatch task set on the shared pool — one
+// fan-out for N requests instead of N. Payloads that captured
+// different registry entries (a reload landed between them) are split
+// into per-entry groups, so no request is ever scanned against a
+// dictionary it didn't observe.
+type batcher struct {
+	in     chan *batchReq
+	done   chan struct{}
+	wg     sync.WaitGroup
+	max    int
+	linger time.Duration
+	scan   func(*registry.Entry, [][]byte) ([][]core.Match, error)
+
+	closeOnce sync.Once
+	batches   atomic.Uint64 // coalesced passes executed
+	payloads  atomic.Uint64 // payloads scanned through batches
+}
+
+type batchReq struct {
+	entry *registry.Entry
+	data  []byte
+	resp  chan batchResult
+}
+
+type batchResult struct {
+	matches []core.Match
+	err     error
+}
+
+func newBatcher(max int, linger time.Duration, scan func(*registry.Entry, [][]byte) ([][]core.Match, error)) *batcher {
+	b := &batcher{
+		in:     make(chan *batchReq, max),
+		done:   make(chan struct{}),
+		max:    max,
+		linger: linger,
+		scan:   scan,
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// submit enqueues one payload and blocks until its batch is scanned.
+func (b *batcher) submit(e *registry.Entry, data []byte) ([]core.Match, error) {
+	req := &batchReq{entry: e, data: data, resp: make(chan batchResult, 1)}
+	select {
+	case b.in <- req:
+	case <-b.done:
+		return nil, fmt.Errorf("server: shutting down")
+	}
+	select {
+	case res := <-req.resp:
+		return res.matches, res.err
+	case <-b.done:
+		// The collector may have exited before dequeuing us (the send
+		// raced close); resp is buffered, so a result that did land is
+		// still collectable.
+		select {
+		case res := <-req.resp:
+			return res.matches, res.err
+		default:
+			return nil, fmt.Errorf("server: shutting down")
+		}
+	}
+}
+
+// stats reports (batches executed, payloads batched).
+func (b *batcher) stats() (uint64, uint64) {
+	return b.batches.Load(), b.payloads.Load()
+}
+
+// close stops the collector; queued requests are failed, not dropped.
+func (b *batcher) close() {
+	b.closeOnce.Do(func() { close(b.done) })
+	b.wg.Wait()
+}
+
+func (b *batcher) run() {
+	defer b.wg.Done()
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.in:
+		case <-b.done:
+			b.drain()
+			return
+		}
+		reqs := b.collect(first)
+		b.flush(reqs)
+	}
+}
+
+// collect gathers up to max payloads, waiting at most linger after the
+// first.
+func (b *batcher) collect(first *batchReq) []*batchReq {
+	reqs := []*batchReq{first}
+	timer := time.NewTimer(b.linger)
+	defer timer.Stop()
+	for len(reqs) < b.max {
+		select {
+		case r := <-b.in:
+			reqs = append(reqs, r)
+		case <-timer.C:
+			return reqs
+		case <-b.done:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// flush groups the batch by captured registry entry and runs one
+// coalesced scan per group, delivering per-payload results.
+func (b *batcher) flush(reqs []*batchReq) {
+	groups := make(map[*registry.Entry][]*batchReq)
+	var order []*registry.Entry
+	for _, r := range reqs {
+		if _, ok := groups[r.entry]; !ok {
+			order = append(order, r.entry)
+		}
+		groups[r.entry] = append(groups[r.entry], r)
+	}
+	for _, e := range order {
+		group := groups[e]
+		payloads := make([][]byte, len(group))
+		for i, r := range group {
+			payloads[i] = r.data
+		}
+		results, err := b.scan(e, payloads)
+		b.batches.Add(1)
+		b.payloads.Add(uint64(len(group)))
+		for i, r := range group {
+			if err != nil {
+				r.resp <- batchResult{err: err}
+				continue
+			}
+			r.resp <- batchResult{matches: results[i]}
+		}
+	}
+}
+
+// drain fails any requests that raced shutdown.
+func (b *batcher) drain() {
+	for {
+		select {
+		case r := <-b.in:
+			r.resp <- batchResult{err: fmt.Errorf("server: shutting down")}
+		default:
+			return
+		}
+	}
+}

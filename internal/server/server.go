@@ -1,0 +1,424 @@
+// Package server is the serving layer over the matching engines:
+// cellmatchd's HTTP surface. It turns the one-shot library calls into
+// a long-running service that keeps the compiled kernel tables hot,
+// shares one fixed worker pool across all requests (no
+// goroutine-per-request fan-out), coalesces small payloads into
+// batched kernel passes, and hot-swaps dictionaries through
+// internal/registry without dropping in-flight traffic — the paper's
+// sustained line-rate NIDS workload, behind HTTP.
+//
+// Endpoints:
+//
+//	POST /scan         body = data; query: mode=pool|seq|adhoc,
+//	                   workers, chunk, count
+//	POST /scan/stream  chunked upload fed through ScanReader
+//	POST /scan/batch   body = one payload, coalesced across requests
+//	                   into one kernel pass over the shared pool
+//	POST /reload       query: path (new artifact), format=artifact|dict
+//	GET  /stats        dictionary shape + request/byte/match counters
+//	GET  /healthz      liveness + current generation
+//
+// Every request captures the registry's current entry once and scans
+// it for the request's whole lifetime (RCU): a concurrent /reload
+// never tears a scan, it only changes what later requests see.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/parallel"
+	"cellmatch/internal/registry"
+)
+
+// Config tunes the serving layer. The zero value (plus a Registry) is
+// production-ready: GOMAXPROCS pool workers, 64 KiB chunks, 64 MiB
+// request cap, 64-payload batches with a 2 ms linger.
+type Config struct {
+	// Registry supplies the live matcher; required.
+	Registry *registry.Registry
+	// Workers sizes the shared scan pool. <=0 means GOMAXPROCS.
+	Workers int
+	// ChunkBytes is the default per-chunk size for pool scans. <=0
+	// means the parallel engine's 64 KiB default.
+	ChunkBytes int
+	// MaxBodyBytes caps /scan and /scan/batch request bodies. <=0
+	// means 64 MiB. /scan/stream is exempt (it streams).
+	MaxBodyBytes int64
+	// BatchMax is the most payloads coalesced into one batch pass.
+	// <=0 means 64.
+	BatchMax int
+	// BatchLinger is how long the batcher waits for more payloads
+	// after the first arrives. <=0 means 2 ms.
+	BatchLinger time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.BatchLinger <= 0 {
+		c.BatchLinger = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the HTTP matching service.
+type Server struct {
+	cfg     Config
+	reg     *registry.Registry
+	pool    *parallel.Pool
+	batch   *batcher
+	started time.Time
+
+	counters counters
+}
+
+// New builds a server over the registry, starting the shared worker
+// pool and the batch collector. Call Close to release them.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: Config.Registry is required")
+	}
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:     c,
+		reg:     c.Registry,
+		pool:    parallel.NewPool(c.Workers),
+		started: time.Now(),
+	}
+	s.batch = newBatcher(c.BatchMax, c.BatchLinger, s.scanBatchGroup)
+	return s, nil
+}
+
+// Close stops the batch collector and the shared pool. Stop accepting
+// HTTP traffic first; requests racing Close fail with 503.
+func (s *Server) Close() {
+	s.batch.close()
+	s.pool.Close()
+}
+
+// Pool exposes the shared worker pool (benchmarks, diagnostics).
+func (s *Server) Pool() *parallel.Pool { return s.pool }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /scan", s.handleScan)
+	mux.HandleFunc("POST /scan/stream", s.handleScanStream)
+	mux.HandleFunc("POST /scan/batch", s.handleScanBatch)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// MatchJSON is one reported hit. Start/End are byte offsets into the
+// scanned payload ([Start, End) covers the matched text).
+type MatchJSON struct {
+	Pattern int    `json:"pattern"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	Text    string `json:"text"`
+}
+
+// ScanResponse is the reply to /scan, /scan/stream, and /scan/batch.
+type ScanResponse struct {
+	// Generation and Source identify the dictionary that served this
+	// request — constant for the request even if a reload lands
+	// mid-scan.
+	Generation uint64 `json:"generation"`
+	Source     string `json:"source"`
+	// Engine is the live scan engine ("kernel" or "stt").
+	Engine  string      `json:"engine"`
+	Bytes   int         `json:"bytes"`
+	Count   int         `json:"count"`
+	Matches []MatchJSON `json:"matches,omitempty"`
+}
+
+// readBody reads a capped request body, answering 413 only for the
+// size cap; other read failures (client aborts, resets) are 400.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "body: "+err.Error(), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+// current captures the live dictionary entry, or fails the request
+// with 503 when none is loaded yet.
+func (s *Server) current(w http.ResponseWriter) *registry.Entry {
+	e := s.reg.Current()
+	if e == nil {
+		http.Error(w, "no dictionary loaded", http.StatusServiceUnavailable)
+	}
+	return e
+}
+
+// scanOpts derives per-request parallel options: mode=pool (default)
+// scans on the shared pool, mode=seq scans sequentially on the
+// compiled engine, mode=adhoc spawns per-request workers (the
+// pre-server behavior; `workers` sizes it). `chunk` overrides the
+// chunk size in every mode.
+func (s *Server) scanOpts(q map[string][]string) (mode string, opts core.ParallelOptions, err error) {
+	get := func(key string) string {
+		if v, ok := q[key]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	mode = get("mode")
+	if mode == "" {
+		mode = "pool"
+	}
+	opts.ChunkBytes = s.cfg.ChunkBytes
+	if c := get("chunk"); c != "" {
+		n, perr := strconv.Atoi(c)
+		if perr != nil || n < 0 {
+			return "", opts, fmt.Errorf("bad chunk %q", c)
+		}
+		opts.ChunkBytes = n
+	}
+	if wstr := get("workers"); wstr != "" {
+		n, perr := strconv.Atoi(wstr)
+		if perr != nil || n < 0 {
+			return "", opts, fmt.Errorf("bad workers %q", wstr)
+		}
+		opts.Workers = n
+	}
+	switch mode {
+	case "pool":
+		opts.Pool = s.pool
+	case "seq", "adhoc":
+	default:
+		return "", opts, fmt.Errorf("bad mode %q (want pool, seq, or adhoc)", mode)
+	}
+	return mode, opts, nil
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	e := s.current(w)
+	if e == nil {
+		return
+	}
+	mode, opts, err := s.scanOpts(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var matches []core.Match
+	if mode == "seq" {
+		matches, err = e.Matcher.FindAll(data)
+	} else {
+		matches, err = e.Matcher.FindAllParallel(data, opts)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.counters.scan(len(data), len(matches))
+	s.writeScanResponse(w, r, e, len(data), matches)
+}
+
+func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
+	e := s.current(w)
+	if e == nil {
+		return
+	}
+	_, opts, err := s.scanOpts(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cr := &countingReader{r: r.Body}
+	matches, err := e.Matcher.ScanReader(cr, opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.counters.scan(cr.n, len(matches))
+	s.writeScanResponse(w, r, e, cr.n, matches)
+}
+
+func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
+	e := s.current(w)
+	if e == nil {
+		return
+	}
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	matches, err := s.batch.submit(e, data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.counters.scan(len(data), len(matches))
+	s.writeScanResponse(w, r, e, len(data), matches)
+}
+
+// scanBatchGroup is the batcher's scan callback: one coalesced kernel
+// pass over every payload in the group, on the shared pool.
+func (s *Server) scanBatchGroup(e *registry.Entry, payloads [][]byte) ([][]core.Match, error) {
+	return e.Matcher.FindAllBatch(payloads, core.ParallelOptions{
+		ChunkBytes: s.cfg.ChunkBytes,
+		Pool:       s.pool,
+	})
+}
+
+func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *registry.Entry, n int, matches []core.Match) {
+	resp := ScanResponse{
+		Generation: e.Generation,
+		Source:     e.Source,
+		Engine:     e.Matcher.EngineName(),
+		Bytes:      n,
+		Count:      len(matches),
+	}
+	if r.URL.Query().Get("count") != "1" {
+		resp.Matches = make([]MatchJSON, len(matches))
+		for i, m := range matches {
+			p := e.Matcher.Pattern(m.Pattern)
+			resp.Matches[i] = MatchJSON{
+				Pattern: m.Pattern,
+				Start:   m.End - len(p),
+				End:     m.End,
+				Text:    string(p),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReloadResponse is the reply to /reload.
+type ReloadResponse struct {
+	Generation uint64 `json:"generation"`
+	Source     string `json:"source"`
+	Patterns   int    `json:"patterns"`
+	States     int    `json:"states"`
+	Engine     string `json:"engine"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var (
+		e   *registry.Entry
+		err error
+	)
+	if path := q.Get("path"); path != "" {
+		var load registry.Loader
+		switch format := q.Get("format"); format {
+		case "", "artifact":
+			load = registry.ArtifactLoader(path)
+		case "dict":
+			load = registry.DictLoader(path, core.Options{CaseFold: q.Get("casefold") == "1"})
+		default:
+			http.Error(w, fmt.Sprintf("bad format %q (want artifact or dict)", format), http.StatusBadRequest)
+			return
+		}
+		e, err = s.reg.Retarget(path, load)
+	} else {
+		e, err = s.reg.Reload()
+	}
+	if err != nil {
+		// The previous dictionary is still live; the reload just failed.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	st := e.Matcher.Stats()
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Generation: e.Generation,
+		Source:     e.Source,
+		Patterns:   st.Patterns,
+		States:     st.States,
+		Engine:     st.Engine,
+	})
+}
+
+// StatsResponse is the reply to /stats.
+type StatsResponse struct {
+	Generation    uint64     `json:"generation"`
+	Source        string     `json:"source"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	PoolWorkers   int        `json:"pool_workers"`
+	Requests      uint64     `json:"requests"`
+	BytesScanned  uint64     `json:"bytes_scanned"`
+	MatchesFound  uint64     `json:"matches_found"`
+	Batches       uint64     `json:"batches"`
+	BatchPayloads uint64     `json:"batch_payloads"`
+	ReloadsOK     uint64     `json:"reloads_ok"`
+	ReloadsFailed uint64     `json:"reloads_failed"`
+	Dictionary    core.Stats `json:"dictionary"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e := s.current(w)
+	if e == nil {
+		return
+	}
+	ok, failed := s.reg.Reloads()
+	batches, payloads := s.batch.stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Generation:    e.Generation,
+		Source:        e.Source,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		PoolWorkers:   s.pool.Workers(),
+		Requests:      s.counters.requests.Load(),
+		BytesScanned:  s.counters.bytes.Load(),
+		MatchesFound:  s.counters.matches.Load(),
+		Batches:       batches,
+		BatchPayloads: payloads,
+		ReloadsOK:     ok,
+		ReloadsFailed: failed,
+		Dictionary:    e.Matcher.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	e := s.reg.Current()
+	if e == nil {
+		http.Error(w, "no dictionary loaded", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "generation": e.Generation})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // client gone: nothing useful to do
+}
+
+// countingReader tracks bytes consumed from a streamed body.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}

@@ -1,0 +1,460 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/registry"
+	"cellmatch/internal/workload"
+)
+
+// newTestServer serves a compiled dictionary over httptest.
+func newTestServer(t *testing.T, patterns []string, cfg Config) (*httptest.Server, *registry.Registry, *core.Matcher) {
+	t.Helper()
+	m, err := core.CompileStrings(patterns, core.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.NewWithMatcher(m, "inline")
+	cfg.Registry = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts, reg, m
+}
+
+func postScan(t *testing.T, url string, body []byte) ScanResponse {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	var sr ScanResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("bad JSON from %s: %v: %s", url, err, raw)
+	}
+	return sr
+}
+
+// wantMatches converts library matches into the wire shape.
+func wantMatches(m *core.Matcher, hits []core.Match) []MatchJSON {
+	out := make([]MatchJSON, len(hits))
+	for i, h := range hits {
+		p := m.Pattern(h.Pattern)
+		out[i] = MatchJSON{Pattern: h.Pattern, Start: h.End - len(p), End: h.End, Text: string(p)}
+	}
+	return out
+}
+
+func testTraffic(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: n, MatchEvery: 4 << 10, Dictionary: workload.SignatureDictionary(), Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func sigPatterns() []string {
+	var out []string
+	for _, p := range workload.SignatureDictionary() {
+		out = append(out, string(p))
+	}
+	return out
+}
+
+// Every scan mode (shared pool, sequential, ad-hoc workers, odd chunk
+// sizes) must return exactly FindAll's matches.
+func TestScanModesEquivalence(t *testing.T) {
+	ts, _, m := newTestServer(t, sigPatterns(), Config{})
+	data := testTraffic(t, 256<<10, 41)
+	ref, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantMatches(m, ref)
+	if len(want) == 0 {
+		t.Fatal("test traffic has no hits; test is vacuous")
+	}
+	for _, query := range []string{
+		"", "?mode=pool", "?mode=seq", "?mode=adhoc&workers=3",
+		"?mode=pool&chunk=1024", "?mode=adhoc&workers=2&chunk=333",
+	} {
+		sr := postScan(t, ts.URL+"/scan"+query, data)
+		if sr.Bytes != len(data) || sr.Count != len(want) {
+			t.Fatalf("%q: bytes=%d count=%d, want %d/%d", query, sr.Bytes, sr.Count, len(data), len(want))
+		}
+		if !reflect.DeepEqual(sr.Matches, want) {
+			t.Fatalf("%q: matches diverged from FindAll", query)
+		}
+	}
+	// count=1 omits the match list but keeps the count.
+	sr := postScan(t, ts.URL+"/scan?count=1", data)
+	if sr.Count != len(want) || sr.Matches != nil {
+		t.Fatalf("count=1: count=%d matches=%v", sr.Count, sr.Matches)
+	}
+}
+
+// The /scan/stream satellite: a chunked upload cut at adversarial
+// split points must equal FindAll over the whole payload.
+func TestScanStreamSplitEquivalence(t *testing.T) {
+	ts, _, m := newTestServer(t, sigPatterns(), Config{})
+	data := testTraffic(t, 300<<10, 43)
+	ref, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantMatches(m, ref)
+	if len(want) == 0 {
+		t.Fatal("test traffic has no hits; test is vacuous")
+	}
+	// Prime-sized writes guarantee cuts land mid-pattern somewhere.
+	for _, step := range []int{1 << 10, 4093, 65537, len(data)} {
+		pr, pw := io.Pipe()
+		go func(step int) {
+			for off := 0; off < len(data); off += step {
+				end := off + step
+				if end > len(data) {
+					end = len(data)
+				}
+				if _, err := pw.Write(data[off:end]); err != nil {
+					return
+				}
+			}
+			pw.Close()
+		}(step)
+		resp, err := http.Post(ts.URL+"/scan/stream?chunk=8192", "application/octet-stream", pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d: %d: %s", step, resp.StatusCode, raw)
+		}
+		var sr ScanResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Bytes != len(data) {
+			t.Fatalf("step %d: consumed %d of %d bytes", step, sr.Bytes, len(data))
+		}
+		if !reflect.DeepEqual(sr.Matches, want) {
+			t.Fatalf("step %d: stream scan diverged from FindAll (%d vs %d)", step, len(sr.Matches), len(want))
+		}
+	}
+}
+
+// The acceptance race test: concurrent /scan traffic while /reload
+// alternates two dictionaries. Zero failed requests, and every
+// response must be internally consistent — the matches always belong
+// to the dictionary named by the response's source/generation, never a
+// mix (a torn matcher).
+func TestConcurrentScanReloadNoTornMatcher(t *testing.T) {
+	dir := t.TempDir()
+	mkArtifact := func(name string, pats []string) string {
+		m, err := core.CompileStrings(pats, core.Options{CaseFold: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	pathA := mkArtifact("a.cms", []string{"aardvark"})
+	pathB := mkArtifact("b.cms", []string{"bumblebee"})
+
+	ts, _, _ := newTestServer(t, []string{"aardvark"}, Config{})
+	probe := []byte("an AARDVARK met a bumblebee; the aardvark left")
+	// Per dictionary: the exact match set the probe must yield.
+	wantByText := map[string]int{"aardvark": 2, "bumblebee": 1}
+
+	var scans, reloads atomic.Uint64
+	stopc := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(mode string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopc:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/scan?mode="+mode, "application/octet-stream", bytes.NewReader(probe))
+				if err != nil {
+					errc <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("scan failed: %d: %s", resp.StatusCode, raw)
+					return
+				}
+				var sr ScanResponse
+				if err := json.Unmarshal(raw, &sr); err != nil {
+					errc <- err
+					return
+				}
+				// Which dictionary does the response claim served it?
+				var wantText string
+				switch {
+				case sr.Source == "inline" || strings.HasSuffix(sr.Source, "a.cms"):
+					wantText = "aardvark"
+				case strings.HasSuffix(sr.Source, "b.cms"):
+					wantText = "bumblebee"
+				default:
+					errc <- fmt.Errorf("unknown source %q", sr.Source)
+					return
+				}
+				if sr.Count != wantByText[wantText] {
+					errc <- fmt.Errorf("torn response: source=%s gen=%d count=%d: %s", sr.Source, sr.Generation, sr.Count, raw)
+					return
+				}
+				for _, hit := range sr.Matches {
+					if hit.Text != wantText {
+						errc <- fmt.Errorf("torn response: source=%s reported %q", sr.Source, hit.Text)
+						return
+					}
+					if got := string(probe[hit.Start:hit.End]); !strings.EqualFold(got, wantText) {
+						errc <- fmt.Errorf("offsets off: [%d,%d) = %q", hit.Start, hit.End, got)
+						return
+					}
+				}
+				scans.Add(1)
+			}
+		}([]string{"pool", "seq", "adhoc"}[c%3])
+	}
+
+	// Reloader: alternate A and B as fast as the server allows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		paths := []string{pathA, pathB}
+		for i := 0; ; i++ {
+			select {
+			case <-stopc:
+				return
+			default:
+			}
+			resp, err := http.Post(ts.URL+"/reload?path="+paths[i%2], "", nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("reload failed: %d", resp.StatusCode)
+				return
+			}
+			reloads.Add(1)
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond)
+	close(stopc)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if scans.Load() == 0 || reloads.Load() < 2 {
+		t.Fatalf("race window too small: %d scans, %d reloads", scans.Load(), reloads.Load())
+	}
+	t.Logf("%d scans raced %d reloads with zero failures", scans.Load(), reloads.Load())
+}
+
+// /scan/batch must coalesce concurrent payloads and still return each
+// request its own payload's exact matches.
+func TestBatchCoalescing(t *testing.T) {
+	ts, _, m := newTestServer(t, sigPatterns(), Config{BatchLinger: 5 * time.Millisecond})
+	const clients = 24
+	payloads := make([][]byte, clients)
+	for i := range payloads {
+		payloads[i] = testTraffic(t, 2<<10+i*137, int64(500+i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ref, err := m.FindAll(payloads[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := wantMatches(m, ref)
+			resp, err := http.Post(ts.URL+"/scan/batch", "application/octet-stream", bytes.NewReader(payloads[i]))
+			if err != nil {
+				errs <- err
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			var sr ScanResponse
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				errs <- err
+				return
+			}
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(sr.Matches, want) {
+				errs <- fmt.Errorf("client %d: batch scan diverged (%d vs %d matches)", i, len(sr.Matches), len(want))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The batcher must have actually coalesced: fewer passes than
+	// payloads (with 24 concurrent clients and a 5ms linger, some must
+	// share a batch).
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BatchPayloads != clients {
+		t.Fatalf("batched %d payloads, want %d", st.BatchPayloads, clients)
+	}
+	if st.Batches == 0 || st.Batches > clients {
+		t.Fatalf("implausible batch count %d", st.Batches)
+	}
+	t.Logf("%d payloads coalesced into %d batches", st.BatchPayloads, st.Batches)
+}
+
+func TestStatsCounters(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"needle"}, Config{Workers: 3})
+	payload := []byte("a needle in a haystack with another needle")
+	for i := 0; i < 4; i++ {
+		postScan(t, ts.URL+"/scan", payload)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 4 {
+		t.Fatalf("requests=%d, want 4", st.Requests)
+	}
+	if st.BytesScanned != uint64(4*len(payload)) {
+		t.Fatalf("bytes=%d, want %d", st.BytesScanned, 4*len(payload))
+	}
+	if st.MatchesFound != 8 {
+		t.Fatalf("matches=%d, want 8", st.MatchesFound)
+	}
+	if st.PoolWorkers != 3 || st.Generation != 1 || st.Dictionary.Patterns != 1 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if st.Dictionary.Engine != "kernel" {
+		t.Fatalf("engine=%s, want kernel", st.Dictionary.Engine)
+	}
+}
+
+// A failed reload must keep the old dictionary serving and report the
+// failure in /stats.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"needle"}, Config{})
+	resp, err := http.Post(ts.URL+"/reload?path=/definitely/not/there.cms", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad reload: %d, want 422", resp.StatusCode)
+	}
+	sr := postScan(t, ts.URL+"/scan", []byte("needle"))
+	if sr.Count != 1 || sr.Generation != 1 {
+		t.Fatalf("old dictionary not serving: %+v", sr)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"needle"}, Config{MaxBodyBytes: 1 << 10})
+	check := func(method, path string, body io.Reader, want int) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s %s: %d, want %d", method, path, resp.StatusCode, want)
+		}
+	}
+	check("GET", "/scan", nil, http.StatusMethodNotAllowed)
+	check("POST", "/stats", nil, http.StatusMethodNotAllowed)
+	check("POST", "/scan?mode=warp", strings.NewReader("x"), http.StatusBadRequest)
+	check("POST", "/scan?workers=-2", strings.NewReader("x"), http.StatusBadRequest)
+	check("POST", "/scan?chunk=banana", strings.NewReader("x"), http.StatusBadRequest)
+	check("POST", "/scan", bytes.NewReader(make([]byte, 2<<10)), http.StatusRequestEntityTooLarge)
+	check("POST", "/scan/batch", bytes.NewReader(make([]byte, 2<<10)), http.StatusRequestEntityTooLarge)
+	check("POST", "/reload?path=x&format=hologram", nil, http.StatusBadRequest)
+}
+
+// New requires a registry.
+func TestNewRequiresRegistry(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+}
