@@ -355,6 +355,79 @@ func BenchmarkKernelParallel4Workers(b *testing.B) {
 	}
 }
 
+// --- Sharded multi-kernel engine ------------------------------------------
+
+// benchShardedSetup compiles a dictionary roughly 4x the paper tile
+// (6000 states) against a 256 KiB per-shard budget — the SPE
+// local-store figure — so the dense kernel cannot fit and the ladder
+// lands on the requested tier.
+func benchShardedSetup(b *testing.B, size int, engine core.EngineOptions, wantEngine string) (*core.Matcher, []byte) {
+	b.Helper()
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 6000, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if got := m.Stats().Engine; got != wantEngine {
+		b.Fatalf("engine = %q, want %q", got, wantEngine)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: size, MatchEvery: 64 << 10, Dictionary: pats, Seed: 22,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, data
+}
+
+const benchShardBudget = 256 << 10
+
+// BenchmarkShardedSequential is the acceptance benchmark: the
+// chunk-interleaved sharded scan versus BenchmarkShardedSTTFallback on
+// the same over-budget dictionary (target: >= 2x).
+func BenchmarkShardedSequential(b *testing.B) {
+	m, data := benchShardedSetup(b, 8<<20, core.EngineOptions{MaxTableBytes: benchShardBudget}, "sharded")
+	b.ReportMetric(float64(m.Stats().Shards), "shards")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedParallel4Workers fans the shard x chunk work items
+// across 4 workers — the one-shard-set-per-worker schedule.
+func BenchmarkShardedParallel4Workers(b *testing.B) {
+	m, data := benchShardedSetup(b, 8<<20, core.EngineOptions{MaxTableBytes: benchShardBudget}, "sharded")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAllParallel(data, core.ParallelOptions{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedSTTFallback is the comparator: the same over-budget
+// dictionary with sharding disabled, i.e. what every scan paid before
+// the sharded tier existed.
+func BenchmarkShardedSTTFallback(b *testing.B) {
+	m, data := benchShardedSetup(b, 8<<20,
+		core.EngineOptions{MaxTableBytes: benchShardBudget, MaxShards: -1}, "stt")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Native production path ---------------------------------------------
 
 func BenchmarkNativeScalar(b *testing.B) {

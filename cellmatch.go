@@ -92,12 +92,18 @@ type ParallelOptions = core.ParallelOptions
 //
 // Dense rows cost (row width × 4) bytes per state, so a dictionary's
 // tables can outgrow the budget (EngineOptions.MaxTableBytes, default
-// 8 MiB); the matcher then falls back to the original
-// alphabet-reduce + stt/dfa lookup path. Matcher.Stats().Engine
-// reports which engine is live, with KernelTableBytes and the
-// TableFitsL1/TableFitsL2 residency flags alongside. Both engines are
-// byte-for-byte identical in output (FuzzKernelEquivalence asserts
-// this), so the knob is purely a performance/memory trade.
+// 8 MiB); the matcher then shards the dictionary into up to MaxShards
+// sub-dictionaries whose kernels each fit the budget — the paper's
+// answer to dictionaries outgrowing one SPE's local store — scanning
+// every shard against the input and merging the match streams into
+// the unsharded order; only when even sharding cannot fit does it
+// fall back to the original alphabet-reduce + stt/dfa lookup path.
+// Matcher.Stats().Engine reports which tier is live ("kernel",
+// "sharded", or "stt"), with KernelTableBytes, Shards,
+// MaxShardTableBytes, and the TableFitsL1/TableFitsL2 residency flags
+// alongside. All tiers are byte-for-byte identical in output
+// (FuzzKernelEquivalence and FuzzShardEquivalence assert this), so
+// the knobs are purely performance/memory trades.
 type EngineOptions = core.EngineOptions
 
 // RegexSet matches whole inputs against regular expressions.

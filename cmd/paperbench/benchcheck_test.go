@@ -142,15 +142,168 @@ func TestBenchCheckBadInputs(t *testing.T) {
 	}
 }
 
-// The committed repo baseline itself must pass against itself — keeps
-// the gate runnable from a clean checkout.
-func TestBenchCheckRepoBaselineSelfConsistent(t *testing.T) {
-	repoBaseline := filepath.Join("..", "..", "BENCH_kernel.json")
-	if _, err := os.Stat(repoBaseline); err != nil {
-		t.Skipf("no repo baseline: %v", err)
-	}
+const shardBench = `{
+  "input_bytes": 8388608,
+  "dict_states": 5997,
+  "shard_budget_bytes": 262144,
+  "shards": 4,
+  "stt_fallback_seq_MBps": 50,
+  "sharded_seq_MBps": 115,
+  "sharded_pool_MBps": 118,
+  "speedup_sharded_vs_stt": 2.3,
+  "sweep_128k_shards": 7,
+  "sweep_128k_seq_MBps": 80
+}`
+
+const serverBenchJSON = `{
+  "input_bytes": 16777216,
+  "scan_payload_bytes": 262144,
+  "scan_MBps": 200,
+  "batch_MBps": 13,
+  "stream_MBps": 347
+}`
+
+// Multi-pair gating: every pair prints its own table; regressions in
+// any pair fail, and informational rows (batch, sweep) never gate.
+func TestBenchCheckMultiPair(t *testing.T) {
+	kb := writeBench(t, "kernel.json", baseBench)
+	sb := writeBench(t, "shards.json", shardBench)
+	vb := writeBench(t, "server.json", serverBenchJSON)
+
 	var b strings.Builder
-	if err := runBenchCheck(&b, repoBaseline, repoBaseline, 0.20); err != nil {
-		t.Fatalf("repo baseline fails against itself: %v\n%s", err, b.String())
+	ok := kb + "," + vb + "," + sb
+	if err := runBenchCheckFiles(&b, ok, ok, 0.20); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, b.String())
+	}
+	for _, want := range []string{"kernel.json", "server.json", "shards.json"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("per-pair heading %q missing:\n%s", want, b.String())
+		}
+	}
+
+	// Mismatched list lengths must be rejected.
+	if err := runBenchCheckFiles(&b, kb+","+sb, kb, 0.20); err == nil {
+		t.Fatal("mismatched pair counts accepted")
+	}
+
+	// A sharded regression in the third pair fails the whole gate; the
+	// collapsed batch row (ungated) does not.
+	badShards := writeBench(t, "bad_shards.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 5997,
+	  "shard_budget_bytes": 262144,
+	  "shards": 4,
+	  "stt_fallback_seq_MBps": 50,
+	  "sharded_seq_MBps": 60,
+	  "sharded_pool_MBps": 118,
+	  "speedup_sharded_vs_stt": 2.3,
+	  "sweep_128k_shards": 7,
+	  "sweep_128k_seq_MBps": 10
+	}`)
+	badServer := writeBench(t, "bad_server.json", `{
+	  "input_bytes": 16777216,
+	  "scan_payload_bytes": 262144,
+	  "scan_MBps": 200,
+	  "batch_MBps": 1,
+	  "stream_MBps": 347
+	}`)
+	var b2 strings.Builder
+	err := runBenchCheckFiles(&b2, kb+","+vb+","+sb, kb+","+badServer+","+badShards, 0.20)
+	if err == nil {
+		t.Fatalf("sharded regression passed the multi-pair gate:\n%s", b2.String())
+	}
+	if !strings.Contains(err.Error(), "sharded_seq_MBps") {
+		t.Fatalf("regression not attributed to the sharded metric: %v", err)
+	}
+	if strings.Contains(err.Error(), "batch_MBps") || strings.Contains(err.Error(), "sweep_128k") {
+		t.Fatalf("informational row gated: %v", err)
+	}
+}
+
+// The ratio metrics carry absolute floors on top of the relative gate:
+// a sharded speedup of 1.9x is within 20% of the 2.3x baseline but
+// below the banked 2x acceptance number, and must still fail.
+func TestBenchCheckAbsoluteSpeedupFloor(t *testing.T) {
+	sb := writeBench(t, "shards.json", shardBench)
+	cand := writeBench(t, "cand.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 5997,
+	  "shard_budget_bytes": 262144,
+	  "shards": 4,
+	  "stt_fallback_seq_MBps": 55,
+	  "sharded_seq_MBps": 105,
+	  "sharded_pool_MBps": 108,
+	  "speedup_sharded_vs_stt": 1.9,
+	  "sweep_128k_shards": 7,
+	  "sweep_128k_seq_MBps": 80
+	}`)
+	var b strings.Builder
+	err := runBenchCheck(&b, sb, cand, 0.20)
+	if err == nil {
+		t.Fatalf("1.9x sharded speedup passed the 2x floor:\n%s", b.String())
+	}
+	if !strings.Contains(err.Error(), "absolute 2.0x floor") {
+		t.Fatalf("floor breach not attributed: %v", err)
+	}
+}
+
+// A baseline that dropped the speedup metric must not disable its
+// absolute floor: the candidate-only row is still checked.
+func TestBenchCheckFloorSurvivesMissingBaselineKey(t *testing.T) {
+	noSpeedup := writeBench(t, "base.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 5997,
+	  "sharded_seq_MBps": 105
+	}`)
+	cand := writeBench(t, "cand.json", `{
+	  "input_bytes": 8388608,
+	  "dict_states": 5997,
+	  "sharded_seq_MBps": 105,
+	  "speedup_sharded_vs_stt": 1.4
+	}`)
+	var b strings.Builder
+	err := runBenchCheck(&b, noSpeedup, cand, 0.20)
+	if err == nil {
+		t.Fatalf("floor skipped for a candidate-only metric:\n%s", b.String())
+	}
+	if !strings.Contains(err.Error(), "absolute 2.0x floor (no baseline)") {
+		t.Fatalf("floor breach not attributed: %v", err)
+	}
+	if !strings.Contains(b.String(), "(new)") {
+		t.Fatalf("candidate-only row not shown:\n%s", b.String())
+	}
+}
+
+// A /scan throughput collapse must gate the server pair.
+func TestBenchCheckCatchesServerRegression(t *testing.T) {
+	vb := writeBench(t, "server.json", serverBenchJSON)
+	bad := writeBench(t, "bad.json", `{
+	  "input_bytes": 16777216,
+	  "scan_payload_bytes": 262144,
+	  "scan_MBps": 100,
+	  "batch_MBps": 13,
+	  "stream_MBps": 347
+	}`)
+	var b strings.Builder
+	if err := runBenchCheck(&b, vb, bad, 0.20); err == nil ||
+		!strings.Contains(err.Error(), "scan_MBps") {
+		t.Fatalf("server regression not caught: %v\n%s", err, b.String())
+	}
+}
+
+// The committed repo baselines themselves must pass against themselves
+// — keeps the gate runnable from a clean checkout.
+func TestBenchCheckRepoBaselineSelfConsistent(t *testing.T) {
+	for _, name := range []string{"BENCH_kernel.json", "BENCH_server.json", "BENCH_shards.json"} {
+		t.Run(name, func(t *testing.T) {
+			repoBaseline := filepath.Join("..", "..", name)
+			if _, err := os.Stat(repoBaseline); err != nil {
+				t.Skipf("no repo baseline: %v", err)
+			}
+			var b strings.Builder
+			if err := runBenchCheck(&b, repoBaseline, repoBaseline, 0.20); err != nil {
+				t.Fatalf("repo baseline %s fails against itself: %v\n%s", name, err, b.String())
+			}
+		})
 	}
 }

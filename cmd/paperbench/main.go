@@ -13,19 +13,24 @@
 //	paperbench -fig9       # throughput vs aggregate STT size
 //	paperbench -kernel     # host scan engines: stt path vs dense kernel
 //	paperbench -server     # serving layer: cellmatchd end-to-end over HTTP
+//	paperbench -shards     # sharded engine: over-budget dictionary vs stt fallback
 //
 // With -kernel, -benchjson FILE additionally writes the measured MB/s
 // (sequential, parallel, kernel, interleaved-K) as a JSON artifact —
 // the BENCH_kernel.json regression file CI archives per commit; with
 // -server, -serverjson FILE does the same for the serving layer
-// (BENCH_server.json).
+// (BENCH_server.json), and with -shards, -shardsjson FILE for the
+// sharded tier (BENCH_shards.json).
 //
-// The CI bench-regression gate runs as a separate mode:
+// The CI bench-regression gate runs as a separate mode, accepting one
+// or more comma-separated baseline/candidate pairs:
 //
-//	paperbench -checkbench -baseline BENCH_kernel.json -candidate new.json
+//	paperbench -checkbench \
+//	  -baseline BENCH_kernel.json,BENCH_server.json,BENCH_shards.json \
+//	  -candidate new_kernel.json,new_server.json,new_shards.json
 //
-// printing a baseline-vs-candidate markdown table and exiting nonzero
-// when a gated kernel metric drops more than -maxdrop (default 20%)
+// printing a baseline-vs-candidate markdown table per pair and exiting
+// nonzero when any gated metric drops more than -maxdrop (default 20%)
 // below the committed baseline.
 package main
 
@@ -65,10 +70,13 @@ func main() {
 		serv   = flag.Bool("server", false, "serving layer: cellmatchd end-to-end throughput")
 		servMB = flag.Int("servermb", 16, "server benchmark input size in MiB")
 		sjson  = flag.String("serverjson", "", "with -server: write BENCH_server JSON to this file")
+		shard  = flag.Bool("shards", false, "sharded engine: over-budget dictionary vs stt fallback, with a per-shard budget sweep")
+		shMB   = flag.Int("shardsmb", 8, "shards benchmark input size in MiB")
+		shjson = flag.String("shardsjson", "", "with -shards: write BENCH_shards JSON to this file")
 
 		check     = flag.Bool("checkbench", false, "bench-regression gate: compare -candidate against -baseline and exit nonzero on regression")
-		baseline  = flag.String("baseline", "BENCH_kernel.json", "with -checkbench: committed baseline JSON")
-		candidate = flag.String("candidate", "", "with -checkbench: freshly measured JSON")
+		baseline  = flag.String("baseline", "BENCH_kernel.json", "with -checkbench: committed baseline JSON (comma-separated for multiple files)")
+		candidate = flag.String("candidate", "", "with -checkbench: freshly measured JSON (comma-separated, pairwise with -baseline)")
 		maxDrop   = flag.Float64("maxdrop", 0.20, "with -checkbench: allowed fractional drop per gated metric")
 	)
 	flag.Parse()
@@ -77,22 +85,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paperbench: -checkbench requires -candidate")
 			os.Exit(2)
 		}
-		if err := runBenchCheck(os.Stdout, *baseline, *candidate, *maxDrop); err != nil {
+		if err := runBenchCheckFiles(os.Stdout, *baseline, *candidate, *maxDrop); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern || *serv
+	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern || *serv || *shard
 	if *all || !any {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
-		*fig6, *fig7, *fig8, *fig9, *kern, *serv = true, true, true, true, true, true
+		*fig6, *fig7, *fig8, *fig9, *kern, *serv, *shard = true, true, true, true, true, true, true
 	}
 	err := run(os.Stdout, sections{
 		table1: *table1, fig2: *fig2, fig3: *fig3, fig4: *fig4, fig5: *fig5,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9,
 		kernel: *kern, kernelBytes: *kernMB << 20, benchJSON: *bjson,
 		server: *serv, serverBytes: *servMB << 20, serverJSON: *sjson,
+		shards: *shard, shardBytes: *shMB << 20, shardJSON: *shjson,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -117,6 +126,14 @@ type sections struct {
 	server      bool
 	serverBytes int
 	serverJSON  string
+
+	// shards runs the sharded-engine benchmark (over-budget dictionary
+	// vs the stt fallback, plus a per-shard budget sweep) over
+	// shardBytes of traffic, optionally writing the JSON artifact to
+	// shardJSON.
+	shards     bool
+	shardBytes int
+	shardJSON  string
 }
 
 func run(w io.Writer, s sections) error {
@@ -182,6 +199,15 @@ func run(w io.Writer, s sections) error {
 			bytes = 16 << 20
 		}
 		if err := runServerBench(w, bytes, s.serverJSON); err != nil {
+			return err
+		}
+	}
+	if s.shards {
+		bytes := s.shardBytes
+		if bytes <= 0 {
+			bytes = 8 << 20
+		}
+		if err := runShardBench(w, bytes, s.shardJSON); err != nil {
 			return err
 		}
 	}

@@ -174,3 +174,52 @@ func TestRunServerBenchJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestRunShardBenchJSON(t *testing.T) {
+	var b strings.Builder
+	path := filepath.Join(t.TempDir(), "BENCH_shards.json")
+	// 256 KiB of traffic keeps the five scan configurations fast; the
+	// schema, the shard counts, and the tier selection are what this
+	// test pins.
+	err := run(&b, sections{shards: true, shardBytes: 256 << 10, shardJSON: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Sharded engine: over-budget dictionary",
+		"stt fallback (sharding disabled)",
+		"sharded sequential (chunk-interleaved)",
+		"best sharded vs stt fallback:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ShardBench
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_shards.json does not parse: %v", err)
+	}
+	if res.Shards < 2 || res.DictStates < 5000 || res.ShardBudgetBytes != shardBenchBudget {
+		t.Fatalf("bench metadata wrong: %+v", res)
+	}
+	if res.Sweep128KShards <= res.Shards || res.Sweep512KShards >= res.Shards {
+		t.Fatalf("budget sweep shard counts not monotone: %+v", res)
+	}
+	for name, v := range map[string]float64{
+		"stt_fallback": res.STTFallback,
+		"sharded_seq":  res.ShardedSeq,
+		"sharded_pool": res.ShardedPool,
+		"speedup":      res.Speedup,
+		"sweep_512k":   res.Sweep512KMBps,
+		"sweep_128k":   res.Sweep128KMBps,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s not measured: %+v", name, res)
+		}
+	}
+}

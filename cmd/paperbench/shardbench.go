@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/parallel"
+	"cellmatch/internal/report"
+	"cellmatch/internal/workload"
+)
+
+// ShardBench measures the sharded multi-kernel tier on a dictionary
+// roughly 4x the paper tile (6000 states) against the SPE local-store
+// budget (256 KiB per shard): the regime where the single dense kernel
+// cannot fit and the pre-shard system paid the stt fallback.
+// Serialized to BENCH_shards.json so the gate holds the tier's >= 2x
+// win over that fallback per commit.
+type ShardBench struct {
+	InputBytes       int `json:"input_bytes"`
+	DictStates       int `json:"dict_states"`
+	ShardBudgetBytes int `json:"shard_budget_bytes"`
+	Shards           int `json:"shards"`
+
+	// STTFallback is what the same over-budget dictionary scans at with
+	// sharding disabled — the pre-shard production cost.
+	STTFallback float64 `json:"stt_fallback_seq_MBps"`
+	// ShardedSeq is the sequential chunk-interleaved schedule (every
+	// shard scans each input chunk while it is cache-resident).
+	ShardedSeq float64 `json:"sharded_seq_MBps"`
+	// ShardedPool fans shard x chunk work items over the shared pool
+	// (one shard set per worker).
+	ShardedPool float64 `json:"sharded_pool_MBps"`
+	// Speedup is best-sharded over the stt fallback: the banked win.
+	Speedup float64 `json:"speedup_sharded_vs_stt"`
+
+	// Budget sweep (informational): shard count and sequential MB/s at
+	// other per-shard budgets.
+	Sweep512KShards int     `json:"sweep_512k_shards"`
+	Sweep512KMBps   float64 `json:"sweep_512k_seq_MBps"`
+	Sweep128KShards int     `json:"sweep_128k_shards"`
+	Sweep128KMBps   float64 `json:"sweep_128k_seq_MBps"`
+}
+
+// shardBenchBudget is the canonical per-shard budget: 256 KiB, the
+// SPE local store.
+const shardBenchBudget = 256 << 10
+
+// runShardBench measures the sharded tier against the stt fallback on
+// the same dictionary and traffic, prints the comparison, and
+// optionally writes the JSON artifact.
+func runShardBench(w io.Writer, inputBytes int, jsonPath string) error {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 6000, Seed: 2})
+	if err != nil {
+		return err
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: inputBytes, MatchEvery: 64 << 10, Dictionary: pats, Seed: 22,
+	})
+	if err != nil {
+		return err
+	}
+	res := ShardBench{InputBytes: inputBytes, ShardBudgetBytes: shardBenchBudget}
+
+	compileAt := func(engine core.EngineOptions, wantEngine string) (*core.Matcher, error) {
+		m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: engine})
+		if err != nil {
+			return nil, err
+		}
+		if got := m.Stats().Engine; got != wantEngine {
+			return nil, fmt.Errorf("engine %q, want %q (budget %d)", got, wantEngine, engine.MaxTableBytes)
+		}
+		return m, nil
+	}
+
+	sttM, err := compileAt(core.EngineOptions{MaxTableBytes: shardBenchBudget, MaxShards: -1}, "stt")
+	if err != nil {
+		return err
+	}
+	res.DictStates = sttM.Stats().States
+	if res.STTFallback, err = measureMBps(inputBytes, func() error {
+		_, err := sttM.FindAll(data)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	shardedM, err := compileAt(core.EngineOptions{MaxTableBytes: shardBenchBudget}, "sharded")
+	if err != nil {
+		return err
+	}
+	res.Shards = shardedM.Stats().Shards
+	if res.ShardedSeq, err = measureMBps(inputBytes, func() error {
+		_, err := shardedM.FindAll(data)
+		return err
+	}); err != nil {
+		return err
+	}
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	if res.ShardedPool, err = measureMBps(inputBytes, func() error {
+		_, err := shardedM.FindAllParallel(data, core.ParallelOptions{Pool: pool})
+		return err
+	}); err != nil {
+		return err
+	}
+	if res.STTFallback > 0 {
+		best := res.ShardedSeq
+		if res.ShardedPool > best {
+			best = res.ShardedPool
+		}
+		res.Speedup = best / res.STTFallback
+	}
+
+	// Budget sweep: how the shard count and sequential throughput move
+	// with the per-shard budget (MaxShards raised so small budgets can
+	// still plan).
+	sweep := func(budget int) (int, float64, error) {
+		m, err := compileAt(core.EngineOptions{MaxTableBytes: budget, MaxShards: 16}, "sharded")
+		if err != nil {
+			return 0, 0, err
+		}
+		mbps, err := measureMBps(inputBytes, func() error {
+			_, err := m.FindAll(data)
+			return err
+		})
+		return m.Stats().Shards, mbps, err
+	}
+	if res.Sweep512KShards, res.Sweep512KMBps, err = sweep(512 << 10); err != nil {
+		return err
+	}
+	if res.Sweep128KShards, res.Sweep128KMBps, err = sweep(128 << 10); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "== Sharded engine: over-budget dictionary (%d states, %d KiB/shard budget, %d MiB input) ==\n",
+		res.DictStates, shardBenchBudget>>10, inputBytes>>20)
+	t := report.NewTable("Engine / schedule", "Shards", "MB/s")
+	t.Row("stt fallback (sharding disabled)", "", res.STTFallback)
+	t.Row("sharded sequential (chunk-interleaved)", res.Shards, res.ShardedSeq)
+	t.Row("sharded pool (shard x chunk fan-out)", res.Shards, res.ShardedPool)
+	t.Row("sweep: 512 KiB budget", res.Sweep512KShards, res.Sweep512KMBps)
+	t.Row("sweep: 128 KiB budget", res.Sweep128KShards, res.Sweep128KMBps)
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "best sharded vs stt fallback: %.2fx\n\n", res.Speedup)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

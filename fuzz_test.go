@@ -8,6 +8,7 @@ import (
 	"cellmatch/internal/alphabet"
 	"cellmatch/internal/core"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/parallel"
 )
 
 // Fuzz targets. Under plain `go test` they run their seed corpora as
@@ -201,6 +202,94 @@ func FuzzKernelEquivalence(f *testing.F) {
 		}
 		if len(par) != len(want) || len(streamed) != len(want) {
 			t.Fatalf("parallel %d / reader %d matches, want %d", len(par), len(streamed), len(want))
+		}
+	})
+}
+
+// FuzzShardEquivalence: the sharded multi-kernel engine must agree
+// byte-for-byte with the stt path for arbitrary dictionaries, case
+// folding on and off, shard caps 1..4, and both the sequential
+// chunk-interleaved scan and the pool-fanned parallel scan. The
+// per-shard budget is derived from the dictionary's real dense
+// footprint (3/4 of it), so the dense kernel can never win the ladder
+// and most inputs land on the sharded tier; inputs that cannot shard
+// (a dominant single pattern) exercise the stt fallback instead, which
+// must be equivalent too.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add([]byte("aaaaaaaa"), []byte("bbbbbbbb"), []byte("cccccccc"),
+		[]byte("xxaaaaaaaabbbbbbbbxxccccccccxx"), false, uint8(1))
+	f.Add([]byte("abracadab"), []byte("cadabraca"), []byte("abra"),
+		[]byte("abracadabra abracadabra cadabraca"), false, uint8(3))
+	f.Add([]byte("VirusSig"), []byte("WormSign"), []byte("Trojans!"),
+		[]byte("a virussig, a WORMSIGN, trojans! everywhere"), true, uint8(2))
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00}, []byte{0x01, 0x02, 0x03}, []byte{0xFF, 0x01},
+		bytes.Repeat([]byte{0xFF, 0x00, 0x01, 0x02, 0x03}, 30), false, uint8(0))
+	f.Fuzz(func(t *testing.T, p1, p2, p3, data []byte, fold bool, rawShards uint8) {
+		if len(p1) == 0 || len(p2) == 0 || len(p3) == 0 ||
+			len(p1) > 32 || len(p2) > 32 || len(p3) > 32 || len(data) > 4096 {
+			return
+		}
+		shards := int(rawShards)%4 + 1
+		dict := [][]byte{p1, p2, p3}
+		ref, err := core.Compile(dict, core.Options{CaseFold: fold})
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		budget := ref.Stats().KernelTableBytes * 3 / 4
+		shardedM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{MaxTableBytes: budget, MaxShards: shards},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shardedM.Stats().Engine; got == "kernel" {
+			t.Fatalf("budget %d under the dense footprint still selected the kernel", budget)
+		}
+		sttM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{DisableKernel: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sttM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := shardedM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("sharded %d matches, stt %d (fold=%v shards=%d engine=%s)",
+				len(got), len(want), fold, shards, shardedM.Stats().Engine)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("match %d: sharded %+v, stt %+v (fold=%v shards=%d)",
+					i, got[i], want[i], fold, shards)
+			}
+		}
+		// Pool-fanned (shard x chunk work items) and ad-hoc parallel.
+		pool := parallel.NewPool(2)
+		defer pool.Close()
+		for _, opts := range []core.ParallelOptions{
+			{Workers: shards + 1, ChunkBytes: len(data)/3 + 1},
+			{ChunkBytes: 64, Pool: pool},
+		} {
+			par, err := shardedM.FindAllParallel(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(want) {
+				t.Fatalf("parallel %d matches, want %d (pool=%v)", len(par), len(want), opts.Pool != nil)
+			}
+			for i := range want {
+				if par[i] != want[i] {
+					t.Fatalf("parallel match %d: %+v, want %+v (pool=%v)", i, par[i], want[i], opts.Pool != nil)
+				}
+			}
 		}
 	})
 }

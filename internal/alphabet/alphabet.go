@@ -97,6 +97,22 @@ func FromPatterns(patterns [][]byte, caseFold bool, maxClasses int) (*Reduction,
 	return r, nil
 }
 
+// ForDictionary returns the dictionary's preferred reduction: the
+// paper's 32-symbol regime when the patterns fit it, widening to the
+// full 256-class mapping otherwise (with the proportionally smaller
+// per-tile state budget the Figure 3 arithmetic implies). This is the
+// one fallback policy shared by system composition and the shard
+// planner, so both sides classify dictionaries the same way (each
+// compiled shard still derives its own, possibly narrower, reduction
+// from its own pattern subset).
+func ForDictionary(patterns [][]byte, caseFold bool) (*Reduction, error) {
+	red, err := FromPatterns(patterns, caseFold, 32)
+	if err != nil {
+		return FromPatterns(patterns, caseFold, 256)
+	}
+	return red, nil
+}
+
 // Apply reduces src into dst (which must be at least as long) and
 // returns the number of bytes written.
 func (r *Reduction) Apply(dst, src []byte) int {

@@ -174,3 +174,28 @@ func TestCaseFoldRangeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ForDictionary picks the 32-class regime when the patterns fit it and
+// widens to 256 classes otherwise — the shared fallback policy of
+// system composition and the shard planner.
+func TestForDictionaryFallback(t *testing.T) {
+	narrow, err := ForDictionary([][]byte{[]byte("virus"), []byte("WORM")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Width != 32 || narrow.Classes > 32 {
+		t.Fatalf("narrow dictionary got width %d classes %d", narrow.Width, narrow.Classes)
+	}
+	// 40+ distinct symbols cannot fit 32 classes: must widen, not fail.
+	var wide []byte
+	for b := byte(0); b < 48; b++ {
+		wide = append(wide, b)
+	}
+	r, err := ForDictionary([][]byte{wide}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 256 || r.Classes < 48 {
+		t.Fatalf("wide dictionary got width %d classes %d", r.Width, r.Classes)
+	}
+}

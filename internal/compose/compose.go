@@ -187,16 +187,9 @@ func NewSystem(patterns [][]byte, cfg Config) (*System, error) {
 	if cfg.Groups == 0 {
 		cfg.Groups = 1
 	}
-	// Prefer the paper's 32-symbol reduction; dictionaries that
-	// distinguish more byte classes get wider STT rows with a
-	// proportionally smaller per-tile state budget (Figure 3
-	// arithmetic at the wider stride).
-	red, err := alphabet.FromPatterns(patterns, cfg.CaseFold, 32)
+	red, err := alphabet.ForDictionary(patterns, cfg.CaseFold)
 	if err != nil {
-		red, err = alphabet.FromPatterns(patterns, cfg.CaseFold, 256)
-		if err != nil {
-			return nil, err
-		}
+		return nil, err
 	}
 	width := 32
 	for width < red.Classes {

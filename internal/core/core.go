@@ -55,6 +55,15 @@ type Options struct {
 // EngineOptions select and tune the scan engine behind FindAll,
 // FindAllParallel, Stream, and ScanReader.
 //
+// Selection ladder: dense kernel → sharded dense kernels → stt/dfa
+// fallback. A dictionary whose single dense table fits MaxTableBytes
+// scans on the plain kernel; one that exceeds it is partitioned into
+// up to MaxShards sub-dictionaries whose kernels each fit the budget
+// (the paper's answer to dictionaries outgrowing one SPE's local
+// store: shard the pattern set across SPEs, every shard scanning the
+// same stream); only when even sharding cannot fit does the matcher
+// fall back to the stt/dfa path.
+//
 // By default the matcher compiles its dictionary into the dense kernel
 // of internal/kernel: a cache-line-aligned []uint32 transition table
 // per series slot (row width = the reduced alphabet rounded up to a
@@ -80,6 +89,14 @@ type EngineOptions struct {
 	// of the input, split with MaxPatternLen-1 overlap like the paper's
 	// SPE input portions), 0 picks automatically by input size.
 	InterleaveK int
+	// MaxShards caps how many sub-dictionary kernels the sharded tier
+	// may compile when the single dense table exceeds MaxTableBytes:
+	// 0 means the kernel default (8, the paper's SPE count per Cell),
+	// a negative value disables sharding entirely (over-budget
+	// dictionaries go straight to the stt fallback), and values above
+	// kernel.MaxShardsLimit (64) are clamped to it — a dictionary
+	// needing more shards than that falls back to stt regardless.
+	MaxShards int
 }
 
 // Matcher is a compiled dictionary.
@@ -87,13 +104,15 @@ type Matcher struct {
 	sys      *compose.System
 	opts     Options
 	patterns [][]byte
-	eng      *kernel.Engine // nil when the dense kernel is disabled or over budget
+	eng      *kernel.Engine  // nil when the dense kernel is disabled or over budget
+	sharded  *kernel.Sharded // nil unless the sharded tier is live
 }
 
-// initEngine compiles the dense kernel unless disabled. Over-budget
-// dictionaries fall back to the stt/dfa path (Stats reports which
-// engine is live); any other compile failure is a real defect and
-// propagates.
+// initEngine walks the selection ladder: the single dense kernel, then
+// the sharded multi-kernel engine for dictionaries whose dense tables
+// exceed the budget, then the stt/dfa path (m.eng and m.sharded both
+// nil). Budget overruns step down the ladder; any other compile
+// failure is a real defect and propagates.
 func (m *Matcher) initEngine() error {
 	if m.opts.Engine.DisableKernel {
 		return nil
@@ -102,15 +121,29 @@ func (m *Matcher) initEngine() error {
 		MaxTableBytes: m.opts.Engine.MaxTableBytes,
 		InterleaveK:   m.opts.Engine.InterleaveK,
 	})
-	switch {
-	case err == nil:
+	if err == nil {
 		m.eng = eng
-	case errors.Is(err, kernel.ErrBudget):
-		// Documented fallback: dense tables too large for the budget.
-	default:
+		return nil
+	}
+	if !errors.Is(err, kernel.ErrBudget) {
 		return err
 	}
-	return nil
+	if m.opts.Engine.MaxShards < 0 {
+		return nil // sharding disabled: stt fallback
+	}
+	sh, err := kernel.CompileSharded(m.patterns, kernel.ShardConfig{
+		CaseFold:      m.opts.CaseFold,
+		MaxTableBytes: m.opts.Engine.MaxTableBytes,
+		MaxShards:     m.opts.Engine.MaxShards,
+	})
+	if err == nil {
+		m.sharded = sh
+		return nil
+	}
+	if errors.Is(err, kernel.ErrBudget) {
+		return nil // cannot shard within constraints: stt fallback
+	}
+	return err
 }
 
 // Compile builds a matcher from exact byte-string patterns.
@@ -154,6 +187,9 @@ func (m *Matcher) FindAll(data []byte) ([]Match, error) {
 	if m.eng != nil {
 		return convertMatches(m.eng.FindAll(data)), nil
 	}
+	if m.sharded != nil {
+		return convertMatches(m.sharded.FindAll(data)), nil
+	}
 	raw, err := m.sys.Scan(data)
 	if err != nil {
 		return nil, err
@@ -174,6 +210,9 @@ func convertMatches(raw []dfa.Match) []Match {
 func (m *Matcher) Count(data []byte) (int, error) {
 	if m.eng != nil {
 		return m.eng.Count(data), nil
+	}
+	if m.sharded != nil {
+		return m.sharded.Count(data), nil
 	}
 	return m.sys.CountMatches(data)
 }
@@ -205,18 +244,27 @@ type Stats struct {
 	MaxPatternLen int
 
 	// Engine is the live scan engine behind FindAll and friends:
-	// "kernel" (dense compiled tables) or "stt" (the reduce + dfa/stt
-	// lookup fallback).
+	// "kernel" (one dense compiled table set), "sharded" (the
+	// multi-kernel tier: one dense table set per dictionary shard), or
+	// "stt" (the reduce + dfa/stt lookup fallback).
 	Engine string
-	// KernelTableBytes is the aggregate dense-table footprint (0 when
-	// the kernel is not live).
+	// KernelTableBytes is the aggregate dense-table footprint across
+	// all shards (0 when no kernel tier is live).
 	KernelTableBytes int
 	// DenseTableBudget is the byte budget the kernel was compiled
-	// against (the fallback threshold).
+	// against — per shard when the sharded tier is live (the fallback
+	// threshold either way).
 	DenseTableBudget int
+	// Shards is the shard count of the sharded tier (0 otherwise).
+	Shards int
+	// MaxShardTableBytes is the largest single shard's footprint — the
+	// cache-residency unit of the sharded tier, since only one shard's
+	// tables are hot at a time (0 when not sharded).
+	MaxShardTableBytes int
 	// TableFitsL1 and TableFitsL2 classify residency of the live
 	// kernel tables against typical per-core cache sizes (32 KiB L1d,
 	// 1 MiB L2) — the host analog of the paper's local-store budget.
+	// For the sharded tier the unit is the largest single shard.
 	TableFitsL1 bool
 	TableFitsL2 bool
 }
@@ -241,25 +289,49 @@ func (m *Matcher) Stats() Stats {
 	if s.DenseTableBudget <= 0 {
 		s.DenseTableBudget = kernel.DefaultMaxTableBytes
 	}
-	if m.eng != nil {
+	switch {
+	case m.eng != nil:
 		s.Engine = "kernel"
 		s.KernelTableBytes = m.eng.TableBytes()
 		s.TableFitsL1 = s.KernelTableBytes <= kernel.L1DataBudget
 		s.TableFitsL2 = s.KernelTableBytes <= kernel.L2Budget
-	} else {
+	case m.sharded != nil:
+		s.Engine = "sharded"
+		s.KernelTableBytes = m.sharded.TableBytes()
+		s.Shards = m.sharded.Shards()
+		s.MaxShardTableBytes = m.sharded.MaxShardBytes()
+		s.TableFitsL1 = s.MaxShardTableBytes <= kernel.L1DataBudget
+		s.TableFitsL2 = s.MaxShardTableBytes <= kernel.L2Budget
+	default:
 		s.Engine = "stt"
 	}
 	return s
 }
 
-// EngineName reports the live scan engine ("kernel" or "stt") without
-// computing full Stats (which re-encodes the STT tables) — the cheap
-// per-request form for serving paths.
+// EngineName reports the live scan engine ("kernel", "sharded", or
+// "stt") without computing full Stats (which re-encodes the STT
+// tables) — the cheap per-request form for serving paths.
 func (m *Matcher) EngineName() string {
-	if m.eng != nil {
+	switch {
+	case m.eng != nil:
 		return "kernel"
+	case m.sharded != nil:
+		return "sharded"
 	}
 	return "stt"
+}
+
+// kernelTables flattens the live kernel tier's tables (one per series
+// slot, across shards when sharded), or nil on the stt path — the
+// carry-state unit list for incremental scans.
+func (m *Matcher) kernelTables() []*kernel.Table {
+	switch {
+	case m.eng != nil:
+		return m.eng.Tables
+	case m.sharded != nil:
+		return m.sharded.AllTables()
+	}
+	return nil
 }
 
 // System exposes the underlying composed system for advanced use.
@@ -336,8 +408,9 @@ func (r *RegexSet) MatchWhole(data []byte) []int {
 // series slot, so memory is O(dictionary), not O(input).
 type Stream struct {
 	m      *Matcher
-	states []int    // per-slot DFA state (stt/dfa path)
-	rows   []uint32 // per-slot encoded kernel row (kernel path)
+	states []int           // per-slot DFA state (stt/dfa path)
+	tables []*kernel.Table // flattened kernel tables (kernel/sharded path)
+	rows   []uint32        // per-table encoded kernel row (kernel/sharded path)
 	offset int
 	found  []Match
 }
@@ -345,9 +418,10 @@ type Stream struct {
 // NewStream starts an incremental scan.
 func (m *Matcher) NewStream() *Stream {
 	st := &Stream{m: m}
-	if m.eng != nil {
-		st.rows = make([]uint32, len(m.eng.Tables))
-		for i, t := range m.eng.Tables {
+	if tables := m.kernelTables(); tables != nil {
+		st.tables = tables
+		st.rows = make([]uint32, len(tables))
+		for i, t := range tables {
 			st.rows[i] = t.StartRow()
 		}
 		return st
@@ -362,8 +436,8 @@ func (m *Matcher) NewStream() *Stream {
 // Write consumes the next chunk. It never fails; the error is for
 // io.Writer compatibility.
 func (s *Stream) Write(p []byte) (int, error) {
-	if s.m.eng != nil {
-		for i, t := range s.m.eng.Tables {
+	if s.tables != nil {
+		for i, t := range s.tables {
 			s.rows[i] = t.ScanCarry(p, s.rows[i], func(pid int32, end int) {
 				s.found = append(s.found, Match{Pattern: int(pid), End: s.offset + end})
 			})

@@ -23,9 +23,15 @@ type ParallelOptions struct {
 }
 
 // engineOpts binds the matcher's live scan engine (the dense kernel,
-// or nil for the stt/dfa path) into the worker options.
+// the sharded multi-kernel tier, or nil for the stt/dfa path) into the
+// worker options. With the sharded tier live, the worker task set is
+// one item per (shard, chunk) so each worker keeps one shard's tables
+// hot.
 func (m *Matcher) engineOpts(o ParallelOptions) parallel.Options {
-	return parallel.Options{Workers: o.Workers, ChunkBytes: o.ChunkBytes, Engine: m.eng, Pool: o.Pool}
+	return parallel.Options{
+		Workers: o.Workers, ChunkBytes: o.ChunkBytes,
+		Engine: m.eng, Sharded: m.sharded, Pool: o.Pool,
+	}
 }
 
 // FindAllParallel reports every dictionary occurrence in data, like

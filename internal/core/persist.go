@@ -20,19 +20,25 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic "CMSAV2\x00"
+//	magic "CMSAV3\x00"
 //	options: caseFold u8, groups u32, maxStatesPerTile u32, version u32
-//	engine:  disableKernel u8, maxTableBytes u64, interleaveK u32
+//	engine:  disableKernel u8, maxTableBytes u64, interleaveK u32,
+//	         maxShards i32
 //	reduction: map[256]u8, classes u32, width u32
 //	system width u32, maxPatternLen u32
 //	patterns: count u32; each: len u32, bytes
 //	slots: count u32; each: blobLen u32, dfa blob,
 //	       idCount u32, ids u32...
 //
-// V1 artifacts (magic "CMSAV1\x00") lack the engine block and load
-// with zero-value EngineOptions.
+// Older artifacts still load: V2 (magic "CMSAV2\x00") lacks the
+// maxShards field (loaded as 0, the default shard cap — so a V2
+// artifact whose dictionary outgrew the dense budget now comes back
+// with the sharded tier live instead of the stt fallback), and V1
+// ("CMSAV1\x00") lacks the whole engine block (zero-value
+// EngineOptions).
 var (
-	savMagic   = []byte("CMSAV2\x00")
+	savMagic   = []byte("CMSAV3\x00")
+	savMagicV2 = []byte("CMSAV2\x00")
 	savMagicV1 = []byte("CMSAV1\x00")
 )
 
@@ -77,6 +83,15 @@ func (m *Matcher) Save(w io.Writer) error {
 		ik = 0
 	}
 	if err := put32(uint32(ik)); err != nil {
+		return err
+	}
+	// maxShards is signed: negative means "sharding disabled", which
+	// must survive the round trip (clamped to -1).
+	ms := m.opts.Engine.MaxShards
+	if ms < 0 {
+		ms = -1
+	}
+	if err := put32(uint32(int32(ms))); err != nil {
 		return err
 	}
 	if _, err := bw.Write(m.sys.Red.Map[:]); err != nil {
@@ -137,7 +152,8 @@ func Load(r io.Reader) (*Matcher, error) {
 		return nil, fmt.Errorf("core: not a cellmatch artifact")
 	}
 	v1 := bytes.Equal(magic, savMagicV1)
-	if !v1 && !bytes.Equal(magic, savMagic) {
+	v2 := bytes.Equal(magic, savMagicV2)
+	if !v1 && !v2 && !bytes.Equal(magic, savMagic) {
 		return nil, fmt.Errorf("core: not a cellmatch artifact")
 	}
 	get32 := func() (uint32, error) {
@@ -173,6 +189,13 @@ func Load(r io.Reader) (*Matcher, error) {
 			return nil, err
 		}
 		opts.Engine.MaxTableBytes, opts.Engine.InterleaveK = int(mtb), int(ik)
+		if !v2 { // V2 predates the sharded tier: default shard cap
+			ms, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			opts.Engine.MaxShards = int(int32(ms))
+		}
 	}
 
 	red := &alphabet.Reduction{}

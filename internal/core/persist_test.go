@@ -117,7 +117,7 @@ func TestLoadRejectsWrongMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()
-	for _, magic := range []string{"CMSAV3\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav2\x00"} {
+	for _, magic := range []string{"CMSAV4\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav3\x00"} {
 		bad := append([]byte(magic), blob[len(magic):]...)
 		_, err := Load(bytes.NewReader(bad))
 		if err == nil {
@@ -161,14 +161,15 @@ func TestLoadV1ArtifactRebuildsEngine(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v2 := buf.Bytes()
-	// The v2 layout places the 13-byte engine block (disableKernel u8,
-	// maxTableBytes u64, interleaveK u32) right after the 13-byte
-	// options block; a v1 artifact is the same bytes without it.
+	v3 := buf.Bytes()
+	// The v3 layout places the 17-byte engine block (disableKernel u8,
+	// maxTableBytes u64, interleaveK u32, maxShards i32) right after
+	// the 13-byte options block; a v1 artifact is the same bytes
+	// without it.
 	optsEnd := len(savMagic) + 13
 	v1 := append([]byte(nil), savMagicV1...)
-	v1 = append(v1, v2[len(savMagic):optsEnd]...)
-	v1 = append(v1, v2[optsEnd+13:]...)
+	v1 = append(v1, v3[len(savMagic):optsEnd]...)
+	v1 = append(v1, v3[optsEnd+17:]...)
 
 	back, err := Load(bytes.NewReader(v1))
 	if err != nil {
@@ -198,6 +199,123 @@ func TestLoadV1ArtifactRebuildsEngine(t *testing.T) {
 	// have been) still fails cleanly.
 	if _, err := Load(bytes.NewReader(v1[:len(savMagic)+10])); err == nil {
 		t.Fatal("truncated v1 accepted")
+	}
+}
+
+// A v2 artifact (engine block without the maxShards field) must load
+// with the default shard cap, so a dictionary that outgrew the dense
+// budget comes back with the sharded tier live.
+func TestLoadV2ArtifactGetsDefaultShardCap(t *testing.T) {
+	m, err := CompileStrings([]string{"virus", "worm"}, Options{
+		Engine: EngineOptions{MaxTableBytes: 1 << 16, InterleaveK: 2, MaxShards: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v3 := buf.Bytes()
+	// Drop the trailing 4-byte maxShards field of the 17-byte engine
+	// block and swap the magic: that is exactly a v2 artifact.
+	engEnd := len(savMagic) + 13 + 17
+	v2 := append([]byte(nil), savMagicV2...)
+	v2 = append(v2, v3[len(savMagic):engEnd-4]...)
+	v2 = append(v2, v3[engEnd:]...)
+
+	back, err := Load(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 artifact rejected: %v", err)
+	}
+	if got := back.opts.Engine.MaxShards; got != 0 {
+		t.Fatalf("v2 load MaxShards = %d, want 0 (default cap)", got)
+	}
+	if got := back.opts.Engine.MaxTableBytes; got != 1<<16 {
+		t.Fatalf("v2 load MaxTableBytes = %d", got)
+	}
+	want, err := m.FindAll([]byte("a virus in a worm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll([]byte("a virus in a worm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v2-loaded matcher diverged")
+	}
+}
+
+// A matcher running the sharded tier must survive Save/Load with the
+// tier re-selected and the scan byte-identical — including the
+// negative MaxShards sentinel that pins the stt fallback.
+func TestSaveLoadShardedMatcher(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 900, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget far under the 900-state dense table forces the ladder
+	// into the sharded tier.
+	opts := Options{CaseFold: true, Engine: EngineOptions{MaxTableBytes: 48 << 10, MaxShards: 8}}
+	m, err := Compile(pats, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Engine; got != "sharded" {
+		t.Fatalf("fixture engine = %q, want sharded", got)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != m.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", back.Stats(), m.Stats())
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: pats, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded-loaded matcher diverged: %d vs %d matches", len(got), len(want))
+	}
+
+	// Negative MaxShards (sharding disabled) round-trips and pins stt.
+	opts.Engine.MaxShards = -1
+	off, err := Compile(pats, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Stats().Engine; got != "stt" {
+		t.Fatalf("MaxShards=-1 engine = %q, want stt", got)
+	}
+	buf.Reset()
+	if err := off.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	offBack, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := offBack.Stats().Engine; got != "stt" {
+		t.Fatalf("loaded MaxShards=-1 engine = %q, want stt", got)
+	}
+	if got := offBack.opts.Engine.MaxShards; got != -1 {
+		t.Fatalf("MaxShards sentinel lost: %d", got)
 	}
 }
 

@@ -47,6 +47,73 @@ func TestGoldenKernelImage(t *testing.T) {
 	}
 }
 
+// goldenSharded compiles the fixed sharded fixture: the same
+// deterministic pipeline as goldenTable, but forced through the shard
+// planner by a budget that fits roughly one pattern per shard.
+func goldenSharded(t *testing.T) *Sharded {
+	t.Helper()
+	pats := [][]byte{[]byte("VIRUS"), []byte("WORMHOLE"), []byte("RUSTED")}
+	red := reductionFor(t, pats, true)
+	sh, err := CompileSharded(pats, ShardConfig{
+		CaseFold:      true,
+		MaxTableBytes: 10 * widthFor(red.Classes) * 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() < 2 {
+		t.Fatalf("golden fixture did not shard: %d shards", sh.Shards())
+	}
+	return sh
+}
+
+func TestGoldenShardedImage(t *testing.T) {
+	path := filepath.Join("testdata", "sharded_v1.golden")
+	img := goldenSharded(t).Bytes()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if !bytes.Equal(img, want) {
+		t.Fatalf("sharded image drifted from golden fixture: %d bytes vs %d", len(img), len(want))
+	}
+}
+
+func TestGoldenShardedReload(t *testing.T) {
+	path := filepath.Join("testdata", "sharded_v1.golden")
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	loaded, err := ShardedFromBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := goldenSharded(t)
+	probe := []byte("a virus fell down a wormhole and rusted: virusrusted")
+	want := fresh.FindAll(probe)
+	if len(want) == 0 {
+		t.Fatal("probe found no matches; fixture too weak")
+	}
+	got := loaded.FindAll(probe)
+	if len(got) != len(want) {
+		t.Fatalf("loaded sharded engine: %d matches, fresh %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
 // The checked-in image must load and produce the exact matches the
 // freshly compiled table does.
 func TestGoldenKernelReload(t *testing.T) {

@@ -288,21 +288,53 @@ func (t *Table) scanSerial(piece []byte, base, dedupe int, sink *[]dfa.Match) {
 // ScanCarry scans piece from the encoded row cur (stream continuation:
 // no speculative restart, no dedupe), calling emit for every hit with
 // a 1-based piece-local end offset, and returns the final row. It is
-// the kernel backend of core.Stream.
+// the kernel backend of core.Stream and of the sharded engine's
+// sequential chunk-interleaved scan, so it runs the same 4x unrolled
+// loop as scanSerial.
 func (t *Table) ScanCarry(piece []byte, cur uint32, emit func(pid int32, end int)) uint32 {
 	entries := t.Entries
 	cls := &t.ByteClass
 	cur &= rowMask
-	for i := 0; i < len(piece); i++ {
+	n := len(piece)
+	i := 0
+	for ; i+4 <= n; i += 4 {
 		e := entries[cur+uint32(cls[piece[i]])]
 		if e&FlagOut != 0 {
-			for _, pid := range t.Outs[e>>t.shift] {
-				emit(pid, i+1)
-			}
+			t.emitCarry(e, i+1, emit)
+		}
+		cur = e & rowMask
+		e = entries[cur+uint32(cls[piece[i+1]])]
+		if e&FlagOut != 0 {
+			t.emitCarry(e, i+2, emit)
+		}
+		cur = e & rowMask
+		e = entries[cur+uint32(cls[piece[i+2]])]
+		if e&FlagOut != 0 {
+			t.emitCarry(e, i+3, emit)
+		}
+		cur = e & rowMask
+		e = entries[cur+uint32(cls[piece[i+3]])]
+		if e&FlagOut != 0 {
+			t.emitCarry(e, i+4, emit)
+		}
+		cur = e & rowMask
+	}
+	for ; i < n; i++ {
+		e := entries[cur+uint32(cls[piece[i]])]
+		if e&FlagOut != 0 {
+			t.emitCarry(e, i+1, emit)
 		}
 		cur = e & rowMask
 	}
 	return cur
+}
+
+// emitCarry reports the output set of the state entry e transitioned
+// into (kept out of ScanCarry's hot loop).
+func (t *Table) emitCarry(e uint32, end int, emit func(pid int32, end int)) {
+	for _, pid := range t.Outs[e>>t.shift] {
+		emit(pid, end)
+	}
 }
 
 // scanInterleaved advances every chunk's cursor once per lockstep

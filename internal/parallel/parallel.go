@@ -50,6 +50,12 @@ type Options struct {
 	// kernel (raw bytes, reduction baked in) instead of the
 	// reduce + dfa.FindAll path. Results are identical.
 	Engine *kernel.Engine
+	// Sharded, when non-nil, scans with the sharded multi-kernel
+	// engine: the task set becomes one work item per (shard, chunk), so
+	// each worker keeps a single shard's tables cache-hot while
+	// scanning — the paper's one-shard-per-SPE schedule mapped onto the
+	// pool. Takes precedence over Engine. Results are identical.
+	Sharded *kernel.Sharded
 	// Pool, when non-nil, submits chunk jobs to a persistent shared
 	// worker pool instead of spawning goroutines per call — the
 	// long-running-server mode, where many concurrent scans coalesce
@@ -93,33 +99,54 @@ func Scan(sys *compose.System, data []byte, opts Options) ([]dfa.Match, error) {
 // workers). Alphabet reduction happens per chunk inside each worker
 // (it is a byte-wise map, so chunking commutes with it), keeping the
 // whole pipeline parallel and the extra memory O(Workers x ChunkBytes)
-// instead of O(input). results[i] holds chunk i's matches in data's
-// coordinates, already deduplicated against chunk i-1's overlap.
+// instead of O(input). Each chunk fans into one work item per shard
+// unit (see shardUnits); results[i*units+u] holds chunk i / unit u's
+// matches in data's coordinates, already deduplicated against chunk
+// i-1's overlap. The flat slice order is irrelevant downstream —
+// mergeChunks re-sorts globally.
 func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]dfa.Match {
 	n := len(data)
 	if n == 0 {
 		return nil
 	}
 	nchunks := (n + o.ChunkBytes - 1) / o.ChunkBytes
-	results := make([][]dfa.Match, nchunks)
-	tasks := make([]func(), nchunks)
+	units := o.shardUnits()
+	results := make([][]dfa.Match, nchunks*units)
+	tasks := make([]func(), 0, nchunks*units)
 	for i := 0; i < nchunks; i++ {
-		i := i
-		tasks[i] = func() {
-			start := i * o.ChunkBytes
-			end := min(start+o.ChunkBytes, n)
-			ov := min(overlap, start)
-			results[i] = scanPiece(sys, data[start-ov:end], start-ov, ov, o)
+		start := i * o.ChunkBytes
+		end := min(start+o.ChunkBytes, n)
+		ov := min(overlap, start)
+		for u := 0; u < units; u++ {
+			i, u := i, u
+			tasks = append(tasks, func() {
+				results[i*units+u] = scanPiece(sys, data[start-ov:end], start-ov, ov, o, u)
+			})
 		}
 	}
 	runTasks(o, tasks)
 	return results
 }
 
+// shardUnits is how many work items one input chunk fans into: one per
+// shard on the sharded engine (each worker holds one shard's tables),
+// one otherwise.
+func (o Options) shardUnits() int {
+	if o.Sharded != nil {
+		return o.Sharded.Shards()
+	}
+	return 1
+}
+
 // scanPiece scans one overlap-prefixed piece from the speculative root
 // on whichever engine is configured, returning data-coordinate matches
-// with the ov-byte overlap prefix deduplicated.
-func scanPiece(sys *compose.System, piece []byte, base, ov int, o Options) []dfa.Match {
+// with the ov-byte overlap prefix deduplicated. unit selects the shard
+// on the sharded engine (callers fan one task per shard) and is
+// ignored otherwise.
+func scanPiece(sys *compose.System, piece []byte, base, ov int, o Options, unit int) []dfa.Match {
+	if o.Sharded != nil {
+		return o.Sharded.ScanShardChunk(unit, piece, base, ov)
+	}
 	if o.Engine != nil {
 		// The kernel consumes raw bytes (reduction baked into its
 		// byte→class map): no scratch copy at all.
@@ -219,6 +246,7 @@ func mergeChunks(chunks [][]dfa.Match, base, dedupe int) []dfa.Match {
 func ScanMany(sys *compose.System, payloads [][]byte, opts Options) ([][]dfa.Match, error) {
 	o := opts.withDefaults()
 	overlap := overlapOf(sys)
+	units := o.shardUnits()
 	out := make([][]dfa.Match, len(payloads))
 	perPayload := make([][][]dfa.Match, len(payloads))
 	var tasks []func()
@@ -228,15 +256,17 @@ func ScanMany(sys *compose.System, payloads [][]byte, opts Options) ([][]dfa.Mat
 			continue
 		}
 		nchunks := (n + o.ChunkBytes - 1) / o.ChunkBytes
-		perPayload[pi] = make([][]dfa.Match, nchunks)
+		perPayload[pi] = make([][]dfa.Match, nchunks*units)
 		for ci := 0; ci < nchunks; ci++ {
-			pi, ci, data := pi, ci, data
-			tasks = append(tasks, func() {
-				start := ci * o.ChunkBytes
-				end := min(start+o.ChunkBytes, n)
-				ov := min(overlap, start)
-				perPayload[pi][ci] = scanPiece(sys, data[start-ov:end], start-ov, ov, o)
-			})
+			start := ci * o.ChunkBytes
+			end := min(start+o.ChunkBytes, n)
+			ov := min(overlap, start)
+			for u := 0; u < units; u++ {
+				pi, ci, u, data := pi, ci, u, data
+				tasks = append(tasks, func() {
+					perPayload[pi][ci*units+u] = scanPiece(sys, data[start-ov:end], start-ov, ov, o, u)
+				})
+			}
 		}
 	}
 	runTasks(o, tasks)

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package registry
+
+import "os"
+
+// sysInode has no portable analogue off unix; change detection falls
+// back to (mtime, size) there.
+func sysInode(os.FileInfo) uint64 { return 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package registry
+
+import (
+	"os"
+	"syscall"
+)
+
+// sysInode returns the file's inode number, the identity component
+// that survives mtime/size collisions across atomic rename replaces.
+func sysInode(fi os.FileInfo) uint64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Ino
+	}
+	return 0
+}

@@ -54,12 +54,11 @@ type Registry struct {
 	gen    uint64
 	source string
 	load   Loader
-	// baseMod/baseSize are the source file's stat captured just before
-	// the last successful load — the change-detection baseline Watch
-	// starts from, so a rewrite landing between Reload and Watch's
-	// first poll is still detected.
-	baseMod  time.Time
-	baseSize int64
+	// baseID is the source file's identity captured just before the
+	// last successful load — the change-detection baseline Watch starts
+	// from, so a rewrite landing between Reload and Watch's first poll
+	// is still detected.
+	baseID fileID
 
 	reloads atomic.Uint64 // successful reloads (diagnostics)
 	failed  atomic.Uint64 // failed reload attempts
@@ -100,17 +99,16 @@ func (r *Registry) reloadLocked() (*Entry, error) {
 	}
 	// Stat before loading: if the file changes mid-load, the baseline
 	// is the older stat and the next Watch poll re-detects the change.
-	var mod time.Time
-	var size int64
+	var id fileID
 	if fi, err := os.Stat(r.source); err == nil {
-		mod, size = fi.ModTime(), fi.Size()
+		id = identityOf(fi)
 	}
 	m, err := r.load()
 	if err != nil {
 		r.failed.Add(1)
 		return nil, err
 	}
-	r.baseMod, r.baseSize = mod, size
+	r.baseID = id
 	e := r.publishLocked(m, r.source)
 	r.reloads.Add(1)
 	return e, nil
@@ -150,8 +148,31 @@ func (r *Registry) Reloads() (ok, failed uint64) {
 	return r.reloads.Load(), r.failed.Load()
 }
 
+// fileID is the change-detection identity of the watched source:
+// modification time, size, and (where the platform exposes one) inode
+// number. Mtime alone misses a rewrite landing within the filesystem's
+// timestamp granularity of the previous one; size alone misses
+// same-length rewrites; the inode catches the common atomic-replace
+// pattern (write temp file, rename over the source), which always
+// changes it even when mtime and size collide.
+type fileID struct {
+	mod  time.Time
+	size int64
+	ino  uint64
+}
+
+// identityOf extracts the change-detection identity from a stat.
+func identityOf(fi os.FileInfo) fileID {
+	return fileID{mod: fi.ModTime(), size: fi.Size(), ino: sysInode(fi)}
+}
+
+func (a fileID) equal(b fileID) bool {
+	return a.mod.Equal(b.mod) && a.size == b.size && a.ino == b.ino
+}
+
 // Watch polls the registry's source file every interval and reloads
-// when its modification time or size changes, until ctx is cancelled.
+// when its modification time, size, or inode changes, until ctx is
+// cancelled.
 // Each attempt's outcome is delivered to onEvent (which may be nil);
 // failed reloads keep the previous entry live and are retried on
 // every subsequent poll until one succeeds (the change-detection
@@ -174,12 +195,12 @@ func (r *Registry) Watch(ctx context.Context, interval time.Duration, onEvent fu
 		// successful load (see reloadLocked): a rewrite landing between
 		// that load and this poll is still detected, and a failed
 		// reload leaves the baseline behind so the next poll retries.
-		lastMod, lastSize := r.baseline()
+		last := r.baseline()
 		fi, err := os.Stat(r.sourcePath())
 		if err != nil {
 			continue // transient: file being replaced, or gone
 		}
-		if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+		if identityOf(fi).equal(last) {
 			continue
 		}
 		e, err := r.Reload()
@@ -195,10 +216,10 @@ func (r *Registry) sourcePath() string {
 	return r.source
 }
 
-func (r *Registry) baseline() (time.Time, int64) {
+func (r *Registry) baseline() fileID {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.baseMod, r.baseSize
+	return r.baseID
 }
 
 // ArtifactLoader loads a compiled Save/Load artifact from path.

@@ -176,6 +176,128 @@ func TestDictLoaderAndParse(t *testing.T) {
 	}
 }
 
+// Regression: a same-second atomic replace (write temp, rename over
+// the source) can leave mtime and size both identical to the previous
+// file — mtime because the filesystem's timestamp granularity (or a
+// deliberate Chtimes, as build tools do) collides, size because the
+// dictionaries happen to be the same length. Only the inode changes,
+// and Watch must still detect it.
+func TestWatchDetectsSameSecondSameSizeReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict.txt")
+	// Same byte length, different content.
+	oldContent, newContent := "virus\nworms\n", "virus\ntroja\n"
+	if err := os.WriteFile(path, []byte(oldContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(path, DictLoader(path, core.Options{CaseFold: true}))
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	base := r.baseline()
+	if base.ino == 0 {
+		t.Skip("platform exposes no inode; (mtime,size) detection only")
+	}
+
+	// Atomic replace with pinned mtime: the classic Watch blind spot.
+	tmp := filepath.Join(dir, "dict.txt.tmp")
+	if err := os.WriteFile(tmp, []byte(newContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(tmp, base.mod, base.mod); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := identityOf(fi)
+	if !now.mod.Equal(base.mod) || now.size != base.size {
+		t.Fatalf("replace was not mtime/size-identical: %+v vs %+v", now, base)
+	}
+	if now.equal(base) {
+		t.Fatal("identity unchanged across rename: inode not captured")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Watch(ctx, 5*time.Millisecond, nil)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Current().Generation < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watch never detected the same-second same-size replace")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	hits, err := r.Current().Matcher.FindAll([]byte("a TROJA rides in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("new dictionary not live: %d hits", len(hits))
+	}
+}
+
+// Hot-swapping from a kernel-tier dictionary to one running the
+// sharded tier must publish cleanly, with the old entry still
+// scannable — the shard-aware reload path of the serving stack.
+func TestHotSwapToShardedMatcher(t *testing.T) {
+	dir := t.TempDir()
+	small := mustCompile(t, []string{"alpha", "omega"})
+	big, err := core.CompileStrings(
+		[]string{"aaaaaaaa", "bbbbbbbb", "cccccccc", "dddddddd", "eeeeeeee"},
+		core.Options{Engine: core.EngineOptions{MaxTableBytes: 1 << 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := big.EngineName(); got != "sharded" {
+		t.Fatalf("fixture engine = %q, want sharded", got)
+	}
+	path := filepath.Join(dir, "sharded.cms")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewWithMatcher(small, "inline")
+	old := r.Current()
+	e, err := r.Retarget(path, ArtifactLoader(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Matcher.EngineName(); got != "sharded" {
+		t.Fatalf("swapped-in engine = %q, want sharded (V3 artifact must carry MaxShards)", got)
+	}
+	if st := e.Matcher.Stats(); st.Shards < 2 {
+		t.Fatalf("swapped-in stats: %+v", st)
+	}
+	hits, err := e.Matcher.FindAll([]byte("xxaaaaaaaayy"))
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("sharded entry does not scan: %d hits, %v", len(hits), err)
+	}
+	// RCU: the displaced kernel-tier entry keeps working.
+	if hits, err := old.Matcher.FindAll([]byte("alpha")); err != nil || len(hits) != 1 {
+		t.Fatalf("old entry broken after swap: %d hits, %v", len(hits), err)
+	}
+}
+
 // Watch must pick up a rewritten artifact and publish a new
 // generation; an in-place corruption must not displace the live entry.
 func TestWatchReloadsOnChange(t *testing.T) {

@@ -316,7 +316,12 @@ type ReloadResponse struct {
 	Source     string `json:"source"`
 	Patterns   int    `json:"patterns"`
 	States     int    `json:"states"`
-	Engine     string `json:"engine"`
+	// Engine is the new dictionary's live scan engine ("kernel",
+	// "sharded", or "stt"); Shards its shard count (0 unless sharded) —
+	// the immediate signal that a swapped-in dictionary landed in (or
+	// fell out of) the peak-performance tiers.
+	Engine string `json:"engine"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -352,6 +357,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Patterns:   st.Patterns,
 		States:     st.States,
 		Engine:     st.Engine,
+		Shards:     st.Shards,
 	})
 }
 

@@ -89,6 +89,84 @@ func sigPatterns() []string {
 	return out
 }
 
+// Hot-swapping to a dictionary running the sharded tier must surface
+// the tier through /reload and /stats, and every scan mode must serve
+// it with exactly FindAll's matches.
+func TestShardedDictionaryServing(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"placeholder"}, Config{})
+
+	// Build a sharded artifact: a budget far under the dense footprint.
+	pats := []string{"aaaaaaaa", "bbbbbbbb", "cccccccc", "dddddddd", "eeeeeeee"}
+	m, err := core.CompileStrings(pats, core.Options{
+		Engine: core.EngineOptions{MaxTableBytes: 1 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EngineName() != "sharded" {
+		t.Fatalf("fixture engine = %q, want sharded", m.EngineName())
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sharded.cms")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/reload?path="+path+"&format=artifact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ReloadResponse
+	err = json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Engine != "sharded" || rr.Shards < 2 {
+		t.Fatalf("/reload reported %+v, want sharded with >= 2 shards", rr)
+	}
+
+	data := []byte(strings.Repeat("xxaaaaaaaXooccccccccoo", 50) + "eeeeeeee")
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture traffic has no matches")
+	}
+	for _, mode := range []string{"pool", "seq", "adhoc&workers=3"} {
+		sr := postScan(t, ts.URL+"/scan?mode="+mode, data)
+		if sr.Engine != "sharded" || sr.Count != len(want) {
+			t.Fatalf("mode %s: engine %q count %d, want sharded/%d", mode, sr.Engine, sr.Count, len(want))
+		}
+		if !reflect.DeepEqual(sr.Matches, wantMatches(m, want)) {
+			t.Fatalf("mode %s: matches diverge", mode)
+		}
+	}
+
+	// /stats carries the shard shape for dashboards.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dictionary.Engine != "sharded" || st.Dictionary.Shards < 2 || st.Dictionary.MaxShardTableBytes <= 0 {
+		t.Fatalf("/stats dictionary = %+v, want sharded shape", st.Dictionary)
+	}
+}
+
 // Every scan mode (shared pool, sequential, ad-hoc workers, odd chunk
 // sizes) must return exactly FindAll's matches.
 func TestScanModesEquivalence(t *testing.T) {
