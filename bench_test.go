@@ -191,7 +191,12 @@ func BenchmarkFigure7Groups8(b *testing.B) { benchComposition(b, 8) }
 func benchParallelSetup(b *testing.B, size int) (*core.Matcher, []byte) {
 	b.Helper()
 	dict := workload.SignatureDictionary()
-	m, err := core.Compile(dict, core.Options{CaseFold: true})
+	// Filter pinned off: these benches measure the parallel engine's
+	// fan-out itself; BenchmarkFilter* measures the skip-scan path.
+	m, err := core.Compile(dict, core.Options{
+		CaseFold: true,
+		Engine:   core.EngineOptions{Filter: core.FilterOff},
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -258,6 +263,7 @@ func benchKernelSetup(b *testing.B, size int, engine core.EngineOptions) (*core.
 	if err != nil {
 		b.Fatal(err)
 	}
+	engine.Filter = core.FilterOff // these benches measure the raw engines
 	m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: engine})
 	if err != nil {
 		b.Fatal(err)
@@ -312,6 +318,72 @@ func BenchmarkKernelInterleavedK8(b *testing.B) {
 // reduce + dfa table walk) on the same workload.
 func BenchmarkSTTPathFindAll(b *testing.B) {
 	benchKernelFindAll(b, 8<<20, core.EngineOptions{DisableKernel: true}, "stt")
+}
+
+// --- Skip-scan front-end (BNDM window filter) ----------------------------
+
+// benchFilterSetup compiles the canonical long-pattern signature
+// workload (workload.LongPatternDictionary — the same 48 patterns,
+// minimum length 16, that paperbench -filter gates in
+// BENCH_filter.json) with the filter in the given mode over
+// mostly-benign lowercase traffic — the regime where the
+// reverse-suffix window filter skips most input bytes.
+func benchFilterSetup(b *testing.B, size int, mode core.FilterMode) (*core.Matcher, []byte) {
+	b.Helper()
+	pats, err := workload.LongPatternDictionary(48, 16, 40, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Compile(pats, core.Options{Engine: core.EngineOptions{Filter: mode}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if mode == core.FilterOn && !m.Stats().FilterEnabled {
+		b.Fatal("filter not enabled")
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: size, MatchEvery: 64 << 10, Dictionary: pats, Seed: 44,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, data
+}
+
+// BenchmarkFilter is the acceptance benchmark for the skip-scan
+// front-end: versus BenchmarkFilterOffKernel below on the same
+// dictionary and traffic (target: >= 2x; BENCH_filter.json banks it).
+func BenchmarkFilter(b *testing.B) {
+	m, data := benchFilterSetup(b, 8<<20, core.FilterOn)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterOffKernel(b *testing.B) {
+	m, data := benchFilterSetup(b, 8<<20, core.FilterOff)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterParallel4Workers(b *testing.B) {
+	m, data := benchFilterSetup(b, 8<<20, core.FilterOn)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindAllParallel(data, core.ParallelOptions{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSTTLookupSequential is the one-bounds-checked-lookup-per-

@@ -101,10 +101,31 @@ type ParallelOptions = core.ParallelOptions
 // Matcher.Stats().Engine reports which tier is live ("kernel",
 // "sharded", or "stt"), with KernelTableBytes, Shards,
 // MaxShardTableBytes, and the TableFitsL1/TableFitsL2 residency flags
-// alongside. All tiers are byte-for-byte identical in output
-// (FuzzKernelEquivalence and FuzzShardEquivalence assert this), so
-// the knobs are purely performance/memory trades.
+// alongside.
+//
+// Ahead of all three tiers sits the optional skip-scan front-end
+// (EngineOptions.Filter, internal/filter): a BNDM-style reverse-suffix
+// window filter that skips most input bytes and hands only candidate
+// windows to the verifier, making throughput scale with skip distance
+// instead of input length. FilterAuto (the default) enables it when
+// the dictionary qualifies; Stats().FilterEnabled, MinPatternLen, and
+// WindowsSkipped report it. All configurations are byte-for-byte
+// identical in output (FuzzKernelEquivalence, FuzzShardEquivalence,
+// and FuzzFilterEquivalence assert this), so the knobs are purely
+// performance/memory trades.
 type EngineOptions = core.EngineOptions
+
+// FilterMode is the EngineOptions.Filter policy for the skip-scan
+// front-end: FilterAuto (default; on when the dictionary qualifies),
+// FilterOn (forced when legal), FilterOff.
+type FilterMode = core.FilterMode
+
+// Filter policies; see FilterMode.
+const (
+	FilterAuto = core.FilterAuto
+	FilterOn   = core.FilterOn
+	FilterOff  = core.FilterOff
+)
 
 // RegexSet matches whole inputs against regular expressions.
 type RegexSet = core.RegexSet

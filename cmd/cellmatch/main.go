@@ -13,6 +13,11 @@
 // engine on N workers (N < 0 means one per CPU), streaming the input
 // in batches instead of buffering it, with output identical to the
 // sequential scan.
+//
+// -filter selects the skip-scan front-end (default auto): "on" forces
+// the BNDM-style window filter ahead of the verifier engine, "off"
+// scans every byte. Output is identical either way; -stats reports
+// whether the filter is live and its window.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		patterns = flag.String("patterns", "", "comma-separated inline patterns")
 		inPath   = flag.String("in", "-", "input file ('-' = stdin)")
 		caseFold = flag.Bool("casefold", false, "case-insensitive matching")
+		filterMd = flag.String("filter", "auto", "skip-scan front-end: auto, on, or off")
 		groups   = flag.Int("groups", 1, "parallel tile groups")
 		parallel = flag.Int("parallel", 0, "scan with N parallel workers (0 = sequential, <0 = one per CPU)")
 		chunk    = flag.Int("chunk", 0, "parallel chunk size in bytes (0 = 64 KiB)")
@@ -47,7 +53,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	m, err := core.Compile(dict, core.Options{CaseFold: *caseFold, Groups: *groups})
+	fmode, err := core.ParseFilterMode(*filterMd)
+	if err != nil {
+		fail(err)
+	}
+	m, err := core.Compile(dict, core.Options{
+		CaseFold: *caseFold, Groups: *groups,
+		Engine: core.EngineOptions{Filter: fmode},
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -57,6 +70,8 @@ func main() {
 			s.Patterns, s.States, s.STTBytes, s.Groups, s.SeriesDepth, s.TilesRequired, s.AlphabetUsed)
 		fmt.Printf("engine=%s kernel_table_bytes=%d budget=%d fits_l1=%v fits_l2=%v\n",
 			s.Engine, s.KernelTableBytes, s.DenseTableBudget, s.TableFitsL1, s.TableFitsL2)
+		fmt.Printf("filter=%v window=%d min_pattern_len=%d\n",
+			s.FilterEnabled, s.FilterWindow, s.MinPatternLen)
 	}
 	if *estimate {
 		est, err := m.EstimateCell(cell.DefaultBlade(), 16*1024*1024)

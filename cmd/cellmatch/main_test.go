@@ -59,6 +59,38 @@ func TestLoadDictionaryErrors(t *testing.T) {
 	}
 }
 
+// The filter flag must not change scan results, only the engine path.
+// (The flag vocabulary itself is core.ParseFilterMode, tested in core.)
+func TestScanFilterOnOffIdentical(t *testing.T) {
+	dict := [][]byte{[]byte("abracadab"), []byte("cadabraca")}
+	data := []byte("abracadabra cadabraca abracadab")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "traffic.bin")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var results [][]core.Match
+	for _, mode := range []core.FilterMode{core.FilterOn, core.FilterOff} {
+		m, err := core.Compile(dict, core.Options{Engine: core.EngineOptions{Filter: mode}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := scanInput(m, in, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, ms)
+	}
+	if len(results[0]) == 0 || len(results[0]) != len(results[1]) {
+		t.Fatalf("filter on/off differ: %d vs %d", len(results[0]), len(results[1]))
+	}
+	for i := range results[0] {
+		if results[0][i] != results[1][i] {
+			t.Fatalf("match %d: %+v vs %+v", i, results[0][i], results[1][i])
+		}
+	}
+}
+
 func TestScanInputSequentialVsParallel(t *testing.T) {
 	m, err := core.CompileStrings([]string{"virus", "worm"}, core.Options{CaseFold: true})
 	if err != nil {

@@ -60,6 +60,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		artifact      = fs.String("artifact", "", "compiled artifact (Matcher.Save output)")
 		dict          = fs.String("dict", "", "pattern file (one per line, '#' comments)")
 		caseFold      = fs.Bool("casefold", false, "case-insensitive matching (with -dict)")
+		filterMd      = fs.String("filter", "auto", "skip-scan front-end with -dict: auto, on, or off")
 		workers       = fs.Int("workers", 0, "shared scan pool size (0 = one per CPU)")
 		chunk         = fs.Int("chunk", 0, "scan chunk size in bytes (0 = 64 KiB)")
 		maxBody       = fs.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
@@ -72,7 +73,14 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		return err
 	}
 
-	reg, err := buildRegistry(*artifact, *dict, core.Options{CaseFold: *caseFold})
+	fmode, err := core.ParseFilterMode(*filterMd)
+	if err != nil {
+		return fmt.Errorf("-filter: %w", err)
+	}
+	reg, err := buildRegistry(*artifact, *dict, core.Options{
+		CaseFold: *caseFold,
+		Engine:   core.EngineOptions{Filter: fmode},
+	})
 	if err != nil {
 		return err
 	}
@@ -81,8 +89,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		return err
 	}
 	st := entry.Matcher.Stats()
-	fmt.Fprintf(w, "cellmatchd: loaded %s: %d patterns, %d states, engine=%s\n",
-		entry.Source, st.Patterns, st.States, st.Engine)
+	fmt.Fprintf(w, "cellmatchd: loaded %s: %d patterns, %d states, engine=%s, filter=%v\n",
+		entry.Source, st.Patterns, st.States, st.Engine, st.FilterEnabled)
 
 	srv, err := server.New(server.Config{
 		Registry:     reg,

@@ -53,6 +53,10 @@ func gatedMetric(key string) bool {
 		return true
 	case key == "speedup_sharded_vs_stt":
 		return true
+	case key == "filter_seq_MBps" || key == "filter_parallel4_MBps":
+		return true
+	case key == "speedup_filter_vs_kernel":
+		return true
 	}
 	return false
 }
@@ -67,13 +71,17 @@ func gatedMetric(key string) bool {
 var speedupFloors = map[string]float64{
 	"speedup_kernel_vs_stt_lookup": 1.5,
 	"speedup_sharded_vs_stt":       2.0,
+	// The skip-scan front-end must stay >= 2x over the unfiltered
+	// kernel on the long-pattern workload (the ISSUE 5 acceptance bar).
+	"speedup_filter_vs_kernel": 2.0,
 }
 
 // metaMetric reports fields that describe the run, not a measurement.
 func metaMetric(key string) bool {
 	switch key {
 	case "input_bytes", "dict_states", "scan_payload_bytes",
-		"batch_payload_bytes", "shard_budget_bytes", "shards":
+		"batch_payload_bytes", "shard_budget_bytes", "shards",
+		"filter_patterns", "filter_min_pattern_len", "filter_window":
 		return true
 	}
 	return strings.HasSuffix(key, "_shards")

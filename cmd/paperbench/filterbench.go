@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/report"
+	"cellmatch/internal/workload"
+)
+
+// FilterBench measures the skip-scan front-end on the long-pattern
+// NIDS workload it exists for: signature-style patterns (minimum
+// length >= 8) over mostly-benign traffic, where the reverse-suffix
+// window filter skips most input bytes and only candidate windows
+// reach the dense kernel. Serialized to BENCH_filter.json so the gate
+// holds the front-end's >= 2x win over the unfiltered kernel per
+// commit.
+type FilterBench struct {
+	InputBytes    int `json:"input_bytes"`
+	Patterns      int `json:"filter_patterns"`
+	MinPatternLen int `json:"filter_min_pattern_len"`
+	Window        int `json:"filter_window"`
+
+	// KernelUnfiltered is the same matcher scanning every byte (the
+	// filter bypassed): the pre-filter production cost.
+	KernelUnfiltered float64 `json:"filter_off_kernel_MBps"`
+	// FilteredSeq is the sequential FindAll with the front-end live.
+	FilteredSeq float64 `json:"filter_seq_MBps"`
+	// FilteredPool is the filtered scan fanned over the parallel
+	// engine (4 workers) — filter and fan-out compose.
+	FilteredPool float64 `json:"filter_parallel4_MBps"`
+	// SkippedPct is the fraction of window positions never examined.
+	SkippedPct float64 `json:"filter_windows_skipped_pct"`
+	// Speedup is filtered-sequential over the unfiltered kernel on the
+	// same dictionary and traffic: the banked win (absolute floor 2x).
+	Speedup float64 `json:"speedup_filter_vs_kernel"`
+}
+
+// filterBenchShape is the canonical long-pattern workload: 48
+// signatures of length 16..40 (workload.LongPatternDictionary seed 5),
+// shared with bench_test.go's BenchmarkFilter* so the go-test numbers
+// and this gated artifact measure the same dictionary.
+const (
+	filterBenchPatterns = 48
+	filterBenchMinLen   = 16
+	filterBenchMaxLen   = 40
+	filterBenchSeed     = 5
+)
+
+// runFilterBench measures the filtered vs unfiltered scan on the same
+// matcher and traffic, prints the comparison, and optionally writes
+// the JSON artifact.
+func runFilterBench(w io.Writer, inputBytes int, jsonPath string) error {
+	pats, err := workload.LongPatternDictionary(
+		filterBenchPatterns, filterBenchMinLen, filterBenchMaxLen, filterBenchSeed)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	data, _, err = workload.Traffic(workload.TrafficConfig{
+		Bytes: inputBytes, MatchEvery: 64 << 10, Dictionary: pats, Seed: 44,
+	})
+	if err != nil {
+		return err
+	}
+	m, err := core.Compile(pats, core.Options{
+		Engine: core.EngineOptions{Filter: core.FilterOn},
+	})
+	if err != nil {
+		return err
+	}
+	st := m.Stats()
+	if !st.FilterEnabled || st.Engine != "kernel" {
+		return fmt.Errorf("filter bench expects kernel+filter, got engine=%s filter=%v",
+			st.Engine, st.FilterEnabled)
+	}
+	res := FilterBench{
+		InputBytes:    inputBytes,
+		Patterns:      st.Patterns,
+		MinPatternLen: st.MinPatternLen,
+		Window:        st.FilterWindow,
+	}
+
+	if res.KernelUnfiltered, err = measureMBps(inputBytes, func() error {
+		_, err := m.FindAllUnfiltered(data)
+		return err
+	}); err != nil {
+		return err
+	}
+	before := m.Stats().WindowsSkipped
+	scans := 0
+	if res.FilteredSeq, err = measureMBps(inputBytes, func() error {
+		scans++
+		_, err := m.FindAll(data)
+		return err
+	}); err != nil {
+		return err
+	}
+	if positions := int64(scans) * int64(len(data)-st.FilterWindow+1); positions > 0 {
+		res.SkippedPct = 100 * float64(m.Stats().WindowsSkipped-before) / float64(positions)
+	}
+	if res.FilteredPool, err = measureMBps(inputBytes, func() error {
+		_, err := m.FindAllParallel(data, core.ParallelOptions{Workers: 4})
+		return err
+	}); err != nil {
+		return err
+	}
+	if res.KernelUnfiltered > 0 {
+		res.Speedup = res.FilteredSeq / res.KernelUnfiltered
+	}
+
+	fmt.Fprintf(w, "== Skip-scan filter: long-pattern workload (%d patterns, window %d, %d MiB) ==\n",
+		res.Patterns, res.Window, inputBytes>>20)
+	t := report.NewTable("Scan path", "MB/s")
+	t.Row("kernel, filter off (every byte)", res.KernelUnfiltered)
+	t.Row("kernel + filter, sequential", res.FilteredSeq)
+	t.Row("kernel + filter, parallel 4 workers", res.FilteredPool)
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "windows skipped: %.1f%%; filtered vs unfiltered kernel: %.2fx\n\n",
+		res.SkippedPct, res.Speedup)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

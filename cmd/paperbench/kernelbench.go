@@ -88,6 +88,9 @@ func runKernelBench(w io.Writer, d *dfa.DFA, inputBytes int, jsonPath string) er
 	}
 
 	findAll := func(engine core.EngineOptions, wantEngine string) (float64, error) {
+		// Pinned off: this mode measures the raw engines; the skip-scan
+		// front-end has its own gated mode (-filter).
+		engine.Filter = core.FilterOff
 		m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: engine})
 		if err != nil {
 			return 0, err
@@ -115,7 +118,10 @@ func runKernelBench(w io.Writer, d *dfa.DFA, inputBytes int, jsonPath string) er
 	if res.KernelK8, err = findAll(core.EngineOptions{InterleaveK: 8}, "kernel"); err != nil {
 		return err
 	}
-	mk, err := core.Compile(pats, core.Options{CaseFold: true})
+	mk, err := core.Compile(pats, core.Options{
+		CaseFold: true,
+		Engine:   core.EngineOptions{Filter: core.FilterOff},
+	})
 	if err != nil {
 		return err
 	}

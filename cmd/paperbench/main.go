@@ -14,13 +14,15 @@
 //	paperbench -kernel     # host scan engines: stt path vs dense kernel
 //	paperbench -server     # serving layer: cellmatchd end-to-end over HTTP
 //	paperbench -shards     # sharded engine: over-budget dictionary vs stt fallback
+//	paperbench -filter     # skip-scan front-end vs the unfiltered kernel
 //
 // With -kernel, -benchjson FILE additionally writes the measured MB/s
 // (sequential, parallel, kernel, interleaved-K) as a JSON artifact —
 // the BENCH_kernel.json regression file CI archives per commit; with
 // -server, -serverjson FILE does the same for the serving layer
-// (BENCH_server.json), and with -shards, -shardsjson FILE for the
-// sharded tier (BENCH_shards.json).
+// (BENCH_server.json), with -shards, -shardsjson FILE for the sharded
+// tier (BENCH_shards.json), and with -filter, -filterjson FILE for the
+// skip-scan front-end (BENCH_filter.json).
 //
 // The CI bench-regression gate runs as a separate mode, accepting one
 // or more comma-separated baseline/candidate pairs:
@@ -73,6 +75,9 @@ func main() {
 		shard  = flag.Bool("shards", false, "sharded engine: over-budget dictionary vs stt fallback, with a per-shard budget sweep")
 		shMB   = flag.Int("shardsmb", 8, "shards benchmark input size in MiB")
 		shjson = flag.String("shardsjson", "", "with -shards: write BENCH_shards JSON to this file")
+		filt   = flag.Bool("filter", false, "skip-scan front-end: filtered vs unfiltered kernel on the long-pattern workload")
+		fMB    = flag.Int("filtermb", 16, "filter benchmark input size in MiB")
+		fjson  = flag.String("filterjson", "", "with -filter: write BENCH_filter JSON to this file")
 
 		check     = flag.Bool("checkbench", false, "bench-regression gate: compare -candidate against -baseline and exit nonzero on regression")
 		baseline  = flag.String("baseline", "BENCH_kernel.json", "with -checkbench: committed baseline JSON (comma-separated for multiple files)")
@@ -91,10 +96,10 @@ func main() {
 		}
 		return
 	}
-	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern || *serv || *shard
+	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern || *serv || *shard || *filt
 	if *all || !any {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
-		*fig6, *fig7, *fig8, *fig9, *kern, *serv, *shard = true, true, true, true, true, true, true
+		*fig6, *fig7, *fig8, *fig9, *kern, *serv, *shard, *filt = true, true, true, true, true, true, true, true
 	}
 	err := run(os.Stdout, sections{
 		table1: *table1, fig2: *fig2, fig3: *fig3, fig4: *fig4, fig5: *fig5,
@@ -102,6 +107,7 @@ func main() {
 		kernel: *kern, kernelBytes: *kernMB << 20, benchJSON: *bjson,
 		server: *serv, serverBytes: *servMB << 20, serverJSON: *sjson,
 		shards: *shard, shardBytes: *shMB << 20, shardJSON: *shjson,
+		filter: *filt, filterBytes: *fMB << 20, filterJSON: *fjson,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -134,6 +140,13 @@ type sections struct {
 	shards     bool
 	shardBytes int
 	shardJSON  string
+
+	// filter runs the skip-scan front-end benchmark (filtered vs
+	// unfiltered kernel on the long-pattern workload) over filterBytes
+	// of traffic, optionally writing the JSON artifact to filterJSON.
+	filter      bool
+	filterBytes int
+	filterJSON  string
 }
 
 func run(w io.Writer, s sections) error {
@@ -208,6 +221,15 @@ func run(w io.Writer, s sections) error {
 			bytes = 8 << 20
 		}
 		if err := runShardBench(w, bytes, s.shardJSON); err != nil {
+			return err
+		}
+	}
+	if s.filter {
+		bytes := s.filterBytes
+		if bytes <= 0 {
+			bytes = 16 << 20
+		}
+		if err := runFilterBench(w, bytes, s.filterJSON); err != nil {
 			return err
 		}
 	}

@@ -223,3 +223,51 @@ func TestRunShardBenchJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFilterBenchJSON(t *testing.T) {
+	var b strings.Builder
+	path := filepath.Join(t.TempDir(), "BENCH_filter.json")
+	// 256 KiB keeps the four scan configurations fast; the schema, the
+	// filter coming up on the kernel, and the skip evidence are what
+	// this test pins (the 2x floor is the CI gate's job, not a unit
+	// test's — small inputs under-report the win).
+	err := run(&b, sections{filter: true, filterBytes: 256 << 10, filterJSON: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Skip-scan filter: long-pattern workload",
+		"kernel, filter off (every byte)",
+		"kernel + filter, sequential",
+		"windows skipped:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res FilterBench
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_filter.json does not parse: %v", err)
+	}
+	if res.Patterns != 48 || res.MinPatternLen < 16 || res.Window != res.MinPatternLen {
+		t.Fatalf("bench metadata wrong: %+v", res)
+	}
+	if res.SkippedPct < 50 {
+		t.Fatalf("long-pattern workload skipped only %.1f%% of windows", res.SkippedPct)
+	}
+	for name, v := range map[string]float64{
+		"kernel_unfiltered": res.KernelUnfiltered,
+		"filtered_seq":      res.FilteredSeq,
+		"filtered_pool":     res.FilteredPool,
+		"speedup":           res.Speedup,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s not measured: %+v", name, res)
+		}
+	}
+}

@@ -111,7 +111,12 @@ func runServerBench(w io.Writer, inputBytes int, jsonPath string) error {
 	if err != nil {
 		return err
 	}
-	m, err := core.Compile(pats, core.Options{CaseFold: true})
+	// Filter pinned off so scan_MBps/stream_MBps keep measuring the
+	// serving stack over the raw kernel, independent of the auto gates.
+	m, err := core.Compile(pats, core.Options{
+		CaseFold: true,
+		Engine:   core.EngineOptions{Filter: core.FilterOff},
+	})
 	if err != nil {
 		return err
 	}

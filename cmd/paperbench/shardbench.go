@@ -65,6 +65,9 @@ func runShardBench(w io.Writer, inputBytes int, jsonPath string) error {
 	res := ShardBench{InputBytes: inputBytes, ShardBudgetBytes: shardBenchBudget}
 
 	compileAt := func(engine core.EngineOptions, wantEngine string) (*core.Matcher, error) {
+		// Pinned off: this mode measures the sharded tier itself, not
+		// the skip-scan front-end (which has its own gated mode).
+		engine.Filter = core.FilterOff
 		m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: engine})
 		if err != nil {
 			return nil, err

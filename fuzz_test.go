@@ -2,6 +2,7 @@ package cellmatch_test
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
@@ -292,6 +293,126 @@ func FuzzShardEquivalence(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzFilterEquivalence: the skip-scan front-end must be invisible in
+// the output — filter-on vs filter-off byte-identical — for arbitrary
+// dictionaries (including single-byte minimums, where the filter must
+// auto-bypass), case folding on and off, every verifier tier (dense
+// kernel, sharded, stt), K ∈ {1,4} workers, sequential FindAll, the
+// shared pool, ScanReader, and the incremental Stream.
+func FuzzFilterEquivalence(f *testing.F) {
+	f.Add([]byte("abracadab"), []byte("cadabraca"), []byte("dabra"),
+		[]byte("abracadabra abracadabra cadabraca"), false, uint8(0), uint16(7))
+	f.Add([]byte("VirusSig"), []byte("WormSign"), []byte("Trojans!"),
+		[]byte("a virussig, a WORMSIGN, trojans! everywhere"), true, uint8(1), uint16(64))
+	f.Add([]byte("aaaa"), []byte("aaaaaaa"), []byte("aa"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaa"), false, uint8(2), uint16(3))
+	f.Add([]byte{0xFF, 0x00, 0x01, 0x02}, []byte{0x01, 0x02, 0x03, 0x04}, []byte{0xFF},
+		bytes.Repeat([]byte{0xFF, 0x00, 0x01, 0x02, 0x03, 0x04}, 30), false, uint8(3), uint16(1))
+	f.Fuzz(func(t *testing.T, p1, p2, p3, data []byte, fold bool, sel uint8, chunk uint16) {
+		if len(p1) == 0 || len(p2) == 0 || len(p3) == 0 ||
+			len(p1) > 32 || len(p2) > 32 || len(p3) > 32 || len(data) > 4096 {
+			return
+		}
+		dict := [][]byte{p1, p2, p3}
+		verifier := int(sel) % 3 // 0 = kernel, 1 = sharded, 2 = stt
+		workers := 1
+		if sel >= 128 {
+			workers = 4
+		}
+		engine := core.EngineOptions{}
+		switch verifier {
+		case 1:
+			ref, err := core.Compile(dict, core.Options{CaseFold: fold})
+			if err != nil {
+				return // e.g. too many distinct symbols
+			}
+			engine.MaxTableBytes = ref.Stats().KernelTableBytes * 3 / 4
+			engine.MaxShards = 4
+		case 2:
+			engine.DisableKernel = true
+		}
+		compileWith := func(mode core.FilterMode) (*core.Matcher, error) {
+			e := engine
+			e.Filter = mode
+			return core.Compile(dict, core.Options{CaseFold: fold, Engine: e})
+		}
+		offM, err := compileWith(core.FilterOff)
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		onM, err := compileWith(core.FilterOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := offM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := onM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "FindAll", got, want)
+		if n, err := onM.Count(data); err != nil || n != len(want) {
+			t.Fatalf("Count = %d (%v), want %d", n, err, len(want))
+		}
+		pool := parallel.NewPool(2)
+		defer pool.Close()
+		cs := int(chunk)%2048 + 1
+		for _, opts := range []core.ParallelOptions{
+			{Workers: workers, ChunkBytes: cs},
+			{ChunkBytes: cs, Pool: pool},
+		} {
+			par, err := onM.FindAllParallel(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualMatches(t, "FindAllParallel", par, want)
+			rd, err := onM.ScanReader(bytes.NewReader(data), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualMatches(t, "ScanReader", rd, want)
+		}
+		s := onM.NewStream()
+		for off := 0; off < len(data); off += cs {
+			end := off + cs
+			if end > len(data) {
+				end = len(data)
+			}
+			s.Write(data[off:end])
+		}
+		// Stream reports per-slot feed order when the filter bypasses
+		// (e.g. single-byte patterns); canonicalize both sides.
+		assertEqualMatches(t, "Stream", sortedMatches(s.Matches()), sortedMatches(want))
+	})
+}
+
+// sortedMatches canonicalizes match order by (End, Pattern).
+func sortedMatches(ms []core.Match) []core.Match {
+	out := append([]core.Match(nil), ms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+// assertEqualMatches fails the fuzz case when two match slices differ.
+func assertEqualMatches(t *testing.T, ctx string, got, want []core.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d is %+v, want %+v", ctx, i, got[i], want[i])
+		}
+	}
 }
 
 // foldBytes uppercases ASCII letters when fold is set — the same

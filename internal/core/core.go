@@ -15,11 +15,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"cellmatch/internal/alphabet"
 	"cellmatch/internal/cell"
 	"cellmatch/internal/compose"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/filter"
 	"cellmatch/internal/kernel"
 	"cellmatch/internal/stt"
 	"cellmatch/internal/tile"
@@ -97,6 +99,57 @@ type EngineOptions struct {
 	// kernel.MaxShardsLimit (64) are clamped to it — a dictionary
 	// needing more shards than that falls back to stt regardless.
 	MaxShards int
+	// Filter selects the skip-scan front-end (internal/filter): a
+	// BNDM-style reverse-suffix window filter built from the
+	// dictionary's shortest-pattern prefixes that skips most input
+	// bytes and hands only candidate windows to the engine ladder
+	// above. The default FilterAuto enables it when the dictionary
+	// qualifies (see FilterMode); output is byte-identical either way.
+	Filter FilterMode
+}
+
+// FilterMode is the EngineOptions.Filter policy for the skip-scan
+// front-end — the fourth rung of engine selection, sitting AHEAD of
+// the kernel/sharded/stt verifier ladder rather than replacing it.
+type FilterMode int
+
+const (
+	// FilterAuto (the zero value) enables the filter when it is likely
+	// to win: the shortest pattern is at least filterAutoMinLen bytes,
+	// the dictionary has at most filterAutoMaxPatterns entries, and
+	// the filter's evidence tables stay under filterAutoMaxDensity
+	// occupancy (a saturated filter cannot rule windows out and only
+	// adds overhead).
+	FilterAuto FilterMode = iota
+	// FilterOn forces the filter whenever it is legal (shortest
+	// pattern >= filter.MinWindow bytes). Dictionaries with a
+	// single-byte pattern bypass it silently — there is nothing to
+	// skip — and Stats().FilterEnabled reports false.
+	FilterOn
+	// FilterOff disables the filter: every byte goes through the
+	// verifier engine, the pre-filter behavior.
+	FilterOff
+)
+
+// Auto-enable gates for FilterAuto (see FilterMode).
+const (
+	filterAutoMinLen      = 4
+	filterAutoMaxPatterns = 256
+	filterAutoMaxDensity  = 0.75
+)
+
+// ParseFilterMode maps the flag vocabulary shared by the CLIs and the
+// server ("auto"/"" , "on", "off") onto a FilterMode.
+func ParseFilterMode(s string) (FilterMode, error) {
+	switch s {
+	case "", "auto":
+		return FilterAuto, nil
+	case "on":
+		return FilterOn, nil
+	case "off":
+		return FilterOff, nil
+	}
+	return 0, fmt.Errorf("bad filter mode %q (want auto, on, or off)", s)
 }
 
 // Matcher is a compiled dictionary.
@@ -104,8 +157,16 @@ type Matcher struct {
 	sys      *compose.System
 	opts     Options
 	patterns [][]byte
+	minLen   int             // shortest dictionary pattern
 	eng      *kernel.Engine  // nil when the dense kernel is disabled or over budget
 	sharded  *kernel.Sharded // nil unless the sharded tier is live
+	filter   *filter.Filter  // nil when the skip-scan front-end is off/bypassed
+
+	// windowsSkipped counts window positions the skip-scan front-end
+	// never examined, accumulated across every scan (FindAll, parallel,
+	// streams). Atomic: serving paths read Stats() concurrently with
+	// in-flight scans.
+	windowsSkipped atomic.Uint64
 }
 
 // initEngine walks the selection ladder: the single dense kernel, then
@@ -146,6 +207,37 @@ func (m *Matcher) initEngine() error {
 	return err
 }
 
+// initFilter builds the skip-scan front-end per EngineOptions.Filter.
+// Dictionaries the filter cannot serve (shortest pattern a single
+// byte) bypass it silently even under FilterOn; FilterAuto
+// additionally requires the auto gates to pass. Out-of-range modes
+// are rejected here so every compiled matcher's options survive the
+// Save/Load round trip (Load enforces the same bound).
+func (m *Matcher) initFilter() error {
+	mode := m.opts.Engine.Filter
+	if mode < FilterAuto || mode > FilterOff {
+		return fmt.Errorf("core: bad filter mode %d", mode)
+	}
+	if mode == FilterOff || m.minLen < filter.MinWindow {
+		return nil
+	}
+	// The cheap auto gates come before the build so non-qualifying
+	// dictionaries (short minimums, large pattern sets) pay nothing.
+	if mode == FilterAuto &&
+		(m.minLen < filterAutoMinLen || len(m.patterns) > filterAutoMaxPatterns) {
+		return nil
+	}
+	f, err := filter.Build(m.patterns, m.sys.Red)
+	if err != nil {
+		return err
+	}
+	if mode == FilterAuto && f.Density() > filterAutoMaxDensity {
+		return nil
+	}
+	m.filter = f
+	return nil
+}
+
 // Compile builds a matcher from exact byte-string patterns.
 func Compile(patterns [][]byte, opts Options) (*Matcher, error) {
 	sys, err := compose.NewSystem(patterns, compose.Config{
@@ -157,11 +249,18 @@ func Compile(patterns [][]byte, opts Options) (*Matcher, error) {
 		return nil, err
 	}
 	cp := make([][]byte, len(patterns))
+	minLen := 0
 	for i, p := range patterns {
 		cp[i] = append([]byte(nil), p...)
+		if minLen == 0 || len(p) < minLen {
+			minLen = len(p)
+		}
 	}
-	m := &Matcher{sys: sys, opts: opts, patterns: cp}
+	m := &Matcher{sys: sys, opts: opts, patterns: cp, minLen: minLen}
 	if err := m.initEngine(); err != nil {
+		return nil, err
+	}
+	if err := m.initFilter(); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -179,11 +278,25 @@ func CompileStrings(patterns []string, opts Options) (*Matcher, error) {
 	return Compile(bs, opts)
 }
 
-// FindAll reports every dictionary occurrence in data. With the dense
-// kernel live (the default) the scan is a single pass over the raw
-// bytes with the alphabet reduction baked into the table; the stt/dfa
-// fallback path produces byte-identical results.
+// FindAll reports every dictionary occurrence in data. With the
+// skip-scan front-end live (EngineOptions.Filter) most input bytes are
+// never read: the window filter yields candidate segments and only
+// those pass through the verifier engine. Otherwise the scan is a
+// single pass over the raw bytes — the dense kernel by default, the
+// stt/dfa fallback when disabled or over budget. Every configuration
+// produces byte-identical results in the same (End, Pattern) order.
 func (m *Matcher) FindAll(data []byte) ([]Match, error) {
+	if m.filter != nil {
+		return m.findAllFiltered(data)
+	}
+	return m.FindAllUnfiltered(data)
+}
+
+// FindAllUnfiltered is FindAll with the skip-scan front-end bypassed:
+// every byte goes through the verifier engine. It is the reference
+// path the filter is differentially tested against, and the per-request
+// opt-out the serving layer exposes.
+func (m *Matcher) FindAllUnfiltered(data []byte) ([]Match, error) {
 	if m.eng != nil {
 		return convertMatches(m.eng.FindAll(data)), nil
 	}
@@ -197,6 +310,53 @@ func (m *Matcher) FindAll(data []byte) ([]Match, error) {
 	return convertMatches(raw), nil
 }
 
+// findAllFiltered runs the skip-scan front-end and verifies each
+// candidate segment from the verifier's root state. Segments are
+// disjoint and ordered and every match lies wholly inside one (the
+// filter's containment guarantee), so concatenating the per-segment
+// sorted matches reproduces FindAll's global (End, Pattern) order.
+func (m *Matcher) findAllFiltered(data []byte) ([]Match, error) {
+	segs, skipped := m.filter.Segments(data)
+	m.windowsSkipped.Add(uint64(skipped))
+	out := make([]Match, 0)
+	for _, sg := range segs {
+		ms, err := m.scanSegment(data[sg.Start:sg.End], sg.Start)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// scanSegment scans one piece from the root state on the live verifier
+// engine, returning matches sorted by (End, Pattern) with End offsets
+// shifted by base — the verification unit of the filtered paths.
+func (m *Matcher) scanSegment(piece []byte, base int) ([]Match, error) {
+	switch {
+	case m.eng != nil:
+		raw := m.eng.ScanChunk(piece, base, 0)
+		dfa.SortMatches(raw)
+		return convertMatches(raw), nil
+	case m.sharded != nil:
+		var raw []dfa.Match
+		for sh := 0; sh < m.sharded.Shards(); sh++ {
+			raw = append(raw, m.sharded.ScanShardChunk(sh, piece, base, 0)...)
+		}
+		dfa.SortMatches(raw)
+		return convertMatches(raw), nil
+	default:
+		raw, err := m.sys.Scan(piece)
+		if err != nil {
+			return nil, err
+		}
+		for i := range raw {
+			raw[i].End += base
+		}
+		return convertMatches(raw), nil
+	}
+}
+
 func convertMatches(raw []dfa.Match) []Match {
 	out := make([]Match, len(raw))
 	for i, r := range raw {
@@ -206,8 +366,26 @@ func convertMatches(raw []dfa.Match) []Match {
 }
 
 // Count returns the number of occurrences in data. The kernel path
-// counts without materializing (or sorting) the match list.
+// counts without materializing (or sorting) the match list; with the
+// filter live only candidate segments are counted.
 func (m *Matcher) Count(data []byte) (int, error) {
+	if m.filter == nil {
+		return m.countUnfiltered(data)
+	}
+	segs, skipped := m.filter.Segments(data)
+	m.windowsSkipped.Add(uint64(skipped))
+	total := 0
+	for _, sg := range segs {
+		n, err := m.countUnfiltered(data[sg.Start:sg.End])
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func (m *Matcher) countUnfiltered(data []byte) (int, error) {
 	if m.eng != nil {
 		return m.eng.Count(data), nil
 	}
@@ -267,6 +445,24 @@ type Stats struct {
 	// For the sharded tier the unit is the largest single shard.
 	TableFitsL1 bool
 	TableFitsL2 bool
+
+	// MinPatternLen is the shortest dictionary pattern — the window
+	// length the skip-scan front-end slides (and the reason it may be
+	// bypassed: windows below 2 bytes cannot skip).
+	MinPatternLen int
+	// FilterEnabled reports whether the skip-scan front-end is live
+	// ahead of the verifier engine; FilterWindow is its window length
+	// (0 when disabled).
+	FilterEnabled bool
+	FilterWindow  int
+	// WindowsSkipped is the cumulative count of window positions the
+	// filter skipped without examining, across every scan this matcher
+	// has served — the sublinearity evidence. Read atomically; scans
+	// may be in flight. The count is operational, not exact: chunked
+	// (parallel) and streamed scans re-filter their bounded overlap /
+	// tail regions, whose windows are counted once per view, so the
+	// counter can exceed the single-pass window count on such paths.
+	WindowsSkipped uint64
 }
 
 // Stats reports the compiled matcher's shape.
@@ -289,6 +485,12 @@ func (m *Matcher) Stats() Stats {
 	if s.DenseTableBudget <= 0 {
 		s.DenseTableBudget = kernel.DefaultMaxTableBytes
 	}
+	s.MinPatternLen = m.minLen
+	s.WindowsSkipped = m.windowsSkipped.Load()
+	if m.filter != nil {
+		s.FilterEnabled = true
+		s.FilterWindow = m.filter.Window
+	}
 	switch {
 	case m.eng != nil:
 		s.Engine = "kernel"
@@ -307,6 +509,10 @@ func (m *Matcher) Stats() Stats {
 	}
 	return s
 }
+
+// FilterActive reports whether the skip-scan front-end is live — the
+// cheap per-request form for serving paths (Stats re-encodes tables).
+func (m *Matcher) FilterActive() bool { return m.filter != nil }
 
 // EngineName reports the live scan engine ("kernel", "sharded", or
 // "stt") without computing full Stats (which re-encodes the STT
@@ -405,12 +611,24 @@ func (r *RegexSet) MatchWhole(data []byte) []int {
 
 // Stream is an incremental scanner: feed data in arbitrary chunk
 // sizes; matches carry global offsets. A Stream holds one cursor per
-// series slot, so memory is O(dictionary), not O(input).
+// series slot (or, with the skip-scan front-end live, the last
+// MaxPatternLen-1 bytes), so memory is O(dictionary), not O(input).
 type Stream struct {
 	m      *Matcher
 	states []int           // per-slot DFA state (stt/dfa path)
 	tables []*kernel.Table // flattened kernel tables (kernel/sharded path)
 	rows   []uint32        // per-table encoded kernel row (kernel/sharded path)
+
+	// Filtered mode: the window filter needs whole windows, so the
+	// stream carries the previous chunks' tail (MaxPatternLen-1 bytes)
+	// and rescans it with each Write — partial windows straddling a
+	// cut re-form in the next Write's view, and matches ending inside
+	// the carried tail were reported by the previous Write and are
+	// deduplicated, exactly like a parallel chunk's overlap prefix.
+	filt *filter.Filter
+	tail []byte
+	buf  []byte // scratch: tail + incoming chunk
+
 	offset int
 	found  []Match
 }
@@ -418,6 +636,10 @@ type Stream struct {
 // NewStream starts an incremental scan.
 func (m *Matcher) NewStream() *Stream {
 	st := &Stream{m: m}
+	if m.filter != nil {
+		st.filt = m.filter
+		return st
+	}
 	if tables := m.kernelTables(); tables != nil {
 		st.tables = tables
 		st.rows = make([]uint32, len(tables))
@@ -433,9 +655,44 @@ func (m *Matcher) NewStream() *Stream {
 	return st
 }
 
-// Write consumes the next chunk. It never fails; the error is for
-// io.Writer compatibility.
+// writeFiltered is Write on the skip-scan path: filter the carried
+// tail plus the new chunk, verify candidate segments from the root,
+// and drop matches ending inside the tail (already reported).
+func (s *Stream) writeFiltered(p []byte) (int, error) {
+	s.buf = append(append(s.buf[:0], s.tail...), p...)
+	text := s.buf
+	segs, skipped := s.filt.Segments(text)
+	s.m.windowsSkipped.Add(uint64(skipped))
+	dedupe := len(s.tail)
+	base := s.offset - dedupe
+	for _, sg := range segs {
+		ms, err := s.m.scanSegment(text[sg.Start:sg.End], sg.Start)
+		if err != nil {
+			return 0, err
+		}
+		for _, mt := range ms {
+			if mt.End <= dedupe {
+				continue // reported by the previous Write
+			}
+			mt.End += base
+			s.found = append(s.found, mt)
+		}
+	}
+	s.offset += len(p)
+	keep := s.m.sys.MaxPatternLen - 1
+	if keep > len(text) {
+		keep = len(text)
+	}
+	s.tail = append(s.tail[:0], text[len(text)-keep:]...)
+	return len(p), nil
+}
+
+// Write consumes the next chunk. It never fails on the unfiltered
+// paths; the error satisfies io.Writer.
 func (s *Stream) Write(p []byte) (int, error) {
+	if s.filt != nil {
+		return s.writeFiltered(p)
+	}
 	if s.tables != nil {
 		for i, t := range s.tables {
 			s.rows[i] = t.ScanCarry(p, s.rows[i], func(pid int32, end int) {

@@ -7,10 +7,12 @@ import (
 )
 
 // engineMatchers compiles the same dictionary twice: once with the
-// dense kernel (default) and once forced onto the stt/dfa path.
+// dense kernel (default) and once forced onto the stt/dfa path. The
+// skip-scan front-end is pinned off so these suites keep exercising
+// the raw engine loops (the filter has its own equivalence matrix).
 func engineMatchers(t *testing.T, patterns []string, caseFold bool) (kernelM, sttM *Matcher) {
 	t.Helper()
-	opts := Options{CaseFold: caseFold}
+	opts := Options{CaseFold: caseFold, Engine: EngineOptions{Filter: FilterOff}}
 	kernelM, err := CompileStrings(patterns, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +54,7 @@ func TestKernelSplitPointEquivalence(t *testing.T) {
 	kernelM, sttM := engineMatchers(t, dict, false)
 	lanes := make([]*Matcher, 9)
 	for k := 1; k <= 8; k++ {
-		m, err := CompileStrings(dict, Options{Engine: EngineOptions{InterleaveK: k}})
+		m, err := CompileStrings(dict, Options{Engine: EngineOptions{InterleaveK: k, Filter: FilterOff}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,18 +20,29 @@ type ParallelOptions struct {
 	// call — the long-running-server mode. Many concurrent scans share
 	// the pool's fixed worker set.
 	Pool *parallel.Pool
+	// DisableFilter bypasses the matcher's skip-scan front-end for this
+	// call (the serving layer's per-request filter=off knob). Output is
+	// byte-identical either way.
+	DisableFilter bool
 }
 
 // engineOpts binds the matcher's live scan engine (the dense kernel,
 // the sharded multi-kernel tier, or nil for the stt/dfa path) into the
 // worker options. With the sharded tier live, the worker task set is
 // one item per (shard, chunk) so each worker keeps one shard's tables
-// hot.
+// hot. The skip-scan front-end, when live and not bypassed, runs per
+// chunk inside each worker; its skip counter feeds the matcher's
+// WindowsSkipped stat.
 func (m *Matcher) engineOpts(o ParallelOptions) parallel.Options {
-	return parallel.Options{
+	po := parallel.Options{
 		Workers: o.Workers, ChunkBytes: o.ChunkBytes,
 		Engine: m.eng, Sharded: m.sharded, Pool: o.Pool,
 	}
+	if m.filter != nil && !o.DisableFilter {
+		po.Filter = m.filter
+		po.FilterSkipped = &m.windowsSkipped
+	}
+	return po
 }
 
 // FindAllParallel reports every dictionary occurrence in data, like

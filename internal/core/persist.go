@@ -20,24 +20,25 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic "CMSAV3\x00"
+//	magic "CMSAV4\x00"
 //	options: caseFold u8, groups u32, maxStatesPerTile u32, version u32
 //	engine:  disableKernel u8, maxTableBytes u64, interleaveK u32,
-//	         maxShards i32
+//	         maxShards i32, filterMode u8
 //	reduction: map[256]u8, classes u32, width u32
 //	system width u32, maxPatternLen u32
 //	patterns: count u32; each: len u32, bytes
 //	slots: count u32; each: blobLen u32, dfa blob,
 //	       idCount u32, ids u32...
 //
-// Older artifacts still load: V2 (magic "CMSAV2\x00") lacks the
-// maxShards field (loaded as 0, the default shard cap — so a V2
-// artifact whose dictionary outgrew the dense budget now comes back
-// with the sharded tier live instead of the stt fallback), and V1
-// ("CMSAV1\x00") lacks the whole engine block (zero-value
-// EngineOptions).
+// Older artifacts still load: V3 (magic "CMSAV3\x00") lacks the
+// filterMode field (loaded as FilterAuto, so qualifying dictionaries
+// come back with the skip-scan front-end live — output-identical
+// either way), V2 ("CMSAV2\x00") additionally lacks maxShards (loaded
+// as 0, the default shard cap), and V1 ("CMSAV1\x00") lacks the whole
+// engine block (zero-value EngineOptions).
 var (
-	savMagic   = []byte("CMSAV3\x00")
+	savMagic   = []byte("CMSAV4\x00")
+	savMagicV3 = []byte("CMSAV3\x00")
 	savMagicV2 = []byte("CMSAV2\x00")
 	savMagicV1 = []byte("CMSAV1\x00")
 )
@@ -92,6 +93,9 @@ func (m *Matcher) Save(w io.Writer) error {
 		ms = -1
 	}
 	if err := put32(uint32(int32(ms))); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(m.opts.Engine.Filter)); err != nil {
 		return err
 	}
 	if _, err := bw.Write(m.sys.Red.Map[:]); err != nil {
@@ -153,7 +157,8 @@ func Load(r io.Reader) (*Matcher, error) {
 	}
 	v1 := bytes.Equal(magic, savMagicV1)
 	v2 := bytes.Equal(magic, savMagicV2)
-	if !v1 && !v2 && !bytes.Equal(magic, savMagic) {
+	v3 := bytes.Equal(magic, savMagicV3)
+	if !v1 && !v2 && !v3 && !bytes.Equal(magic, savMagic) {
 		return nil, fmt.Errorf("core: not a cellmatch artifact")
 	}
 	get32 := func() (uint32, error) {
@@ -195,6 +200,16 @@ func Load(r io.Reader) (*Matcher, error) {
 				return nil, err
 			}
 			opts.Engine.MaxShards = int(int32(ms))
+			if !v3 { // V3 predates the skip-scan front-end: FilterAuto
+				fm, err := br.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				if fm > byte(FilterOff) {
+					return nil, fmt.Errorf("core: bad filter mode %d", fm)
+				}
+				opts.Engine.Filter = FilterMode(fm)
+			}
 		}
 	}
 
@@ -300,8 +315,17 @@ func Load(r io.Reader) (*Matcher, error) {
 		groups = 1
 	}
 	sys.Topology = compose.Mixed(groups, len(sys.Slots))
-	m := &Matcher{sys: sys, opts: opts, patterns: patterns}
+	minLen := 0
+	for _, p := range patterns {
+		if minLen == 0 || len(p) < minLen {
+			minLen = len(p)
+		}
+	}
+	m := &Matcher{sys: sys, opts: opts, patterns: patterns, minLen: minLen}
 	if err := m.initEngine(); err != nil {
+		return nil, err
+	}
+	if err := m.initFilter(); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -117,7 +117,7 @@ func TestLoadRejectsWrongMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()
-	for _, magic := range []string{"CMSAV4\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav3\x00"} {
+	for _, magic := range []string{"CMSAV5\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav4\x00"} {
 		bad := append([]byte(magic), blob[len(magic):]...)
 		_, err := Load(bytes.NewReader(bad))
 		if err == nil {
@@ -161,15 +161,15 @@ func TestLoadV1ArtifactRebuildsEngine(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v3 := buf.Bytes()
-	// The v3 layout places the 17-byte engine block (disableKernel u8,
-	// maxTableBytes u64, interleaveK u32, maxShards i32) right after
-	// the 13-byte options block; a v1 artifact is the same bytes
-	// without it.
+	v4 := buf.Bytes()
+	// The v4 layout places the 18-byte engine block (disableKernel u8,
+	// maxTableBytes u64, interleaveK u32, maxShards i32, filterMode u8)
+	// right after the 13-byte options block; a v1 artifact is the same
+	// bytes without it.
 	optsEnd := len(savMagic) + 13
 	v1 := append([]byte(nil), savMagicV1...)
-	v1 = append(v1, v3[len(savMagic):optsEnd]...)
-	v1 = append(v1, v3[optsEnd+17:]...)
+	v1 = append(v1, v4[len(savMagic):optsEnd]...)
+	v1 = append(v1, v4[optsEnd+18:]...)
 
 	back, err := Load(bytes.NewReader(v1))
 	if err != nil {
@@ -216,13 +216,14 @@ func TestLoadV2ArtifactGetsDefaultShardCap(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v3 := buf.Bytes()
-	// Drop the trailing 4-byte maxShards field of the 17-byte engine
-	// block and swap the magic: that is exactly a v2 artifact.
-	engEnd := len(savMagic) + 13 + 17
+	v4 := buf.Bytes()
+	// Drop the trailing maxShards (4 bytes) and filterMode (1 byte)
+	// fields of the 18-byte engine block and swap the magic: that is
+	// exactly a v2 artifact.
+	engEnd := len(savMagic) + 13 + 18
 	v2 := append([]byte(nil), savMagicV2...)
-	v2 = append(v2, v3[len(savMagic):engEnd-4]...)
-	v2 = append(v2, v3[engEnd:]...)
+	v2 = append(v2, v4[len(savMagic):engEnd-5]...)
+	v2 = append(v2, v4[engEnd:]...)
 
 	back, err := Load(bytes.NewReader(v2))
 	if err != nil {
@@ -244,6 +245,62 @@ func TestLoadV2ArtifactGetsDefaultShardCap(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("v2-loaded matcher diverged")
+	}
+}
+
+// A v3 artifact (engine block without the filterMode byte) must load
+// with FilterAuto — a qualifying dictionary comes back with the
+// skip-scan front-end live — and scan byte-identically.
+func TestLoadV3ArtifactGetsFilterAuto(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	m, err := Compile(dict, Options{CaseFold: true, Engine: EngineOptions{Filter: FilterOff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v4 := buf.Bytes()
+	// Drop the trailing filterMode byte of the 18-byte engine block and
+	// swap the magic: that is exactly a v3 artifact.
+	engEnd := len(savMagic) + 13 + 18
+	v3 := append([]byte(nil), savMagicV3...)
+	v3 = append(v3, v4[len(savMagic):engEnd-1]...)
+	v3 = append(v3, v4[engEnd:]...)
+
+	back, err := Load(bytes.NewReader(v3))
+	if err != nil {
+		t.Fatalf("v3 artifact rejected: %v", err)
+	}
+	if got := back.opts.Engine.Filter; got != FilterAuto {
+		t.Fatalf("v3 load Filter = %d, want FilterAuto", got)
+	}
+	if !back.Stats().FilterEnabled {
+		t.Fatalf("signature dictionary under FilterAuto should enable the filter: %+v", back.Stats())
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: dict, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v3-loaded matcher diverged: %d vs %d matches", len(got), len(want))
+	}
+	// A v4 blob with an out-of-range filter mode must be rejected.
+	bad := append([]byte(nil), v4...)
+	bad[engEnd-1] = 7
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad filter mode accepted")
 	}
 }
 

@@ -13,7 +13,10 @@ import (
 // plain stt path, and unrestricted (plain kernel) as a sanity anchor.
 func shardedMatchers(t *testing.T, patterns []string, fold bool, maxShards int) (shardedM, sttM *Matcher) {
 	t.Helper()
-	opts := Options{CaseFold: fold}
+	// The skip-scan front-end is pinned off: these suites exercise the
+	// sharded scan schedules themselves (the filter has its own
+	// equivalence matrix, which covers sharded verification too).
+	opts := Options{CaseFold: fold, Engine: EngineOptions{Filter: FilterOff}}
 	kernelM, err := CompileStrings(patterns, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -24,12 +27,12 @@ func shardedMatchers(t *testing.T, patterns []string, fold bool, maxShards int) 
 	// Three quarters of the real dense footprint forces the ladder past
 	// the plain kernel; each single pattern still fits a shard.
 	budget := kernelM.Stats().KernelTableBytes * 3 / 4
-	opts.Engine = EngineOptions{MaxTableBytes: budget, MaxShards: maxShards}
+	opts.Engine = EngineOptions{MaxTableBytes: budget, MaxShards: maxShards, Filter: FilterOff}
 	shardedM, err = CompileStrings(patterns, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.Engine = EngineOptions{DisableKernel: true}
+	opts.Engine = EngineOptions{DisableKernel: true, Filter: FilterOff}
 	sttM, err = CompileStrings(patterns, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,321 @@
+// Package filter is the sublinear skip-scan front-end ahead of the DFA
+// verifier engines: a reverse-suffix window filter in the style of
+// BNDM (Navarro/Raffinot) and of Kearns' reverse suffix scanning, built
+// from the compiled dictionary's length-m prefixes over the reduced
+// alphabet, where m is the shortest pattern length.
+//
+// Every engine below this one — dense kernel, sharded kernels, stt —
+// reads every input byte: the paper's peak-performance ceiling for
+// forward DFA scanning. The filter breaks that ceiling for
+// dictionaries whose patterns are not too short: it slides an m-byte
+// window over the input and inspects the window FROM ITS RIGHT END
+// backwards, tracking (bit-parallel, one uint64) the set of dictionary
+// prefix factors that match the suffix read so far. When the set dies
+// after j characters, no dictionary pattern can start anywhere in the
+// window's first m-j positions, and the window jumps by the longest
+// shift the factor evidence allows — most input bytes are never
+// touched. Windows that survive the whole backward scan are candidate
+// occurrence starts and are handed to the exact verifier.
+//
+// Two engines share the interface:
+//
+//   - bit-parallel (m <= 64): classic multi-pattern BNDM. B[c] holds,
+//     for symbol class c, the positions where c occurs in any pattern's
+//     length-m prefix (bit i = position m-1-i). The backward scan is
+//     one AND and one shift per character examined.
+//   - factor table (m > 64): a Wu-Manber-style 2-gram shift table over
+//     the reduced classes. The window's last 2-gram indexes the longest
+//     safe shift (default m-1 for grams absent from every prefix);
+//     shift 0 marks a candidate.
+//
+// Both engines guarantee the no-miss property the property tests
+// assert: no computed shift skips a window start where a dictionary
+// occurrence begins.
+//
+// Verification is exact, not approximate. Candidates are merged into
+// verify segments: each candidate start q is extended to q+Extend
+// (Extend = the longest pattern length), overlapping or touching
+// extensions coalesce, and each segment is scanned from the verifier's
+// root state. This reproduces the full scan byte for byte:
+//
+//   - every match starts at a candidate (its first m bytes are a
+//     dictionary prefix, which the window filter never slides past), so
+//     every match lies wholly inside the segment containing its start
+//     (segments reach Extend past each candidate);
+//   - segments are disjoint and ordered, so no match is reported twice
+//     and concatenating per-segment sorted matches preserves the global
+//     (End, Pattern) order;
+//   - a match can never straddle INTO a segment from outside: its start
+//     would be a candidate whose extension overlaps the segment, which
+//     would have merged them.
+//
+// Root-start per segment is therefore exact state carry in the only
+// sense that matters: the gap between segments provably contains no
+// byte of any match, so the automaton state at a segment start is
+// equivalent to the root for every match the scan can report.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"cellmatch/internal/alphabet"
+)
+
+const (
+	// MinWindow is the smallest usable window. A dictionary whose
+	// shortest pattern is a single byte gives the filter nothing to
+	// skip with; callers must bypass it (Build refuses).
+	MinWindow = 2
+
+	// MaxBitWindow is the bit-parallel engine's window ceiling (the
+	// suffix-automaton state set lives in one uint64). Longer minimum
+	// pattern lengths use the factor-table engine.
+	MaxBitWindow = 64
+)
+
+// ErrShort is returned by Build when the dictionary's shortest pattern
+// is below MinWindow: the filter cannot help and the caller should
+// scan unfiltered.
+var ErrShort = errors.New("filter: shortest pattern below the minimum window")
+
+// Segment is one verify region [Start, End) of the input: every
+// dictionary occurrence intersecting it starts and ends inside it.
+type Segment struct {
+	Start, End int
+}
+
+// Filter is a compiled skip-scan front-end. Build once per dictionary;
+// a Filter is immutable and safe for concurrent use.
+type Filter struct {
+	// MinLen is the shortest dictionary pattern — the window length.
+	MinLen int
+	// Window is the sliding window length (== MinLen; kept separate so
+	// diagnostics read unambiguously).
+	Window int
+	// Extend is the longest dictionary pattern: how far a verify
+	// segment reaches past a candidate start so any occurrence
+	// beginning there is wholly contained.
+	Extend int
+
+	bit   bool        // bit-parallel engine (Window <= MaxBitWindow)
+	masks [256]uint64 // bit-parallel: raw byte -> prefix position mask
+	hi    uint64      // 1 << (Window-1): the "full prefix" bit
+
+	classes int // factor engine: reduced class count
+	cls     [256]byte
+	shift   []uint16 // factor engine: 2-gram -> longest safe shift
+
+	filled, slots int // occupancy of the masks / gram table
+}
+
+// Build compiles the filter for a dictionary over the given reduction
+// (nil means the identity reduction). The window is the shortest
+// pattern length; dictionaries with a single-byte pattern return
+// ErrShort (wrapped) and must scan unfiltered.
+func Build(patterns [][]byte, red *alphabet.Reduction) (*Filter, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("filter: empty dictionary")
+	}
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	minLen, maxLen := 0, 0
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("filter: pattern %d is empty", i)
+		}
+		if minLen == 0 || len(p) < minLen {
+			minLen = len(p)
+		}
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+	}
+	if minLen < MinWindow {
+		return nil, fmt.Errorf("%w: %d", ErrShort, minLen)
+	}
+	f := &Filter{MinLen: minLen, Window: minLen, Extend: maxLen}
+	if minLen <= MaxBitWindow {
+		f.buildBit(patterns, red)
+	} else {
+		f.buildFactor(patterns, red)
+	}
+	return f, nil
+}
+
+// buildBit fills the BNDM position masks: bit i of B[c] is set when
+// symbol class c occurs at position Window-1-i of some pattern's
+// length-Window prefix. Masks are expanded to raw-byte indexing so the
+// scan consumes unreduced input, like the kernel.
+func (f *Filter) buildBit(patterns [][]byte, red *alphabet.Reduction) {
+	f.bit = true
+	f.hi = 1 << (f.Window - 1)
+	var classMask [256]uint64
+	for _, p := range patterns {
+		for i := 0; i < f.Window; i++ {
+			classMask[red.Map[p[i]]] |= 1 << (f.Window - 1 - i)
+		}
+	}
+	for b := 0; b < 256; b++ {
+		f.masks[b] = classMask[red.Map[b]]
+	}
+	f.slots = red.Classes * f.Window
+	for c := 0; c < red.Classes; c++ {
+		f.filled += bits.OnesCount64(classMask[byte(c)])
+	}
+}
+
+// buildFactor fills the Wu-Manber-style 2-gram shift table: for a gram
+// ending at prefix position i the safe shift is Window-1-i; grams
+// absent from every prefix shift the full Window-1.
+func (f *Filter) buildFactor(patterns [][]byte, red *alphabet.Reduction) {
+	f.classes = red.Classes
+	f.cls = red.Map
+	f.shift = make([]uint16, f.classes*f.classes)
+	def := f.Window - 1
+	if def > 1<<16-1 {
+		def = 1<<16 - 1 // a smaller shift is always safe
+	}
+	for i := range f.shift {
+		f.shift[i] = uint16(def)
+	}
+	for _, p := range patterns {
+		for i := 1; i < f.Window; i++ {
+			g := int(red.Map[p[i-1]])*f.classes + int(red.Map[p[i]])
+			if s := f.Window - 1 - i; s < int(f.shift[g]) {
+				f.shift[g] = uint16(s)
+			}
+		}
+	}
+	f.slots = f.classes * f.classes
+	for _, s := range f.shift {
+		if int(s) < def {
+			f.filled++
+		}
+	}
+}
+
+// Kind names the live engine: "bndm" (bit-parallel) or "factor".
+func (f *Filter) Kind() string {
+	if f.bit {
+		return "bndm"
+	}
+	return "factor"
+}
+
+// Density is the occupancy of the filter's evidence tables in [0, 1]:
+// the fraction of (class, position) mask bits (bndm) or class-pair
+// grams (factor) the dictionary fills. Saturated tables kill the
+// filter's ability to rule windows out, so engine auto-selection
+// refuses dense dictionaries.
+func (f *Filter) Density() float64 {
+	if f.slots == 0 {
+		return 1
+	}
+	return float64(f.filled) / float64(f.slots)
+}
+
+// Candidates calls yield for every window start that may begin a
+// dictionary occurrence, in strictly increasing order, and returns the
+// number of valid window positions the scan skipped without examining
+// (jumps past the last valid window start are not counted).
+// The no-miss guarantee: every position where a pattern's length-
+// Window prefix (under the reduction) actually occurs is yielded.
+func (f *Filter) Candidates(data []byte, yield func(pos int)) int64 {
+	if f.bit {
+		return f.candidatesBit(data, yield)
+	}
+	return f.candidatesFactor(data, yield)
+}
+
+// candidatesBit is multi-pattern BNDM. The inner loop reads the window
+// right to left; D's bit i tracks "the suffix read so far matches some
+// prefix at offset i". The high bit reports a dictionary prefix
+// aligned with the window start of the suffix read — at j == 0 that is
+// the whole window: a candidate.
+func (f *Filter) candidatesBit(data []byte, yield func(pos int)) int64 {
+	m := f.Window
+	masks := &f.masks
+	hi := f.hi
+	full := ^uint64(0)
+	if m < 64 {
+		full = 1<<m - 1
+	}
+	var skipped int64
+	n := len(data)
+	limit := n - m + 1 // one past the last valid window start
+	for pos := 0; pos+m <= n; {
+		j, last := m, m
+		D := full
+		for D != 0 {
+			D &= masks[data[pos+j-1]]
+			j--
+			if D&hi != 0 {
+				if j > 0 {
+					// A dictionary prefix starts at pos+j: the next
+					// window may begin there, never earlier.
+					last = j
+				} else {
+					yield(pos)
+				}
+			}
+			if j == 0 {
+				break // whole window consumed
+			}
+			D <<= 1
+		}
+		skipped += int64(min(pos+last, limit) - pos - 1)
+		pos += last
+	}
+	return skipped
+}
+
+// candidatesFactor is the 2-gram shift scan: index the window's last
+// gram, jump by its precomputed safe shift; shift 0 is a candidate.
+func (f *Filter) candidatesFactor(data []byte, yield func(pos int)) int64 {
+	m := f.Window
+	cls := &f.cls
+	classes := f.classes
+	var skipped int64
+	n := len(data)
+	limit := n - m + 1 // one past the last valid window start
+	for pos := 0; pos+m <= n; {
+		g := int(cls[data[pos+m-2]])*classes + int(cls[data[pos+m-1]])
+		s := int(f.shift[g])
+		if s == 0 {
+			yield(pos)
+			pos++
+			continue
+		}
+		skipped += int64(min(pos+s, limit) - pos - 1)
+		pos += s
+	}
+	return skipped
+}
+
+// Segments returns the verify regions of data — candidate starts
+// extended by Extend and coalesced when they overlap or touch — plus
+// the number of window positions the scan skipped. Scanning each
+// segment from the verifier's root state reproduces exactly the
+// matches a full scan of data would report (see the package comment
+// for the argument); the gaps between segments contain no byte of any
+// match.
+func (f *Filter) Segments(data []byte) ([]Segment, int64) {
+	var segs []Segment
+	skipped := f.Candidates(data, func(pos int) {
+		end := pos + f.Extend
+		if end > len(data) {
+			end = len(data)
+		}
+		if k := len(segs) - 1; k >= 0 && pos <= segs[k].End {
+			if end > segs[k].End {
+				segs[k].End = end
+			}
+			return
+		}
+		segs = append(segs, Segment{Start: pos, End: end})
+	})
+	return segs, skipped
+}

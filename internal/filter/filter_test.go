@@ -1,0 +1,280 @@
+package filter
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/baseline"
+)
+
+func mustBuild(t *testing.T, patterns []string, red *alphabet.Reduction) *Filter {
+	t.Helper()
+	bs := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		bs[i] = []byte(p)
+	}
+	f, err := Build(bs, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func candidateSet(f *Filter, data []byte) map[int]bool {
+	out := map[int]bool{}
+	f.Candidates(data, func(pos int) { out[pos] = true })
+	return out
+}
+
+// naiveStarts lists every position where pattern occurs in text under
+// the reduction — the ground truth the filter must never skip past.
+func naiveStarts(text, pattern []byte, red *alphabet.Reduction) []int {
+	rt, rp := red.Reduce(text), red.Reduce(pattern)
+	var out []int
+	for i := 0; i+len(rp) <= len(rt); i++ {
+		if bytes.Equal(rt[i:i+len(rp)], rp) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Fatal("empty dictionary accepted")
+	}
+	if _, err := Build([][]byte{[]byte("ok"), nil}, nil); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	_, err := Build([][]byte{[]byte("a"), []byte("abcd")}, nil)
+	if err == nil {
+		t.Fatal("single-byte minimum accepted")
+	}
+	if !strings.Contains(err.Error(), "below the minimum window") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestWindowAndEngineSelection(t *testing.T) {
+	f := mustBuild(t, []string{"abcd", "abcdefgh"}, nil)
+	if f.Window != 4 || f.MinLen != 4 || f.Extend != 8 {
+		t.Fatalf("geometry = %d/%d/%d", f.Window, f.MinLen, f.Extend)
+	}
+	if f.Kind() != "bndm" {
+		t.Fatalf("kind = %q, want bndm for window 4", f.Kind())
+	}
+	long := strings.Repeat("x", MaxBitWindow+1)
+	f = mustBuild(t, []string{long + "tail", long}, nil)
+	if f.Kind() != "factor" || f.Window != MaxBitWindow+1 {
+		t.Fatalf("kind = %q window = %d, want factor/%d", f.Kind(), f.Window, MaxBitWindow+1)
+	}
+	f = mustBuild(t, []string{strings.Repeat("y", MaxBitWindow)}, nil)
+	if f.Kind() != "bndm" {
+		t.Fatalf("kind = %q, want bndm at the %d-byte boundary", f.Kind(), MaxBitWindow)
+	}
+}
+
+func TestCandidatesExactOccurrences(t *testing.T) {
+	f := mustBuild(t, []string{"abra", "cadabra"}, nil)
+	data := []byte("abracadabra xx abra cadabra")
+	got := candidateSet(f, data)
+	// Every real occurrence start of either pattern must be a candidate.
+	red := alphabet.Identity()
+	for _, p := range [][]byte{[]byte("abra"), []byte("cadabra")} {
+		for _, q := range naiveStarts(data, p, red) {
+			if !got[q] {
+				t.Fatalf("occurrence start %d of %q not a candidate (got %v)", q, p, got)
+			}
+		}
+	}
+}
+
+func TestCandidatesSkipCleanText(t *testing.T) {
+	f := mustBuild(t, []string{"VIRUSSIGNATURE", "WORMSIGNATURES"}, nil)
+	data := []byte(strings.Repeat("benign lowercase traffic with no signatures at all. ", 100))
+	var cands []int
+	skipped := f.Candidates(data, func(pos int) { cands = append(cands, pos) })
+	if len(cands) != 0 {
+		t.Fatalf("clean text produced %d candidates", len(cands))
+	}
+	// Disjoint alphabets: the window filter should skip nearly
+	// window-1 positions per window examined.
+	examined := int64(len(data)) - skipped
+	if examined*4 > int64(len(data)) {
+		t.Fatalf("examined %d of %d positions; filter is not skipping", examined, len(data))
+	}
+}
+
+func TestSegmentsContainAndMerge(t *testing.T) {
+	f := mustBuild(t, []string{"abcd", "abcdefghij"}, nil)
+	//                0123456789012345678
+	data := []byte("xxabcdxxxxxxxxxabcdx")
+	segs, _ := f.Segments(data)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %+v, want two", segs)
+	}
+	// Each candidate extends by the longest pattern (10), clamped to n.
+	if segs[0] != (Segment{Start: 2, End: 12}) {
+		t.Fatalf("segment 0 = %+v", segs[0])
+	}
+	if segs[1] != (Segment{Start: 15, End: len(data)}) {
+		t.Fatalf("segment 1 = %+v", segs[1])
+	}
+	// Close candidates coalesce into one segment.
+	data = []byte("xxabcdabcdxx")
+	segs, _ = f.Segments(data)
+	if len(segs) != 1 || segs[0].Start != 2 || segs[0].End != len(data) {
+		t.Fatalf("overlapping candidates did not merge: %+v", segs)
+	}
+	// No candidates, no segments, everything skipped or examined.
+	segs, _ = f.Segments([]byte("zzzzzzzzzzzzzzzz"))
+	if len(segs) != 0 {
+		t.Fatalf("clean text produced segments: %+v", segs)
+	}
+	// Input shorter than the window can hold no match.
+	segs, skipped := f.Segments([]byte("abc"))
+	if len(segs) != 0 || skipped != 0 {
+		t.Fatalf("short input: segs=%+v skipped=%d", segs, skipped)
+	}
+}
+
+func TestCaseFoldReduction(t *testing.T) {
+	red, err := alphabet.FromPatterns([][]byte{[]byte("VIRUS")}, true, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Build([][]byte{[]byte("VIRUS")}, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := candidateSet(f, []byte("a virus, a VIRUS, a ViRuS"))
+	for _, q := range []int{2, 11, 20} {
+		if !got[q] {
+			t.Fatalf("folded occurrence at %d missed: %v", q, got)
+		}
+	}
+}
+
+// TestShiftNeverSkipsMatch is the shift-function property test: for
+// random dictionaries over small alphabets (adversarially repetitive),
+// every true occurrence start — computed naively, and cross-checked
+// against internal/baseline's matchers — must be a candidate, and the
+// segments must wholly contain every occurrence. Both engines are
+// exercised: bit-parallel via short minimums, factor-table via a
+// 65+-byte minimum.
+func TestShiftNeverSkipsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabets := []string{"ab", "abc", "abcdefgh"}
+	for trial := 0; trial < 300; trial++ {
+		sigma := alphabets[rng.Intn(len(alphabets))]
+		long := trial%10 == 9 // every tenth trial drives the factor engine
+		npat := 1 + rng.Intn(4)
+		patterns := make([][]byte, npat)
+		minAllowed := 2
+		if long {
+			minAllowed = MaxBitWindow + 1
+		}
+		for i := range patterns {
+			plen := minAllowed + rng.Intn(8)
+			p := make([]byte, plen)
+			for j := range p {
+				p[j] = sigma[rng.Intn(len(sigma))]
+			}
+			patterns[i] = p
+		}
+		text := make([]byte, 40+rng.Intn(400))
+		for j := range text {
+			text[j] = sigma[rng.Intn(len(sigma))]
+		}
+		// Plant a few occurrences so matches exist even for long patterns.
+		for k := 0; k < 3 && len(text) > len(patterns[0]); k++ {
+			p := patterns[rng.Intn(npat)]
+			if pos := rng.Intn(len(text)); pos+len(p) <= len(text) {
+				copy(text[pos:], p)
+			}
+		}
+		f, err := Build(patterns, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if long != (f.Kind() == "factor") {
+			t.Fatalf("trial %d: kind %q for window %d", trial, f.Kind(), f.Window)
+		}
+		cands := candidateSet(f, text)
+		segs, _ := f.Segments(text)
+		red := alphabet.Identity()
+		for _, p := range patterns {
+			starts := naiveStarts(text, p, red)
+			// Cross-check the naive position scan against the baseline
+			// package's counting matchers.
+			if want := baseline.NaiveCount(text, p); want != len(starts) {
+				t.Fatalf("trial %d: naive disagreement %d vs %d", trial, want, len(starts))
+			}
+			kmp, err := baseline.NewKMP(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := kmp.Count(text); want != len(starts) {
+				t.Fatalf("trial %d: KMP disagreement %d vs %d", trial, want, len(starts))
+			}
+			for _, q := range starts {
+				if !cands[q] {
+					t.Fatalf("trial %d: shift skipped occurrence of %q at %d (patterns %q)",
+						trial, p, q, patterns)
+				}
+				contained := false
+				for _, sg := range segs {
+					if q >= sg.Start && q+len(p) <= sg.End {
+						contained = true
+						break
+					}
+				}
+				if !contained {
+					t.Fatalf("trial %d: occurrence [%d,%d) of %q not contained in segments %+v",
+						trial, q, q+len(p), p, segs)
+				}
+			}
+		}
+		// Segments are disjoint, ordered, and within bounds.
+		for i, sg := range segs {
+			if sg.Start < 0 || sg.End > len(text) || sg.Start >= sg.End {
+				t.Fatalf("trial %d: degenerate segment %+v", trial, sg)
+			}
+			if i > 0 && sg.Start <= segs[i-1].End {
+				t.Fatalf("trial %d: segments not disjoint: %+v", trial, segs)
+			}
+		}
+	}
+}
+
+// TestSkippedAccounting: skipped plus examined window positions must
+// tile the scannable range, and skipped must be 0 when every position
+// is a candidate.
+func TestSkippedAccounting(t *testing.T) {
+	f := mustBuild(t, []string{"aa"}, nil)
+	data := bytes.Repeat([]byte("a"), 64)
+	var cands int
+	skipped := f.Candidates(data, func(int) { cands++ })
+	if want := len(data) - f.Window + 1; cands != want {
+		t.Fatalf("all-a text: %d candidates, want %d", cands, want)
+	}
+	if skipped != 0 {
+		t.Fatalf("all-candidate text skipped %d", skipped)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	sparse := mustBuild(t, []string{"ABCDEFGH"}, nil)
+	if d := sparse.Density(); d <= 0 || d > 0.5 {
+		t.Fatalf("single-pattern density = %v", d)
+	}
+	// Saturating dictionary over a two-letter alphabet: every
+	// (class, position) slot that the patterns can fill is filled.
+	dense := mustBuild(t, []string{"aabb", "abab", "bbaa", "baba", "abba", "baab"}, nil)
+	if sparse.Density() >= dense.Density() {
+		t.Fatalf("density ordering wrong: sparse %v dense %v", sparse.Density(), dense.Density())
+	}
+}

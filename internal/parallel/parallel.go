@@ -29,6 +29,7 @@ import (
 
 	"cellmatch/internal/compose"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/filter"
 	"cellmatch/internal/kernel"
 )
 
@@ -63,6 +64,18 @@ type Options struct {
 	// execution (the pool's size governs) but still bounds ScanReader's
 	// batch sizing.
 	Pool *Pool
+	// Filter, when non-nil, runs the skip-scan front-end over each
+	// chunk piece (overlap prefix included): only candidate segments
+	// pass through the configured engine, and the usual overlap dedupe
+	// applies afterwards, so results stay byte-identical to the
+	// unfiltered scan. Windows straddling a chunk boundary re-form in
+	// the next chunk's overlap-prefixed view, exactly like matches do.
+	Filter *filter.Filter
+	// FilterSkipped, when non-nil, accumulates the window positions
+	// the filter skipped (the owning matcher's WindowsSkipped counter).
+	// Each chunk is filtered once, shared across the sharded engine's
+	// per-shard work items, so the stat counts every chunk exactly once.
+	FilterSkipped *atomic.Uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -117,15 +130,34 @@ func scanChunks(sys *compose.System, data []byte, overlap int, o Options) [][]df
 		start := i * o.ChunkBytes
 		end := min(start+o.ChunkBytes, n)
 		ov := min(overlap, start)
+		segs := o.segmentProvider(data[start-ov : end])
 		for u := 0; u < units; u++ {
 			i, u := i, u
 			tasks = append(tasks, func() {
-				results[i*units+u] = scanPiece(sys, data[start-ov:end], start-ov, ov, o, u)
+				results[i*units+u] = scanPiece(sys, data[start-ov:end], start-ov, ov, o, u, segs)
 			})
 		}
 	}
 	runTasks(o, tasks)
 	return results
+}
+
+// segmentProvider returns a compute-once view of the filter's verify
+// segments for one piece, shared by every shard unit of the chunk so
+// the front-end scan runs once per chunk, not once per (shard, chunk)
+// work item. The skip counter is credited exactly once, by whichever
+// unit computes first. Nil when the filter is off.
+func (o Options) segmentProvider(piece []byte) func() []filter.Segment {
+	if o.Filter == nil {
+		return nil
+	}
+	return sync.OnceValue(func() []filter.Segment {
+		segs, skipped := o.Filter.Segments(piece)
+		if o.FilterSkipped != nil {
+			o.FilterSkipped.Add(uint64(skipped))
+		}
+		return segs
+	})
 }
 
 // shardUnits is how many work items one input chunk fans into: one per
@@ -142,8 +174,18 @@ func (o Options) shardUnits() int {
 // on whichever engine is configured, returning data-coordinate matches
 // with the ov-byte overlap prefix deduplicated. unit selects the shard
 // on the sharded engine (callers fan one task per shard) and is
-// ignored otherwise.
-func scanPiece(sys *compose.System, piece []byte, base, ov int, o Options, unit int) []dfa.Match {
+// ignored otherwise; segs is the chunk's shared segment provider (nil
+// when the filter is off).
+func scanPiece(sys *compose.System, piece []byte, base, ov int, o Options, unit int, segs func() []filter.Segment) []dfa.Match {
+	if segs != nil {
+		return scanPieceFiltered(sys, piece, base, ov, o, unit, segs)
+	}
+	return scanPieceEngine(sys, piece, base, ov, o, unit)
+}
+
+// scanPieceEngine is the unfiltered per-piece scan on the configured
+// engine.
+func scanPieceEngine(sys *compose.System, piece []byte, base, ov int, o Options, unit int) []dfa.Match {
 	if o.Sharded != nil {
 		return o.Sharded.ScanShardChunk(unit, piece, base, ov)
 	}
@@ -156,6 +198,27 @@ func scanPiece(sys *compose.System, piece []byte, base, ov int, o Options, unit 
 	defer putScratch(scratch)
 	sys.Red.Apply(*scratch, piece)
 	return scanChunk(sys, *scratch, base, ov)
+}
+
+// scanPieceFiltered verifies only the piece's candidate segments, each
+// from the root. Any match fully inside the piece starts at a
+// candidate and lies wholly inside one segment (the filter's
+// containment guarantee applied to the piece as an isolated text), so
+// the segment union reports exactly the matches the whole-piece scan
+// would; the overlap dedupe then drops matches ending inside the
+// ov-byte prefix as usual.
+func scanPieceFiltered(sys *compose.System, piece []byte, base, ov int, o Options, unit int, segments func() []filter.Segment) []dfa.Match {
+	var out []dfa.Match
+	for _, sg := range segments() {
+		ms := scanPieceEngine(sys, piece[sg.Start:sg.End], base+sg.Start, 0, o, unit)
+		for _, mt := range ms {
+			if mt.End-base <= ov {
+				continue // ends inside the reconciliation window
+			}
+			out = append(out, mt)
+		}
+	}
+	return out
 }
 
 // runTasks executes the chunk jobs: on the shared pool when one is
@@ -261,10 +324,11 @@ func ScanMany(sys *compose.System, payloads [][]byte, opts Options) ([][]dfa.Mat
 			start := ci * o.ChunkBytes
 			end := min(start+o.ChunkBytes, n)
 			ov := min(overlap, start)
+			segs := o.segmentProvider(data[start-ov : end])
 			for u := 0; u < units; u++ {
 				pi, ci, u, data := pi, ci, u, data
 				tasks = append(tasks, func() {
-					perPayload[pi][ci*units+u] = scanPiece(sys, data[start-ov:end], start-ov, ov, o, u)
+					perPayload[pi][ci*units+u] = scanPiece(sys, data[start-ov:end], start-ov, ov, o, u, segs)
 				})
 			}
 		}

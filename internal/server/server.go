@@ -138,8 +138,12 @@ type ScanResponse struct {
 	// mid-scan.
 	Generation uint64 `json:"generation"`
 	Source     string `json:"source"`
-	// Engine is the live scan engine ("kernel" or "stt").
+	// Engine is the live verifier engine ("kernel", "sharded", or
+	// "stt"); Filter reports whether the skip-scan front-end ran ahead
+	// of it for this request (compiled in and not disabled by the
+	// filter=off query knob).
 	Engine  string      `json:"engine"`
+	Filter  bool        `json:"filter,omitempty"`
 	Bytes   int         `json:"bytes"`
 	Count   int         `json:"count"`
 	Matches []MatchJSON `json:"matches,omitempty"`
@@ -175,7 +179,8 @@ func (s *Server) current(w http.ResponseWriter) *registry.Entry {
 // scans on the shared pool, mode=seq scans sequentially on the
 // compiled engine, mode=adhoc spawns per-request workers (the
 // pre-server behavior; `workers` sizes it). `chunk` overrides the
-// chunk size in every mode.
+// chunk size in every mode; `filter=off` bypasses the skip-scan
+// front-end for this request (output is byte-identical either way).
 func (s *Server) scanOpts(q map[string][]string) (mode string, opts core.ParallelOptions, err error) {
 	get := func(key string) string {
 		if v, ok := q[key]; ok && len(v) > 0 {
@@ -202,6 +207,14 @@ func (s *Server) scanOpts(q map[string][]string) (mode string, opts core.Paralle
 		}
 		opts.Workers = n
 	}
+	// "off" bypasses per request; "on"/"auto" mean the matcher's
+	// compiled default ("on" cannot conjure a front-end the dictionary
+	// declined at compile time).
+	fmode, ferr := core.ParseFilterMode(get("filter"))
+	if ferr != nil {
+		return "", opts, ferr
+	}
+	opts.DisableFilter = fmode == core.FilterOff
 	switch mode {
 	case "pool":
 		opts.Pool = s.pool
@@ -228,7 +241,11 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	var matches []core.Match
 	if mode == "seq" {
-		matches, err = e.Matcher.FindAll(data)
+		if opts.DisableFilter {
+			matches, err = e.Matcher.FindAllUnfiltered(data)
+		} else {
+			matches, err = e.Matcher.FindAll(data)
+		}
 	} else {
 		matches, err = e.Matcher.FindAllParallel(data, opts)
 	}
@@ -237,7 +254,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.counters.scan(len(data), len(matches))
-	s.writeScanResponse(w, r, e, len(data), matches)
+	s.writeScanResponse(w, r, e, len(data), matches, !opts.DisableFilter)
 }
 
 func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
@@ -257,7 +274,7 @@ func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.counters.scan(cr.n, len(matches))
-	s.writeScanResponse(w, r, e, cr.n, matches)
+	s.writeScanResponse(w, r, e, cr.n, matches, !opts.DisableFilter)
 }
 
 func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
@@ -265,17 +282,37 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	if e == nil {
 		return
 	}
+	fmode, err := core.ParseFilterMode(r.URL.Query().Get("filter"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	data, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	matches, err := s.batch.submit(e, data)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
+	var matches []core.Match
+	if fmode == core.FilterOff && e.Matcher.FilterActive() {
+		// A coalesced pass is shared across requests and cannot honor a
+		// per-request bypass: scan this payload alone on the pool, the
+		// same knob semantics as /scan. When the matcher has no filter
+		// to bypass the knob is a no-op and coalescing proceeds.
+		matches, err = e.Matcher.FindAllParallel(data, core.ParallelOptions{
+			ChunkBytes: s.cfg.ChunkBytes, Pool: s.pool, DisableFilter: true,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		matches, err = s.batch.submit(e, data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 	}
 	s.counters.scan(len(data), len(matches))
-	s.writeScanResponse(w, r, e, len(data), matches)
+	s.writeScanResponse(w, r, e, len(data), matches, fmode != core.FilterOff)
 }
 
 // scanBatchGroup is the batcher's scan callback: one coalesced kernel
@@ -287,11 +324,12 @@ func (s *Server) scanBatchGroup(e *registry.Entry, payloads [][]byte) ([][]core.
 	})
 }
 
-func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *registry.Entry, n int, matches []core.Match) {
+func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *registry.Entry, n int, matches []core.Match, filtered bool) {
 	resp := ScanResponse{
 		Generation: e.Generation,
 		Source:     e.Source,
 		Engine:     e.Matcher.EngineName(),
+		Filter:     filtered && e.Matcher.FilterActive(),
 		Bytes:      n,
 		Count:      len(matches),
 	}
@@ -319,9 +357,11 @@ type ReloadResponse struct {
 	// Engine is the new dictionary's live scan engine ("kernel",
 	// "sharded", or "stt"); Shards its shard count (0 unless sharded) —
 	// the immediate signal that a swapped-in dictionary landed in (or
-	// fell out of) the peak-performance tiers.
+	// fell out of) the peak-performance tiers. Filter reports whether
+	// the skip-scan front-end came up ahead of the engine.
 	Engine string `json:"engine"`
 	Shards int    `json:"shards,omitempty"`
+	Filter bool   `json:"filter,omitempty"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -358,6 +398,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		States:     st.States,
 		Engine:     st.Engine,
 		Shards:     st.Shards,
+		Filter:     st.FilterEnabled,
 	})
 }
 

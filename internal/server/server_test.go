@@ -525,6 +525,8 @@ func TestRequestValidation(t *testing.T) {
 	check("POST", "/scan?mode=warp", strings.NewReader("x"), http.StatusBadRequest)
 	check("POST", "/scan?workers=-2", strings.NewReader("x"), http.StatusBadRequest)
 	check("POST", "/scan?chunk=banana", strings.NewReader("x"), http.StatusBadRequest)
+	check("POST", "/scan?filter=maybe", strings.NewReader("x"), http.StatusBadRequest)
+	check("POST", "/scan/batch?filter=maybe", strings.NewReader("x"), http.StatusBadRequest)
 	check("POST", "/scan", bytes.NewReader(make([]byte, 2<<10)), http.StatusRequestEntityTooLarge)
 	check("POST", "/scan/batch", bytes.NewReader(make([]byte, 2<<10)), http.StatusRequestEntityTooLarge)
 	check("POST", "/reload?path=x&format=hologram", nil, http.StatusBadRequest)
@@ -534,5 +536,117 @@ func TestRequestValidation(t *testing.T) {
 func TestNewRequiresRegistry(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("nil registry accepted")
+	}
+}
+
+// TestFilterKnobEquivalence: the per-request filter=off knob must
+// bypass the skip-scan front-end (reported by ScanResponse.Filter) and
+// still return exactly the same matches, in every scan mode.
+func TestFilterKnobEquivalence(t *testing.T) {
+	ts, _, m := newTestServer(t, sigPatterns(), Config{Workers: 2})
+	if !m.FilterActive() {
+		t.Fatal("signature dictionary did not auto-enable the filter")
+	}
+	payload := testTraffic(t, 64<<10, 3)
+	var ref ScanResponse
+	for i, q := range []string{"", "?filter=on", "?filter=auto", "?filter=off",
+		"?mode=seq", "?mode=seq&filter=off", "?mode=adhoc&workers=3&filter=off"} {
+		sr := postScan(t, ts.URL+"/scan"+q, payload)
+		if batch := postScan(t, ts.URL+"/scan/batch"+q, payload); batch.Count != sr.Count ||
+			batch.Filter != !strings.Contains(q, "filter=off") {
+			t.Fatalf("/scan/batch%s: count=%d filter=%v, want count=%d", q, batch.Count, batch.Filter, sr.Count)
+		}
+		wantFilter := !strings.Contains(q, "filter=off")
+		if sr.Filter != wantFilter {
+			t.Fatalf("%q: Filter=%v, want %v", q, sr.Filter, wantFilter)
+		}
+		if i == 0 {
+			ref = sr
+			if ref.Count == 0 {
+				t.Fatal("traffic has no matches")
+			}
+			continue
+		}
+		if sr.Count != ref.Count || !reflect.DeepEqual(sr.Matches, ref.Matches) {
+			t.Fatalf("%q: %d matches, want %d (filter knob changed the output)", q, sr.Count, ref.Count)
+		}
+	}
+	// /stats surfaces the front-end and its skip counter.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Dictionary.FilterEnabled || st.Dictionary.FilterWindow == 0 {
+		t.Fatalf("stats missing filter fields: %+v", st.Dictionary)
+	}
+	if st.Dictionary.WindowsSkipped == 0 {
+		t.Fatalf("no windows skipped after %d bytes of traffic", st.BytesScanned)
+	}
+	if st.Dictionary.MinPatternLen == 0 {
+		t.Fatalf("MinPatternLen not reported: %+v", st.Dictionary)
+	}
+}
+
+// TestStatsScanRace is the -race regression test for the Stats
+// counters: /scan (advancing WindowsSkipped and the service counters)
+// and /stats (reading them) hammered concurrently must be data-race
+// free — the counters are atomics, not plain ints.
+func TestStatsScanRace(t *testing.T) {
+	ts, _, m := newTestServer(t, sigPatterns(), Config{Workers: 2})
+	if !m.FilterActive() {
+		t.Fatal("filter not active; the race under test needs the skip counter moving")
+	}
+	payload := testTraffic(t, 32<<10, 5)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			q := "?count=1"
+			if i%2 == 1 {
+				q = "?count=1&mode=seq"
+			}
+			for j := 0; j < 8; j++ {
+				resp, err := http.Post(ts.URL+"/scan"+q, "application/octet-stream", bytes.NewReader(payload))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 16; j++ {
+				resp, err := http.Get(ts.URL + "/stats")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st StatsResponse
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	// The skip counter must have moved and be readable consistently.
+	if got := m.Stats().WindowsSkipped; got == 0 {
+		t.Fatal("no windows skipped across 32 scans")
 	}
 }

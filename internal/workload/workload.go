@@ -65,6 +65,28 @@ func Dictionary(cfg DictConfig) ([][]byte, error) {
 	return pats, nil
 }
 
+// LongPatternDictionary builds n uppercase patterns of length
+// [minLen, maxLen] — the long-pattern signature workload the skip-scan
+// front-end is measured on. Benign traffic from Traffic is lowercase,
+// so the two alphabets are disjoint under a case-sensitive compile:
+// the regime real NIDS dictionaries sit in, where most filter windows
+// die on the first byte examined.
+func LongPatternDictionary(n, minLen, maxLen int, seed int64) ([][]byte, error) {
+	if n < 1 || minLen < 2 || maxLen < minLen {
+		return nil, fmt.Errorf("workload: bad long-pattern shape n=%d len=[%d,%d]", n, minLen, maxLen)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pats := make([][]byte, n)
+	for i := range pats {
+		p := make([]byte, minLen+rng.Intn(maxLen-minLen+1))
+		for j := range p {
+			p[j] = byte('A' + rng.Intn(26))
+		}
+		pats[i] = p
+	}
+	return pats, nil
+}
+
 // SignatureDictionary returns a small NIDS-flavored dictionary of
 // realistic-looking signatures for examples and demos.
 func SignatureDictionary() [][]byte {

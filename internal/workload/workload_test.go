@@ -132,3 +132,37 @@ func TestInterleavedStreams(t *testing.T) {
 		t.Fatal("ragged input accepted")
 	}
 }
+
+func TestLongPatternDictionary(t *testing.T) {
+	pats, err := LongPatternDictionary(48, 16, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 48 {
+		t.Fatalf("patterns = %d", len(pats))
+	}
+	for i, p := range pats {
+		if len(p) < 16 || len(p) > 40 {
+			t.Fatalf("pattern %d length %d out of [16,40]", i, len(p))
+		}
+		for _, c := range p {
+			if c < 'A' || c > 'Z' {
+				t.Fatalf("pattern %d has non-uppercase byte %q", i, c)
+			}
+		}
+	}
+	again, err := LongPatternDictionary(48, 16, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pats {
+		if string(pats[i]) != string(again[i]) {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+	for _, bad := range [][4]int{{0, 16, 40, 1}, {4, 1, 40, 1}, {4, 16, 8, 1}} {
+		if _, err := LongPatternDictionary(bad[0], bad[1], bad[2], int64(bad[3])); err == nil {
+			t.Fatalf("bad shape %v accepted", bad)
+		}
+	}
+}
