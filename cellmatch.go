@@ -127,7 +127,8 @@ const (
 	FilterOff  = core.FilterOff
 )
 
-// RegexSet matches whole inputs against regular expressions.
+// RegexSet matches whole inputs against regular expressions (the
+// unbounded-repetition surface; see CompileRegexSearch for searching).
 type RegexSet = core.RegexSet
 
 // Pool is a persistent shared worker pool for scan jobs: the
@@ -211,6 +212,25 @@ func CompileStrings(patterns []string, opts Options) (*Matcher, error) {
 func CompileRegexes(exprs []string, caseFold bool) (*RegexSet, error) {
 	return core.CompileRegexes(exprs, caseFold)
 }
+
+// CompileRegexSearch builds a full search Matcher from a dictionary of
+// regular expressions: a hit is reported at every offset where some
+// substring ending there matches an expression — the same
+// (End, Pattern) contract as literal dictionaries, so the matcher
+// scans on the dense kernel, parallel/stream engines, serves through
+// cellmatchd, and persists as an artifact unchanged. Expressions must
+// not match the empty string and need a bounded maximum match length
+// (no '*', '+', or '{m,}' — use '{m,n}', or RegexSet for whole-input
+// matching). The skip-scan filter and sharded tier are literal-only
+// and are bypassed. Matcher.IsRegex reports the dictionary kind;
+// Pattern(i) returns the expression source.
+func CompileRegexSearch(exprs []string, opts Options) (*Matcher, error) {
+	return core.CompileRegexSearch(exprs, opts)
+}
+
+// RegexDictLoader compiles a plain-text regular-expression file (one
+// expression per line, '#' comments) into a search matcher.
+func RegexDictLoader(path string, opts Options) Loader { return registry.RegexLoader(path, opts) }
 
 // DefaultBlade is one Cell processor (8 SPEs).
 func DefaultBlade() Blade { return cell.DefaultBlade() }

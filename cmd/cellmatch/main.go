@@ -9,6 +9,17 @@
 // The dictionary file holds one pattern per line; blank lines and
 // lines starting with '#' are ignored.
 //
+// With -regex the dictionary entries are regular expressions (bounded
+// repetition only — no '*', '+', or '{m,}') compiled into one search
+// automaton with the same per-occurrence reporting as literal
+// dictionaries:
+//
+//	cellmatch -regex -patterns 'err(or)?,[0-9]{3}' -in access.log
+//
+// Match starts are unknown for regex dictionaries (lengths vary per
+// occurrence), so the first output column is -1 and the pattern column
+// shows the expression source.
+//
 // With -parallel N the input is scanned by the chunked speculative
 // engine on N workers (N < 0 means one per CPU), streaming the input
 // in batches instead of buffering it, with output identical to the
@@ -38,6 +49,7 @@ func main() {
 		patterns = flag.String("patterns", "", "comma-separated inline patterns")
 		inPath   = flag.String("in", "-", "input file ('-' = stdin)")
 		caseFold = flag.Bool("casefold", false, "case-insensitive matching")
+		regex    = flag.Bool("regex", false, "dictionary entries are regular expressions (bounded repetition only)")
 		filterMd = flag.String("filter", "auto", "skip-scan front-end: auto, on, or off")
 		groups   = flag.Int("groups", 1, "parallel tile groups")
 		parallel = flag.Int("parallel", 0, "scan with N parallel workers (0 = sequential, <0 = one per CPU)")
@@ -57,10 +69,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	m, err := core.Compile(dict, core.Options{
+	opts := core.Options{
 		CaseFold: *caseFold, Groups: *groups,
 		Engine: core.EngineOptions{Filter: fmode},
-	})
+	}
+	var m *core.Matcher
+	if *regex {
+		exprs := make([]string, len(dict))
+		for i, p := range dict {
+			exprs[i] = string(p)
+		}
+		m, err = core.CompileRegexSearch(exprs, opts)
+	} else {
+		m, err = core.Compile(dict, opts)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -97,7 +119,11 @@ func main() {
 	default:
 		for _, hit := range matches {
 			p := m.Pattern(hit.Pattern)
-			fmt.Printf("%d\t%d\t%q\n", hit.End-len(p), hit.Pattern, p)
+			start := hit.End - len(p)
+			if m.IsRegex() {
+				start = -1 // match length varies; only the end is known
+			}
+			fmt.Printf("%d\t%d\t%q\n", start, hit.Pattern, p)
 		}
 	}
 }

@@ -132,6 +132,62 @@ func TestScanInputSequentialVsParallel(t *testing.T) {
 	}
 }
 
+// The -regex path: a dictionary file of expressions compiles through
+// core.CompileRegexSearch and scans with the same engines as literals.
+func TestScanRegexDictionary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exprs.txt")
+	if err := os.WriteFile(path, []byte("# exprs\nerr(or)?\n[0-9]{3}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dict, err := loadDictionary(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := make([]string, len(dict))
+	for i, p := range dict {
+		exprs[i] = string(p)
+	}
+	m, err := core.CompileRegexSearch(exprs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsRegex() {
+		t.Fatal("matcher not flagged regex")
+	}
+	in := filepath.Join(dir, "traffic.bin")
+	data := bytes.Repeat([]byte("an error code 404 appeared; "), 2000)
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := scanInput(m, in, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("regex scan found nothing")
+	}
+	// Parallel and streamed scans agree match-for-match (speculation is
+	// exact because bounded expressions cap the match length).
+	par, err := scanInput(m, in, 4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d matches, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i] != seq[i] {
+			t.Fatalf("match %d: parallel %+v, sequential %+v", i, par[i], seq[i])
+		}
+	}
+	// Unbounded expressions must be rejected with a pointer at the
+	// offending construct.
+	if _, err := core.CompileRegexSearch([]string{"a*"}, core.Options{}); err == nil {
+		t.Fatal("unbounded expression accepted")
+	}
+}
+
 func TestReadInputFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "in.bin")

@@ -5,6 +5,7 @@
 // without dropping traffic.
 //
 //	cellmatchd -dict signatures.txt -casefold
+//	cellmatchd -regex expressions.txt                  # regex dictionary
 //	cellmatchd -artifact compiled.cms -listen :8472
 //	cellmatchd -artifact compiled.cms -watch           # reload on file change
 //
@@ -14,13 +15,17 @@
 //	                    ?workers=N ?chunk=N ?count=1
 //	POST /scan/stream   scan a chunked upload without buffering it
 //	POST /scan/batch    coalesce small payloads into one kernel pass
-//	POST /reload        swap the dictionary (?path=... ?format=artifact|dict)
+//	POST /reload        swap the dictionary (?path=...
+//	                    ?format=artifact|dict|regex)
 //	GET  /stats         dictionary shape + request/byte/match counters
 //	GET  /healthz       liveness
 //
-// A dictionary file holds one pattern per line ('#' comments); an
+// A dictionary file holds one pattern per line ('#' comments); with
+// -regex the lines are regular expressions (bounded repetition only)
+// compiled into one search automaton — see core.CompileRegexSearch. An
 // artifact is the output of Matcher.Save (cellmatch's compiled form),
-// which loads without re-running Aho-Corasick construction.
+// which loads without re-running Aho-Corasick construction; regex
+// artifacts round-trip too.
 package main
 
 import (
@@ -59,7 +64,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		listen        = fs.String("listen", ":8472", "HTTP listen address")
 		artifact      = fs.String("artifact", "", "compiled artifact (Matcher.Save output)")
 		dict          = fs.String("dict", "", "pattern file (one per line, '#' comments)")
-		caseFold      = fs.Bool("casefold", false, "case-insensitive matching (with -dict)")
+		regex         = fs.String("regex", "", "regular-expression file (one per line, '#' comments)")
+		caseFold      = fs.Bool("casefold", false, "case-insensitive matching (with -dict/-regex)")
 		filterMd      = fs.String("filter", "auto", "skip-scan front-end with -dict: auto, on, or off")
 		workers       = fs.Int("workers", 0, "shared scan pool size (0 = one per CPU)")
 		chunk         = fs.Int("chunk", 0, "scan chunk size in bytes (0 = 64 KiB)")
@@ -77,7 +83,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	if err != nil {
 		return fmt.Errorf("-filter: %w", err)
 	}
-	reg, err := buildRegistry(*artifact, *dict, core.Options{
+	reg, err := buildRegistry(*artifact, *dict, *regex, core.Options{
 		CaseFold: *caseFold,
 		Engine:   core.EngineOptions{Filter: fmode},
 	})
@@ -140,16 +146,24 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 }
 
 // buildRegistry wires the dictionary source from the flags: exactly
-// one of -artifact or -dict.
-func buildRegistry(artifact, dict string, opts core.Options) (*registry.Registry, error) {
+// one of -artifact, -dict, or -regex.
+func buildRegistry(artifact, dict, regex string, opts core.Options) (*registry.Registry, error) {
+	set := 0
+	for _, s := range []string{artifact, dict, regex} {
+		if s != "" {
+			set++
+		}
+	}
 	switch {
-	case artifact != "" && dict != "":
-		return nil, fmt.Errorf("use -artifact or -dict, not both")
+	case set > 1:
+		return nil, fmt.Errorf("use exactly one of -artifact, -dict, or -regex")
 	case artifact != "":
 		return registry.New(artifact, registry.ArtifactLoader(artifact)), nil
 	case dict != "":
 		return registry.New(dict, registry.DictLoader(dict, opts)), nil
+	case regex != "":
+		return registry.New(regex, registry.RegexLoader(regex, opts)), nil
 	default:
-		return nil, fmt.Errorf("a dictionary is required: -artifact or -dict")
+		return nil, fmt.Errorf("a dictionary is required: -artifact, -dict, or -regex")
 	}
 }

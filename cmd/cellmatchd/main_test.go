@@ -165,7 +165,77 @@ func TestDaemonFlagValidation(t *testing.T) {
 	if err := run(ctx, &out, []string{"-dict", "x", "-artifact", "y"}); err == nil {
 		t.Fatal("conflicting dictionary flags accepted")
 	}
+	if err := run(ctx, &out, []string{"-dict", "x", "-regex", "y"}); err == nil {
+		t.Fatal("conflicting -dict/-regex accepted")
+	}
 	if err := run(ctx, &out, []string{"-dict", "/definitely/not/there"}); err == nil {
 		t.Fatal("missing dict file accepted")
+	}
+	if err := run(ctx, &out, []string{"-regex", "/definitely/not/there"}); err == nil {
+		t.Fatal("missing regex file accepted")
+	}
+}
+
+// TestDaemonServesRegexDictionary boots the daemon on a regular
+// expression file and checks the wire responses carry the regex
+// dictionary contract: regex flag set, start=-1, expression sources.
+func TestDaemonServesRegexDictionary(t *testing.T) {
+	dir := t.TempDir()
+	rxPath := filepath.Join(dir, "exprs.txt")
+	if err := os.WriteFile(rxPath, []byte("# regex dictionary\nerr(or)?\n[0-9]{3}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-listen", "127.0.0.1:0", "-regex", rxPath}
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, &out, args) }()
+	defer func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon never shut down")
+		}
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post("http://"+addr+"/scan", "application/octet-stream",
+		strings.NewReader("an error code 404"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/scan: %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"regex":true`, `"start":-1`, `"err(or)?"`, `"[0-9]{3}"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/scan response missing %s: %s", want, body)
+		}
+	}
+	if !strings.Contains(out.String(), "loaded "+rxPath) {
+		t.Fatalf("startup log missing regex load line:\n%s", out.String())
 	}
 }

@@ -57,6 +57,11 @@ func gatedMetric(key string) bool {
 		return true
 	case key == "speedup_filter_vs_kernel":
 		return true
+	case strings.HasPrefix(key, "scenario_") && strings.HasSuffix(key, "_MBps"):
+		// Every scenario's throughput row (including the served regex
+		// row) is banked; the scenario_*_skip_pct evidence rows stay
+		// informational — skip ratio is workload shape, not speed.
+		return true
 	}
 	return false
 }
@@ -81,7 +86,8 @@ func metaMetric(key string) bool {
 	switch key {
 	case "input_bytes", "dict_states", "scan_payload_bytes",
 		"batch_payload_bytes", "shard_budget_bytes", "shards",
-		"filter_patterns", "filter_min_pattern_len", "filter_window":
+		"filter_patterns", "filter_min_pattern_len", "filter_window",
+		"scenarios":
 		return true
 	}
 	return strings.HasSuffix(key, "_shards")

@@ -294,7 +294,10 @@ func TestBenchCheckCatchesServerRegression(t *testing.T) {
 // The committed repo baselines themselves must pass against themselves
 // — keeps the gate runnable from a clean checkout.
 func TestBenchCheckRepoBaselineSelfConsistent(t *testing.T) {
-	for _, name := range []string{"BENCH_kernel.json", "BENCH_server.json", "BENCH_shards.json"} {
+	for _, name := range []string{
+		"BENCH_kernel.json", "BENCH_server.json", "BENCH_shards.json",
+		"BENCH_filter.json", "BENCH_scenarios.json",
+	} {
 		t.Run(name, func(t *testing.T) {
 			repoBaseline := filepath.Join("..", "..", name)
 			if _, err := os.Stat(repoBaseline); err != nil {

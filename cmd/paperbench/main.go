@@ -15,14 +15,19 @@
 //	paperbench -server     # serving layer: cellmatchd end-to-end over HTTP
 //	paperbench -shards     # sharded engine: over-budget dictionary vs stt fallback
 //	paperbench -filter     # skip-scan front-end vs the unfiltered kernel
+//	paperbench -scenarios  # workload scenario suite across deployment regimes
 //
 // With -kernel, -benchjson FILE additionally writes the measured MB/s
 // (sequential, parallel, kernel, interleaved-K) as a JSON artifact —
 // the BENCH_kernel.json regression file CI archives per commit; with
 // -server, -serverjson FILE does the same for the serving layer
 // (BENCH_server.json), with -shards, -shardsjson FILE for the sharded
-// tier (BENCH_shards.json), and with -filter, -filterjson FILE for the
-// skip-scan front-end (BENCH_filter.json).
+// tier (BENCH_shards.json), with -filter, -filterjson FILE for the
+// skip-scan front-end (BENCH_filter.json), and with -scenarios,
+// -scenariosjson FILE for the per-scenario suite (BENCH_scenarios.json:
+// one scenario_<name>_MBps row per scenario plus skip-ratio evidence,
+// with the regex scenario also served through the in-process HTTP
+// stack).
 //
 // The CI bench-regression gate runs as a separate mode, accepting one
 // or more comma-separated baseline/candidate pairs:
@@ -55,64 +60,102 @@ import (
 )
 
 func main() {
-	var (
-		all    = flag.Bool("all", false, "run everything")
-		table1 = flag.Bool("table1", false, "Table 1: implementation versions")
-		fig2   = flag.Bool("fig2", false, "Figure 2: DMA bandwidth")
-		fig3   = flag.Bool("fig3", false, "Figure 3: local store budgets")
-		fig4   = flag.Bool("fig4", false, "Figure 4: kernel instruction mix")
-		fig5   = flag.Bool("fig5", false, "Figure 5: double buffering")
-		fig6   = flag.Bool("fig6", false, "Figure 6: series/parallel composition")
-		fig7   = flag.Bool("fig7", false, "Figure 7: mixed composition")
-		fig8   = flag.Bool("fig8", false, "Figure 8: dynamic STT replacement")
-		fig9   = flag.Bool("fig9", false, "Figure 9: throughput vs dictionary size")
-		kern   = flag.Bool("kernel", false, "host scan engines: stt path vs dense kernel")
-		kernMB = flag.Int("kernelmb", 8, "kernel benchmark input size in MiB")
-		bjson  = flag.String("benchjson", "", "with -kernel: write BENCH JSON to this file")
-		serv   = flag.Bool("server", false, "serving layer: cellmatchd end-to-end throughput")
-		servMB = flag.Int("servermb", 16, "server benchmark input size in MiB")
-		sjson  = flag.String("serverjson", "", "with -server: write BENCH_server JSON to this file")
-		shard  = flag.Bool("shards", false, "sharded engine: over-budget dictionary vs stt fallback, with a per-shard budget sweep")
-		shMB   = flag.Int("shardsmb", 8, "shards benchmark input size in MiB")
-		shjson = flag.String("shardsjson", "", "with -shards: write BENCH_shards JSON to this file")
-		filt   = flag.Bool("filter", false, "skip-scan front-end: filtered vs unfiltered kernel on the long-pattern workload")
-		fMB    = flag.Int("filtermb", 16, "filter benchmark input size in MiB")
-		fjson  = flag.String("filterjson", "", "with -filter: write BENCH_filter JSON to this file")
-
-		check     = flag.Bool("checkbench", false, "bench-regression gate: compare -candidate against -baseline and exit nonzero on regression")
-		baseline  = flag.String("baseline", "BENCH_kernel.json", "with -checkbench: committed baseline JSON (comma-separated for multiple files)")
-		candidate = flag.String("candidate", "", "with -checkbench: freshly measured JSON (comma-separated, pairwise with -baseline)")
-		maxDrop   = flag.Float64("maxdrop", 0.20, "with -checkbench: allowed fractional drop per gated metric")
-	)
-	flag.Parse()
-	if *check {
-		if *candidate == "" {
-			fmt.Fprintln(os.Stderr, "paperbench: -checkbench requires -candidate")
-			os.Exit(2)
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
 		}
-		if err := runBenchCheckFiles(os.Stdout, *baseline, *candidate, *maxDrop); err != nil {
+		os.Exit(2)
+	}
+	if cfg.check {
+		if err := runBenchCheckFiles(os.Stdout, cfg.baseline, cfg.candidate, cfg.maxDrop); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 || *kern || *serv || *shard || *filt
+	if err := run(os.Stdout, cfg.secs); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+// cliConfig is the parsed command line: either the bench-regression
+// gate (check) or a section selection to measure.
+type cliConfig struct {
+	check     bool
+	baseline  string
+	candidate string
+	maxDrop   float64
+	secs      sections
+}
+
+// parseFlags parses args into a cliConfig, applying the default-to
+// -all rule and validating -checkbench's requirements. Split out of
+// main so tests can drive the exact CLI surface.
+func parseFlags(args []string, errOut io.Writer) (*cliConfig, error) {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		all    = fs.Bool("all", false, "run everything")
+		table1 = fs.Bool("table1", false, "Table 1: implementation versions")
+		fig2   = fs.Bool("fig2", false, "Figure 2: DMA bandwidth")
+		fig3   = fs.Bool("fig3", false, "Figure 3: local store budgets")
+		fig4   = fs.Bool("fig4", false, "Figure 4: kernel instruction mix")
+		fig5   = fs.Bool("fig5", false, "Figure 5: double buffering")
+		fig6   = fs.Bool("fig6", false, "Figure 6: series/parallel composition")
+		fig7   = fs.Bool("fig7", false, "Figure 7: mixed composition")
+		fig8   = fs.Bool("fig8", false, "Figure 8: dynamic STT replacement")
+		fig9   = fs.Bool("fig9", false, "Figure 9: throughput vs dictionary size")
+		kern   = fs.Bool("kernel", false, "host scan engines: stt path vs dense kernel")
+		kernMB = fs.Int("kernelmb", 8, "kernel benchmark input size in MiB")
+		bjson  = fs.String("benchjson", "", "with -kernel: write BENCH JSON to this file")
+		serv   = fs.Bool("server", false, "serving layer: cellmatchd end-to-end throughput")
+		servMB = fs.Int("servermb", 16, "server benchmark input size in MiB")
+		sjson  = fs.String("serverjson", "", "with -server: write BENCH_server JSON to this file")
+		shard  = fs.Bool("shards", false, "sharded engine: over-budget dictionary vs stt fallback, with a per-shard budget sweep")
+		shMB   = fs.Int("shardsmb", 8, "shards benchmark input size in MiB")
+		shjson = fs.String("shardsjson", "", "with -shards: write BENCH_shards JSON to this file")
+		filt   = fs.Bool("filter", false, "skip-scan front-end: filtered vs unfiltered kernel on the long-pattern workload")
+		fMB    = fs.Int("filtermb", 16, "filter benchmark input size in MiB")
+		fjson  = fs.String("filterjson", "", "with -filter: write BENCH_filter JSON to this file")
+		scen   = fs.Bool("scenarios", false, "workload scenario suite: per-scenario throughput across deployment regimes")
+		scenKB = fs.Int("scenarioskb", 4096, "per-scenario corpus size in KiB")
+		scjson = fs.String("scenariosjson", "", "with -scenarios: write BENCH_scenarios JSON to this file")
+
+		check     = fs.Bool("checkbench", false, "bench-regression gate: compare -candidate against -baseline and exit nonzero on regression")
+		baseline  = fs.String("baseline", "BENCH_kernel.json", "with -checkbench: committed baseline JSON (comma-separated for multiple files)")
+		candidate = fs.String("candidate", "", "with -checkbench: freshly measured JSON (comma-separated, pairwise with -baseline)")
+		maxDrop   = fs.Float64("maxdrop", 0.20, "with -checkbench: allowed fractional drop per gated metric")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *check {
+		if *candidate == "" {
+			return nil, fmt.Errorf("-checkbench requires -candidate")
+		}
+		return &cliConfig{check: true, baseline: *baseline, candidate: *candidate, maxDrop: *maxDrop}, nil
+	}
+	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 ||
+		*kern || *serv || *shard || *filt || *scen
 	if *all || !any {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
-		*fig6, *fig7, *fig8, *fig9, *kern, *serv, *shard, *filt = true, true, true, true, true, true, true, true
+		*fig6, *fig7, *fig8, *fig9 = true, true, true, true
+		*kern, *serv, *shard, *filt, *scen = true, true, true, true, true
 	}
-	err := run(os.Stdout, sections{
+	return &cliConfig{secs: sections{
 		table1: *table1, fig2: *fig2, fig3: *fig3, fig4: *fig4, fig5: *fig5,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9,
 		kernel: *kern, kernelBytes: *kernMB << 20, benchJSON: *bjson,
 		server: *serv, serverBytes: *servMB << 20, serverJSON: *sjson,
 		shards: *shard, shardBytes: *shMB << 20, shardJSON: *shjson,
 		filter: *filt, filterBytes: *fMB << 20, filterJSON: *fjson,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(1)
-	}
+		scenarios: *scen, scenarioBytes: *scenKB << 10, scenarioJSON: *scjson,
+	}}, nil
 }
 
 // sections selects which tables/figures to regenerate.
@@ -147,6 +190,15 @@ type sections struct {
 	filter      bool
 	filterBytes int
 	filterJSON  string
+
+	// scenarios runs the workload scenario suite (per-scenario
+	// throughput and skip ratio across deployment regimes, with the
+	// regex scenario served through the in-process HTTP stack) at
+	// scenarioBytes per corpus, optionally writing the JSON artifact
+	// to scenarioJSON.
+	scenarios     bool
+	scenarioBytes int
+	scenarioJSON  string
 }
 
 func run(w io.Writer, s sections) error {
@@ -230,6 +282,15 @@ func run(w io.Writer, s sections) error {
 			bytes = 16 << 20
 		}
 		if err := runFilterBench(w, bytes, s.filterJSON); err != nil {
+			return err
+		}
+	}
+	if s.scenarios {
+		bytes := s.scenarioBytes
+		if bytes <= 0 {
+			bytes = 4 << 20
+		}
+		if err := runScenarioBench(w, bytes, s.scenarioJSON); err != nil {
 			return err
 		}
 	}

@@ -118,6 +118,137 @@ func TestRunKernelBenchJSON(t *testing.T) {
 	}
 }
 
+func TestParseFlagsDefaultsToAll(t *testing.T) {
+	var errOut strings.Builder
+	cfg, err := parseFlags(nil, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.secs
+	if cfg.check || !s.table1 || !s.kernel || !s.server || !s.shards || !s.filter || !s.scenarios {
+		t.Fatalf("bare invocation did not select everything: %+v", s)
+	}
+	if s.kernelBytes != 8<<20 || s.serverBytes != 16<<20 || s.shardBytes != 8<<20 ||
+		s.filterBytes != 16<<20 || s.scenarioBytes != 4<<20 {
+		t.Fatalf("default sizes wrong: %+v", s)
+	}
+}
+
+func TestParseFlagsSingleSection(t *testing.T) {
+	var errOut strings.Builder
+	cfg, err := parseFlags([]string{"-shards", "-shardsmb", "2", "-shardsjson", "out.json"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.secs
+	if !s.shards || s.shardBytes != 2<<20 || s.shardJSON != "out.json" {
+		t.Fatalf("-shards selection wrong: %+v", s)
+	}
+	if s.kernel || s.server || s.filter || s.scenarios || s.table1 {
+		t.Fatalf("-shards selected extra sections: %+v", s)
+	}
+
+	cfg, err = parseFlags([]string{"-server", "-servermb", "1", "-serverjson", "s.json",
+		"-filter", "-filtermb", "3", "-filterjson", "f.json",
+		"-scenarios", "-scenarioskb", "512", "-scenariosjson", "sc.json"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = cfg.secs
+	if !s.server || s.serverBytes != 1<<20 || s.serverJSON != "s.json" {
+		t.Fatalf("-server flags wrong: %+v", s)
+	}
+	if !s.filter || s.filterBytes != 3<<20 || s.filterJSON != "f.json" {
+		t.Fatalf("-filter flags wrong: %+v", s)
+	}
+	if !s.scenarios || s.scenarioBytes != 512<<10 || s.scenarioJSON != "sc.json" {
+		t.Fatalf("-scenarios flags wrong: %+v", s)
+	}
+	if s.shards || s.kernel {
+		t.Fatalf("unselected sections enabled: %+v", s)
+	}
+}
+
+func TestParseFlagsCheckbench(t *testing.T) {
+	var errOut strings.Builder
+	cfg, err := parseFlags([]string{"-checkbench",
+		"-baseline", "a.json,b.json", "-candidate", "c.json,d.json", "-maxdrop", "0.1"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.check || cfg.baseline != "a.json,b.json" || cfg.candidate != "c.json,d.json" || cfg.maxDrop != 0.1 {
+		t.Fatalf("checkbench config wrong: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-checkbench"}, &errOut); err == nil {
+		t.Fatal("-checkbench without -candidate accepted")
+	}
+	if _, err := parseFlags([]string{"-notaflag"}, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"-kernel", "stray"}, &errOut); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+}
+
+func TestRunScenarioBenchJSON(t *testing.T) {
+	var b strings.Builder
+	path := filepath.Join(t.TempDir(), "BENCH_scenarios.json")
+	// 16 KiB corpora keep the suite fast; the flat schema, the gated
+	// key shape, and the served-regex row are what this test pins.
+	err := run(&b, sections{scenarios: true, scenarioBytes: 16 << 10, scenarioJSON: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Scenario suite: engine ladder across deployment regimes",
+		"log-scan",
+		"regex-logs (served /scan)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	if err := json.Unmarshal(blob, &metrics); err != nil {
+		t.Fatalf("BENCH_scenarios.json does not parse: %v", err)
+	}
+	if metrics["scenarios"] < 5 {
+		t.Fatalf("suite records %v scenarios, want >= 5", metrics["scenarios"])
+	}
+	gated := 0
+	for k, v := range metrics {
+		if strings.HasPrefix(k, "scenario_") && strings.HasSuffix(k, "_MBps") {
+			gated++
+			if !gatedMetric(k) {
+				t.Fatalf("throughput key %s not gated by -checkbench", k)
+			}
+			if v <= 0 {
+				t.Fatalf("%s not measured: %v", k, v)
+			}
+		}
+	}
+	if gated < 6 { // >= 5 scenarios + the served regex row
+		t.Fatalf("only %d gated throughput rows", gated)
+	}
+	if _, ok := metrics["scenario_regex-logs_served_MBps"]; !ok {
+		t.Fatal("regex scenario not served through the HTTP stack")
+	}
+	if gatedMetric("scenario_log-scan_skip_pct") {
+		t.Fatal("skip-ratio evidence rows must stay informational")
+	}
+	if !metaMetric("scenarios") {
+		t.Fatal("scenarios count must be a meta field")
+	}
+	if metrics["scenario_log-scan_skip_pct"] <= 0 {
+		t.Fatalf("log-scan skip evidence missing: %v", metrics["scenario_log-scan_skip_pct"])
+	}
+}
+
 func TestPaperDFAShape(t *testing.T) {
 	d, err := paperDFA()
 	if err != nil {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/registry"
+	"cellmatch/internal/report"
+	"cellmatch/internal/server"
+	"cellmatch/internal/workload"
+)
+
+// Scenario benchmark: one throughput row per workload scenario
+// (internal/workload.Scenarios), each compiled with production
+// defaults (FilterAuto picks the front-end, the budget picks the
+// tier), so BENCH_scenarios.json tracks how the deployed engine
+// ladder fares across deployment regimes — filter-friendly logs,
+// verifier-bound PII text, short malware signatures, adversarial
+// near-miss saturation, fold collisions, and a regex dictionary. The
+// regex scenario is additionally served through the in-process
+// cellmatchd stack (registry + server over HTTP), covering the regex
+// surface end to end.
+//
+// The JSON artifact is a flat metric map, one scenario_<name>_MBps
+// key per scenario (gated by -checkbench) plus scenario_<name>_skip_pct
+// evidence rows (informational) and a scenarios count (meta).
+const scenarioBenchSeed = 1207
+
+// scenarioServedMBps serves the matcher through the full in-process
+// HTTP stack and measures /scan throughput over the corpus.
+func scenarioServedMBps(m *core.Matcher, corpus []byte) (float64, error) {
+	reg := registry.NewWithMatcher(m, "scenario-bench")
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payloads := slicePayloads(corpus, 64<<10)
+	post := func() error {
+		for _, p := range payloads {
+			resp, err := http.Post(ts.URL+"/scan?count=1", "application/octet-stream", bytes.NewReader(p))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("/scan: %s", resp.Status)
+			}
+		}
+		return nil
+	}
+	if err := post(); err != nil { // warmup
+		return 0, err
+	}
+	start := time.Now()
+	if err := post(); err != nil {
+		return 0, err
+	}
+	return float64(len(corpus)) / 1e6 / time.Since(start).Seconds(), nil
+}
+
+// runScenarioBench measures every scenario, prints the comparison
+// table, and optionally writes the flat JSON artifact.
+func runScenarioBench(w io.Writer, inputBytes int, jsonPath string) error {
+	scs, err := workload.Scenarios(scenarioBenchSeed, inputBytes)
+	if err != nil {
+		return err
+	}
+	metrics := map[string]float64{
+		"input_bytes": float64(inputBytes),
+		"scenarios":   float64(len(scs)),
+	}
+
+	fmt.Fprintf(w, "== Scenario suite: engine ladder across deployment regimes (%d scenarios, %d KiB each) ==\n",
+		len(scs), inputBytes>>10)
+	t := report.NewTable("Scenario", "Engine", "Filter", "MB/s", "Skip %", "Matches")
+	servedRegex := false
+	for _, s := range scs {
+		opts := core.Options{CaseFold: s.CaseFold} // production defaults: FilterAuto, default budget
+		var m *core.Matcher
+		if s.Regex {
+			exprs := make([]string, len(s.Patterns))
+			for i, p := range s.Patterns {
+				exprs[i] = string(p)
+			}
+			m, err = core.CompileRegexSearch(exprs, opts)
+		} else {
+			m, err = core.Compile(s.Patterns, opts)
+		}
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		st := m.Stats()
+
+		matches := 0
+		skipBefore := m.Stats().WindowsSkipped
+		scans := 0
+		mbps, err := measureMBps(len(s.Corpus), func() error {
+			scans++
+			ms, err := m.FindAll(s.Corpus)
+			matches = len(ms)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		skipPct := 0.0
+		if st.FilterEnabled {
+			if positions := int64(scans) * int64(len(s.Corpus)-st.FilterWindow+1); positions > 0 {
+				skipPct = 100 * float64(m.Stats().WindowsSkipped-skipBefore) / float64(positions)
+			}
+		}
+		metrics["scenario_"+s.Name+"_MBps"] = mbps
+		metrics["scenario_"+s.Name+"_skip_pct"] = skipPct
+		t.Row(s.Name, st.Engine, st.FilterEnabled, mbps, skipPct, matches)
+
+		if s.Regex && !servedRegex {
+			served, err := scenarioServedMBps(m, s.Corpus)
+			if err != nil {
+				return fmt.Errorf("scenario %s served: %w", s.Name, err)
+			}
+			metrics["scenario_"+s.Name+"_served_MBps"] = served
+			t.Row(s.Name+" (served /scan)", st.Engine, false, served, 0.0, matches)
+			servedRegex = true
+		}
+	}
+	if !servedRegex {
+		return fmt.Errorf("scenario suite has no regex scenario to serve")
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

@@ -97,6 +97,41 @@ func FromPatterns(patterns [][]byte, caseFold bool, maxClasses int) (*Reduction,
 	return r, nil
 }
 
+// FromSets computes the minimal reduction that keeps every byte
+// distinction the given membership sets make: two bytes share a class
+// iff every set either contains both or excludes both. This is the
+// reduction regex dictionaries use — each literal/class leaf
+// contributes one set, so reduced matching is exact (no aliasing).
+// Classes are numbered in first-appearance order scanning bytes 0..255,
+// making the mapping deterministic for a given set list.
+func FromSets(sets [][256]bool) (*Reduction, error) {
+	sig := make(map[string]byte, 8)
+	r := &Reduction{}
+	buf := make([]byte, (len(sets)+7)/8)
+	for b := 0; b < 256; b++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i := range sets {
+			if sets[i][b] {
+				buf[i/8] |= 1 << (i % 8)
+			}
+		}
+		c, ok := sig[string(buf)]
+		if !ok {
+			if len(sig) >= 256 {
+				return nil, fmt.Errorf("alphabet: set partition exceeds 256 classes")
+			}
+			c = byte(len(sig))
+			sig[string(buf)] = c
+		}
+		r.Map[b] = c
+	}
+	r.Classes = len(sig)
+	r.Width = widthFor(r.Classes)
+	return r, nil
+}
+
 // ForDictionary returns the dictionary's preferred reduction: the
 // paper's 32-symbol regime when the patterns fit it, widening to the
 // full 256-class mapping otherwise (with the proportionally smaller

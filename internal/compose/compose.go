@@ -232,6 +232,87 @@ func NewSystem(patterns [][]byte, cfg Config) (*System, error) {
 	return s, nil
 }
 
+// NewRegexSystem partitions a dictionary of bounded regular
+// expressions (see dfa.CompileRegexSearch for the dialect and the
+// bounded/non-nullable restrictions) into tile-sized unanchored search
+// DFAs and erects the topology. The resulting System scans exactly
+// like a literal one — Out sets carry expression ids, matches are
+// reported per (expression, end offset) — so every downstream engine
+// works unchanged. The reduction is derived from the expressions' own
+// leaf sets (dfa.RegexReduction), so reduced matching is exact.
+//
+// Partitioning is by trial compilation: expressions accumulate into a
+// slot until its search DFA would exceed the tile budget, then a new
+// slot starts. Subset construction can entangle expressions (unlike
+// literal tries, slot states are not additive), so the budget is
+// enforced on the actual compiled automaton rather than predicted.
+func NewRegexSystem(exprs []string, cfg Config) (*System, error) {
+	if len(exprs) == 0 {
+		return nil, fmt.Errorf("compose: empty regex dictionary")
+	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
+	}
+	red, err := dfa.RegexReduction(exprs, cfg.CaseFold)
+	if err != nil {
+		return nil, err
+	}
+	width := 32
+	for width < red.Classes {
+		width *= 2
+	}
+	if cfg.MaxStatesPerTile == 0 {
+		plan, err := localstore.PlanTile(16*1024, uint32(width)*4)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MaxStatesPerTile = plan.MaxStates
+	}
+	s := &System{Red: red, Width: width}
+	var cur []int
+	var curDFA *dfa.DFA
+	compile := func(ids []int) (*dfa.DFA, error) {
+		sub := make([]string, len(ids))
+		for i, id := range ids {
+			sub[i] = exprs[id]
+		}
+		return dfa.CompileRegexSearch(sub, cfg.CaseFold, red)
+	}
+	for id := range exprs {
+		d, err := compile(append(cur[:len(cur):len(cur)], id))
+		if err != nil {
+			return nil, err
+		}
+		if d.NumStates() > cfg.MaxStatesPerTile && len(cur) > 0 {
+			s.Slots = append(s.Slots, curDFA)
+			s.SlotPatterns = append(s.SlotPatterns, cur)
+			cur = nil
+			if d, err = compile([]int{id}); err != nil {
+				return nil, err
+			}
+		}
+		if d.NumStates() > cfg.MaxStatesPerTile {
+			return nil, fmt.Errorf("compose: expression %d alone needs %d states, budget %d",
+				id, d.NumStates(), cfg.MaxStatesPerTile)
+		}
+		cur = append(cur, id)
+		curDFA = d
+	}
+	s.Slots = append(s.Slots, curDFA)
+	s.SlotPatterns = append(s.SlotPatterns, cur)
+	topo := Mixed(cfg.Groups, len(s.Slots))
+	if err := topo.Validate(cfg.MaxSPEs); err != nil {
+		return nil, err
+	}
+	s.Topology = topo
+	for _, d := range s.Slots {
+		if d.MaxPatternLen > s.MaxPatternLen {
+			s.MaxPatternLen = d.MaxPatternLen
+		}
+	}
+	return s, nil
+}
+
 // DictionaryStates is the aggregate state count across series slots.
 func (s *System) DictionaryStates() int {
 	total := 0

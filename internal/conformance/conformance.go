@@ -1,0 +1,219 @@
+// Package conformance cross-checks the engine ladder: for one
+// workload scenario it compiles the dictionary onto every verifier
+// rung (dense kernel, sharded multi-kernel, stt fallback), with the
+// skip-scan front-end forced on and off, and scans the corpus through
+// every scan surface (sequential, parallel, shared pool, reader,
+// stream). Every configuration must produce the same (End, Pattern)
+// match set — the paper's byte-identical-output guarantee, checked
+// match-for-match instead of per-engine-pair. The report records
+// which engine each forced rung actually selected and the filter's
+// skip rate per rung, so benchmarks and CI can see where a scenario
+// lands on the ladder.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/parallel"
+	"cellmatch/internal/workload"
+)
+
+// RungReport is one forced verifier rung's outcome on a scenario.
+type RungReport struct {
+	// Rung is the tier the configuration asked for ("kernel",
+	// "sharded", "stt"); Engine is what the matcher actually selected
+	// (a regex dictionary forced toward "sharded" lands on "stt" —
+	// the sharded tier is literal-only).
+	Rung   string `json:"rung"`
+	Engine string `json:"engine"`
+	// FilterLive reports whether the skip-scan front-end came up in
+	// the filter-on compile (false when the dictionary is ineligible:
+	// regex, or min pattern length below the window floor).
+	FilterLive bool `json:"filter_live"`
+	// SkipRate is the fraction of window positions the live filter
+	// skipped on the sequential filter-on scan (0 when not live).
+	SkipRate float64 `json:"skip_rate"`
+}
+
+// Report is the conformance outcome for one scenario.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Regex    bool   `json:"regex"`
+	// RefMatches is the reference match count (default-engine,
+	// filter-off, sequential scan).
+	RefMatches int `json:"ref_matches"`
+	// Configs counts the (rung x filter x scan-mode) configurations
+	// compared against the reference.
+	Configs int          `json:"configs"`
+	Rungs   []RungReport `json:"rungs"`
+}
+
+// compile builds the scenario's dictionary on the given engine
+// options, routing through the regex surface when the scenario says
+// so.
+func compile(s workload.Scenario, eng core.EngineOptions) (*core.Matcher, error) {
+	opts := core.Options{CaseFold: s.CaseFold, Engine: eng}
+	if s.Regex {
+		exprs := make([]string, len(s.Patterns))
+		for i, p := range s.Patterns {
+			exprs[i] = string(p)
+		}
+		return core.CompileRegexSearch(exprs, opts)
+	}
+	return core.Compile(s.Patterns, opts)
+}
+
+// normalize sorts matches by (End, Pattern) so comparisons are
+// insensitive to emission order (streamed and chunked scans may emit
+// same-end matches in different pattern order).
+func normalize(ms []core.Match) []core.Match {
+	out := append([]core.Match(nil), ms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+func diff(want, got []core.Match) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("match %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// scanModes are the scan surfaces every configuration is driven
+// through. Chunk sizes are deliberately small so chunked paths cross
+// many boundaries even on short corpora.
+var scanModes = []struct {
+	name string
+	run  func(m *core.Matcher, data []byte, pool *parallel.Pool) ([]core.Match, error)
+}{
+	{"seq", func(m *core.Matcher, data []byte, _ *parallel.Pool) ([]core.Match, error) {
+		return m.FindAll(data)
+	}},
+	{"parallel", func(m *core.Matcher, data []byte, _ *parallel.Pool) ([]core.Match, error) {
+		return m.FindAllParallel(data, core.ParallelOptions{Workers: 3, ChunkBytes: 512})
+	}},
+	{"pool", func(m *core.Matcher, data []byte, pool *parallel.Pool) ([]core.Match, error) {
+		return m.FindAllParallel(data, core.ParallelOptions{Workers: 2, ChunkBytes: 768, Pool: pool})
+	}},
+	{"reader", func(m *core.Matcher, data []byte, _ *parallel.Pool) ([]core.Match, error) {
+		return m.ScanReader(bytes.NewReader(data), core.ParallelOptions{Workers: 2, ChunkBytes: 640})
+	}},
+	{"stream", func(m *core.Matcher, data []byte, _ *parallel.Pool) ([]core.Match, error) {
+		s := m.NewStream()
+		for off := 0; off < len(data); off += 257 {
+			end := off + 257
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := s.Write(data[off:end]); err != nil {
+				return nil, err
+			}
+		}
+		return s.Matches(), nil
+	}},
+}
+
+// Run drives one scenario through every engine configuration and
+// returns the report; any output divergence is an error naming the
+// configuration.
+func Run(s workload.Scenario) (*Report, error) {
+	// Reference: default engine, filter off, sequential.
+	refM, err := compile(s, core.EngineOptions{Filter: core.FilterOff})
+	if err != nil {
+		return nil, fmt.Errorf("%s: reference compile: %w", s.Name, err)
+	}
+	refRaw, err := refM.FindAll(s.Corpus)
+	if err != nil {
+		return nil, fmt.Errorf("%s: reference scan: %w", s.Name, err)
+	}
+	ref := normalize(refRaw)
+	refStats := refM.Stats()
+
+	// Forced rungs. The sharded budget is derived from the reference
+	// kernel's actual footprint so the dictionary genuinely splits;
+	// when the reference has no kernel table (stt already), a 1-byte
+	// budget forces the same fallback deliberately.
+	shardBudget := refStats.KernelTableBytes * 3 / 4
+	if shardBudget < 1 {
+		shardBudget = 1
+	}
+	rungs := []struct {
+		name string
+		eng  core.EngineOptions
+	}{
+		{"kernel", core.EngineOptions{}},
+		{"sharded", core.EngineOptions{MaxTableBytes: shardBudget, MaxShards: 8}},
+		{"stt", core.EngineOptions{DisableKernel: true}},
+	}
+
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+
+	rep := &Report{Scenario: s.Name, Regex: s.Regex, RefMatches: len(ref)}
+	for _, rung := range rungs {
+		rr := RungReport{Rung: rung.name}
+		for _, fm := range []core.FilterMode{core.FilterOff, core.FilterOn} {
+			eng := rung.eng
+			eng.Filter = fm
+			m, err := compile(s, eng)
+			if err != nil {
+				return nil, fmt.Errorf("%s: compile rung=%s filter=%v: %w", s.Name, rung.name, fm, err)
+			}
+			if fm == core.FilterOff {
+				rr.Engine = m.Stats().Engine
+			} else {
+				rr.FilterLive = m.FilterActive()
+			}
+			skipBefore := m.Stats().WindowsSkipped
+			for _, mode := range scanModes {
+				got, err := mode.run(m, s.Corpus, pool)
+				if err != nil {
+					return nil, fmt.Errorf("%s: rung=%s filter=%v mode=%s: %w",
+						s.Name, rung.name, fm, mode.name, err)
+				}
+				if err := diff(ref, normalize(got)); err != nil {
+					return nil, fmt.Errorf("%s: rung=%s filter=%v mode=%s diverges: %w",
+						s.Name, rung.name, fm, mode.name, err)
+				}
+				rep.Configs++
+				if fm == core.FilterOn && mode.name == "seq" && rr.FilterLive {
+					st := m.Stats()
+					positions := len(s.Corpus) - st.FilterWindow + 1
+					if positions > 0 {
+						rr.SkipRate = float64(st.WindowsSkipped-skipBefore) / float64(positions)
+					}
+					skipBefore = st.WindowsSkipped
+				}
+			}
+		}
+		rep.Rungs = append(rep.Rungs, rr)
+	}
+	return rep, nil
+}
+
+// RunSuite runs every scenario and returns the reports in suite
+// order.
+func RunSuite(scs []workload.Scenario) ([]*Report, error) {
+	out := make([]*Report, 0, len(scs))
+	for _, s := range scs {
+		r, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

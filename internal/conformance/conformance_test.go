@@ -1,0 +1,73 @@
+package conformance
+
+import (
+	"testing"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/workload"
+)
+
+func TestNormalizeAndDiff(t *testing.T) {
+	a := []core.Match{{End: 9, Pattern: 1}, {End: 4, Pattern: 0}, {End: 9, Pattern: 0}}
+	n := normalize(a)
+	if n[0].End != 4 || n[1] != (core.Match{End: 9, Pattern: 0}) || n[2].Pattern != 1 {
+		t.Fatalf("normalize order: %+v", n)
+	}
+	if &a[0] == &n[0] {
+		t.Fatal("normalize mutated its input slice")
+	}
+	if err := diff(n, n); err != nil {
+		t.Fatalf("identical sets differ: %v", err)
+	}
+	if err := diff(n, n[:2]); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+	other := append([]core.Match(nil), n...)
+	other[1].Pattern = 7
+	if err := diff(n, other); err == nil {
+		t.Fatal("content mismatch not reported")
+	}
+}
+
+func TestRunReportShape(t *testing.T) {
+	s, err := workload.LogScenario(3, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != s.Name || rep.Regex {
+		t.Fatalf("report header %+v", rep)
+	}
+	if rep.Configs != len(scanModes)*2*3 {
+		t.Fatalf("configs %d, want rungs x filters x modes = %d", rep.Configs, len(scanModes)*2*3)
+	}
+	if len(rep.Rungs) != 3 {
+		t.Fatalf("rungs %d, want 3", len(rep.Rungs))
+	}
+}
+
+func TestRunSuiteOrder(t *testing.T) {
+	scs, err := workload.Scenarios(5, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs = scs[:2]
+	reps, err := RunSuite(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].Scenario != scs[0].Name || reps[1].Scenario != scs[1].Name {
+		t.Fatalf("suite order lost: %+v", reps)
+	}
+}
+
+func TestRunRejectsBrokenScenario(t *testing.T) {
+	s := workload.Scenario{Name: "broken", Patterns: [][]byte{[]byte("a*")},
+		Regex: true, Corpus: []byte("aaaa")}
+	if _, err := Run(s); err == nil {
+		t.Fatal("unbounded regex scenario accepted")
+	}
+}

@@ -157,7 +157,8 @@ type Matcher struct {
 	sys      *compose.System
 	opts     Options
 	patterns [][]byte
-	minLen   int             // shortest dictionary pattern
+	minLen   int             // shortest dictionary pattern (regex: shortest possible match)
+	regex    bool            // dictionary entries are regular expressions
 	eng      *kernel.Engine  // nil when the dense kernel is disabled or over budget
 	sharded  *kernel.Sharded // nil unless the sharded tier is live
 	filter   *filter.Filter  // nil when the skip-scan front-end is off/bypassed
@@ -192,6 +193,12 @@ func (m *Matcher) initEngine() error {
 	if m.opts.Engine.MaxShards < 0 {
 		return nil // sharding disabled: stt fallback
 	}
+	if m.regex {
+		// The shard planner repartitions literal patterns by trie size;
+		// regex dictionaries have no such decomposition, so over-budget
+		// ones go straight to the stt fallback.
+		return nil
+	}
 	sh, err := kernel.CompileSharded(m.patterns, kernel.ShardConfig{
 		CaseFold:      m.opts.CaseFold,
 		MaxTableBytes: m.opts.Engine.MaxTableBytes,
@@ -219,6 +226,13 @@ func (m *Matcher) initFilter() error {
 		return fmt.Errorf("core: bad filter mode %d", mode)
 	}
 	if mode == FilterOff || m.minLen < filter.MinWindow {
+		return nil
+	}
+	if m.regex {
+		// The filter's evidence tables are built from literal pattern
+		// prefixes; regular expressions have none, so the front-end is
+		// bypassed (silently, like single-byte dictionaries under
+		// FilterOn) and every byte goes through the verifier engine.
 		return nil
 	}
 	// The cheap auto gates come before the build so non-qualifying
@@ -265,6 +279,55 @@ func Compile(patterns [][]byte, opts Options) (*Matcher, error) {
 	}
 	return m, nil
 }
+
+// CompileRegexSearch builds a matcher from a dictionary of regular
+// expressions with full search semantics: a hit is reported at every
+// input offset where some substring ending there matches an
+// expression, exactly the (End, Pattern) contract of literal
+// dictionaries — so the compiled matcher rides the same engine
+// machinery (dense kernel, parallel chunking, streams, artifacts) and
+// serves through cellmatchd unchanged. Match.Pattern indexes exprs;
+// Pattern(i) returns the expression source.
+//
+// Two restrictions (enforced at compile time) keep the chunk-overlap
+// arithmetic exact: no expression may match the empty string, and
+// every expression needs a bounded maximum match length — no '*', '+'
+// or '{m,}' (use '{m,n}', or RegexSet for whole-input matching of
+// unbounded expressions). The sharded tier and the skip-scan filter
+// are literal-only and are bypassed: engine selection is kernel → stt.
+func CompileRegexSearch(exprs []string, opts Options) (*Matcher, error) {
+	minLen, _, err := dfa.RegexDictionaryInfo(exprs)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := compose.NewRegexSystem(exprs, compose.Config{
+		MaxStatesPerTile: opts.MaxStatesPerTile,
+		Groups:           opts.Groups,
+		CaseFold:         opts.CaseFold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp := make([][]byte, len(exprs))
+	for i, e := range exprs {
+		cp[i] = []byte(e)
+	}
+	m := &Matcher{sys: sys, opts: opts, patterns: cp, minLen: minLen, regex: true}
+	if err := m.initEngine(); err != nil {
+		return nil, err
+	}
+	if err := m.initFilter(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IsRegex reports whether the dictionary entries are regular
+// expressions (compiled by CompileRegexSearch) rather than literal
+// byte strings. For regex matchers a match's length is not the
+// pattern's source length, so start offsets cannot be derived from
+// Pattern(i).
+func (m *Matcher) IsRegex() bool { return m.regex }
 
 // CompileStrings is Compile for string dictionaries.
 func CompileStrings(patterns []string, opts Options) (*Matcher, error) {
@@ -421,6 +484,11 @@ type Stats struct {
 	AlphabetUsed  int // distinct reduced symbol classes the dictionary uses
 	MaxPatternLen int
 
+	// Regex reports a regular-expression dictionary (CompileRegexSearch):
+	// patterns are expression sources, MinPatternLen/MaxPatternLen are
+	// match-length bounds, and the sharded/filter rungs are bypassed.
+	Regex bool
+
 	// Engine is the live scan engine behind FindAll and friends:
 	// "kernel" (one dense compiled table set), "sharded" (the
 	// multi-kernel tier: one dense table set per dictionary shard), or
@@ -475,6 +543,7 @@ func (m *Matcher) Stats() Stats {
 		TilesRequired: m.sys.Topology.TotalTiles(),
 		AlphabetUsed:  m.sys.Red.Classes,
 		MaxPatternLen: m.sys.MaxPatternLen,
+		Regex:         m.regex,
 	}
 	for _, d := range m.sys.Slots {
 		if t, err := stt.Encode(d, m.sys.Width, 0); err == nil {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
+	"cellmatch/internal/filter"
 	"cellmatch/internal/parallel"
 )
 
@@ -222,6 +224,86 @@ func TestFilterAutoSelection(t *testing.T) {
 		Engine: EngineOptions{Filter: FilterMode(3)},
 	}); err == nil {
 		t.Fatal("out-of-range filter mode accepted")
+	}
+}
+
+// TestFilterAutoBoundaries pins the FilterAuto gates at their exact
+// constants — minimum pattern length 4, 256 patterns, 75% evidence
+// density — so a drive-by retune of the thresholds shows up as a test
+// diff, not as a silent engine-selection change in production.
+func TestFilterAutoBoundaries(t *testing.T) {
+	if filterAutoMinLen != 4 || filterAutoMaxPatterns != 256 || filterAutoMaxDensity != 0.75 {
+		t.Fatalf("auto gate constants moved: minLen=%d maxPatterns=%d maxDensity=%v",
+			filterAutoMinLen, filterAutoMaxPatterns, filterAutoMaxDensity)
+	}
+
+	enabled := func(t *testing.T, pats []string) bool {
+		t.Helper()
+		m, err := CompileStrings(pats, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats().FilterEnabled
+	}
+
+	// Length boundary: minimum 4 qualifies, minimum 3 does not.
+	if !enabled(t, []string{"wxyz", "qrstu"}) {
+		t.Fatal("min length 4 declined")
+	}
+	if enabled(t, []string{"wxy", "qrstu"}) {
+		t.Fatal("min length 3 accepted")
+	}
+
+	// Count boundary: 256 patterns qualify, 257 do not. A shared
+	// 4-byte prefix keeps the evidence tables sparse, so the count
+	// gate is the only one in play.
+	sharedPrefix := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("wxyz%03d", i)
+		}
+		return out
+	}
+	if !enabled(t, sharedPrefix(256)) {
+		t.Fatal("256 patterns declined")
+	}
+	if enabled(t, sharedPrefix(257)) {
+		t.Fatal("257 patterns accepted")
+	}
+
+	// Density boundary: the gate declines strictly above 0.75, so a
+	// dictionary landing exactly on 0.75 keeps the filter and one bit
+	// more loses it. Both dictionaries are checked against the same
+	// evidence tables the matcher builds, so the test fails loudly if
+	// the density arithmetic (not just the constant) changes.
+	density := func(t *testing.T, pats []string) float64 {
+		t.Helper()
+		m, err := CompileStrings(pats, Options{Engine: EngineOptions{Filter: FilterOn}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := filter.Build(m.patterns, m.sys.Red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Density()
+	}
+	// Over {a,b,c,d}: all four symbols at positions 0-2, only three at
+	// position 3 -> 15 of 20 (class, position) slots = 0.75 exactly.
+	atBoundary := []string{"aaaa", "bbbb", "cccc", "dddc", "abca"}
+	if d := density(t, atBoundary); d != 0.75 {
+		t.Fatalf("boundary dictionary density = %v, want exactly 0.75", d)
+	}
+	if !enabled(t, atBoundary) {
+		t.Fatal("density exactly 0.75 declined (gate must be strict-greater)")
+	}
+	// Adding "dddd" fills the last slot: 16/20 = 0.8 > 0.75.
+	overBoundary := append(append([]string(nil), atBoundary...), "dddd")
+	if d := density(t, overBoundary); d <= 0.75 {
+		t.Fatalf("saturated dictionary density = %v, want > 0.75", d)
+	}
+	if enabled(t, overBoundary) {
+		t.Fatal("density above 0.75 accepted")
 	}
 }
 

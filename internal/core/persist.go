@@ -20,24 +20,29 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic "CMSAV4\x00"
+//	magic "CMSAV5\x00"
 //	options: caseFold u8, groups u32, maxStatesPerTile u32, version u32
 //	engine:  disableKernel u8, maxTableBytes u64, interleaveK u32,
 //	         maxShards i32, filterMode u8
+//	dictKind: regex u8 (0 = literal patterns, 1 = regular expressions)
 //	reduction: map[256]u8, classes u32, width u32
 //	system width u32, maxPatternLen u32
 //	patterns: count u32; each: len u32, bytes
+//	         (regex artifacts store the expression sources)
 //	slots: count u32; each: blobLen u32, dfa blob,
 //	       idCount u32, ids u32...
 //
-// Older artifacts still load: V3 (magic "CMSAV3\x00") lacks the
-// filterMode field (loaded as FilterAuto, so qualifying dictionaries
-// come back with the skip-scan front-end live — output-identical
-// either way), V2 ("CMSAV2\x00") additionally lacks maxShards (loaded
-// as 0, the default shard cap), and V1 ("CMSAV1\x00") lacks the whole
-// engine block (zero-value EngineOptions).
+// Older artifacts still load: V4 (magic "CMSAV4\x00") lacks the
+// dictKind byte (always a literal dictionary), V3 ("CMSAV3\x00")
+// additionally lacks the filterMode field (loaded as FilterAuto, so
+// qualifying dictionaries come back with the skip-scan front-end
+// live — output-identical either way), V2 ("CMSAV2\x00") additionally
+// lacks maxShards (loaded as 0, the default shard cap), and V1
+// ("CMSAV1\x00") lacks the whole engine block (zero-value
+// EngineOptions).
 var (
-	savMagic   = []byte("CMSAV4\x00")
+	savMagic   = []byte("CMSAV5\x00")
+	savMagicV4 = []byte("CMSAV4\x00")
 	savMagicV3 = []byte("CMSAV3\x00")
 	savMagicV2 = []byte("CMSAV2\x00")
 	savMagicV1 = []byte("CMSAV1\x00")
@@ -96,6 +101,13 @@ func (m *Matcher) Save(w io.Writer) error {
 		return err
 	}
 	if err := bw.WriteByte(byte(m.opts.Engine.Filter)); err != nil {
+		return err
+	}
+	rx := byte(0)
+	if m.regex {
+		rx = 1
+	}
+	if err := bw.WriteByte(rx); err != nil {
 		return err
 	}
 	if _, err := bw.Write(m.sys.Red.Map[:]); err != nil {
@@ -158,7 +170,8 @@ func Load(r io.Reader) (*Matcher, error) {
 	v1 := bytes.Equal(magic, savMagicV1)
 	v2 := bytes.Equal(magic, savMagicV2)
 	v3 := bytes.Equal(magic, savMagicV3)
-	if !v1 && !v2 && !v3 && !bytes.Equal(magic, savMagic) {
+	v4 := bytes.Equal(magic, savMagicV4)
+	if !v1 && !v2 && !v3 && !v4 && !bytes.Equal(magic, savMagic) {
 		return nil, fmt.Errorf("core: not a cellmatch artifact")
 	}
 	get32 := func() (uint32, error) {
@@ -211,6 +224,17 @@ func Load(r io.Reader) (*Matcher, error) {
 				opts.Engine.Filter = FilterMode(fm)
 			}
 		}
+	}
+	regex := false
+	if !v1 && !v2 && !v3 && !v4 { // V4 predates regex dictionaries
+		rx, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if rx > 1 {
+			return nil, fmt.Errorf("core: bad dictionary kind %d", rx)
+		}
+		regex = rx == 1
 	}
 
 	red := &alphabet.Reduction{}
@@ -316,12 +340,26 @@ func Load(r io.Reader) (*Matcher, error) {
 	}
 	sys.Topology = compose.Mixed(groups, len(sys.Slots))
 	minLen := 0
-	for _, p := range patterns {
-		if minLen == 0 || len(p) < minLen {
-			minLen = len(p)
+	if regex {
+		// Stored patterns are expression sources; minLen is the shortest
+		// possible match, re-derived (and the dictionary re-validated)
+		// from the sources.
+		exprs := make([]string, len(patterns))
+		for i, p := range patterns {
+			exprs[i] = string(p)
+		}
+		var err error
+		if minLen, _, err = dfa.RegexDictionaryInfo(exprs); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, p := range patterns {
+			if minLen == 0 || len(p) < minLen {
+				minLen = len(p)
+			}
 		}
 	}
-	m := &Matcher{sys: sys, opts: opts, patterns: patterns, minLen: minLen}
+	m := &Matcher{sys: sys, opts: opts, patterns: patterns, minLen: minLen, regex: regex}
 	if err := m.initEngine(); err != nil {
 		return nil, err
 	}

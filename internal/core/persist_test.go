@@ -117,7 +117,7 @@ func TestLoadRejectsWrongMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()
-	for _, magic := range []string{"CMSAV5\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav4\x00"} {
+	for _, magic := range []string{"CMSAV6\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav5\x00"} {
 		bad := append([]byte(magic), blob[len(magic):]...)
 		_, err := Load(bytes.NewReader(bad))
 		if err == nil {
@@ -161,15 +161,15 @@ func TestLoadV1ArtifactRebuildsEngine(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v4 := buf.Bytes()
-	// The v4 layout places the 18-byte engine block (disableKernel u8,
+	v5 := buf.Bytes()
+	// The v5 layout places the 18-byte engine block (disableKernel u8,
 	// maxTableBytes u64, interleaveK u32, maxShards i32, filterMode u8)
-	// right after the 13-byte options block; a v1 artifact is the same
-	// bytes without it.
+	// and the dictKind byte right after the 13-byte options block; a v1
+	// artifact is the same bytes without either.
 	optsEnd := len(savMagic) + 13
 	v1 := append([]byte(nil), savMagicV1...)
-	v1 = append(v1, v4[len(savMagic):optsEnd]...)
-	v1 = append(v1, v4[optsEnd+18:]...)
+	v1 = append(v1, v5[len(savMagic):optsEnd]...)
+	v1 = append(v1, v5[optsEnd+19:]...)
 
 	back, err := Load(bytes.NewReader(v1))
 	if err != nil {
@@ -216,14 +216,14 @@ func TestLoadV2ArtifactGetsDefaultShardCap(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v4 := buf.Bytes()
+	v5 := buf.Bytes()
 	// Drop the trailing maxShards (4 bytes) and filterMode (1 byte)
-	// fields of the 18-byte engine block and swap the magic: that is
-	// exactly a v2 artifact.
+	// fields of the 18-byte engine block plus the dictKind byte, and
+	// swap the magic: that is exactly a v2 artifact.
 	engEnd := len(savMagic) + 13 + 18
 	v2 := append([]byte(nil), savMagicV2...)
-	v2 = append(v2, v4[len(savMagic):engEnd-5]...)
-	v2 = append(v2, v4[engEnd:]...)
+	v2 = append(v2, v5[len(savMagic):engEnd-5]...)
+	v2 = append(v2, v5[engEnd+1:]...)
 
 	back, err := Load(bytes.NewReader(v2))
 	if err != nil {
@@ -261,13 +261,14 @@ func TestLoadV3ArtifactGetsFilterAuto(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v4 := buf.Bytes()
-	// Drop the trailing filterMode byte of the 18-byte engine block and
-	// swap the magic: that is exactly a v3 artifact.
+	v5 := buf.Bytes()
+	// Drop the trailing filterMode byte of the 18-byte engine block plus
+	// the dictKind byte, and swap the magic: that is exactly a v3
+	// artifact.
 	engEnd := len(savMagic) + 13 + 18
 	v3 := append([]byte(nil), savMagicV3...)
-	v3 = append(v3, v4[len(savMagic):engEnd-1]...)
-	v3 = append(v3, v4[engEnd:]...)
+	v3 = append(v3, v5[len(savMagic):engEnd-1]...)
+	v3 = append(v3, v5[engEnd+1:]...)
 
 	back, err := Load(bytes.NewReader(v3))
 	if err != nil {
@@ -296,11 +297,64 @@ func TestLoadV3ArtifactGetsFilterAuto(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("v3-loaded matcher diverged: %d vs %d matches", len(got), len(want))
 	}
-	// A v4 blob with an out-of-range filter mode must be rejected.
-	bad := append([]byte(nil), v4...)
+	// A current blob with an out-of-range filter mode must be rejected.
+	bad := append([]byte(nil), v5...)
 	bad[engEnd-1] = 7
 	if _, err := Load(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad filter mode accepted")
+	}
+}
+
+// A v4 artifact (no dictKind byte) must load as a literal dictionary
+// and scan byte-identically; a current blob with an out-of-range
+// dictKind must be rejected.
+func TestLoadV4ArtifactIsLiteral(t *testing.T) {
+	dict := workload.SignatureDictionary()
+	m, err := Compile(dict, Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v5 := buf.Bytes()
+	// Drop the dictKind byte right after the 18-byte engine block and
+	// swap the magic: that is exactly a v4 artifact.
+	kindAt := len(savMagic) + 13 + 18
+	v4 := append([]byte(nil), savMagicV4...)
+	v4 = append(v4, v5[len(savMagic):kindAt]...)
+	v4 = append(v4, v5[kindAt+1:]...)
+
+	back, err := Load(bytes.NewReader(v4))
+	if err != nil {
+		t.Fatalf("v4 artifact rejected: %v", err)
+	}
+	if back.IsRegex() {
+		t.Fatal("v4 artifact loaded as regex")
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: dict, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v4-loaded matcher diverged: %d vs %d matches", len(got), len(want))
+	}
+
+	bad := append([]byte(nil), v5...)
+	bad[kindAt] = 9
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad dictionary kind accepted")
 	}
 }
 

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+var regexTestExprs = []string{
+	"err(or)?",
+	"[0-9]{3}",
+	"GET /[a-z]{1,8}",
+	"c[aou]t",
+}
+
+// regexOracle computes expected matches with the stdlib regexp: id
+// reported at end e iff some substring ending at e matches the whole
+// expression (the Aho-Corasick reporting contract).
+func regexOracle(exprs []string, data []byte, caseFold bool) []Match {
+	var out []Match
+	for id, e := range exprs {
+		flags := ""
+		if caseFold {
+			flags = "(?i)"
+		}
+		re := regexp.MustCompile(flags + "^(?:" + e + ")$")
+		for end := 1; end <= len(data); end++ {
+			for start := 0; start < end; start++ {
+				if re.Match(data[start:end]) {
+					out = append(out, Match{Pattern: id, End: end})
+					break
+				}
+			}
+		}
+	}
+	sortMatchesByEnd(out)
+	return out
+}
+
+func sortMatchesByEnd(ms []Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && (ms[j].End < ms[j-1].End ||
+			(ms[j].End == ms[j-1].End && ms[j].Pattern < ms[j-1].Pattern)); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func regexTestInput(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	letters := []byte("abcdefgot /0123456789 ERRc")
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = letters[rng.Intn(len(letters))]
+	}
+	for _, frag := range []string{"error 404", "GET /index", "cat cot cut", "err 7"} {
+		pos := rng.Intn(n - len(frag))
+		copy(data[pos:], frag)
+	}
+	return data
+}
+
+func TestRegexSearchEndToEnd(t *testing.T) {
+	data := regexTestInput(2048, 11)
+	want := regexOracle(regexTestExprs, data, false)
+	if len(want) == 0 {
+		t.Fatal("oracle found nothing; broken fixture")
+	}
+
+	m, err := CompileRegexSearch(regexTestExprs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsRegex() || !m.Stats().Regex {
+		t.Fatal("regex matcher not flagged as regex")
+	}
+	got, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMatches(t, "regex/FindAll", want, got)
+
+	n, err := m.Count(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("Count = %d, want %d", n, len(want))
+	}
+}
+
+// TestRegexSearchCrossEngine pins the core contract: every engine rung
+// and execution mode produces byte-identical (End, Pattern) output on
+// a regex dictionary, just like on literal ones.
+func TestRegexSearchCrossEngine(t *testing.T) {
+	data := regexTestInput(2048, 23)
+	want := regexOracle(regexTestExprs, data, false)
+
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"kernel", Options{}},
+		{"stt", Options{Engine: EngineOptions{DisableKernel: true}}},
+		{"kernel-folded", Options{CaseFold: true}},
+	} {
+		m, err := CompileRegexSearch(regexTestExprs, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ref := want
+		if tc.opts.CaseFold {
+			ref = regexOracle(regexTestExprs, data, true)
+		}
+		seq, err := m.FindAll(data)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		assertEqualMatches(t, tc.name+"/FindAll", ref, seq)
+
+		par, err := m.FindAllParallel(data, ParallelOptions{Workers: 3, ChunkBytes: 512})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		assertEqualMatches(t, tc.name+"/FindAllParallel", ref, par)
+
+		rd, err := m.ScanReader(bytes.NewReader(data), ParallelOptions{Workers: 2, ChunkBytes: 256})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		assertEqualMatches(t, tc.name+"/ScanReader", ref, rd)
+
+		st := m.NewStream()
+		for i := 0; i < len(data); i += 100 {
+			end := i + 100
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := st.Write(data[i:end]); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		}
+		stream := append([]Match(nil), st.Matches()...)
+		sortMatchesByEnd(stream)
+		assertEqualMatches(t, tc.name+"/Stream", ref, stream)
+	}
+}
+
+func TestRegexSearchFilterBypassed(t *testing.T) {
+	// Long minimum match lengths would qualify a literal dictionary for
+	// the skip-scan front-end; a regex dictionary must bypass it even
+	// under FilterOn (the filter needs literal prefixes).
+	m, err := CompileRegexSearch([]string{"abcdefgh", "[0-9]{8}x"},
+		Options{Engine: EngineOptions{Filter: FilterOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FilterActive() {
+		t.Fatal("skip-scan front-end live on a regex dictionary")
+	}
+	if s := m.Stats(); s.FilterEnabled {
+		t.Fatal("Stats reports filter enabled on a regex dictionary")
+	}
+}
+
+func TestRegexSearchShardedBypassed(t *testing.T) {
+	// Forcing the dense-table budget below the dictionary's footprint
+	// sends literal dictionaries to the sharded tier; regex dictionaries
+	// must step straight to stt.
+	m, err := CompileRegexSearch(regexTestExprs,
+		Options{Engine: EngineOptions{MaxTableBytes: 1, MaxShards: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EngineName(); got != "stt" {
+		t.Fatalf("engine = %q, want stt (sharded tier is literal-only)", got)
+	}
+	data := regexTestInput(2048, 5)
+	got, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMatches(t, "regex/stt-fallback", regexOracle(regexTestExprs, data, false), got)
+}
+
+func TestRegexSearchRejections(t *testing.T) {
+	for _, exprs := range [][]string{
+		{"a*"},          // unbounded
+		{"ab", "c+"},    // unbounded
+		{"x?"},          // nullable
+		{"ok", "a{2,}"}, // unbounded
+		{},              // empty dictionary
+	} {
+		if _, err := CompileRegexSearch(exprs, Options{}); err == nil {
+			t.Errorf("%q: expected compile error", exprs)
+		}
+	}
+}
+
+func TestRegexSearchSaveLoad(t *testing.T) {
+	data := regexTestInput(4096, 31)
+	m, err := CompileRegexSearch(regexTestExprs, Options{CaseFold: true, Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.IsRegex() {
+		t.Fatal("regex flag lost in the artifact round trip")
+	}
+	if loaded.minLen != m.minLen {
+		t.Fatalf("minLen %d != %d after round trip", loaded.minLen, m.minLen)
+	}
+	if got := string(loaded.Pattern(0)); got != regexTestExprs[0] {
+		t.Fatalf("Pattern(0) = %q, want the expression source %q", got, regexTestExprs[0])
+	}
+	got, err := loaded.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMatches(t, "regex/loaded", want, got)
+}
+
+func TestRegexSearchStatsShape(t *testing.T) {
+	m, err := CompileRegexSearch([]string{"ab{1,4}", "xyz"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if !s.Regex {
+		t.Error("Stats.Regex false")
+	}
+	if s.MinPatternLen != 2 {
+		t.Errorf("MinPatternLen = %d, want 2 (shortest possible match)", s.MinPatternLen)
+	}
+	if s.MaxPatternLen != 5 {
+		t.Errorf("MaxPatternLen = %d, want 5 (longest possible match)", s.MaxPatternLen)
+	}
+	if s.Patterns != 2 {
+		t.Errorf("Patterns = %d, want 2", s.Patterns)
+	}
+}

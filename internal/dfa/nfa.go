@@ -7,12 +7,16 @@ import (
 
 // NFA is a nondeterministic finite automaton with epsilon moves over
 // symbols 0..Syms-1, in the Thompson normal form produced by the regex
-// compiler: one start state, one accept state.
+// compiler: one start state, one accept state. The search compiler
+// additionally tags states with pattern ids (Tag), turning the
+// determinized automaton into a multi-accept reporter like the
+// Aho-Corasick DFAs.
 type NFA struct {
 	Syms   int
 	Start  int32
 	Accept int32
 	states []nfaState
+	tags   map[int32]int32 // accept state -> pattern id (search form)
 }
 
 type nfaState struct {
@@ -40,6 +44,17 @@ func (n *NFA) NumStates() int { return len(n.states) }
 // AddEps adds an epsilon transition.
 func (n *NFA) AddEps(from, to int32) {
 	n.states[from].eps = append(n.states[from].eps, to)
+}
+
+// Tag marks state s as an accept for pattern id. Tagged NFAs are
+// determinized with DeterminizeTagged, which carries the ids into the
+// DFA's Out sets (the multi-pattern search form); the single Accept
+// field is ignored for such automata.
+func (n *NFA) Tag(s, id int32) {
+	if n.tags == nil {
+		n.tags = make(map[int32]int32)
+	}
+	n.tags[s] = id
 }
 
 // AddEdge adds a symbol transition.
@@ -115,6 +130,38 @@ const DeterminizeLimit = 1 << 18
 
 // Determinize runs subset construction and returns an equivalent DFA.
 func (n *NFA) Determinize() (*DFA, error) {
+	contains := func(set []int32, s int32) bool {
+		i := sort.Search(len(set), func(i int) bool { return set[i] >= s })
+		return i < len(set) && set[i] == s
+	}
+	return n.determinize(func(set []int32) (bool, []int32) {
+		return contains(set, n.Accept), nil
+	})
+}
+
+// DeterminizeTagged runs subset construction on a Tag-annotated NFA,
+// carrying the pattern ids of tagged member states into each DFA
+// state's Out set (sorted, deduplicated). A state accepts iff its Out
+// set is non-empty — the same reporting contract as the Aho-Corasick
+// DFAs, so the result feeds every downstream scan engine unchanged.
+func (n *NFA) DeterminizeTagged() (*DFA, error) {
+	return n.determinize(func(set []int32) (bool, []int32) {
+		var out []int32
+		seen := map[int32]bool{}
+		for _, s := range set {
+			if id, ok := n.tags[s]; ok && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return len(out) > 0, out
+	})
+}
+
+// determinize is the shared subset construction; classify computes
+// each subset state's (accept, out) annotation.
+func (n *NFA) determinize(classify func([]int32) (bool, []int32)) (*DFA, error) {
 	if n.NumStates() == 0 {
 		return nil, fmt.Errorf("dfa: empty NFA")
 	}
@@ -131,12 +178,14 @@ func (n *NFA) Determinize() (*DFA, error) {
 	sets := [][]int32{start}
 	var next []int32
 	var accept []bool
-	contains := func(set []int32, s int32) bool {
-		i := sort.Search(len(set), func(i int) bool { return set[i] >= s })
-		return i < len(set) && set[i] == s
+	var outs [][]int32
+	add := func(set []int32) {
+		a, o := classify(set)
+		accept = append(accept, a)
+		outs = append(outs, o)
+		next = append(next, make([]int32, n.Syms)...)
 	}
-	accept = append(accept, contains(start, n.Accept))
-	next = append(next, make([]int32, n.Syms)...)
+	add(start)
 	for i := 0; i < len(sets); i++ {
 		for c := 0; c < n.Syms; c++ {
 			dst := n.epsClosure(n.move(sets[i], byte(c)))
@@ -149,12 +198,14 @@ func (n *NFA) Determinize() (*DFA, error) {
 				}
 				index[k] = j
 				sets = append(sets, dst)
-				accept = append(accept, contains(dst, n.Accept))
-				next = append(next, make([]int32, n.Syms)...)
+				add(dst)
 			}
 			next[i*n.Syms+c] = j
 		}
 	}
 	d := &DFA{Syms: n.Syms, Start: 0, Next: next, Accept: accept}
+	if n.tags != nil {
+		d.Out = outs
+	}
 	return d, nil
 }

@@ -1,0 +1,309 @@
+package dfa
+
+import (
+	"fmt"
+
+	"cellmatch/internal/alphabet"
+)
+
+// Regex *search* dictionaries: where CompileRegex builds a whole-input
+// acceptor (RegexSet semantics), this file compiles a set of regular
+// expressions into one unanchored multi-pattern search DFA with
+// Aho-Corasick reporting semantics — Out sets carry expression ids and
+// a hit is reported at every input offset where some substring ending
+// there matches an expression. That contract (one report per
+// (expression, end offset), matches sorted by (End, Pattern)) is
+// exactly the one the literal dictionaries use, so a search DFA rides
+// the whole engine ladder — dense kernel, interleaved lanes, parallel
+// chunking, streams — unchanged.
+//
+// Two restrictions keep that machinery sound:
+//
+//   - no expression may match the empty string (it would report at
+//     every offset), and
+//   - every expression must have a bounded maximum match length
+//     (no '*', '+', or '{m,}'): the speculative chunk scans assume a
+//     match ending at offset e depends only on the MaxPatternLen bytes
+//     before e. Unbounded expressions belong to RegexSet, the
+//     whole-input surface.
+
+// regexUnbounded marks an unbounded maximum match length.
+const regexUnbounded = -1
+
+// regexLengths returns the minimum and maximum byte lengths of strings
+// the AST can match; max == regexUnbounded means unbounded.
+func regexLengths(node regexNode) (min, max int) {
+	switch t := node.(type) {
+	case reLit, reAny, reClass:
+		return 1, 1
+	case reCat:
+		for _, sub := range t.subs {
+			lo, hi := regexLengths(sub)
+			min += lo
+			if max == regexUnbounded || hi == regexUnbounded {
+				max = regexUnbounded
+			} else {
+				max += hi
+			}
+		}
+		return min, max
+	case reAlt:
+		first := true
+		for _, sub := range t.subs {
+			lo, hi := regexLengths(sub)
+			if first {
+				min, max = lo, hi
+				first = false
+				continue
+			}
+			if lo < min {
+				min = lo
+			}
+			if max != regexUnbounded && (hi == regexUnbounded || hi > max) {
+				max = hi
+			}
+		}
+		return min, max
+	case reStar:
+		_, hi := regexLengths(t.sub)
+		if hi == 0 {
+			return 0, 0
+		}
+		return 0, regexUnbounded
+	case rePlus:
+		lo, hi := regexLengths(t.sub)
+		if hi == 0 {
+			return lo, 0
+		}
+		return lo, regexUnbounded
+	case reOpt:
+		_, hi := regexLengths(t.sub)
+		return 0, hi
+	case reRepeat:
+		lo, hi := regexLengths(t.sub)
+		min = t.min * lo
+		switch {
+		case hi == 0:
+			max = 0
+		case t.max == regexUnbounded || hi == regexUnbounded:
+			if t.max == 0 {
+				max = 0
+			} else {
+				max = regexUnbounded
+			}
+		default:
+			max = t.max * hi
+		}
+		return min, max
+	default:
+		return 0, regexUnbounded
+	}
+}
+
+// foldRegexNode rewrites the AST for case-insensitive matching: every
+// literal and character-class leaf is closed over ASCII case, so 'a'
+// and [^b] treat both cases identically (negation applies after the
+// closure — [^a] excludes 'A' too).
+func foldRegexNode(node regexNode) regexNode {
+	foldSet := func(set *[256]bool) {
+		for b := 'a'; b <= 'z'; b++ {
+			if set[b] || set[b-'a'+'A'] {
+				set[b] = true
+				set[b-'a'+'A'] = true
+			}
+		}
+	}
+	switch t := node.(type) {
+	case reLit:
+		if (t.b >= 'a' && t.b <= 'z') || (t.b >= 'A' && t.b <= 'Z') {
+			var cl reClass
+			cl.set[t.b] = true
+			foldSet(&cl.set)
+			return cl
+		}
+		return t
+	case reClass:
+		cl := reClass{neg: t.neg, set: t.set}
+		foldSet(&cl.set)
+		return cl
+	case reCat:
+		subs := make([]regexNode, len(t.subs))
+		for i, s := range t.subs {
+			subs[i] = foldRegexNode(s)
+		}
+		return reCat{subs}
+	case reAlt:
+		subs := make([]regexNode, len(t.subs))
+		for i, s := range t.subs {
+			subs[i] = foldRegexNode(s)
+		}
+		return reAlt{subs}
+	case reStar:
+		return reStar{foldRegexNode(t.sub)}
+	case rePlus:
+		return rePlus{foldRegexNode(t.sub)}
+	case reOpt:
+		return reOpt{foldRegexNode(t.sub)}
+	case reRepeat:
+		return reRepeat{foldRegexNode(t.sub), t.min, t.max}
+	default:
+		return node
+	}
+}
+
+// leafSets appends the raw-byte membership set of every literal and
+// class leaf (negation resolved) — the distinguishability evidence the
+// alphabet reduction is refined against. reAny matches every byte, so
+// it refines nothing and is skipped.
+func leafSets(node regexNode, sets *[][256]bool) {
+	switch t := node.(type) {
+	case reLit:
+		var s [256]bool
+		s[t.b] = true
+		*sets = append(*sets, s)
+	case reClass:
+		var s [256]bool
+		for b := 0; b < 256; b++ {
+			s[b] = t.set[b] != t.neg
+		}
+		*sets = append(*sets, s)
+	case reCat:
+		for _, sub := range t.subs {
+			leafSets(sub, sets)
+		}
+	case reAlt:
+		for _, sub := range t.subs {
+			leafSets(sub, sets)
+		}
+	case reStar:
+		leafSets(t.sub, sets)
+	case rePlus:
+		leafSets(t.sub, sets)
+	case reOpt:
+		leafSets(t.sub, sets)
+	case reRepeat:
+		leafSets(t.sub, sets)
+	}
+}
+
+// parseSearchRegexes parses and validates a search dictionary: every
+// expression must match at least one byte and have a bounded maximum
+// match length. Returns the (case-folded, when requested) ASTs and the
+// per-expression (min, max) lengths.
+func parseSearchRegexes(exprs []string, caseFold bool) ([]regexNode, []int, []int, error) {
+	if len(exprs) == 0 {
+		return nil, nil, nil, fmt.Errorf("dfa: empty regex dictionary")
+	}
+	asts := make([]regexNode, len(exprs))
+	mins := make([]int, len(exprs))
+	maxs := make([]int, len(exprs))
+	for i, e := range exprs {
+		ast, err := ParseRegex(e)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("dfa: expression %d: %w", i, err)
+		}
+		lo, hi := regexLengths(ast)
+		if lo == 0 {
+			return nil, nil, nil, fmt.Errorf(
+				"dfa: expression %d %q may match the empty string; search dictionaries require at least one byte", i, e)
+		}
+		if hi == regexUnbounded {
+			return nil, nil, nil, fmt.Errorf(
+				"dfa: expression %d %q has unbounded match length (*, + or {m,}); use bounded repetition {m,n}, or RegexSet for whole-input matching", i, e)
+		}
+		if caseFold {
+			ast = foldRegexNode(ast)
+		}
+		asts[i] = ast
+		mins[i] = lo
+		maxs[i] = hi
+	}
+	return asts, mins, maxs, nil
+}
+
+// RegexDictionaryInfo validates a search dictionary and returns the
+// shortest minimum and longest maximum match lengths across all
+// expressions — the filter-gating and chunk-overlap bounds of the
+// compiled matcher.
+func RegexDictionaryInfo(exprs []string) (minLen, maxLen int, err error) {
+	_, mins, maxs, err := parseSearchRegexes(exprs, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range mins {
+		if i == 0 || mins[i] < minLen {
+			minLen = mins[i]
+		}
+		if maxs[i] > maxLen {
+			maxLen = maxs[i]
+		}
+	}
+	return minLen, maxLen, nil
+}
+
+// RegexReduction computes the minimal alphabet reduction that keeps
+// every byte distinction the expressions actually make: bytes land in
+// the same class iff every literal/class leaf (case-folded when
+// requested) treats them identically. There is no aliasing under this
+// reduction — unlike mapping a regex through CaseFold32, reduced
+// matching is exact.
+func RegexReduction(exprs []string, caseFold bool) (*alphabet.Reduction, error) {
+	asts, _, _, err := parseSearchRegexes(exprs, caseFold)
+	if err != nil {
+		return nil, err
+	}
+	var sets [][256]bool
+	for _, ast := range asts {
+		leafSets(ast, &sets)
+	}
+	return alphabet.FromSets(sets)
+}
+
+// CompileRegexSearch compiles the expressions into one unanchored
+// search DFA over the given reduction (which must come from
+// RegexReduction with the same caseFold, or be at least as fine):
+// state ids in Out are the expression indices, reported at every end
+// offset per the Aho-Corasick contract. MaxPatternLen is set to the
+// longest maximum match length, making the usual overlap arithmetic
+// (chunked, interleaved, and streamed scans) exact for search DFAs
+// too.
+func CompileRegexSearch(exprs []string, caseFold bool, red *alphabet.Reduction) (*DFA, error) {
+	asts, _, maxs, err := parseSearchRegexes(exprs, caseFold)
+	if err != nil {
+		return nil, err
+	}
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	if err := red.Validate(); err != nil {
+		return nil, err
+	}
+	n := NewNFA(red.Classes)
+	start := n.AddState()
+	// Unanchored: the implicit ".*" prefix is a start-state self-loop
+	// on every symbol, so the subset construction tracks every
+	// still-viable match start simultaneously.
+	for c := 0; c < red.Classes; c++ {
+		n.AddEdge(start, byte(c), start)
+	}
+	maxLen := 0
+	for id, ast := range asts {
+		fs, fa, err := build(n, ast, red)
+		if err != nil {
+			return nil, err
+		}
+		n.AddEps(start, fs)
+		n.Tag(fa, int32(id))
+		if maxs[id] > maxLen {
+			maxLen = maxs[id]
+		}
+	}
+	n.Start = start
+	d, err := n.DeterminizeTagged()
+	if err != nil {
+		return nil, err
+	}
+	d = Minimize(d)
+	d.MaxPatternLen = maxLen
+	return d, nil
+}

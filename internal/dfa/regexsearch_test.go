@@ -1,0 +1,219 @@
+package dfa
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+func TestRegexLengths(t *testing.T) {
+	cases := []struct {
+		expr     string
+		min, max int
+	}{
+		{"abc", 3, 3},
+		{"a|bc", 1, 2},
+		{"a?bc", 2, 3},
+		{"[0-9]{2,4}", 2, 4},
+		{"(ab|c){3}", 3, 6},
+		{"a.c", 3, 3},
+		{"x(yz)?", 1, 3},
+		{"a{0,2}b", 1, 3},
+	}
+	for _, c := range cases {
+		ast, err := ParseRegex(c.expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.expr, err)
+		}
+		lo, hi := regexLengths(ast)
+		if lo != c.min || hi != c.max {
+			t.Errorf("%q: lengths (%d,%d), want (%d,%d)", c.expr, lo, hi, c.min, c.max)
+		}
+	}
+}
+
+func TestRegexDictionaryInfoRejects(t *testing.T) {
+	for _, expr := range []string{"a*", "a+", "ab{2,}", "a?", "(a|b)*c*", ""} {
+		if _, _, err := RegexDictionaryInfo([]string{expr}); err == nil {
+			t.Errorf("%q: expected rejection (nullable or unbounded)", expr)
+		}
+	}
+	min, max, err := RegexDictionaryInfo([]string{"abc", "[0-9]{2,5}x", "zz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 2 || max != 6 {
+		t.Errorf("bounds (%d,%d), want (2,6)", min, max)
+	}
+}
+
+// searchOracle computes the expected (End, Pattern) match list with
+// Go's regexp package: pattern id reported at end offset e iff some
+// substring ending at e matches the whole expression.
+func searchOracle(t *testing.T, exprs []string, data []byte, caseFold bool) []Match {
+	t.Helper()
+	var out []Match
+	for id, e := range exprs {
+		flags := ""
+		if caseFold {
+			flags = "(?i)"
+		}
+		re := regexp.MustCompile(flags + "^(?:" + e + ")$")
+		for end := 1; end <= len(data); end++ {
+			for start := 0; start < end; start++ {
+				if re.Match(data[start:end]) {
+					out = append(out, Match{Pattern: int32(id), End: end})
+					break
+				}
+			}
+		}
+	}
+	SortMatches(out)
+	return out
+}
+
+func runSearch(t *testing.T, exprs []string, data []byte, caseFold bool) []Match {
+	t.Helper()
+	red, err := RegexReduction(exprs, caseFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := CompileRegexSearch(exprs, caseFold, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.FindAll(red.Reduce(data))
+	SortMatches(got)
+	return got
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegexSearchOracle(t *testing.T) {
+	exprs := []string{
+		"abc",
+		"a[0-9]{2}",
+		"(cat|dog)s?x",
+		"b.d",
+		"[^ab]{3}q",
+		"zz(a|b){1,3}",
+	}
+	rng := rand.New(rand.NewSource(7))
+	letters := []byte("abcdq019 xz")
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 40+rng.Intn(80))
+		for i := range data {
+			data[i] = letters[rng.Intn(len(letters))]
+		}
+		// Plant fragments so matches actually occur.
+		for _, frag := range []string{"abc", "a07", "catsx", "dogx", "bqd", "zzaba"} {
+			pos := rng.Intn(len(data) - len(frag))
+			copy(data[pos:], frag)
+		}
+		want := searchOracle(t, exprs, data, false)
+		got := runSearch(t, exprs, data, false)
+		if !matchesEqual(got, want) {
+			t.Fatalf("trial %d: got %v, want %v\ndata %q", trial, got, want, data)
+		}
+	}
+}
+
+func TestRegexSearchCaseFold(t *testing.T) {
+	exprs := []string{"abc", "[^a]x"}
+	data := []byte("ABC ax AX bx")
+	want := searchOracle(t, exprs, data, true)
+	got := runSearch(t, exprs, data, true)
+	if !matchesEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// The critical fold-before-negate case: [^a] must exclude BOTH
+	// cases of 'a' (case closure happens before negation), so neither
+	// "ax" nor "AX" matches [^a]x at its 'x'.
+	for _, m := range got {
+		if m.Pattern == 1 {
+			end := m.End
+			prev := data[end-2]
+			if prev == 'a' || prev == 'A' {
+				t.Fatalf("[^a]x matched with folded 'a' at %d", end)
+			}
+		}
+	}
+}
+
+func TestRegexSearchMaxPatternLen(t *testing.T) {
+	d, err := CompileRegexSearch([]string{"ab{1,4}", "xyz"}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxPatternLen != 5 {
+		t.Errorf("MaxPatternLen = %d, want 5", d.MaxPatternLen)
+	}
+	if d.Out == nil {
+		t.Fatal("search DFA lacks Out sets")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegexReductionExactness(t *testing.T) {
+	// Bytes outside every leaf set share one class; distinguished bytes
+	// get distinct classes. No aliasing: 'd' (outside) must not share a
+	// class with 'a'.
+	red, err := RegexReduction([]string{"a[bc]"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.Distinguishes('a', 'd') {
+		t.Error("reduction aliases 'a' with an unused byte")
+	}
+	if !red.Distinguishes('a', 'b') {
+		t.Error("reduction aliases 'a' with 'b'")
+	}
+	if red.Map['b'] != red.Map['c'] {
+		t.Error("'b' and 'c' are interchangeable yet distinguished")
+	}
+	if err := red.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzRegexSearchVsOracle(f *testing.F) {
+	f.Add("abc cats 07", int64(1))
+	f.Add("zzab bqd  a12", int64(2))
+	f.Fuzz(func(t *testing.T, s string, seed int64) {
+		if len(s) > 200 {
+			return
+		}
+		exprs := []string{"ab", "a[0-9]", "c.t"}
+		data := []byte(s)
+		want := searchOracle(t, exprs, data, false)
+		got := runSearch(t, exprs, data, false)
+		if !matchesEqual(got, want) {
+			t.Fatalf("got %v, want %v (input %q)", got, want, s)
+		}
+	})
+}
+
+func ExampleCompileRegexSearch() {
+	exprs := []string{"er{1,2}or", "[0-9]{3}"}
+	red, _ := RegexReduction(exprs, false)
+	d, _ := CompileRegexSearch(exprs, false, red)
+	for _, m := range d.FindAll(red.Reduce([]byte("error 404"))) {
+		fmt.Println(m.Pattern, m.End)
+	}
+	// Output:
+	// 0 5
+	// 1 9
+}

@@ -262,6 +262,37 @@ func DictLoader(path string, opts core.Options) Loader {
 	}
 }
 
+// RegexLoader compiles a plain-text regular-expression file (one
+// expression per line, blank lines and '#' comments ignored) into a
+// search matcher with full (End, Pattern) reporting — see
+// core.CompileRegexSearch for the dialect and the bounded-length
+// restrictions.
+func RegexLoader(path string, opts core.Options) Loader {
+	return func() (*core.Matcher, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+		defer f.Close()
+		lines, err := ParsePatterns(f)
+		if err != nil {
+			return nil, fmt.Errorf("registry: regex %s: %w", path, err)
+		}
+		if len(lines) == 0 {
+			return nil, fmt.Errorf("registry: regex %s: no expressions", path)
+		}
+		exprs := make([]string, len(lines))
+		for i, l := range lines {
+			exprs[i] = string(l)
+		}
+		m, err := core.CompileRegexSearch(exprs, opts)
+		if err != nil {
+			return nil, fmt.Errorf("registry: regex %s: %w", path, err)
+		}
+		return m, nil
+	}
+}
+
 // ParsePatterns reads a pattern-per-line dictionary: blank lines and
 // lines starting with '#' are skipped. An empty dictionary is not an
 // error here — callers decide whether zero patterns is acceptable

@@ -176,6 +176,50 @@ func TestDictLoaderAndParse(t *testing.T) {
 	}
 }
 
+func TestRegexLoader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exprs.txt")
+	content := "# expressions\nerr(or)?\n\n  [0-9]{3}  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(path, RegexLoader(path, core.Options{}))
+	e, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Matcher.NumPatterns(); n != 2 {
+		t.Fatalf("parsed %d expressions, want 2", n)
+	}
+	if !e.Matcher.IsRegex() {
+		t.Fatal("loaded matcher not flagged regex")
+	}
+	hits, err := e.Matcher.FindAll([]byte("an error code 404"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "err" at 6, "error" at 8, "404" at 17.
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits, want 3: %+v", len(hits), hits)
+	}
+	// Empty and unbounded expression files are refused, keeping the
+	// previous generation live on hot reload.
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegexLoader(empty, core.Options{})(); err == nil {
+		t.Fatal("empty expression file served")
+	}
+	unbounded := filepath.Join(dir, "unbounded.txt")
+	if err := os.WriteFile(unbounded, []byte("a+\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegexLoader(unbounded, core.Options{})(); err == nil {
+		t.Fatal("unbounded expression served")
+	}
+}
+
 // Regression: a same-second atomic replace (write temp, rename over
 // the source) can leave mtime and size both identical to the previous
 // file — mtime because the filesystem's timestamp granularity (or a

@@ -14,7 +14,8 @@
 //	POST /scan/stream  chunked upload fed through ScanReader
 //	POST /scan/batch   body = one payload, coalesced across requests
 //	                   into one kernel pass over the shared pool
-//	POST /reload       query: path (new artifact), format=artifact|dict
+//	POST /reload       query: path (new artifact),
+//	                   format=artifact|dict|regex
 //	GET  /stats        dictionary shape + request/byte/match counters
 //	GET  /healthz      liveness + current generation
 //
@@ -123,7 +124,10 @@ func (s *Server) Handler() http.Handler {
 }
 
 // MatchJSON is one reported hit. Start/End are byte offsets into the
-// scanned payload ([Start, End) covers the matched text).
+// scanned payload ([Start, End) covers the matched text). For regex
+// dictionaries a match's length varies per occurrence and only the end
+// offset is known, so Start is -1 and Text carries the expression
+// source instead of the matched bytes.
 type MatchJSON struct {
 	Pattern int    `json:"pattern"`
 	Start   int    `json:"start"`
@@ -142,8 +146,11 @@ type ScanResponse struct {
 	// "stt"); Filter reports whether the skip-scan front-end ran ahead
 	// of it for this request (compiled in and not disabled by the
 	// filter=off query knob).
-	Engine  string      `json:"engine"`
-	Filter  bool        `json:"filter,omitempty"`
+	Engine string `json:"engine"`
+	Filter bool   `json:"filter,omitempty"`
+	// Regex reports a regular-expression dictionary: match starts are
+	// unknown (-1) and Text fields carry expression sources.
+	Regex   bool        `json:"regex,omitempty"`
 	Bytes   int         `json:"bytes"`
 	Count   int         `json:"count"`
 	Matches []MatchJSON `json:"matches,omitempty"`
@@ -325,11 +332,13 @@ func (s *Server) scanBatchGroup(e *registry.Entry, payloads [][]byte) ([][]core.
 }
 
 func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *registry.Entry, n int, matches []core.Match, filtered bool) {
+	regex := e.Matcher.IsRegex()
 	resp := ScanResponse{
 		Generation: e.Generation,
 		Source:     e.Source,
 		Engine:     e.Matcher.EngineName(),
 		Filter:     filtered && e.Matcher.FilterActive(),
+		Regex:      regex,
 		Bytes:      n,
 		Count:      len(matches),
 	}
@@ -337,9 +346,13 @@ func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *re
 		resp.Matches = make([]MatchJSON, len(matches))
 		for i, m := range matches {
 			p := e.Matcher.Pattern(m.Pattern)
+			start := m.End - len(p)
+			if regex {
+				start = -1 // match length varies; only the end is known
+			}
 			resp.Matches[i] = MatchJSON{
 				Pattern: m.Pattern,
-				Start:   m.End - len(p),
+				Start:   start,
 				End:     m.End,
 				Text:    string(p),
 			}
@@ -362,6 +375,9 @@ type ReloadResponse struct {
 	Engine string `json:"engine"`
 	Shards int    `json:"shards,omitempty"`
 	Filter bool   `json:"filter,omitempty"`
+	// Regex reports that the swapped-in dictionary is a set of regular
+	// expressions (format=regex, or a regex artifact).
+	Regex bool `json:"regex,omitempty"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -377,8 +393,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			load = registry.ArtifactLoader(path)
 		case "dict":
 			load = registry.DictLoader(path, core.Options{CaseFold: q.Get("casefold") == "1"})
+		case "regex":
+			load = registry.RegexLoader(path, core.Options{CaseFold: q.Get("casefold") == "1"})
 		default:
-			http.Error(w, fmt.Sprintf("bad format %q (want artifact or dict)", format), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("bad format %q (want artifact, dict, or regex)", format), http.StatusBadRequest)
 			return
 		}
 		e, err = s.reg.Retarget(path, load)
@@ -399,6 +417,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Engine:     st.Engine,
 		Shards:     st.Shards,
 		Filter:     st.FilterEnabled,
+		Regex:      st.Regex,
 	})
 }
 

@@ -1,0 +1,387 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scenario generation ---------------------------------------------------
+//
+// A Scenario bundles a dictionary with a corpus that exercises one
+// deployment regime of the engine ladder: structured logs where the
+// skip-scan filter should fly, digit-dense DLP text where verification
+// dominates, short malware signatures that disqualify the filter
+// outright, hostile inputs built to saturate the verifier, and a
+// regular-expression dictionary for the regex surface. Everything is
+// derived from the seed, so the same (seed, corpusBytes) always yields
+// byte-identical dictionaries and corpora — the conformance harness
+// and the scenario benchmarks depend on that.
+
+// Scenario is one named workload: a dictionary plus a corpus with
+// planted matches. The compile knobs are plain fields (this package
+// does not import the matcher); the consumer maps them onto its
+// compile options.
+type Scenario struct {
+	// Name identifies the scenario in benchmarks and CI gates.
+	Name string
+	// Description says what regime the scenario exercises.
+	Description string
+	// Patterns is the dictionary: literal byte strings, or regular
+	// expression sources when Regex is set.
+	Patterns [][]byte
+	// Regex marks the dictionary entries as regular expressions
+	// (bounded repetition only; compiled via CompileRegexSearch).
+	Regex bool
+	// CaseFold requests case-insensitive compilation.
+	CaseFold bool
+	// Corpus is the scan input.
+	Corpus []byte
+	// Planted counts dictionary occurrences written into the corpus
+	// (a lower bound on matches: random noise can add more, and
+	// overlapping plants can merge).
+	Planted int
+}
+
+// scenarioSeed derives a per-scenario seed so scenarios stay
+// independent: reordering or resizing one never shifts another's
+// random stream.
+func scenarioSeed(seed int64, name string) int64 {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	for _, b := range []byte(name) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return int64(h)
+}
+
+// LogScenario is the log-scanning regime: timestamped structured lines
+// whose low-entropy prefixes ("2026-01-02T…  level=… svc=…") dominate
+// the byte stream, scanned for a small set of long, rare alert tokens.
+// This is the filter's home turf — long minimum pattern length, tiny
+// dictionary, matches every few hundred lines.
+func LogScenario(seed int64, corpusBytes int) (Scenario, error) {
+	if corpusBytes < 256 {
+		return Scenario{}, fmt.Errorf("workload: log corpus %d bytes too small", corpusBytes)
+	}
+	rng := rand.New(rand.NewSource(scenarioSeed(seed, "log-scan")))
+	patterns := [][]byte{
+		[]byte("PANIC: runtime error"),
+		[]byte("segfault at address"),
+		[]byte("OOM-killer invoked"),
+		[]byte("certificate expired"),
+		[]byte("replication lag critical"),
+		[]byte("disk quota exceeded"),
+	}
+	services := []string{"auth", "billing", "ingest", "scheduler", "gateway", "indexer"}
+	levels := []string{"DEBUG", "INFO", "INFO", "INFO", "WARN"}
+	msgs := []string{
+		"request served", "cache hit", "cache miss", "retrying upstream",
+		"connection reset by peer", "flushed 128 pages", "lease renewed",
+		"heartbeat ok", "rotated segment", "compaction finished",
+	}
+	var out []byte
+	sec := 0
+	planted := 0
+	for len(out) < corpusBytes {
+		line := fmt.Sprintf("2026-01-02T03:%02d:%02dZ %-5s svc=%s req=%08x msg=%q",
+			(sec/60)%60, sec%60, levels[rng.Intn(len(levels))],
+			services[rng.Intn(len(services))], rng.Uint32(),
+			msgs[rng.Intn(len(msgs))])
+		// Roughly one alert every 40 lines.
+		if rng.Intn(40) == 0 {
+			p := patterns[rng.Intn(len(patterns))]
+			line = fmt.Sprintf("2026-01-02T03:%02d:%02dZ ERROR svc=%s msg=\"%s\"",
+				(sec/60)%60, sec%60, services[rng.Intn(len(services))], p)
+			planted++
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+		sec++
+	}
+	return Scenario{
+		Name:        "log-scan",
+		Description: "structured log lines, long rare alert tokens (filter-friendly)",
+		Patterns:    patterns,
+		Corpus:      out[:corpusBytes],
+		Planted:     planted,
+	}, nil
+}
+
+// DLPScenario is the data-loss-prevention regime: digit-dense patterns
+// (account and card-shaped strings) scanned over mixed prose that is
+// itself full of digits, so candidate windows fire constantly and the
+// verifier, not the filter, sets the throughput.
+func DLPScenario(seed int64, corpusBytes int) (Scenario, error) {
+	if corpusBytes < 256 {
+		return Scenario{}, fmt.Errorf("workload: dlp corpus %d bytes too small", corpusBytes)
+	}
+	rng := rand.New(rand.NewSource(scenarioSeed(seed, "dlp-pii")))
+	// Card/account-shaped literals: digit groups with separators.
+	patterns := make([][]byte, 24)
+	for i := range patterns {
+		sep := byte('-')
+		if i%3 == 0 {
+			sep = ' '
+		}
+		p := make([]byte, 0, 19)
+		for g := 0; g < 4; g++ {
+			if g > 0 {
+				p = append(p, sep)
+			}
+			for d := 0; d < 4; d++ {
+				p = append(p, byte('0'+rng.Intn(10)))
+			}
+		}
+		patterns[i] = p
+	}
+	words := []string{
+		"invoice", "total", "order", "qty", "ref", "account", "paid",
+		"balance", "net30", "tax", "sku", "batch", "amount",
+	}
+	var out []byte
+	planted := 0
+	for len(out) < corpusBytes {
+		// Digit-dense filler: "invoice 4821 ref 99312 qty 7 ".
+		out = append(out, words[rng.Intn(len(words))]...)
+		out = append(out, ' ')
+		for n := 2 + rng.Intn(5); n > 0; n-- {
+			out = append(out, byte('0'+rng.Intn(10)))
+		}
+		out = append(out, ' ')
+		// Plant a full PII literal roughly every 12 tokens.
+		if rng.Intn(12) == 0 {
+			out = append(out, patterns[rng.Intn(len(patterns))]...)
+			out = append(out, ' ')
+			planted++
+		}
+	}
+	return Scenario{
+		Name:        "dlp-pii",
+		Description: "digit-group PII literals over digit-dense text (verifier-bound)",
+		Patterns:    patterns,
+		Corpus:      out[:corpusBytes],
+		Planted:     planted,
+	}, nil
+}
+
+// MalwareScenario is the short-signature regime: a dense mix of 2-6
+// byte signatures. The minimum length sits below the skip-scan
+// front-end's eligibility floor, so FilterAuto must decline and the
+// dense kernel carries the scan alone.
+func MalwareScenario(seed int64, corpusBytes int) (Scenario, error) {
+	if corpusBytes < 256 {
+		return Scenario{}, fmt.Errorf("workload: malware corpus %d bytes too small", corpusBytes)
+	}
+	rng := rand.New(rand.NewSource(scenarioSeed(seed, "malware-short")))
+	var patterns [][]byte
+	seen := map[string]bool{}
+	for len(patterns) < 48 {
+		p := make([]byte, 2+rng.Intn(5))
+		for j := range p {
+			p[j] = byte(0x20 + rng.Intn(0x5f)) // printable, dense coverage
+		}
+		if seen[string(p)] {
+			continue
+		}
+		seen[string(p)] = true
+		patterns = append(patterns, p)
+	}
+	out := make([]byte, corpusBytes)
+	for i := range out {
+		out[i] = byte(0x20 + rng.Intn(0x5f))
+	}
+	planted := 0
+	for pos := 64; pos < corpusBytes-8; pos += 64 + rng.Intn(64) {
+		p := patterns[rng.Intn(len(patterns))]
+		copy(out[pos:], p)
+		planted++
+	}
+	return Scenario{
+		Name:        "malware-short",
+		Description: "short dense signatures below the filter's length floor (kernel-only)",
+		Patterns:    patterns,
+		Corpus:      out,
+		Planted:     planted,
+	}, nil
+}
+
+// HostileScenario is the adversarial regime: self-overlapping patterns
+// over a corpus saturated with near-misses, the overload input the
+// paper cites as the reason security products need content-independent
+// scan cost. Every position advances deep into the automaton and
+// almost every window survives the filter.
+func HostileScenario(seed int64, corpusBytes int) (Scenario, error) {
+	if corpusBytes < 256 {
+		return Scenario{}, fmt.Errorf("workload: hostile corpus %d bytes too small", corpusBytes)
+	}
+	rng := rand.New(rand.NewSource(scenarioSeed(seed, "hostile-overlap")))
+	// Self-overlapping patterns over {a,b}: "ababab…a" shapes whose
+	// failure links walk long suffix chains.
+	patterns := [][]byte{
+		[]byte("ababababab"),
+		[]byte("babababa"),
+		[]byte("aabaabaab"),
+		[]byte("abaababaab"),
+		[]byte("bbabbabb"),
+	}
+	out := make([]byte, corpusBytes)
+	for i := range out {
+		// Heavily biased two-letter noise: long ab-runs with rare
+		// breaks, so near-misses dominate.
+		switch rng.Intn(16) {
+		case 0:
+			out[i] = 'c'
+		default:
+			out[i] = byte('a' + i%2)
+		}
+	}
+	planted := 0
+	for pos := 128; pos < corpusBytes-16; pos += 128 + rng.Intn(128) {
+		p := patterns[rng.Intn(len(patterns))]
+		copy(out[pos:], p)
+		planted++
+	}
+	return Scenario{
+		Name:        "hostile-overlap",
+		Description: "self-overlapping patterns over near-miss-saturated input (worst case)",
+		Patterns:    patterns,
+		Corpus:      out,
+		Planted:     planted,
+	}, nil
+}
+
+// FoldScenario is the alphabet-fold collision regime: a case-folded
+// dictionary containing distinct patterns that collide under folding
+// (case variants of one another), scanned over mixed-case text. Every
+// collision point must report every colliding pattern id — the
+// conformance harness checks the engines agree on the duplicates.
+func FoldScenario(seed int64, corpusBytes int) (Scenario, error) {
+	if corpusBytes < 256 {
+		return Scenario{}, fmt.Errorf("workload: fold corpus %d bytes too small", corpusBytes)
+	}
+	rng := rand.New(rand.NewSource(scenarioSeed(seed, "fold-collide")))
+	bases := []string{"gadget", "widget", "sprocket", "flange"}
+	var patterns [][]byte
+	for _, b := range bases {
+		// Three case-variants per base — distinct patterns, identical
+		// under folding, so each occurrence reports three ids.
+		patterns = append(patterns,
+			[]byte(b),
+			[]byte(toUpperASCII(b)),
+			[]byte(toTitleASCII(b)))
+	}
+	words := []string{"order", "ship", "stock", "parts", "belt", "gear"}
+	var out []byte
+	planted := 0
+	for len(out) < corpusBytes {
+		if rng.Intn(8) == 0 {
+			// Plant a random-cased base word.
+			b := bases[rng.Intn(len(bases))]
+			w := []byte(b)
+			for j := range w {
+				if rng.Intn(2) == 0 {
+					w[j] = w[j] - 'a' + 'A'
+				}
+			}
+			out = append(out, w...)
+			planted++
+		} else {
+			out = append(out, words[rng.Intn(len(words))]...)
+		}
+		out = append(out, ' ')
+	}
+	return Scenario{
+		Name:        "fold-collide",
+		Description: "case-variant pattern collisions under folding (duplicate reporting)",
+		Patterns:    patterns,
+		CaseFold:    true,
+		Corpus:      out[:corpusBytes],
+		Planted:     planted,
+	}, nil
+}
+
+// RegexScenario is the regular-expression regime: a bounded-repetition
+// expression dictionary (access-log shapes) compiled through the regex
+// search surface, over log-like text. The sharded tier and skip-scan
+// filter are literal-only, so this pins the kernel/stt ladder for
+// regex dictionaries.
+func RegexScenario(seed int64, corpusBytes int) (Scenario, error) {
+	if corpusBytes < 256 {
+		return Scenario{}, fmt.Errorf("workload: regex corpus %d bytes too small", corpusBytes)
+	}
+	rng := rand.New(rand.NewSource(scenarioSeed(seed, "regex-logs")))
+	patterns := [][]byte{
+		[]byte(`err(or)?`),
+		[]byte(`[0-9]{3} [0-9]{2,6}`),
+		[]byte(`GET /[a-z]{1,8}`),
+		[]byte(`time(out|d out)`),
+		[]byte(`5[0-9]{2}`),
+	}
+	paths := []string{"index", "health", "login", "assets", "api", "feed"}
+	verbs := []string{"GET", "PUT", "POST", "HEAD"}
+	var out []byte
+	planted := 0
+	for len(out) < corpusBytes {
+		status := 200
+		switch rng.Intn(10) {
+		case 0:
+			status = 500 + rng.Intn(4)
+			planted++ // matches 5[0-9]{2}
+		case 1:
+			status = 404
+		}
+		line := fmt.Sprintf("%s /%s %d %d",
+			verbs[rng.Intn(len(verbs))], paths[rng.Intn(len(paths))],
+			status, 100+rng.Intn(90000))
+		if rng.Intn(20) == 0 {
+			line += " upstream timeout error"
+			planted++
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return Scenario{
+		Name:        "regex-logs",
+		Description: "bounded-repetition expression dictionary over access logs (regex surface)",
+		Patterns:    patterns,
+		Regex:       true,
+		Corpus:      out[:corpusBytes],
+		Planted:     planted,
+	}, nil
+}
+
+// Scenarios builds the full suite at the given corpus size. The same
+// (seed, corpusBytes) always returns byte-identical scenarios, in a
+// fixed order, with unique names.
+func Scenarios(seed int64, corpusBytes int) ([]Scenario, error) {
+	gens := []func(int64, int) (Scenario, error){
+		LogScenario, DLPScenario, MalwareScenario, HostileScenario,
+		FoldScenario, RegexScenario,
+	}
+	out := make([]Scenario, 0, len(gens))
+	for _, g := range gens {
+		s, err := g(seed, corpusBytes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func toUpperASCII(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func toTitleASCII(s string) string {
+	b := []byte(s)
+	if len(b) > 0 && b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
