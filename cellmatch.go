@@ -152,13 +152,26 @@ type RegistryEntry = registry.Entry
 // ArtifactLoader and DictLoader.
 type Loader = registry.Loader
 
+// Namespace is a fleet of named Registries — one independent
+// hot-swappable dictionary per tenant — served by a single Server
+// under /t/{tenant}/... paths. See internal/registry.
+type Namespace = registry.Namespace
+
+// DefaultTenant is the tenant name the bare (un-prefixed) server
+// paths resolve to.
+const DefaultTenant = registry.DefaultTenant
+
 // Server is the HTTP matching service behind cmd/cellmatchd: /scan,
 // /scan/stream, /scan/batch (coalesced kernel passes), /reload (hot
-// swap), /stats. See internal/server.
+// swap), /stats, /metrics (Prometheus text), with every endpoint also
+// mounted per tenant under /t/{tenant}/... when serving a Namespace.
+// See internal/server.
 type Server = server.Server
 
 // ServerConfig tunes the serving layer; the zero value plus a
-// Registry is production-ready.
+// Registry (single dictionary) or a Namespace (multi-tenant) is
+// production-ready. MaxInflight/MaxQueuedBytes bound admitted scan
+// work — excess requests are shed with 429 + Retry-After.
 type ServerConfig = server.Config
 
 // ScanResponse is the serving layer's reply shape for scan endpoints.
@@ -177,6 +190,10 @@ func NewRegistry(source string, load Loader) *Registry { return registry.New(sou
 func NewMatcherRegistry(m *Matcher, source string) *Registry {
 	return registry.NewWithMatcher(m, source)
 }
+
+// NewNamespace creates an empty tenant namespace; populate it with
+// Set(tenant, registry) and serve it via ServerConfig.Namespace.
+func NewNamespace() *Namespace { return registry.NewNamespace() }
 
 // ArtifactLoader loads a compiled Save/Load artifact from path.
 func ArtifactLoader(path string) Loader { return registry.ArtifactLoader(path) }

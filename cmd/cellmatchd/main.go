@@ -8,17 +8,26 @@
 //	cellmatchd -regex expressions.txt                  # regex dictionary
 //	cellmatchd -artifact compiled.cms -listen :8472
 //	cellmatchd -artifact compiled.cms -watch           # reload on file change
+//	cellmatchd -dict base.txt -tenant acme=dict:acme.txt \
+//	           -tenant edge=artifact:edge.cms          # multi-tenant fleet
 //
 // Endpoints (see internal/server):
 //
 //	POST /scan          scan the request body; ?mode=pool|seq|adhoc,
-//	                    ?workers=N ?chunk=N ?count=1
+//	                    ?workers=N (adhoc only) ?chunk=N ?count=1
 //	POST /scan/stream   scan a chunked upload without buffering it
 //	POST /scan/batch    coalesce small payloads into one kernel pass
 //	POST /reload        swap the dictionary (?path=...
 //	                    ?format=artifact|dict|regex)
 //	GET  /stats         dictionary shape + request/byte/match counters
+//	GET  /metrics       Prometheus text exposition
 //	GET  /healthz       liveness
+//
+// Every data/control endpoint also exists under /t/{tenant}/... for
+// the dictionaries named by -tenant; the bare paths serve the
+// "default" tenant (the base -artifact/-dict/-regex flags). With
+// -max-inflight or -max-queued-bytes set, scan requests beyond the
+// budget are refused with 429 + Retry-After instead of queueing.
 //
 // A dictionary file holds one pattern per line ('#' comments); with
 // -regex the lines are regular expressions (bounded repetition only)
@@ -38,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,27 +64,64 @@ func main() {
 	}
 }
 
-// run parses args, loads the initial dictionary, and serves until ctx
-// is cancelled. It prints the bound address once listening (tests bind
-// :0 and read it back).
+// tenantSpec is one parsed -tenant flag: name=format:path.
+type tenantSpec struct {
+	name, format, path string
+}
+
+func parseTenantSpec(v string) (tenantSpec, error) {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok {
+		return tenantSpec{}, fmt.Errorf("want name=format:path, got %q", v)
+	}
+	format, path, ok := strings.Cut(rest, ":")
+	if !ok || path == "" {
+		return tenantSpec{}, fmt.Errorf("want name=format:path, got %q", v)
+	}
+	switch format {
+	case "artifact", "dict", "regex":
+	default:
+		return tenantSpec{}, fmt.Errorf("format %q: want artifact, dict, or regex", format)
+	}
+	if !registry.ValidTenantName(name) {
+		return tenantSpec{}, fmt.Errorf("invalid tenant name %q", name)
+	}
+	return tenantSpec{name, format, path}, nil
+}
+
+// run parses args, loads the initial dictionaries, and serves until
+// ctx is cancelled. It prints the bound address once listening (tests
+// bind :0 and read it back).
 func run(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("cellmatchd", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		listen        = fs.String("listen", ":8472", "HTTP listen address")
-		artifact      = fs.String("artifact", "", "compiled artifact (Matcher.Save output)")
-		dict          = fs.String("dict", "", "pattern file (one per line, '#' comments)")
-		regex         = fs.String("regex", "", "regular-expression file (one per line, '#' comments)")
-		caseFold      = fs.Bool("casefold", false, "case-insensitive matching (with -dict/-regex)")
-		filterMd      = fs.String("filter", "auto", "skip-scan front-end with -dict: auto, on, or off")
-		workers       = fs.Int("workers", 0, "shared scan pool size (0 = one per CPU)")
-		chunk         = fs.Int("chunk", 0, "scan chunk size in bytes (0 = 64 KiB)")
-		maxBody       = fs.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
-		batchMax      = fs.Int("batch-max", 0, "max payloads per coalesced batch (0 = 64)")
-		batchLinger   = fs.Duration("batch-linger", 0, "batch collection window (0 = 2ms)")
-		watch         = fs.Bool("watch", false, "poll the dictionary source and hot-reload on change")
-		watchInterval = fs.Duration("watch-interval", 2*time.Second, "source poll interval with -watch")
+		listen         = fs.String("listen", ":8472", "HTTP listen address")
+		artifact       = fs.String("artifact", "", "compiled artifact (Matcher.Save output)")
+		dict           = fs.String("dict", "", "pattern file (one per line, '#' comments)")
+		regex          = fs.String("regex", "", "regular-expression file (one per line, '#' comments)")
+		caseFold       = fs.Bool("casefold", false, "case-insensitive matching (with -dict/-regex)")
+		filterMd       = fs.String("filter", "auto", "skip-scan front-end with -dict: auto, on, or off")
+		workers        = fs.Int("workers", 0, "shared scan pool size (0 = one per CPU)")
+		chunk          = fs.Int("chunk", 0, "scan chunk size in bytes (0 = 64 KiB)")
+		maxBody        = fs.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
+		batchMax       = fs.Int("batch-max", 0, "max payloads per coalesced batch (0 = 64)")
+		batchLinger    = fs.Duration("batch-linger", 0, "batch collection window (0 = 2ms)")
+		maxInflight    = fs.Int("max-inflight", 0, "shed scan requests beyond this concurrency with 429 (0 = unlimited)")
+		maxQueuedBytes = fs.Int64("max-queued-bytes", 0, "shed scan requests once admitted body bytes exceed this (0 = unlimited)")
+		watch          = fs.Bool("watch", false, "poll every dictionary source and hot-reload on change")
+		watchInterval  = fs.Duration("watch-interval", 2*time.Second, "source poll interval with -watch")
 	)
+	var tenants []tenantSpec
+	fs.Func("tenant", "serve an extra dictionary as `name=format:path` (repeatable; format: artifact, dict, or regex)",
+		func(v string) error {
+			spec, err := parseTenantSpec(v)
+			if err != nil {
+				return err
+			}
+			tenants = append(tenants, spec)
+			return nil
+		})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,28 +130,68 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	if err != nil {
 		return fmt.Errorf("-filter: %w", err)
 	}
-	reg, err := buildRegistry(*artifact, *dict, *regex, core.Options{
+	opts := core.Options{
 		CaseFold: *caseFold,
 		Engine:   core.EngineOptions{Filter: fmode},
-	})
-	if err != nil {
-		return err
 	}
-	entry, err := reg.Reload()
-	if err != nil {
-		return err
+
+	// The base -artifact/-dict/-regex flags populate the default
+	// tenant; each -tenant flag adds an independent slot.
+	ns := registry.NewNamespace()
+	baseSet := *artifact != "" || *dict != "" || *regex != ""
+	if baseSet {
+		reg, err := buildRegistry(*artifact, *dict, *regex, opts)
+		if err != nil {
+			return err
+		}
+		if err := ns.Set(registry.DefaultTenant, reg); err != nil {
+			return err
+		}
+	} else if len(tenants) == 0 {
+		return fmt.Errorf("a dictionary is required: -artifact, -dict, -regex, or -tenant")
 	}
-	st := entry.Matcher.Stats()
-	fmt.Fprintf(w, "cellmatchd: loaded %s: %d patterns, %d states, engine=%s, filter=%v\n",
-		entry.Source, st.Patterns, st.States, st.Engine, st.FilterEnabled)
+	for _, spec := range tenants {
+		if spec.name == registry.DefaultTenant && baseSet {
+			return fmt.Errorf("-tenant %s conflicts with the base dictionary flags", spec.name)
+		}
+		var reg *registry.Registry
+		switch spec.format {
+		case "artifact":
+			reg = registry.New(spec.path, registry.ArtifactLoader(spec.path))
+		case "dict":
+			reg = registry.New(spec.path, registry.DictLoader(spec.path, opts))
+		case "regex":
+			reg = registry.New(spec.path, registry.RegexLoader(spec.path, opts))
+		}
+		if err := ns.Set(spec.name, reg); err != nil {
+			return fmt.Errorf("-tenant %s: %w", spec.name, err)
+		}
+	}
+
+	// Fail fast: every tenant must load before we accept traffic.
+	for _, tn := range ns.Tenants() {
+		entry, err := ns.Get(tn).Reload()
+		if err != nil {
+			return fmt.Errorf("tenant %s: %w", tn, err)
+		}
+		st := entry.Matcher.Stats()
+		prefix := ""
+		if tn != registry.DefaultTenant {
+			prefix = "tenant " + tn + ": "
+		}
+		fmt.Fprintf(w, "cellmatchd: %sloaded %s: %d patterns, %d states, engine=%s, filter=%v\n",
+			prefix, entry.Source, st.Patterns, st.States, st.Engine, st.FilterEnabled)
+	}
 
 	srv, err := server.New(server.Config{
-		Registry:     reg,
-		Workers:      *workers,
-		ChunkBytes:   *chunk,
-		MaxBodyBytes: *maxBody,
-		BatchMax:     *batchMax,
-		BatchLinger:  *batchLinger,
+		Namespace:      ns,
+		Workers:        *workers,
+		ChunkBytes:     *chunk,
+		MaxBodyBytes:   *maxBody,
+		BatchMax:       *batchMax,
+		BatchLinger:    *batchLinger,
+		MaxInflight:    *maxInflight,
+		MaxQueuedBytes: *maxQueuedBytes,
 	})
 	if err != nil {
 		return err
@@ -112,14 +199,14 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	defer srv.Close()
 
 	if *watch {
-		go reg.Watch(ctx, *watchInterval, func(e *registry.Entry, err error) {
+		go ns.WatchAll(ctx, *watchInterval, func(tenant string, e *registry.Entry, err error) {
 			if err != nil {
-				fmt.Fprintf(w, "cellmatchd: reload failed (keeping generation %d): %v\n",
-					reg.Current().Generation, err)
+				fmt.Fprintf(w, "cellmatchd: tenant %s: reload failed (keeping generation %d): %v\n",
+					tenant, ns.Get(tenant).Current().Generation, err)
 				return
 			}
-			fmt.Fprintf(w, "cellmatchd: hot-swapped to generation %d (%d patterns)\n",
-				e.Generation, e.Matcher.Stats().Patterns)
+			fmt.Fprintf(w, "cellmatchd: tenant %s: hot-swapped to generation %d (%d patterns)\n",
+				tenant, e.Generation, e.Matcher.Stats().Patterns)
 		})
 	}
 

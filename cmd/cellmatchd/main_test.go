@@ -95,7 +95,7 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/scan: %d: %s", resp.StatusCode, body)
 	}
-	for _, want := range []string{`"count":2`, `"virus"`, `"worm"`, `"generation":1`} {
+	for _, want := range []string{`"count":2`, `"VIRUS"`, `"worm"`, `"generation":1`} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("/scan response missing %s: %s", want, body)
 		}
@@ -237,5 +237,130 @@ func TestDaemonServesRegexDictionary(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "loaded "+rxPath) {
 		t.Fatalf("startup log missing regex load line:\n%s", out.String())
+	}
+}
+
+func TestDaemonTenantFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var out syncBuffer
+	for _, args := range [][]string{
+		{"-tenant", "acme"},                          // no =
+		{"-tenant", "acme=dict"},                     // no :path
+		{"-tenant", "acme=tarball:x"},                // bad format
+		{"-tenant", "bad name=dict:x"},               // bad name
+		{"-tenant", "acme=dict:/definitely/missing"}, // missing file fails fast
+		{"-dict", "x", "-tenant", "default=dict:y"},  // default collides with base
+	} {
+		if err := run(ctx, &out, append([]string{"-listen", "127.0.0.1:0"}, args...)); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestDaemonMultiTenant boots the daemon with a base dictionary plus
+// one -tenant slot and checks tenant routing, /metrics, and the
+// admission budget end to end.
+func TestDaemonMultiTenant(t *testing.T) {
+	dir := t.TempDir()
+	acmePath := filepath.Join(dir, "acme.txt")
+	if err := os.WriteFile(acmePath, []byte("zebra\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, out, stop := startDaemon(t,
+		"-tenant", "acme=dict:"+acmePath,
+		"-max-inflight", "64")
+	defer stop()
+
+	probe := strings.NewReader
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	post := func(path, payload string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/octet-stream", probe(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// The bare path serves the base dictionary; /t/acme serves its own.
+	if code, body := post("/scan", "a zebra met a virus"); code != 200 || !strings.Contains(body, `"count":1`) || !strings.Contains(body, `"virus"`) {
+		t.Fatalf("default scan: %d: %s", code, body)
+	}
+	if code, body := post("/t/acme/scan", "a zebra met a virus"); code != 200 || !strings.Contains(body, `"zebra"`) || !strings.Contains(body, `"tenant":"acme"`) {
+		t.Fatalf("acme scan: %d: %s", code, body)
+	}
+	if code, _ := post("/t/nobody/scan", "x"); code != 404 {
+		t.Fatalf("unknown tenant: %d, want 404", code)
+	}
+
+	// /metrics exposes both tenants.
+	code, body := get("/metrics")
+	if code != 200 ||
+		!strings.Contains(body, `cellmatch_requests_total{tenant="default"} 1`) ||
+		!strings.Contains(body, `cellmatch_requests_total{tenant="acme"} 1`) {
+		t.Fatalf("/metrics: %d: %s", code, body)
+	}
+
+	if !strings.Contains(out.String(), "tenant acme: loaded "+acmePath) {
+		t.Fatalf("startup log missing tenant load line:\n%s", out.String())
+	}
+}
+
+// TestDaemonTenantWatchHotSwap: -watch polls every tenant's source;
+// rewriting one tenant's file hot-swaps only that tenant.
+func TestDaemonTenantWatchHotSwap(t *testing.T) {
+	dir := t.TempDir()
+	acmePath := filepath.Join(dir, "acme.txt")
+	if err := os.WriteFile(acmePath, []byte("zebra\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, out, stop := startDaemon(t,
+		"-tenant", "acme=dict:"+acmePath,
+		"-watch", "-watch-interval", "10ms")
+	defer stop()
+
+	probe := func() string {
+		resp, err := http.Post(base+"/t/acme/scan", "application/octet-stream",
+			strings.NewReader("YAK on the loose"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(probe(), `"count":1`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant hot swap never served: log\n%s", out.String())
+		}
+		if err := os.WriteFile(acmePath, []byte(fmt.Sprintf("yak\n# rev %d\n", time.Now().UnixNano())), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "tenant acme: hot-swapped") {
+		t.Fatalf("no tenant hot-swap log line:\n%s", out.String())
+	}
+	// The default tenant did not move.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"generation":1`) {
+		t.Fatalf("default tenant moved: %s", body)
 	}
 }

@@ -49,6 +49,11 @@ func gatedMetric(key string) bool {
 		return true
 	case key == "scan_MBps" || key == "stream_MBps":
 		return true
+	case key == "server_scan_p99_ms":
+		// Tail latency of the closed-loop /scan run is banked alongside
+		// its throughput; the p50 and batch latency rows stay
+		// informational (p50 is linger/scheduling noise at this scale).
+		return true
 	case key == "sharded_seq_MBps" || key == "sharded_pool_MBps":
 		return true
 	case key == "speedup_sharded_vs_stt":
@@ -79,6 +84,14 @@ var speedupFloors = map[string]float64{
 	// The skip-scan front-end must stay >= 2x over the unfiltered
 	// kernel on the long-pattern workload (the ISSUE 5 acceptance bar).
 	"speedup_filter_vs_kernel": 2.0,
+}
+
+// lowerIsBetter reports metrics gated in the inverted direction:
+// latency rows (the *_ms fields) regress by going UP, so the gate
+// fails when the candidate exceeds baseline*(1+maxDrop) instead of
+// falling below baseline*(1-maxDrop).
+func lowerIsBetter(key string) bool {
+	return strings.HasSuffix(key, "_ms")
 }
 
 // metaMetric reports fields that describe the run, not a measurement.
@@ -185,7 +198,13 @@ func runBenchCheck(w io.Writer, baselinePath, candidatePath string, maxDrop floa
 		gate := ""
 		if gatedMetric(k) {
 			gate = "ok"
-			if c < b*(1-maxDrop) {
+			if lowerIsBetter(k) {
+				if c > b*(1+maxDrop) {
+					gate = "FAIL"
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %.2f -> %.2f (%+.1f%%, ceiling %.2f)", k, b, c, delta, b*(1+maxDrop)))
+				}
+			} else if c < b*(1-maxDrop) {
 				gate = "FAIL"
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.2f -> %.2f (%.1f%%, floor %.2f)", k, b, c, delta, b*(1-maxDrop)))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -160,7 +161,10 @@ const serverBenchJSON = `{
   "scan_payload_bytes": 262144,
   "scan_MBps": 200,
   "batch_MBps": 13,
-  "stream_MBps": 347
+  "stream_MBps": 347,
+  "server_scan_p50_ms": 8,
+  "server_scan_p99_ms": 12,
+  "server_batch_p99_ms": 40
 }`
 
 // Multi-pair gating: every pair prints its own table; regressions in
@@ -288,6 +292,50 @@ func TestBenchCheckCatchesServerRegression(t *testing.T) {
 	if err := runBenchCheck(&b, vb, bad, 0.20); err == nil ||
 		!strings.Contains(err.Error(), "scan_MBps") {
 		t.Fatalf("server regression not caught: %v\n%s", err, b.String())
+	}
+}
+
+// The latency rows gate in the inverted direction: p99 going UP past
+// baseline*(1+maxdrop) regresses; going down (faster) never does, and
+// the informational p50/batch rows never gate at all.
+func TestBenchCheckLatencyGateInverted(t *testing.T) {
+	vb := writeBench(t, "server.json", serverBenchJSON)
+	mk := func(name string, p50, p99, batchP99 float64) string {
+		return writeBench(t, name, fmt.Sprintf(`{
+		  "input_bytes": 16777216,
+		  "scan_payload_bytes": 262144,
+		  "scan_MBps": 200,
+		  "batch_MBps": 13,
+		  "stream_MBps": 347,
+		  "server_scan_p50_ms": %g,
+		  "server_scan_p99_ms": %g,
+		  "server_batch_p99_ms": %g
+		}`, p50, p99, batchP99))
+	}
+
+	// +10% tail latency: inside the 20% ceiling.
+	var b strings.Builder
+	if err := runBenchCheck(&b, vb, mk("ok.json", 8, 13.2, 40), 0.20); err != nil {
+		t.Fatalf("within-ceiling latency failed: %v\n%s", err, b.String())
+	}
+	// 2x faster p99 is an improvement, not a drop below a floor.
+	b.Reset()
+	if err := runBenchCheck(&b, vb, mk("fast.json", 4, 6, 20), 0.20); err != nil {
+		t.Fatalf("latency improvement failed the gate: %v\n%s", err, b.String())
+	}
+	// +50% tail latency must fail, attributed to the p99 key.
+	b.Reset()
+	err := runBenchCheck(&b, vb, mk("slow.json", 8, 18, 40), 0.20)
+	if err == nil || !strings.Contains(err.Error(), "server_scan_p99_ms") {
+		t.Fatalf("tail-latency regression not caught: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(err.Error(), "ceiling") {
+		t.Fatalf("inverted gate not reported as a ceiling: %v", err)
+	}
+	// Informational latency rows (p50, batch p99) ballooning never gate.
+	b.Reset()
+	if err := runBenchCheck(&b, vb, mk("noise.json", 80, 12, 400), 0.20); err != nil {
+		t.Fatalf("informational latency rows gated: %v\n%s", err, b.String())
 	}
 }
 

@@ -16,6 +16,8 @@
 //	paperbench -shards     # sharded engine: over-budget dictionary vs stt fallback
 //	paperbench -filter     # skip-scan front-end vs the unfiltered kernel
 //	paperbench -scenarios  # workload scenario suite across deployment regimes
+//	paperbench -overload   # load-shedding smoke: 429s under oversubscription,
+//	                       # zero failed responses, budget respected
 //
 // With -kernel, -benchjson FILE additionally writes the measured MB/s
 // (sequential, parallel, kernel, interleaved-K) as a JSON artifact —
@@ -74,6 +76,13 @@ func main() {
 		}
 		return
 	}
+	if cfg.overload {
+		if err := runOverloadSmoke(os.Stdout, cfg.overloadClients, cfg.overloadInflight); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, cfg.secs); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
@@ -87,7 +96,12 @@ type cliConfig struct {
 	baseline  string
 	candidate string
 	maxDrop   float64
-	secs      sections
+
+	overload         bool
+	overloadClients  int
+	overloadInflight int
+
+	secs sections
 }
 
 // parseFlags parses args into a cliConfig, applying the default-to
@@ -123,6 +137,10 @@ func parseFlags(args []string, errOut io.Writer) (*cliConfig, error) {
 		scenKB = fs.Int("scenarioskb", 4096, "per-scenario corpus size in KiB")
 		scjson = fs.String("scenariosjson", "", "with -scenarios: write BENCH_scenarios JSON to this file")
 
+		overload     = fs.Bool("overload", false, "load-shedding smoke: oversubscribe a tiny admission budget and verify 429s with zero failed responses")
+		overClients  = fs.Int("overloadclients", 16, "with -overload: concurrent clients in the burst")
+		overInflight = fs.Int("overloadinflight", 2, "with -overload: server max-inflight budget under test")
+
 		check     = fs.Bool("checkbench", false, "bench-regression gate: compare -candidate against -baseline and exit nonzero on regression")
 		baseline  = fs.String("baseline", "BENCH_kernel.json", "with -checkbench: committed baseline JSON (comma-separated for multiple files)")
 		candidate = fs.String("candidate", "", "with -checkbench: freshly measured JSON (comma-separated, pairwise with -baseline)")
@@ -139,6 +157,12 @@ func parseFlags(args []string, errOut io.Writer) (*cliConfig, error) {
 			return nil, fmt.Errorf("-checkbench requires -candidate")
 		}
 		return &cliConfig{check: true, baseline: *baseline, candidate: *candidate, maxDrop: *maxDrop}, nil
+	}
+	if *overload {
+		if *overClients <= *overInflight {
+			return nil, fmt.Errorf("-overloadclients (%d) must exceed -overloadinflight (%d)", *overClients, *overInflight)
+		}
+		return &cliConfig{overload: true, overloadClients: *overClients, overloadInflight: *overInflight}, nil
 	}
 	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 ||
 		*kern || *serv || *shard || *filt || *scen

@@ -299,10 +299,67 @@ func TestRunServerBenchJSON(t *testing.T) {
 		"batch_reqps":    res.BatchReqPerSec,
 		"stream_MBps":    res.StreamMBps,
 		"batch_coalesce": res.BatchCoalesceAvg,
+		"scan_p50_ms":    res.ScanP50Ms,
+		"scan_p99_ms":    res.ScanP99Ms,
+		"batch_p50_ms":   res.BatchP50Ms,
+		"batch_p99_ms":   res.BatchP99Ms,
 	} {
 		if v <= 0 {
 			t.Fatalf("%s not measured: %+v", name, res)
 		}
+	}
+	if res.ScanP99Ms < res.ScanP50Ms || res.BatchP99Ms < res.BatchP50Ms {
+		t.Fatalf("percentiles not ordered: %+v", res)
+	}
+	// The tail-latency key rides the -checkbench server gate; p50 and
+	// the batch rows stay informational.
+	if !gatedMetric("server_scan_p99_ms") {
+		t.Fatal("server_scan_p99_ms not gated by -checkbench")
+	}
+	if gatedMetric("server_scan_p50_ms") || gatedMetric("server_batch_p99_ms") {
+		t.Fatal("informational latency keys must not gate")
+	}
+}
+
+func TestParseFlagsOverload(t *testing.T) {
+	var errOut strings.Builder
+	cfg, err := parseFlags([]string{"-overload"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.overload || cfg.overloadClients != 16 || cfg.overloadInflight != 2 {
+		t.Fatalf("overload defaults wrong: %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-overload", "-overloadclients", "8", "-overloadinflight", "3"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.overloadClients != 8 || cfg.overloadInflight != 3 {
+		t.Fatalf("overload knobs wrong: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-overload", "-overloadclients", "2", "-overloadinflight", "2"}, &errOut); err == nil {
+		t.Fatal("non-oversubscribing overload config accepted")
+	}
+}
+
+// TestOverloadSmoke runs the CI load-shedding check in-process: it
+// must pass on a healthy server and enforce oversubscription.
+func TestOverloadSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := runOverloadSmoke(&b, 8, 2); err != nil {
+		t.Fatalf("overload smoke failed on a healthy server: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Overload smoke: 8 clients vs max-inflight=2 ==",
+		"load-shedding contract held",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runOverloadSmoke(&b, 2, 4); err == nil {
+		t.Fatal("non-oversubscribing overload run accepted")
 	}
 }
 

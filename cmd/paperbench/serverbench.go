@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,18 +31,49 @@ type ServerBench struct {
 	ScanPayloadBytes int     `json:"scan_payload_bytes"`
 	ScanMBps         float64 `json:"scan_MBps"`
 	ScanReqPerSec    float64 `json:"scan_req_per_sec"`
+	ScanP50Ms        float64 `json:"server_scan_p50_ms"`
+	ScanP99Ms        float64 `json:"server_scan_p99_ms"`
 
 	BatchPayloadBytes int     `json:"batch_payload_bytes"`
 	BatchMBps         float64 `json:"batch_MBps"`
 	BatchReqPerSec    float64 `json:"batch_req_per_sec"`
 	BatchCoalesceAvg  float64 `json:"batch_coalesce_avg"`
+	BatchP50Ms        float64 `json:"server_batch_p50_ms"`
+	BatchP99Ms        float64 `json:"server_batch_p99_ms"`
 
 	StreamMBps float64 `json:"stream_MBps"`
 }
 
+// driveResult is one closed-loop run: aggregate throughput plus the
+// per-request latency distribution.
+type driveResult struct {
+	MBps      float64
+	ReqPerSec float64
+	P50Ms     float64
+	P99Ms     float64
+}
+
+// percentile returns the q-quantile (0..1) of sorted latencies by
+// nearest-rank; zero when the sample is empty.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
 // driveConcurrent posts every payload once across `clients` concurrent
-// connections and returns (MB/s, req/s).
-func driveConcurrent(url string, payloads [][]byte, clients int) (float64, float64, error) {
+// connections (a closed loop: each client issues its next request as
+// soon as the previous response lands) and records per-request wall
+// latency alongside the aggregate throughput.
+func driveConcurrent(url string, payloads [][]byte, clients int) (driveResult, error) {
 	var next int
 	var mu sync.Mutex
 	take := func() []byte {
@@ -59,17 +91,19 @@ func driveConcurrent(url string, payloads [][]byte, clients int) (float64, float
 		total += len(p)
 	}
 	errc := make(chan error, clients)
+	lats := make([][]float64, clients)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
 			for {
 				p := take()
 				if p == nil {
 					return
 				}
+				t0 := time.Now()
 				resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(p))
 				if err != nil {
 					errc <- err
@@ -81,17 +115,28 @@ func driveConcurrent(url string, payloads [][]byte, clients int) (float64, float
 					errc <- fmt.Errorf("%s: %s", url, resp.Status)
 					return
 				}
+				lats[c] = append(lats[c], float64(time.Since(t0).Microseconds())/1e3)
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 	select {
 	case err := <-errc:
-		return 0, 0, err
+		return driveResult{}, err
 	default:
 	}
-	return float64(total) / 1e6 / wall, float64(len(payloads)) / wall, nil
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	return driveResult{
+		MBps:      float64(total) / 1e6 / wall,
+		ReqPerSec: float64(len(payloads)) / wall,
+		P50Ms:     percentile(all, 0.50),
+		P99Ms:     percentile(all, 0.99),
+	}, nil
 }
 
 // slicePayloads cuts data into size-byte payloads.
@@ -145,21 +190,27 @@ func runServerBench(w io.Writer, inputBytes int, jsonPath string) error {
 	// Large-payload /scan: the capture-replay workload.
 	scanURL := ts.URL + "/scan?count=1"
 	payloads := slicePayloads(data, res.ScanPayloadBytes)
-	if _, _, err := driveConcurrent(scanURL, payloads[:min(4, len(payloads))], 2); err != nil {
+	if _, err := driveConcurrent(scanURL, payloads[:min(4, len(payloads))], 2); err != nil {
 		return err // warmup
 	}
-	if res.ScanMBps, res.ScanReqPerSec, err = driveConcurrent(scanURL, payloads, 8); err != nil {
+	scan, err := driveConcurrent(scanURL, payloads, 8)
+	if err != nil {
 		return err
 	}
+	res.ScanMBps, res.ScanReqPerSec = scan.MBps, scan.ReqPerSec
+	res.ScanP50Ms, res.ScanP99Ms = scan.P50Ms, scan.P99Ms
 
 	// Small-payload /scan/batch: the many-tiny-requests workload the
 	// coalescer exists for. A slice of the traffic keeps the request
 	// count (and wall time) sane.
 	batchData := data[:min(len(data), inputBytes/4)]
 	batchPayloads := slicePayloads(batchData, res.BatchPayloadBytes)
-	if res.BatchMBps, res.BatchReqPerSec, err = driveConcurrent(ts.URL+"/scan/batch?count=1", batchPayloads, 32); err != nil {
+	batch, err := driveConcurrent(ts.URL+"/scan/batch?count=1", batchPayloads, 32)
+	if err != nil {
 		return err
 	}
+	res.BatchMBps, res.BatchReqPerSec = batch.MBps, batch.ReqPerSec
+	res.BatchP50Ms, res.BatchP99Ms = batch.P50Ms, batch.P99Ms
 	var st server.StatsResponse
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
@@ -189,12 +240,12 @@ func runServerBench(w io.Writer, inputBytes int, jsonPath string) error {
 
 	fmt.Fprintf(w, "== Server engine: cellmatchd end-to-end throughput (%d-state dictionary, %d MiB) ==\n",
 		res.DictStates, inputBytes>>20)
-	t := report.NewTable("Endpoint / workload", "MB/s", "req/s")
+	t := report.NewTable("Endpoint / workload", "MB/s", "req/s", "p50 ms", "p99 ms")
 	t.Row(fmt.Sprintf("/scan x8 clients (%d KiB payloads)", res.ScanPayloadBytes>>10),
-		res.ScanMBps, res.ScanReqPerSec)
+		res.ScanMBps, res.ScanReqPerSec, res.ScanP50Ms, res.ScanP99Ms)
 	t.Row(fmt.Sprintf("/scan/batch x32 clients (%d KiB payloads)", res.BatchPayloadBytes>>10),
-		res.BatchMBps, res.BatchReqPerSec)
-	t.Row("/scan/stream single upload", res.StreamMBps, "")
+		res.BatchMBps, res.BatchReqPerSec, res.BatchP50Ms, res.BatchP99Ms)
+	t.Row("/scan/stream single upload", res.StreamMBps, "", "", "")
 	if err := t.Write(w); err != nil {
 		return err
 	}

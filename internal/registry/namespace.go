@@ -1,0 +1,105 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the namespace slot serving the un-prefixed HTTP
+// paths (/scan, /reload, ...): single-tenant deployments never name a
+// tenant and land here.
+const DefaultTenant = "default"
+
+// tenantNameRE bounds tenant names to URL- and metrics-label-safe
+// identifiers.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidTenantName reports whether name is a legal tenant identifier:
+// 1-64 characters of letters, digits, '.', '_', '-', starting with a
+// letter or digit.
+func ValidTenantName(name string) bool { return tenantNameRE.MatchString(name) }
+
+// Namespace is a set of named dictionaries: one independent RCU
+// Registry per tenant, each with its own loader, generation sequence,
+// and watchable source, all typically served behind one worker pool.
+// It is the multi-tenant generalization of a single Registry — slot
+// "default" is what single-tenant deployments use without knowing it.
+//
+// Slots are added with Set before serving begins; lookups (Get) are
+// lock-cheap and safe against concurrent Set, but the serving layer
+// snapshots the tenant set at construction, so populate the namespace
+// fully before handing it to server.New.
+type Namespace struct {
+	mu    sync.RWMutex
+	slots map[string]*Registry
+}
+
+// NewNamespace creates an empty namespace.
+func NewNamespace() *Namespace {
+	return &Namespace{slots: make(map[string]*Registry)}
+}
+
+// Set installs (or replaces) the tenant's registry. The name must
+// satisfy ValidTenantName.
+func (n *Namespace) Set(tenant string, r *Registry) error {
+	if !ValidTenantName(tenant) {
+		return fmt.Errorf("registry: invalid tenant name %q", tenant)
+	}
+	if r == nil {
+		return fmt.Errorf("registry: tenant %q: nil registry", tenant)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.slots[tenant] = r
+	return nil
+}
+
+// Get returns the tenant's registry, or nil when the tenant is
+// unknown.
+func (n *Namespace) Get(tenant string) *Registry {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.slots[tenant]
+}
+
+// Default returns the default tenant's registry, or nil when the
+// namespace has no default slot.
+func (n *Namespace) Default() *Registry { return n.Get(DefaultTenant) }
+
+// Tenants returns the sorted tenant names.
+func (n *Namespace) Tenants() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.slots))
+	for t := range n.slots {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WatchAll runs Registry.Watch for every slot concurrently, delivering
+// each tenant's reload outcomes to onEvent (which may be nil; it must
+// be safe for concurrent calls — tenants poll independently). It
+// blocks until ctx is cancelled; run it in its own goroutine. Slots
+// added after WatchAll starts are not picked up.
+func (n *Namespace) WatchAll(ctx context.Context, interval time.Duration, onEvent func(tenant string, e *Entry, err error)) {
+	var wg sync.WaitGroup
+	for _, tenant := range n.Tenants() {
+		reg := n.Get(tenant)
+		wg.Add(1)
+		go func(tenant string, reg *Registry) {
+			defer wg.Done()
+			reg.Watch(ctx, interval, func(e *Entry, err error) {
+				if onEvent != nil {
+					onEvent(tenant, e, err)
+				}
+			})
+		}(tenant, reg)
+	}
+	wg.Wait()
+}

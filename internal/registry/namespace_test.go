@@ -1,0 +1,196 @@
+package registry
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellmatch/internal/core"
+)
+
+func TestNamespaceSlots(t *testing.T) {
+	dir := t.TempDir()
+	pathA := saveArtifact(t, dir, "a.cms", []string{"alpha"})
+	pathB := saveArtifact(t, dir, "b.cms", []string{"beta"})
+
+	ns := NewNamespace()
+	regA := New(pathA, ArtifactLoader(pathA))
+	regB := New(pathB, ArtifactLoader(pathB))
+	if err := ns.Set(DefaultTenant, regA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Set("team-b", regB); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Get(DefaultTenant) != regA || ns.Default() != regA {
+		t.Fatal("default slot lookup failed")
+	}
+	if ns.Get("team-b") != regB {
+		t.Fatal("named slot lookup failed")
+	}
+	if ns.Get("ghost") != nil {
+		t.Fatal("unknown tenant returned a registry")
+	}
+	if got := ns.Tenants(); len(got) != 2 || got[0] != DefaultTenant || got[1] != "team-b" {
+		t.Fatalf("Tenants() = %v", got)
+	}
+
+	// Each slot hot-swaps independently: reloading B leaves A's
+	// generation alone.
+	if _, err := regA.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regB.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regB.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if ga, gb := regA.Current().Generation, regB.Current().Generation; ga != 1 || gb != 2 {
+		t.Fatalf("generations: a=%d b=%d, want 1/2", ga, gb)
+	}
+}
+
+func TestNamespaceSetValidation(t *testing.T) {
+	ns := NewNamespace()
+	reg := NewWithMatcher(mustCompile(t, []string{"x"}), "inline")
+	for _, bad := range []string{"", "-leading", "has space", "semi;colon", "a/b",
+		"waaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaytoolong"} {
+		if err := ns.Set(bad, reg); err == nil {
+			t.Fatalf("tenant name %q accepted", bad)
+		}
+	}
+	if err := ns.Set("ok.name_1-x", reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Set("nil-reg", nil); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+}
+
+// WatchAll must poll every slot: touching each tenant's source file
+// reloads only that tenant.
+func TestNamespaceWatchAll(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pathA := write("a.txt", "alpha\n")
+	pathB := write("b.txt", "beta\n")
+	ns := NewNamespace()
+	regA := New(pathA, DictLoader(pathA, core.Options{CaseFold: true}))
+	regB := New(pathB, DictLoader(pathB, core.Options{CaseFold: true}))
+	for tenant, reg := range map[string]*Registry{DefaultTenant: regA, "b": regB} {
+		if _, err := reg.Reload(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ns.Set(tenant, reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	events := map[string]int{}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ns.WatchAll(ctx, 5*time.Millisecond, func(tenant string, e *Entry, err error) {
+			if err != nil {
+				t.Errorf("tenant %s reload: %v", tenant, err)
+				return
+			}
+			mu.Lock()
+			events[tenant]++
+			mu.Unlock()
+		})
+	}()
+
+	// Rewrite only tenant b's source until its watcher fires.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		fired := events["b"]
+		mu.Unlock()
+		if fired > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tenant b watcher never fired")
+		}
+		write("b.txt", "gamma\n# rev "+time.Now().String()+"\n")
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if events[DefaultTenant] != 0 {
+		t.Fatalf("untouched default tenant reloaded %d times", events[DefaultTenant])
+	}
+	if regB.Current().Generation < 2 {
+		t.Fatalf("tenant b generation %d, want >= 2", regB.Current().Generation)
+	}
+	if regA.Current().Generation != 1 {
+		t.Fatalf("default tenant generation %d, want 1", regA.Current().Generation)
+	}
+}
+
+// Regression for the Watch-vs-Retarget race: Watch used to read the
+// change-detection baseline and the source path under two separate
+// lock acquisitions, so a Retarget landing between them statted the
+// new source against the old source's baseline and fired a spurious
+// reload of a dictionary Retarget had just published (or, on identity
+// collision, missed a real change). With both snapshotted under one
+// lock, alternating Retargets of two unchanged files must produce zero
+// watch-initiated reloads.
+func TestWatchRetargetRaceNoSpuriousReload(t *testing.T) {
+	dir := t.TempDir()
+	pathA := saveArtifact(t, dir, "a.cms", []string{"alpha"})
+	pathB := saveArtifact(t, dir, "b.cms", []string{"beta"})
+	r := New(pathA, ArtifactLoader(pathA))
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	var spurious atomic.Uint64
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Interval 0 clamps to 1s inside Watch; use the minimum legal
+		// positive interval to maximize poll pressure on the race window.
+		r.Watch(ctx, time.Microsecond, func(e *Entry, err error) {
+			// Neither file ever changes after its Retarget load, so any
+			// event here means Watch compared a stat against the wrong
+			// source's baseline.
+			spurious.Add(1)
+		})
+	}()
+
+	paths := []string{pathB, pathA}
+	for i := 0; i < 400; i++ {
+		p := paths[i%2]
+		if _, err := r.Retarget(p, ArtifactLoader(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the watcher take a few more polls against the settled state.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-done
+
+	if n := spurious.Load(); n != 0 {
+		t.Fatalf("watcher fired %d spurious reloads across retargets of unchanged sources", n)
+	}
+}

@@ -195,8 +195,14 @@ func (r *Registry) Watch(ctx context.Context, interval time.Duration, onEvent fu
 		// successful load (see reloadLocked): a rewrite landing between
 		// that load and this poll is still detected, and a failed
 		// reload leaves the baseline behind so the next poll retries.
-		last := r.baseline()
-		fi, err := os.Stat(r.sourcePath())
+		// Baseline and source are snapshotted under one lock: reading
+		// them separately opens a window where a concurrent Retarget
+		// swaps the source between the two reads, statting the new
+		// source against the old source's baseline — a spurious reload
+		// of a dictionary Retarget just published, or a missed one if
+		// the identities happen to collide.
+		last, source := r.watchState()
+		fi, err := os.Stat(source)
 		if err != nil {
 			continue // transient: file being replaced, or gone
 		}
@@ -210,16 +216,14 @@ func (r *Registry) Watch(ctx context.Context, interval time.Duration, onEvent fu
 	}
 }
 
-func (r *Registry) sourcePath() string {
+// watchState snapshots the change-detection baseline and the source it
+// belongs to under a single lock acquisition, so Watch always compares
+// a stat of some source against that same source's baseline even while
+// Retarget swaps both.
+func (r *Registry) watchState() (fileID, string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.source
-}
-
-func (r *Registry) baseline() fileID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.baseID
+	return r.baseID, r.source
 }
 
 // ArtifactLoader loads a compiled Save/Load artifact from path.

@@ -131,8 +131,8 @@ func TestFailedReloadKeepsCurrent(t *testing.T) {
 	if _, err := r.Retarget(filepath.Join(dir, "missing.cms"), ArtifactLoader(filepath.Join(dir, "missing.cms"))); err == nil {
 		t.Fatal("retarget to missing path accepted")
 	}
-	if r.sourcePath() != path {
-		t.Fatalf("source not rolled back: %s", r.sourcePath())
+	if _, src := r.watchState(); src != path {
+		t.Fatalf("source not rolled back: %s", src)
 	}
 	if ok, failed := r.Reloads(); ok != 1 || failed != 2 {
 		t.Fatalf("reload counters: ok=%d failed=%d", ok, failed)
@@ -238,7 +238,7 @@ func TestWatchDetectsSameSecondSameSizeReplace(t *testing.T) {
 	if _, err := r.Reload(); err != nil {
 		t.Fatal(err)
 	}
-	base := r.baseline()
+	base, _ := r.watchState()
 	if base.ino == 0 {
 		t.Skip("platform exposes no inode; (mtime,size) detection only")
 	}

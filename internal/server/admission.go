@@ -1,0 +1,76 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// admission is the scan-path load shedder: a fixed budget of
+// concurrent requests and admitted body bytes, checked before any
+// work is done for a request. Over budget, the request is refused
+// with 429 + Retry-After instead of joining the pool's queue — the
+// pool's full-queue fallback degrades every request to inline
+// scanning, which under sustained overload turns into unbounded
+// goroutine latency; shedding keeps the admitted requests at line
+// rate and pushes the excess back to the clients, the fixed-compute
+// provisioning the paper's sustained line-rate story assumes.
+//
+// The gauges are maintained even when no budget is configured (both
+// maxima <= 0, shedding disabled) so /metrics always reports queue
+// depth.
+type admission struct {
+	maxInflight    int64 // concurrent scan requests; <=0 means unlimited
+	maxQueuedBytes int64 // admitted request bytes in flight; <=0 means unlimited
+
+	inflight    atomic.Int64
+	queuedBytes atomic.Int64
+	peak        atomic.Int64  // high-water inflight mark since start
+	shed        atomic.Uint64 // requests refused with 429
+}
+
+// admit reserves a request slot plus bytes of body budget, or refuses
+// (false) and counts the shed. Callers must release exactly what they
+// admitted.
+func (a *admission) admit(bytes int64) bool {
+	in := a.inflight.Add(1)
+	q := a.queuedBytes.Add(bytes)
+	if (a.maxInflight > 0 && in > a.maxInflight) ||
+		(a.maxQueuedBytes > 0 && q > a.maxQueuedBytes) {
+		a.inflight.Add(-1)
+		a.queuedBytes.Add(-bytes)
+		a.shed.Add(1)
+		return false
+	}
+	for {
+		p := a.peak.Load()
+		if in <= p || a.peak.CompareAndSwap(p, in) {
+			return true
+		}
+	}
+}
+
+func (a *admission) release(bytes int64) {
+	a.inflight.Add(-1)
+	a.queuedBytes.Add(-bytes)
+}
+
+// admitted wraps a scan handler with the admission check. The byte
+// reservation uses the declared Content-Length (0 when unknown, e.g. a
+// chunked /scan/stream upload — those are bounded by the inflight
+// budget alone).
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hint := r.ContentLength
+		if hint < 0 {
+			hint = 0
+		}
+		if !s.adm.admit(hint) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: admission budget exceeded, retry later",
+				http.StatusTooManyRequests)
+			return
+		}
+		defer s.adm.release(hint)
+		h(w, r)
+	}
+}

@@ -3,25 +3,36 @@
 // a long-running service that keeps the compiled kernel tables hot,
 // shares one fixed worker pool across all requests (no
 // goroutine-per-request fan-out), coalesces small payloads into
-// batched kernel passes, and hot-swaps dictionaries through
-// internal/registry without dropping in-flight traffic — the paper's
-// sustained line-rate NIDS workload, behind HTTP.
+// batched kernel passes, serves a namespace of per-tenant dictionaries
+// that hot-swap independently through internal/registry without
+// dropping in-flight traffic, and sheds load with 429 when a
+// configured admission budget is exceeded — the paper's sustained
+// line-rate NIDS workload, behind HTTP.
 //
-// Endpoints:
+// Endpoints (each scan/reload/stats path also exists under
+// /t/{tenant}/... for named tenants; the bare paths serve the
+// "default" tenant, so single-tenant clients never change):
 //
 //	POST /scan         body = data; query: mode=pool|seq|adhoc,
-//	                   workers, chunk, count
+//	                   workers (adhoc only), chunk, count, filter
 //	POST /scan/stream  chunked upload fed through ScanReader
 //	POST /scan/batch   body = one payload, coalesced across requests
-//	                   into one kernel pass over the shared pool
+//	                   (all tenants share the collector; payloads are
+//	                   grouped per captured dictionary) into one
+//	                   kernel pass over the shared pool
 //	POST /reload       query: path (new artifact),
 //	                   format=artifact|dict|regex
 //	GET  /stats        dictionary shape + request/byte/match counters
-//	GET  /healthz      liveness + current generation
+//	GET  /metrics      Prometheus text exposition of every counter
+//	GET  /healthz      liveness + current generation per tenant
 //
-// Every request captures the registry's current entry once and scans
-// it for the request's whole lifetime (RCU): a concurrent /reload
-// never tears a scan, it only changes what later requests see.
+// Every request captures its tenant's current registry entry once and
+// scans it for the request's whole lifetime (RCU): a concurrent
+// /reload never tears a scan, it only changes what later requests see.
+// Scan endpoints pass admission control first: when Config.MaxInflight
+// or MaxQueuedBytes is set and the budget is exhausted, the request is
+// refused with 429 + Retry-After instead of silently degrading every
+// admitted request to inline scanning.
 package server
 
 import (
@@ -38,12 +49,20 @@ import (
 	"cellmatch/internal/registry"
 )
 
-// Config tunes the serving layer. The zero value (plus a Registry) is
-// production-ready: GOMAXPROCS pool workers, 64 KiB chunks, 64 MiB
-// request cap, 64-payload batches with a 2 ms linger.
+// Config tunes the serving layer. The zero value (plus a Registry or
+// Namespace) is production-ready: GOMAXPROCS pool workers, 64 KiB
+// chunks, 64 MiB request cap, 64-payload batches with a 2 ms linger,
+// and no admission budget (shedding disabled).
 type Config struct {
-	// Registry supplies the live matcher; required.
+	// Registry supplies the live matcher of a single-tenant server; it
+	// becomes the namespace's "default" slot. Exactly one of Registry
+	// and Namespace is required.
 	Registry *registry.Registry
+	// Namespace supplies the full tenant set: one independent registry
+	// per tenant. The "default" slot (if present) serves the
+	// un-prefixed paths. Populate it fully before New — the server
+	// snapshots the tenant set once.
+	Namespace *registry.Namespace
 	// Workers sizes the shared scan pool. <=0 means GOMAXPROCS.
 	Workers int
 	// ChunkBytes is the default per-chunk size for pool scans. <=0
@@ -58,6 +77,15 @@ type Config struct {
 	// BatchLinger is how long the batcher waits for more payloads
 	// after the first arrives. <=0 means 2 ms.
 	BatchLinger time.Duration
+	// MaxInflight caps concurrently admitted scan requests across all
+	// tenants; excess requests are shed with 429 + Retry-After. <=0
+	// means unlimited (no shedding on request count).
+	MaxInflight int
+	// MaxQueuedBytes caps the summed declared body size of admitted
+	// in-flight scan requests; excess requests are shed with 429. <=0
+	// means unlimited. Set it at least as large as MaxBodyBytes or
+	// maximum-size payloads can never be admitted.
+	MaxQueuedBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -73,29 +101,62 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP matching service.
-type Server struct {
-	cfg     Config
-	reg     *registry.Registry
-	pool    *parallel.Pool
-	batch   *batcher
-	started time.Time
-
+// tenantState is one served tenant: its registry slot plus its
+// request/byte/match counters.
+type tenantState struct {
+	name     string
+	reg      *registry.Registry
 	counters counters
 }
 
-// New builds a server over the registry, starting the shared worker
-// pool and the batch collector. Call Close to release them.
+// Server is the HTTP matching service.
+type Server struct {
+	cfg         Config
+	ns          *registry.Namespace
+	tenants     map[string]*tenantState
+	tenantNames []string // sorted; fixed at New
+	pool        *parallel.Pool
+	batch       *batcher
+	adm         admission
+	started     time.Time
+}
+
+// New builds a server over the registry or namespace, starting the
+// shared worker pool and the batch collector. Call Close to release
+// them.
 func New(cfg Config) (*Server, error) {
-	if cfg.Registry == nil {
-		return nil, fmt.Errorf("server: Config.Registry is required")
+	switch {
+	case cfg.Registry == nil && cfg.Namespace == nil:
+		return nil, fmt.Errorf("server: Config.Registry or Config.Namespace is required")
+	case cfg.Registry != nil && cfg.Namespace != nil:
+		return nil, fmt.Errorf("server: Config.Registry and Config.Namespace are mutually exclusive")
 	}
 	c := cfg.withDefaults()
+	ns := c.Namespace
+	if ns == nil {
+		ns = registry.NewNamespace()
+		if err := ns.Set(registry.DefaultTenant, c.Registry); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	names := ns.Tenants()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("server: namespace has no tenants")
+	}
 	s := &Server{
-		cfg:     c,
-		reg:     c.Registry,
-		pool:    parallel.NewPool(c.Workers),
+		cfg:         c,
+		ns:          ns,
+		tenants:     make(map[string]*tenantState, len(names)),
+		tenantNames: names,
+		pool:        parallel.NewPool(c.Workers),
+		adm: admission{
+			maxInflight:    int64(c.MaxInflight),
+			maxQueuedBytes: c.MaxQueuedBytes,
+		},
 		started: time.Now(),
+	}
+	for _, name := range names {
+		s.tenants[name] = &tenantState{name: name, reg: ns.Get(name)}
 	}
 	s.batch = newBatcher(c.BatchMax, c.BatchLinger, s.scanBatchGroup)
 	return s, nil
@@ -111,23 +172,47 @@ func (s *Server) Close() {
 // Pool exposes the shared worker pool (benchmarks, diagnostics).
 func (s *Server) Pool() *parallel.Pool { return s.pool }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler: the bare paths serving the
+// default tenant plus the /t/{tenant}/ aliases, /metrics, /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /scan", s.handleScan)
-	mux.HandleFunc("POST /scan/stream", s.handleScanStream)
-	mux.HandleFunc("POST /scan/batch", s.handleScanBatch)
-	mux.HandleFunc("POST /reload", s.handleReload)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	for _, prefix := range []string{"", "/t/{tenant}"} {
+		mux.HandleFunc("POST "+prefix+"/scan", s.admitted(s.handleScan))
+		mux.HandleFunc("POST "+prefix+"/scan/stream", s.admitted(s.handleScanStream))
+		mux.HandleFunc("POST "+prefix+"/scan/batch", s.admitted(s.handleScanBatch))
+		mux.HandleFunc("POST "+prefix+"/reload", s.handleReload)
+		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	}
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
+// tenant resolves the request's tenant ({tenant} path segment, or the
+// default slot on the bare paths), failing the request with 404 when
+// the namespace has no such slot.
+func (s *Server) tenant(w http.ResponseWriter, r *http.Request) *tenantState {
+	name := r.PathValue("tenant")
+	if name == "" {
+		name = registry.DefaultTenant
+	}
+	tn := s.tenants[name]
+	if tn == nil {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", name), http.StatusNotFound)
+	}
+	return tn
+}
+
 // MatchJSON is one reported hit. Start/End are byte offsets into the
-// scanned payload ([Start, End) covers the matched text). For regex
-// dictionaries a match's length varies per occurrence and only the end
-// offset is known, so Start is -1 and Text carries the expression
-// source instead of the matched bytes.
+// scanned payload ([Start, End) covers the matched text). For literal
+// dictionaries served from a buffered payload (/scan, /scan/batch),
+// Text is the payload slice [Start, End) itself — under CaseFold that
+// is the bytes as they appeared on the wire, not the pattern's
+// canonical case. /scan/stream does not retain the payload, so its
+// Text carries the canonical pattern instead (offsets remain exact).
+// For regex dictionaries a match's length varies per occurrence and
+// only the end offset is known, so Start is -1 and Text carries the
+// expression source.
 type MatchJSON struct {
 	Pattern int    `json:"pattern"`
 	Start   int    `json:"start"`
@@ -137,6 +222,8 @@ type MatchJSON struct {
 
 // ScanResponse is the reply to /scan, /scan/stream, and /scan/batch.
 type ScanResponse struct {
+	// Tenant is the namespace slot that served this request.
+	Tenant string `json:"tenant"`
 	// Generation and Source identify the dictionary that served this
 	// request — constant for the request even if a reload lands
 	// mid-scan.
@@ -172,12 +259,12 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return data, true
 }
 
-// current captures the live dictionary entry, or fails the request
-// with 503 when none is loaded yet.
-func (s *Server) current(w http.ResponseWriter) *registry.Entry {
-	e := s.reg.Current()
+// current captures the tenant's live dictionary entry, or fails the
+// request with 503 when none is loaded yet.
+func (tn *tenantState) current(w http.ResponseWriter) *registry.Entry {
+	e := tn.reg.Current()
 	if e == nil {
-		http.Error(w, "no dictionary loaded", http.StatusServiceUnavailable)
+		http.Error(w, fmt.Sprintf("tenant %q: no dictionary loaded", tn.name), http.StatusServiceUnavailable)
 	}
 	return e
 }
@@ -185,9 +272,12 @@ func (s *Server) current(w http.ResponseWriter) *registry.Entry {
 // scanOpts derives per-request parallel options: mode=pool (default)
 // scans on the shared pool, mode=seq scans sequentially on the
 // compiled engine, mode=adhoc spawns per-request workers (the
-// pre-server behavior; `workers` sizes it). `chunk` overrides the
-// chunk size in every mode; `filter=off` bypasses the skip-scan
-// front-end for this request (output is byte-identical either way).
+// pre-server behavior; `workers` sizes it and is only legal there —
+// the pool is fixed-size and seq has no workers, so those modes
+// reject the knob with 400 rather than silently ignoring it). `chunk`
+// overrides the chunk size in every mode; `filter=off` bypasses the
+// skip-scan front-end for this request (output is byte-identical
+// either way).
 func (s *Server) scanOpts(q map[string][]string) (mode string, opts core.ParallelOptions, err error) {
 	get := func(key string) string {
 		if v, ok := q[key]; ok && len(v) > 0 {
@@ -207,12 +297,14 @@ func (s *Server) scanOpts(q map[string][]string) (mode string, opts core.Paralle
 		}
 		opts.ChunkBytes = n
 	}
+	workersSet := false
 	if wstr := get("workers"); wstr != "" {
 		n, perr := strconv.Atoi(wstr)
 		if perr != nil || n < 0 {
 			return "", opts, fmt.Errorf("bad workers %q", wstr)
 		}
 		opts.Workers = n
+		workersSet = true
 	}
 	// "off" bypasses per request; "on"/"auto" mean the matcher's
 	// compiled default ("on" cannot conjure a front-end the dictionary
@@ -229,11 +321,19 @@ func (s *Server) scanOpts(q map[string][]string) (mode string, opts core.Paralle
 	default:
 		return "", opts, fmt.Errorf("bad mode %q (want pool, seq, or adhoc)", mode)
 	}
+	if workersSet && mode != "adhoc" {
+		return "", opts, fmt.Errorf("workers only applies to mode=adhoc (mode=%s runs on %s)",
+			mode, map[string]string{"pool": "the fixed shared pool", "seq": "one goroutine"}[mode])
+	}
 	return mode, opts, nil
 }
 
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
-	e := s.current(w)
+	tn := s.tenant(w, r)
+	if tn == nil {
+		return
+	}
+	e := tn.current(w)
 	if e == nil {
 		return
 	}
@@ -260,12 +360,16 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.counters.scan(len(data), len(matches))
-	s.writeScanResponse(w, r, e, len(data), matches, !opts.DisableFilter)
+	tn.counters.scan(len(data), len(matches))
+	s.writeScanResponse(w, r, tn, e, data, len(data), matches, !opts.DisableFilter)
 }
 
 func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
-	e := s.current(w)
+	tn := s.tenant(w, r)
+	if tn == nil {
+		return
+	}
+	e := tn.current(w)
 	if e == nil {
 		return
 	}
@@ -277,15 +381,32 @@ func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
 	cr := &countingReader{r: r.Body}
 	matches, err := e.Matcher.ScanReader(cr, opts)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		// A failure reading the client's body (abort, reset, malformed
+		// chunking) is the client's fault; anything else surfaced by the
+		// engine is ours — match /scan's 400-vs-500 split instead of
+		// blaming the client for internal scan errors.
+		http.Error(w, err.Error(), streamScanStatus(cr))
 		return
 	}
-	s.counters.scan(cr.n, len(matches))
-	s.writeScanResponse(w, r, e, cr.n, matches, !opts.DisableFilter)
+	tn.counters.scan(cr.n, len(matches))
+	s.writeScanResponse(w, r, tn, e, nil, cr.n, matches, !opts.DisableFilter)
+}
+
+// streamScanStatus classifies a ScanReader failure: 400 when the
+// streamed body itself failed to read, 500 for engine-internal errors.
+func streamScanStatus(cr *countingReader) int {
+	if cr.err != nil {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
-	e := s.current(w)
+	tn := s.tenant(w, r)
+	if tn == nil {
+		return
+	}
+	e := tn.current(w)
 	if e == nil {
 		return
 	}
@@ -318,12 +439,14 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.counters.scan(len(data), len(matches))
-	s.writeScanResponse(w, r, e, len(data), matches, fmode != core.FilterOff)
+	tn.counters.scan(len(data), len(matches))
+	s.writeScanResponse(w, r, tn, e, data, len(data), matches, fmode != core.FilterOff)
 }
 
 // scanBatchGroup is the batcher's scan callback: one coalesced kernel
-// pass over every payload in the group, on the shared pool.
+// pass over every payload in the group, on the shared pool. Groups are
+// keyed by captured registry entry, so payloads from different tenants
+// (or different generations of one tenant) never share a pass.
 func (s *Server) scanBatchGroup(e *registry.Entry, payloads [][]byte) ([][]core.Match, error) {
 	return e.Matcher.FindAllBatch(payloads, core.ParallelOptions{
 		ChunkBytes: s.cfg.ChunkBytes,
@@ -331,9 +454,14 @@ func (s *Server) scanBatchGroup(e *registry.Entry, payloads [][]byte) ([][]core.
 	})
 }
 
-func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *registry.Entry, n int, matches []core.Match, filtered bool) {
+// writeScanResponse renders the match list. data is the scanned
+// payload when the endpoint buffered it (/scan, /scan/batch) so
+// literal-dictionary Text fields carry the actual matched bytes; nil
+// for /scan/stream, which falls back to the canonical pattern.
+func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, tn *tenantState, e *registry.Entry, data []byte, n int, matches []core.Match, filtered bool) {
 	regex := e.Matcher.IsRegex()
 	resp := ScanResponse{
+		Tenant:     tn.name,
 		Generation: e.Generation,
 		Source:     e.Source,
 		Engine:     e.Matcher.EngineName(),
@@ -347,14 +475,17 @@ func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *re
 		for i, m := range matches {
 			p := e.Matcher.Pattern(m.Pattern)
 			start := m.End - len(p)
+			text := string(p)
 			if regex {
 				start = -1 // match length varies; only the end is known
+			} else if data != nil {
+				text = string(data[start:m.End])
 			}
 			resp.Matches[i] = MatchJSON{
 				Pattern: m.Pattern,
 				Start:   start,
 				End:     m.End,
-				Text:    string(p),
+				Text:    text,
 			}
 		}
 	}
@@ -363,6 +494,7 @@ func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, e *re
 
 // ReloadResponse is the reply to /reload.
 type ReloadResponse struct {
+	Tenant     string `json:"tenant"`
 	Generation uint64 `json:"generation"`
 	Source     string `json:"source"`
 	Patterns   int    `json:"patterns"`
@@ -381,6 +513,10 @@ type ReloadResponse struct {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenant(w, r)
+	if tn == nil {
+		return
+	}
 	q := r.URL.Query()
 	var (
 		e   *registry.Entry
@@ -399,9 +535,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("bad format %q (want artifact, dict, or regex)", format), http.StatusBadRequest)
 			return
 		}
-		e, err = s.reg.Retarget(path, load)
+		e, err = tn.reg.Retarget(path, load)
 	} else {
-		e, err = s.reg.Reload()
+		e, err = tn.reg.Reload()
 	}
 	if err != nil {
 		// The previous dictionary is still live; the reload just failed.
@@ -410,6 +546,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	st := e.Matcher.Stats()
 	writeJSON(w, http.StatusOK, ReloadResponse{
+		Tenant:     tn.name,
 		Generation: e.Generation,
 		Source:     e.Source,
 		Patterns:   st.Patterns,
@@ -421,8 +558,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// StatsResponse is the reply to /stats.
+// StatsResponse is the reply to /stats: the resolved tenant's
+// dictionary and counters plus the service-wide pool, batch, and
+// admission state.
 type StatsResponse struct {
+	Tenant        string     `json:"tenant"`
+	Tenants       []string   `json:"tenants"`
 	Generation    uint64     `json:"generation"`
 	Source        string     `json:"source"`
 	UptimeSeconds float64    `json:"uptime_seconds"`
@@ -434,39 +575,64 @@ type StatsResponse struct {
 	BatchPayloads uint64     `json:"batch_payloads"`
 	ReloadsOK     uint64     `json:"reloads_ok"`
 	ReloadsFailed uint64     `json:"reloads_failed"`
+	Inflight      int64      `json:"inflight_requests"`
+	InflightPeak  int64      `json:"inflight_requests_peak"`
+	Shed          uint64     `json:"requests_shed"`
 	Dictionary    core.Stats `json:"dictionary"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	e := s.current(w)
+	tn := s.tenant(w, r)
+	if tn == nil {
+		return
+	}
+	e := tn.current(w)
 	if e == nil {
 		return
 	}
-	ok, failed := s.reg.Reloads()
+	ok, failed := tn.reg.Reloads()
 	batches, payloads := s.batch.stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Tenant:        tn.name,
+		Tenants:       s.tenantNames,
 		Generation:    e.Generation,
 		Source:        e.Source,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		PoolWorkers:   s.pool.Workers(),
-		Requests:      s.counters.requests.Load(),
-		BytesScanned:  s.counters.bytes.Load(),
-		MatchesFound:  s.counters.matches.Load(),
+		Requests:      tn.counters.requests.Load(),
+		BytesScanned:  tn.counters.bytes.Load(),
+		MatchesFound:  tn.counters.matches.Load(),
 		Batches:       batches,
 		BatchPayloads: payloads,
 		ReloadsOK:     ok,
 		ReloadsFailed: failed,
+		Inflight:      s.adm.inflight.Load(),
+		InflightPeak:  s.adm.peak.Load(),
+		Shed:          s.adm.shed.Load(),
 		Dictionary:    e.Matcher.Stats(),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	e := s.reg.Current()
-	if e == nil {
+	generations := make(map[string]uint64, len(s.tenantNames))
+	loaded := 0
+	for _, name := range s.tenantNames {
+		var gen uint64
+		if e := s.tenants[name].reg.Current(); e != nil {
+			gen = e.Generation
+			loaded++
+		}
+		generations[name] = gen
+	}
+	if loaded == 0 {
 		http.Error(w, "no dictionary loaded", http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "generation": e.Generation})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"generation":  generations[registry.DefaultTenant],
+		"generations": generations,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -477,14 +643,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // client gone: nothing useful to do
 }
 
-// countingReader tracks bytes consumed from a streamed body.
+// countingReader tracks bytes consumed from a streamed body, and
+// remembers whether the stream itself ever failed (the 400-vs-500
+// signal for /scan/stream).
 type countingReader struct {
-	r io.Reader
-	n int
+	r   io.Reader
+	n   int
+	err error // first non-EOF read error
 }
 
 func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += n
+	if err != nil && err != io.EOF && c.err == nil {
+		c.err = err
+	}
 	return n, err
 }

@@ -60,8 +60,21 @@ func postScan(t *testing.T, url string, body []byte) ScanResponse {
 	return sr
 }
 
-// wantMatches converts library matches into the wire shape.
-func wantMatches(m *core.Matcher, hits []core.Match) []MatchJSON {
+// wantMatches converts library matches into the wire shape of the
+// buffered endpoints (/scan, /scan/batch): Text is the payload slice.
+func wantMatches(m *core.Matcher, data []byte, hits []core.Match) []MatchJSON {
+	out := make([]MatchJSON, len(hits))
+	for i, h := range hits {
+		p := m.Pattern(h.Pattern)
+		start := h.End - len(p)
+		out[i] = MatchJSON{Pattern: h.Pattern, Start: start, End: h.End, Text: string(data[start:h.End])}
+	}
+	return out
+}
+
+// wantStreamMatches is the /scan/stream wire shape: the payload is not
+// buffered there, so Text carries the canonical pattern.
+func wantStreamMatches(m *core.Matcher, hits []core.Match) []MatchJSON {
 	out := make([]MatchJSON, len(hits))
 	for i, h := range hits {
 		p := m.Pattern(h.Pattern)
@@ -146,7 +159,7 @@ func TestShardedDictionaryServing(t *testing.T) {
 		if sr.Engine != "sharded" || sr.Count != len(want) {
 			t.Fatalf("mode %s: engine %q count %d, want sharded/%d", mode, sr.Engine, sr.Count, len(want))
 		}
-		if !reflect.DeepEqual(sr.Matches, wantMatches(m, want)) {
+		if !reflect.DeepEqual(sr.Matches, wantMatches(m, data, want)) {
 			t.Fatalf("mode %s: matches diverge", mode)
 		}
 	}
@@ -176,7 +189,7 @@ func TestScanModesEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := wantMatches(m, ref)
+	want := wantMatches(m, data, ref)
 	if len(want) == 0 {
 		t.Fatal("test traffic has no hits; test is vacuous")
 	}
@@ -208,7 +221,7 @@ func TestScanStreamSplitEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := wantMatches(m, ref)
+	want := wantStreamMatches(m, ref)
 	if len(want) == 0 {
 		t.Fatal("test traffic has no hits; test is vacuous")
 	}
@@ -327,7 +340,9 @@ func TestConcurrentScanReloadNoTornMatcher(t *testing.T) {
 					return
 				}
 				for _, hit := range sr.Matches {
-					if hit.Text != wantText {
+					// Text is the payload slice under CaseFold, so compare
+					// case-insensitively ("AARDVARK" is the aardvark hit).
+					if !strings.EqualFold(hit.Text, wantText) {
 						errc <- fmt.Errorf("torn response: source=%s reported %q", sr.Source, hit.Text)
 						return
 					}
@@ -400,7 +415,7 @@ func TestBatchCoalescing(t *testing.T) {
 				errs <- err
 				return
 			}
-			want := wantMatches(m, ref)
+			want := wantMatches(m, payloads[i], ref)
 			resp, err := http.Post(ts.URL+"/scan/batch", "application/octet-stream", bytes.NewReader(payloads[i]))
 			if err != nil {
 				errs <- err
