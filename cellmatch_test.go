@@ -89,8 +89,11 @@ func TestPublicAPIEngineOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	ks, ss := kernelM.Stats(), sttM.Stats()
-	if ks.Engine != "kernel" || ss.Engine != "stt" {
+	if ks.Engine != "stride2" || ss.Engine != "stt" {
 		t.Fatalf("engines = %q / %q", ks.Engine, ss.Engine)
+	}
+	if ks.Stride != 2 || ks.PairTableBytes <= 0 {
+		t.Fatalf("stride-2 stats incomplete: %+v", ks)
 	}
 	if ks.KernelTableBytes <= 0 || !ks.TableFitsL2 || ks.AlphabetUsed < 2 {
 		t.Fatalf("kernel stats incomplete: %+v", ks)

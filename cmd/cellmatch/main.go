@@ -29,6 +29,12 @@
 // the BNDM-style window filter ahead of the verifier engine, "off"
 // scans every byte. Output is identical either way; -stats reports
 // whether the filter is live and its window.
+//
+// -stride selects the kernel transition stride (default auto): "2"
+// builds the class-pair tables and consumes two bytes per step, "1"
+// pins the 1-byte loops, "auto" builds pair tables only when they are
+// small enough to stay cache-resident. Output is identical either
+// way; -stats reports the live stride and pair-table footprint.
 package main
 
 import (
@@ -51,6 +57,7 @@ func main() {
 		caseFold = flag.Bool("casefold", false, "case-insensitive matching")
 		regex    = flag.Bool("regex", false, "dictionary entries are regular expressions (bounded repetition only)")
 		filterMd = flag.String("filter", "auto", "skip-scan front-end: auto, on, or off")
+		strideMd = flag.String("stride", "auto", "kernel transition stride: auto, 1, or 2")
 		groups   = flag.Int("groups", 1, "parallel tile groups")
 		parallel = flag.Int("parallel", 0, "scan with N parallel workers (0 = sequential, <0 = one per CPU)")
 		chunk    = flag.Int("chunk", 0, "parallel chunk size in bytes (0 = 64 KiB)")
@@ -69,9 +76,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	stride, err := core.ParseStride(*strideMd)
+	if err != nil {
+		fail(err)
+	}
 	opts := core.Options{
 		CaseFold: *caseFold, Groups: *groups,
-		Engine: core.EngineOptions{Filter: fmode},
+		Engine: core.EngineOptions{Filter: fmode, Stride: stride},
 	}
 	var m *core.Matcher
 	if *regex {
@@ -94,6 +105,7 @@ func main() {
 			s.Engine, s.KernelTableBytes, s.DenseTableBudget, s.TableFitsL1, s.TableFitsL2)
 		fmt.Printf("filter=%v window=%d min_pattern_len=%d\n",
 			s.FilterEnabled, s.FilterWindow, s.MinPatternLen)
+		fmt.Printf("stride=%d pair_table_bytes=%d\n", s.Stride, s.PairTableBytes)
 	}
 	if *estimate {
 		est, err := m.EstimateCell(cell.DefaultBlade(), 16*1024*1024)

@@ -102,6 +102,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		regex          = fs.String("regex", "", "regular-expression file (one per line, '#' comments)")
 		caseFold       = fs.Bool("casefold", false, "case-insensitive matching (with -dict/-regex)")
 		filterMd       = fs.String("filter", "auto", "skip-scan front-end with -dict: auto, on, or off")
+		strideMd       = fs.String("stride", "auto", "kernel transition stride with -dict/-regex: auto, 1, or 2")
 		workers        = fs.Int("workers", 0, "shared scan pool size (0 = one per CPU)")
 		chunk          = fs.Int("chunk", 0, "scan chunk size in bytes (0 = 64 KiB)")
 		maxBody        = fs.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
@@ -130,9 +131,13 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	if err != nil {
 		return fmt.Errorf("-filter: %w", err)
 	}
+	stride, err := core.ParseStride(*strideMd)
+	if err != nil {
+		return fmt.Errorf("-stride: %w", err)
+	}
 	opts := core.Options{
 		CaseFold: *caseFold,
-		Engine:   core.EngineOptions{Filter: fmode},
+		Engine:   core.EngineOptions{Filter: fmode, Stride: stride},
 	}
 
 	// The base -artifact/-dict/-regex flags populate the default
@@ -179,8 +184,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		if tn != registry.DefaultTenant {
 			prefix = "tenant " + tn + ": "
 		}
-		fmt.Fprintf(w, "cellmatchd: %sloaded %s: %d patterns, %d states, engine=%s, filter=%v\n",
-			prefix, entry.Source, st.Patterns, st.States, st.Engine, st.FilterEnabled)
+		fmt.Fprintf(w, "cellmatchd: %sloaded %s: %d patterns, %d states, engine=%s, stride=%d, filter=%v\n",
+			prefix, entry.Source, st.Patterns, st.States, st.Engine, st.Stride, st.FilterEnabled)
 	}
 
 	srv, err := server.New(server.Config{

@@ -43,9 +43,13 @@ func gatedMetric(key string) bool {
 	switch {
 	case strings.HasPrefix(key, "kernel_"):
 		return true
+	case strings.HasPrefix(key, "stride2_"):
+		return true
 	case key == "parallel_4workers_kernel_MBps":
 		return true
 	case key == "speedup_kernel_vs_stt_lookup":
+		return true
+	case key == "speedup_stride2_vs_kernel":
 		return true
 	case key == "scan_MBps" || key == "stream_MBps":
 		return true
@@ -84,6 +88,9 @@ var speedupFloors = map[string]float64{
 	// The skip-scan front-end must stay >= 2x over the unfiltered
 	// kernel on the long-pattern workload (the ISSUE 5 acceptance bar).
 	"speedup_filter_vs_kernel": 2.0,
+	// The 2-byte-stride rung must stay >= 1.7x over the 1-byte kernel
+	// single-stream (the ISSUE 8 acceptance bar).
+	"speedup_stride2_vs_kernel": 1.7,
 }
 
 // lowerIsBetter reports metrics gated in the inverted direction:

@@ -85,7 +85,9 @@ func TestRunKernelBenchJSON(t *testing.T) {
 	for _, want := range []string{
 		"== Kernel engine: old vs new scan throughput",
 		"kernel interleaved K=4",
+		"stride-2 single-stream",
 		"best kernel vs stt.Lookup sequential",
+		"stride-2 vs kernel single-stream",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
@@ -109,8 +111,11 @@ func TestRunKernelBenchJSON(t *testing.T) {
 		"kernel_k2":   res.KernelK2,
 		"kernel_k4":   res.KernelK4,
 		"kernel_k8":   res.KernelK8,
+		"stride2_seq": res.Stride2Seq,
+		"stride2_k4":  res.Stride2K4,
 		"parallel_4":  res.Parallel4,
 		"speedup":     res.SpeedupVsLookup,
+		"speedup_s2":  res.SpeedupStride2,
 	} {
 		if v <= 0 {
 			t.Fatalf("%s not measured: %+v", name, res)

@@ -11,12 +11,13 @@ import (
 // TestScenarioConformance is the cross-tier differential harness: for
 // every scenario in the workload suite, every (rung x filter x
 // scan-mode) configuration must reproduce the reference match set
-// (End, Pattern) match-for-match — kernel, sharded, and stt verifiers,
-// skip-scan filter forced on and off, sequential / parallel / shared
-// pool / reader / stream scan surfaces. The harness itself fails on
-// any divergence; the assertions here pin the suite's shape on top:
-// each scenario lands on the expected rung, the regex scenario routes
-// around the literal-only tiers, and matches actually occur.
+// (End, Pattern) match-for-match — stride-2, kernel, sharded, and stt
+// verifiers, skip-scan filter forced on and off, sequential /
+// parallel / shared pool / reader / stream scan surfaces. The harness
+// itself fails on any divergence; the assertions here pin the suite's
+// shape on top: each scenario lands on the expected rung, the regex
+// scenario routes around the literal-only tiers, and matches actually
+// occur.
 func TestScenarioConformance(t *testing.T) {
 	corpusBytes := 1 << 18
 	if testing.Short() {
@@ -37,7 +38,7 @@ func TestScenarioConformance(t *testing.T) {
 			if rep.RefMatches == 0 {
 				t.Fatal("scenario matches nothing; the comparison is vacuous")
 			}
-			if rep.Configs < 30 { // 3 rungs x 2 filter modes x 5 scan modes
+			if rep.Configs < 40 { // 4 rungs x 2 filter modes x 5 scan modes
 				t.Fatalf("only %d configurations compared", rep.Configs)
 			}
 			engines := map[string]string{}
@@ -45,7 +46,13 @@ func TestScenarioConformance(t *testing.T) {
 				engines[rr.Rung] = rr.Engine
 			}
 			if engines["kernel"] != "kernel" {
-				t.Fatalf("default rung selected %q, want kernel", engines["kernel"])
+				t.Fatalf("stride-1 rung selected %q, want kernel", engines["kernel"])
+			}
+			// Forced stride-2 lands on the pair-table rung unless the
+			// dictionary's pair tables blow the budget, in which case the
+			// documented fallback is the 1-byte kernel — never lower.
+			if engines["stride2"] != "stride2" && engines["stride2"] != "kernel" {
+				t.Fatalf("forced stride-2 rung selected %q", engines["stride2"])
 			}
 			if engines["stt"] != "stt" {
 				t.Fatalf("forced stt rung selected %q", engines["stt"])

@@ -142,7 +142,7 @@ func FuzzKernelEquivalence(f *testing.F) {
 		dict := [][]byte{p1, p2}
 		kernelM, err := core.Compile(dict, core.Options{
 			CaseFold: fold,
-			Engine:   core.EngineOptions{InterleaveK: k},
+			Engine:   core.EngineOptions{InterleaveK: k, Stride: 1},
 		})
 		if err != nil {
 			return // e.g. too many distinct symbols
@@ -204,6 +204,109 @@ func FuzzKernelEquivalence(f *testing.F) {
 		if len(par) != len(want) || len(streamed) != len(want) {
 			t.Fatalf("parallel %d / reader %d matches, want %d", len(par), len(streamed), len(want))
 		}
+	})
+}
+
+// FuzzStride2Equivalence: the 2-byte-stride pair-table rung must agree
+// byte-for-byte with the 1-byte kernel AND the stt fallback for
+// arbitrary dictionaries, case folding on and off, K ∈ {1,4} lanes and
+// workers, across sequential FindAll, the per-request stride-1 opt-out,
+// the shared pool, ScanReader, and the incremental Stream — the
+// epilogue/odd-tail correctness net for matches ending on odd offsets
+// and straddling every cut.
+func FuzzStride2Equivalence(f *testing.F) {
+	f.Add([]byte("virus"), []byte("rus w"), []byte("a virus in a worm"), false, uint8(3), uint16(7))
+	f.Add([]byte("AbRa"), []byte("cadabra"), []byte("abracadabra ABRACADABRA"), true, uint8(0), uint16(3))
+	f.Add([]byte("aa"), []byte("aaa"), []byte("aaaaaaaaaaaaaaaaa"), false, uint8(200), uint16(1))
+	f.Add([]byte{0xFF, 0x00}, []byte{0x01}, bytes.Repeat([]byte{0xFF, 0x00, 0x01}, 41), false, uint8(129), uint16(64))
+	f.Fuzz(func(t *testing.T, p1, p2, data []byte, fold bool, sel uint8, chunk uint16) {
+		if len(p1) == 0 || len(p2) == 0 || len(p1) > 32 || len(p2) > 32 || len(data) > 4096 {
+			return
+		}
+		k := 1
+		if sel >= 128 {
+			k = 4
+		}
+		dict := [][]byte{p1, p2}
+		stride2M, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{InterleaveK: k, Stride: 2},
+		})
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		if got := stride2M.Stats().Engine; got != "stride2" {
+			// Forced stride 2 only yields when the pair tables blow the
+			// budget, impossible for a 2-pattern dictionary.
+			t.Fatalf("stride-2 engine not selected: %q", got)
+		}
+		kernelM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{InterleaveK: k, Stride: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sttM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{DisableKernel: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sttM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := kernelM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "kernel-vs-stt", ref, want)
+		got, err := stride2M.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "FindAll", got, want)
+		if n, err := stride2M.Count(data); err != nil || n != len(want) {
+			t.Fatalf("Count = %d (%v), want %d", n, err, len(want))
+		}
+		// The per-request stride-1 opt-out scans the same matcher on its
+		// 1-byte loops.
+		opt, err := stride2M.FindAllStride1(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "FindAllStride1", opt, want)
+		pool := parallel.NewPool(2)
+		defer pool.Close()
+		cs := int(chunk)%2048 + 1
+		for _, opts := range []core.ParallelOptions{
+			{Workers: k, ChunkBytes: cs},
+			{ChunkBytes: cs, Pool: pool},
+			{Workers: k, ChunkBytes: cs, DisableStride2: true},
+		} {
+			par, err := stride2M.FindAllParallel(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualMatches(t, "FindAllParallel", par, want)
+			rd, err := stride2M.ScanReader(bytes.NewReader(data), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualMatches(t, "ScanReader", rd, want)
+		}
+		// Incremental stream: cuts land on odd and even parities.
+		s := stride2M.NewStream()
+		for off := 0; off < len(data); off += cs {
+			end := off + cs
+			if end > len(data) {
+				end = len(data)
+			}
+			s.Write(data[off:end])
+		}
+		assertEqualMatches(t, "Stream", sortedMatches(s.Matches()), sortedMatches(want))
 	})
 }
 

@@ -1,6 +1,7 @@
 // Package conformance cross-checks the engine ladder: for one
 // workload scenario it compiles the dictionary onto every verifier
-// rung (dense kernel, sharded multi-kernel, stt fallback), with the
+// rung (stride-2 kernel, dense kernel, sharded multi-kernel, stt
+// fallback), with the
 // skip-scan front-end forced on and off, and scans the corpus through
 // every scan surface (sequential, parallel, shared pool, reader,
 // stream). Every configuration must produce the same (End, Pattern)
@@ -23,10 +24,11 @@ import (
 
 // RungReport is one forced verifier rung's outcome on a scenario.
 type RungReport struct {
-	// Rung is the tier the configuration asked for ("kernel",
-	// "sharded", "stt"); Engine is what the matcher actually selected
-	// (a regex dictionary forced toward "sharded" lands on "stt" —
-	// the sharded tier is literal-only).
+	// Rung is the tier the configuration asked for ("stride2",
+	// "kernel", "sharded", "stt"); Engine is what the matcher actually
+	// selected (a regex dictionary forced toward "sharded" lands on
+	// "stt" — the sharded tier is literal-only — and a forced stride-2
+	// compile whose pair tables exceed the budget lands on "kernel").
 	Rung   string `json:"rung"`
 	Engine string `json:"engine"`
 	// FilterLive reports whether the skip-scan front-end came up in
@@ -130,8 +132,9 @@ var scanModes = []struct {
 // returns the report; any output divergence is an error naming the
 // configuration.
 func Run(s workload.Scenario) (*Report, error) {
-	// Reference: default engine, filter off, sequential.
-	refM, err := compile(s, core.EngineOptions{Filter: core.FilterOff})
+	// Reference: 1-byte kernel, filter off, sequential — the ladder's
+	// historical baseline every other configuration is diffed against.
+	refM, err := compile(s, core.EngineOptions{Filter: core.FilterOff, Stride: 1})
 	if err != nil {
 		return nil, fmt.Errorf("%s: reference compile: %w", s.Name, err)
 	}
@@ -154,7 +157,8 @@ func Run(s workload.Scenario) (*Report, error) {
 		name string
 		eng  core.EngineOptions
 	}{
-		{"kernel", core.EngineOptions{}},
+		{"stride2", core.EngineOptions{Stride: 2}},
+		{"kernel", core.EngineOptions{Stride: 1}},
 		{"sharded", core.EngineOptions{MaxTableBytes: shardBudget, MaxShards: 8}},
 		{"stt", core.EngineOptions{DisableKernel: true}},
 	}

@@ -57,14 +57,16 @@ type Options struct {
 // EngineOptions select and tune the scan engine behind FindAll,
 // FindAllParallel, Stream, and ScanReader.
 //
-// Selection ladder: dense kernel → sharded dense kernels → stt/dfa
-// fallback. A dictionary whose single dense table fits MaxTableBytes
-// scans on the plain kernel; one that exceeds it is partitioned into
-// up to MaxShards sub-dictionaries whose kernels each fit the budget
-// (the paper's answer to dictionaries outgrowing one SPE's local
-// store: shard the pattern set across SPEs, every shard scanning the
-// same stream); only when even sharding cannot fit does the matcher
-// fall back to the stt/dfa path.
+// Selection ladder: stride-2 kernel → dense kernel → sharded dense
+// kernels → stt/dfa fallback. A dictionary whose dense table fits
+// MaxTableBytes scans on the kernel — with 2-byte-stride pair tables
+// layered on top when those also fit the budget (see Stride) — while
+// one that exceeds it is partitioned into up to MaxShards
+// sub-dictionaries whose kernels each fit the budget (the paper's
+// answer to dictionaries outgrowing one SPE's local store: shard the
+// pattern set across SPEs, every shard scanning the same stream);
+// only when even sharding cannot fit does the matcher fall back to
+// the stt/dfa path.
 //
 // By default the matcher compiles its dictionary into the dense kernel
 // of internal/kernel: a cache-line-aligned []uint32 transition table
@@ -99,6 +101,19 @@ type EngineOptions struct {
 	// kernel.MaxShardsLimit (64) are clamped to it — a dictionary
 	// needing more shards than that falls back to stt regardless.
 	MaxShards int
+	// Stride selects how many input bytes one kernel transition
+	// consumes. 0 (auto) compiles 2-byte-stride class-pair tables on
+	// top of the dense kernel when they fit MaxTableBytes alongside it,
+	// the reduced alphabet is small enough
+	// (kernel.AutoStride2MaxClasses), and the pair tables are
+	// L2-resident (kernel.L2Budget) — the regime where one pair load
+	// per two bytes actually beats two 1-byte loads; 1 pins the classic
+	// byte-at-a-time kernel; 2 forces pair tables whenever they fit the
+	// budget, ignoring both auto gates. Over-budget pair tables always
+	// fall back to the 1-byte kernel — never to a lower rung — and
+	// output is byte-identical at every stride. The live choice is
+	// reported by Stats().Engine ("stride2" vs "kernel").
+	Stride int
 	// Filter selects the skip-scan front-end (internal/filter): a
 	// BNDM-style reverse-suffix window filter built from the
 	// dictionary's shortest-pattern prefixes that skips most input
@@ -152,6 +167,20 @@ func ParseFilterMode(s string) (FilterMode, error) {
 	return 0, fmt.Errorf("bad filter mode %q (want auto, on, or off)", s)
 }
 
+// ParseStride maps the flag vocabulary shared by the CLIs and the
+// server ("auto"/"", "1", "2") onto an EngineOptions.Stride value.
+func ParseStride(s string) (int, error) {
+	switch s {
+	case "", "auto":
+		return 0, nil
+	case "1":
+		return 1, nil
+	case "2":
+		return 2, nil
+	}
+	return 0, fmt.Errorf("bad stride %q (want auto, 1, or 2)", s)
+}
+
 // Matcher is a compiled dictionary.
 type Matcher struct {
 	sys      *compose.System
@@ -176,12 +205,16 @@ type Matcher struct {
 // nil). Budget overruns step down the ladder; any other compile
 // failure is a real defect and propagates.
 func (m *Matcher) initEngine() error {
+	if s := m.opts.Engine.Stride; s < 0 || s > 2 {
+		return fmt.Errorf("core: bad stride %d (want 0 auto, 1, or 2)", s)
+	}
 	if m.opts.Engine.DisableKernel {
 		return nil
 	}
 	eng, err := kernel.Compile(m.sys, kernel.Options{
 		MaxTableBytes: m.opts.Engine.MaxTableBytes,
 		InterleaveK:   m.opts.Engine.InterleaveK,
+		Stride:        m.opts.Engine.Stride,
 	})
 	if err == nil {
 		m.eng = eng
@@ -350,9 +383,50 @@ func CompileStrings(patterns []string, opts Options) (*Matcher, error) {
 // produces byte-identical results in the same (End, Pattern) order.
 func (m *Matcher) FindAll(data []byte) ([]Match, error) {
 	if m.filter != nil {
-		return m.findAllFiltered(data)
+		return m.findAllFiltered(data, false)
 	}
 	return m.FindAllUnfiltered(data)
+}
+
+// FindAllStride1 is FindAll with the stride-2 pair loops bypassed for
+// this request: the verifier engine steps one byte per transition on
+// its dense tables. Output is byte-identical to FindAll — the knob is
+// the differential-testing and serving-layer opt-out for the stride-2
+// rung, mirroring FindAllUnfiltered for the filter rung. On matchers
+// without a live stride-2 rung it is exactly FindAll.
+func (m *Matcher) FindAllStride1(data []byte) ([]Match, error) {
+	if m.eng == nil || m.eng.Stride() != 2 {
+		return m.FindAll(data)
+	}
+	if m.filter != nil {
+		return m.findAllFiltered(data, true)
+	}
+	return convertMatches(m.eng.FindAllStride1(data)), nil
+}
+
+// FindAllUnfilteredStride1 combines both per-request opt-outs: no
+// skip-scan front-end AND 1-byte kernel stepping. It is the fully
+// pinned sequential reference path (what the conformance harness
+// compiles explicitly) available on any matcher without recompiling.
+func (m *Matcher) FindAllUnfilteredStride1(data []byte) ([]Match, error) {
+	if m.eng != nil {
+		return convertMatches(m.eng.FindAllStride1(data)), nil
+	}
+	return m.FindAllUnfiltered(data)
+}
+
+// Stride reports the live kernel transition stride: 2 when the
+// stride-2 pair tables are up, 1 for the 1-byte kernel and sharded
+// tiers, 0 when no kernel-family engine is live (stt fallback).
+func (m *Matcher) Stride() int {
+	switch {
+	case m.eng != nil:
+		return m.eng.Stride()
+	case m.sharded != nil:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // FindAllUnfiltered is FindAll with the skip-scan front-end bypassed:
@@ -378,12 +452,12 @@ func (m *Matcher) FindAllUnfiltered(data []byte) ([]Match, error) {
 // disjoint and ordered and every match lies wholly inside one (the
 // filter's containment guarantee), so concatenating the per-segment
 // sorted matches reproduces FindAll's global (End, Pattern) order.
-func (m *Matcher) findAllFiltered(data []byte) ([]Match, error) {
+func (m *Matcher) findAllFiltered(data []byte, stride1 bool) ([]Match, error) {
 	segs, skipped := m.filter.Segments(data)
 	m.windowsSkipped.Add(uint64(skipped))
 	out := make([]Match, 0)
 	for _, sg := range segs {
-		ms, err := m.scanSegment(data[sg.Start:sg.End], sg.Start)
+		ms, err := m.scanSegment(data[sg.Start:sg.End], sg.Start, stride1)
 		if err != nil {
 			return nil, err
 		}
@@ -395,10 +469,16 @@ func (m *Matcher) findAllFiltered(data []byte) ([]Match, error) {
 // scanSegment scans one piece from the root state on the live verifier
 // engine, returning matches sorted by (End, Pattern) with End offsets
 // shifted by base — the verification unit of the filtered paths.
-func (m *Matcher) scanSegment(piece []byte, base int) ([]Match, error) {
+// stride1 pins the kernel to its 1-byte loops for this piece.
+func (m *Matcher) scanSegment(piece []byte, base int, stride1 bool) ([]Match, error) {
 	switch {
 	case m.eng != nil:
-		raw := m.eng.ScanChunk(piece, base, 0)
+		var raw []dfa.Match
+		if stride1 {
+			raw = m.eng.ScanChunkStride1(piece, base, 0)
+		} else {
+			raw = m.eng.ScanChunk(piece, base, 0)
+		}
 		dfa.SortMatches(raw)
 		return convertMatches(raw), nil
 	case m.sharded != nil:
@@ -490,13 +570,25 @@ type Stats struct {
 	Regex bool
 
 	// Engine is the live scan engine behind FindAll and friends:
-	// "kernel" (one dense compiled table set), "sharded" (the
-	// multi-kernel tier: one dense table set per dictionary shard), or
-	// "stt" (the reduce + dfa/stt lookup fallback).
+	// "stride2" (the dense kernel with 2-byte-stride class-pair tables
+	// layered on top), "kernel" (one dense compiled table set consuming
+	// one byte per transition), "sharded" (the multi-kernel tier: one
+	// dense table set per dictionary shard), or "stt" (the reduce +
+	// dfa/stt lookup fallback).
 	Engine string
+	// Stride is the live kernel's bytes-per-transition (2 on the
+	// stride-2 rung, 1 on every other kernel tier, 0 on the stt path).
+	Stride int
 	// KernelTableBytes is the aggregate dense-table footprint across
-	// all shards (0 when no kernel tier is live).
+	// all shards (0 when no kernel tier is live). It does NOT include
+	// pair tables; see PairTableBytes.
 	KernelTableBytes int
+	// PairTableBytes is the aggregate 2-byte-stride pair-table
+	// footprint (0 unless Engine == "stride2"). Cache residency on the
+	// stride-2 rung is judged on KernelTableBytes + PairTableBytes:
+	// the pair tables are the hot loop's working set and the dense
+	// tables still serve epilogues, odd tails, and stream carries.
+	PairTableBytes int
 	// DenseTableBudget is the byte budget the kernel was compiled
 	// against — per shard when the sharded tier is live (the fallback
 	// threshold either way).
@@ -563,11 +655,20 @@ func (m *Matcher) Stats() Stats {
 	switch {
 	case m.eng != nil:
 		s.Engine = "kernel"
+		s.Stride = 1
 		s.KernelTableBytes = m.eng.TableBytes()
-		s.TableFitsL1 = s.KernelTableBytes <= kernel.L1DataBudget
-		s.TableFitsL2 = s.KernelTableBytes <= kernel.L2Budget
+		resident := s.KernelTableBytes
+		if m.eng.Stride() == 2 {
+			s.Engine = "stride2"
+			s.Stride = 2
+			s.PairTableBytes = m.eng.PairBytes()
+			resident += s.PairTableBytes
+		}
+		s.TableFitsL1 = resident <= kernel.L1DataBudget
+		s.TableFitsL2 = resident <= kernel.L2Budget
 	case m.sharded != nil:
 		s.Engine = "sharded"
+		s.Stride = 1
 		s.KernelTableBytes = m.sharded.TableBytes()
 		s.Shards = m.sharded.Shards()
 		s.MaxShardTableBytes = m.sharded.MaxShardBytes()
@@ -583,12 +684,15 @@ func (m *Matcher) Stats() Stats {
 // cheap per-request form for serving paths (Stats re-encodes tables).
 func (m *Matcher) FilterActive() bool { return m.filter != nil }
 
-// EngineName reports the live scan engine ("kernel", "sharded", or
-// "stt") without computing full Stats (which re-encodes the STT
-// tables) — the cheap per-request form for serving paths.
+// EngineName reports the live scan engine ("stride2", "kernel",
+// "sharded", or "stt") without computing full Stats (which re-encodes
+// the STT tables) — the cheap per-request form for serving paths.
 func (m *Matcher) EngineName() string {
 	switch {
 	case m.eng != nil:
+		if m.eng.Stride() == 2 {
+			return "stride2"
+		}
 		return "kernel"
 	case m.sharded != nil:
 		return "sharded"
@@ -735,7 +839,7 @@ func (s *Stream) writeFiltered(p []byte) (int, error) {
 	dedupe := len(s.tail)
 	base := s.offset - dedupe
 	for _, sg := range segs {
-		ms, err := s.m.scanSegment(text[sg.Start:sg.End], sg.Start)
+		ms, err := s.m.scanSegment(text[sg.Start:sg.End], sg.Start, false)
 		if err != nil {
 			return 0, err
 		}

@@ -7,12 +7,14 @@ import (
 )
 
 // engineMatchers compiles the same dictionary twice: once with the
-// dense kernel (default) and once forced onto the stt/dfa path. The
-// skip-scan front-end is pinned off so these suites keep exercising
-// the raw engine loops (the filter has its own equivalence matrix).
+// dense kernel (Stride pinned to 1 so these suites keep exercising
+// the 1-byte loops; the stride-2 rung has its own equivalence matrix)
+// and once forced onto the stt/dfa path. The skip-scan front-end is
+// pinned off so these suites keep exercising the raw engine loops
+// (the filter has its own equivalence matrix).
 func engineMatchers(t *testing.T, patterns []string, caseFold bool) (kernelM, sttM *Matcher) {
 	t.Helper()
-	opts := Options{CaseFold: caseFold, Engine: EngineOptions{Filter: FilterOff}}
+	opts := Options{CaseFold: caseFold, Engine: EngineOptions{Filter: FilterOff, Stride: 1}}
 	kernelM, err := CompileStrings(patterns, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +56,7 @@ func TestKernelSplitPointEquivalence(t *testing.T) {
 	kernelM, sttM := engineMatchers(t, dict, false)
 	lanes := make([]*Matcher, 9)
 	for k := 1; k <= 8; k++ {
-		m, err := CompileStrings(dict, Options{Engine: EngineOptions{InterleaveK: k, Filter: FilterOff}})
+		m, err := CompileStrings(dict, Options{Engine: EngineOptions{InterleaveK: k, Filter: FilterOff, Stride: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,11 +168,14 @@ func TestStatsEngineFields(t *testing.T) {
 }
 
 // A saved artifact reloads with the kernel engine live and scanning
-// identically.
+// identically — under default (auto) stride that is the stride-2 rung.
 func TestPersistRebuildsEngine(t *testing.T) {
 	m, err := CompileStrings([]string{"virus", "worm"}, Options{CaseFold: true})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if m.Stats().Engine != "stride2" {
+		t.Fatalf("default compile engine = %q, want stride2", m.Stats().Engine)
 	}
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
@@ -180,7 +185,7 @@ func TestPersistRebuildsEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Stats().Engine != "kernel" {
+	if back.Stats().Engine != "stride2" {
 		t.Fatalf("loaded engine = %q", back.Stats().Engine)
 	}
 	data := []byte("a VIRUS in a worm in a virus")

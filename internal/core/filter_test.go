@@ -31,9 +31,14 @@ func filterVerifiers(t *testing.T, patterns []string, fold bool) map[string][2]*
 		}
 		return pair
 	}
-	kernelPair := compile(EngineOptions{})
-	if got := kernelPair[0].Stats().Engine; got != "kernel" {
+	defaultPair := compile(EngineOptions{})
+	if got := defaultPair[0].Stats().Engine; got != "stride2" && got != "kernel" {
 		t.Fatalf("default engine = %q", got)
+	}
+	out[defaultPair[0].Stats().Engine] = defaultPair
+	kernelPair := compile(EngineOptions{Stride: 1})
+	if got := kernelPair[0].Stats().Engine; got != "kernel" {
+		t.Fatalf("stride-1 engine = %q", got)
 	}
 	out["kernel"] = kernelPair
 	budget := kernelPair[1].Stats().KernelTableBytes * 3 / 4

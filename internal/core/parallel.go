@@ -24,6 +24,10 @@ type ParallelOptions struct {
 	// call (the serving layer's per-request filter=off knob). Output is
 	// byte-identical either way.
 	DisableFilter bool
+	// DisableStride2 pins the kernel to its 1-byte scan loops for this
+	// call (the serving layer's per-request stride=1 knob). Output is
+	// byte-identical either way; no-op on non-stride-2 matchers.
+	DisableStride2 bool
 }
 
 // engineOpts binds the matcher's live scan engine (the dense kernel,
@@ -37,6 +41,7 @@ func (m *Matcher) engineOpts(o ParallelOptions) parallel.Options {
 	po := parallel.Options{
 		Workers: o.Workers, ChunkBytes: o.ChunkBytes,
 		Engine: m.eng, Sharded: m.sharded, Pool: o.Pool,
+		ForceStride1: o.DisableStride2,
 	}
 	if m.filter != nil && !o.DisableFilter {
 		po.Filter = m.filter

@@ -20,10 +20,10 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic "CMSAV5\x00"
+//	magic "CMSAV6\x00"
 //	options: caseFold u8, groups u32, maxStatesPerTile u32, version u32
 //	engine:  disableKernel u8, maxTableBytes u64, interleaveK u32,
-//	         maxShards i32, filterMode u8
+//	         maxShards i32, filterMode u8, stride u8
 //	dictKind: regex u8 (0 = literal patterns, 1 = regular expressions)
 //	reduction: map[256]u8, classes u32, width u32
 //	system width u32, maxPatternLen u32
@@ -32,16 +32,19 @@ import (
 //	slots: count u32; each: blobLen u32, dfa blob,
 //	       idCount u32, ids u32...
 //
-// Older artifacts still load: V4 (magic "CMSAV4\x00") lacks the
-// dictKind byte (always a literal dictionary), V3 ("CMSAV3\x00")
-// additionally lacks the filterMode field (loaded as FilterAuto, so
-// qualifying dictionaries come back with the skip-scan front-end
-// live — output-identical either way), V2 ("CMSAV2\x00") additionally
-// lacks maxShards (loaded as 0, the default shard cap), and V1
-// ("CMSAV1\x00") lacks the whole engine block (zero-value
-// EngineOptions).
+// Older artifacts still load: V5 (magic "CMSAV5\x00") lacks the
+// stride byte (loaded as 0 = auto, so qualifying dictionaries come
+// back on the stride-2 rung — output-identical either way), V4
+// ("CMSAV4\x00") additionally lacks the dictKind byte (always a
+// literal dictionary), V3 ("CMSAV3\x00") additionally lacks the
+// filterMode field (loaded as FilterAuto, so qualifying dictionaries
+// come back with the skip-scan front-end live — output-identical
+// either way), V2 ("CMSAV2\x00") additionally lacks maxShards (loaded
+// as 0, the default shard cap), and V1 ("CMSAV1\x00") lacks the whole
+// engine block (zero-value EngineOptions).
 var (
-	savMagic   = []byte("CMSAV5\x00")
+	savMagic   = []byte("CMSAV6\x00")
+	savMagicV5 = []byte("CMSAV5\x00")
 	savMagicV4 = []byte("CMSAV4\x00")
 	savMagicV3 = []byte("CMSAV3\x00")
 	savMagicV2 = []byte("CMSAV2\x00")
@@ -101,6 +104,9 @@ func (m *Matcher) Save(w io.Writer) error {
 		return err
 	}
 	if err := bw.WriteByte(byte(m.opts.Engine.Filter)); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(m.opts.Engine.Stride)); err != nil {
 		return err
 	}
 	rx := byte(0)
@@ -171,7 +177,8 @@ func Load(r io.Reader) (*Matcher, error) {
 	v2 := bytes.Equal(magic, savMagicV2)
 	v3 := bytes.Equal(magic, savMagicV3)
 	v4 := bytes.Equal(magic, savMagicV4)
-	if !v1 && !v2 && !v3 && !v4 && !bytes.Equal(magic, savMagic) {
+	v5 := bytes.Equal(magic, savMagicV5)
+	if !v1 && !v2 && !v3 && !v4 && !v5 && !bytes.Equal(magic, savMagic) {
 		return nil, fmt.Errorf("core: not a cellmatch artifact")
 	}
 	get32 := func() (uint32, error) {
@@ -222,6 +229,16 @@ func Load(r io.Reader) (*Matcher, error) {
 					return nil, fmt.Errorf("core: bad filter mode %d", fm)
 				}
 				opts.Engine.Filter = FilterMode(fm)
+				if !v4 && !v5 { // V5 predates the stride-2 rung: auto
+					st, err := br.ReadByte()
+					if err != nil {
+						return nil, err
+					}
+					if st > 2 {
+						return nil, fmt.Errorf("core: bad stride %d", st)
+					}
+					opts.Engine.Stride = int(st)
+				}
 			}
 		}
 	}

@@ -117,7 +117,7 @@ func TestLoadRejectsWrongMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()
-	for _, magic := range []string{"CMSAV6\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav5\x00"} {
+	for _, magic := range []string{"CMSAV7\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav6\x00"} {
 		bad := append([]byte(magic), blob[len(magic):]...)
 		_, err := Load(bytes.NewReader(bad))
 		if err == nil {
@@ -161,22 +161,26 @@ func TestLoadV1ArtifactRebuildsEngine(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v5 := buf.Bytes()
-	// The v5 layout places the 18-byte engine block (disableKernel u8,
-	// maxTableBytes u64, interleaveK u32, maxShards i32, filterMode u8)
-	// and the dictKind byte right after the 13-byte options block; a v1
-	// artifact is the same bytes without either.
+	v6 := buf.Bytes()
+	// The v6 layout places the 19-byte engine block (disableKernel u8,
+	// maxTableBytes u64, interleaveK u32, maxShards i32, filterMode u8,
+	// stride u8) and the dictKind byte right after the 13-byte options
+	// block; a v1 artifact is the same bytes without either.
 	optsEnd := len(savMagic) + 13
 	v1 := append([]byte(nil), savMagicV1...)
-	v1 = append(v1, v5[len(savMagic):optsEnd]...)
-	v1 = append(v1, v5[optsEnd+19:]...)
+	v1 = append(v1, v6[len(savMagic):optsEnd]...)
+	v1 = append(v1, v6[optsEnd+20:]...)
 
 	back, err := Load(bytes.NewReader(v1))
 	if err != nil {
 		t.Fatalf("v1 artifact rejected: %v", err)
 	}
-	if got := back.Stats().Engine; got != "kernel" {
-		t.Fatalf("v1 load engine = %q, want kernel (zero-value EngineOptions)", got)
+	// Zero-value EngineOptions means the auto ladder re-runs on load:
+	// the loaded matcher must land on the same rung the writer's auto
+	// compile picked (for this dictionary the 1-byte kernel — its pair
+	// table is past the L2 residency gate).
+	if got, want := back.Stats().Engine, m.Stats().Engine; got != want {
+		t.Fatalf("v1 load engine = %q, want %q (zero-value EngineOptions)", got, want)
 	}
 	data, _, err := workload.Traffic(workload.TrafficConfig{
 		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: dict, Seed: 13,
@@ -216,14 +220,14 @@ func TestLoadV2ArtifactGetsDefaultShardCap(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v5 := buf.Bytes()
-	// Drop the trailing maxShards (4 bytes) and filterMode (1 byte)
-	// fields of the 18-byte engine block plus the dictKind byte, and
-	// swap the magic: that is exactly a v2 artifact.
-	engEnd := len(savMagic) + 13 + 18
+	v6 := buf.Bytes()
+	// Drop the trailing maxShards (4 bytes), filterMode (1 byte), and
+	// stride (1 byte) fields of the 19-byte engine block plus the
+	// dictKind byte, and swap the magic: that is exactly a v2 artifact.
+	engEnd := len(savMagic) + 13 + 19
 	v2 := append([]byte(nil), savMagicV2...)
-	v2 = append(v2, v5[len(savMagic):engEnd-5]...)
-	v2 = append(v2, v5[engEnd+1:]...)
+	v2 = append(v2, v6[len(savMagic):engEnd-6]...)
+	v2 = append(v2, v6[engEnd+1:]...)
 
 	back, err := Load(bytes.NewReader(v2))
 	if err != nil {
@@ -261,14 +265,14 @@ func TestLoadV3ArtifactGetsFilterAuto(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v5 := buf.Bytes()
-	// Drop the trailing filterMode byte of the 18-byte engine block plus
-	// the dictKind byte, and swap the magic: that is exactly a v3
-	// artifact.
-	engEnd := len(savMagic) + 13 + 18
+	v6 := buf.Bytes()
+	// Drop the trailing filterMode and stride bytes of the 19-byte
+	// engine block plus the dictKind byte, and swap the magic: that is
+	// exactly a v3 artifact.
+	engEnd := len(savMagic) + 13 + 19
 	v3 := append([]byte(nil), savMagicV3...)
-	v3 = append(v3, v5[len(savMagic):engEnd-1]...)
-	v3 = append(v3, v5[engEnd+1:]...)
+	v3 = append(v3, v6[len(savMagic):engEnd-2]...)
+	v3 = append(v3, v6[engEnd+1:]...)
 
 	back, err := Load(bytes.NewReader(v3))
 	if err != nil {
@@ -298,8 +302,8 @@ func TestLoadV3ArtifactGetsFilterAuto(t *testing.T) {
 		t.Fatalf("v3-loaded matcher diverged: %d vs %d matches", len(got), len(want))
 	}
 	// A current blob with an out-of-range filter mode must be rejected.
-	bad := append([]byte(nil), v5...)
-	bad[engEnd-1] = 7
+	bad := append([]byte(nil), v6...)
+	bad[engEnd-2] = 7
 	if _, err := Load(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad filter mode accepted")
 	}
@@ -318,13 +322,14 @@ func TestLoadV4ArtifactIsLiteral(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v5 := buf.Bytes()
-	// Drop the dictKind byte right after the 18-byte engine block and
-	// swap the magic: that is exactly a v4 artifact.
-	kindAt := len(savMagic) + 13 + 18
+	v6 := buf.Bytes()
+	// Drop the trailing stride byte of the 19-byte engine block and the
+	// dictKind byte right after it, and swap the magic: that is exactly
+	// a v4 artifact.
+	kindAt := len(savMagic) + 13 + 19
 	v4 := append([]byte(nil), savMagicV4...)
-	v4 = append(v4, v5[len(savMagic):kindAt]...)
-	v4 = append(v4, v5[kindAt+1:]...)
+	v4 = append(v4, v6[len(savMagic):kindAt-1]...)
+	v4 = append(v4, v6[kindAt+1:]...)
 
 	back, err := Load(bytes.NewReader(v4))
 	if err != nil {
@@ -351,10 +356,73 @@ func TestLoadV4ArtifactIsLiteral(t *testing.T) {
 		t.Fatalf("v4-loaded matcher diverged: %d vs %d matches", len(got), len(want))
 	}
 
-	bad := append([]byte(nil), v5...)
+	bad := append([]byte(nil), v6...)
 	bad[kindAt] = 9
 	if _, err := Load(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad dictionary kind accepted")
+	}
+}
+
+// A v5 artifact (engine block without the stride byte) must load with
+// stride auto — a qualifying dictionary comes back on the stride-2
+// rung — and scan byte-identically; a current blob with an
+// out-of-range stride byte must be rejected.
+func TestLoadV5ArtifactGetsStrideAuto(t *testing.T) {
+	// A small dictionary that passes every auto gate (classes, budget,
+	// pair-table L2 residency), so stride auto demonstrably selects the
+	// stride-2 rung on load.
+	dict := [][]byte{
+		[]byte("PANIC: runtime error"), []byte("segfault at address"),
+		[]byte("disk quota exceeded"), []byte("certificate expired"),
+	}
+	m, err := Compile(dict, Options{CaseFold: true, Engine: EngineOptions{Stride: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v6 := buf.Bytes()
+	// Drop the trailing stride byte of the 19-byte engine block and
+	// swap the magic: that is exactly a v5 artifact.
+	engEnd := len(savMagic) + 13 + 19
+	v5 := append([]byte(nil), savMagicV5...)
+	v5 = append(v5, v6[len(savMagic):engEnd-1]...)
+	v5 = append(v5, v6[engEnd:]...)
+
+	back, err := Load(bytes.NewReader(v5))
+	if err != nil {
+		t.Fatalf("v5 artifact rejected: %v", err)
+	}
+	if got := back.opts.Engine.Stride; got != 0 {
+		t.Fatalf("v5 load Stride = %d, want 0 (auto)", got)
+	}
+	if got := back.Stats().Engine; got != "stride2" {
+		t.Fatalf("v5 load engine = %q, want stride2 under stride auto", got)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: dict, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v5-loaded matcher diverged: %d vs %d matches", len(got), len(want))
+	}
+	// A current blob with an out-of-range stride byte must be rejected.
+	bad := append([]byte(nil), v6...)
+	bad[engEnd-1] = 3
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad stride accepted")
 	}
 }
 

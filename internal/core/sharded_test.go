@@ -15,8 +15,10 @@ func shardedMatchers(t *testing.T, patterns []string, fold bool, maxShards int) 
 	t.Helper()
 	// The skip-scan front-end is pinned off: these suites exercise the
 	// sharded scan schedules themselves (the filter has its own
-	// equivalence matrix, which covers sharded verification too).
-	opts := Options{CaseFold: fold, Engine: EngineOptions{Filter: FilterOff}}
+	// equivalence matrix, which covers sharded verification too). The
+	// anchor compile pins Stride 1 so its dense footprint sets the
+	// shard-forcing budget.
+	opts := Options{CaseFold: fold, Engine: EngineOptions{Filter: FilterOff, Stride: 1}}
 	kernelM, err := CompileStrings(patterns, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -80,12 +80,23 @@ var ErrBudget = errors.New("kernel: dense table exceeds budget")
 // Options tune compilation and scanning.
 type Options struct {
 	// MaxTableBytes is the aggregate dense-table budget across series
-	// slots. <=0 means DefaultMaxTableBytes.
+	// slots. <=0 means DefaultMaxTableBytes. With the stride-2 rung
+	// live the budget covers the dense AND pair tables together.
 	MaxTableBytes int
 	// InterleaveK forces the lane count of the interleaved scan loop:
 	// 1 forces the single-stream loop, 2..MaxInterleave force K lanes,
 	// 0 picks automatically by input size.
 	InterleaveK int
+	// Stride selects the symbols consumed per table transition.
+	// 0 (auto) compiles the stride-2 pair tables when every slot stays
+	// within AutoStride2MaxClasses classes, the aggregate pair table is
+	// L2-resident (<= L2Budget — past that the pair loads on the serial
+	// chain cost more than the two 1-byte loads they replace), and the
+	// aggregate footprint (dense + pair) fits MaxTableBytes; 1 pins the
+	// 1-byte kernel; 2 requests pair tables regardless of the auto
+	// gates, still falling back to the 1-byte kernel when they cannot
+	// fit MaxTableBytes.
+	Stride int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,12 +132,20 @@ type Table struct {
 	// where destRow = destState << shift.
 	Entries []uint32
 
+	// Pair holds the stride-2 rung's States*Width*Width pair-transition
+	// words (see stride2.go), nil when the rung is not compiled in.
+	// Entry = destPairRow | FlagOut, where destPairRow =
+	// destState << (2*shift) and the flag squashes "either the
+	// intermediate or the destination state has output".
+	Pair []uint32
+
 	// Outs lists the pattern ids reported when entering each state.
 	// Ids are global dictionary indices (the slot mapping is baked in).
 	Outs [][]int32
 
-	shift uint32 // log2(Width)
-	start uint32 // start state's row index
+	shift     uint32 // log2(Width)
+	pairShift uint32 // 2*shift, valid when Pair != nil
+	start     uint32 // start state's row index
 }
 
 // alignedWords allocates n uint32s whose first element lies on a
@@ -289,9 +308,13 @@ func (t *Table) scanSerial(piece []byte, base, dedupe int, sink *[]dfa.Match) {
 // no speculative restart, no dedupe), calling emit for every hit with
 // a 1-based piece-local end offset, and returns the final row. It is
 // the kernel backend of core.Stream and of the sharded engine's
-// sequential chunk-interleaved scan, so it runs the same 4x unrolled
-// loop as scanSerial.
+// sequential chunk-interleaved scan. Carried rows are always 1-byte
+// encoded rows, even on the stride-2 rung (scanCarry2 converts at the
+// boundaries), so stream state is representation-independent.
 func (t *Table) ScanCarry(piece []byte, cur uint32, emit func(pid int32, end int)) uint32 {
+	if t.Pair != nil {
+		return t.scanCarry2(piece, cur, emit)
+	}
 	entries := t.Entries
 	cls := &t.ByteClass
 	cur &= rowMask
@@ -391,19 +414,44 @@ type Engine struct {
 	// MaxPatternLen sizes the interleave overlap window.
 	MaxPatternLen int
 
-	opts Options
+	opts   Options
+	stride int // 2 when every table carries pair tables, else 1
+}
+
+// Stride reports the live transition stride: 2 when the pair tables
+// are compiled in (the stride-2 rung), 1 for the plain dense kernel.
+func (e *Engine) Stride() int {
+	if e.stride == 2 {
+		return 2
+	}
+	return 1
+}
+
+// PairBytes is the aggregate pair-table footprint (0 at stride 1).
+func (e *Engine) PairBytes() int {
+	total := 0
+	for _, t := range e.Tables {
+		total += t.PairSizeBytes()
+	}
+	return total
 }
 
 // Compile flattens a composed system into a dense engine. It returns
 // ErrBudget (wrapped) when the aggregate table size exceeds
 // Options.MaxTableBytes; callers are expected to fall back to the
-// stt/dfa scan path.
+// stt/dfa scan path. Per Options.Stride the engine additionally
+// compiles the stride-2 pair tables; a pair set that cannot fit the
+// remaining budget degrades to the plain 1-byte kernel rather than
+// failing (the rung below on the selection ladder).
 func Compile(sys *compose.System, opts Options) (*Engine, error) {
 	o := opts.withDefaults()
+	if o.Stride < 0 || o.Stride > 2 {
+		return nil, fmt.Errorf("kernel: bad stride %d (want 0 auto, 1, or 2)", o.Stride)
+	}
 	if len(sys.Slots) == 0 {
 		return nil, fmt.Errorf("kernel: system has no slots")
 	}
-	e := &Engine{MaxPatternLen: sys.MaxPatternLen, opts: o}
+	e := &Engine{MaxPatternLen: sys.MaxPatternLen, opts: o, stride: 1}
 	total := 0
 	for i, d := range sys.Slots {
 		t, err := compileTable(d, sys.Red.Map, sys.SlotPatterns[i])
@@ -416,7 +464,42 @@ func Compile(sys *compose.System, opts Options) (*Engine, error) {
 		}
 		e.Tables = append(e.Tables, t)
 	}
+	if o.Stride != 1 && e.pairEligible(o, total) {
+		for _, t := range e.Tables {
+			t.buildPair()
+		}
+		e.stride = 2
+	}
 	return e, nil
+}
+
+// pairEligible decides whether the stride-2 pair tables come up:
+// every slot's pair row indexing must fit and the aggregate dense +
+// pair footprint must stay within the byte budget. The auto policy
+// (Stride 0) additionally requires every slot within
+// AutoStride2MaxClasses classes AND the aggregate pair table
+// L2-resident (<= L2Budget): a pair load is on the scan's serial
+// dependency chain, so a pair table that spills past L2 trades one
+// L1-speed load per byte for one slower load per pair and measures
+// at or below the 1-byte kernel — the measured NIDS-dictionary
+// regime (6 MiB pair table, 0.97x). An explicit Stride 2 skips both
+// auto gates and builds whatever fits MaxTableBytes. denseTotal is
+// the already-accumulated dense footprint.
+func (e *Engine) pairEligible(o Options, denseTotal int) bool {
+	pairTotal := 0
+	for _, t := range e.Tables {
+		if !t.pairFits() {
+			return false
+		}
+		if o.Stride == 0 && t.Classes > AutoStride2MaxClasses {
+			return false
+		}
+		pairTotal += t.States * t.Width * t.Width * 4
+	}
+	if o.Stride == 0 && pairTotal > L2Budget {
+		return false
+	}
+	return denseTotal+pairTotal <= o.MaxTableBytes
 }
 
 // TableBytes is the aggregate dense-table footprint.
@@ -459,14 +542,29 @@ func (e *Engine) FindAll(data []byte) []dfa.Match {
 // FindAllK is FindAll with an explicit lane count (1 = single-stream
 // loop). Any k >= 1 yields identical matches.
 func (e *Engine) FindAllK(data []byte, k int) []dfa.Match {
+	return e.findAllK(data, k, false)
+}
+
+// FindAllStride1 is FindAll forced onto the 1-byte loops even when the
+// stride-2 pair tables are live — the per-request stride=1 opt-out the
+// serving layer exposes. Output is byte-identical to FindAll.
+func (e *Engine) FindAllStride1(data []byte) []dfa.Match {
+	return e.findAllK(data, e.chooseK(len(data)), true)
+}
+
+func (e *Engine) findAllK(data []byte, k int, force1 bool) []dfa.Match {
 	var out []dfa.Match
 	chunks := e.laneChunks(data, k)
-	if chunks == nil {
-		for _, t := range e.Tables {
+	for _, t := range e.Tables {
+		stride2 := t.Pair != nil && !force1
+		switch {
+		case chunks == nil && stride2:
+			t.scanSerial2(data, 0, 0, &out)
+		case chunks == nil:
 			t.scanSerial(data, 0, 0, &out)
-		}
-	} else {
-		for _, t := range e.Tables {
+		case stride2:
+			t.scanInterleaved2(data, chunks, &out)
+		default:
 			t.scanInterleaved(data, chunks, &out)
 		}
 	}
@@ -497,9 +595,14 @@ func (e *Engine) Count(data []byte) int {
 	total := 0
 	chunks := e.laneChunks(data, e.chooseK(len(data)))
 	for _, t := range e.Tables {
-		if chunks == nil {
+		switch {
+		case chunks == nil && t.Pair != nil:
+			total += t.countSerial2(data, 0)
+		case chunks == nil:
 			total += t.countSerial(data, 0)
-		} else {
+		case t.Pair != nil:
+			total += t.countInterleaved2(data, chunks)
+		default:
 			total += t.countInterleaved(data, chunks)
 		}
 	}
@@ -569,6 +672,20 @@ func (t *Table) countInterleaved(data []byte, chunks []interleave.Chunk) int {
 // duplicates), the rest are shifted by base. Output order is per-table
 // scan order; the caller merges and sorts.
 func (e *Engine) ScanChunk(piece []byte, base, dedupe int) []dfa.Match {
+	var out []dfa.Match
+	for _, t := range e.Tables {
+		if t.Pair != nil {
+			t.scanSerial2(piece, base, dedupe, &out)
+		} else {
+			t.scanSerial(piece, base, dedupe, &out)
+		}
+	}
+	return out
+}
+
+// ScanChunkStride1 is ScanChunk pinned to the 1-byte loops — the
+// parallel-path form of the per-request stride=1 opt-out.
+func (e *Engine) ScanChunkStride1(piece []byte, base, dedupe int) []dfa.Match {
 	var out []dfa.Match
 	for _, t := range e.Tables {
 		t.scanSerial(piece, base, dedupe, &out)
@@ -708,5 +825,5 @@ func (t *Table) Validate() error {
 			return fmt.Errorf("kernel: padding entry %d carries a flag", i)
 		}
 	}
-	return nil
+	return t.validatePair()
 }

@@ -343,7 +343,10 @@ func CompileSharded(patterns [][]byte, cfg ShardConfig) (*Sharded, error) {
 			}
 			sys.SlotPatterns[slot] = global
 		}
-		eng, err := Compile(sys, Options{MaxTableBytes: budget})
+		// Shards pin stride 1: the sharded tier sits BELOW the stride-2
+		// rung on the selection ladder, and per-shard pair tables would
+		// burn the very budget that forced sharding in the first place.
+		eng, err := Compile(sys, Options{MaxTableBytes: budget, Stride: 1})
 		if err != nil {
 			return nil, fmt.Errorf("kernel: shard %d: %w", si, err)
 		}

@@ -76,6 +76,10 @@ type Options struct {
 	// Each chunk is filtered once, shared across the sharded engine's
 	// per-shard work items, so the stat counts every chunk exactly once.
 	FilterSkipped *atomic.Uint64
+	// ForceStride1 pins Engine to its 1-byte scan loops even when its
+	// 2-byte-stride pair tables are live — the per-request stride=1
+	// opt-out. Results are identical either way.
+	ForceStride1 bool
 }
 
 func (o Options) withDefaults() Options {
@@ -192,6 +196,9 @@ func scanPieceEngine(sys *compose.System, piece []byte, base, ov int, o Options,
 	if o.Engine != nil {
 		// The kernel consumes raw bytes (reduction baked into its
 		// byte→class map): no scratch copy at all.
+		if o.ForceStride1 {
+			return o.Engine.ScanChunkStride1(piece, base, ov)
+		}
 		return o.Engine.ScanChunk(piece, base, ov)
 	}
 	scratch := getScratch(len(piece))

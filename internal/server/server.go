@@ -14,7 +14,8 @@
 // "default" tenant, so single-tenant clients never change):
 //
 //	POST /scan         body = data; query: mode=pool|seq|adhoc,
-//	                   workers (adhoc only), chunk, count, filter
+//	                   workers (adhoc only), chunk, count, filter,
+//	                   stride (1 pins this request to the 1-byte loops)
 //	POST /scan/stream  chunked upload fed through ScanReader
 //	POST /scan/batch   body = one payload, coalesced across requests
 //	                   (all tenants share the collector; payloads are
@@ -229,12 +230,16 @@ type ScanResponse struct {
 	// mid-scan.
 	Generation uint64 `json:"generation"`
 	Source     string `json:"source"`
-	// Engine is the live verifier engine ("kernel", "sharded", or
-	// "stt"); Filter reports whether the skip-scan front-end ran ahead
-	// of it for this request (compiled in and not disabled by the
-	// filter=off query knob).
+	// Engine is the live verifier engine ("stride2", "kernel",
+	// "sharded", or "stt"); Filter reports whether the skip-scan
+	// front-end ran ahead of it for this request (compiled in and not
+	// disabled by the filter=off query knob). Stride is the transition
+	// stride that actually served this request: 2 on the stride-2 rung,
+	// 1 when the engine is byte-at-a-time or the stride=1 query knob
+	// pinned it there, 0 (omitted) on the stt fallback.
 	Engine string `json:"engine"`
 	Filter bool   `json:"filter,omitempty"`
+	Stride int    `json:"stride,omitempty"`
 	// Regex reports a regular-expression dictionary: match starts are
 	// unknown (-1) and Text fields carry expression sources.
 	Regex   bool        `json:"regex,omitempty"`
@@ -314,6 +319,14 @@ func (s *Server) scanOpts(q map[string][]string) (mode string, opts core.Paralle
 		return "", opts, ferr
 	}
 	opts.DisableFilter = fmode == core.FilterOff
+	// stride=1 pins this request onto the 1-byte kernel loops;
+	// "2"/"auto" mean the compiled default (like filter=on, a request
+	// cannot conjure pair tables the compile declined).
+	stride, serr := core.ParseStride(get("stride"))
+	if serr != nil {
+		return "", opts, serr
+	}
+	opts.DisableStride2 = stride == 1
 	switch mode {
 	case "pool":
 		opts.Pool = s.pool
@@ -348,9 +361,14 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	var matches []core.Match
 	if mode == "seq" {
-		if opts.DisableFilter {
+		switch {
+		case opts.DisableFilter && opts.DisableStride2:
+			matches, err = e.Matcher.FindAllUnfilteredStride1(data)
+		case opts.DisableFilter:
 			matches, err = e.Matcher.FindAllUnfiltered(data)
-		} else {
+		case opts.DisableStride2:
+			matches, err = e.Matcher.FindAllStride1(data)
+		default:
 			matches, err = e.Matcher.FindAll(data)
 		}
 	} else {
@@ -361,7 +379,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tn.counters.scan(len(data), len(matches))
-	s.writeScanResponse(w, r, tn, e, data, len(data), matches, !opts.DisableFilter)
+	s.writeScanResponse(w, r, tn, e, data, len(data), matches, !opts.DisableFilter, opts.DisableStride2)
 }
 
 func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
@@ -389,7 +407,7 @@ func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tn.counters.scan(cr.n, len(matches))
-	s.writeScanResponse(w, r, tn, e, nil, cr.n, matches, !opts.DisableFilter)
+	s.writeScanResponse(w, r, tn, e, nil, cr.n, matches, !opts.DisableFilter, opts.DisableStride2)
 }
 
 // streamScanStatus classifies a ScanReader failure: 400 when the
@@ -415,18 +433,27 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	stride, err := core.ParseStride(r.URL.Query().Get("stride"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	data, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
+	disableFilter := fmode == core.FilterOff && e.Matcher.FilterActive()
+	disableStride2 := stride == 1 && e.Matcher.Stride() == 2
 	var matches []core.Match
-	if fmode == core.FilterOff && e.Matcher.FilterActive() {
+	if disableFilter || disableStride2 {
 		// A coalesced pass is shared across requests and cannot honor a
-		// per-request bypass: scan this payload alone on the pool, the
-		// same knob semantics as /scan. When the matcher has no filter
-		// to bypass the knob is a no-op and coalescing proceeds.
+		// per-request bypass (filter=off or stride=1): scan this payload
+		// alone on the pool, the same knob semantics as /scan. When the
+		// matcher has nothing to bypass the knob is a no-op and
+		// coalescing proceeds.
 		matches, err = e.Matcher.FindAllParallel(data, core.ParallelOptions{
-			ChunkBytes: s.cfg.ChunkBytes, Pool: s.pool, DisableFilter: true,
+			ChunkBytes: s.cfg.ChunkBytes, Pool: s.pool,
+			DisableFilter: disableFilter, DisableStride2: disableStride2,
 		})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -440,7 +467,7 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	tn.counters.scan(len(data), len(matches))
-	s.writeScanResponse(w, r, tn, e, data, len(data), matches, fmode != core.FilterOff)
+	s.writeScanResponse(w, r, tn, e, data, len(data), matches, fmode != core.FilterOff, stride == 1)
 }
 
 // scanBatchGroup is the batcher's scan callback: one coalesced kernel
@@ -458,14 +485,19 @@ func (s *Server) scanBatchGroup(e *registry.Entry, payloads [][]byte) ([][]core.
 // payload when the endpoint buffered it (/scan, /scan/batch) so
 // literal-dictionary Text fields carry the actual matched bytes; nil
 // for /scan/stream, which falls back to the canonical pattern.
-func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, tn *tenantState, e *registry.Entry, data []byte, n int, matches []core.Match, filtered bool) {
+func (s *Server) writeScanResponse(w http.ResponseWriter, r *http.Request, tn *tenantState, e *registry.Entry, data []byte, n int, matches []core.Match, filtered bool, stride1 bool) {
 	regex := e.Matcher.IsRegex()
+	stride := e.Matcher.Stride()
+	if stride1 && stride == 2 {
+		stride = 1
+	}
 	resp := ScanResponse{
 		Tenant:     tn.name,
 		Generation: e.Generation,
 		Source:     e.Source,
 		Engine:     e.Matcher.EngineName(),
 		Filter:     filtered && e.Matcher.FilterActive(),
+		Stride:     stride,
 		Regex:      regex,
 		Bytes:      n,
 		Count:      len(matches),
@@ -499,13 +531,16 @@ type ReloadResponse struct {
 	Source     string `json:"source"`
 	Patterns   int    `json:"patterns"`
 	States     int    `json:"states"`
-	// Engine is the new dictionary's live scan engine ("kernel",
-	// "sharded", or "stt"); Shards its shard count (0 unless sharded) —
-	// the immediate signal that a swapped-in dictionary landed in (or
-	// fell out of) the peak-performance tiers. Filter reports whether
-	// the skip-scan front-end came up ahead of the engine.
+	// Engine is the new dictionary's live scan engine ("stride2",
+	// "kernel", "sharded", or "stt"); Shards its shard count (0 unless
+	// sharded); Stride its transition stride (2 on the stride-2 rung, 1
+	// byte-at-a-time, 0 on stt) — the immediate signal that a
+	// swapped-in dictionary landed in (or fell out of) the
+	// peak-performance tiers. Filter reports whether the skip-scan
+	// front-end came up ahead of the engine.
 	Engine string `json:"engine"`
 	Shards int    `json:"shards,omitempty"`
+	Stride int    `json:"stride,omitempty"`
 	Filter bool   `json:"filter,omitempty"`
 	// Regex reports that the swapped-in dictionary is a set of regular
 	// expressions (format=regex, or a regex artifact).
@@ -553,6 +588,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		States:     st.States,
 		Engine:     st.Engine,
 		Shards:     st.Shards,
+		Stride:     st.Stride,
 		Filter:     st.FilterEnabled,
 		Regex:      st.Regex,
 	})

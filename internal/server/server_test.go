@@ -493,8 +493,11 @@ func TestStatsCounters(t *testing.T) {
 	if st.PoolWorkers != 3 || st.Generation != 1 || st.Dictionary.Patterns != 1 {
 		t.Fatalf("bad stats: %+v", st)
 	}
-	if st.Dictionary.Engine != "kernel" {
-		t.Fatalf("engine=%s, want kernel", st.Dictionary.Engine)
+	if st.Dictionary.Engine != "stride2" {
+		t.Fatalf("engine=%s, want stride2 (default stride auto)", st.Dictionary.Engine)
+	}
+	if st.Dictionary.Stride != 2 || st.Dictionary.PairTableBytes <= 0 {
+		t.Fatalf("stride-2 stats missing from /stats: %+v", st.Dictionary)
 	}
 }
 
@@ -663,5 +666,111 @@ func TestStatsScanRace(t *testing.T) {
 	// The skip counter must have moved and be readable consistently.
 	if got := m.Stats().WindowsSkipped; got == 0 {
 		t.Fatal("no windows skipped across 32 scans")
+	}
+}
+
+// logPatterns is a small alert dictionary that passes every stride-2
+// auto gate (few states, narrow alphabet, L2-resident pair tables), so
+// the server under test serves the stride-2 rung by default.
+func logPatterns() []string {
+	return []string{"PANIC: runtime error", "segfault at address",
+		"disk quota exceeded", "certificate expired"}
+}
+
+// TestStrideKnobEquivalence: the per-request stride=1 knob must pin
+// the request onto the 1-byte loops (reported by ScanResponse.Stride)
+// and still return exactly the same matches, in every scan mode and on
+// /scan/batch and /scan/stream. A reload keeps reporting the stride,
+// and /stats carries the pair-table shape.
+func TestStrideKnobEquivalence(t *testing.T) {
+	ts, _, m := newTestServer(t, logPatterns(), Config{Workers: 2})
+	if got := m.Stats().Engine; got != "stride2" {
+		t.Fatalf("fixture engine = %q, want stride2 (auto gates changed?)", got)
+	}
+	line := "ts=1 level=info msg=ok\nts=2 level=crit msg=\"PANIC: runtime error\"\n" +
+		"ts=3 level=warn msg=\"disk quota exceeded on /var\"\nts=4 level=info msg=idle\n"
+	payload := []byte(strings.Repeat(line, 200) + "certificate expired")
+	var ref ScanResponse
+	for i, q := range []string{"", "?stride=auto", "?stride=2", "?stride=1",
+		"?mode=seq&stride=1", "?mode=seq&filter=off&stride=1", "?mode=adhoc&workers=3&stride=1"} {
+		sr := postScan(t, ts.URL+"/scan"+q, payload)
+		wantStride := 2
+		if strings.Contains(q, "stride=1") {
+			wantStride = 1
+		}
+		if sr.Stride != wantStride {
+			t.Fatalf("%q: Stride=%d, want %d", q, sr.Stride, wantStride)
+		}
+		if batch := postScan(t, ts.URL+"/scan/batch"+q, payload); batch.Count != sr.Count ||
+			batch.Stride != wantStride {
+			t.Fatalf("/scan/batch%s: count=%d stride=%d, want count=%d stride=%d",
+				q, batch.Count, batch.Stride, sr.Count, wantStride)
+		}
+		if stream := postScan(t, ts.URL+"/scan/stream"+q, payload); stream.Count != sr.Count ||
+			stream.Stride != wantStride {
+			t.Fatalf("/scan/stream%s: count=%d stride=%d, want count=%d stride=%d",
+				q, stream.Count, stream.Stride, sr.Count, wantStride)
+		}
+		if i == 0 {
+			ref = sr
+			if ref.Count == 0 {
+				t.Fatal("traffic has no matches")
+			}
+			continue
+		}
+		if sr.Count != ref.Count || !reflect.DeepEqual(sr.Matches, ref.Matches) {
+			t.Fatalf("%q: %d matches, want %d (stride knob changed the output)", q, sr.Count, ref.Count)
+		}
+	}
+	// A request cannot conjure strides the engine does not have.
+	resp, err := http.Post(ts.URL+"/scan?stride=3", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stride=3 got %d, want 400", resp.StatusCode)
+	}
+	// /stats surfaces the rung and its pair-table footprint.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dictionary.Engine != "stride2" || st.Dictionary.Stride != 2 || st.Dictionary.PairTableBytes <= 0 {
+		t.Fatalf("/stats dictionary = engine %q stride %d pair %d, want stride-2 shape",
+			st.Dictionary.Engine, st.Dictionary.Stride, st.Dictionary.PairTableBytes)
+	}
+	// A hot-swap onto the same rung must report the stride in the
+	// reload response — dashboards alert on silent rung changes.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stride2.cms")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rresp, err := http.Post(ts.URL+"/reload?path="+path+"&format=artifact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ReloadResponse
+	err = json.NewDecoder(rresp.Body).Decode(&rr)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Engine != "stride2" || rr.Stride != 2 {
+		t.Fatalf("/reload reported engine %q stride %d, want stride2/2", rr.Engine, rr.Stride)
 	}
 }
