@@ -65,6 +65,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "exit status only (0 = match found)")
 		stats    = flag.Bool("stats", false, "print compiled-dictionary statistics")
 		estimate = flag.Bool("estimate", false, "print simulated Cell deployment estimate")
+		cworkers = flag.Int("compileworkers", 0, "dictionary compile parallelism (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -81,7 +82,7 @@ func main() {
 		fail(err)
 	}
 	opts := core.Options{
-		CaseFold: *caseFold, Groups: *groups,
+		CaseFold: *caseFold, Groups: *groups, CompileWorkers: *cworkers,
 		Engine: core.EngineOptions{Filter: fmode, Stride: stride},
 	}
 	var m *core.Matcher

@@ -112,6 +112,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		maxQueuedBytes = fs.Int64("max-queued-bytes", 0, "shed scan requests once admitted body bytes exceed this (0 = unlimited)")
 		watch          = fs.Bool("watch", false, "poll every dictionary source and hot-reload on change")
 		watchInterval  = fs.Duration("watch-interval", 2*time.Second, "source poll interval with -watch")
+		delta          = fs.Bool("delta", true, "patch dict/regex reloads incrementally (reuse unchanged compiled units; skip the swap when the pattern set is unchanged)")
+		compileWorkers = fs.Int("compileworkers", 0, "dictionary compile parallelism (0 = one per CPU, 1 = sequential)")
 	)
 	var tenants []tenantSpec
 	fs.Func("tenant", "serve an extra dictionary as `name=format:path` (repeatable; format: artifact, dict, or regex)",
@@ -136,8 +138,9 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		return fmt.Errorf("-stride: %w", err)
 	}
 	opts := core.Options{
-		CaseFold: *caseFold,
-		Engine:   core.EngineOptions{Filter: fmode, Stride: stride},
+		CaseFold:       *caseFold,
+		CompileWorkers: *compileWorkers,
+		Engine:         core.EngineOptions{Filter: fmode, Stride: stride},
 	}
 
 	// The base -artifact/-dict/-regex flags populate the default
@@ -145,7 +148,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	ns := registry.NewNamespace()
 	baseSet := *artifact != "" || *dict != "" || *regex != ""
 	if baseSet {
-		reg, err := buildRegistry(*artifact, *dict, *regex, opts)
+		reg, err := buildRegistry(*artifact, *dict, *regex, opts, *delta)
 		if err != nil {
 			return err
 		}
@@ -164,9 +167,17 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		case "artifact":
 			reg = registry.New(spec.path, registry.ArtifactLoader(spec.path))
 		case "dict":
-			reg = registry.New(spec.path, registry.DictLoader(spec.path, opts))
+			if *delta {
+				reg = registry.NewDelta(spec.path, registry.DictDeltaLoader(spec.path, opts))
+			} else {
+				reg = registry.New(spec.path, registry.DictLoader(spec.path, opts))
+			}
 		case "regex":
-			reg = registry.New(spec.path, registry.RegexLoader(spec.path, opts))
+			if *delta {
+				reg = registry.NewDelta(spec.path, registry.RegexDeltaLoader(spec.path, opts))
+			} else {
+				reg = registry.New(spec.path, registry.RegexLoader(spec.path, opts))
+			}
 		}
 		if err := ns.Set(spec.name, reg); err != nil {
 			return fmt.Errorf("-tenant %s: %w", spec.name, err)
@@ -238,8 +249,10 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 }
 
 // buildRegistry wires the dictionary source from the flags: exactly
-// one of -artifact, -dict, or -regex.
-func buildRegistry(artifact, dict, regex string, opts core.Options) (*registry.Registry, error) {
+// one of -artifact, -dict, or -regex. With delta set, dict and regex
+// sources reload through the incremental loaders (artifacts are
+// pre-compiled and always load whole).
+func buildRegistry(artifact, dict, regex string, opts core.Options, delta bool) (*registry.Registry, error) {
 	set := 0
 	for _, s := range []string{artifact, dict, regex} {
 		if s != "" {
@@ -252,8 +265,14 @@ func buildRegistry(artifact, dict, regex string, opts core.Options) (*registry.R
 	case artifact != "":
 		return registry.New(artifact, registry.ArtifactLoader(artifact)), nil
 	case dict != "":
+		if delta {
+			return registry.NewDelta(dict, registry.DictDeltaLoader(dict, opts)), nil
+		}
 		return registry.New(dict, registry.DictLoader(dict, opts)), nil
 	case regex != "":
+		if delta {
+			return registry.NewDelta(regex, registry.RegexDeltaLoader(regex, opts)), nil
+		}
 		return registry.New(regex, registry.RegexLoader(regex, opts)), nil
 	default:
 		return nil, fmt.Errorf("a dictionary is required: -artifact, -dict, or -regex")

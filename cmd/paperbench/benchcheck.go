@@ -71,6 +71,16 @@ func gatedMetric(key string) bool {
 		// row) is banked; the scenario_*_skip_pct evidence rows stay
 		// informational — skip ratio is workload shape, not speed.
 		return true
+	case strings.HasPrefix(key, "compile_fleet_") && strings.HasSuffix(key, "_ms"):
+		// The fleet-scale compile latencies are banked (lower is
+		// better); the compile_scenario_* rows are microsecond-scale
+		// evidence, too noisy for a one-shot CI gate. The parallel
+		// speedup ratio is gated by its conditional floor alone (see
+		// floorFor) — its baseline value depends on the recording
+		// host's core count, which the relative gate cannot see.
+		return true
+	case key == "speedup_compile_delta":
+		return true
 	}
 	return false
 }
@@ -91,6 +101,31 @@ var speedupFloors = map[string]float64{
 	// The 2-byte-stride rung must stay >= 1.7x over the 1-byte kernel
 	// single-stream (the ISSUE 8 acceptance bar).
 	"speedup_stride2_vs_kernel": 1.7,
+	// Patching a 64-pattern append into a fleet-scale matcher must stay
+	// >= 2x faster than the cold rebuild of the same dictionary. The
+	// patch re-runs all the deterministic planning (partition, shard
+	// plan) and rebuilds only the trailing units, so the ratio is
+	// planning-bound, not unit-bound; both sides run sequentially, so
+	// it is machine-portable.
+	"speedup_compile_delta": 2.0,
+}
+
+// floorFor resolves the absolute floor for a metric, if any: the
+// static speedupFloors table, plus the one conditional entry — the
+// parallel-compile speedup can only express itself on a multi-core
+// host, so its >= 2x floor arms only when the candidate's
+// compile_cores meta row reports at least 4 cores (a 1-2 core runner
+// measures ~1x by construction, and gating that would only gate the
+// runner shape).
+func floorFor(key string, cand map[string]float64) (float64, bool) {
+	if key == "speedup_compile_parallel" {
+		if cand["compile_cores"] >= 4 {
+			return 2.0, true
+		}
+		return 0, false
+	}
+	f, ok := speedupFloors[key]
+	return f, ok
 }
 
 // lowerIsBetter reports metrics gated in the inverted direction:
@@ -107,7 +142,7 @@ func metaMetric(key string) bool {
 	case "input_bytes", "dict_states", "scan_payload_bytes",
 		"batch_payload_bytes", "shard_budget_bytes", "shards",
 		"filter_patterns", "filter_min_pattern_len", "filter_window",
-		"scenarios":
+		"scenarios", "compile_cores", "compile_patterns":
 		return true
 	}
 	return strings.HasSuffix(key, "_shards")
@@ -215,10 +250,18 @@ func runBenchCheck(w io.Writer, baselinePath, candidatePath string, maxDrop floa
 				gate = "FAIL"
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.2f -> %.2f (%.1f%%, floor %.2f)", k, b, c, delta, b*(1-maxDrop)))
-			} else if floor, has := speedupFloors[k]; has && c < floor {
+			}
+		}
+		// Absolute floors apply independently of the relative gate: a
+		// ratio can carry a floor without a baseline-relative check
+		// (speedup_compile_parallel's is conditional on the host).
+		if floor, has := floorFor(k, cand); has && gate != "FAIL" {
+			if c < floor {
 				gate = "FAIL"
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.2f below the absolute %.1fx floor", k, c, floor))
+			} else if gate == "" {
+				gate = "ok"
 			}
 		}
 		fmt.Fprintf(w, "| %s | %.2f | %.2f | %+.1f%% | %s |\n", k, b, c, delta, gate)
@@ -243,10 +286,14 @@ func runBenchCheck(w io.Writer, baselinePath, candidatePath string, maxDrop floa
 		gate := ""
 		if gatedMetric(k) {
 			gate = "ok"
-			if floor, has := speedupFloors[k]; has && c < floor {
+		}
+		if floor, has := floorFor(k, cand); has {
+			if c < floor {
 				gate = "FAIL"
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.2f below the absolute %.1fx floor (no baseline)", k, c, floor))
+			} else {
+				gate = "ok"
 			}
 		}
 		fmt.Fprintf(w, "| %s | (new) | %.2f | | %s |\n", k, c, gate)

@@ -339,12 +339,131 @@ func TestBenchCheckLatencyGateInverted(t *testing.T) {
 	}
 }
 
+const compileBench = `{
+  "compile_cores": 1,
+  "compile_patterns": 50000,
+  "compile_fleet_cold_ms": 900,
+  "compile_fleet_parallel_ms": 910,
+  "compile_fleet_delta_add_ms": 170,
+  "speedup_compile_parallel": 0.99,
+  "speedup_compile_delta": 5.3,
+  "compile_scenario_log-scan_cold_ms": 0.7,
+  "compile_scenario_log-scan_delta_ms": 0.8
+}`
+
+// The compile pair gates the fleet latencies in the inverted (_ms)
+// direction, gates the delta speedup with its 2x floor, and keeps the
+// microsecond-scale scenario rows informational.
+func TestBenchCheckCompileGating(t *testing.T) {
+	cb := writeBench(t, "compile.json", compileBench)
+
+	// Self-comparison passes; a 1-core parallel "speedup" of ~1x does
+	// not trip any floor (the 2x floor arms at >= 4 cores).
+	var b strings.Builder
+	if err := runBenchCheck(&b, cb, cb, 0.20); err != nil {
+		t.Fatalf("compile self-comparison failed: %v\n%s", err, b.String())
+	}
+
+	// Fleet delta latency ballooning past the ceiling fails; a
+	// scenario row ballooning does not (informational evidence).
+	slow := writeBench(t, "slow.json", `{
+	  "compile_cores": 1,
+	  "compile_patterns": 50000,
+	  "compile_fleet_cold_ms": 900,
+	  "compile_fleet_parallel_ms": 910,
+	  "compile_fleet_delta_add_ms": 500,
+	  "speedup_compile_parallel": 0.99,
+	  "speedup_compile_delta": 2.1,
+	  "compile_scenario_log-scan_cold_ms": 70,
+	  "compile_scenario_log-scan_delta_ms": 80
+	}`)
+	b.Reset()
+	err := runBenchCheck(&b, cb, slow, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "compile_fleet_delta_add_ms") {
+		t.Fatalf("delta latency regression not caught: %v\n%s", err, b.String())
+	}
+	if strings.Contains(err.Error(), "compile_scenario_") {
+		t.Fatalf("informational scenario compile row gated: %v", err)
+	}
+
+	// Delta speedup below the 2x absolute floor fails even when within
+	// the relative drop of a high baseline.
+	lowDelta := writeBench(t, "lowdelta.json", `{
+	  "compile_cores": 1,
+	  "compile_patterns": 50000,
+	  "compile_fleet_cold_ms": 900,
+	  "compile_fleet_parallel_ms": 910,
+	  "compile_fleet_delta_add_ms": 170,
+	  "speedup_compile_parallel": 0.99,
+	  "speedup_compile_delta": 1.8
+	}`)
+	highBase := writeBench(t, "highbase.json", `{
+	  "compile_cores": 1,
+	  "compile_patterns": 50000,
+	  "compile_fleet_cold_ms": 900,
+	  "compile_fleet_parallel_ms": 910,
+	  "compile_fleet_delta_add_ms": 170,
+	  "speedup_compile_parallel": 0.99,
+	  "speedup_compile_delta": 2.0
+	}`)
+	b.Reset()
+	err = runBenchCheck(&b, highBase, lowDelta, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "speedup_compile_delta") {
+		t.Fatalf("delta speedup floor breach not caught: %v\n%s", err, b.String())
+	}
+}
+
+// The parallel-compile floor is conditional on the candidate host: at
+// >= 4 cores a sub-2x speedup fails, below that it is informational
+// (a 1-core runner measures ~1x by construction).
+func TestBenchCheckParallelFloorConditionalOnCores(t *testing.T) {
+	cb := writeBench(t, "compile.json", compileBench)
+	mk := func(name string, cores, speedup float64) string {
+		return writeBench(t, name, fmt.Sprintf(`{
+		  "compile_cores": %g,
+		  "compile_patterns": 50000,
+		  "compile_fleet_cold_ms": 900,
+		  "compile_fleet_parallel_ms": 450,
+		  "compile_fleet_delta_add_ms": 170,
+		  "speedup_compile_parallel": %g,
+		  "speedup_compile_delta": 5.3
+		}`, cores, speedup))
+	}
+	var b strings.Builder
+	// 2 cores at 1.4x: floor disarmed, passes.
+	if err := runBenchCheck(&b, cb, mk("c2.json", 2, 1.4), 0.20); err != nil {
+		t.Fatalf("2-core sub-2x speedup gated: %v\n%s", err, b.String())
+	}
+	// 8 cores at 1.4x: floor armed, fails.
+	b.Reset()
+	err := runBenchCheck(&b, cb, mk("c8.json", 8, 1.4), 0.20)
+	if err == nil || !strings.Contains(err.Error(), "speedup_compile_parallel") {
+		t.Fatalf("8-core sub-2x speedup passed: %v\n%s", err, b.String())
+	}
+	// 8 cores at 3.1x: floor armed, passes.
+	b.Reset()
+	if err := runBenchCheck(&b, cb, mk("c8ok.json", 8, 3.1), 0.20); err != nil {
+		t.Fatalf("8-core 3.1x speedup gated: %v\n%s", err, b.String())
+	}
+	// The ratio must not be relatively gated: 3.1x vs a 0.99x baseline
+	// is a "rise", and a later 2.2x against that would be a >20% drop —
+	// but only the floor applies.
+	high := mk("high.json", 8, 3.1)
+	b.Reset()
+	if err := runBenchCheck(&b, high, mk("c8later.json", 8, 2.2), 0.20); err != nil {
+		t.Fatalf("parallel speedup relatively gated: %v\n%s", err, b.String())
+	}
+	if !metaMetric("compile_cores") || !metaMetric("compile_patterns") {
+		t.Fatal("compile meta rows must be meta fields")
+	}
+}
+
 // The committed repo baselines themselves must pass against themselves
 // — keeps the gate runnable from a clean checkout.
 func TestBenchCheckRepoBaselineSelfConsistent(t *testing.T) {
 	for _, name := range []string{
 		"BENCH_kernel.json", "BENCH_server.json", "BENCH_shards.json",
-		"BENCH_filter.json", "BENCH_scenarios.json",
+		"BENCH_filter.json", "BENCH_scenarios.json", "BENCH_compile.json",
 	} {
 		t.Run(name, func(t *testing.T) {
 			repoBaseline := filepath.Join("..", "..", name)

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"cellmatch/internal/core"
+	"cellmatch/internal/report"
+	"cellmatch/internal/workload"
+)
+
+// Compile-latency benchmark: how long a dictionary takes to become a
+// serving matcher, cold and incrementally. Three measurements feed
+// BENCH_compile.json:
+//
+//   - cold sequential compile (CompileWorkers: 1) of the fleet-scale
+//     dictionary — the pre-parallelism baseline;
+//   - the same compile with the full worker fan-out (CompileWorkers: 0)
+//     — speedup_compile_parallel is the ratio, meaningful only on
+//     multi-core hosts (the compile_cores meta row records the host,
+//     and the benchcheck floor for the ratio only arms at >= 4 cores);
+//   - an incremental AddPatterns of a 64-pattern append against the
+//     cold matcher — the hot-reload path, where only the trailing
+//     partition groups rebuild and everything else is adopted by
+//     fingerprint. speedup_compile_delta (cold rebuild of the extended
+//     set vs the patch) is machine-portable and carries an absolute
+//     floor.
+//
+// Every measured artifact is also checked for the byte-identity
+// invariant right here in the bench: the parallel and delta builds
+// must Save to the same image as the sequential cold build, so a
+// regression that broke determinism fails the bench run itself, not
+// just the unit suite.
+//
+// The scenario rows (compile_scenario_<name>_*_ms) time the same cold
+// and patch paths over the small deployment dictionaries; they are
+// informational evidence — at a few dozen patterns the single slot
+// rebuilds either way and patching ~ cold is the expected shape.
+const compileBenchSeed = 907
+
+// compileDeltaAppend is the append size for the fleet delta row: the
+// shape of a signature-feed update (dozens of new entries against a
+// fleet-scale base).
+const compileDeltaAppend = 64
+
+// fleetAppendPatterns builds the delta append set: in-alphabet (A-Z,
+// so the reduction is unchanged and reuse is observable) with a "ZZZZ"
+// prefix, so in the planner's reduced-lex packing order the new
+// entries land in the trailing units and leave the rest adoptable.
+func fleetAppendPatterns(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := []byte("ZZZZ")
+		v := i
+		for k := 0; k < 4; k++ {
+			p = append(p, byte('A'+v%26))
+			v /= 26
+		}
+		for j := 0; j < 8; j++ {
+			p = append(p, byte('A'+(i*7+j*3)%26))
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// timedMs runs f once and returns its wall time in milliseconds.
+func timedMs(f func() error) (float64, error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start)) / float64(time.Millisecond), nil
+}
+
+// bestMs runs f reps times and returns the best wall time in
+// milliseconds — the small-dictionary rows are microseconds-scale, so
+// one-shot timing would be scheduler noise.
+func bestMs(reps int, f func() error) (float64, error) {
+	best := math.MaxFloat64
+	for i := 0; i < reps; i++ {
+		ms, err := timedMs(f)
+		if err != nil {
+			return 0, err
+		}
+		if ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+// saveImage serializes a matcher to its artifact bytes — the identity
+// witness the bench compares across compile paths.
+func saveImage(m *core.Matcher) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runCompileBench measures the compile paths, prints the table, and
+// optionally writes the flat JSON artifact.
+func runCompileBench(w io.Writer, npats int, jsonPath string) error {
+	dict, err := workload.FleetDictionary(npats, compileBenchSeed)
+	if err != nil {
+		return err
+	}
+	seqOpts := core.Options{CompileWorkers: 1}
+	parOpts := core.Options{CompileWorkers: 0}
+
+	fmt.Fprintf(w, "== Compile latency: cold vs parallel vs incremental (%d-pattern fleet dictionary, %d cores) ==\n",
+		npats, runtime.GOMAXPROCS(0))
+	t := report.NewTable("Stage", "ms", "Engine", "Notes")
+	metrics := map[string]float64{
+		"compile_patterns": float64(npats),
+		"compile_cores":    float64(runtime.GOMAXPROCS(0)),
+	}
+
+	// Untimed warmup: the first compile of the process pays page
+	// faults, map growth, and GC ramp-up that would otherwise be
+	// charged to whichever row runs first (and fabricate a "speedup"
+	// between two identical runs).
+	if _, err := core.Compile(dict, seqOpts); err != nil {
+		return fmt.Errorf("fleet warmup compile: %w", err)
+	}
+	var mSeq, mPar *core.Matcher
+	coldMs, err := bestMs(2, func() error {
+		mSeq, err = core.Compile(dict, seqOpts)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("fleet cold compile: %w", err)
+	}
+	parMs, err := bestMs(2, func() error {
+		mPar, err = core.Compile(dict, parOpts)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("fleet parallel compile: %w", err)
+	}
+	imgSeq, err := saveImage(mSeq)
+	if err != nil {
+		return err
+	}
+	imgPar, err := saveImage(mPar)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(imgSeq, imgPar) {
+		return fmt.Errorf("compile bench: parallel compile image differs from sequential (determinism regression)")
+	}
+	st := mSeq.Stats()
+	metrics["compile_fleet_cold_ms"] = coldMs
+	metrics["compile_fleet_parallel_ms"] = parMs
+	metrics["speedup_compile_parallel"] = coldMs / parMs
+	t.Row("fleet cold (1 worker)", coldMs, st.Engine, fmt.Sprintf("%d states", st.States))
+	t.Row("fleet parallel (all cores)", parMs, st.Engine,
+		fmt.Sprintf("%.2fx, image identical", coldMs/parMs))
+
+	// Delta append: patch the sequential matcher with 64 new patterns
+	// and compare against a cold rebuild of the extended dictionary.
+	extra := fleetAppendPatterns(compileDeltaAppend)
+	next := append(append([][]byte{}, dict...), extra...)
+	var mNextCold *core.Matcher
+	coldExtMs, err := bestMs(2, func() error {
+		mNextCold, err = core.Compile(next, seqOpts)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("fleet extended cold compile: %w", err)
+	}
+	var mDelta *core.Matcher
+	var ds *core.DeltaStats
+	deltaMs, err := bestMs(2, func() error {
+		mDelta, ds, err = mSeq.AddPatterns(extra)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("fleet delta append: %w", err)
+	}
+	imgNext, err := saveImage(mNextCold)
+	if err != nil {
+		return err
+	}
+	imgDelta, err := saveImage(mDelta)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(imgNext, imgDelta) {
+		return fmt.Errorf("compile bench: delta-patched image differs from cold rebuild (determinism regression)")
+	}
+	metrics["compile_fleet_delta_add_ms"] = deltaMs
+	metrics["speedup_compile_delta"] = coldExtMs / deltaMs
+	t.Row(fmt.Sprintf("fleet delta (+%d patterns)", compileDeltaAppend), deltaMs, mDelta.Stats().Engine,
+		fmt.Sprintf("%.2fx vs %.0f ms rebuild; %d/%d slots reused, image identical",
+			coldExtMs/deltaMs, coldExtMs, ds.SlotsReused, ds.SlotsReused+ds.SlotsRebuilt))
+
+	// Scenario dictionaries: the small deployment shapes, cold and
+	// patched, best-of-5 (they compile in microseconds).
+	scs, err := workload.Scenarios(compileBenchSeed, 4096)
+	if err != nil {
+		return err
+	}
+	for _, s := range scs {
+		switch s.Name {
+		case "log-scan", "dlp-pii", "malware-short":
+		default:
+			continue
+		}
+		opts := core.Options{CaseFold: s.CaseFold, CompileWorkers: 1}
+		var m *core.Matcher
+		cold, err := bestMs(5, func() error {
+			m, err = core.Compile(s.Patterns, opts)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s cold compile: %w", s.Name, err)
+		}
+		// Patch with a reversed copy of the last pattern: same byte set,
+		// so the alphabet reduction is unchanged and the patch is a pure
+		// partition-tail rebuild.
+		last := s.Patterns[len(s.Patterns)-1]
+		rev := make([]byte, len(last))
+		for i, b := range last {
+			rev[len(last)-1-i] = b
+		}
+		delta, err := bestMs(5, func() error {
+			_, _, err := m.AddPatterns([][]byte{rev})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s delta append: %w", s.Name, err)
+		}
+		metrics["compile_scenario_"+s.Name+"_cold_ms"] = cold
+		metrics["compile_scenario_"+s.Name+"_delta_ms"] = delta
+		t.Row("scenario "+s.Name+" cold", cold, m.Stats().Engine, fmt.Sprintf("%d patterns", len(s.Patterns)))
+		t.Row("scenario "+s.Name+" delta (+1)", delta, m.Stats().Engine, "best of 5")
+	}
+
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

@@ -16,6 +16,7 @@
 //	paperbench -shards     # sharded engine: over-budget dictionary vs stt fallback
 //	paperbench -filter     # skip-scan front-end vs the unfiltered kernel
 //	paperbench -scenarios  # workload scenario suite across deployment regimes
+//	paperbench -compile    # compile latency: cold vs parallel vs delta patch
 //	paperbench -overload   # load-shedding smoke: 429s under oversubscription,
 //	                       # zero failed responses, budget respected
 //
@@ -29,7 +30,10 @@
 // -scenariosjson FILE for the per-scenario suite (BENCH_scenarios.json:
 // one scenario_<name>_MBps row per scenario plus skip-ratio evidence,
 // with the regex scenario also served through the in-process HTTP
-// stack).
+// stack), and with -compile, -compilejson FILE for the compile-latency
+// rows (BENCH_compile.json: cold vs parallel vs incremental delta
+// patch over a -compilepats fleet dictionary, lower-is-better *_ms
+// rows plus the two speedup ratios).
 //
 // The CI bench-regression gate runs as a separate mode, accepting one
 // or more comma-separated baseline/candidate pairs:
@@ -136,6 +140,9 @@ func parseFlags(args []string, errOut io.Writer) (*cliConfig, error) {
 		scen   = fs.Bool("scenarios", false, "workload scenario suite: per-scenario throughput across deployment regimes")
 		scenKB = fs.Int("scenarioskb", 4096, "per-scenario corpus size in KiB")
 		scjson = fs.String("scenariosjson", "", "with -scenarios: write BENCH_scenarios JSON to this file")
+		comp   = fs.Bool("compile", false, "dictionary compile latency: cold vs parallel vs incremental delta patch")
+		cpPats = fs.Int("compilepats", 50000, "with -compile: fleet dictionary size in patterns")
+		cpjson = fs.String("compilejson", "", "with -compile: write BENCH_compile JSON to this file")
 
 		overload     = fs.Bool("overload", false, "load-shedding smoke: oversubscribe a tiny admission budget and verify 429s with zero failed responses")
 		overClients  = fs.Int("overloadclients", 16, "with -overload: concurrent clients in the burst")
@@ -165,11 +172,11 @@ func parseFlags(args []string, errOut io.Writer) (*cliConfig, error) {
 		return &cliConfig{overload: true, overloadClients: *overClients, overloadInflight: *overInflight}, nil
 	}
 	any := *table1 || *fig2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *fig9 ||
-		*kern || *serv || *shard || *filt || *scen
+		*kern || *serv || *shard || *filt || *scen || *comp
 	if *all || !any {
 		*table1, *fig2, *fig3, *fig4, *fig5 = true, true, true, true, true
 		*fig6, *fig7, *fig8, *fig9 = true, true, true, true
-		*kern, *serv, *shard, *filt, *scen = true, true, true, true, true
+		*kern, *serv, *shard, *filt, *scen, *comp = true, true, true, true, true, true
 	}
 	return &cliConfig{secs: sections{
 		table1: *table1, fig2: *fig2, fig3: *fig3, fig4: *fig4, fig5: *fig5,
@@ -179,6 +186,7 @@ func parseFlags(args []string, errOut io.Writer) (*cliConfig, error) {
 		shards: *shard, shardBytes: *shMB << 20, shardJSON: *shjson,
 		filter: *filt, filterBytes: *fMB << 20, filterJSON: *fjson,
 		scenarios: *scen, scenarioBytes: *scenKB << 10, scenarioJSON: *scjson,
+		compile: *comp, compilePats: *cpPats, compileJSON: *cpjson,
 	}}, nil
 }
 
@@ -223,6 +231,13 @@ type sections struct {
 	scenarios     bool
 	scenarioBytes int
 	scenarioJSON  string
+
+	// compile runs the compile-latency benchmark (cold vs parallel vs
+	// incremental delta patch) over a compilePats-pattern fleet
+	// dictionary, optionally writing the JSON artifact to compileJSON.
+	compile     bool
+	compilePats int
+	compileJSON string
 }
 
 func run(w io.Writer, s sections) error {
@@ -315,6 +330,15 @@ func run(w io.Writer, s sections) error {
 			bytes = 4 << 20
 		}
 		if err := runScenarioBench(w, bytes, s.scenarioJSON); err != nil {
+			return err
+		}
+	}
+	if s.compile {
+		npats := s.compilePats
+		if npats <= 0 {
+			npats = 50000
+		}
+		if err := runCompileBench(w, npats, s.compileJSON); err != nil {
 			return err
 		}
 	}

@@ -130,11 +130,11 @@ func TestParseFlagsDefaultsToAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := cfg.secs
-	if cfg.check || !s.table1 || !s.kernel || !s.server || !s.shards || !s.filter || !s.scenarios {
+	if cfg.check || !s.table1 || !s.kernel || !s.server || !s.shards || !s.filter || !s.scenarios || !s.compile {
 		t.Fatalf("bare invocation did not select everything: %+v", s)
 	}
 	if s.kernelBytes != 8<<20 || s.serverBytes != 16<<20 || s.shardBytes != 8<<20 ||
-		s.filterBytes != 16<<20 || s.scenarioBytes != 4<<20 {
+		s.filterBytes != 16<<20 || s.scenarioBytes != 4<<20 || s.compilePats != 50000 {
 		t.Fatalf("default sizes wrong: %+v", s)
 	}
 }
@@ -171,6 +171,18 @@ func TestParseFlagsSingleSection(t *testing.T) {
 	}
 	if s.shards || s.kernel {
 		t.Fatalf("unselected sections enabled: %+v", s)
+	}
+
+	cfg, err = parseFlags([]string{"-compile", "-compilepats", "1000", "-compilejson", "c.json"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = cfg.secs
+	if !s.compile || s.compilePats != 1000 || s.compileJSON != "c.json" {
+		t.Fatalf("-compile flags wrong: %+v", s)
+	}
+	if s.kernel || s.server || s.shards || s.filter || s.scenarios || s.table1 {
+		t.Fatalf("-compile selected extra sections: %+v", s)
 	}
 }
 
@@ -251,6 +263,71 @@ func TestRunScenarioBenchJSON(t *testing.T) {
 	}
 	if metrics["scenario_log-scan_skip_pct"] <= 0 {
 		t.Fatalf("log-scan skip evidence missing: %v", metrics["scenario_log-scan_skip_pct"])
+	}
+}
+
+func TestRunCompileBenchJSON(t *testing.T) {
+	var b strings.Builder
+	path := filepath.Join(t.TempDir(), "BENCH_compile.json")
+	// 600 patterns keeps the fleet compiles in the milliseconds; the
+	// schema, the identity checks, and the gating shape are what this
+	// test pins (the speedups themselves are hardware-dependent).
+	err := run(&b, sections{compile: true, compilePats: 600, compileJSON: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== Compile latency: cold vs parallel vs incremental",
+		"fleet cold (1 worker)",
+		"fleet parallel (all cores)",
+		"image identical",
+		"scenario log-scan cold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	if err := json.Unmarshal(blob, &metrics); err != nil {
+		t.Fatalf("BENCH_compile.json does not parse: %v", err)
+	}
+	for _, key := range []string{
+		"compile_fleet_cold_ms", "compile_fleet_parallel_ms",
+		"compile_fleet_delta_add_ms", "speedup_compile_parallel",
+		"speedup_compile_delta",
+		"compile_scenario_log-scan_cold_ms", "compile_scenario_dlp-pii_delta_ms",
+		"compile_scenario_malware-short_cold_ms",
+	} {
+		if metrics[key] <= 0 {
+			t.Fatalf("%s not measured: %v", key, metrics)
+		}
+	}
+	if metrics["compile_patterns"] != 600 || metrics["compile_cores"] < 1 {
+		t.Fatalf("compile meta rows wrong: %v", metrics)
+	}
+	// Gating shape: fleet latencies banked (inverted), scenario rows
+	// informational, meta rows meta.
+	for _, key := range []string{"compile_fleet_cold_ms", "compile_fleet_delta_add_ms"} {
+		if !gatedMetric(key) || !lowerIsBetter(key) {
+			t.Fatalf("%s must be gated lower-is-better", key)
+		}
+	}
+	if gatedMetric("compile_scenario_log-scan_cold_ms") {
+		t.Fatal("scenario compile rows must stay informational")
+	}
+	if gatedMetric("speedup_compile_parallel") {
+		t.Fatal("parallel speedup must gate via its conditional floor, not the relative gate")
+	}
+	if !gatedMetric("speedup_compile_delta") {
+		t.Fatal("delta speedup must be gated")
+	}
+	if !metaMetric("compile_cores") || !metaMetric("compile_patterns") {
+		t.Fatal("compile meta rows must be meta fields")
 	}
 }
 

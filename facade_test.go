@@ -1,0 +1,98 @@
+package cellmatch_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cellmatch"
+)
+
+// The registry/loader facade wrappers must round-trip a dictionary
+// end to end: compile via DictLoader, persist via Save, reload the
+// artifact via ArtifactLoader, and publish through a Namespace.
+func TestPublicAPIRegistryFacade(t *testing.T) {
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "dict.txt")
+	if err := os.WriteFile(dict, []byte("virus\nworm\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := cellmatch.NewRegistry(dict, cellmatch.DictLoader(dict, cellmatch.Options{}))
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	probe := []byte("a virus and a worm")
+	ms, err := r.Current().Matcher.FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("dict loader matcher found %d matches, want 2", len(ms))
+	}
+
+	art := filepath.Join(dir, "dict.cmx")
+	f, err := os.Create(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Current().Matcher.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ra := cellmatch.NewRegistry(art, cellmatch.ArtifactLoader(art))
+	if _, err := ra.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := ra.Current().Matcher.FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms2) != len(ms) {
+		t.Fatalf("artifact matcher found %d matches, want %d", len(ms2), len(ms))
+	}
+
+	ns := cellmatch.NewNamespace()
+	if err := ns.Set("tenant-a", r); err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.Get("tenant-a"); got != r {
+		t.Fatal("namespace did not return the registered registry")
+	}
+}
+
+func TestPublicAPICompileFacades(t *testing.T) {
+	m, err := cellmatch.Compile([][]byte{[]byte("abc"), []byte("def")}, cellmatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms, err := m.FindAll([]byte("xxabcxxdef")); err != nil || len(ms) != 2 {
+		t.Fatalf("Compile facade: matches=%v err=%v", ms, err)
+	}
+
+	rx, err := cellmatch.CompileRegexSearch([]string{"ab[cd]{1,2}"}, cellmatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rx.IsRegex() {
+		t.Fatal("CompileRegexSearch produced a literal matcher")
+	}
+	if ms, err := rx.FindAll([]byte("xabcdx")); err != nil || len(ms) == 0 {
+		t.Fatalf("regex facade: matches=%v err=%v", ms, err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rx.txt")
+	if err := os.WriteFile(path, []byte("ab[cd]{1,2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rr := cellmatch.NewRegistry(path, cellmatch.RegexDictLoader(path, cellmatch.Options{}))
+	if _, err := rr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Current().Matcher.IsRegex() {
+		t.Fatal("RegexDictLoader produced a literal matcher")
+	}
+}

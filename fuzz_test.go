@@ -609,3 +609,79 @@ func FuzzStreamChunking(f *testing.F) {
 		}
 	})
 }
+
+// FuzzIncrementalCompile: a delta-recompiled matcher must be
+// byte-identical to a cold compile of the same dictionary — same Save
+// image and same match stream — for arbitrary base dictionaries,
+// arbitrary edits (append, remove, replace), case folding on and off,
+// and tile-size splits that force multi-slot systems. This is the
+// differential net for the incremental compilation path: any reuse
+// decision that is not provably content-safe shows up as an image
+// mismatch here.
+func FuzzIncrementalCompile(f *testing.F) {
+	f.Add([]byte("virus"), []byte("worm"), []byte("trojan"), []byte("a virus in a worm"), uint8(0), uint8(0))
+	f.Add([]byte("abra"), []byte("cadabra"), []byte("abracadabra"), []byte("abracadabra abracadabra"), uint8(1), uint8(40))
+	f.Add([]byte("AbRa"), []byte("CAD"), []byte("ra c"), []byte("abracadabra ABRACADABRA"), uint8(130), uint8(3))
+	f.Add([]byte{0xFF, 0x00}, []byte{0x01, 0x02}, []byte{0x00, 0x01}, bytes.Repeat([]byte{0xFF, 0x00, 0x01, 0x02}, 30), uint8(66), uint8(0))
+	f.Fuzz(func(t *testing.T, p1, p2, p3, data []byte, sel, tile uint8) {
+		for _, p := range [][]byte{p1, p2, p3} {
+			if len(p) == 0 || len(p) > 32 {
+				return
+			}
+		}
+		if len(data) > 4096 {
+			return
+		}
+		opts := core.Options{CaseFold: sel >= 128}
+		if tile > 0 {
+			// Small tiles force multi-slot systems, the regime where
+			// per-slot reuse decisions actually differ.
+			opts.MaxStatesPerTile = int(tile)%120 + 8
+		}
+		base, err := core.Compile([][]byte{p1, p2}, opts)
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		// Edit: append p3, remove an entry, or replace one with p3.
+		var next [][]byte
+		switch sel % 3 {
+		case 0:
+			next = [][]byte{p1, p2, p3}
+		case 1:
+			next = [][]byte{p2}
+		case 2:
+			next = [][]byte{p1, p3}
+		}
+		// The delta path must agree with the cold path even on failure:
+		// an edit that the cold compiler rejects (e.g. a pattern over
+		// the tile state budget) must be rejected by the patch too, and
+		// vice versa.
+		patched, _, deltaErr := base.RecompileDelta(next)
+		cold, coldErr := core.Compile(next, opts)
+		if (deltaErr == nil) != (coldErr == nil) {
+			t.Fatalf("delta/cold disagree on compilability: delta=%v cold=%v", deltaErr, coldErr)
+		}
+		if coldErr != nil {
+			return
+		}
+		var imgPatched, imgCold bytes.Buffer
+		if err := patched.Save(&imgPatched); err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.Save(&imgCold); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(imgPatched.Bytes(), imgCold.Bytes()) {
+			t.Fatalf("delta image differs from cold image (sel=%d tile=%d)", sel, tile)
+		}
+		want, err := cold.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := patched.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "delta-vs-cold", got, want)
+	})
+}

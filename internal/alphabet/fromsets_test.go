@@ -1,0 +1,35 @@
+package alphabet
+
+import "testing"
+
+// FromSets: two bytes share a class iff no set distinguishes them, and
+// classes number in first-appearance order.
+func TestFromSets(t *testing.T) {
+	var digits, vowels [256]bool
+	for b := '0'; b <= '9'; b++ {
+		digits[b] = true
+	}
+	for _, b := range "aeiou" {
+		vowels[b] = true
+	}
+	r, err := FromSets([][256]bool{digits, vowels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0 is whatever byte 0 lands in (neither set).
+	if r.Map['0'] != r.Map['9'] {
+		t.Fatal("digits split across classes")
+	}
+	if r.Map['a'] != r.Map['e'] {
+		t.Fatal("vowels split across classes")
+	}
+	if r.Map['a'] == r.Map['0'] || r.Map['a'] == r.Map['z'] {
+		t.Fatal("distinguished bytes share a class")
+	}
+	if r.Map['z'] != r.Map[0] {
+		t.Fatal("unmentioned bytes split across classes")
+	}
+	if r.Classes != 3 {
+		t.Fatalf("Classes = %d, want 3", r.Classes)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"cellmatch/internal/alphabet"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/fanout"
 	"cellmatch/internal/interleave"
 	"cellmatch/internal/localstore"
 )
@@ -77,10 +78,21 @@ func Partition(patterns [][]byte, red *alphabet.Reduction, maxStates int) ([][]i
 	if maxStates < 2 {
 		return nil, fmt.Errorf("compose: maxStates %d too small", maxStates)
 	}
+	return partitionFrom(patterns, red, maxStates, 0)
+}
+
+// partitionFrom runs the greedy group packer over patterns[startID:]
+// with a fresh trie, emitting groups of global ids (offset by startID).
+// It is the shared tail of Partition and of the delta path's
+// append-only fast partitioning, which reuses the previous build's
+// group boundaries for the untouched prefix and resumes the greedy walk
+// at the start of the last previous group.
+func partitionFrom(patterns [][]byte, red *alphabet.Reduction, maxStates, startID int) ([][]int, error) {
 	var groups [][]int
 	var cur []int
 	trie := newTrieCounter()
-	for id, p := range patterns {
+	for i, p := range patterns[startID:] {
+		id := startID + i
 		if len(p) == 0 {
 			return nil, fmt.Errorf("compose: pattern %d empty", id)
 		}
@@ -168,6 +180,11 @@ type System struct {
 	SlotPatterns [][]int
 	// MaxPatternLen drives the split overlap.
 	MaxPatternLen int
+
+	// slotFP caches per-slot content fingerprints (see delta.go) so
+	// repeated delta recompiles against this system hash its dictionary
+	// once, not once per reload.
+	slotFP [][fpSize]byte
 }
 
 // Config for building a system.
@@ -180,6 +197,30 @@ type Config struct {
 	MaxSPEs int
 	// CaseFold uses the paper's case-insensitive reduction.
 	CaseFold bool
+	// Workers bounds the compile-time fan-out (fanout semantics:
+	// 0 = one per core, 1 = sequential). Slot automata build
+	// concurrently and large slots parallelize internally; the result
+	// is bit-identical at any worker count.
+	Workers int
+}
+
+// tileGeometry resolves the row width and per-tile state budget for a
+// reduction — the arithmetic NewSystem, NewRegexSystem, and the delta
+// path must share so a delta recompile reproduces the cold partition.
+func tileGeometry(red *alphabet.Reduction, maxStatesPerTile int) (width, maxStates int, err error) {
+	width = 32
+	for width < red.Classes {
+		width *= 2
+	}
+	maxStates = maxStatesPerTile
+	if maxStates == 0 {
+		plan, err := localstore.PlanTile(16*1024, uint32(width)*4)
+		if err != nil {
+			return 0, 0, err
+		}
+		maxStates = plan.MaxStates
+	}
+	return width, maxStates, nil
 }
 
 // NewSystem partitions the dictionary and erects the topology.
@@ -191,18 +232,11 @@ func NewSystem(patterns [][]byte, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	width := 32
-	for width < red.Classes {
-		width *= 2
+	width, maxStates, err := tileGeometry(red, cfg.MaxStatesPerTile)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.MaxStatesPerTile == 0 {
-		plan, err := localstore.PlanTile(16*1024, uint32(width)*4)
-		if err != nil {
-			return nil, err
-		}
-		cfg.MaxStatesPerTile = plan.MaxStates
-	}
-	groups, err := Partition(patterns, red, cfg.MaxStatesPerTile)
+	groups, err := Partition(patterns, red, maxStates)
 	if err != nil {
 		return nil, err
 	}
@@ -211,25 +245,59 @@ func NewSystem(patterns [][]byte, cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{Topology: topo, Red: red, Width: width, SlotPatterns: groups}
-	for _, ids := range groups {
+	if err := s.buildSlots(patterns, groups, nil, maxStates, cfg.Workers); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildSlots compiles each group's automaton, fanning the independent
+// slot builds across workers (large dictionaries split into hundreds of
+// tile slots, so per-slot fan-out is the dominant compile parallelism).
+// reuse[i], when non-nil, supplies an already-built automaton for slot
+// i (the delta path's fingerprint hits); budget checks are skipped for
+// reused slots — they passed when first built. Slots land at their
+// index, so the slot order (and every downstream table) is identical to
+// the sequential build's.
+func (s *System) buildSlots(patterns [][]byte, groups [][]int, reuse []*dfa.DFA, maxStates, workers int) error {
+	s.Slots = make([]*dfa.DFA, len(groups))
+	// Few slots on many cores: give each slot's own construction the
+	// leftover parallelism (single-slot systems and per-shard compiles
+	// hit this; many-slot systems keep slots sequential inside).
+	inner := 1
+	if w := fanout.Workers(workers); len(groups) < w {
+		inner = (w + len(groups) - 1) / len(groups)
+	}
+	err := fanout.ForEachErr(len(groups), workers, func(gi int) error {
+		if reuse != nil && reuse[gi] != nil {
+			s.Slots[gi] = reuse[gi]
+			return nil
+		}
+		ids := groups[gi]
 		sub := make([][]byte, len(ids))
 		for i, id := range ids {
 			sub[i] = patterns[id]
 		}
-		d, err := dfa.FromPatterns(sub, red)
+		d, err := dfa.FromPatternsParallel(sub, s.Red, inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if d.NumStates() > cfg.MaxStatesPerTile {
-			return nil, fmt.Errorf("compose: partition produced %d states, budget %d",
-				d.NumStates(), cfg.MaxStatesPerTile)
+		if d.NumStates() > maxStates {
+			return fmt.Errorf("compose: partition produced %d states, budget %d",
+				d.NumStates(), maxStates)
 		}
-		s.Slots = append(s.Slots, d)
+		s.Slots[gi] = d
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range s.Slots {
 		if d.MaxPatternLen > s.MaxPatternLen {
 			s.MaxPatternLen = d.MaxPatternLen
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // NewRegexSystem partitions a dictionary of bounded regular
@@ -257,17 +325,15 @@ func NewRegexSystem(exprs []string, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	width := 32
-	for width < red.Classes {
-		width *= 2
+	// Trial compilation is inherently sequential (each trial depends on
+	// the accumulated slot), so regex systems ignore cfg.Workers; delta
+	// recompiles of regex dictionaries fall back to a full rebuild for
+	// the same reason.
+	width, maxStates, err := tileGeometry(red, cfg.MaxStatesPerTile)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.MaxStatesPerTile == 0 {
-		plan, err := localstore.PlanTile(16*1024, uint32(width)*4)
-		if err != nil {
-			return nil, err
-		}
-		cfg.MaxStatesPerTile = plan.MaxStates
-	}
+	cfg.MaxStatesPerTile = maxStates
 	s := &System{Red: red, Width: width}
 	var cur []int
 	var curDFA *dfa.DFA

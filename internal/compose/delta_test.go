@@ -1,0 +1,170 @@
+package compose
+
+import (
+	"bytes"
+	"testing"
+)
+
+// deltaDict builds a deterministic multi-slot dictionary: enough
+// distinct patterns that a small per-tile budget forces several groups.
+func deltaDict(n int, seed uint32) [][]byte {
+	x := seed | 1
+	out := make([][]byte, n)
+	for i := range out {
+		l := 4 + int(x%6)
+		p := make([]byte, l)
+		for j := range p {
+			x = x*1664525 + 1013904223
+			p[j] = 'a' + byte((x>>16)%13)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// systemsIdentical compares two systems slot by slot at the serialized
+// automaton level — the compose-tier byte-identity witness.
+func systemsIdentical(t *testing.T, ctx string, got, want *System) {
+	t.Helper()
+	if len(got.Slots) != len(want.Slots) {
+		t.Fatalf("%s: %d slots, want %d", ctx, len(got.Slots), len(want.Slots))
+	}
+	if *got.Red != *want.Red || got.Width != want.Width {
+		t.Fatalf("%s: reduction/width mismatch", ctx)
+	}
+	for i := range want.Slots {
+		gb, err := got.Slots[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := want.Slots[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("%s: slot %d automaton differs", ctx, i)
+		}
+		if len(got.SlotPatterns[i]) != len(want.SlotPatterns[i]) {
+			t.Fatalf("%s: slot %d group size differs", ctx, i)
+		}
+		for j, id := range want.SlotPatterns[i] {
+			if got.SlotPatterns[i][j] != id {
+				t.Fatalf("%s: slot %d pattern ids differ", ctx, i)
+			}
+		}
+	}
+}
+
+func TestNewSystemDeltaAppendReusesPrefixSlots(t *testing.T) {
+	cfg := Config{MaxStatesPerTile: 200}
+	prevPats := deltaDict(120, 7)
+	prev, err := NewSystem(prevPats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prev.Slots) < 3 {
+		t.Fatalf("fixture too small: %d slots", len(prev.Slots))
+	}
+	newPats := append(append([][]byte{}, prevPats...), deltaDict(8, 99)...)
+
+	cold, err := NewSystem(newPats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, reused, err := NewSystemDelta(newPats, cfg, prev, prevPats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systemsIdentical(t, "append", sys, cold)
+
+	nReused := 0
+	for i, r := range reused {
+		if !r {
+			continue
+		}
+		nReused++
+		// Reuse must be adoption, not recompilation: the slot pointer is
+		// the previous system's.
+		found := false
+		for _, d := range prev.Slots {
+			if d == sys.Slots[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("slot %d marked reused but automaton is not prev's", i)
+		}
+	}
+	// Every group before the last previous one is untouched by an
+	// append, so all but at most the final two slots must be reused.
+	if nReused < len(prev.Slots)-1 {
+		t.Fatalf("append reused %d of %d previous slots", nReused, len(prev.Slots))
+	}
+}
+
+func TestNewSystemDeltaEditMiddle(t *testing.T) {
+	cfg := Config{MaxStatesPerTile: 200}
+	prevPats := deltaDict(120, 7)
+	prev, err := NewSystem(prevPats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace one mid-dictionary pattern: the full partitioner runs, but
+	// groups whose content survives intact must still be reused.
+	newPats := append([][]byte{}, prevPats...)
+	newPats[60] = []byte("ggggggg")
+
+	cold, err := NewSystem(newPats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, reused, err := NewSystemDelta(newPats, cfg, prev, prevPats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systemsIdentical(t, "edit", sys, cold)
+	any := false
+	for _, r := range reused {
+		any = any || r
+	}
+	if !any {
+		t.Fatal("mid-dictionary edit reused nothing")
+	}
+}
+
+func TestNewSystemDeltaColdFallbacks(t *testing.T) {
+	cfg := Config{MaxStatesPerTile: 200}
+	pats := deltaDict(80, 3)
+	cold, err := NewSystem(pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil prev: plain cold build, all-false mask.
+	sys, reused, err := NewSystemDelta(pats, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systemsIdentical(t, "nil prev", sys, cold)
+	for _, r := range reused {
+		if r {
+			t.Fatal("nil prev produced a reused slot")
+		}
+	}
+	// Reduction change (a new byte class re-numbers every symbol): no
+	// slot is reusable even though most pattern bytes are unchanged.
+	newPats := append(append([][]byte{}, pats...), []byte("zzz@zzz"))
+	coldNew, err := NewSystem(newPats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, reused2, err := NewSystemDelta(newPats, cfg, cold, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systemsIdentical(t, "reduction change", sys2, coldNew)
+	for _, r := range reused2 {
+		if r {
+			t.Fatal("reduction change must not reuse slots")
+		}
+	}
+}

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"cellmatch/internal/alphabet"
@@ -48,6 +49,13 @@ type Options struct {
 	// Version selects the kernel implementation for performance
 	// estimation (Table 1; default 4, the optimum).
 	Version int
+	// CompileWorkers bounds the compile-time fan-out across every stage
+	// (slot automaton construction, dense/pair table emission, shard
+	// compilation): 0 uses one worker per core, 1 pins the sequential
+	// build, n caps the pool at n. The compiled matcher is byte-identical
+	// at any setting — parallelism only changes wall time. Not persisted
+	// in artifacts (it describes the build host, not the matcher).
+	CompileWorkers int
 	// Engine tunes scan-engine selection (dense compiled kernel vs the
 	// stt/dfa fallback path); the zero value enables the kernel with
 	// default budgets.
@@ -197,7 +205,17 @@ type Matcher struct {
 	// streams). Atomic: serving paths read Stats() concurrently with
 	// in-flight scans.
 	windowsSkipped atomic.Uint64
+
+	// setFP caches PatternSetFingerprint (patterns are immutable after
+	// compile); Once-guarded because serving paths may race the first
+	// computation.
+	setFPOnce sync.Once
+	setFP     [32]byte
 }
+
+// Options returns the options the matcher was compiled with — what a
+// delta loader needs to recompile an edited dictionary identically.
+func (m *Matcher) Options() Options { return m.opts }
 
 // initEngine walks the selection ladder: the single dense kernel, then
 // the sharded multi-kernel engine for dictionaries whose dense tables
@@ -215,6 +233,7 @@ func (m *Matcher) initEngine() error {
 		MaxTableBytes: m.opts.Engine.MaxTableBytes,
 		InterleaveK:   m.opts.Engine.InterleaveK,
 		Stride:        m.opts.Engine.Stride,
+		Workers:       m.opts.CompileWorkers,
 	})
 	if err == nil {
 		m.eng = eng
@@ -236,6 +255,7 @@ func (m *Matcher) initEngine() error {
 		CaseFold:      m.opts.CaseFold,
 		MaxTableBytes: m.opts.Engine.MaxTableBytes,
 		MaxShards:     m.opts.Engine.MaxShards,
+		Workers:       m.opts.CompileWorkers,
 	})
 	if err == nil {
 		m.sharded = sh
@@ -291,6 +311,7 @@ func Compile(patterns [][]byte, opts Options) (*Matcher, error) {
 		MaxStatesPerTile: opts.MaxStatesPerTile,
 		Groups:           opts.Groups,
 		CaseFold:         opts.CaseFold,
+		Workers:          opts.CompileWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -337,6 +358,7 @@ func CompileRegexSearch(exprs []string, opts Options) (*Matcher, error) {
 		MaxStatesPerTile: opts.MaxStatesPerTile,
 		Groups:           opts.Groups,
 		CaseFold:         opts.CaseFold,
+		Workers:          opts.CompileWorkers,
 	})
 	if err != nil {
 		return nil, err

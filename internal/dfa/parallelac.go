@@ -1,0 +1,290 @@
+package dfa
+
+import (
+	"fmt"
+
+	"cellmatch/internal/alphabet"
+	"cellmatch/internal/fanout"
+)
+
+// parallelMinPatterns gates the parallel construction: below this the
+// goroutine fan-out costs more than the build itself and the sequential
+// path wins outright.
+const parallelMinPatterns = 64
+
+// FromPatternsParallel is FromPatterns with the construction spread
+// over up to `workers` goroutines (fanout semantics: 0 = one per core,
+// 1 = the sequential reference path). The result is bit-identical to
+// FromPatterns for any worker count — same state numbering, same Next
+// table, same output sets — which is the invariant every caller
+// (golden fixtures, artifact round trips, delta recompiles) leans on.
+//
+// The decomposition exploits two structural facts of the AC build:
+//
+//   - Goto-trie subtrees under distinct first symbols are disjoint, so
+//     the trie is built per first-symbol partition concurrently and the
+//     sequential insertion-order state numbering is reconstructed
+//     exactly afterwards: each partition records how many nodes every
+//     pattern created (a quantity independent of the other partitions),
+//     a sequential prefix-sum over patterns assigns each pattern its
+//     global id block, and each partition renumbers its local nodes —
+//     created contiguously per pattern, in path order, exactly as the
+//     sequential insert would have — into those blocks.
+//
+//   - fail(v) has strictly smaller depth than v, and the dense row of a
+//     state only reads its failure state's row. Processing depth levels
+//     in order with a barrier between them makes every cross-node read
+//     target a completed shallower level, so failure links, inherited
+//     output sets, and dense rows all fill level-parallel.
+func FromPatternsParallel(patterns [][]byte, red *alphabet.Reduction, workers int) (*DFA, error) {
+	if fanout.Workers(workers) <= 1 || len(patterns) < parallelMinPatterns {
+		return FromPatterns(patterns, red)
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("dfa: empty dictionary")
+	}
+	if red == nil {
+		red = alphabet.Identity()
+	}
+	if err := red.Validate(); err != nil {
+		return nil, err
+	}
+	maxLen := 0
+	for id, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("dfa: pattern %d is empty", id)
+		}
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+	}
+
+	// Partition patterns by first reduced symbol, preserving order.
+	var partOf [256][]int32
+	for id, p := range patterns {
+		c := red.Map[p[0]]
+		partOf[c] = append(partOf[c], int32(id))
+	}
+	var parts [][]int32
+	var partSym []byte
+	for c := 0; c < 256; c++ {
+		if len(partOf[c]) > 0 {
+			parts = append(parts, partOf[c])
+			partSym = append(partSym, byte(c))
+		}
+	}
+
+	// Per-partition local tries. Local node ids are creation-ordered;
+	// the nodes a pattern creates are contiguous and in path order, the
+	// same shape the sequential insert produces.
+	type localNode struct {
+		children map[byte]int32
+		parent   int32 // local id; -1 = global root
+		psym     byte
+		depth    int32
+		out      []int32 // global pattern ids
+	}
+	type partTrie struct {
+		nodes []localNode
+	}
+	tries := make([]*partTrie, len(parts))
+	newCount := make([]int32, len(patterns)) // nodes created by each pattern
+	fanout.ForEach(len(parts), workers, func(pi int) {
+		t := &partTrie{}
+		root := map[byte]int32{}
+		for _, id := range parts[pi] {
+			p := patterns[id]
+			cur := int32(-1) // -1 = global root
+			created := int32(0)
+			for d, raw := range p {
+				c := red.Map[raw]
+				var children map[byte]int32
+				if cur < 0 {
+					children = root
+				} else {
+					children = t.nodes[cur].children
+				}
+				next, ok := children[c]
+				if !ok {
+					next = int32(len(t.nodes))
+					t.nodes = append(t.nodes, localNode{
+						children: map[byte]int32{},
+						parent:   cur,
+						psym:     c,
+						depth:    int32(d + 1),
+					})
+					children[c] = next
+					created++
+				}
+				cur = next
+			}
+			t.nodes[cur].out = append(t.nodes[cur].out, int32(id))
+			newCount[id] = created
+		}
+		tries[pi] = t
+	})
+
+	// Sequential prefix-sum: pattern i's new nodes get global ids
+	// [base[i], base[i]+newCount[i]), exactly the ids the sequential
+	// insert hands out.
+	base := make([]int32, len(patterns))
+	total := int32(1) // root = state 0
+	for i := range patterns {
+		base[i] = total
+		total += newCount[i]
+	}
+	n := int(total)
+
+	// Global node arrays (struct-of-arrays: the level passes touch one
+	// attribute at a time across many states).
+	parent := make([]int32, n)
+	psym := make([]byte, n)
+	depth := make([]int32, n)
+	childOf := make([]map[byte]int32, n)
+	outs := make([][]int32, n)
+	childOf[0] = map[byte]int32{}
+	maxDepth := 0
+	for pi := range parts {
+		if int(tries[pi].nodes[0].depth) != 1 {
+			// First created node of a partition is its depth-1 root child
+			// by construction.
+			panic("dfa: partition root child not created first")
+		}
+	}
+	fanout.ForEach(len(parts), workers, func(pi int) {
+		t := tries[pi]
+		// local -> global: walk this partition's patterns in order; the
+		// nodes each created are the next contiguous local-id run.
+		l2g := make([]int32, len(t.nodes))
+		next := int32(0)
+		for _, id := range parts[pi] {
+			for k := int32(0); k < newCount[id]; k++ {
+				l2g[next] = base[id] + k
+				next++
+			}
+		}
+		for lj := range t.nodes {
+			ln := &t.nodes[lj]
+			g := l2g[lj]
+			if ln.parent < 0 {
+				parent[g] = 0
+			} else {
+				parent[g] = l2g[ln.parent]
+			}
+			psym[g] = ln.psym
+			depth[g] = ln.depth
+			cm := make(map[byte]int32, len(ln.children))
+			for c, lc := range ln.children {
+				cm[c] = l2g[lc]
+			}
+			childOf[g] = cm
+			if len(ln.out) > 0 {
+				outs[g] = append([]int32(nil), ln.out...)
+			}
+		}
+	})
+	// Root children: one depth-1 node per partition (local id 0).
+	for pi := range parts {
+		// Local id 0 is the partition's depth-1 node; its global id is
+		// the first id of the partition's first pattern's block.
+		first := parts[pi][0]
+		childOf[0][partSym[pi]] = base[first]
+	}
+	for g := 1; g < n; g++ {
+		if int(depth[g]) > maxDepth {
+			maxDepth = int(depth[g])
+		}
+	}
+
+	// Bucket states by depth for the level passes.
+	levels := make([][]int32, maxDepth+1)
+	levels[0] = []int32{0}
+	for g := int32(1); g < int32(n); g++ {
+		levels[depth[g]] = append(levels[depth[g]], g)
+	}
+
+	// Failure links + output inheritance, level by level. fail(v) lives
+	// at a strictly shallower depth, so by the time level d runs, every
+	// fail target (and its fully inherited out set) is settled.
+	fail := make([]int32, n)
+	for d := 1; d <= maxDepth; d++ {
+		lvl := levels[d]
+		fanout.ForEach(len(lvl), workers, func(li int) {
+			v := lvl[li]
+			if d == 1 {
+				fail[v] = 0
+			} else {
+				c := psym[v]
+				f := fail[parent[v]]
+				for {
+					if next, ok := childOf[f][c]; ok && next != v {
+						fail[v] = next
+						break
+					}
+					if f == 0 {
+						fail[v] = 0
+						break
+					}
+					f = fail[f]
+				}
+			}
+			if fo := outs[fail[v]]; len(fo) > 0 {
+				outs[v] = append(outs[v], fo...)
+			}
+		})
+	}
+
+	// Dense delta, level by level: a row only reads its failure state's
+	// row, which lives at a shallower, already-filled level.
+	syms := red.Classes
+	dfaOut := &DFA{
+		Syms:          syms,
+		Start:         0,
+		Next:          make([]int32, n*syms),
+		Accept:        make([]bool, n),
+		Out:           make([][]int32, n),
+		MaxPatternLen: maxLen,
+	}
+	for c := 0; c < syms; c++ {
+		if next, ok := childOf[0][byte(c)]; ok {
+			dfaOut.Next[c] = next
+		}
+	}
+	finishState := func(s int32) {
+		if len(outs[s]) > 0 {
+			dfaOut.Accept[s] = true
+			o := append([]int32(nil), outs[s]...)
+			sortInt32(o)
+			dfaOut.Out[s] = dedupe(o)
+		}
+	}
+	finishState(0)
+	for d := 1; d <= maxDepth; d++ {
+		lvl := levels[d]
+		fanout.ForEach(len(lvl), workers, func(li int) {
+			s := lvl[li]
+			row := int(s) * syms
+			frow := int(fail[s]) * syms
+			cm := childOf[s]
+			for c := 0; c < syms; c++ {
+				if next, ok := cm[byte(c)]; ok {
+					dfaOut.Next[row+c] = next
+				} else {
+					dfaOut.Next[row+c] = dfaOut.Next[frow+c]
+				}
+			}
+			finishState(s)
+		})
+	}
+	return dfaOut, nil
+}
+
+// sortInt32 is an insertion sort: output sets are tiny (usually one
+// entry) and this avoids a sort.Slice closure per accepting state.
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

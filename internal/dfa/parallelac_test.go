@@ -1,0 +1,132 @@
+package dfa
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cellmatch/internal/alphabet"
+)
+
+// randomDict builds a dictionary with heavy prefix sharing and
+// duplicates — the shapes that exercise insertion-order numbering.
+func randomDict(rng *rand.Rand, n int) [][]byte {
+	roots := []string{"alpha", "alarm", "beta", "be", "gamma", "g", "delta"}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		var p []byte
+		switch rng.Intn(4) {
+		case 0: // shared prefix + suffix
+			p = []byte(roots[rng.Intn(len(roots))] + fmt.Sprintf("%03d", rng.Intn(50)))
+		case 1: // short
+			p = []byte(fmt.Sprintf("%c%c", 'a'+rng.Intn(6), 'a'+rng.Intn(6)))
+		case 2: // duplicate-prone
+			p = []byte(roots[rng.Intn(len(roots))])
+		default: // random bytes within a small alphabet
+			l := 1 + rng.Intn(12)
+			p = make([]byte, l)
+			for j := range p {
+				p[j] = byte('a' + rng.Intn(8))
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func dfasEqual(t *testing.T, want, got *DFA) {
+	t.Helper()
+	if want.Syms != got.Syms || want.Start != got.Start ||
+		want.MaxPatternLen != got.MaxPatternLen {
+		t.Fatalf("header mismatch: want {syms %d start %d maxlen %d}, got {syms %d start %d maxlen %d}",
+			want.Syms, want.Start, want.MaxPatternLen, got.Syms, got.Start, got.MaxPatternLen)
+	}
+	if !reflect.DeepEqual(want.Next, got.Next) {
+		t.Fatalf("Next tables differ (states %d vs %d)", want.NumStates(), got.NumStates())
+	}
+	if !reflect.DeepEqual(want.Accept, got.Accept) {
+		t.Fatalf("Accept vectors differ")
+	}
+	if len(want.Out) != len(got.Out) {
+		t.Fatalf("Out length %d vs %d", len(want.Out), len(got.Out))
+	}
+	for s := range want.Out {
+		if len(want.Out[s]) == 0 && len(got.Out[s]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(want.Out[s], got.Out[s]) {
+			t.Fatalf("Out[%d] differs: want %v, got %v", s, want.Out[s], got.Out[s])
+		}
+	}
+}
+
+// TestFromPatternsParallelIdentical pins the tentpole invariant at the
+// lowest layer: the parallel construction reproduces the sequential
+// automaton bit for bit — same state numbering, same dense table, same
+// output sets — for every worker count and every reduction regime.
+func TestFromPatternsParallelIdentical(t *testing.T) {
+	reductions := map[string]*alphabet.Reduction{
+		"identity": alphabet.Identity(),
+		"fold32":   alphabet.CaseFold32(),
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pats := randomDict(rng, parallelMinPatterns+rng.Intn(400))
+		dict, err := alphabet.ForDictionary(pats, seed%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reductions["dictionary"] = dict
+		for name, red := range reductions {
+			seq, err := FromPatterns(pats, red)
+			if err != nil {
+				t.Fatalf("seed %d %s: sequential: %v", seed, name, err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par, err := FromPatternsParallel(pats, red, workers)
+				if err != nil {
+					t.Fatalf("seed %d %s workers %d: %v", seed, name, workers, err)
+				}
+				dfasEqual(t, seq, par)
+			}
+		}
+	}
+}
+
+// TestFromPatternsParallelSmallFallsBack checks the small-dictionary
+// gate routes through the sequential builder (same pointer-free
+// equality, and no goroutine overhead for tiny slots).
+func TestFromPatternsParallelSmallFallsBack(t *testing.T) {
+	pats := [][]byte{[]byte("he"), []byte("she"), []byte("his"), []byte("hers")}
+	seq, err := FromPatterns(pats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FromPatternsParallel(pats, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfasEqual(t, seq, par)
+}
+
+// TestFromPatternsParallelErrors pins error parity with the sequential
+// path: empty dictionaries and empty patterns fail identically.
+func TestFromPatternsParallelErrors(t *testing.T) {
+	if _, err := FromPatternsParallel(nil, nil, 4); err == nil {
+		t.Fatal("empty dictionary: want error")
+	}
+	pats := make([][]byte, parallelMinPatterns+1)
+	for i := range pats {
+		pats[i] = []byte{byte('a' + i%20), byte('a' + (i/20)%20)}
+	}
+	pats[30] = nil
+	_, seqErr := FromPatterns(pats, nil)
+	_, parErr := FromPatternsParallel(pats, nil, 4)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("empty pattern: want errors, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("error mismatch: seq %q, par %q", seqErr, parErr)
+	}
+}

@@ -1,0 +1,137 @@
+// Package fanout is the compilation-side worker fan-out: a bounded
+// parallel-for used by the dictionary compilers (dfa, compose, kernel)
+// to spread independent build units — per-slot automata, per-shard
+// kernels, per-state table rows — across cores. It is deliberately
+// tiny and separate from internal/parallel, which owns the *scan*
+// path's pool (long-lived workers, scratch reuse, streaming); compile
+// fan-out is a short burst of CPU-bound units where plain goroutines
+// with an atomic work counter are the right tool.
+//
+// Every user of this package must produce byte-identical results at
+// any worker count: units are independent (disjoint writes) and the
+// combining step is order-insensitive or explicitly ordered by index.
+package fanout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob shared by every compile surface:
+// 0 (the zero value) means one worker per core (GOMAXPROCS), 1 pins the
+// sequential reference path, and any other positive value is taken
+// as-is. Negative values are treated as sequential.
+func Workers(n int) int {
+	switch {
+	case n == 0:
+		return runtime.GOMAXPROCS(0)
+	case n < 1:
+		return 1
+	}
+	return n
+}
+
+// ForEach runs f(i) for every i in [0, n), on up to workers goroutines
+// (resolved via Workers). Work is handed out by an atomic counter, so
+// uneven unit costs balance; the call returns when every unit is done.
+// With workers <= 1 (or n <= 1) it degenerates to the plain loop on the
+// calling goroutine — no goroutines, no synchronization.
+func ForEach(n, workers int, f func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for units that can fail: every unit still runs
+// (failures do not cancel in-flight siblings — units are cheap and
+// independent), and the error of the lowest-indexed failing unit is
+// returned, so the reported error is deterministic regardless of
+// scheduling.
+func ForEachErr(n, workers int, f func(i int) error) error {
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	ForEach(n, workers, func(i int) {
+		if err := f(i); err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}
+
+// Split cuts n units into at most parts contiguous ranges of nearly
+// equal size, returning the range boundaries (len = ranges+1,
+// boundaries[0] = 0, boundaries[len-1] = n). Used when per-unit work is
+// uniform and cache locality favors contiguous chunks over an atomic
+// counter (table-row fills).
+func Split(n, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 { // n == 0
+		return []int{0, 0}
+	}
+	bounds := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		bounds[i] = i * n / parts
+	}
+	return bounds
+}
+
+// ForRanges runs f(lo, hi) over the Split of [0, n) into one contiguous
+// range per worker — the uniform-cost variant of ForEach used for
+// per-state table fills, where contiguous ranges keep writes
+// cache-friendly.
+func ForRanges(n, workers int, f func(lo, hi int)) {
+	w := Workers(workers)
+	bounds := Split(n, w)
+	ranges := len(bounds) - 1
+	if ranges <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(ranges)
+	for r := 0; r < ranges; r++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(bounds[r], bounds[r+1])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+package fanout
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want sequential", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			hits := make([]atomic.Int32, n)
+			ForEach(n, workers, func(i int) {
+				hits[i].Add(1)
+			})
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachErrReportsLowestFailingIndex(t *testing.T) {
+	// Both units 3 and 7 fail; the lowest index must win regardless of
+	// which goroutine finishes first.
+	for _, workers := range []int{1, 4} {
+		err := ForEachErr(10, workers, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("unit %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 3" {
+			t.Fatalf("workers=%d: got %v, want unit 3", workers, err)
+		}
+	}
+	if err := ForEachErr(4, 2, func(int) error { return nil }); err != nil {
+		t.Fatalf("all-ok run returned %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := ForEachErr(1, 1, func(int) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("single-unit failure lost: %v", err)
+	}
+}
+
+func TestSplitBoundaries(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     []int
+	}{
+		{10, 3, []int{0, 3, 6, 10}},
+		{10, 1, []int{0, 10}},
+		{3, 10, []int{0, 1, 2, 3}}, // parts clamped to n
+		{5, 0, []int{0, 5}},        // parts clamped up to 1
+		{0, 4, []int{0, 0}},        // empty input
+	}
+	for _, c := range cases {
+		got := Split(c.n, c.parts)
+		if len(got) != len(c.want) {
+			t.Fatalf("Split(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Split(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+			}
+		}
+		// Contract: monotone, starts at 0, ends at n.
+		if got[0] != 0 || got[len(got)-1] != c.n {
+			t.Fatalf("Split(%d,%d) endpoints wrong: %v", c.n, c.parts, got)
+		}
+	}
+}
+
+func TestForRangesCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 7, 64} {
+			hits := make([]atomic.Int32, n)
+			ForRanges(n, workers, func(lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}

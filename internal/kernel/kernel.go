@@ -40,6 +40,7 @@ import (
 
 	"cellmatch/internal/compose"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/fanout"
 	"cellmatch/internal/interleave"
 )
 
@@ -97,6 +98,12 @@ type Options struct {
 	// gates, still falling back to the 1-byte kernel when they cannot
 	// fit MaxTableBytes.
 	Stride int
+	// Workers bounds the compile-time fan-out (fanout semantics:
+	// 0 = one per core, 1 = sequential): slot tables compile
+	// concurrently and the row/pair emission of large single tables
+	// splits into ranges. The compiled engine is byte-identical at any
+	// worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -180,8 +187,10 @@ func log2(w int) uint32 {
 }
 
 // compileTable flattens one slot DFA. byteClass is the reduction map;
-// ids maps slot-local pattern ids to global ones.
-func compileTable(d *dfa.DFA, byteClass [256]byte, ids []int) (*Table, error) {
+// ids maps slot-local pattern ids to global ones; workers splits the
+// dense row fill into contiguous state ranges (disjoint writes, so the
+// emitted table is identical at any worker count).
+func compileTable(d *dfa.DFA, byteClass [256]byte, ids []int, workers int) (*Table, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -227,22 +236,24 @@ func compileTable(d *dfa.DFA, byteClass [256]byte, ids []int) (*Table, error) {
 			t.Outs[s] = out
 		}
 	}
-	for s := 0; s < n; s++ {
-		row := s * width
-		for c := 0; c < width; c++ {
-			var next int32
-			if c < d.Syms {
-				next = d.Next[s*d.Syms+c]
-			} else {
-				next = int32(d.Start) // padding columns restart, no flag
+	fanout.ForRanges(n, workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			row := s * width
+			for c := 0; c < width; c++ {
+				var next int32
+				if c < d.Syms {
+					next = d.Next[s*d.Syms+c]
+				} else {
+					next = int32(d.Start) // padding columns restart, no flag
+				}
+				e := uint32(next) << shift
+				if c < d.Syms && len(d.Out[next]) > 0 {
+					e |= FlagOut
+				}
+				t.Entries[row+c] = e
 			}
-			e := uint32(next) << shift
-			if c < d.Syms && len(d.Out[next]) > 0 {
-				e |= FlagOut
-			}
-			t.Entries[row+c] = e
 		}
-	}
+	})
 	return t, nil
 }
 
@@ -444,6 +455,19 @@ func (e *Engine) PairBytes() int {
 // remaining budget degrades to the plain 1-byte kernel rather than
 // failing (the rung below on the selection ladder).
 func Compile(sys *compose.System, opts Options) (*Engine, error) {
+	return CompileReusing(sys, opts, nil)
+}
+
+// CompileReusing is Compile with per-slot table reuse for the delta
+// path: prebuilt[i], when non-nil, is a table already compiled for slot
+// i with the same reduction and the same global pattern ids (the caller
+// establishes that by content fingerprint), adopted instead of
+// recompiled. Reused tables are never mutated — if the stride decision
+// differs from the donor engine's, the table is shallow-copied and its
+// pair table built or dropped on the copy — so the donor engine keeps
+// scanning unchanged and the result is byte-identical to a cold
+// Compile of the same system.
+func CompileReusing(sys *compose.System, opts Options, prebuilt []*Table) (*Engine, error) {
 	o := opts.withDefaults()
 	if o.Stride < 0 || o.Stride > 2 {
 		return nil, fmt.Errorf("kernel: bad stride %d (want 0 auto, 1, or 2)", o.Stride)
@@ -451,25 +475,46 @@ func Compile(sys *compose.System, opts Options) (*Engine, error) {
 	if len(sys.Slots) == 0 {
 		return nil, fmt.Errorf("kernel: system has no slots")
 	}
-	e := &Engine{MaxPatternLen: sys.MaxPatternLen, opts: o, stride: 1}
+	// Budget first, from predicted sizes (states × row width × 4 — the
+	// exact arithmetic the tables compile to): an over-budget dictionary
+	// is rejected before any table is emitted, so the doomed kernel
+	// attempt on a sharded- or stt-bound dictionary costs a size sum,
+	// not a full table build.
 	total := 0
-	for i, d := range sys.Slots {
-		t, err := compileTable(d, sys.Red.Map, sys.SlotPatterns[i])
-		if err != nil {
-			return nil, err
-		}
-		total += t.SizeBytes()
+	for _, d := range sys.Slots {
+		total += d.NumStates() * widthFor(d.Syms) * 4
 		if total > o.MaxTableBytes {
 			return nil, fmt.Errorf("%w: %d slots need > %d bytes", ErrBudget, len(sys.Slots), o.MaxTableBytes)
 		}
-		e.Tables = append(e.Tables, t)
 	}
-	if o.Stride != 1 && e.pairEligible(o, total) {
-		for _, t := range e.Tables {
-			t.buildPair()
+	e := &Engine{MaxPatternLen: sys.MaxPatternLen, opts: o, stride: 1}
+	e.Tables = make([]*Table, len(sys.Slots))
+	inner := 1
+	if w := fanout.Workers(o.Workers); len(sys.Slots) < w {
+		inner = (w + len(sys.Slots) - 1) / len(sys.Slots)
+	}
+	err := fanout.ForEachErr(len(sys.Slots), o.Workers, func(i int) error {
+		if prebuilt != nil && prebuilt[i] != nil {
+			e.Tables[i] = prebuilt[i]
+			return nil
 		}
+		t, err := compileTable(sys.Slots[i], sys.Red.Map, sys.SlotPatterns[i], inner)
+		if err != nil {
+			return err
+		}
+		e.Tables[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	wantPair := o.Stride != 1 && e.pairEligible(o, total)
+	if wantPair {
 		e.stride = 2
 	}
+	fanout.ForEach(len(e.Tables), o.Workers, func(i int) {
+		e.Tables[i] = e.Tables[i].withPair(wantPair, inner)
+	})
 	return e, nil
 }
 

@@ -46,6 +46,7 @@ import (
 	"cellmatch/internal/alphabet"
 	"cellmatch/internal/compose"
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/fanout"
 )
 
 const (
@@ -175,6 +176,14 @@ func PlanShards(patterns [][]byte, red *alphabet.Reduction, budget, maxShards in
 		return (trie.nodes + added) * shardEntryBytes(grown)
 	}
 	for _, id := range order {
+		// Early exit: once the plan outgrows maxShards the outcome is
+		// fixed (shard counts only grow), so stop walking — on a
+		// million-pattern stt-bound dictionary this turns the doomed
+		// sharding attempt from a full trie pass into a prefix of one.
+		if len(plan.Shards) > maxShards {
+			return nil, fmt.Errorf("%w: dictionary needs more than %d shards, max %d",
+				ErrBudget, maxShards, maxShards)
+		}
 		cost := wouldCost(id)
 		if cost > target && len(cur) > 0 {
 			flush()
@@ -279,6 +288,11 @@ type ShardConfig struct {
 	MaxTableBytes int
 	// MaxShards caps the shard count. <=0 means DefaultMaxShards.
 	MaxShards int
+	// Workers bounds the compile-time fan-out (fanout semantics:
+	// 0 = one per core, 1 = sequential): shards compose and compile
+	// concurrently, each internally parallel when shards are fewer than
+	// cores. Output is byte-identical at any worker count.
+	Workers int
 }
 
 // Sharded is a multi-kernel engine: one dense Engine per dictionary
@@ -288,8 +302,13 @@ type ShardConfig struct {
 type Sharded struct {
 	// Engines holds one compiled kernel per shard.
 	Engines []*Engine
-	// Plan records each shard's global pattern ids (diagnostics).
+	// Plan records each shard's global pattern ids (diagnostics, and
+	// the delta path's reuse key source). Nil on engines loaded from a
+	// serialized image — those support no delta reuse.
 	Plan [][]int
+
+	// shardFP caches per-shard reuse fingerprints (see sharddelta.go).
+	shardFP [][fpSize]byte
 }
 
 // CompileSharded plans and compiles a sharded engine for a dictionary
@@ -300,6 +319,17 @@ type Sharded struct {
 // dictionary cannot be sharded within the constraints and the caller
 // should fall back to the stt/dfa path.
 func CompileSharded(patterns [][]byte, cfg ShardConfig) (*Sharded, error) {
+	return CompileShardedReusing(patterns, cfg, nil)
+}
+
+// CompileShardedReusing is CompileSharded with per-shard engine reuse
+// for the delta path: prebuilt maps a shard's reuse fingerprint (see
+// shardFingerprint) to an engine already compiled for identical shard
+// content, identical global ids, and identical config. Matching shards
+// adopt the donor engine untouched; the rest compile cold, fanned
+// across cfg.Workers. The result is byte-identical to a cold
+// CompileSharded of the same dictionary.
+func CompileShardedReusing(patterns [][]byte, cfg ShardConfig, prebuilt map[[fpSize]byte]*Engine) (*Sharded, error) {
 	budget := cfg.MaxTableBytes
 	if budget <= 0 {
 		budget = DefaultMaxTableBytes
@@ -312,8 +342,24 @@ func CompileSharded(patterns [][]byte, cfg ShardConfig) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	sh := &Sharded{Plan: plan.Shards}
-	for si, ids := range plan.Shards {
+	sh := &Sharded{
+		Plan:    plan.Shards,
+		Engines: make([]*Engine, len(plan.Shards)),
+		shardFP: make([][fpSize]byte, len(plan.Shards)),
+	}
+	inner := 1
+	if w := fanout.Workers(cfg.Workers); len(plan.Shards) < w {
+		inner = (w + len(plan.Shards) - 1) / len(plan.Shards)
+	}
+	err = fanout.ForEachErr(len(plan.Shards), cfg.Workers, func(si int) error {
+		ids := plan.Shards[si]
+		sh.shardFP[si] = shardFingerprint(patterns, ids, cfg.CaseFold, budget)
+		if prebuilt != nil {
+			if donor, ok := prebuilt[sh.shardFP[si]]; ok {
+				sh.Engines[si] = donor
+				return nil
+			}
+		}
 		sub := make([][]byte, len(ids))
 		for i, id := range ids {
 			sub[i] = patterns[id]
@@ -326,12 +372,13 @@ func CompileSharded(patterns [][]byte, cfg ShardConfig) (*Sharded, error) {
 		sys, err := compose.NewSystem(sub, compose.Config{
 			MaxStatesPerTile: maxStates,
 			CaseFold:         cfg.CaseFold,
+			Workers:          inner,
 		})
 		if err != nil {
 			// A shard that cannot compose within its state budget is a
 			// planning miss, not a caller defect (the full dictionary
 			// composed fine): degrade to the stt fallback.
-			return nil, fmt.Errorf("%w: shard %d composition: %v", ErrBudget, si, err)
+			return fmt.Errorf("%w: shard %d composition: %v", ErrBudget, si, err)
 		}
 		// Rewrite the shard-local pattern ids to global dictionary ids
 		// before the tables bake them in, so every shard's match stream
@@ -346,13 +393,41 @@ func CompileSharded(patterns [][]byte, cfg ShardConfig) (*Sharded, error) {
 		// Shards pin stride 1: the sharded tier sits BELOW the stride-2
 		// rung on the selection ladder, and per-shard pair tables would
 		// burn the very budget that forced sharding in the first place.
-		eng, err := Compile(sys, Options{MaxTableBytes: budget, Stride: 1})
+		eng, err := Compile(sys, Options{MaxTableBytes: budget, Stride: 1, Workers: inner})
 		if err != nil {
-			return nil, fmt.Errorf("kernel: shard %d: %w", si, err)
+			return fmt.Errorf("kernel: shard %d: %w", si, err)
 		}
-		sh.Engines = append(sh.Engines, eng)
+		sh.Engines[si] = eng
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sh, nil
+}
+
+// ShardFingerprints exposes the per-shard reuse keys of a compiled
+// sharded engine built from the given global pattern list — the donor
+// map source for CompileShardedReusing. Engines loaded from a
+// serialized image have no plan and return nil (no reuse).
+func (s *Sharded) ShardFingerprints(patterns [][]byte, caseFold bool, budget, workers int) map[[fpSize]byte]*Engine {
+	if s.Plan == nil {
+		return nil
+	}
+	if budget <= 0 {
+		budget = DefaultMaxTableBytes
+	}
+	if s.shardFP == nil {
+		s.shardFP = make([][fpSize]byte, len(s.Plan))
+		fanout.ForEach(len(s.Plan), workers, func(si int) {
+			s.shardFP[si] = shardFingerprint(patterns, s.Plan[si], caseFold, budget)
+		})
+	}
+	out := make(map[[fpSize]byte]*Engine, len(s.Engines))
+	for si, e := range s.Engines {
+		out[s.shardFP[si]] = e
+	}
+	return out
 }
 
 // Shards reports the shard count.

@@ -1,0 +1,81 @@
+// Incremental sharded compilation: rebuild only the shards a
+// dictionary edit actually touched. The shard planner is deterministic
+// (a greedy walk over the reduced-lex-sorted dictionary), so after an
+// edit the plan is recomputed cheaply and each planned shard's engine
+// is reused from the previous build whenever its reuse fingerprint
+// matches — a shard engine depends only on its members' pattern bytes,
+// their global ids, the casefold flag, and the byte budget. Reused
+// engines are the previous build's immutable values, and rebuilt ones
+// run the same construction a cold build would, so the delta-compiled
+// sharded engine is bit-identical to a cold CompileSharded.
+package kernel
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// fpSize is the shard fingerprint width. SHA-256 keeps accidental
+// collisions out of the question: a collision would silently reuse an
+// engine compiled for different patterns.
+const fpSize = sha256.Size
+
+// shardFingerprint hashes everything a shard engine's bytes depend on:
+// the casefold flag and byte budget (they shape the reduction and the
+// state budget), then per member pattern its global id, length, and
+// bytes — ids included because the emitted tables bake global pattern
+// ids into their out sets. Lengths are uvarint-framed so concatenation
+// ambiguity is impossible.
+func shardFingerprint(patterns [][]byte, ids []int, caseFold bool, budget int) [fpSize]byte {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	if caseFold {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	n := binary.PutUvarint(buf[:], uint64(budget))
+	h.Write(buf[:n])
+	for _, id := range ids {
+		n = binary.PutUvarint(buf[:], uint64(id))
+		h.Write(buf[:n])
+		p := patterns[id]
+		n = binary.PutUvarint(buf[:], uint64(len(p)))
+		h.Write(buf[:n])
+		h.Write(p)
+	}
+	var fp [fpSize]byte
+	h.Sum(fp[:0])
+	return fp
+}
+
+// CompileShardedDelta compiles the new dictionary into a sharded
+// engine, reusing every shard engine of prev (built from prevPatterns
+// under the same config) whose planned content is unchanged. It
+// returns the engine plus a per-shard reuse mask for delta accounting.
+// When prev is nil, was loaded from a serialized image (no plan), or
+// the configs disagree on what matters, the cold path runs and the
+// mask is all-false.
+func CompileShardedDelta(patterns [][]byte, cfg ShardConfig, prev *Sharded, prevPatterns [][]byte) (*Sharded, []bool, error) {
+	budget := cfg.MaxTableBytes
+	if budget <= 0 {
+		budget = DefaultMaxTableBytes
+	}
+	var prebuilt map[[fpSize]byte]*Engine
+	if prev != nil {
+		prebuilt = prev.ShardFingerprints(prevPatterns, cfg.CaseFold, budget, cfg.Workers)
+	}
+	sh, err := CompileShardedReusing(patterns, cfg, prebuilt)
+	if err != nil {
+		return nil, nil, err
+	}
+	reused := make([]bool, len(sh.Engines))
+	if prebuilt != nil {
+		for si := range sh.Engines {
+			if donor, ok := prebuilt[sh.shardFP[si]]; ok && donor == sh.Engines[si] {
+				reused[si] = true
+			}
+		}
+	}
+	return sh, reused, nil
+}

@@ -46,6 +46,7 @@ import (
 	"fmt"
 
 	"cellmatch/internal/dfa"
+	"cellmatch/internal/fanout"
 	"cellmatch/internal/interleave"
 )
 
@@ -85,34 +86,61 @@ func (t *Table) pairFits() bool {
 // Padding cells (either class >= Classes) reset to the start state
 // with no flag, like the 1-byte padding columns; they are unreachable
 // because the byte-class map only yields real classes.
-func (t *Table) buildPair() {
+func (t *Table) buildPair() { t.buildPairW(1) }
+
+// buildPairW is buildPair with the per-state emission split into
+// contiguous state ranges across workers (fanout semantics). Pair rows
+// are disjoint per state and derived from the immutable 1-byte entries,
+// so the emitted table is identical at any worker count.
+func (t *Table) buildPairW(workers int) {
 	pairShift := 2 * t.shift
 	pw := t.Width * t.Width
 	pair := alignedWords(t.States * pw)
 	startPair := (t.start >> t.shift) << pairShift
-	for s := 0; s < t.States; s++ {
-		row := uint32(s) << t.shift
-		prow := uint32(s) << pairShift
-		for c1 := 0; c1 < t.Width; c1++ {
-			e1 := t.Entries[row+uint32(c1)]
-			midRow := e1 & rowMask
-			for c2 := 0; c2 < t.Width; c2++ {
-				idx := prow + uint32(c1)<<t.shift + uint32(c2)
-				if c1 >= t.Classes || c2 >= t.Classes {
-					pair[idx] = startPair
-					continue
+	fanout.ForRanges(t.States, workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			row := uint32(s) << t.shift
+			prow := uint32(s) << pairShift
+			for c1 := 0; c1 < t.Width; c1++ {
+				e1 := t.Entries[row+uint32(c1)]
+				midRow := e1 & rowMask
+				for c2 := 0; c2 < t.Width; c2++ {
+					idx := prow + uint32(c1)<<t.shift + uint32(c2)
+					if c1 >= t.Classes || c2 >= t.Classes {
+						pair[idx] = startPair
+						continue
+					}
+					e2 := t.Entries[midRow+uint32(c2)]
+					pe := ((e2 & rowMask) >> t.shift) << pairShift
+					if (e1|e2)&FlagOut != 0 {
+						pe |= FlagOut
+					}
+					pair[idx] = pe
 				}
-				e2 := t.Entries[midRow+uint32(c2)]
-				pe := ((e2 & rowMask) >> t.shift) << pairShift
-				if (e1|e2)&FlagOut != 0 {
-					pe |= FlagOut
-				}
-				pair[idx] = pe
 			}
 		}
-	}
+	})
 	t.Pair = pair
 	t.pairShift = pairShift
+}
+
+// withPair returns a view of the table whose pair-table presence
+// matches want, never mutating the receiver: a table that already
+// agrees is returned as-is; otherwise a shallow copy (sharing the
+// immutable Entries and Outs) gains or drops its pair table. This is
+// how the delta path adopts tables from a donor engine whose stride
+// decision differed — the donor keeps scanning unchanged.
+func (t *Table) withPair(want bool, workers int) *Table {
+	if (t.Pair != nil) == want {
+		return t
+	}
+	c := *t
+	c.Pair = nil
+	c.pairShift = 0
+	if want {
+		c.buildPairW(workers)
+	}
+	return &c
 }
 
 // emitPair is the flagged-iteration epilogue: replay bytes b1, b2 from

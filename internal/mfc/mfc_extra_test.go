@@ -1,0 +1,26 @@
+package mfc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlignmentErrorMessage(t *testing.T) {
+	e := &AlignmentError{What: "local address", Val: 0x13}
+	if msg := e.Error(); !strings.Contains(msg, "local address") || !strings.Contains(msg, "0x13") {
+		t.Fatalf("message = %q", msg)
+	}
+}
+
+func TestPutCompletes(t *testing.T) {
+	eng, m := newTestMFC()
+	if err := m.Put(1, 0, 0, 16384); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	m.WaitTagMask(TagMask(1), func() { done = true })
+	eng.Run()
+	if !done || m.Completed != 1 {
+		t.Fatalf("put: done=%v completed=%d", done, m.Completed)
+	}
+}

@@ -211,3 +211,11 @@ func TestPoolScanReader(t *testing.T) {
 		t.Fatalf("pool ScanReader diverged: %d vs %d", len(got), len(want))
 	}
 }
+
+func TestPoolWorkers(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if got := p.Workers(); got != 3 {
+		t.Fatalf("Workers() = %d", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Delta-aware reloading: loaders that see the currently published
+// matcher and may patch it (core.RecompileDelta) instead of rebuilding,
+// or skip the swap entirely when the pattern set is unchanged. The RCU
+// read path is untouched — a delta reload still publishes a complete
+// immutable matcher; only the time spent compiling it shrinks.
+package registry
+
+import (
+	"fmt"
+	"os"
+
+	"cellmatch/internal/core"
+)
+
+// DeltaOutcome classifies what a delta-aware reload actually did.
+type DeltaOutcome int
+
+const (
+	// Rebuilt: a full cold compile (first load, reduction change, plain
+	// Loader, or nothing was reusable).
+	Rebuilt DeltaOutcome = iota
+	// Patched: an incremental recompile reused at least one compiled
+	// unit of the previous matcher.
+	Patched
+	// Unchanged: the source's pattern set is identical to the published
+	// matcher's (possibly reordered); the previous entry stays live and
+	// no new generation is published.
+	Unchanged
+)
+
+// String names the outcome for logs, /reload responses, and metrics
+// labels.
+func (o DeltaOutcome) String() string {
+	switch o {
+	case Patched:
+		return "patched"
+	case Unchanged:
+		return "unchanged"
+	default:
+		return "rebuilt"
+	}
+}
+
+// DeltaLoader produces the next matcher given the currently published
+// one (nil before the first successful load). Implementations decide
+// whether to patch, rebuild, or report the set unchanged; like Loader,
+// every call re-reads the source.
+type DeltaLoader func(prev *core.Matcher) (*core.Matcher, DeltaOutcome, error)
+
+// NewDelta creates a registry bound to a delta-aware loader without
+// loading it yet; call Reload (or ReloadOutcome) to publish the first
+// entry.
+func NewDelta(source string, load DeltaLoader) *Registry {
+	return &Registry{source: source, loadDelta: load}
+}
+
+// RetargetDelta points the registry at a new source with a delta-aware
+// loader and loads it immediately. On failure the previous source,
+// loader, and entry stay live.
+func (r *Registry) RetargetDelta(source string, load DeltaLoader) (*Entry, DeltaOutcome, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prevSource, prevLoad, prevDelta := r.source, r.load, r.loadDelta
+	r.source, r.load, r.loadDelta = source, nil, load
+	e, outcome, err := r.reloadOutcomeLocked()
+	if err != nil {
+		r.source, r.load, r.loadDelta = prevSource, prevLoad, prevDelta
+		return nil, Rebuilt, err
+	}
+	return e, outcome, nil
+}
+
+// ReloadOutcome is Reload with the delta classification attached:
+// whether the published matcher was rebuilt cold, patched from the
+// previous one, or left in place because the pattern set is unchanged
+// (in which case the returned entry is the still-current one and no
+// generation was consumed). Registries built on a plain Loader always
+// report Rebuilt.
+func (r *Registry) ReloadOutcome() (*Entry, DeltaOutcome, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reloadOutcomeLocked()
+}
+
+func (r *Registry) reloadOutcomeLocked() (*Entry, DeltaOutcome, error) {
+	if r.loadDelta == nil {
+		e, err := r.reloadLocked()
+		return e, Rebuilt, err
+	}
+	// Stat before loading, same baseline contract as reloadLocked.
+	var id fileID
+	if fi, err := os.Stat(r.source); err == nil {
+		id = identityOf(fi)
+	}
+	var prev *core.Matcher
+	if cur := r.cur.Load(); cur != nil {
+		prev = cur.Matcher
+	}
+	m, outcome, err := r.loadDelta(prev)
+	if err != nil {
+		r.failed.Add(1)
+		return nil, Rebuilt, err
+	}
+	r.baseID = id
+	if outcome == Unchanged && prev != nil && m == prev {
+		// The source changed on disk but the pattern set did not (a
+		// rewrite that only reordered lines, touched comments, or reset
+		// timestamps): keep serving the published entry. The baseline
+		// still advances so Watch stops re-detecting the same rewrite.
+		r.unchanged.Add(1)
+		return r.cur.Load(), Unchanged, nil
+	}
+	e := r.publishLocked(m, r.source)
+	r.reloads.Add(1)
+	if outcome == Patched {
+		r.patched.Add(1)
+	}
+	return e, outcome, nil
+}
+
+// ReloadFull re-runs the installed loader with patching and the
+// unchanged short-circuit disabled: a delta-aware loader sees
+// prev == nil, so it compiles cold and the swap always publishes — the
+// escape hatch for callers that need pattern ids in source-file order
+// after reorder-only rewrites were short-circuited.
+func (r *Registry) ReloadFull() (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.loadDelta == nil {
+		return r.reloadLocked()
+	}
+	var id fileID
+	if fi, err := os.Stat(r.source); err == nil {
+		id = identityOf(fi)
+	}
+	m, _, err := r.loadDelta(nil)
+	if err != nil {
+		r.failed.Add(1)
+		return nil, err
+	}
+	r.baseID = id
+	e := r.publishLocked(m, r.source)
+	r.reloads.Add(1)
+	return e, nil
+}
+
+// DeltaReloads reports how many reloads were patched incrementally and
+// how many were short-circuited as unchanged. Rebuilt reloads are
+// Reloads() minus patched (unchanged reloads never count in Reloads —
+// no swap was published).
+func (r *Registry) DeltaReloads() (patched, unchanged uint64) {
+	return r.patched.Load(), r.unchanged.Load()
+}
+
+// DictDeltaLoader is DictLoader with incremental recompilation: when a
+// matcher is already published and compatible (literal dictionary,
+// same options), an edit is patched via core.RecompileDelta, and a
+// rewrite whose pattern multiset is unchanged short-circuits to
+// Unchanged without compiling anything — the fix for watchers burning
+// a full rebuild every time a dictionary file is regenerated in a
+// different order.
+//
+// Unchanged caveat: the published matcher keeps ITS pattern order, not
+// the file's — pattern ids in match output stay stable across the
+// short-circuit, which is exactly why the swap is skipped. Callers
+// that need file-order ids must force a full reload (mode=full).
+func DictDeltaLoader(path string, opts core.Options) DeltaLoader {
+	return func(prev *core.Matcher) (*core.Matcher, DeltaOutcome, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, Rebuilt, fmt.Errorf("registry: %w", err)
+		}
+		defer f.Close()
+		pats, err := ParsePatterns(f)
+		if err != nil {
+			return nil, Rebuilt, fmt.Errorf("registry: dict %s: %w", path, err)
+		}
+		if len(pats) == 0 {
+			return nil, Rebuilt, fmt.Errorf("registry: dict %s: no patterns", path)
+		}
+		if prev != nil && !prev.IsRegex() && prev.Options() == opts {
+			if core.PatternSetFingerprint(pats) == prev.PatternSetFingerprint() {
+				return prev, Unchanged, nil
+			}
+			m, ds, err := prev.RecompileDelta(pats)
+			if err != nil {
+				return nil, Rebuilt, fmt.Errorf("registry: dict %s: %w", path, err)
+			}
+			if ds.Reused() {
+				return m, Patched, nil
+			}
+			return m, Rebuilt, nil
+		}
+		m, err := core.Compile(pats, opts)
+		if err != nil {
+			return nil, Rebuilt, fmt.Errorf("registry: dict %s: %w", path, err)
+		}
+		return m, Rebuilt, nil
+	}
+}
+
+// RegexDeltaLoader is RegexLoader with the unchanged-set short-circuit.
+// Regex matchers have no incremental decomposition (see
+// core.RecompileDelta), so a genuinely changed expression set always
+// rebuilds cold — but the fingerprint check still spares the rebuild
+// when a file rewrite only reordered expressions.
+func RegexDeltaLoader(path string, opts core.Options) DeltaLoader {
+	return func(prev *core.Matcher) (*core.Matcher, DeltaOutcome, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, Rebuilt, fmt.Errorf("registry: %w", err)
+		}
+		defer f.Close()
+		lines, err := ParsePatterns(f)
+		if err != nil {
+			return nil, Rebuilt, fmt.Errorf("registry: regex %s: %w", path, err)
+		}
+		if len(lines) == 0 {
+			return nil, Rebuilt, fmt.Errorf("registry: regex %s: no expressions", path)
+		}
+		if prev != nil && prev.IsRegex() && prev.Options() == opts &&
+			core.PatternSetFingerprint(lines) == prev.PatternSetFingerprint() {
+			return prev, Unchanged, nil
+		}
+		exprs := make([]string, len(lines))
+		for i, l := range lines {
+			exprs[i] = string(l)
+		}
+		m, err := core.CompileRegexSearch(exprs, opts)
+		if err != nil {
+			return nil, Rebuilt, fmt.Errorf("registry: regex %s: %w", path, err)
+		}
+		return m, Rebuilt, nil
+	}
+}

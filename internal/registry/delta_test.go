@@ -1,0 +1,471 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellmatch/internal/core"
+)
+
+func writeDict(t *testing.T, path string, lines []string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deltaOpts forces several compose slots so an append has prefix slots
+// to reuse.
+var deltaOpts = core.Options{MaxStatesPerTile: 150, Engine: core.EngineOptions{Filter: core.FilterOff}}
+
+func deltaDictLines(n int) []string {
+	out := make([]string, n)
+	x := uint32(11)
+	for i := range out {
+		var b []byte
+		l := 4 + int(x%7)
+		for j := 0; j < l; j++ {
+			x = x*1664525 + 1013904223
+			b = append(b, byte('a'+(x>>16)%11))
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func TestDictDeltaLoaderReorderShortCircuit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict.txt")
+	lines := []string{"alpha", "beta", "gamma"}
+	writeDict(t, path, lines)
+
+	r := NewDelta(path, DictDeltaLoader(path, core.Options{}))
+	e1, outcome, err := r.ReloadOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Rebuilt || e1.Generation != 1 {
+		t.Fatalf("first load: outcome %v gen %d", outcome, e1.Generation)
+	}
+
+	// Rewrite the file with the same patterns in a different order (a
+	// comment too, so the bytes clearly differ): the registry must keep
+	// serving the published entry, with no new generation.
+	writeDict(t, path, []string{"# regenerated", "gamma", "alpha", "beta"})
+	e2, outcome, err := r.ReloadOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Unchanged {
+		t.Fatalf("reordered rewrite: outcome %v, want Unchanged", outcome)
+	}
+	if e2 != e1 {
+		t.Fatal("unchanged reload replaced the entry")
+	}
+	if ok, _ := r.Reloads(); ok != 1 {
+		t.Fatalf("unchanged reload counted as a swap: reloads=%d", ok)
+	}
+	patched, unchanged := r.DeltaReloads()
+	if patched != 0 || unchanged != 1 {
+		t.Fatalf("delta counters: patched=%d unchanged=%d", patched, unchanged)
+	}
+
+	// A real edit must publish a new generation again.
+	writeDict(t, path, []string{"gamma", "alpha", "beta", "epsilon"})
+	e3, outcome, err := r.ReloadOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome == Unchanged || e3.Generation != 2 {
+		t.Fatalf("real edit: outcome %v gen %d", outcome, e3.Generation)
+	}
+}
+
+func TestDictDeltaLoaderPatchedIdentity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict.txt")
+	lines := deltaDictLines(150)
+	writeDict(t, path, lines)
+
+	r := NewDelta(path, DictDeltaLoader(path, deltaOpts))
+	if _, _, err := r.ReloadOutcome(); err != nil {
+		t.Fatal(err)
+	}
+
+	appended := append(append([]string{}, lines...), "abcabca", "kjihgfe")
+	writeDict(t, path, appended)
+	e, outcome, err := r.ReloadOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Patched {
+		t.Fatalf("append outcome %v, want Patched", outcome)
+	}
+	patched, _ := r.DeltaReloads()
+	if patched != 1 {
+		t.Fatalf("patched counter %d", patched)
+	}
+
+	// The patched matcher must behave exactly like a cold compile of
+	// the appended dictionary.
+	cold, err := core.CompileStrings(appended, deltaOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []byte(strings.Repeat("xxabcabcaxx"+lines[0]+"yy", 30))
+	want, err := cold.FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Matcher.FindAll(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("patched matcher: %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("patched matcher: match %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var sv1, sv2 bytes.Buffer
+	if err := e.Matcher.Save(&sv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Save(&sv2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sv1.Bytes(), sv2.Bytes()) {
+		t.Fatal("patched matcher artifact differs from cold compile")
+	}
+}
+
+// The Watch regression for the order-only rewrite: the poller detects
+// the file change (mtime/size/inode moved) but must not publish a new
+// generation — and must not keep re-detecting the same rewrite.
+func TestWatchShortCircuitsReorderedRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict.txt")
+	writeDict(t, path, []string{"alpha", "beta", "gamma"})
+
+	r := NewDelta(path, DictDeltaLoader(path, core.Options{}))
+	if _, _, err := r.ReloadOutcome(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Watch(ctx, 5*time.Millisecond, nil)
+	}()
+
+	// Keep rewriting in shuffled order until the watcher has consumed
+	// at least one rewrite (the unchanged counter moves).
+	deadline := time.After(10 * time.Second)
+	for {
+		_, unchanged := r.DeltaReloads()
+		if unchanged >= 1 {
+			break
+		}
+		writeDict(t, path, []string{"gamma", "alpha", "beta"})
+		select {
+		case <-deadline:
+			t.Fatal("watch never processed the reordered rewrite")
+		case <-time.After(15 * time.Millisecond):
+		}
+	}
+	if gen := r.Current().Generation; gen != 1 {
+		t.Fatalf("order-only rewrite bumped generation to %d", gen)
+	}
+
+	// A genuine edit through the same watcher still lands.
+	deadline = time.After(10 * time.Second)
+	for r.Current().Generation < 2 {
+		writeDict(t, path, []string{"gamma", "alpha", "beta", "delta"})
+		select {
+		case <-deadline:
+			t.Fatal("watch never published the real edit")
+		case <-time.After(15 * time.Millisecond):
+		}
+	}
+	cancel()
+	wg.Wait()
+}
+
+// Delta reloads must never stall the read path: scans running on the
+// current entry proceed while a patch compiles and swaps. The RCU
+// contract is per-entry immutability, so each scan pins one entry and
+// is oblivious to swaps landing mid-scan.
+func TestDeltaReloadNeverBlocksScans(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict.txt")
+	lines := deltaDictLines(200)
+	writeDict(t, path, lines)
+
+	r := NewDelta(path, DictDeltaLoader(path, deltaOpts))
+	if _, _, err := r.ReloadOutcome(); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := []byte(strings.Repeat(lines[0]+" filler "+lines[3]+" ", 50))
+	stop := make(chan struct{})
+	var scans atomic.Uint64
+	var scanErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := r.Current()
+				if _, err := e.Matcher.FindAll(probe); err != nil {
+					scanErr.Store(err)
+					return
+				}
+				scans.Add(1)
+			}
+		}()
+	}
+
+	// Ten reload rounds alternating append and reorder while scans spin.
+	cur := append([]string{}, lines...)
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			cur = append(cur, "hijk"+string(rune('a'+i)))
+		} else {
+			cur[0], cur[len(cur)-1] = cur[len(cur)-1], cur[0]
+		}
+		writeDict(t, path, cur)
+		if _, _, err := r.ReloadOutcome(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// On a single-core runner the reload loop can finish before the
+	// scan goroutines are ever scheduled; hold the swap storm open
+	// until at least one scan has landed so the non-blocking claim is
+	// actually exercised.
+	waitDeadline := time.After(10 * time.Second)
+	for scans.Load() == 0 {
+		if err := scanErr.Load(); err != nil {
+			t.Fatalf("scan failed during delta reloads: %v", err)
+		}
+		select {
+		case <-waitDeadline:
+			t.Fatal("no scans completed within 10s of the reload storm")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := scanErr.Load(); err != nil {
+		t.Fatalf("scan failed during delta reloads: %v", err)
+	}
+	patched, _ := r.DeltaReloads()
+	if patched == 0 {
+		t.Fatal("no reload was patched")
+	}
+}
+
+func TestDeltaOutcomeString(t *testing.T) {
+	cases := map[DeltaOutcome]string{
+		Rebuilt:         "rebuilt",
+		Patched:         "patched",
+		Unchanged:       "unchanged",
+		DeltaOutcome(9): "rebuilt", // unknown values fold into the default
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Fatalf("DeltaOutcome(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+// RetargetDelta swaps source and loader atomically; a failing target
+// must leave the previous source, loader, and entry fully live.
+func TestRetargetDelta(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	writeDict(t, a, []string{"alpha", "beta"})
+	writeDict(t, b, []string{"gamma", "delta", "epsilon"})
+
+	r := NewDelta(a, DictDeltaLoader(a, deltaOpts))
+	if _, _, err := r.ReloadOutcome(); err != nil {
+		t.Fatal(err)
+	}
+	first := r.Current()
+
+	e, outcome, err := r.RetargetDelta(b, DictDeltaLoader(b, deltaOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome == Unchanged {
+		t.Fatal("retarget to a different dictionary reported Unchanged")
+	}
+	if e.Generation <= first.Generation {
+		t.Fatalf("retarget did not publish a new generation: %d -> %d", first.Generation, e.Generation)
+	}
+
+	// Retargeting at a missing file fails and rolls back: the b entry
+	// keeps serving and a subsequent reload still uses b's loader.
+	missing := filepath.Join(dir, "missing.txt")
+	if _, _, err := r.RetargetDelta(missing, DictDeltaLoader(missing, deltaOpts)); err == nil {
+		t.Fatal("retarget at a missing file succeeded")
+	}
+	if cur := r.Current(); cur.Generation != e.Generation {
+		t.Fatalf("failed retarget disturbed the live entry: gen %d -> %d", e.Generation, cur.Generation)
+	}
+	writeDict(t, b, []string{"gamma", "delta", "epsilon", "zeta"})
+	if _, _, err := r.ReloadOutcome(); err != nil {
+		t.Fatalf("reload after failed retarget should use the rolled-back source: %v", err)
+	}
+}
+
+func TestRegexDeltaLoader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rx.txt")
+	writeDict(t, path, []string{"foo[0-9]{1,3}", "bar(baz)?"})
+	opts := core.Options{}
+
+	r := NewDelta(path, RegexDeltaLoader(path, opts))
+	e, outcome, err := r.ReloadOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Rebuilt {
+		t.Fatalf("first regex load reported %v, want rebuilt", outcome)
+	}
+	if !e.Matcher.IsRegex() {
+		t.Fatal("regex loader produced a literal matcher")
+	}
+
+	// Reordered rewrite: fingerprint matches, no rebuild, no new
+	// generation.
+	writeDict(t, path, []string{"bar(baz)?", "foo[0-9]{1,3}"})
+	e2, outcome, err := r.ReloadOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Unchanged {
+		t.Fatalf("reordered regex rewrite reported %v, want unchanged", outcome)
+	}
+	if e2.Generation != e.Generation {
+		t.Fatal("unchanged regex reload consumed a generation")
+	}
+
+	// A genuinely new expression rebuilds cold (regex has no
+	// incremental decomposition).
+	writeDict(t, path, []string{"bar(baz)?", "foo[0-9]{1,3}", "qu[xy]{1,3}"})
+	_, outcome, err = r.ReloadOutcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Rebuilt {
+		t.Fatalf("changed regex set reported %v, want rebuilt", outcome)
+	}
+	got, err := r.Current().Matcher.FindAll([]byte("quxxx and foo42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("rebuilt regex matcher found nothing in a matching probe")
+	}
+
+	// Error paths: unreadable file, then an empty expression list.
+	if _, _, err := RegexDeltaLoader(filepath.Join(dir, "gone.txt"), opts)(nil); err == nil {
+		t.Fatal("missing regex file loaded")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	writeDict(t, empty, nil)
+	if _, _, err := RegexDeltaLoader(empty, opts)(nil); err == nil {
+		t.Fatal("empty regex file loaded")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	writeDict(t, bad, []string{"unclosed("})
+	if _, _, err := RegexDeltaLoader(bad, opts)(nil); err == nil {
+		t.Fatal("invalid regex compiled")
+	}
+}
+
+func TestDictDeltaLoaderErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := DictDeltaLoader(filepath.Join(dir, "gone.txt"), deltaOpts)(nil); err == nil {
+		t.Fatal("missing dict file loaded")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	writeDict(t, empty, nil)
+	if _, _, err := DictDeltaLoader(empty, deltaOpts)(nil); err == nil {
+		t.Fatal("empty dict file loaded")
+	}
+}
+
+// ReloadFull bypasses the delta loader's patching and unchanged
+// short-circuit: the swap always publishes, with pattern ids in file
+// order.
+func TestReloadFull(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict.txt")
+	writeDict(t, path, []string{"alpha", "beta"})
+
+	r := NewDelta(path, DictDeltaLoader(path, core.Options{}))
+	if _, _, err := r.ReloadOutcome(); err != nil {
+		t.Fatal(err)
+	}
+	gen := r.Current().Generation
+
+	// Reorder-only rewrite: the delta path short-circuits...
+	writeDict(t, path, []string{"beta", "alpha"})
+	if _, outcome, err := r.ReloadOutcome(); err != nil || outcome != Unchanged {
+		t.Fatalf("delta reload: outcome=%v err=%v", outcome, err)
+	}
+	// ...but ReloadFull rebuilds and republishes with file-order ids.
+	e, err := r.ReloadFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation != gen+1 {
+		t.Fatalf("ReloadFull generation %d, want %d", e.Generation, gen+1)
+	}
+	ms, err := e.Matcher.FindAll([]byte("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Pattern != 0 {
+		t.Fatalf("ReloadFull ids not in file order: %+v", ms)
+	}
+
+	// A plain (non-delta) registry takes the ordinary reload path.
+	rp := New(path, DictLoader(path, core.Options{}))
+	if _, err := rp.ReloadFull(); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Current() == nil {
+		t.Fatal("plain ReloadFull did not publish")
+	}
+
+	// Failure keeps the previous entry live.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReloadFull(); err == nil {
+		t.Fatal("ReloadFull of a missing file succeeded")
+	}
+	if got := r.Current().Generation; got != gen+1 {
+		t.Fatalf("failed ReloadFull disturbed the live entry: gen %d", got)
+	}
+}

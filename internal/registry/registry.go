@@ -54,14 +54,21 @@ type Registry struct {
 	gen    uint64
 	source string
 	load   Loader
+	// loadDelta, when set, takes precedence over load: reloads see the
+	// published matcher and may patch it or report the set unchanged
+	// (see delta.go). Exactly one of load/loadDelta is non-nil on a
+	// configured registry.
+	loadDelta DeltaLoader
 	// baseID is the source file's identity captured just before the
 	// last successful load — the change-detection baseline Watch starts
 	// from, so a rewrite landing between Reload and Watch's first poll
 	// is still detected.
 	baseID fileID
 
-	reloads atomic.Uint64 // successful reloads (diagnostics)
-	failed  atomic.Uint64 // failed reload attempts
+	reloads   atomic.Uint64 // successful reloads (diagnostics)
+	failed    atomic.Uint64 // failed reload attempts
+	patched   atomic.Uint64 // reloads satisfied by incremental recompile
+	unchanged atomic.Uint64 // reloads short-circuited: pattern set unchanged
 }
 
 // New creates a registry bound to a loader without loading it yet;
@@ -88,9 +95,8 @@ func (r *Registry) Current() *Entry { return r.cur.Load() }
 // matcher. In-flight scans on the previous matcher are unaffected. On
 // failure the current entry stays live and the error is returned.
 func (r *Registry) Reload() (*Entry, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.reloadLocked()
+	e, _, err := r.ReloadOutcome()
+	return e, err
 }
 
 func (r *Registry) reloadLocked() (*Entry, error) {
@@ -119,11 +125,11 @@ func (r *Registry) reloadLocked() (*Entry, error) {
 func (r *Registry) Retarget(source string, load Loader) (*Entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	prevSource, prevLoad := r.source, r.load
-	r.source, r.load = source, load
+	prevSource, prevLoad, prevDelta := r.source, r.load, r.loadDelta
+	r.source, r.load, r.loadDelta = source, load, nil
 	e, err := r.reloadLocked()
 	if err != nil {
-		r.source, r.load = prevSource, prevLoad
+		r.source, r.load, r.loadDelta = prevSource, prevLoad, prevDelta
 		return nil, err
 	}
 	return e, nil

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cellmatch/internal/core"
+)
+
+func postReload(t *testing.T, url string) (ReloadResponse, int) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var rr ReloadResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &rr); err != nil {
+			t.Fatalf("bad reload JSON: %v: %s", err, raw)
+		}
+	}
+	return rr, resp.StatusCode
+}
+
+func writeDictFile(t *testing.T, path string, lines []string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The /reload?mode=delta path end to end: retarget onto a dict file,
+// patch it with an appended pattern, short-circuit an order-only
+// rewrite, and watch the accounting land in /stats and /metrics.
+func TestReloadModeDelta(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"placeholder"}, Config{})
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "dict.txt")
+	writeDictFile(t, dict, []string{"virus", "worm", "trojan"})
+
+	// Delta retarget onto the dict source: first load is a cold build.
+	rr, code := postReload(t, ts.URL+"/reload?mode=delta&format=dict&path="+dict)
+	if code != http.StatusOK {
+		t.Fatalf("delta retarget: %d", code)
+	}
+	if rr.Outcome != "rebuilt" || rr.Patterns != 3 {
+		t.Fatalf("first delta load: %+v", rr)
+	}
+	gen := rr.Generation
+
+	// Append a pattern: the reload must patch and publish a new
+	// generation, and the scan surface must serve the new pattern.
+	writeDictFile(t, dict, []string{"virus", "worm", "trojan", "rootkit"})
+	rr, code = postReload(t, ts.URL+"/reload?mode=delta&format=dict&path="+dict)
+	if code != http.StatusOK {
+		t.Fatalf("delta append: %d", code)
+	}
+	if rr.Outcome == "unchanged" || rr.Generation != gen+1 || rr.Patterns != 4 {
+		t.Fatalf("delta append: %+v", rr)
+	}
+	sr := postScan(t, ts.URL+"/scan", []byte("xx rootkit yy virus"))
+	if sr.Count != 2 {
+		t.Fatalf("scan after delta append found %d matches", sr.Count)
+	}
+
+	// Rewrite the same set in a different order: unchanged, same
+	// generation, no swap.
+	writeDictFile(t, dict, []string{"rootkit", "trojan", "worm", "virus"})
+	rr, code = postReload(t, ts.URL+"/reload?mode=delta&format=dict&path="+dict)
+	if code != http.StatusOK {
+		t.Fatalf("delta reorder: %d", code)
+	}
+	if rr.Outcome != "unchanged" || rr.Generation != gen+1 {
+		t.Fatalf("delta reorder: %+v", rr)
+	}
+
+	st := getStats(t, ts.URL+"/stats")
+	if st.ReloadsUnchanged != 1 {
+		t.Fatalf("stats reloads_unchanged = %d", st.ReloadsUnchanged)
+	}
+	if st.ReloadsPatched == 0 && rr.Outcome != "unchanged" {
+		t.Fatalf("stats reloads_patched = %d", st.ReloadsPatched)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `cellmatch_reloads_delta_total{tenant="default",mode="unchanged"} 1`) {
+		t.Fatalf("metrics missing delta reload counter:\n%s", body)
+	}
+}
+
+// mode=delta against a pre-compiled artifact has nothing to patch and
+// must refuse with 422, leaving the live dictionary untouched.
+func TestReloadModeDeltaArtifactRejected(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"alpha"}, Config{})
+	dir := t.TempDir()
+	art := filepath.Join(dir, "a.cms")
+	m, err := core.CompileStrings([]string{"beta"}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, code := postReload(t, ts.URL+"/reload?mode=delta&path="+art)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("delta artifact: %d, want 422", code)
+	}
+	_, code = postReload(t, ts.URL+"/reload?mode=delta&format=artifact&path="+art)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("delta format=artifact: %d, want 422", code)
+	}
+	_, code = postReload(t, ts.URL+"/reload?mode=bogus&path="+art)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bogus mode: %d, want 400", code)
+	}
+	// Still serving the original dictionary.
+	sr := postScan(t, ts.URL+"/scan", []byte("xx alpha yy"))
+	if sr.Count != 1 {
+		t.Fatalf("original dictionary gone after rejected reloads: %+v", sr)
+	}
+}
+
+// Concurrent /scan traffic must flow uninterrupted while delta reloads
+// patch and swap the dictionary underneath it.
+func TestDeltaReloadDoesNotBlockScans(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"placeholder"}, Config{})
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "dict.txt")
+	lines := []string{"virus", "worm", "trojan", "rootkit", "exploit"}
+	writeDictFile(t, dict, lines)
+	if _, code := postReload(t, ts.URL+"/reload?mode=delta&format=dict&path="+dict); code != http.StatusOK {
+		t.Fatalf("initial delta retarget: %d", code)
+	}
+
+	stop := make(chan struct{})
+	var scanned atomic.Uint64
+	var failed atomic.Value
+	var wg sync.WaitGroup
+	payload := []byte(strings.Repeat("xx virus yy worm zz ", 200))
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/scan?count=1", "application/octet-stream", bytes.NewReader(payload))
+				if err != nil {
+					failed.Store(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Store(err)
+					return
+				}
+				scanned.Add(1)
+			}
+		}()
+	}
+	cur := append([]string{}, lines...)
+	for i := 0; i < 8; i++ {
+		cur = append(cur, "sig"+string(rune('a'+i))+"x")
+		writeDictFile(t, dict, cur)
+		if _, code := postReload(t, ts.URL+"/reload?mode=delta&format=dict&path="+dict); code != http.StatusOK {
+			t.Fatalf("delta reload %d failed: %d", i, code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := failed.Load(); err != nil {
+		t.Fatalf("scan failed during delta reloads: %v", err)
+	}
+	if scanned.Load() == 0 {
+		t.Fatal("no scans completed during reload churn")
+	}
+}
+
+// Pathless mode=full must force a cold rebuild even when the installed
+// loader is delta-aware: a reorder-only rewrite that mode=delta (and
+// the bare reload) would short-circuit still publishes a new
+// generation with pattern ids in file order — the documented escape
+// hatch from the unchanged short-circuit.
+func TestReloadModeFullForcesRebuild(t *testing.T) {
+	ts, _, _ := newTestServer(t, []string{"placeholder"}, Config{})
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "dict.txt")
+	writeDictFile(t, dict, []string{"virus", "worm"})
+
+	rr, code := postReload(t, ts.URL+"/reload?mode=delta&format=dict&path="+dict)
+	if code != http.StatusOK {
+		t.Fatalf("delta retarget: %d", code)
+	}
+	gen := rr.Generation
+
+	// Reorder only: the bare delta reload short-circuits.
+	writeDictFile(t, dict, []string{"worm", "virus"})
+	rr, code = postReload(t, ts.URL+"/reload")
+	if code != http.StatusOK || rr.Outcome != "unchanged" || rr.Generation != gen {
+		t.Fatalf("bare reload after reorder: code=%d %+v", code, rr)
+	}
+
+	// mode=full on the same state must rebuild and bump the generation,
+	// and the published matcher must use file order: "worm" is now
+	// pattern 0.
+	rr, code = postReload(t, ts.URL+"/reload?mode=full")
+	if code != http.StatusOK {
+		t.Fatalf("full reload: %d", code)
+	}
+	if rr.Outcome != "rebuilt" || rr.Generation != gen+1 {
+		t.Fatalf("full reload did not force a rebuild: %+v", rr)
+	}
+	sr := postScan(t, ts.URL+"/scan", []byte("a worm"))
+	if sr.Count != 1 || len(sr.Matches) != 1 || sr.Matches[0].Pattern != 0 {
+		t.Fatalf("full reload did not publish file-order ids: %+v", sr)
+	}
+}

@@ -55,6 +55,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "cellmatch_reloads_total{tenant=%q,result=\"failed\"} %d\n", tn, failed)
 		}
 	})
+	metric("cellmatch_reloads_delta_total", "Delta-aware reload outcomes, by tenant and mode: patched (incremental recompile reused compiled units) or unchanged (pattern set identical, swap skipped).", "counter", func() {
+		for _, tn := range s.tenantNames {
+			patched, unchanged := s.tenants[tn].reg.DeltaReloads()
+			fmt.Fprintf(w, "cellmatch_reloads_delta_total{tenant=%q,mode=\"patched\"} %d\n", tn, patched)
+			fmt.Fprintf(w, "cellmatch_reloads_delta_total{tenant=%q,mode=\"unchanged\"} %d\n", tn, unchanged)
+		}
+	})
 
 	batches, payloads := s.batch.stats()
 	metric("cellmatch_batches_total", "Coalesced /scan/batch kernel passes executed.", "counter", func() {

@@ -22,7 +22,10 @@
 //	                   grouped per captured dictionary) into one
 //	                   kernel pass over the shared pool
 //	POST /reload       query: path (new artifact),
-//	                   format=artifact|dict|regex
+//	                   format=artifact|dict|regex,
+//	                   mode=full|delta (delta patches the live matcher
+//	                   incrementally — dict/regex sources only — and
+//	                   skips the swap when the pattern set is unchanged)
 //	GET  /stats        dictionary shape + request/byte/match counters
 //	GET  /metrics      Prometheus text exposition of every counter
 //	GET  /healthz      liveness + current generation per tenant
@@ -545,6 +548,12 @@ type ReloadResponse struct {
 	// Regex reports that the swapped-in dictionary is a set of regular
 	// expressions (format=regex, or a regex artifact).
 	Regex bool `json:"regex,omitempty"`
+	// Outcome classifies what the reload did: "rebuilt" (full cold
+	// compile), "patched" (incremental recompile reused compiled units
+	// of the previous matcher), or "unchanged" (the source's pattern
+	// set is identical to the live one — no swap was published and
+	// Generation is the still-current generation).
+	Outcome string `json:"outcome"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -553,26 +562,64 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	mode := q.Get("mode")
+	if mode != "" && mode != "full" && mode != "delta" {
+		http.Error(w, fmt.Sprintf("bad mode %q (want full or delta)", mode), http.StatusBadRequest)
+		return
+	}
 	var (
-		e   *registry.Entry
-		err error
+		e       *registry.Entry
+		outcome registry.DeltaOutcome
+		err     error
 	)
 	if path := q.Get("path"); path != "" {
-		var load registry.Loader
-		switch format := q.Get("format"); format {
-		case "", "artifact":
-			load = registry.ArtifactLoader(path)
-		case "dict":
-			load = registry.DictLoader(path, core.Options{CaseFold: q.Get("casefold") == "1"})
-		case "regex":
-			load = registry.RegexLoader(path, core.Options{CaseFold: q.Get("casefold") == "1"})
-		default:
-			http.Error(w, fmt.Sprintf("bad format %q (want artifact, dict, or regex)", format), http.StatusBadRequest)
-			return
+		opts := core.Options{CaseFold: q.Get("casefold") == "1"}
+		format := q.Get("format")
+		if mode == "delta" {
+			// Delta retarget: the loader sees the live matcher and
+			// patches it. Artifacts are pre-compiled — there is nothing
+			// to patch against — so only source formats qualify.
+			var load registry.DeltaLoader
+			switch format {
+			case "dict":
+				load = registry.DictDeltaLoader(path, opts)
+			case "regex":
+				load = registry.RegexDeltaLoader(path, opts)
+			case "", "artifact":
+				http.Error(w, "mode=delta requires format=dict or format=regex (artifacts are pre-compiled)", http.StatusUnprocessableEntity)
+				return
+			default:
+				http.Error(w, fmt.Sprintf("bad format %q (want dict or regex)", format), http.StatusBadRequest)
+				return
+			}
+			e, outcome, err = tn.reg.RetargetDelta(path, load)
+		} else {
+			var load registry.Loader
+			switch format {
+			case "", "artifact":
+				load = registry.ArtifactLoader(path)
+			case "dict":
+				load = registry.DictLoader(path, opts)
+			case "regex":
+				load = registry.RegexLoader(path, opts)
+			default:
+				http.Error(w, fmt.Sprintf("bad format %q (want artifact, dict, or regex)", format), http.StatusBadRequest)
+				return
+			}
+			e, err = tn.reg.Retarget(path, load)
 		}
-		e, err = tn.reg.Retarget(path, load)
+	} else if mode == "full" {
+		// Forced cold rebuild: bypass the installed loader's patching
+		// and unchanged short-circuit, so a reorder-only rewrite still
+		// publishes a new generation with pattern ids in file order.
+		e, err = tn.reg.ReloadFull()
+		outcome = registry.Rebuilt
 	} else {
-		e, err = tn.reg.Reload()
+		// No mode (or the default): re-run the installed loader. A
+		// daemon started with a delta-aware loader patches or
+		// short-circuits as warranted; the outcome reports what
+		// actually happened.
+		e, outcome, err = tn.reg.ReloadOutcome()
 	}
 	if err != nil {
 		// The previous dictionary is still live; the reload just failed.
@@ -591,6 +638,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Stride:     st.Stride,
 		Filter:     st.FilterEnabled,
 		Regex:      st.Regex,
+		Outcome:    outcome.String(),
 	})
 }
 
@@ -598,23 +646,30 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // dictionary and counters plus the service-wide pool, batch, and
 // admission state.
 type StatsResponse struct {
-	Tenant        string     `json:"tenant"`
-	Tenants       []string   `json:"tenants"`
-	Generation    uint64     `json:"generation"`
-	Source        string     `json:"source"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	PoolWorkers   int        `json:"pool_workers"`
-	Requests      uint64     `json:"requests"`
-	BytesScanned  uint64     `json:"bytes_scanned"`
-	MatchesFound  uint64     `json:"matches_found"`
-	Batches       uint64     `json:"batches"`
-	BatchPayloads uint64     `json:"batch_payloads"`
-	ReloadsOK     uint64     `json:"reloads_ok"`
-	ReloadsFailed uint64     `json:"reloads_failed"`
-	Inflight      int64      `json:"inflight_requests"`
-	InflightPeak  int64      `json:"inflight_requests_peak"`
-	Shed          uint64     `json:"requests_shed"`
-	Dictionary    core.Stats `json:"dictionary"`
+	Tenant        string   `json:"tenant"`
+	Tenants       []string `json:"tenants"`
+	Generation    uint64   `json:"generation"`
+	Source        string   `json:"source"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	PoolWorkers   int      `json:"pool_workers"`
+	Requests      uint64   `json:"requests"`
+	BytesScanned  uint64   `json:"bytes_scanned"`
+	MatchesFound  uint64   `json:"matches_found"`
+	Batches       uint64   `json:"batches"`
+	BatchPayloads uint64   `json:"batch_payloads"`
+	ReloadsOK     uint64   `json:"reloads_ok"`
+	ReloadsFailed uint64   `json:"reloads_failed"`
+	// ReloadsPatched counts reloads satisfied by incremental
+	// recompilation (compiled units of the previous matcher reused);
+	// ReloadsUnchanged counts reloads short-circuited because the
+	// source's pattern set was identical to the live dictionary's (no
+	// swap published, generation unchanged).
+	ReloadsPatched   uint64     `json:"reloads_patched"`
+	ReloadsUnchanged uint64     `json:"reloads_unchanged"`
+	Inflight         int64      `json:"inflight_requests"`
+	InflightPeak     int64      `json:"inflight_requests_peak"`
+	Shed             uint64     `json:"requests_shed"`
+	Dictionary       core.Stats `json:"dictionary"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -627,25 +682,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ok, failed := tn.reg.Reloads()
+	patched, unchanged := tn.reg.DeltaReloads()
 	batches, payloads := s.batch.stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Tenant:        tn.name,
-		Tenants:       s.tenantNames,
-		Generation:    e.Generation,
-		Source:        e.Source,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		PoolWorkers:   s.pool.Workers(),
-		Requests:      tn.counters.requests.Load(),
-		BytesScanned:  tn.counters.bytes.Load(),
-		MatchesFound:  tn.counters.matches.Load(),
-		Batches:       batches,
-		BatchPayloads: payloads,
-		ReloadsOK:     ok,
-		ReloadsFailed: failed,
-		Inflight:      s.adm.inflight.Load(),
-		InflightPeak:  s.adm.peak.Load(),
-		Shed:          s.adm.shed.Load(),
-		Dictionary:    e.Matcher.Stats(),
+		Tenant:           tn.name,
+		Tenants:          s.tenantNames,
+		Generation:       e.Generation,
+		Source:           e.Source,
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		PoolWorkers:      s.pool.Workers(),
+		Requests:         tn.counters.requests.Load(),
+		BytesScanned:     tn.counters.bytes.Load(),
+		MatchesFound:     tn.counters.matches.Load(),
+		Batches:          batches,
+		BatchPayloads:    payloads,
+		ReloadsOK:        ok,
+		ReloadsFailed:    failed,
+		ReloadsPatched:   patched,
+		ReloadsUnchanged: unchanged,
+		Inflight:         s.adm.inflight.Load(),
+		InflightPeak:     s.adm.peak.Load(),
+		Shed:             s.adm.shed.Load(),
+		Dictionary:       e.Matcher.Stats(),
 	})
 }
 

@@ -1,0 +1,9 @@
+package sim
+
+import "testing"
+
+func TestTimeSeconds(t *testing.T) {
+	if got := Time(2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+}

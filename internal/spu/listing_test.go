@@ -1,0 +1,73 @@
+package spu
+
+import (
+	"strings"
+	"testing"
+)
+
+// listingProgram is a tiny kernel exercising every class the listing
+// and the static tally distinguish: both pipelines, a branch with its
+// target, a load, and a store.
+func listingProgram() *Program {
+	return &Program{
+		Name:     "listing-probe",
+		RegsUsed: 4,
+		Spills:   1,
+		Code: []Instr{
+			{Op: OpAI, Rt: 1, Ra: 0, Imm: 8}, // even pipe
+			{Op: OpLQD, Rt: 2, Ra: 1},        // odd pipe, load
+			{Op: OpA, Rt: 3, Ra: 2, Rb: 1},
+			{Op: OpSTQD, Rt: 3, Ra: 1}, // store
+			{Op: OpBRZ, Rt: 3, Target: 1},
+			{Op: OpSTOP},
+		},
+	}
+}
+
+func TestListing(t *testing.T) {
+	out := listingProgram().Listing()
+	if !strings.Contains(out, "listing-probe: 6 instructions, 4 registers, 1 spills") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // header + 6 instructions
+		t.Fatalf("listing has %d lines, want 7:\n%s", len(lines), out)
+	}
+	// The branch target (instruction 1, the lqd) is marked L:, and only
+	// that one.
+	var marked []string
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "L:") {
+			marked = append(marked, l)
+		}
+	}
+	if len(marked) != 1 || !strings.Contains(marked[0], "lqd") {
+		t.Fatalf("branch-target marks wrong: %q\n%s", marked, out)
+	}
+	// Pipeline annotations: the arithmetic rows are even [e...], the
+	// load/store rows odd [o...].
+	if !strings.Contains(lines[1], "[e") || !strings.Contains(lines[2], "[o") {
+		t.Fatalf("pipeline annotations wrong:\n%s", out)
+	}
+}
+
+func TestListingOmitsZeroSpills(t *testing.T) {
+	p := listingProgram()
+	p.Spills = 0
+	if out := p.Listing(); strings.Contains(out, "spills") {
+		t.Fatalf("spill-free program mentions spills:\n%s", out)
+	}
+}
+
+func TestStaticStatsOf(t *testing.T) {
+	s := StaticStatsOf(listingProgram())
+	if s.Instructions != 6 {
+		t.Fatalf("Instructions = %d", s.Instructions)
+	}
+	if s.EvenPipe+s.OddPipe != s.Instructions {
+		t.Fatalf("pipes do not partition: even=%d odd=%d", s.EvenPipe, s.OddPipe)
+	}
+	if s.Branches != 1 || s.Loads != 1 || s.Stores != 1 {
+		t.Fatalf("class tally wrong: %+v", s)
+	}
+}

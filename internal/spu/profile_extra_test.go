@@ -1,0 +1,22 @@
+package spu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileCyclesPerAndString(t *testing.T) {
+	p := Profile{Cycles: 100, Instructions: 60, DualCycles: 20, SingleCycles: 20, StallCycles: 60}
+	if got := p.CyclesPer(50); got != 2.0 {
+		t.Fatalf("CyclesPer(50) = %v", got)
+	}
+	if got := p.CyclesPer(0); got != 0 {
+		t.Fatalf("CyclesPer(0) = %v", got)
+	}
+	s := p.String()
+	for _, frag := range []string{"cycles=100", "instr=60", "CPI="} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package spuasm
+
+import (
+	"testing"
+
+	"cellmatch/internal/spu"
+)
+
+// Exercise the constructors the main suite's programs never reach:
+// byte-wise AND, compare-to-immediate, indexed and displacement loads,
+// shuffles, quadword rotates, and the unconditional/zero branches.
+func TestBuilderFullConstructorSurface(t *testing.T) {
+	b := NewBuilder()
+	regs := b.NewRegs("r", 4)
+	base, scratch := regs[0], regs[1]
+
+	// Store a known quadword at 512, then read it back both ways.
+	b.IL(scratch, 0x11)
+	b.ILA(base, 512)
+	b.STQD(scratch, base, 0)
+	ld := b.NewReg("ld")
+	b.LQD(ld, base, 0)
+	off := b.NewReg("off")
+	b.IL(off, 0)
+	lx := b.NewReg("lx")
+	b.LQX(lx, base, off)
+
+	// Mask and compare: (0x11 & 0x0F) == 1? CEQI against 0x00000011.
+	masked := b.NewReg("masked")
+	b.ANDBI(masked, ld, 0x0F)
+	eq := b.NewReg("eq")
+	b.CEQI(eq, ld, 0x00000011)
+
+	// Shuffle bytes of ld||lx under an identity-of-ra pattern built by
+	// rotates (any deterministic pattern works; semantics are checked
+	// by the spu package's own opcode tests — here we only need the
+	// constructors to emit and schedule).
+	pat := b.NewReg("pat")
+	b.IL(pat, 0x03020100)
+	sh := b.NewReg("sh")
+	b.SHUFB(sh, ld, lx, pat)
+	rot := b.NewReg("rot")
+	b.ROTQBYI(rot, sh, 4)
+	amt := b.NewReg("amt")
+	b.IL(amt, 2)
+	rot2 := b.NewReg("rot2")
+	b.ROTQBY(rot2, rot, amt)
+
+	// Branch skeleton: BR over a poison write, BRZ (taken: eq word 0 of
+	// the comparison mask against a non-matching word is zero) over
+	// another.
+	b.BR("past", false)
+	b.IL(scratch, -1)
+	b.Label("past")
+	zero := b.NewReg("zero")
+	b.IL(zero, 0)
+	b.BRZ(zero, "end", false)
+	b.IL(scratch, -2)
+	b.Label("end")
+	storeResult(b, masked, 1024)
+	b.STOP()
+
+	c, p := execute(t, b, Options{Name: "surface", Window: 8})
+	if got := c.ReadLS(1024, 16); got[15] != 0x01 {
+		t.Fatalf("masked low byte = %#x, want 0x01", got[15])
+	}
+	if p.RegsUsed == 0 {
+		t.Fatal("program reports zero registers")
+	}
+	st := spu.StaticStatsOf(p)
+	if st.Branches < 2 || st.Loads < 2 || st.Stores < 2 {
+		t.Fatalf("constructor surface missing classes: %+v", st)
+	}
+}

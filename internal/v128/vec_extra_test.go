@@ -1,0 +1,35 @@
+package v128
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddByteWraparound(t *testing.T) {
+	var a, b Vec
+	for i := range a {
+		a[i] = byte(250 + i)
+		b[i] = byte(i * 3)
+	}
+	r := AddByte(a, b)
+	for i := range r {
+		if want := byte(250+i) + byte(i*3); r[i] != want {
+			t.Fatalf("lane %d: %d, want %d", i, r[i], want)
+		}
+	}
+}
+
+func TestIsZeroAndString(t *testing.T) {
+	var v Vec
+	if !v.IsZero() {
+		t.Fatal("zero vector not reported zero")
+	}
+	v[5] = 1
+	if v.IsZero() {
+		t.Fatal("nonzero vector reported zero")
+	}
+	s := Zero.String()
+	if strings.Count(s, "00000000") != 4 {
+		t.Fatalf("Zero.String() = %q", s)
+	}
+}

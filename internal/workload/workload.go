@@ -65,6 +65,36 @@ func Dictionary(cfg DictConfig) ([][]byte, error) {
 	return pats, nil
 }
 
+// FleetDictionary builds a fleet-scale flat dictionary: n distinct
+// uppercase patterns of length 8-24, the compile-latency workload for
+// the parallel and incremental compilation benchmarks. Each pattern
+// carries a unique base-26 index prefix, so the set is duplicate-free
+// at any size without bookkeeping, and the same (n, seed) is always
+// byte-identical.
+func FleetDictionary(n int, seed int64) ([][]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: fleet dictionary needs at least 1 pattern, got %d", n)
+	}
+	if n > 26*26*26*26 {
+		return nil, fmt.Errorf("workload: fleet dictionary %d exceeds the unique-prefix space", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pats := make([][]byte, n)
+	for i := range pats {
+		p := make([]byte, 0, 24)
+		v := i
+		for k := 0; k < 4; k++ {
+			p = append(p, byte('A'+v%26))
+			v /= 26
+		}
+		for tail := 4 + rng.Intn(17); tail > 0; tail-- {
+			p = append(p, byte('A'+rng.Intn(26)))
+		}
+		pats[i] = p
+	}
+	return pats, nil
+}
+
 // LongPatternDictionary builds n uppercase patterns of length
 // [minLen, maxLen] — the long-pattern signature workload the skip-scan
 // front-end is measured on. Benign traffic from Traffic is lowercase,

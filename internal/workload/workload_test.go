@@ -166,3 +166,43 @@ func TestLongPatternDictionary(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetDictionary(t *testing.T) {
+	pats, err := FleetDictionary(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 5000 {
+		t.Fatalf("patterns = %d", len(pats))
+	}
+	seen := make(map[string]bool, len(pats))
+	for i, p := range pats {
+		if len(p) < 8 || len(p) > 24 {
+			t.Fatalf("pattern %d length %d out of [8,24]", i, len(p))
+		}
+		for _, c := range p {
+			if c < 'A' || c > 'Z' {
+				t.Fatalf("pattern %d has non-uppercase byte %q", i, c)
+			}
+		}
+		if seen[string(p)] {
+			t.Fatalf("pattern %d duplicates an earlier entry: %q", i, p)
+		}
+		seen[string(p)] = true
+	}
+	again, err := FleetDictionary(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pats {
+		if string(pats[i]) != string(again[i]) {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+	if _, err := FleetDictionary(0, 1); err == nil {
+		t.Fatal("zero-size fleet accepted")
+	}
+	if _, err := FleetDictionary(26*26*26*26+1, 1); err == nil {
+		t.Fatal("over-prefix-space fleet accepted")
+	}
+}
