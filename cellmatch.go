@@ -92,18 +92,24 @@ type ParallelOptions = core.ParallelOptions
 //
 // Dense rows cost (row width × 4) bytes per state, so a dictionary's
 // tables can outgrow the budget (EngineOptions.MaxTableBytes, default
-// 8 MiB); the matcher then shards the dictionary into up to MaxShards
-// sub-dictionaries whose kernels each fit the budget — the paper's
-// answer to dictionaries outgrowing one SPE's local store — scanning
-// every shard against the input and merging the match streams into
-// the unsharded order; only when even sharding cannot fit does it
-// fall back to the original alphabet-reduce + stt/dfa lookup path.
+// 8 MiB); the matcher then tries the compressed-row tier
+// (EngineOptions.Compressed): bitmap-indexed rows that store only the
+// transitions differing from a per-state default chain, shrinking the
+// footprint by roughly the alphabet width so much larger dictionaries
+// stay cache-resident, at a few extra ops per byte. When even the
+// compressed rows overflow (or the mode is CompressedOff), the
+// matcher shards the dictionary into up to MaxShards sub-dictionaries
+// whose kernels each fit the budget — the paper's answer to
+// dictionaries outgrowing one SPE's local store — scanning every
+// shard against the input and merging the match streams into the
+// unsharded order; only when even sharding cannot fit does it fall
+// back to the original alphabet-reduce + stt/dfa lookup path.
 // Matcher.Stats().Engine reports which tier is live ("kernel",
-// "sharded", or "stt"), with KernelTableBytes, Shards,
-// MaxShardTableBytes, and the TableFitsL1/TableFitsL2 residency flags
-// alongside.
+// "compressed", "sharded", or "stt"), with KernelTableBytes,
+// CompressedTableBytes, Shards, MaxShardTableBytes, and the
+// TableFitsL1/TableFitsL2 residency flags alongside.
 //
-// Ahead of all three tiers sits the optional skip-scan front-end
+// Ahead of all these tiers sits the optional skip-scan front-end
 // (EngineOptions.Filter, internal/filter): a BNDM-style reverse-suffix
 // window filter that skips most input bytes and hands only candidate
 // windows to the verifier, making throughput scale with skip distance
@@ -125,6 +131,20 @@ const (
 	FilterAuto = core.FilterAuto
 	FilterOn   = core.FilterOn
 	FilterOff  = core.FilterOff
+)
+
+// CompressedMode is the EngineOptions.Compressed policy for the
+// compressed-row tier: CompressedAuto (default; selected when the
+// dense table overflows the budget and the compressed rows fit L2),
+// CompressedOn (forced when it compiles within MaxTableBytes),
+// CompressedOff.
+type CompressedMode = core.CompressedMode
+
+// Compressed-row policies; see CompressedMode.
+const (
+	CompressedAuto = core.CompressedAuto
+	CompressedOn   = core.CompressedOn
+	CompressedOff  = core.CompressedOff
 )
 
 // RegexSet matches whole inputs against regular expressions (the

@@ -35,6 +35,12 @@
 // pins the 1-byte loops, "auto" builds pair tables only when they are
 // small enough to stay cache-resident. Output is identical either
 // way; -stats reports the live stride and pair-table footprint.
+//
+// -compressed selects the compressed-row tier (default auto): "on"
+// forces the bitmap-indexed compressed tables, "off" disables the
+// rung, "auto" engages it when the dense table overflows the budget
+// but the compressed rows stay cache-resident. Output is identical
+// either way; -stats reports the compressed footprint when live.
 package main
 
 import (
@@ -58,6 +64,7 @@ func main() {
 		regex    = flag.Bool("regex", false, "dictionary entries are regular expressions (bounded repetition only)")
 		filterMd = flag.String("filter", "auto", "skip-scan front-end: auto, on, or off")
 		strideMd = flag.String("stride", "auto", "kernel transition stride: auto, 1, or 2")
+		compMd   = flag.String("compressed", "auto", "compressed-row tier: auto, on, or off")
 		groups   = flag.Int("groups", 1, "parallel tile groups")
 		parallel = flag.Int("parallel", 0, "scan with N parallel workers (0 = sequential, <0 = one per CPU)")
 		chunk    = flag.Int("chunk", 0, "parallel chunk size in bytes (0 = 64 KiB)")
@@ -81,9 +88,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	cmode, err := core.ParseCompressed(*compMd)
+	if err != nil {
+		fail(err)
+	}
 	opts := core.Options{
 		CaseFold: *caseFold, Groups: *groups, CompileWorkers: *cworkers,
-		Engine: core.EngineOptions{Filter: fmode, Stride: stride},
+		Engine: core.EngineOptions{Filter: fmode, Stride: stride, Compressed: cmode},
 	}
 	var m *core.Matcher
 	if *regex {
@@ -106,7 +117,8 @@ func main() {
 			s.Engine, s.KernelTableBytes, s.DenseTableBudget, s.TableFitsL1, s.TableFitsL2)
 		fmt.Printf("filter=%v window=%d min_pattern_len=%d\n",
 			s.FilterEnabled, s.FilterWindow, s.MinPatternLen)
-		fmt.Printf("stride=%d pair_table_bytes=%d\n", s.Stride, s.PairTableBytes)
+		fmt.Printf("stride=%d pair_table_bytes=%d compressed_table_bytes=%d\n",
+			s.Stride, s.PairTableBytes, s.CompressedTableBytes)
 	}
 	if *estimate {
 		est, err := m.EstimateCell(cell.DefaultBlade(), 16*1024*1024)

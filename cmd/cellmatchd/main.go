@@ -103,6 +103,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		caseFold       = fs.Bool("casefold", false, "case-insensitive matching (with -dict/-regex)")
 		filterMd       = fs.String("filter", "auto", "skip-scan front-end with -dict: auto, on, or off")
 		strideMd       = fs.String("stride", "auto", "kernel transition stride with -dict/-regex: auto, 1, or 2")
+		compMd         = fs.String("compressed", "auto", "compressed-row tier with -dict/-regex: auto, on, or off")
 		workers        = fs.Int("workers", 0, "shared scan pool size (0 = one per CPU)")
 		chunk          = fs.Int("chunk", 0, "scan chunk size in bytes (0 = 64 KiB)")
 		maxBody        = fs.Int64("max-body", 0, "request body cap in bytes (0 = 64 MiB)")
@@ -137,10 +138,14 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	if err != nil {
 		return fmt.Errorf("-stride: %w", err)
 	}
+	cmode, err := core.ParseCompressed(*compMd)
+	if err != nil {
+		return fmt.Errorf("-compressed: %w", err)
+	}
 	opts := core.Options{
 		CaseFold:       *caseFold,
 		CompileWorkers: *compileWorkers,
-		Engine:         core.EngineOptions{Filter: fmode, Stride: stride},
+		Engine:         core.EngineOptions{Filter: fmode, Stride: stride, Compressed: cmode},
 	}
 
 	// The base -artifact/-dict/-regex flags populate the default

@@ -51,6 +51,14 @@ func gatedMetric(key string) bool {
 		return true
 	case key == "speedup_stride2_vs_kernel":
 		return true
+	case strings.HasPrefix(key, "compressed_"):
+		// compressed_dict_states is a meta row; runBenchCheck consults
+		// metaMetric before this predicate, so only the throughput and
+		// speedup rows land here. stt_compressed_dict_MBps stays
+		// informational with the rest of the stt_* comparators.
+		return true
+	case key == "speedup_compressed_vs_stt":
+		return true
 	case key == "scan_MBps" || key == "stream_MBps":
 		return true
 	case key == "server_scan_p99_ms":
@@ -101,6 +109,10 @@ var speedupFloors = map[string]float64{
 	// The 2-byte-stride rung must stay >= 1.7x over the 1-byte kernel
 	// single-stream (the ISSUE 8 acceptance bar).
 	"speedup_stride2_vs_kernel": 1.7,
+	// The compressed-row rung must stay >= 2x over the stt fallback on
+	// the over-dense-budget dictionary it exists for (the ISSUE 10
+	// acceptance bar).
+	"speedup_compressed_vs_stt": 2.0,
 	// Patching a 64-pattern append into a fleet-scale matcher must stay
 	// >= 2x faster than the cold rebuild of the same dictionary. The
 	// patch re-runs all the deterministic planning (partition, shard
@@ -139,10 +151,10 @@ func lowerIsBetter(key string) bool {
 // metaMetric reports fields that describe the run, not a measurement.
 func metaMetric(key string) bool {
 	switch key {
-	case "input_bytes", "dict_states", "scan_payload_bytes",
-		"batch_payload_bytes", "shard_budget_bytes", "shards",
-		"filter_patterns", "filter_min_pattern_len", "filter_window",
-		"scenarios", "compile_cores", "compile_patterns":
+	case "input_bytes", "dict_states", "compressed_dict_states",
+		"scan_payload_bytes", "batch_payload_bytes", "shard_budget_bytes",
+		"shards", "filter_patterns", "filter_min_pattern_len",
+		"filter_window", "scenarios", "compile_cores", "compile_patterns":
 		return true
 	}
 	return strings.HasSuffix(key, "_shards")

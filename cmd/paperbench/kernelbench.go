@@ -39,9 +39,19 @@ type KernelBench struct {
 	Stride2KernelSeq float64 `json:"stride2_logscan_kernel_seq_MBps"`
 	Stride2Seq       float64 `json:"stride2_seq_MBps"`
 	Stride2K4        float64 `json:"stride2_interleaved_k4_MBps"`
-	Parallel4        float64 `json:"parallel_4workers_kernel_MBps"`
-	SpeedupVsLookup  float64 `json:"speedup_kernel_vs_stt_lookup"`
-	SpeedupStride2   float64 `json:"speedup_stride2_vs_kernel"`
+	// The compressed rows measure the rung on its home workload: a
+	// dictionary whose dense table overflows the budget but whose
+	// compressed rows stay L2-resident, so the auto ladder genuinely
+	// selects the rung. STTCompressedDict is the stt fallback on the
+	// SAME dictionary — what serving that dictionary would cost without
+	// the rung, and the denominator of SpeedupCompressed.
+	CompressedDictStates int     `json:"compressed_dict_states"`
+	CompressedSeq        float64 `json:"compressed_MBps"`
+	STTCompressedDict    float64 `json:"stt_compressed_dict_MBps"`
+	Parallel4            float64 `json:"parallel_4workers_kernel_MBps"`
+	SpeedupVsLookup      float64 `json:"speedup_kernel_vs_stt_lookup"`
+	SpeedupStride2       float64 `json:"speedup_stride2_vs_kernel"`
+	SpeedupCompressed    float64 `json:"speedup_compressed_vs_stt"`
 }
 
 // measureMBps times fn over the given volume: one warmup run, then the
@@ -163,6 +173,44 @@ func runKernelBench(w io.Writer, d *dfa.DFA, inputBytes int, jsonPath string) er
 	if res.Stride2K4, err = logFindAll(core.EngineOptions{InterleaveK: 4, Stride: 2}, "stride2"); err != nil {
 		return err
 	}
+	// Compressed section: a dictionary big enough that its dense table
+	// overflows a 2 MiB budget while the compressed rows stay inside
+	// the L2 residency gate — the over-dense-budget regime the rung
+	// exists for. The stt comparator runs the same dictionary with the
+	// kernel tiers disabled.
+	bigPats, err := workload.Dictionary(workload.DictConfig{TargetStates: 30000, Seed: 3})
+	if err != nil {
+		return err
+	}
+	bigData, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: inputBytes, MatchEvery: 64 << 10, Dictionary: bigPats, Seed: 23,
+	})
+	if err != nil {
+		return err
+	}
+	bigFindAll := func(engine core.EngineOptions, wantEngine string) (float64, int, error) {
+		engine.Filter = core.FilterOff
+		m, err := core.Compile(bigPats, core.Options{CaseFold: true, Engine: engine})
+		if err != nil {
+			return 0, 0, err
+		}
+		if got := m.Stats().Engine; got != wantEngine {
+			return 0, 0, fmt.Errorf("big-dictionary engine %q, want %q", got, wantEngine)
+		}
+		mbps, err := measureMBps(inputBytes, func() error {
+			_, err := m.FindAll(bigData)
+			return err
+		})
+		return mbps, m.Stats().States, err
+	}
+	if res.CompressedSeq, res.CompressedDictStates, err = bigFindAll(
+		core.EngineOptions{MaxTableBytes: 2 << 20}, "compressed"); err != nil {
+		return err
+	}
+	if res.STTCompressedDict, _, err = bigFindAll(
+		core.EngineOptions{DisableKernel: true}, "stt"); err != nil {
+		return err
+	}
 	mk, err := core.Compile(pats, core.Options{
 		CaseFold: true,
 		Engine:   core.EngineOptions{Filter: core.FilterOff, Stride: 1},
@@ -189,6 +237,9 @@ func runKernelBench(w io.Writer, d *dfa.DFA, inputBytes int, jsonPath string) er
 	if res.Stride2KernelSeq > 0 {
 		res.SpeedupStride2 = res.Stride2Seq / res.Stride2KernelSeq
 	}
+	if res.STTCompressedDict > 0 {
+		res.SpeedupCompressed = res.CompressedSeq / res.STTCompressedDict
+	}
 
 	fmt.Fprintf(w, "== Kernel engine: old vs new scan throughput (%d-state dictionary, %d MiB) ==\n",
 		res.DictStates, inputBytes>>20)
@@ -202,12 +253,16 @@ func runKernelBench(w io.Writer, d *dfa.DFA, inputBytes int, jsonPath string) er
 	t.Row("log-scan kernel single-stream", res.Stride2KernelSeq)
 	t.Row("log-scan stride-2 single-stream", res.Stride2Seq)
 	t.Row("log-scan stride-2 interleaved K=4", res.Stride2K4)
+	t.Row("compressed rows (over-dense-budget dictionary)", res.CompressedSeq)
+	t.Row("stt fallback on the same dictionary", res.STTCompressedDict)
 	t.Row("kernel + parallel 4 workers", res.Parallel4)
 	if err := t.Write(w); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "best kernel vs stt.Lookup sequential: %.2fx\n", res.SpeedupVsLookup)
-	fmt.Fprintf(w, "stride-2 vs kernel single-stream (log-scan): %.2fx\n\n", res.SpeedupStride2)
+	fmt.Fprintf(w, "stride-2 vs kernel single-stream (log-scan): %.2fx\n", res.SpeedupStride2)
+	fmt.Fprintf(w, "compressed vs stt on a %d-state over-budget dictionary: %.2fx\n\n",
+		res.CompressedDictStates, res.SpeedupCompressed)
 
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(res, "", "  ")

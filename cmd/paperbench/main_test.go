@@ -88,6 +88,8 @@ func TestRunKernelBenchJSON(t *testing.T) {
 		"stride-2 single-stream",
 		"best kernel vs stt.Lookup sequential",
 		"stride-2 vs kernel single-stream",
+		"compressed rows (over-dense-budget dictionary)",
+		"compressed vs stt on a",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
@@ -105,21 +107,36 @@ func TestRunKernelBenchJSON(t *testing.T) {
 		t.Fatalf("bench metadata wrong: %+v", res)
 	}
 	for name, v := range map[string]float64{
-		"stt_lookup":  res.STTLookupSeq,
-		"stt_findall": res.STTFindAllSeq,
-		"kernel_seq":  res.KernelSeq,
-		"kernel_k2":   res.KernelK2,
-		"kernel_k4":   res.KernelK4,
-		"kernel_k8":   res.KernelK8,
-		"stride2_seq": res.Stride2Seq,
-		"stride2_k4":  res.Stride2K4,
-		"parallel_4":  res.Parallel4,
-		"speedup":     res.SpeedupVsLookup,
-		"speedup_s2":  res.SpeedupStride2,
+		"stt_lookup":     res.STTLookupSeq,
+		"stt_findall":    res.STTFindAllSeq,
+		"kernel_seq":     res.KernelSeq,
+		"kernel_k2":      res.KernelK2,
+		"kernel_k4":      res.KernelK4,
+		"kernel_k8":      res.KernelK8,
+		"stride2_seq":    res.Stride2Seq,
+		"stride2_k4":     res.Stride2K4,
+		"compressed_seq": res.CompressedSeq,
+		"stt_compressed": res.STTCompressedDict,
+		"parallel_4":     res.Parallel4,
+		"speedup":        res.SpeedupVsLookup,
+		"speedup_s2":     res.SpeedupStride2,
+		"speedup_comp":   res.SpeedupCompressed,
 	} {
 		if v <= 0 {
 			t.Fatalf("%s not measured: %+v", name, res)
 		}
+	}
+	if res.CompressedDictStates < 20000 {
+		t.Fatalf("compressed section dictionary too small to overflow the dense budget: %+v", res)
+	}
+	if !gatedMetric("compressed_MBps") || !gatedMetric("speedup_compressed_vs_stt") {
+		t.Fatal("compressed rows not gated by -checkbench")
+	}
+	if gatedMetric("stt_compressed_dict_MBps") {
+		t.Fatal("stt comparator row must stay informational")
+	}
+	if !metaMetric("compressed_dict_states") {
+		t.Fatal("compressed_dict_states must be a meta field")
 	}
 }
 

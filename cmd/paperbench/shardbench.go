@@ -66,8 +66,11 @@ func runShardBench(w io.Writer, inputBytes int, jsonPath string) error {
 
 	compileAt := func(engine core.EngineOptions, wantEngine string) (*core.Matcher, error) {
 		// Pinned off: this mode measures the sharded tier itself, not
-		// the skip-scan front-end (which has its own gated mode).
+		// the skip-scan front-end (which has its own gated mode) or the
+		// compressed rung (which would intercept the squeezed budget;
+		// it has its own section in the kernel bench).
 		engine.Filter = core.FilterOff
+		engine.Compressed = core.CompressedOff
 		m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: engine})
 		if err != nil {
 			return nil, err

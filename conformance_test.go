@@ -11,7 +11,8 @@ import (
 // TestScenarioConformance is the cross-tier differential harness: for
 // every scenario in the workload suite, every (rung x filter x
 // scan-mode) configuration must reproduce the reference match set
-// (End, Pattern) match-for-match — stride-2, kernel, sharded, and stt
+// (End, Pattern) match-for-match — stride-2, kernel, compressed,
+// sharded, and stt
 // verifiers, skip-scan filter forced on and off, sequential /
 // parallel / shared pool / reader / stream scan surfaces. The harness
 // itself fails on any divergence; the assertions here pin the suite's
@@ -38,7 +39,7 @@ func TestScenarioConformance(t *testing.T) {
 			if rep.RefMatches == 0 {
 				t.Fatal("scenario matches nothing; the comparison is vacuous")
 			}
-			if rep.Configs < 40 { // 4 rungs x 2 filter modes x 5 scan modes
+			if rep.Configs < 50 { // 5 rungs x 2 filter modes x 5 scan modes
 				t.Fatalf("only %d configurations compared", rep.Configs)
 			}
 			engines := map[string]string{}
@@ -56,6 +57,11 @@ func TestScenarioConformance(t *testing.T) {
 			}
 			if engines["stt"] != "stt" {
 				t.Fatalf("forced stt rung selected %q", engines["stt"])
+			}
+			// CompressedOn compiles the compressed rows under the default
+			// 8 MiB budget, which every suite dictionary fits.
+			if engines["compressed"] != "compressed" {
+				t.Fatalf("forced compressed rung selected %q", engines["compressed"])
 			}
 			if s.Regex {
 				// The sharded tier is literal-only: squeezing a regex

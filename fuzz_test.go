@@ -310,6 +310,101 @@ func FuzzStride2Equivalence(f *testing.F) {
 	})
 }
 
+// FuzzCompressedEquivalence: the compressed-row rung (bitmap-indexed
+// rows + default-pointer chains) must agree byte-for-byte with the
+// dense kernel AND the stt fallback for arbitrary dictionaries, case
+// folding on and off, K ∈ {1,4} lanes and workers, across sequential
+// FindAll, Count, the shared pool, ScanReader, and the incremental
+// Stream — the net over the chain-walk resolution logic and the
+// carry-encoding seams the other rungs never execute.
+func FuzzCompressedEquivalence(f *testing.F) {
+	f.Add([]byte("virus"), []byte("rus w"), []byte("a virus in a worm"), false, uint8(3), uint16(7))
+	f.Add([]byte("AbRa"), []byte("cadabra"), []byte("abracadabra ABRACADABRA"), true, uint8(0), uint16(3))
+	f.Add([]byte("aa"), []byte("aaa"), []byte("aaaaaaaaaaaaaaaaa"), false, uint8(200), uint16(1))
+	f.Add([]byte{0xFF, 0x00}, []byte{0x01}, bytes.Repeat([]byte{0xFF, 0x00, 0x01}, 41), false, uint8(129), uint16(64))
+	f.Fuzz(func(t *testing.T, p1, p2, data []byte, fold bool, sel uint8, chunk uint16) {
+		if len(p1) == 0 || len(p2) == 0 || len(p1) > 32 || len(p2) > 32 || len(data) > 4096 {
+			return
+		}
+		k := 1
+		if sel >= 128 {
+			k = 4
+		}
+		dict := [][]byte{p1, p2}
+		compM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{InterleaveK: k, Compressed: core.CompressedOn},
+		})
+		if err != nil {
+			return // e.g. too many distinct symbols
+		}
+		if got := compM.Stats().Engine; got != "compressed" {
+			// Forced compressed only yields when the rows blow the budget,
+			// impossible for a 2-pattern dictionary.
+			t.Fatalf("compressed engine not selected: %q", got)
+		}
+		kernelM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{InterleaveK: k, Stride: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sttM, err := core.Compile(dict, core.Options{
+			CaseFold: fold,
+			Engine:   core.EngineOptions{DisableKernel: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sttM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := kernelM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "kernel-vs-stt", ref, want)
+		got, err := compM.FindAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMatches(t, "FindAll", got, want)
+		if n, err := compM.Count(data); err != nil || n != len(want) {
+			t.Fatalf("Count = %d (%v), want %d", n, err, len(want))
+		}
+		pool := parallel.NewPool(2)
+		defer pool.Close()
+		cs := int(chunk)%2048 + 1
+		for _, opts := range []core.ParallelOptions{
+			{Workers: k, ChunkBytes: cs},
+			{ChunkBytes: cs, Pool: pool},
+		} {
+			par, err := compM.FindAllParallel(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualMatches(t, "FindAllParallel", par, want)
+			rd, err := compM.ScanReader(bytes.NewReader(data), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualMatches(t, "ScanReader", rd, want)
+		}
+		// Incremental stream: carry crosses every cut parity.
+		s := compM.NewStream()
+		for off := 0; off < len(data); off += cs {
+			end := off + cs
+			if end > len(data) {
+				end = len(data)
+			}
+			s.Write(data[off:end])
+		}
+		assertEqualMatches(t, "Stream", sortedMatches(s.Matches()), sortedMatches(want))
+	})
+}
+
 // FuzzShardEquivalence: the sharded multi-kernel engine must agree
 // byte-for-byte with the stt path for arbitrary dictionaries, case
 // folding on and off, shard caps 1..4, and both the sequential

@@ -1,7 +1,7 @@
 // Package conformance cross-checks the engine ladder: for one
 // workload scenario it compiles the dictionary onto every verifier
-// rung (stride-2 kernel, dense kernel, sharded multi-kernel, stt
-// fallback), with the
+// rung (stride-2 kernel, dense kernel, compressed-row kernel, sharded
+// multi-kernel, stt fallback), with the
 // skip-scan front-end forced on and off, and scans the corpus through
 // every scan surface (sequential, parallel, shared pool, reader,
 // stream). Every configuration must produce the same (End, Pattern)
@@ -25,10 +25,11 @@ import (
 // RungReport is one forced verifier rung's outcome on a scenario.
 type RungReport struct {
 	// Rung is the tier the configuration asked for ("stride2",
-	// "kernel", "sharded", "stt"); Engine is what the matcher actually
-	// selected (a regex dictionary forced toward "sharded" lands on
-	// "stt" — the sharded tier is literal-only — and a forced stride-2
-	// compile whose pair tables exceed the budget lands on "kernel").
+	// "kernel", "compressed", "sharded", "stt"); Engine is what the
+	// matcher actually selected (a regex dictionary forced toward
+	// "sharded" lands on "stt" — the sharded tier is literal-only — and
+	// a forced stride-2 compile whose pair tables exceed the budget
+	// lands on "kernel").
 	Rung   string `json:"rung"`
 	Engine string `json:"engine"`
 	// FilterLive reports whether the skip-scan front-end came up in
@@ -159,7 +160,12 @@ func Run(s workload.Scenario) (*Report, error) {
 	}{
 		{"stride2", core.EngineOptions{Stride: 2}},
 		{"kernel", core.EngineOptions{Stride: 1}},
-		{"sharded", core.EngineOptions{MaxTableBytes: shardBudget, MaxShards: 8}},
+		{"compressed", core.EngineOptions{Compressed: core.CompressedOn}},
+		// The shard rung pins the compressed tier off so the squeezed
+		// budget genuinely reaches the shard planner.
+		{"sharded", core.EngineOptions{
+			MaxTableBytes: shardBudget, MaxShards: 8, Compressed: core.CompressedOff,
+		}},
 		{"stt", core.EngineOptions{DisableKernel: true}},
 	}
 

@@ -41,11 +41,11 @@ func TestRunReportShape(t *testing.T) {
 	if rep.Scenario != s.Name || rep.Regex {
 		t.Fatalf("report header %+v", rep)
 	}
-	if rep.Configs != len(scanModes)*2*4 {
-		t.Fatalf("configs %d, want rungs x filters x modes = %d", rep.Configs, len(scanModes)*2*4)
+	if rep.Configs != len(scanModes)*2*5 {
+		t.Fatalf("configs %d, want rungs x filters x modes = %d", rep.Configs, len(scanModes)*2*5)
 	}
-	if len(rep.Rungs) != 4 {
-		t.Fatalf("rungs %d, want 4", len(rep.Rungs))
+	if len(rep.Rungs) != 5 {
+		t.Fatalf("rungs %d, want 5", len(rep.Rungs))
 	}
 }
 

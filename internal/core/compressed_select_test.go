@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"cellmatch/internal/kernel"
+	"cellmatch/internal/workload"
+)
+
+// TestCompressedSelection pins the compressed rung's place on the
+// ladder: under auto it engages exactly when the dense table overflows
+// the budget but the compressed rows fit, scanning byte-identically to
+// the stt path; Off makes the ladder fall past it; On forces it even
+// when the dense table would have fit.
+func TestCompressedSelection(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 900, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: pats, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 KiB: far under the ~900-state dense table, comfortably over
+	// the compressed rows.
+	opts := Options{CaseFold: true, Engine: EngineOptions{MaxTableBytes: 48 << 10}}
+	m, err := Compile(pats, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Engine != "compressed" || m.EngineName() != "compressed" {
+		t.Fatalf("engine = %q / %q, want compressed", st.Engine, m.EngineName())
+	}
+	if st.CompressedTableBytes <= 0 || st.CompressedTableBytes > 48<<10 {
+		t.Fatalf("compressed footprint out of range: %+v", st)
+	}
+	if st.Stride != 1 {
+		t.Fatalf("compressed rung reports stride %d, want 1", st.Stride)
+	}
+
+	sttOpts := opts
+	sttOpts.Engine.DisableKernel = true
+	sttM, err := Compile(pats, sttOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sttM.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture traffic has no matches")
+	}
+	got, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatches(t, "compressed FindAll", got, want)
+
+	offOpts := opts
+	offOpts.Engine.Compressed = CompressedOff
+	off, err := Compile(pats, offOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := off.Stats().Engine; e == "compressed" {
+		t.Fatal("CompressedOff still selected the compressed rung")
+	}
+
+	on, err := Compile(pats, Options{CaseFold: true, Engine: EngineOptions{Compressed: CompressedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := on.Stats().Engine; e != "compressed" {
+		t.Fatalf("CompressedOn selected %q (dense fits, but On must force the rung)", e)
+	}
+	forced, err := on.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatches(t, "forced compressed FindAll", forced, want)
+}
+
+// TestDenseBudgetResolver pins the single-resolver contract: the
+// budget Stats reports is kernel.ResolveMaxTableBytes of the option,
+// for explicit, zero, and negative MaxTableBytes alike — the kernel's
+// admission checks and the reported figure can never disagree.
+func TestDenseBudgetResolver(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, kernel.DefaultMaxTableBytes},
+		{-5, kernel.DefaultMaxTableBytes},
+		{16, 16},
+		{12345, 12345},
+	} {
+		if got := kernel.ResolveMaxTableBytes(tc.in); got != tc.want {
+			t.Fatalf("ResolveMaxTableBytes(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+		m, err := CompileStrings([]string{"virus", "worm"}, Options{
+			Engine: EngineOptions{MaxTableBytes: tc.in},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Stats().DenseTableBudget; got != tc.want {
+			t.Fatalf("Stats().DenseTableBudget = %d for MaxTableBytes=%d, want %d",
+				got, tc.in, tc.want)
+		}
+	}
+}
+
+// TestLadderMonotonicity is the aggregate-footprint admission
+// property: every rung admits by comparing its whole resident
+// footprint against the same resolved budget, and the ladder tries
+// faster rungs first — so growing MaxTableBytes can only move the
+// selection toward faster rungs, never slower ones.
+func TestLadderMonotonicity(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 900, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := map[string]int{"stt": 0, "sharded": 1, "compressed": 2, "kernel": 3, "stride2": 4}
+	budgets := []int{1, 512, 2 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20}
+	last, lastEngine, lastBudget := -1, "", 0
+	for _, b := range budgets {
+		m, err := Compile(pats, Options{CaseFold: true, Engine: EngineOptions{MaxTableBytes: b}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := m.Stats().Engine
+		r, ok := rank[eng]
+		if !ok {
+			t.Fatalf("budget %d selected unknown engine %q", b, eng)
+		}
+		if r < last {
+			t.Fatalf("budget %d selected %q but smaller budget %d selected %q — ladder not monotone",
+				b, eng, lastBudget, lastEngine)
+		}
+		last, lastEngine, lastBudget = r, eng, b
+	}
+	if last < rank["kernel"] {
+		t.Fatalf("8 MiB budget still on %q; sweep never reached the dense rungs", lastEngine)
+	}
+}
+
+func TestParseCompressed(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want CompressedMode
+	}{
+		{"", CompressedAuto}, {"auto", CompressedAuto},
+		{"on", CompressedOn}, {"off", CompressedOff},
+	} {
+		got, err := ParseCompressed(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseCompressed(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseCompressed("bogus"); err == nil {
+		t.Fatal("bogus compressed mode accepted")
+	}
+}

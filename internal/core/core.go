@@ -65,16 +65,20 @@ type Options struct {
 // EngineOptions select and tune the scan engine behind FindAll,
 // FindAllParallel, Stream, and ScanReader.
 //
-// Selection ladder: stride-2 kernel → dense kernel → sharded dense
-// kernels → stt/dfa fallback. A dictionary whose dense table fits
-// MaxTableBytes scans on the kernel — with 2-byte-stride pair tables
-// layered on top when those also fit the budget (see Stride) — while
-// one that exceeds it is partitioned into up to MaxShards
-// sub-dictionaries whose kernels each fit the budget (the paper's
-// answer to dictionaries outgrowing one SPE's local store: shard the
-// pattern set across SPEs, every shard scanning the same stream);
-// only when even sharding cannot fit does the matcher fall back to
-// the stt/dfa path.
+// Selection ladder: stride-2 kernel → dense kernel → compressed-row
+// kernel → sharded dense kernels → stt/dfa fallback. A dictionary
+// whose dense table fits MaxTableBytes scans on the kernel — with
+// 2-byte-stride pair tables layered on top when those also fit the
+// budget (see Stride). One that exceeds it first tries the
+// compressed-row tier (bitmap rows + popcount rank + default-pointer
+// chains, see Compressed): when the compressed footprint stays
+// L2-resident the whole dictionary still scans in one cache-hot pass.
+// Past that it is partitioned into up to MaxShards sub-dictionaries
+// whose kernels each fit the budget (the paper's answer to
+// dictionaries outgrowing one SPE's local store: shard the pattern
+// set across SPEs, every shard scanning the same stream); only when
+// even sharding cannot fit does the matcher fall back to the stt/dfa
+// path.
 //
 // By default the matcher compiles its dictionary into the dense kernel
 // of internal/kernel: a cache-line-aligned []uint32 transition table
@@ -122,6 +126,20 @@ type EngineOptions struct {
 	// output is byte-identical at every stride. The live choice is
 	// reported by Stats().Engine ("stride2" vs "kernel").
 	Stride int
+	// Compressed selects the compressed-row tier (internal/kernel
+	// CTable): per-state class bitmaps with popcount rank into packed
+	// explicit-transition arrays plus D²FA-style default-pointer
+	// chains, fitting 10-100x larger state machines in cache at a few
+	// extra ops per byte. CompressedAuto (the zero value) tries the
+	// tier when the dense kernel is over budget and admits it when the
+	// compressed footprint fits both MaxTableBytes and the L2 budget
+	// (past L2 the residency advantage that pays for the extra ops is
+	// gone, and the sharded tier below usually wins); CompressedOn
+	// forces the tier — even when the dense kernel would fit — bounded
+	// only by MaxTableBytes; CompressedOff skips it (the pre-PR-10
+	// ladder). Output is byte-identical in every mode; the live choice
+	// is reported by Stats().Engine ("compressed").
+	Compressed CompressedMode
 	// Filter selects the skip-scan front-end (internal/filter): a
 	// BNDM-style reverse-suffix window filter built from the
 	// dictionary's shortest-pattern prefixes that skips most input
@@ -175,6 +193,38 @@ func ParseFilterMode(s string) (FilterMode, error) {
 	return 0, fmt.Errorf("bad filter mode %q (want auto, on, or off)", s)
 }
 
+// CompressedMode is the EngineOptions.Compressed policy for the
+// compressed-row tier (the ladder rung between the dense kernel and
+// the sharded tier).
+type CompressedMode int
+
+const (
+	// CompressedAuto (the zero value) admits the compressed tier when
+	// the dense kernel is over budget and the compressed footprint is
+	// L2-resident (and within MaxTableBytes).
+	CompressedAuto CompressedMode = iota
+	// CompressedOn forces the compressed tier whenever it fits
+	// MaxTableBytes, skipping the dense kernel and the L2 auto gate.
+	CompressedOn
+	// CompressedOff disables the compressed tier: over-budget
+	// dictionaries go straight to the sharded/stt rungs.
+	CompressedOff
+)
+
+// ParseCompressed maps the flag vocabulary shared by the CLIs and the
+// server ("auto"/"", "on", "off") onto a CompressedMode.
+func ParseCompressed(s string) (CompressedMode, error) {
+	switch s {
+	case "", "auto":
+		return CompressedAuto, nil
+	case "on":
+		return CompressedOn, nil
+	case "off":
+		return CompressedOff, nil
+	}
+	return 0, fmt.Errorf("bad compressed mode %q (want auto, on, or off)", s)
+}
+
 // ParseStride maps the flag vocabulary shared by the CLIs and the
 // server ("auto"/"", "1", "2") onto an EngineOptions.Stride value.
 func ParseStride(s string) (int, error) {
@@ -194,11 +244,12 @@ type Matcher struct {
 	sys      *compose.System
 	opts     Options
 	patterns [][]byte
-	minLen   int             // shortest dictionary pattern (regex: shortest possible match)
-	regex    bool            // dictionary entries are regular expressions
-	eng      *kernel.Engine  // nil when the dense kernel is disabled or over budget
-	sharded  *kernel.Sharded // nil unless the sharded tier is live
-	filter   *filter.Filter  // nil when the skip-scan front-end is off/bypassed
+	minLen   int                // shortest dictionary pattern (regex: shortest possible match)
+	regex    bool               // dictionary entries are regular expressions
+	eng      *kernel.Engine     // nil when the dense kernel is disabled or over budget
+	comp     *kernel.Compressed // nil unless the compressed-row tier is live
+	sharded  *kernel.Sharded    // nil unless the sharded tier is live
+	filter   *filter.Filter     // nil when the skip-scan front-end is off/bypassed
 
 	// windowsSkipped counts window positions the skip-scan front-end
 	// never examined, accumulated across every scan (FindAll, parallel,
@@ -218,29 +269,40 @@ type Matcher struct {
 func (m *Matcher) Options() Options { return m.opts }
 
 // initEngine walks the selection ladder: the single dense kernel, then
-// the sharded multi-kernel engine for dictionaries whose dense tables
-// exceed the budget, then the stt/dfa path (m.eng and m.sharded both
-// nil). Budget overruns step down the ladder; any other compile
-// failure is a real defect and propagates.
+// the compressed-row tier, then the sharded multi-kernel engine, then
+// the stt/dfa path (m.eng, m.comp, and m.sharded all nil). Budget
+// overruns step down the ladder; any other compile failure is a real
+// defect and propagates.
 func (m *Matcher) initEngine() error {
 	if s := m.opts.Engine.Stride; s < 0 || s > 2 {
 		return fmt.Errorf("core: bad stride %d (want 0 auto, 1, or 2)", s)
 	}
+	if cm := m.opts.Engine.Compressed; cm < CompressedAuto || cm > CompressedOff {
+		return fmt.Errorf("core: bad compressed mode %d", cm)
+	}
 	if m.opts.Engine.DisableKernel {
 		return nil
 	}
-	eng, err := kernel.Compile(m.sys, kernel.Options{
-		MaxTableBytes: m.opts.Engine.MaxTableBytes,
-		InterleaveK:   m.opts.Engine.InterleaveK,
-		Stride:        m.opts.Engine.Stride,
-		Workers:       m.opts.CompileWorkers,
-	})
-	if err == nil {
-		m.eng = eng
-		return nil
+	if m.opts.Engine.Compressed != CompressedOn {
+		eng, err := kernel.Compile(m.sys, kernel.Options{
+			MaxTableBytes: m.opts.Engine.MaxTableBytes,
+			InterleaveK:   m.opts.Engine.InterleaveK,
+			Stride:        m.opts.Engine.Stride,
+			Workers:       m.opts.CompileWorkers,
+		})
+		if err == nil {
+			m.eng = eng
+			return nil
+		}
+		if !errors.Is(err, kernel.ErrBudget) {
+			return err
+		}
 	}
-	if !errors.Is(err, kernel.ErrBudget) {
+	if err := m.initCompressed(); err != nil {
 		return err
+	}
+	if m.comp != nil {
+		return nil
 	}
 	if m.opts.Engine.MaxShards < 0 {
 		return nil // sharding disabled: stt fallback
@@ -248,7 +310,9 @@ func (m *Matcher) initEngine() error {
 	if m.regex {
 		// The shard planner repartitions literal patterns by trie size;
 		// regex dictionaries have no such decomposition, so over-budget
-		// ones go straight to the stt fallback.
+		// ones go straight to the stt fallback. (The compressed tier
+		// above compiles from the slot DFAs and serves regex
+		// dictionaries fine — this cliff starts below it.)
 		return nil
 	}
 	sh, err := kernel.CompileSharded(m.patterns, kernel.ShardConfig{
@@ -263,6 +327,36 @@ func (m *Matcher) initEngine() error {
 	}
 	if errors.Is(err, kernel.ErrBudget) {
 		return nil // cannot shard within constraints: stt fallback
+	}
+	return err
+}
+
+// initCompressed tries the compressed-row tier per
+// EngineOptions.Compressed. The hard budget is always the resolved
+// MaxTableBytes; CompressedAuto additionally caps it at L2Budget —
+// the tier trades extra ops per byte for cache residency, so a
+// compressed table that spills past L2 has given up the advantage and
+// the sharded tier below is the better fallback. A budget miss leaves
+// m.comp nil (the ladder steps down); any other failure propagates.
+func (m *Matcher) initCompressed() error {
+	if m.opts.Engine.Compressed == CompressedOff {
+		return nil
+	}
+	budget := kernel.ResolveMaxTableBytes(m.opts.Engine.MaxTableBytes)
+	if m.opts.Engine.Compressed == CompressedAuto && budget > kernel.L2Budget {
+		budget = kernel.L2Budget
+	}
+	comp, err := kernel.CompileCompressed(m.sys, kernel.Options{
+		MaxTableBytes: budget,
+		InterleaveK:   m.opts.Engine.InterleaveK,
+		Workers:       m.opts.CompileWorkers,
+	})
+	if err == nil {
+		m.comp = comp
+		return nil
+	}
+	if errors.Is(err, kernel.ErrBudget) {
+		return nil
 	}
 	return err
 }
@@ -438,13 +532,14 @@ func (m *Matcher) FindAllUnfilteredStride1(data []byte) ([]Match, error) {
 }
 
 // Stride reports the live kernel transition stride: 2 when the
-// stride-2 pair tables are up, 1 for the 1-byte kernel and sharded
-// tiers, 0 when no kernel-family engine is live (stt fallback).
+// stride-2 pair tables are up, 1 for the 1-byte kernel, compressed,
+// and sharded tiers, 0 when no kernel-family engine is live (stt
+// fallback).
 func (m *Matcher) Stride() int {
 	switch {
 	case m.eng != nil:
 		return m.eng.Stride()
-	case m.sharded != nil:
+	case m.comp != nil, m.sharded != nil:
 		return 1
 	default:
 		return 0
@@ -458,6 +553,9 @@ func (m *Matcher) Stride() int {
 func (m *Matcher) FindAllUnfiltered(data []byte) ([]Match, error) {
 	if m.eng != nil {
 		return convertMatches(m.eng.FindAll(data)), nil
+	}
+	if m.comp != nil {
+		return convertMatches(m.comp.FindAll(data)), nil
 	}
 	if m.sharded != nil {
 		return convertMatches(m.sharded.FindAll(data)), nil
@@ -501,6 +599,10 @@ func (m *Matcher) scanSegment(piece []byte, base int, stride1 bool) ([]Match, er
 		} else {
 			raw = m.eng.ScanChunk(piece, base, 0)
 		}
+		dfa.SortMatches(raw)
+		return convertMatches(raw), nil
+	case m.comp != nil:
+		raw := m.comp.ScanChunk(piece, base, 0)
 		dfa.SortMatches(raw)
 		return convertMatches(raw), nil
 	case m.sharded != nil:
@@ -554,6 +656,9 @@ func (m *Matcher) countUnfiltered(data []byte) (int, error) {
 	if m.eng != nil {
 		return m.eng.Count(data), nil
 	}
+	if m.comp != nil {
+		return m.comp.Count(data), nil
+	}
 	if m.sharded != nil {
 		return m.sharded.Count(data), nil
 	}
@@ -594,9 +699,11 @@ type Stats struct {
 	// Engine is the live scan engine behind FindAll and friends:
 	// "stride2" (the dense kernel with 2-byte-stride class-pair tables
 	// layered on top), "kernel" (one dense compiled table set consuming
-	// one byte per transition), "sharded" (the multi-kernel tier: one
-	// dense table set per dictionary shard), or "stt" (the reduce +
-	// dfa/stt lookup fallback).
+	// one byte per transition), "compressed" (bitmap rows + popcount
+	// rank + default-pointer chains for over-dense-budget
+	// dictionaries), "sharded" (the multi-kernel tier: one dense table
+	// set per dictionary shard), or "stt" (the reduce + dfa/stt lookup
+	// fallback).
 	Engine string
 	// Stride is the live kernel's bytes-per-transition (2 on the
 	// stride-2 rung, 1 on every other kernel tier, 0 on the stt path).
@@ -611,9 +718,16 @@ type Stats struct {
 	// the pair tables are the hot loop's working set and the dense
 	// tables still serve epilogues, odd tails, and stream carries.
 	PairTableBytes int
+	// CompressedTableBytes is the compressed-row tier's aggregate
+	// footprint — bitmaps, default pointers, offsets, and packed
+	// explicit entries (0 unless Engine == "compressed"). Cache
+	// residency on that tier is judged on this number.
+	CompressedTableBytes int
 	// DenseTableBudget is the byte budget the kernel was compiled
 	// against — per shard when the sharded tier is live (the fallback
-	// threshold either way).
+	// threshold either way). Always kernel.ResolveMaxTableBytes of the
+	// configured EngineOptions.MaxTableBytes, so it cannot drift from
+	// the admission checks inside internal/kernel.
 	DenseTableBudget int
 	// Shards is the shard count of the sharded tier (0 otherwise).
 	Shards int
@@ -664,10 +778,7 @@ func (m *Matcher) Stats() Stats {
 			s.STTBytes += t.SizeBytes()
 		}
 	}
-	s.DenseTableBudget = m.opts.Engine.MaxTableBytes
-	if s.DenseTableBudget <= 0 {
-		s.DenseTableBudget = kernel.DefaultMaxTableBytes
-	}
+	s.DenseTableBudget = kernel.ResolveMaxTableBytes(m.opts.Engine.MaxTableBytes)
 	s.MinPatternLen = m.minLen
 	s.WindowsSkipped = m.windowsSkipped.Load()
 	if m.filter != nil {
@@ -688,6 +799,12 @@ func (m *Matcher) Stats() Stats {
 		}
 		s.TableFitsL1 = resident <= kernel.L1DataBudget
 		s.TableFitsL2 = resident <= kernel.L2Budget
+	case m.comp != nil:
+		s.Engine = "compressed"
+		s.Stride = 1
+		s.CompressedTableBytes = m.comp.TableBytes()
+		s.TableFitsL1 = s.CompressedTableBytes <= kernel.L1DataBudget
+		s.TableFitsL2 = s.CompressedTableBytes <= kernel.L2Budget
 	case m.sharded != nil:
 		s.Engine = "sharded"
 		s.Stride = 1
@@ -707,8 +824,9 @@ func (m *Matcher) Stats() Stats {
 func (m *Matcher) FilterActive() bool { return m.filter != nil }
 
 // EngineName reports the live scan engine ("stride2", "kernel",
-// "sharded", or "stt") without computing full Stats (which re-encodes
-// the STT tables) — the cheap per-request form for serving paths.
+// "compressed", "sharded", or "stt") without computing full Stats
+// (which re-encodes the STT tables) — the cheap per-request form for
+// serving paths.
 func (m *Matcher) EngineName() string {
 	switch {
 	case m.eng != nil:
@@ -716,21 +834,40 @@ func (m *Matcher) EngineName() string {
 			return "stride2"
 		}
 		return "kernel"
+	case m.comp != nil:
+		return "compressed"
 	case m.sharded != nil:
 		return "sharded"
 	}
 	return "stt"
 }
 
-// kernelTables flattens the live kernel tier's tables (one per series
-// slot, across shards when sharded), or nil on the stt path — the
-// carry-state unit list for incremental scans.
-func (m *Matcher) kernelTables() []*kernel.Table {
+// carryTables flattens the live kernel-family tier's tables (one per
+// series slot, across shards when sharded) as carry-scanners, or nil
+// on the stt path — the carry-state unit list for incremental scans.
+// Dense and compressed tables share the CarryScanner contract, so the
+// stream machinery is representation-agnostic.
+func (m *Matcher) carryTables() []kernel.CarryScanner {
 	switch {
 	case m.eng != nil:
-		return m.eng.Tables
+		out := make([]kernel.CarryScanner, len(m.eng.Tables))
+		for i, t := range m.eng.Tables {
+			out[i] = t
+		}
+		return out
+	case m.comp != nil:
+		out := make([]kernel.CarryScanner, len(m.comp.Tables))
+		for i, t := range m.comp.Tables {
+			out[i] = t
+		}
+		return out
 	case m.sharded != nil:
-		return m.sharded.AllTables()
+		tables := m.sharded.AllTables()
+		out := make([]kernel.CarryScanner, len(tables))
+		for i, t := range tables {
+			out[i] = t
+		}
+		return out
 	}
 	return nil
 }
@@ -810,9 +947,9 @@ func (r *RegexSet) MatchWhole(data []byte) []int {
 // MaxPatternLen-1 bytes), so memory is O(dictionary), not O(input).
 type Stream struct {
 	m      *Matcher
-	states []int           // per-slot DFA state (stt/dfa path)
-	tables []*kernel.Table // flattened kernel tables (kernel/sharded path)
-	rows   []uint32        // per-table encoded kernel row (kernel/sharded path)
+	states []int                 // per-slot DFA state (stt/dfa path)
+	tables []kernel.CarryScanner // flattened kernel-family tables (kernel/compressed/sharded path)
+	rows   []uint32              // per-table encoded carry row (kernel/compressed/sharded path)
 
 	// Filtered mode: the window filter needs whole windows, so the
 	// stream carries the previous chunks' tail (MaxPatternLen-1 bytes)
@@ -835,7 +972,7 @@ func (m *Matcher) NewStream() *Stream {
 		st.filt = m.filter
 		return st
 	}
-	if tables := m.kernelTables(); tables != nil {
+	if tables := m.carryTables(); tables != nil {
 		st.tables = tables
 		st.rows = make([]uint32, len(tables))
 		for i, t := range tables {

@@ -100,10 +100,16 @@ func (m *Matcher) RecompileDelta(newPatterns [][]byte) (*Matcher, *DeltaStats, e
 // tables whose slot automaton AND global pattern ids are unchanged are
 // adopted from prev's kernel engine, and sharded compiles hand prev's
 // shard engines to the fingerprint-keyed delta path. The selection
-// ladder (kernel -> sharded -> stt) is identical to the cold build.
+// ladder (kernel -> compressed -> sharded -> stt) is identical to the
+// cold build; the compressed tier compiles cold (its build is cheap
+// and deterministic, so byte-identity with the cold compile holds
+// without a reuse path).
 func (m *Matcher) initEngineDelta(prev *Matcher, reused []bool, ds *DeltaStats) error {
 	if s := m.opts.Engine.Stride; s < 0 || s > 2 {
 		return fmt.Errorf("core: bad stride %d (want 0 auto, 1, or 2)", s)
+	}
+	if cm := m.opts.Engine.Compressed; cm < CompressedAuto || cm > CompressedOff {
+		return fmt.Errorf("core: bad compressed mode %d", cm)
 	}
 	if m.opts.Engine.DisableKernel {
 		return nil
@@ -135,18 +141,26 @@ func (m *Matcher) initEngineDelta(prev *Matcher, reused []bool, ds *DeltaStats) 
 			prebuilt[i] = prev.eng.Tables[j]
 		}
 	}
-	eng, err := kernel.CompileReusing(m.sys, kernel.Options{
-		MaxTableBytes: m.opts.Engine.MaxTableBytes,
-		InterleaveK:   m.opts.Engine.InterleaveK,
-		Stride:        m.opts.Engine.Stride,
-		Workers:       m.opts.CompileWorkers,
-	}, prebuilt)
-	if err == nil {
-		m.eng = eng
-		return nil
+	if m.opts.Engine.Compressed != CompressedOn {
+		eng, err := kernel.CompileReusing(m.sys, kernel.Options{
+			MaxTableBytes: m.opts.Engine.MaxTableBytes,
+			InterleaveK:   m.opts.Engine.InterleaveK,
+			Stride:        m.opts.Engine.Stride,
+			Workers:       m.opts.CompileWorkers,
+		}, prebuilt)
+		if err == nil {
+			m.eng = eng
+			return nil
+		}
+		if !errors.Is(err, kernel.ErrBudget) {
+			return err
+		}
 	}
-	if !errors.Is(err, kernel.ErrBudget) {
+	if err := m.initCompressed(); err != nil {
 		return err
+	}
+	if m.comp != nil {
+		return nil
 	}
 	if m.opts.Engine.MaxShards < 0 {
 		return nil // sharding disabled: stt fallback

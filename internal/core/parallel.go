@@ -40,7 +40,7 @@ type ParallelOptions struct {
 func (m *Matcher) engineOpts(o ParallelOptions) parallel.Options {
 	po := parallel.Options{
 		Workers: o.Workers, ChunkBytes: o.ChunkBytes,
-		Engine: m.eng, Sharded: m.sharded, Pool: o.Pool,
+		Engine: m.eng, Compressed: m.comp, Sharded: m.sharded, Pool: o.Pool,
 		ForceStride1: o.DisableStride2,
 	}
 	if m.filter != nil && !o.DisableFilter {

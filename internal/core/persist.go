@@ -20,10 +20,10 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic "CMSAV6\x00"
+//	magic "CMSAV7\x00"
 //	options: caseFold u8, groups u32, maxStatesPerTile u32, version u32
 //	engine:  disableKernel u8, maxTableBytes u64, interleaveK u32,
-//	         maxShards i32, filterMode u8, stride u8
+//	         maxShards i32, filterMode u8, stride u8, compressed u8
 //	dictKind: regex u8 (0 = literal patterns, 1 = regular expressions)
 //	reduction: map[256]u8, classes u32, width u32
 //	system width u32, maxPatternLen u32
@@ -32,8 +32,11 @@ import (
 //	slots: count u32; each: blobLen u32, dfa blob,
 //	       idCount u32, ids u32...
 //
-// Older artifacts still load: V5 (magic "CMSAV5\x00") lacks the
-// stride byte (loaded as 0 = auto, so qualifying dictionaries come
+// Older artifacts still load: V6 (magic "CMSAV6\x00") lacks the
+// compressed byte (loaded as CompressedAuto, so dictionaries whose
+// dense table overflows the budget come back on the compressed rung —
+// output-identical either way), V5 ("CMSAV5\x00") additionally lacks
+// the stride byte (loaded as 0 = auto, so qualifying dictionaries come
 // back on the stride-2 rung — output-identical either way), V4
 // ("CMSAV4\x00") additionally lacks the dictKind byte (always a
 // literal dictionary), V3 ("CMSAV3\x00") additionally lacks the
@@ -43,7 +46,8 @@ import (
 // as 0, the default shard cap), and V1 ("CMSAV1\x00") lacks the whole
 // engine block (zero-value EngineOptions).
 var (
-	savMagic   = []byte("CMSAV6\x00")
+	savMagic   = []byte("CMSAV7\x00")
+	savMagicV6 = []byte("CMSAV6\x00")
 	savMagicV5 = []byte("CMSAV5\x00")
 	savMagicV4 = []byte("CMSAV4\x00")
 	savMagicV3 = []byte("CMSAV3\x00")
@@ -107,6 +111,9 @@ func (m *Matcher) Save(w io.Writer) error {
 		return err
 	}
 	if err := bw.WriteByte(byte(m.opts.Engine.Stride)); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(m.opts.Engine.Compressed)); err != nil {
 		return err
 	}
 	rx := byte(0)
@@ -178,7 +185,8 @@ func Load(r io.Reader) (*Matcher, error) {
 	v3 := bytes.Equal(magic, savMagicV3)
 	v4 := bytes.Equal(magic, savMagicV4)
 	v5 := bytes.Equal(magic, savMagicV5)
-	if !v1 && !v2 && !v3 && !v4 && !v5 && !bytes.Equal(magic, savMagic) {
+	v6 := bytes.Equal(magic, savMagicV6)
+	if !v1 && !v2 && !v3 && !v4 && !v5 && !v6 && !bytes.Equal(magic, savMagic) {
 		return nil, fmt.Errorf("core: not a cellmatch artifact")
 	}
 	get32 := func() (uint32, error) {
@@ -238,6 +246,16 @@ func Load(r io.Reader) (*Matcher, error) {
 						return nil, fmt.Errorf("core: bad stride %d", st)
 					}
 					opts.Engine.Stride = int(st)
+					if !v6 { // V6 predates the compressed rung: auto
+						cm, err := br.ReadByte()
+						if err != nil {
+							return nil, err
+						}
+						if cm > byte(CompressedOff) {
+							return nil, fmt.Errorf("core: bad compressed mode %d", cm)
+						}
+						opts.Engine.Compressed = CompressedMode(cm)
+					}
 				}
 			}
 		}

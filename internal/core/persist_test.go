@@ -117,7 +117,7 @@ func TestLoadRejectsWrongMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()
-	for _, magic := range []string{"CMSAV7\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav6\x00"} {
+	for _, magic := range []string{"CMSAV8\x00", "CMSAV0\x00", "XXXXXX\x00", "cmsav7\x00"} {
 		bad := append([]byte(magic), blob[len(magic):]...)
 		_, err := Load(bytes.NewReader(bad))
 		if err == nil {
@@ -161,15 +161,16 @@ func TestLoadV1ArtifactRebuildsEngine(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v6 := buf.Bytes()
-	// The v6 layout places the 19-byte engine block (disableKernel u8,
+	v7 := buf.Bytes()
+	// The v7 layout places the 20-byte engine block (disableKernel u8,
 	// maxTableBytes u64, interleaveK u32, maxShards i32, filterMode u8,
-	// stride u8) and the dictKind byte right after the 13-byte options
-	// block; a v1 artifact is the same bytes without either.
+	// stride u8, compressed u8) and the dictKind byte right after the
+	// 13-byte options block; a v1 artifact is the same bytes without
+	// either.
 	optsEnd := len(savMagic) + 13
 	v1 := append([]byte(nil), savMagicV1...)
-	v1 = append(v1, v6[len(savMagic):optsEnd]...)
-	v1 = append(v1, v6[optsEnd+20:]...)
+	v1 = append(v1, v7[len(savMagic):optsEnd]...)
+	v1 = append(v1, v7[optsEnd+21:]...)
 
 	back, err := Load(bytes.NewReader(v1))
 	if err != nil {
@@ -220,14 +221,15 @@ func TestLoadV2ArtifactGetsDefaultShardCap(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v6 := buf.Bytes()
-	// Drop the trailing maxShards (4 bytes), filterMode (1 byte), and
-	// stride (1 byte) fields of the 19-byte engine block plus the
-	// dictKind byte, and swap the magic: that is exactly a v2 artifact.
-	engEnd := len(savMagic) + 13 + 19
+	v7 := buf.Bytes()
+	// Drop the trailing maxShards (4 bytes), filterMode, stride, and
+	// compressed (1 byte each) fields of the 20-byte engine block plus
+	// the dictKind byte, and swap the magic: that is exactly a v2
+	// artifact.
+	engEnd := len(savMagic) + 13 + 20
 	v2 := append([]byte(nil), savMagicV2...)
-	v2 = append(v2, v6[len(savMagic):engEnd-6]...)
-	v2 = append(v2, v6[engEnd+1:]...)
+	v2 = append(v2, v7[len(savMagic):engEnd-7]...)
+	v2 = append(v2, v7[engEnd+1:]...)
 
 	back, err := Load(bytes.NewReader(v2))
 	if err != nil {
@@ -265,14 +267,14 @@ func TestLoadV3ArtifactGetsFilterAuto(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v6 := buf.Bytes()
-	// Drop the trailing filterMode and stride bytes of the 19-byte
-	// engine block plus the dictKind byte, and swap the magic: that is
-	// exactly a v3 artifact.
-	engEnd := len(savMagic) + 13 + 19
+	v7 := buf.Bytes()
+	// Drop the trailing filterMode, stride, and compressed bytes of the
+	// 20-byte engine block plus the dictKind byte, and swap the magic:
+	// that is exactly a v3 artifact.
+	engEnd := len(savMagic) + 13 + 20
 	v3 := append([]byte(nil), savMagicV3...)
-	v3 = append(v3, v6[len(savMagic):engEnd-2]...)
-	v3 = append(v3, v6[engEnd+1:]...)
+	v3 = append(v3, v7[len(savMagic):engEnd-3]...)
+	v3 = append(v3, v7[engEnd+1:]...)
 
 	back, err := Load(bytes.NewReader(v3))
 	if err != nil {
@@ -302,8 +304,8 @@ func TestLoadV3ArtifactGetsFilterAuto(t *testing.T) {
 		t.Fatalf("v3-loaded matcher diverged: %d vs %d matches", len(got), len(want))
 	}
 	// A current blob with an out-of-range filter mode must be rejected.
-	bad := append([]byte(nil), v6...)
-	bad[engEnd-2] = 7
+	bad := append([]byte(nil), v7...)
+	bad[engEnd-3] = 7
 	if _, err := Load(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad filter mode accepted")
 	}
@@ -322,14 +324,14 @@ func TestLoadV4ArtifactIsLiteral(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v6 := buf.Bytes()
-	// Drop the trailing stride byte of the 19-byte engine block and the
-	// dictKind byte right after it, and swap the magic: that is exactly
-	// a v4 artifact.
-	kindAt := len(savMagic) + 13 + 19
+	v7 := buf.Bytes()
+	// Drop the trailing stride and compressed bytes of the 20-byte
+	// engine block and the dictKind byte right after them, and swap the
+	// magic: that is exactly a v4 artifact.
+	kindAt := len(savMagic) + 13 + 20
 	v4 := append([]byte(nil), savMagicV4...)
-	v4 = append(v4, v6[len(savMagic):kindAt-1]...)
-	v4 = append(v4, v6[kindAt+1:]...)
+	v4 = append(v4, v7[len(savMagic):kindAt-2]...)
+	v4 = append(v4, v7[kindAt+1:]...)
 
 	back, err := Load(bytes.NewReader(v4))
 	if err != nil {
@@ -356,7 +358,7 @@ func TestLoadV4ArtifactIsLiteral(t *testing.T) {
 		t.Fatalf("v4-loaded matcher diverged: %d vs %d matches", len(got), len(want))
 	}
 
-	bad := append([]byte(nil), v6...)
+	bad := append([]byte(nil), v7...)
 	bad[kindAt] = 9
 	if _, err := Load(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad dictionary kind accepted")
@@ -383,13 +385,13 @@ func TestLoadV5ArtifactGetsStrideAuto(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v6 := buf.Bytes()
-	// Drop the trailing stride byte of the 19-byte engine block and
-	// swap the magic: that is exactly a v5 artifact.
-	engEnd := len(savMagic) + 13 + 19
+	v7 := buf.Bytes()
+	// Drop the trailing stride and compressed bytes of the 20-byte
+	// engine block and swap the magic: that is exactly a v5 artifact.
+	engEnd := len(savMagic) + 13 + 20
 	v5 := append([]byte(nil), savMagicV5...)
-	v5 = append(v5, v6[len(savMagic):engEnd-1]...)
-	v5 = append(v5, v6[engEnd:]...)
+	v5 = append(v5, v7[len(savMagic):engEnd-2]...)
+	v5 = append(v5, v7[engEnd:]...)
 
 	back, err := Load(bytes.NewReader(v5))
 	if err != nil {
@@ -419,10 +421,76 @@ func TestLoadV5ArtifactGetsStrideAuto(t *testing.T) {
 		t.Fatalf("v5-loaded matcher diverged: %d vs %d matches", len(got), len(want))
 	}
 	// A current blob with an out-of-range stride byte must be rejected.
-	bad := append([]byte(nil), v6...)
-	bad[engEnd-1] = 3
+	bad := append([]byte(nil), v7...)
+	bad[engEnd-2] = 3
 	if _, err := Load(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad stride accepted")
+	}
+}
+
+// A v6 artifact (engine block without the compressed byte) must load
+// with CompressedAuto — a dictionary whose dense table overflows the
+// budget comes back on the compressed rung — and scan byte-identically;
+// a current blob with an out-of-range compressed byte must be rejected.
+func TestLoadV6ArtifactGetsCompressedAuto(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 900, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense rows for 900 states overflow 48 KiB but the compressed rows
+	// fit, so CompressedAuto demonstrably selects the compressed rung.
+	m, err := Compile(pats, Options{CaseFold: true, Engine: EngineOptions{MaxTableBytes: 48 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Engine; got != "compressed" {
+		t.Fatalf("fixture engine = %q, want compressed", got)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v7 := buf.Bytes()
+	// Drop the trailing compressed byte of the 20-byte engine block and
+	// swap the magic: that is exactly a v6 artifact.
+	engEnd := len(savMagic) + 13 + 20
+	v6 := append([]byte(nil), savMagicV6...)
+	v6 = append(v6, v7[len(savMagic):engEnd-1]...)
+	v6 = append(v6, v7[engEnd:]...)
+
+	back, err := Load(bytes.NewReader(v6))
+	if err != nil {
+		t.Fatalf("v6 artifact rejected: %v", err)
+	}
+	if got := back.opts.Engine.Compressed; got != CompressedAuto {
+		t.Fatalf("v6 load Compressed = %d, want CompressedAuto", got)
+	}
+	if got := back.Stats().Engine; got != "compressed" {
+		t.Fatalf("v6 load engine = %q, want compressed under auto", got)
+	}
+	data, _, err := workload.Traffic(workload.TrafficConfig{
+		Bytes: 1 << 16, MatchEvery: 2048, Dictionary: pats, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.FindAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v6-loaded matcher diverged: %d vs %d matches", len(got), len(want))
+	}
+	// A current blob with an out-of-range compressed byte must be
+	// rejected.
+	bad := append([]byte(nil), v7...)
+	bad[engEnd-1] = 9
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad compressed mode accepted")
 	}
 }
 
@@ -435,8 +503,11 @@ func TestSaveLoadShardedMatcher(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A budget far under the 900-state dense table forces the ladder
-	// into the sharded tier.
-	opts := Options{CaseFold: true, Engine: EngineOptions{MaxTableBytes: 48 << 10, MaxShards: 8}}
+	// into the sharded tier (compressed pinned off so the cheaper rung
+	// doesn't intercept).
+	opts := Options{CaseFold: true, Engine: EngineOptions{
+		MaxTableBytes: 48 << 10, MaxShards: 8, Compressed: CompressedOff,
+	}}
 	m, err := Compile(pats, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -27,9 +27,14 @@ func shardedMatchers(t *testing.T, patterns []string, fold bool, maxShards int) 
 		t.Fatal("unrestricted compile did not select the kernel engine")
 	}
 	// Three quarters of the real dense footprint forces the ladder past
-	// the plain kernel; each single pattern still fits a shard.
+	// the plain kernel; each single pattern still fits a shard. The
+	// compressed rung is pinned off so it cannot intercept the
+	// over-budget dictionary before the shard planner sees it.
 	budget := kernelM.Stats().KernelTableBytes * 3 / 4
-	opts.Engine = EngineOptions{MaxTableBytes: budget, MaxShards: maxShards, Filter: FilterOff}
+	opts.Engine = EngineOptions{
+		MaxTableBytes: budget, MaxShards: maxShards,
+		Filter: FilterOff, Compressed: CompressedOff,
+	}
 	shardedM, err = CompileStrings(patterns, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +152,7 @@ func TestShardedStats(t *testing.T) {
 func TestShardedCapDegradesToSTT(t *testing.T) {
 	dict := []string{"aaaaaaaa", "bbbbbbbb", "cccccccc", "dddddddd", "eeeeeeee", "ffffffff"}
 	m, err := CompileStrings(dict, Options{
-		Engine: EngineOptions{MaxTableBytes: 1 << 10, MaxShards: 1},
+		Engine: EngineOptions{MaxTableBytes: 1 << 10, MaxShards: 1, Compressed: CompressedOff},
 	})
 	if err != nil {
 		t.Fatal(err)

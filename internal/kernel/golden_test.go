@@ -114,6 +114,67 @@ func TestGoldenShardedReload(t *testing.T) {
 	}
 }
 
+// goldenCompressed compiles the fixed compressed-container fixture:
+// same deterministic pipeline (BFS default recovery, class-order
+// explicit packing), so the container image is reproducible
+// bit-for-bit.
+func goldenCompressed(t *testing.T) *Compressed {
+	t.Helper()
+	sys := testSystem(t, []string{"VIRUS", "WORM", "RUSV"}, true)
+	comp, err := CompileCompressed(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func TestGoldenCompressedImage(t *testing.T) {
+	path := filepath.Join("testdata", "compressed_v1.golden")
+	img := goldenCompressed(t).Bytes()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if !bytes.Equal(img, want) {
+		t.Fatalf("compressed image drifted from golden fixture: %d bytes vs %d", len(img), len(want))
+	}
+}
+
+func TestGoldenCompressedReload(t *testing.T) {
+	path := filepath.Join("testdata", "compressed_v1.golden")
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	loaded, err := CompressedFromBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := goldenCompressed(t)
+	probe := []byte("a virus, a WORM, and virusvirus rusv")
+	want := fresh.FindAll(probe)
+	if len(want) == 0 {
+		t.Fatal("probe found no matches; fixture too weak")
+	}
+	got := loaded.FindAll(probe)
+	if len(got) != len(want) {
+		t.Fatalf("loaded compressed engine: %d matches, fresh %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
 // The checked-in image must load and produce the exact matches the
 // freshly compiled table does.
 func TestGoldenKernelReload(t *testing.T) {

@@ -106,10 +106,22 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) withDefaults() Options {
-	if o.MaxTableBytes <= 0 {
-		o.MaxTableBytes = DefaultMaxTableBytes
+// ResolveMaxTableBytes maps an Options.MaxTableBytes (or
+// ShardConfig.MaxTableBytes) value to the effective byte budget:
+// <= 0 selects DefaultMaxTableBytes, anything positive is taken
+// verbatim. Every consumer of the budget — Options.withDefaults, the
+// shard planner, and core's Stats()/compressed-tier admission —
+// resolves through this one function so the default cannot drift
+// between layers.
+func ResolveMaxTableBytes(v int) int {
+	if v <= 0 {
+		return DefaultMaxTableBytes
 	}
+	return v
+}
+
+func (o Options) withDefaults() Options {
+	o.MaxTableBytes = ResolveMaxTableBytes(o.MaxTableBytes)
 	if o.InterleaveK > MaxInterleave {
 		o.InterleaveK = MaxInterleave
 	}
@@ -530,6 +542,17 @@ func CompileReusing(sys *compose.System, opts Options, prebuilt []*Table) (*Engi
 // regime (6 MiB pair table, 0.97x). An explicit Stride 2 skips both
 // auto gates and builds whatever fits MaxTableBytes. denseTotal is
 // the already-accumulated dense footprint.
+//
+// Ladder-footprint rule: every rung admits itself by comparing its
+// AGGREGATE resident footprint against the budget resolved by
+// ResolveMaxTableBytes — stride-2 charges dense + pair here, the
+// dense kernel charges states × width × 4 in CompileReusing, the
+// compressed tier charges bitmaps + defaults + offsets + explicit in
+// CompileCompressed (auto-capped at L2Budget by the core ladder), and
+// the sharded planner charges per-shard dense tables. Each rung's
+// predicate is monotone in the budget and the rungs are tried
+// fastest-first, so growing the budget can only move selection up the
+// ladder, never down — the property TestLadderMonotonicity pins.
 func (e *Engine) pairEligible(o Options, denseTotal int) bool {
 	pairTotal := 0
 	for _, t := range e.Tables {

@@ -330,10 +330,7 @@ func CompileSharded(patterns [][]byte, cfg ShardConfig) (*Sharded, error) {
 // across cfg.Workers. The result is byte-identical to a cold
 // CompileSharded of the same dictionary.
 func CompileShardedReusing(patterns [][]byte, cfg ShardConfig, prebuilt map[[fpSize]byte]*Engine) (*Sharded, error) {
-	budget := cfg.MaxTableBytes
-	if budget <= 0 {
-		budget = DefaultMaxTableBytes
-	}
+	budget := ResolveMaxTableBytes(cfg.MaxTableBytes)
 	red, err := alphabet.ForDictionary(patterns, cfg.CaseFold)
 	if err != nil {
 		return nil, err
@@ -414,9 +411,7 @@ func (s *Sharded) ShardFingerprints(patterns [][]byte, caseFold bool, budget, wo
 	if s.Plan == nil {
 		return nil
 	}
-	if budget <= 0 {
-		budget = DefaultMaxTableBytes
-	}
+	budget = ResolveMaxTableBytes(budget)
 	if s.shardFP == nil {
 		s.shardFP = make([][fpSize]byte, len(s.Plan))
 		fanout.ForEach(len(s.Plan), workers, func(si int) {

@@ -51,11 +51,16 @@ type Options struct {
 	// kernel (raw bytes, reduction baked in) instead of the
 	// reduce + dfa.FindAll path. Results are identical.
 	Engine *kernel.Engine
+	// Compressed, when non-nil, scans chunks with the compressed-row
+	// tier (bitmap rows + default-pointer chains). Takes precedence
+	// over Engine. Results are identical.
+	Compressed *kernel.Compressed
 	// Sharded, when non-nil, scans with the sharded multi-kernel
 	// engine: the task set becomes one work item per (shard, chunk), so
 	// each worker keeps a single shard's tables cache-hot while
 	// scanning — the paper's one-shard-per-SPE schedule mapped onto the
-	// pool. Takes precedence over Engine. Results are identical.
+	// pool. Takes precedence over Engine and Compressed. Results are
+	// identical.
 	Sharded *kernel.Sharded
 	// Pool, when non-nil, submits chunk jobs to a persistent shared
 	// worker pool instead of spawning goroutines per call — the
@@ -192,6 +197,11 @@ func scanPiece(sys *compose.System, piece []byte, base, ov int, o Options, unit 
 func scanPieceEngine(sys *compose.System, piece []byte, base, ov int, o Options, unit int) []dfa.Match {
 	if o.Sharded != nil {
 		return o.Sharded.ScanShardChunk(unit, piece, base, ov)
+	}
+	if o.Compressed != nil {
+		// Compressed tables always step one byte per transition, so the
+		// stride-1 pin is a no-op here.
+		return o.Compressed.ScanChunk(piece, base, ov)
 	}
 	if o.Engine != nil {
 		// The kernel consumes raw bytes (reduction baked into its

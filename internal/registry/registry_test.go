@@ -300,7 +300,7 @@ func TestHotSwapToShardedMatcher(t *testing.T) {
 	small := mustCompile(t, []string{"alpha", "omega"})
 	big, err := core.CompileStrings(
 		[]string{"aaaaaaaa", "bbbbbbbb", "cccccccc", "dddddddd", "eeeeeeee"},
-		core.Options{Engine: core.EngineOptions{MaxTableBytes: 1 << 10}},
+		core.Options{Engine: core.EngineOptions{MaxTableBytes: 1 << 10, Compressed: core.CompressedOff}},
 	)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"errors"
+	"io"
 	"net/http"
 	"sync/atomic"
 )
@@ -54,10 +56,65 @@ func (a *admission) release(bytes int64) {
 	a.queuedBytes.Add(-bytes)
 }
 
+// reserveBytes admits n more body bytes mid-request — the metering
+// path for bodies with no declared Content-Length, whose size is only
+// discovered as the stream is read. Over budget, the reservation is
+// rolled back and counted as a shed.
+func (a *admission) reserveBytes(n int64) bool {
+	q := a.queuedBytes.Add(n)
+	if a.maxQueuedBytes > 0 && q > a.maxQueuedBytes {
+		a.queuedBytes.Add(-n)
+		a.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (a *admission) releaseBytes(n int64) {
+	a.queuedBytes.Add(-n)
+}
+
+// errOverBudget is the mid-stream shed signal: a read on a metered
+// body pushed the admitted-bytes gauge past MaxQueuedBytes. Handlers
+// classify it as 429 + Retry-After, like an up-front admission refusal.
+var errOverBudget = errors.New("overloaded: admitted byte budget exceeded mid-stream, retry later")
+
+// meteredBody wraps a body of undeclared length (chunked upload) and
+// charges every byte actually read against the admission byte budget.
+// Once a read overflows the budget the body is dead: that read and
+// every later one fail with errOverBudget (the overflowing bytes are
+// not charged — reserveBytes rolled them back).
+type meteredBody struct {
+	r        io.ReadCloser
+	adm      *admission
+	reserved int64
+	dead     bool
+}
+
+func (b *meteredBody) Read(p []byte) (int, error) {
+	if b.dead {
+		return 0, errOverBudget
+	}
+	n, err := b.r.Read(p)
+	if n > 0 {
+		if !b.adm.reserveBytes(int64(n)) {
+			b.dead = true
+			return n, errOverBudget
+		}
+		b.reserved += int64(n)
+	}
+	return n, err
+}
+
+func (b *meteredBody) Close() error { return b.r.Close() }
+
 // admitted wraps a scan handler with the admission check. The byte
-// reservation uses the declared Content-Length (0 when unknown, e.g. a
-// chunked /scan/stream upload — those are bounded by the inflight
-// budget alone).
+// reservation uses the declared Content-Length; a body of unknown
+// length (chunked /scan/stream upload, ContentLength -1) reserves
+// nothing up front and is instead metered as it is read, so a
+// long-running stream cannot slip an unbounded body past
+// MaxQueuedBytes — it sheds mid-flight with 429 the moment its actual
+// bytes overflow the budget.
 func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		hint := r.ContentLength
@@ -71,6 +128,11 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.adm.release(hint)
+		if r.ContentLength < 0 && s.adm.maxQueuedBytes > 0 {
+			mb := &meteredBody{r: r.Body, adm: &s.adm}
+			r.Body = mb
+			defer func() { s.adm.releaseBytes(mb.reserved) }()
+		}
 		h(w, r)
 	}
 }

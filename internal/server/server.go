@@ -85,10 +85,13 @@ type Config struct {
 	// tenants; excess requests are shed with 429 + Retry-After. <=0
 	// means unlimited (no shedding on request count).
 	MaxInflight int
-	// MaxQueuedBytes caps the summed declared body size of admitted
-	// in-flight scan requests; excess requests are shed with 429. <=0
-	// means unlimited. Set it at least as large as MaxBodyBytes or
-	// maximum-size payloads can never be admitted.
+	// MaxQueuedBytes caps the summed body size of admitted in-flight
+	// scan requests; excess requests are shed with 429. Bodies with a
+	// declared Content-Length reserve it up front; chunked bodies of
+	// unknown length are metered as they are read and shed mid-stream
+	// when their actual bytes overflow the budget. <=0 means unlimited.
+	// Set it at least as large as MaxBodyBytes or maximum-size payloads
+	// can never be admitted.
 	MaxQueuedBytes int64
 }
 
@@ -252,14 +255,20 @@ type ScanResponse struct {
 }
 
 // readBody reads a capped request body, answering 413 only for the
-// size cap; other read failures (client aborts, resets) are 400.
+// size cap, 429 when a metered chunked body overflowed the admission
+// byte budget mid-read; other read failures (client aborts, resets)
+// are 400.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
+		switch {
+		case errors.Is(err, errOverBudget):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "body: "+err.Error(), http.StatusTooManyRequests)
+		case errors.As(err, &mbe):
 			http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge)
-		} else {
+		default:
 			http.Error(w, "body: "+err.Error(), http.StatusBadRequest)
 		}
 		return nil, false
@@ -403,19 +412,29 @@ func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
 	matches, err := e.Matcher.ScanReader(cr, opts)
 	if err != nil {
 		// A failure reading the client's body (abort, reset, malformed
-		// chunking) is the client's fault; anything else surfaced by the
-		// engine is ours — match /scan's 400-vs-500 split instead of
-		// blaming the client for internal scan errors.
-		http.Error(w, err.Error(), streamScanStatus(cr))
+		// chunking) is the client's fault; a mid-stream admission
+		// overflow is load shedding (429, like an up-front refusal);
+		// anything else surfaced by the engine is ours — match /scan's
+		// 400-vs-500 split instead of blaming the client for internal
+		// scan errors.
+		status := streamScanStatus(cr)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	tn.counters.scan(cr.n, len(matches))
 	s.writeScanResponse(w, r, tn, e, nil, cr.n, matches, !opts.DisableFilter, opts.DisableStride2)
 }
 
-// streamScanStatus classifies a ScanReader failure: 400 when the
+// streamScanStatus classifies a ScanReader failure: 429 when the
+// metered body overflowed the admission byte budget, 400 when the
 // streamed body itself failed to read, 500 for engine-internal errors.
 func streamScanStatus(cr *countingReader) int {
+	if errors.Is(cr.err, errOverBudget) {
+		return http.StatusTooManyRequests
+	}
 	if cr.err != nil {
 		return http.StatusBadRequest
 	}
@@ -535,10 +554,10 @@ type ReloadResponse struct {
 	Patterns   int    `json:"patterns"`
 	States     int    `json:"states"`
 	// Engine is the new dictionary's live scan engine ("stride2",
-	// "kernel", "sharded", or "stt"); Shards its shard count (0 unless
-	// sharded); Stride its transition stride (2 on the stride-2 rung, 1
-	// byte-at-a-time, 0 on stt) — the immediate signal that a
-	// swapped-in dictionary landed in (or fell out of) the
+	// "kernel", "compressed", "sharded", or "stt"); Shards its shard
+	// count (0 unless sharded); Stride its transition stride (2 on the
+	// stride-2 rung, 1 byte-at-a-time, 0 on stt) — the immediate signal
+	// that a swapped-in dictionary landed in (or fell out of) the
 	// peak-performance tiers. Filter reports whether the skip-scan
 	// front-end came up ahead of the engine.
 	Engine string `json:"engine"`

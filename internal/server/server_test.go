@@ -111,7 +111,7 @@ func TestShardedDictionaryServing(t *testing.T) {
 	// Build a sharded artifact: a budget far under the dense footprint.
 	pats := []string{"aaaaaaaa", "bbbbbbbb", "cccccccc", "dddddddd", "eeeeeeee"}
 	m, err := core.CompileStrings(pats, core.Options{
-		Engine: core.EngineOptions{MaxTableBytes: 1 << 10},
+		Engine: core.EngineOptions{MaxTableBytes: 1 << 10, Compressed: core.CompressedOff},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -464,6 +464,72 @@ func TestBatchCoalescing(t *testing.T) {
 		t.Fatalf("implausible batch count %d", st.Batches)
 	}
 	t.Logf("%d payloads coalesced into %d batches", st.BatchPayloads, st.Batches)
+}
+
+// TestEngineLadderServing drives one dictionary onto every rung of
+// the selection ladder — dense-fit, compressed-fit, shard-only,
+// stt-only — crossed with the stride and filter knobs, and checks
+// that the served /stats dictionary block agrees exactly with the
+// matcher's own Stats()/EngineName view: the serving layer must never
+// report a different rung than the engine actually scanning.
+func TestEngineLadderServing(t *testing.T) {
+	pats, err := workload.Dictionary(workload.DictConfig{TargetStates: 900, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget boundaries straddled by the 900-state dictionary: its
+	// dense table fits 8 MiB, only its compressed rows fit 48 KiB,
+	// neither fits 48 KiB with compression off (shards do), and
+	// DisableKernel forces stt.
+	cases := []struct {
+		name string
+		eng  core.EngineOptions
+		want string
+	}{
+		{"dense-fit", core.EngineOptions{Stride: 1}, "kernel"},
+		{"compressed-fit", core.EngineOptions{MaxTableBytes: 48 << 10}, "compressed"},
+		{"shard-only", core.EngineOptions{
+			MaxTableBytes: 48 << 10, MaxShards: 8, Compressed: core.CompressedOff,
+		}, "sharded"},
+		{"stt-only", core.EngineOptions{DisableKernel: true}, "stt"},
+	}
+	for _, tc := range cases {
+		for _, stride := range []int{0, 1} {
+			for _, fm := range []core.FilterMode{core.FilterAuto, core.FilterOff} {
+				eng := tc.eng
+				if eng.Stride == 0 {
+					eng.Stride = stride
+				}
+				eng.Filter = fm
+				m, err := core.Compile(pats, core.Options{CaseFold: true, Engine: eng})
+				if err != nil {
+					t.Fatalf("%s stride=%d filter=%v: %v", tc.name, stride, fm, err)
+				}
+				got := m.Stats().Engine
+				// Stride auto may promote a dense-fit dictionary to the
+				// stride-2 rung; every other expectation is exact.
+				if got != tc.want && !(tc.want == "kernel" && got == "stride2") {
+					t.Fatalf("%s stride=%d filter=%v: engine %q, want %q",
+						tc.name, stride, fm, got, tc.want)
+				}
+				if got != m.EngineName() {
+					t.Fatalf("%s: Stats().Engine %q != EngineName() %q", tc.name, got, m.EngineName())
+				}
+				s, err := New(Config{Registry: registry.NewWithMatcher(m, "inline-"+tc.name)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := httptest.NewServer(s.Handler())
+				st := getStats(t, ts.URL+"/stats")
+				ts.Close()
+				s.Close()
+				if st.Dictionary != m.Stats() {
+					t.Fatalf("%s stride=%d filter=%v: /stats dictionary %+v != matcher stats %+v",
+						tc.name, stride, fm, st.Dictionary, m.Stats())
+				}
+			}
+		}
+	}
 }
 
 func TestStatsCounters(t *testing.T) {

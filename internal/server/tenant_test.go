@@ -414,6 +414,86 @@ func TestQueuedBytesShedding(t *testing.T) {
 	}
 }
 
+// TestChunkedStreamMeteredAdmission: a chunked upload declares no
+// Content-Length, so its up-front admission reservation is zero — the
+// regression pinned here is that its actual bytes are still metered
+// against MaxQueuedBytes as they are read, shedding mid-stream with
+// 429 + Retry-After instead of admitting an unbounded body, with the
+// metered reservation fully drained afterward. In-budget chunked
+// streams still serve, and the buffered /scan path meters chunked
+// bodies the same way.
+func TestChunkedStreamMeteredAdmission(t *testing.T) {
+	m, err := core.CompileStrings([]string{"needle"}, core.Options{CaseFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Registry:       registry.NewWithMatcher(m, "inline"),
+		MaxQueuedBytes: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	// Hiding the reader's concrete type keeps the client from sniffing
+	// a Content-Length, so the request goes out Transfer-Encoding:
+	// chunked and the server sees ContentLength -1.
+	chunked := func(path string, body []byte) *http.Response {
+		req, err := http.NewRequest("POST", ts.URL+path, struct{ io.Reader }{bytes.NewReader(body)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	// 8 KiB of chunked body against a 1 KiB budget must shed once the
+	// metered reads overflow.
+	resp := chunked("/scan/stream", make([]byte, 8<<10))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget chunked stream: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if q := s.adm.queuedBytes.Load(); q != 0 {
+		t.Fatalf("queued-bytes gauge leaked %d after mid-stream shed", q)
+	}
+	if s.adm.shed.Load() == 0 {
+		t.Fatal("mid-stream shed not counted")
+	}
+
+	// An in-budget chunked stream serves normally and drains its
+	// metered reservation.
+	body := append(make([]byte, 256), "a needle in the haystack"...)
+	resp = chunked("/scan/stream", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget chunked stream: %d, want 200", resp.StatusCode)
+	}
+	if q := s.adm.queuedBytes.Load(); q != 0 {
+		t.Fatalf("queued-bytes gauge leaked %d after in-budget stream", q)
+	}
+
+	// The buffered /scan path reads the same metered body.
+	resp = chunked("/scan", make([]byte, 8<<10))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget chunked /scan: %d, want 429", resp.StatusCode)
+	}
+	if q := s.adm.queuedBytes.Load(); q != 0 {
+		t.Fatalf("queued-bytes gauge leaked %d after /scan shed", q)
+	}
+}
+
 // TestMetricsExposition: /metrics serves Prometheus text with the
 // service counters, per-tenant labels, and admission gauges.
 func TestMetricsExposition(t *testing.T) {
